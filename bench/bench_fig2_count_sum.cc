@@ -1,0 +1,182 @@
+// Figure 2: Count and Sum aggregates under time decay.
+//
+//  (a) CPU load vs stream rate (100k..400k pkt/s) for: no decay,
+//      forward quadratic ("poly") decay, forward exponential decay —
+//      all expressed in pure GSQL — and the backward-decay baseline
+//      (exponential histograms driven through a UDAF, eps = 0.1).
+//      Two-level aggregation enabled for the GSQL aggregates; the UDAF
+//      runs at the high level only, as in the paper.
+//  (b) The same with the two-level aggregation split disabled.
+//  (c) Throughput as the EH accuracy eps decreases 0.1 -> 0.01 at
+//      100k pkt/s (forward/undecayed do not depend on eps).
+//  (d) State per group: 4 B (undecayed int), 8 B (forward double),
+//      kilobytes for the EH baseline.
+//
+// The queries are the paper's own (Sections IV-A and VIII):
+//   select tb, destIP, destPort, count(*), sum(len) from TCP
+//   group by time/60 as tb, destIP, destPort
+// with the decayed variants replacing the aggregates by
+//   sum((time%60)*(time%60))/3600.0, sum(len*(time%60)*(time%60))/3600.0
+//   sum(exp(time%60)), sum(len*exp(time%60))   [scaled at output]
+
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dsms/engine.h"
+#include "dsms/udafs.h"
+#include "sketch/backward_sum.h"
+#include "util/table_printer.h"
+
+#include "bench_util.h"
+
+namespace {
+
+using namespace fwdecay;
+using namespace fwdecay::bench;
+
+constexpr std::size_t kTraceLen = 400000;  // packets per measurement
+
+const char* kUndecayed =
+    "select tb, destIP, destPort, count(*), sum(len) from TCP "
+    "group by time/60 as tb, destIP, destPort";
+const char* kForwardPoly =
+    "select tb, destIP, destPort, sum((time%60)*(time%60))/3600.0, "
+    "sum(len*(time%60)*(time%60))/3600.0 from TCP "
+    "group by time/60 as tb, destIP, destPort";
+const char* kForwardExp =
+    "select tb, destIP, destPort, sum(exp(time%60)), "
+    "sum(len*exp(time%60)) from TCP "
+    "group by time/60 as tb, destIP, destPort";
+const char* kBackwardEh =
+    "select tb, destIP, destPort, EHDSUM(dtime, len, 0.1) from TCP "
+    "group by time/60 as tb, destIP, destPort";
+
+double RunQuery(const std::string& gsql, bool two_level,
+                const std::vector<dsms::Packet>& packets) {
+  std::string error;
+  dsms::CompiledQuery::Options opts;
+  opts.two_level = two_level;
+  opts.low_level_slots = 4096;
+  auto plan = dsms::CompiledQuery::Compile(gsql, &error, opts);
+  if (plan == nullptr) {
+    std::fprintf(stderr, "compile error: %s\n", error.c_str());
+    std::abort();
+  }
+  auto exec = plan->NewExecution();
+  const double ns = MeasureNsPerTuple(
+      packets, [&](const dsms::Packet& p) { exec->Consume(p); });
+  (void)exec->Finish();
+  return ns;
+}
+
+void RateSweep(bool two_level, const char* label) {
+  TablePrinter table({"rate (pkt/s)", "no decay", "fwd poly", "fwd exp",
+                      "EH backward (eps=0.1)"});
+  for (double rate : {100000.0, 200000.0, 300000.0, 400000.0}) {
+    const auto trace = GenerateTrace(rate, kTraceLen / rate);
+    const double undecayed = RunQuery(kUndecayed, two_level, trace);
+    const double poly = RunQuery(kForwardPoly, two_level, trace);
+    const double exp_d = RunQuery(kForwardExp, two_level, trace);
+    // The EH UDAF always runs one-level (high level only), per the paper.
+    const double eh = RunQuery(kBackwardEh, false, trace);
+    table.AddRow({TablePrinter::Fmt(rate, 0),
+                  FormatCpuLoad(CpuLoadPercent(rate, undecayed)),
+                  FormatCpuLoad(CpuLoadPercent(rate, poly)),
+                  FormatCpuLoad(CpuLoadPercent(rate, exp_d)),
+                  FormatCpuLoad(CpuLoadPercent(rate, eh))});
+  }
+  std::printf("%s — CPU load %% (proxy: rate x ns/tuple)\n", label);
+  table.Print(stdout);
+  std::printf("\n");
+}
+
+void EpsSweep() {
+  const double rate = 100000.0;
+  const auto trace = GenerateTrace(rate, kTraceLen / rate);
+  const double undecayed = RunQuery(kUndecayed, true, trace);
+  const double poly = RunQuery(kForwardPoly, true, trace);
+  const double exp_d = RunQuery(kForwardExp, true, trace);
+  TablePrinter table({"eps", "no decay (Mtuple/s)", "fwd poly", "fwd exp",
+                      "EH backward"});
+  for (double eps : {0.1, 0.05, 0.02, 0.01}) {
+    char query[256];
+    std::snprintf(query, sizeof(query),
+                  "select tb, destIP, destPort, EHDSUM(dtime, len, %g) "
+                  "from TCP group by time/60 as tb, destIP, destPort",
+                  eps);
+    const double eh = RunQuery(query, false, trace);
+    table.AddRow({TablePrinter::Fmt(eps, 2),
+                  TablePrinter::Fmt(1e3 / undecayed, 2),
+                  TablePrinter::Fmt(1e3 / poly, 2),
+                  TablePrinter::Fmt(1e3 / exp_d, 2),
+                  TablePrinter::Fmt(1e3 / eh, 2)});
+  }
+  std::printf(
+      "Figure 2(c) — throughput (million tuples/s) vs EH accuracy eps at "
+      "100k pkt/s\n");
+  table.Print(stdout);
+  std::printf("\n");
+}
+
+void SpacePerGroup() {
+  // Feed one busy group (the most popular destination) a minute of its
+  // own traffic and report the per-group state of each method.
+  const auto trace = GenerateTrace(100000.0, 4.0);
+  std::map<std::uint64_t, std::size_t> counts;
+  for (const auto& p : trace) ++counts[dsms::DestKey(p)];
+  std::uint64_t top_key = 0;
+  std::size_t top_count = 0;
+  for (const auto& [key, c] : counts) {
+    if (c > top_count) {
+      top_count = c;
+      top_key = key;
+    }
+  }
+  TablePrinter table({"method", "state per group"});
+  table.AddRow({"no decay (int32 counter)", FormatBytes(4)});
+  table.AddRow({"forward decay (double)", FormatBytes(8)});
+  for (double eps : {0.1, 0.05, 0.02, 0.01}) {
+    BackwardDecayedAggregator agg(eps, /*value_bits=*/11);
+    for (const auto& p : trace) {
+      if (dsms::DestKey(p) == top_key) agg.Insert(p.time, p.len);
+    }
+    char label[64];
+    std::snprintf(label, sizeof(label), "EH backward, eps=%g", eps);
+    table.AddRow({label, FormatBytes(static_cast<double>(agg.MemoryBytes()))});
+  }
+  std::printf(
+      "Figure 2(d) — state per group (top destination, %zu packets)\n",
+      top_count);
+  table.Print(stdout);
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  dsms::RegisterPaperUdafs();
+  PrintHeader("Figure 2", "count/sum aggregates under time decay");
+  // Warm up the allocator/page cache: the first EH execution otherwise
+  // pays all the per-group allocation page faults and skews its cell.
+  {
+    const auto warmup = GenerateTrace(100000.0, 1.0);
+    (void)RunQuery(kBackwardEh, false, warmup);
+    (void)RunQuery(kUndecayed, true, warmup);
+  }
+  RateSweep(/*two_level=*/true,
+            "Figure 2(a) — two-level aggregation enabled");
+  RateSweep(/*two_level=*/false,
+            "Figure 2(b) — aggregate splitting disabled");
+  EpsSweep();
+  SpacePerGroup();
+  std::printf(
+      "Expected shape (paper): forward-decayed aggregates cost slightly\n"
+      "more than undecayed and are flat in eps; the EH backward baseline\n"
+      "is several times more expensive, saturates first as the rate grows,\n"
+      "and keeps kilobytes per group vs 4-8 bytes.\n\n");
+  return 0;
+}

@@ -1,0 +1,114 @@
+// Figure 3: drawing random samples under time decay.
+//
+//  (a) CPU load vs stream rate (100k..400k pkt/s) for three samplers:
+//      - undecayed reservoir sampling (Vitter) — the "no decay" baseline,
+//      - priority sampling fed forward-exponential weights (PRISAMP),
+//      - Aggarwal's biased reservoir for backward exponential decay.
+//  (b) CPU cost vs sample size k at a fixed rate.
+//
+// As in the paper, only the cost of sample *maintenance* is measured
+// (the samplers are driven directly with the packet's source address and
+// its weight, not through the engine's selection operator, whose cost is
+// identical for all methods). Samples are drawn per minute with the
+// landmark at the start of the minute: weight = exp(time % 60).
+
+#include <cstdio>
+#include <vector>
+
+#include "core/decay.h"
+#include "core/forward_decay.h"
+#include "sampling/biased_reservoir.h"
+#include "sampling/priority_sampling.h"
+#include "sampling/reservoir.h"
+#include "sampling/weighted_reservoir.h"
+#include "util/random.h"
+#include "util/table_printer.h"
+
+#include "bench_util.h"
+
+namespace {
+
+using namespace fwdecay;
+using namespace fwdecay::bench;
+
+constexpr std::size_t kTraceLen = 2000000;
+
+double MeasureReservoir(const std::vector<dsms::Packet>& packets,
+                        std::size_t k) {
+  Rng rng(1);
+  ReservoirSampler<std::uint64_t> sampler(k);
+  return MeasureNsPerTuple(
+      packets, [&](const dsms::Packet& p) { sampler.Add(p.src_ip, rng); });
+}
+
+double MeasurePriority(const std::vector<dsms::Packet>& packets,
+                       std::size_t k) {
+  Rng rng(2);
+  ForwardDecay<ExponentialG> decay(ExponentialG(1.0), 0.0);
+  PrioritySampler<std::uint64_t, ExponentialG> sampler(decay, k);
+  // Weight exp(time % 60): landmark at the minute start, per the paper's
+  // PRISAMP query; the trace spans < 1 minute so L = 0 throughout.
+  return MeasureNsPerTuple(packets, [&](const dsms::Packet& p) {
+    sampler.Add(p.time, p.src_ip, rng);
+  });
+}
+
+double MeasureAggarwal(const std::vector<dsms::Packet>& packets,
+                       std::size_t k) {
+  Rng rng(3);
+  BiasedReservoirSampler<std::uint64_t> sampler(k);
+  return MeasureNsPerTuple(
+      packets, [&](const dsms::Packet& p) { sampler.Add(p.src_ip, rng); });
+}
+
+double MeasureWrs(const std::vector<dsms::Packet>& packets, std::size_t k) {
+  Rng rng(4);
+  ForwardDecay<ExponentialG> decay(ExponentialG(1.0), 0.0);
+  WeightedReservoirSampler<std::uint64_t, ExponentialG> sampler(decay, k);
+  return MeasureNsPerTuple(packets, [&](const dsms::Packet& p) {
+    sampler.Add(p.time, p.src_ip, rng);
+  });
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Figure 3", "sampling queries under time decay");
+
+  std::printf(
+      "Figure 3(a) — CPU load %% vs stream rate (sample size k = 100)\n");
+  TablePrinter rate_table({"rate (pkt/s)", "reservoir (no decay)",
+                           "priority fwd-exp", "Aggarwal bwd-exp",
+                           "WRS fwd-exp (extra)"});
+  for (double rate : {100000.0, 200000.0, 300000.0, 400000.0}) {
+    const auto trace = GenerateTrace(rate, kTraceLen / rate);
+    rate_table.AddRow(
+        {TablePrinter::Fmt(rate, 0),
+         FormatCpuLoad(CpuLoadPercent(rate, MeasureReservoir(trace, 100))),
+         FormatCpuLoad(CpuLoadPercent(rate, MeasurePriority(trace, 100))),
+         FormatCpuLoad(CpuLoadPercent(rate, MeasureAggarwal(trace, 100))),
+         FormatCpuLoad(CpuLoadPercent(rate, MeasureWrs(trace, 100)))});
+  }
+  rate_table.Print(stdout);
+
+  std::printf(
+      "\nFigure 3(b) — ns/tuple vs sample size k (rate 200k pkt/s)\n");
+  const auto trace = GenerateTrace(200000.0, kTraceLen / 200000.0);
+  TablePrinter k_table({"sample size k", "reservoir", "priority fwd-exp",
+                        "Aggarwal bwd-exp", "WRS fwd-exp"});
+  for (std::size_t k : {10u, 100u, 1000u, 10000u}) {
+    k_table.AddRow({std::to_string(k),
+                    TablePrinter::Fmt(MeasureReservoir(trace, k), 1),
+                    TablePrinter::Fmt(MeasurePriority(trace, k), 1),
+                    TablePrinter::Fmt(MeasureAggarwal(trace, k), 1),
+                    TablePrinter::Fmt(MeasureWrs(trace, k), 1)});
+  }
+  k_table.Print(stdout);
+  std::printf(
+      "\nExpected shape (paper): all samplers scale well — comparable CPU\n"
+      "load, < 10%% growth from 100k to 400k pkt/s, and cost essentially\n"
+      "independent of the sample size. The forward-decay samplers match\n"
+      "the undecayed baseline while supporting arbitrary timestamps and\n"
+      "arrival orders, which Aggarwal's method does not.\n\n");
+  return 0;
+}

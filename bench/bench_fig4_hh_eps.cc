@@ -1,0 +1,131 @@
+// Figure 4: heavy-hitter queries under time decay, as the accuracy
+// parameter eps varies.
+//
+//  (a) CPU load vs eps over TCP traffic at 200k pkt/s,
+//  (b) the same over UDP traffic at 170k pkt/s,
+//  (c) summary space vs eps (TCP), log-scale in the paper,
+//  (d) summary space vs eps (UDP).
+//
+// Methods (as in Section VIII):
+//  - Unary HH: SpaceSaving optimized for unweighted updates (no decay),
+//  - weighted SpaceSaving with forward exponential weights,
+//  - weighted SpaceSaving with forward quadratic ("poly") weights,
+//  - sliding-window HH: the backward-decay baseline (per-key EHs).
+//
+// The dominant update cost is measured (summary maintenance), not the
+// final heavy-hitter extraction, matching the paper.
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "sketch/sliding_hh.h"
+#include "sketch/space_saving.h"
+#include "util/table_printer.h"
+
+#include "bench_util.h"
+
+namespace {
+
+using namespace fwdecay;
+using namespace fwdecay::bench;
+
+constexpr std::size_t kTraceLen = 1500000;
+
+struct MethodCosts {
+  double unary_ns = 0.0;
+  double fwd_exp_ns = 0.0;
+  double fwd_poly_ns = 0.0;
+  double sw_ns = 0.0;
+  std::size_t unary_bytes = 0;
+  std::size_t fwd_exp_bytes = 0;
+  std::size_t fwd_poly_bytes = 0;
+  std::size_t sw_bytes = 0;
+};
+
+// Filters the trace by protocol and runs all four summaries over it.
+MethodCosts Run(const std::vector<dsms::Packet>& trace, std::uint8_t proto,
+                double eps) {
+  std::vector<dsms::Packet> packets;
+  packets.reserve(trace.size());
+  for (const auto& p : trace) {
+    if (p.protocol == proto) packets.push_back(p);
+  }
+  const auto counters = static_cast<std::size_t>(std::ceil(1.0 / eps));
+  MethodCosts out;
+
+  UnarySpaceSaving unary(counters);
+  out.unary_ns = MeasureNsPerTuple(packets, [&](const dsms::Packet& p) {
+    unary.Update(dsms::DestKey(p));
+  });
+  out.unary_bytes = unary.MemoryBytes();
+
+  // Forward exponential weights exp(time % 60): computed inline exactly
+  // as the GSQL query would generate them.
+  WeightedSpaceSaving fwd_exp(counters);
+  out.fwd_exp_ns = MeasureNsPerTuple(packets, [&](const dsms::Packet& p) {
+    fwd_exp.Update(dsms::DestKey(p), std::exp(std::fmod(p.time, 60.0)));
+  });
+  out.fwd_exp_bytes = fwd_exp.MemoryBytes();
+
+  WeightedSpaceSaving fwd_poly(counters);
+  out.fwd_poly_ns = MeasureNsPerTuple(packets, [&](const dsms::Packet& p) {
+    const double n = std::fmod(p.time, 60.0);
+    fwd_poly.Update(dsms::DestKey(p), n * n + 1e-9);
+  });
+  out.fwd_poly_bytes = fwd_poly.MemoryBytes();
+
+  SlidingWindowHeavyHitters sw(eps);
+  out.sw_ns = MeasureNsPerTuple(packets, [&](const dsms::Packet& p) {
+    sw.Update(p.time, dsms::DestKey(p));
+  });
+  out.sw_bytes = sw.MemoryBytes();
+  return out;
+}
+
+void Sweep(const char* cpu_label, const char* space_label, double rate,
+           std::uint8_t proto) {
+  const auto trace = GenerateTrace(rate, kTraceLen / rate);
+  TablePrinter cpu({"eps", "Unary HH", "fwd exp", "fwd poly",
+                    "sliding-window HH"});
+  TablePrinter space({"eps", "Unary HH", "fwd exp", "fwd poly",
+                      "sliding-window HH"});
+  for (double eps : {0.1, 0.05, 0.02, 0.01}) {
+    const MethodCosts c = Run(trace, proto, eps);
+    cpu.AddRow({TablePrinter::Fmt(eps, 2),
+                FormatCpuLoad(CpuLoadPercent(rate, c.unary_ns)),
+                FormatCpuLoad(CpuLoadPercent(rate, c.fwd_exp_ns)),
+                FormatCpuLoad(CpuLoadPercent(rate, c.fwd_poly_ns)),
+                FormatCpuLoad(CpuLoadPercent(rate, c.sw_ns))});
+    space.AddRow({TablePrinter::Fmt(eps, 2),
+                  FormatBytes(static_cast<double>(c.unary_bytes)),
+                  FormatBytes(static_cast<double>(c.fwd_exp_bytes)),
+                  FormatBytes(static_cast<double>(c.fwd_poly_bytes)),
+                  FormatBytes(static_cast<double>(c.sw_bytes))});
+  }
+  std::printf("%s\n", cpu_label);
+  cpu.Print(stdout);
+  std::printf("\n%s\n", space_label);
+  space.Print(stdout);
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Figure 4", "heavy hitters vs accuracy parameter eps");
+  Sweep("Figure 4(a) — CPU load % vs eps, TCP traffic at 200k pkt/s",
+        "Figure 4(c) — summary space vs eps, TCP traffic", 200000.0,
+        dsms::kProtoTcp);
+  Sweep("Figure 4(b) — CPU load % vs eps, UDP traffic at 170k pkt/s",
+        "Figure 4(d) — summary space vs eps, UDP traffic", 170000.0,
+        dsms::kProtoUdp);
+  std::printf(
+      "Expected shape (paper): the weighted SpaceSaving methods track the\n"
+      "unary baseline closely, are robust to eps in CPU, and use O(1/eps)\n"
+      "counters (KBs). The sliding-window baseline is far more expensive,\n"
+      "approaches saturation at small eps, and its space — dominated by\n"
+      "per-key timestamp structures — is orders of magnitude larger and\n"
+      "does not shrink as eps grows.\n\n");
+  return 0;
+}

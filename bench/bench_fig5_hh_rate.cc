@@ -1,0 +1,71 @@
+// Figure 5: heavy-hitter summary maintenance cost as the stream rate
+// varies (50k..200k pkt/s), eps = 0.01.
+//
+// Series: Unary HH (undecayed SpaceSaving), weighted SpaceSaving with
+// forward exponential and forward quadratic decay, and the
+// sliding-window backward baseline. Reproduces the paper's finding that
+// the weighted forward-decay summaries cost only slightly more than the
+// unary-optimized baseline and are insensitive to the decay function,
+// while the sliding-window method nears CPU saturation as the rate grows.
+
+#include <cmath>
+#include <cstdio>
+
+#include "sketch/sliding_hh.h"
+#include "sketch/space_saving.h"
+#include "util/table_printer.h"
+
+#include "bench_util.h"
+
+int main() {
+  using namespace fwdecay;
+  using namespace fwdecay::bench;
+  PrintHeader("Figure 5", "heavy hitters vs stream rate (eps = 0.01)");
+
+  constexpr std::size_t kTraceLen = 1500000;
+  constexpr double kEps = 0.01;
+  const auto counters = static_cast<std::size_t>(1.0 / kEps);
+
+  TablePrinter table({"rate (pkt/s)", "Unary HH", "fwd exp", "fwd poly",
+                      "sliding-window HH"});
+  for (double rate : {50000.0, 100000.0, 150000.0, 200000.0}) {
+    const auto trace = GenerateTrace(rate, kTraceLen / rate);
+
+    UnarySpaceSaving unary(counters);
+    const double unary_ns =
+        MeasureNsPerTuple(trace, [&](const dsms::Packet& p) {
+          unary.Update(dsms::DestKey(p));
+        });
+
+    WeightedSpaceSaving fwd_exp(counters);
+    const double exp_ns =
+        MeasureNsPerTuple(trace, [&](const dsms::Packet& p) {
+          fwd_exp.Update(dsms::DestKey(p), std::exp(std::fmod(p.time, 60.0)));
+        });
+
+    WeightedSpaceSaving fwd_poly(counters);
+    const double poly_ns =
+        MeasureNsPerTuple(trace, [&](const dsms::Packet& p) {
+          const double n = std::fmod(p.time, 60.0);
+          fwd_poly.Update(dsms::DestKey(p), n * n + 1e-9);
+        });
+
+    SlidingWindowHeavyHitters sw(kEps);
+    const double sw_ns = MeasureNsPerTuple(trace, [&](const dsms::Packet& p) {
+      sw.Update(p.time, dsms::DestKey(p));
+    });
+
+    table.AddRow({TablePrinter::Fmt(rate, 0),
+                  FormatCpuLoad(CpuLoadPercent(rate, unary_ns)),
+                  FormatCpuLoad(CpuLoadPercent(rate, exp_ns)),
+                  FormatCpuLoad(CpuLoadPercent(rate, poly_ns)),
+                  FormatCpuLoad(CpuLoadPercent(rate, sw_ns))});
+  }
+  table.Print(stdout);
+  std::printf(
+      "\nExpected shape (paper): small overhead of weighted vs unary\n"
+      "SpaceSaving, little variation across decay functions, and a much\n"
+      "more expensive sliding-window baseline that reaches ~90%%+ CPU at\n"
+      "200k pkt/s and would drop tuples beyond that.\n\n");
+  return 0;
+}

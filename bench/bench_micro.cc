@@ -1,0 +1,315 @@
+// Micro/ablation benchmarks (google-benchmark) for the design choices
+// DESIGN.md calls out:
+//  - O(1) decayed aggregates vs exact backward recomputation,
+//  - unary-optimized vs heap-based weighted SpaceSaving,
+//  - A-Res vs A-ExpJ vs with-replacement chains vs priority sampling,
+//  - q-digest and EH update costs across eps,
+//  - exponential landmark rescaling (the Section VI-A linear pass),
+//  - one-level vs two-level engine aggregation.
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "core/aggregates.h"
+#include "core/exact_reference.h"
+#include "core/forward_decay.h"
+#include "dsms/engine.h"
+#include "sampling/priority_sampling.h"
+#include "sampling/weighted_reservoir.h"
+#include "sampling/with_replacement.h"
+#include "sketch/count_min.h"
+#include "sketch/exp_histogram.h"
+#include "sketch/qdigest.h"
+#include "sketch/sliding_quantiles.h"
+#include "sketch/space_saving.h"
+#include "sketch/tdigest.h"
+#include "sketch/waves.h"
+#include "util/random.h"
+#include "util/zipf.h"
+
+#include "bench_util.h"
+
+namespace {
+
+using namespace fwdecay;
+
+// Pre-generated keys/timestamps so generation cost stays out of the loop.
+struct Workload {
+  std::vector<std::uint64_t> keys;
+  std::vector<double> stamps;
+};
+
+const Workload& SharedWorkload() {
+  static Workload& w = *new Workload();
+  if (w.keys.empty()) {
+    Rng rng(7);
+    ZipfGenerator zipf(20000, 1.1);
+    double t = 0.0;
+    for (int i = 0; i < 1 << 20; ++i) {
+      w.keys.push_back(zipf.Next(rng));
+      t += rng.NextExponential(100000.0);
+      w.stamps.push_back(t);
+    }
+  }
+  return w;
+}
+
+void BM_DecayedMomentsAdd(benchmark::State& state) {
+  const Workload& w = SharedWorkload();
+  DecayedMoments<MonomialG> m(ForwardDecay<MonomialG>(MonomialG(2.0), 0.0));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    m.Add(w.stamps[i & 0xfffff], 42.0);
+    ++i;
+  }
+  benchmark::DoNotOptimize(m.Sum(100.0));
+}
+BENCHMARK(BM_DecayedMomentsAdd);
+
+void BM_ExactBackwardQuery(benchmark::State& state) {
+  // The strawman the paper opens with: exact backward decay revisits
+  // every buffered item per query.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Workload& w = SharedWorkload();
+  ExactDecayedReference ref;
+  for (std::size_t i = 0; i < n; ++i) ref.Add(w.stamps[i], w.keys[i], 1.0);
+  const auto wf = BackwardWeightFn(PolynomialF(2.0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ref.Sum(w.stamps[n - 1] + 1.0, wf));
+  }
+}
+BENCHMARK(BM_ExactBackwardQuery)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_UnarySpaceSaving(benchmark::State& state) {
+  const Workload& w = SharedWorkload();
+  UnarySpaceSaving ss(static_cast<std::size_t>(state.range(0)));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    ss.Update(w.keys[i & 0xfffff]);
+    ++i;
+  }
+}
+BENCHMARK(BM_UnarySpaceSaving)->Arg(100)->Arg(1000);
+
+void BM_WeightedSpaceSaving(benchmark::State& state) {
+  const Workload& w = SharedWorkload();
+  WeightedSpaceSaving ss(static_cast<std::size_t>(state.range(0)));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const std::size_t j = i & 0xfffff;
+    const double n = std::fmod(w.stamps[j], 60.0);
+    ss.Update(w.keys[j], n * n + 1e-9);
+    ++i;
+  }
+}
+BENCHMARK(BM_WeightedSpaceSaving)->Arg(100)->Arg(1000);
+
+void BM_SpaceSavingScaleWeights(benchmark::State& state) {
+  // The Section VI-A rescaling pass over a full sketch.
+  const Workload& w = SharedWorkload();
+  WeightedSpaceSaving ss(static_cast<std::size_t>(state.range(0)));
+  for (std::size_t i = 0; i < (1 << 18); ++i) ss.Update(w.keys[i], 1.0);
+  for (auto _ : state) {
+    ss.ScaleWeights(0.5);
+    ss.ScaleWeights(2.0);
+  }
+}
+BENCHMARK(BM_SpaceSavingScaleWeights)->Arg(100)->Arg(10000);
+
+void BM_ARes(benchmark::State& state) {
+  const Workload& w = SharedWorkload();
+  Rng rng(1);
+  ForwardDecay<ExponentialG> decay(ExponentialG(1.0), 0.0);
+  WeightedReservoirSampler<std::uint64_t, ExponentialG> sampler(
+      decay, static_cast<std::size_t>(state.range(0)));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const std::size_t j = i & 0xfffff;
+    sampler.Add(w.stamps[j], w.keys[j], rng);
+    ++i;
+  }
+}
+BENCHMARK(BM_ARes)->Arg(100)->Arg(1000);
+
+void BM_AExpJ(benchmark::State& state) {
+  const Workload& w = SharedWorkload();
+  Rng rng(2);
+  ForwardDecay<ExponentialG> decay(ExponentialG(1.0), 0.0);
+  ExpJumpsReservoirSampler<std::uint64_t, ExponentialG> sampler(
+      decay, static_cast<std::size_t>(state.range(0)));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const std::size_t j = i & 0xfffff;
+    sampler.Add(w.stamps[j], w.keys[j], rng);
+    ++i;
+  }
+}
+BENCHMARK(BM_AExpJ)->Arg(100)->Arg(1000);
+
+void BM_PrioritySampling(benchmark::State& state) {
+  const Workload& w = SharedWorkload();
+  Rng rng(3);
+  ForwardDecay<ExponentialG> decay(ExponentialG(1.0), 0.0);
+  PrioritySampler<std::uint64_t, ExponentialG> sampler(
+      decay, static_cast<std::size_t>(state.range(0)));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const std::size_t j = i & 0xfffff;
+    sampler.Add(w.stamps[j], w.keys[j], rng);
+    ++i;
+  }
+}
+BENCHMARK(BM_PrioritySampling)->Arg(100)->Arg(1000);
+
+void BM_WithReplacementChains(benchmark::State& state) {
+  const Workload& w = SharedWorkload();
+  Rng rng(4);
+  ForwardDecay<MonomialG> decay(MonomialG(2.0), 0.0);
+  ForwardDecaySamplerWR<std::uint64_t, MonomialG> sampler(
+      decay, static_cast<std::size_t>(state.range(0)));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const std::size_t j = i & 0xfffff;
+    sampler.Add(w.stamps[j] + 0.001, w.keys[j], rng);
+    ++i;
+  }
+}
+BENCHMARK(BM_WithReplacementChains)->Arg(10)->Arg(100);
+
+void BM_QDigestUpdate(benchmark::State& state) {
+  const Workload& w = SharedWorkload();
+  QDigest qd(16, 1.0 / static_cast<double>(state.range(0)));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const std::size_t j = i & 0xfffff;
+    qd.Update(w.keys[j] & 0xffff, std::fmod(w.stamps[j], 60.0) + 0.001);
+    ++i;
+  }
+}
+BENCHMARK(BM_QDigestUpdate)->Arg(20)->Arg(100);
+
+void BM_EhCountInsert(benchmark::State& state) {
+  const Workload& w = SharedWorkload();
+  EhCount eh(1.0 / static_cast<double>(state.range(0)));
+  std::size_t i = 0;
+  double last = 0.0;
+  for (auto _ : state) {
+    last += 1e-5;
+    eh.Insert(last);
+    ++i;
+    (void)w;
+  }
+}
+BENCHMARK(BM_EhCountInsert)->Arg(10)->Arg(100);
+
+void BM_EhSumInsert(benchmark::State& state) {
+  EhSum eh(1.0 / static_cast<double>(state.range(0)), /*value_bits=*/11);
+  Rng rng(5);
+  double last = 0.0;
+  for (auto _ : state) {
+    last += 1e-5;
+    eh.Insert(last, 40 + rng.NextBounded(1460));
+  }
+}
+BENCHMARK(BM_EhSumInsert)->Arg(10)->Arg(100);
+
+void BM_CountMinUpdate(benchmark::State& state) {
+  // Ablation: Count-Min vs weighted SpaceSaving as the Theorem 2 backend.
+  const Workload& w = SharedWorkload();
+  CountMinSketch cm(1.0 / static_cast<double>(state.range(0)), 0.01);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const std::size_t j = i & 0xfffff;
+    const double n = std::fmod(w.stamps[j], 60.0);
+    cm.Update(w.keys[j], n * n + 1e-9);
+    ++i;
+  }
+}
+BENCHMARK(BM_CountMinUpdate)->Arg(100)->Arg(1000);
+
+void BM_TDigestAdd(benchmark::State& state) {
+  // Ablation: t-digest vs q-digest as the Theorem 3 backend.
+  const Workload& w = SharedWorkload();
+  TDigest td(static_cast<double>(state.range(0)));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const std::size_t j = i & 0xfffff;
+    td.Add(static_cast<double>(w.keys[j] & 0xffff),
+           std::fmod(w.stamps[j], 60.0) + 0.001);
+    ++i;
+  }
+}
+BENCHMARK(BM_TDigestAdd)->Arg(100)->Arg(500);
+
+void BM_SlidingQuantilesUpdate(benchmark::State& state) {
+  // The backward-decay quantile baseline's per-tuple cost, for contrast
+  // with BM_QDigestUpdate (the forward path).
+  const Workload& w = SharedWorkload();
+  SlidingWindowQuantiles sq(1.0 / static_cast<double>(state.range(0)),
+                            /*pane_seconds=*/0.1, /*universe_bits=*/16);
+  double t = 0.0;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    t += 1e-5;
+    sq.Update(t, w.keys[i & 0xfffff] & 0xffff);
+    ++i;
+  }
+}
+BENCHMARK(BM_SlidingQuantilesUpdate)->Arg(20)->Arg(100);
+
+void BM_WaveCountInsert(benchmark::State& state) {
+  // Ablation: Deterministic Waves vs EH as the sliding-window counter.
+  WaveCount wave(1.0 / static_cast<double>(state.range(0)));
+  double last = 0.0;
+  for (auto _ : state) {
+    last += 1e-5;
+    wave.Insert(last);
+  }
+}
+BENCHMARK(BM_WaveCountInsert)->Arg(10)->Arg(100);
+
+void BM_WindowQueryEhVsWave(benchmark::State& state) {
+  const bool use_wave = state.range(0) != 0;
+  EhCount eh(0.05);
+  WaveCount wave(0.05);
+  double t = 0.0;
+  for (int i = 0; i < 200000; ++i) {
+    t += 1e-4;
+    eh.Insert(t);
+    wave.Insert(t);
+  }
+  double window = 1.0;
+  for (auto _ : state) {
+    window = window >= 16.0 ? 1.0 : window * 2.0;
+    benchmark::DoNotOptimize(use_wave ? wave.CountInWindow(t, window)
+                                      : eh.CountInWindow(t, window));
+  }
+}
+BENCHMARK(BM_WindowQueryEhVsWave)->Arg(0)->Arg(1);
+
+void BM_EngineConsume(benchmark::State& state) {
+  const bool two_level = state.range(0) != 0;
+  static const std::vector<dsms::Packet>& trace =
+      *new std::vector<dsms::Packet>(bench::GenerateTrace(100000.0, 2.0));
+  std::string error;
+  dsms::CompiledQuery::Options opts;
+  opts.two_level = two_level;
+  auto plan = dsms::CompiledQuery::Compile(
+      "select tb, destIP, destPort, count(*), sum(len) from TCP "
+      "group by time/60 as tb, destIP, destPort",
+      &error, opts);
+  auto exec = plan->NewExecution();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    exec->Consume(trace[i % trace.size()]);
+    ++i;
+  }
+}
+BENCHMARK(BM_EngineConsume)->Arg(0)->Arg(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,55 @@
+#include "bench_util.h"
+
+#include <cstdio>
+
+#include "util/timer.h"
+
+namespace fwdecay::bench {
+
+double MeasureNsPerTuple(
+    const std::vector<dsms::Packet>& packets,
+    const std::function<void(const dsms::Packet&)>& consume) {
+  Timer timer;
+  for (const dsms::Packet& p : packets) consume(p);
+  return static_cast<double>(timer.ElapsedNanos()) /
+         static_cast<double>(packets.size());
+}
+
+std::string FormatCpuLoad(double percent) {
+  char buf[64];
+  if (percent >= 100.0) {
+    std::snprintf(buf, sizeof(buf), "%.1f (SATURATED)", percent);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f", percent);
+  }
+  return buf;
+}
+
+std::string FormatBytes(double bytes) {
+  char buf[64];
+  if (bytes >= 1024.0 * 1024.0) {
+    std::snprintf(buf, sizeof(buf), "%.1f MB", bytes / (1024.0 * 1024.0));
+  } else if (bytes >= 1024.0) {
+    std::snprintf(buf, sizeof(buf), "%.1f KB", bytes / 1024.0);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0f B", bytes);
+  }
+  return buf;
+}
+
+std::vector<dsms::Packet> GenerateTrace(double rate_pps, double seconds,
+                                        std::uint64_t seed) {
+  dsms::TraceConfig cfg;
+  cfg.rate_pps = rate_pps;
+  cfg.seed = seed;
+  dsms::PacketGenerator gen(cfg);
+  return gen.Generate(static_cast<std::size_t>(rate_pps * seconds));
+}
+
+void PrintHeader(const char* figure, const char* description) {
+  std::printf("==========================================================\n");
+  std::printf("%s — %s\n", figure, description);
+  std::printf("==========================================================\n");
+}
+
+}  // namespace fwdecay::bench

@@ -1,0 +1,52 @@
+#ifndef FWDECAY_BENCH_BENCH_UTIL_H_
+#define FWDECAY_BENCH_BENCH_UTIL_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "dsms/netgen.h"
+#include "dsms/packet.h"
+
+// Shared harness for the figure-reproduction benchmarks.
+//
+// The paper reports *CPU load %* on a fixed 3.0 GHz core while the NIC
+// offers a given packet rate. Our proxy: measure the per-tuple processing
+// cost ns/tuple over a synthetic trace generated at that rate, then
+//
+//   cpu_load_% = offered_rate_pps * ns_per_tuple / 1e9 * 100
+//
+// i.e. the fraction of one core-second consumed per offered second.
+// Values above 100% mean the method cannot keep up and would drop tuples
+// (the saturation the paper reports for the backward baselines).
+
+namespace fwdecay::bench {
+
+/// Times `consume` over all packets; returns average ns per packet.
+double MeasureNsPerTuple(const std::vector<dsms::Packet>& packets,
+                         const std::function<void(const dsms::Packet&)>& consume);
+
+/// CPU-load proxy (percent; may exceed 100 = saturated).
+inline double CpuLoadPercent(double rate_pps, double ns_per_tuple) {
+  return rate_pps * ns_per_tuple / 1e9 * 100.0;
+}
+
+/// Formats a CPU load, flagging saturation the way the paper narrates it.
+std::string FormatCpuLoad(double percent);
+
+/// Formats a byte count with unit suffix (for the space figures).
+std::string FormatBytes(double bytes);
+
+/// Generates `seconds` worth of traffic at `rate_pps` (other TraceConfig
+/// fields at the defaults matching the paper's setup: Zipf destinations,
+/// 85% TCP).
+std::vector<dsms::Packet> GenerateTrace(double rate_pps, double seconds,
+                                        std::uint64_t seed = 42);
+
+/// Prints the standard benchmark banner (figure id + description).
+void PrintHeader(const char* figure, const char* description);
+
+}  // namespace fwdecay::bench
+
+#endif  // FWDECAY_BENCH_BENCH_UTIL_H_

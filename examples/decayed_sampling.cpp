@@ -1,0 +1,112 @@
+// Decayed sampling (Section V + Corollary 1): maintains exponentially
+// decayed samples over a stream whose tuples arrive OUT OF ORDER with
+// arbitrary real timestamps — the case prior work (Aggarwal's biased
+// reservoir) cannot handle and forward decay makes trivial.
+//
+// The stream interleaves two traffic regimes: source A dominates the
+// first half, source B the second. An exponentially decayed sample taken
+// at the end should be dominated by B; an undecayed sample stays ~50/50.
+
+#include <cstdio>
+#include <map>
+
+#include "core/decay.h"
+#include "core/forward_decay.h"
+#include "dsms/netgen.h"
+#include "sampling/priority_sampling.h"
+#include "sampling/reservoir.h"
+#include "sampling/weighted_reservoir.h"
+#include "util/random.h"
+
+namespace {
+
+using namespace fwdecay;
+
+// Tags items 1..5 by which fifth of the stream they arrived in.
+int Phase(double ts, double span) {
+  return static_cast<int>(ts / span * 5.0) + 1;
+}
+
+void PrintHistogram(const char* label, const std::map<int, int>& hist,
+                    std::size_t total) {
+  std::printf("%-34s", label);
+  for (int phase = 1; phase <= 5; ++phase) {
+    const auto it = hist.find(phase);
+    const int c = it == hist.end() ? 0 : it->second;
+    std::printf("  %4.0f%%", 100.0 * c / static_cast<double>(total));
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  // Out-of-order trace: true timestamps jittered by up to 2 seconds in
+  // delivery order (Section VI-B scenario).
+  dsms::TraceConfig cfg;
+  cfg.rate_pps = 20000.0;
+  cfg.reorder_jitter = 2.0;
+  cfg.seed = 11;
+  dsms::PacketGenerator gen(cfg);
+  const auto packets = gen.Generate(200000);
+  const double span = 10.0;  // seconds of traffic
+
+  int inversions = 0;
+  for (std::size_t i = 1; i < packets.size(); ++i) {
+    inversions += packets[i].time < packets[i - 1].time;
+  }
+  std::printf("stream has %d out-of-order deliveries out of %zu packets\n\n",
+              inversions, packets.size());
+
+  Rng rng(5);
+
+  // Undecayed uniform reservoir.
+  ReservoirSampler<double> uniform(2000);
+  // Exponentially decayed sample (rate 0.5/s) via weighted reservoir —
+  // Corollary 1: identical to BACKWARD exponential decay, but works with
+  // arbitrary timestamps and arrival order in O(k) space.
+  ForwardDecay<ExponentialG> decay(ExponentialG(0.5), 0.0);
+  WeightedReservoirSampler<double, ExponentialG> decayed(decay, 2000);
+  // Priority sampling with the same weights (the PRISAMP UDAF).
+  PrioritySampler<double, ExponentialG> prio(decay, 2000);
+
+  for (const auto& p : packets) {
+    uniform.Add(p.time, rng);
+    decayed.Add(p.time, p.time, rng);
+    prio.Add(p.time, p.time, rng);
+  }
+
+  std::printf("%-34s  %s\n", "fraction of sample from phase:",
+              "  1st   2nd   3rd   4th   5th");
+  auto histogram = [&](const std::vector<double>& sample) {
+    std::map<int, int> hist;
+    for (double ts : sample) ++hist[Phase(ts, span)];
+    return hist;
+  };
+  PrintHistogram("uniform reservoir (no decay)", histogram(uniform.sample()),
+                 uniform.sample().size());
+  PrintHistogram("weighted reservoir, exp decay", histogram(decayed.Sample()),
+                 decayed.Sample().size());
+  std::map<int, int> prio_hist;
+  std::size_t prio_total = 0;
+  for (const auto& entry : prio.Sample()) {
+    ++prio_hist[Phase(entry.ts, span)];
+    ++prio_total;
+  }
+  PrintHistogram("priority sampling, exp decay", prio_hist, prio_total);
+
+  // Priority sampling also estimates decayed subset sums (e.g. "decayed
+  // count of packets from the last two seconds").
+  const double t = span;
+  const double est = prio.EstimateDecayedSubsetSum(
+      t, [&](const double& ts) { return ts >= span - 2.0; });
+  std::printf(
+      "\npriority-sampling estimate of the decayed count of the last two\n"
+      "seconds of traffic: %.1f (decayed total %.1f)\n",
+      est, prio.EstimateDecayedCount(t));
+  std::printf(
+      "\nThe decayed samples concentrate on the most recent phases while\n"
+      "the uniform sample spreads evenly — and none of this required the\n"
+      "stream to be in timestamp order.\n");
+  return 0;
+}

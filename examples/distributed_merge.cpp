@@ -1,0 +1,95 @@
+// Distributed aggregation (Section VI-B): several sites observe disjoint
+// parts of a packet stream, each maintains forward-decayed summaries with
+// the SAME decay function and landmark, and a coordinator merges them.
+// The merged answers match a single site that saw everything — for
+// counts/sums exactly, for sketches within their error bounds.
+//
+// This is the property the paper highlights for distributed streaming
+// systems (and for MapReduce-style processing in the conclusion).
+
+#include <cstdio>
+#include <vector>
+
+#include "core/aggregates.h"
+#include "core/count_distinct.h"
+#include "core/decay.h"
+#include "core/forward_decay.h"
+#include "core/heavy_hitters.h"
+#include "core/quantiles.h"
+#include "dsms/netgen.h"
+
+int main() {
+  using namespace fwdecay;
+
+  constexpr int kSites = 4;
+  dsms::TraceConfig cfg;
+  cfg.rate_pps = 40000.0;
+  cfg.num_servers = 2000;
+  cfg.seed = 31;
+  dsms::PacketGenerator gen(cfg);
+  const auto packets = gen.Generate(400000);
+  const double t = packets.back().time;
+
+  const ForwardDecay<MonomialG> decay(MonomialG(2.0), 0.0);
+
+  // Per-site summaries plus a single-site reference over the union.
+  std::vector<DecayedMoments<MonomialG>> moments(kSites, DecayedMoments<MonomialG>(decay));
+  std::vector<DecayedHeavyHitters<MonomialG>> hh;
+  std::vector<DecayedQuantiles<MonomialG>> quant;
+  std::vector<DecayedDistinct<MonomialG>> distinct;
+  for (int s = 0; s < kSites; ++s) {
+    hh.emplace_back(decay, 0.01);
+    quant.emplace_back(decay, /*universe_bits=*/11, 0.01);
+    distinct.emplace_back(decay, 2048, 1.05);
+  }
+  DecayedMoments<MonomialG> single(decay);
+  DecayedHeavyHitters<MonomialG> single_hh(decay, 0.01);
+
+  for (std::size_t i = 0; i < packets.size(); ++i) {
+    const auto& p = packets[i];
+    // Round-robin partitioning: each site sees a disjoint quarter.
+    const int s = static_cast<int>(i % kSites);
+    moments[s].Add(p.time, p.len);
+    hh[s].Add(p.time, dsms::DestKey(p));
+    quant[s].Add(p.time, p.len);
+    distinct[s].Add(p.time, p.dest_ip);
+    single.Add(p.time, p.len);
+    single_hh.Add(p.time, dsms::DestKey(p));
+  }
+
+  // Coordinator: fold sites 1..k-1 into site 0.
+  for (int s = 1; s < kSites; ++s) {
+    moments[0].Merge(moments[s]);
+    hh[0].Merge(hh[s]);
+    quant[0].Merge(quant[s]);
+    distinct[0].Merge(distinct[s]);
+  }
+
+  std::printf("decayed count   merged %12.2f   single site %12.2f\n",
+              moments[0].Count(t), single.Count(t));
+  std::printf("decayed sum     merged %12.2f   single site %12.2f\n",
+              moments[0].Sum(t), single.Sum(t));
+  std::printf("decayed average merged %12.4f   single site %12.4f\n",
+              *moments[0].Average(), *single.Average());
+  std::printf("decayed median  merged %12llu\n",
+              static_cast<unsigned long long>(quant[0].Quantile(0.5)));
+  std::printf("decayed distinct dests (sketch) %12.1f\n",
+              distinct[0].Estimate(t));
+
+  const auto merged_hh = hh[0].Query(t, 0.02);
+  const auto single_top = single_hh.Query(t, 0.02);
+  std::printf("\ntop decayed heavy hitters (merged vs single site):\n");
+  const std::size_t n = std::min<std::size_t>(5, merged_hh.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    std::printf("  %016llx  %10.2f   |   %016llx  %10.2f\n",
+                static_cast<unsigned long long>(merged_hh[i].key),
+                merged_hh[i].decayed_count,
+                static_cast<unsigned long long>(single_top[i].key),
+                single_top[i].decayed_count);
+  }
+  std::printf(
+      "\nCounts and sums merge exactly; the sketches (heavy hitters,\n"
+      "quantiles, distinct) merge within their eps guarantees — no\n"
+      "coordination during the stream, just one exchange at query time.\n");
+  return 0;
+}

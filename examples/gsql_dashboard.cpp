@@ -1,0 +1,61 @@
+// GSQL dashboard: a tour of the query language over one trace — the
+// deployment story of Section VI ("no extensions to the query language
+// or the DSMS"): forward decay rides on plain arithmetic plus ordinary
+// (weighted) UDAFs.
+
+#include <cstdio>
+#include <string>
+
+#include "dsms/engine.h"
+#include "dsms/netgen.h"
+#include "dsms/udafs.h"
+
+int main() {
+  using namespace fwdecay::dsms;
+  RegisterPaperUdafs();
+
+  TraceConfig cfg;
+  cfg.rate_pps = 20000.0;
+  cfg.num_servers = 300;
+  cfg.ports_per_server = 2;
+  cfg.seed = 99;
+  PacketGenerator gen(cfg);
+  const auto packets = gen.Generate(120 * 20000);  // two minutes
+
+  const char* queries[] = {
+      // Tumbling-window traffic totals (GS's classic time-bucket idiom).
+      "select tb, count(*), sum(len) from TCP group by time/60 as tb",
+      // The paper's quadratic forward-decayed byte count per minute.
+      "select tb, sum(len*(time % 60)*(time % 60))/3600.0 from TCP "
+      "group by time/60 as tb",
+      // Decayed average packet size: ratio of decayed sum to count.
+      "select tb, sum(len*(time % 60)*(time % 60)) / "
+      "sum((time % 60)*(time % 60) + 1) from TCP group by time/60 as tb",
+      // Forward-decayed median packet length via the q-digest UDAF.
+      "select tb, FDQUANTILE(len, (time % 60)*(time % 60) + 1, 0.5, 11) "
+      "from TCP group by time/60 as tb",
+      // Decayed distinct destinations (dominance-norm UDAF).
+      "select tb, FDDISTINCT(destIP, (time % 60)*(time % 60) + 1) from TCP "
+      "group by time/60 as tb",
+      // Per-protocol breakdown with a WHERE clause.
+      "select tb, protocol, count(*), avg(len) from PKT "
+      "where len > 100 group by time/60 as tb, protocol",
+      // Weighted sample of sources under exponential decay (PRISAMP).
+      "select tb, PRISAMP(srcPort, exp((time % 60)/10.0), 6) from TCP "
+      "group by time/60 as tb",
+  };
+
+  for (const char* gsql : queries) {
+    std::string error;
+    auto plan = CompiledQuery::Compile(gsql, &error);
+    if (plan == nullptr) {
+      std::fprintf(stderr, "compile error for [%s]: %s\n", gsql,
+                   error.c_str());
+      return 1;
+    }
+    auto exec = plan->NewExecution();
+    for (const Packet& p : packets) exec->Consume(p);
+    std::printf(">> %s\n%s\n", gsql, exec->Finish().ToString().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Metrics histogram: the forward-decay application most engineers have
+// already used without knowing it — the exponentially decaying latency
+// reservoir of the Dropwizard / Coda Hale metrics library.
+//
+// A service's request latency regime shifts abruptly (a dependency slows
+// down at t = 120 s). A plain uniform reservoir keeps averaging the old
+// regime in; the decaying reservoir's percentiles track the shift within
+// seconds, because item weights exp(alpha * (t_i - L)) make the recent
+// past dominate.
+
+#include <cstdio>
+
+#include "core/decaying_reservoir.h"
+#include "sampling/reservoir.h"
+#include "util/random.h"
+
+int main() {
+  using namespace fwdecay;
+
+  Rng workload(7);
+  // alpha = 0.03/s: ~half the sample mass from the last ~25 seconds.
+  DecayingReservoir decayed(/*k=*/1028, /*alpha=*/0.03, /*start=*/0.0);
+  ReservoirSampler<double> uniform(1028);
+  Rng uniform_rng(8);
+
+  std::printf("%8s  %28s  %28s\n", "", "decaying reservoir", "uniform reservoir");
+  std::printf("%8s  %8s %9s %9s  %8s %9s %9s\n", "t (s)", "median", "p95",
+              "p99", "median", "p95", "p99");
+
+  const double kRate = 200.0;  // requests per second
+  double t = 0.0;
+  for (int i = 0; i < static_cast<int>(300 * kRate); ++i) {
+    t += workload.NextExponential(kRate);
+    // Latency regime: ~20 ms baseline; jumps to ~80 ms at t = 120 s.
+    const double base = t < 120.0 ? 20.0 : 80.0;
+    const double latency_ms = base + workload.NextExponential(0.25);
+    decayed.Update(t, latency_ms);
+    uniform.Add(latency_ms, uniform_rng);
+
+    // Report every 30 seconds.
+    if (i % static_cast<int>(30 * kRate) == 0 && i > 0) {
+      const auto snap = decayed.Snapshot();
+      std::vector<double> u = uniform.sample();
+      std::printf("%8.0f  %8.1f %9.1f %9.1f  %8.1f %9.1f %9.1f\n", t,
+                  snap.median, snap.p95, snap.p99, Percentile(u, 0.5),
+                  Percentile(u, 0.95), Percentile(u, 0.99));
+    }
+  }
+
+  std::printf(
+      "\nAfter the regime shift at t = 120 s the decaying reservoir's\n"
+      "median converges to ~84 ms within one report interval, while the\n"
+      "uniform reservoir is still blending both regimes at t = 300 s.\n"
+      "(No rescaling thread needed: the log-domain keys never overflow.)\n");
+  return 0;
+}

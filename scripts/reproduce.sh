@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Full reproduction run: build, test, and regenerate every figure of the
+# paper's evaluation plus the ablation suite. Outputs land in
+# test_output.txt and bench_output.txt at the repo root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+{
+  for b in build/bench/bench_fig*; do "$b"; done
+  ./build/bench/bench_micro
+} 2>&1 | tee bench_output.txt

@@ -1,0 +1,243 @@
+#ifndef FWDECAY_CORE_AGGREGATES_H_
+#define FWDECAY_CORE_AGGREGATES_H_
+
+#include <cmath>
+#include <optional>
+
+#include "core/forward_decay.h"
+#include "util/bytes.h"
+#include "util/check.h"
+
+// O(1)-state decayed aggregates under forward decay (Section IV-A/B,
+// Theorem 1): each class maintains sums of static weights g(t_i - L)
+// (times powers of the value) and scales by g(t - L) only at query time.
+//
+// All classes:
+//  * accept out-of-order arrivals — nothing depends on timestamp order
+//    (Section VI-B);
+//  * Merge() with a peer built over the same g and landmark, giving the
+//    distributed semantics of Section VI-B;
+//  * for exponential g, support landmark rescaling to keep the stored
+//    magnitudes in floating-point range (Section VI-A).
+
+namespace fwdecay {
+
+/// Decayed count: C(t) = Σ_i g(t_i - L) / g(t - L)  (Definition 5).
+template <ForwardG G>
+class DecayedCount {
+ public:
+  explicit DecayedCount(ForwardDecay<G> decay) : decay_(std::move(decay)) {}
+
+  /// Records one arrival at time t_i. O(1).
+  void Add(Timestamp ti) { weighted_ += decay_.StaticWeight(ti); }
+
+  /// Records `n` simultaneous arrivals at time t_i. O(1).
+  void AddN(Timestamp ti, double n) {
+    FWDECAY_DCHECK(n >= 0.0);
+    weighted_ += n * decay_.StaticWeight(ti);
+  }
+
+  /// The decayed count evaluated at query time t.
+  double Value(Timestamp t) const { return weighted_ / decay_.Normalizer(t); }
+
+  /// The un-normalized running sum of static weights (what is stored).
+  double RawWeightedCount() const { return weighted_; }
+
+  /// Combines a peer summarizing a disjoint part of the input.
+  void Merge(const DecayedCount& other) { weighted_ += other.weighted_; }
+
+  /// Rebases onto a new landmark (exponential g only; Section VI-A).
+  void RescaleLandmark(Timestamp new_landmark)
+    requires requires(ForwardDecay<G>& d) { d.RescaleLandmark(0.0); }
+  {
+    weighted_ *= decay_.RescaleLandmark(new_landmark);
+  }
+
+  const ForwardDecay<G>& decay() const { return decay_; }
+
+  /// Serializes the accumulator (Section VI-B shipping). The decay
+  /// function itself is configuration, not state: the receiving site
+  /// must construct with the same g; the landmark is embedded and
+  /// checked on Deserialize.
+  void SerializeTo(ByteWriter* writer) const {
+    writer->WriteU8(0x43);  // 'C'
+    writer->WriteDouble(decay_.landmark());
+    writer->WriteDouble(weighted_);
+  }
+
+  /// Reconstructs; nullopt on corrupt input or landmark mismatch.
+  static std::optional<DecayedCount> Deserialize(ForwardDecay<G> decay,
+                                                 ByteReader* reader) {
+    std::uint8_t tag = 0;
+    double landmark = 0.0;
+    double weighted = 0.0;
+    if (!reader->ReadU8(&tag) || tag != 0x43) return std::nullopt;
+    if (!reader->ReadDouble(&landmark) || !reader->ReadDouble(&weighted)) {
+      return std::nullopt;
+    }
+    if (landmark != decay.landmark()) return std::nullopt;
+    DecayedCount out(std::move(decay));
+    out.weighted_ = weighted;
+    return out;
+  }
+
+ private:
+  ForwardDecay<G> decay_;
+  double weighted_ = 0.0;
+};
+
+/// Decayed sum, average and variance in one O(1) accumulator:
+///   S(t) = Σ_i g(t_i - L) v_i / g(t - L)
+///   A    = S / C                 (independent of t — Definition 5)
+///   V    = Σ g(t_i - L) v_i^2 / C(t)g(t-L) - A^2   (also independent of t)
+template <ForwardG G>
+class DecayedMoments {
+ public:
+  explicit DecayedMoments(ForwardDecay<G> decay) : decay_(std::move(decay)) {}
+
+  /// Records value v_i arriving at time t_i. O(1).
+  void Add(Timestamp ti, double v) {
+    const double w = decay_.StaticWeight(ti);
+    w0_ += w;
+    w1_ += w * v;
+    w2_ += w * v * v;
+  }
+
+  /// Decayed count at query time t.
+  double Count(Timestamp t) const { return w0_ / decay_.Normalizer(t); }
+
+  /// Decayed sum at query time t.
+  double Sum(Timestamp t) const { return w1_ / decay_.Normalizer(t); }
+
+  /// Decayed average — the normalizers cancel, so the average does not
+  /// change as the query time advances (the paper's Section IV-A remark).
+  /// Empty input yields nullopt.
+  std::optional<double> Average() const {
+    if (w0_ <= 0.0) return std::nullopt;
+    return w1_ / w0_;
+  }
+
+  /// Decayed variance, interpreting normalized weights as probabilities.
+  std::optional<double> Variance() const {
+    if (w0_ <= 0.0) return std::nullopt;
+    const double mean = w1_ / w0_;
+    const double var = w2_ / w0_ - mean * mean;
+    return var < 0.0 ? 0.0 : var;  // guard tiny negative round-off
+  }
+
+  void Merge(const DecayedMoments& other) {
+    w0_ += other.w0_;
+    w1_ += other.w1_;
+    w2_ += other.w2_;
+  }
+
+  void RescaleLandmark(Timestamp new_landmark)
+    requires requires(ForwardDecay<G>& d) { d.RescaleLandmark(0.0); }
+  {
+    const double factor = decay_.RescaleLandmark(new_landmark);
+    w0_ *= factor;
+    w1_ *= factor;
+    w2_ *= factor;
+  }
+
+  const ForwardDecay<G>& decay() const { return decay_; }
+
+  /// Serializes the three accumulators (see DecayedCount::SerializeTo
+  /// for the configuration-vs-state contract).
+  void SerializeTo(ByteWriter* writer) const {
+    writer->WriteU8(0x4d);  // 'M'
+    writer->WriteDouble(decay_.landmark());
+    writer->WriteDouble(w0_);
+    writer->WriteDouble(w1_);
+    writer->WriteDouble(w2_);
+  }
+
+  /// Reconstructs; nullopt on corrupt input or landmark mismatch.
+  static std::optional<DecayedMoments> Deserialize(ForwardDecay<G> decay,
+                                                   ByteReader* reader) {
+    std::uint8_t tag = 0;
+    double landmark = 0.0;
+    double w0 = 0.0;
+    double w1 = 0.0;
+    double w2 = 0.0;
+    if (!reader->ReadU8(&tag) || tag != 0x4d) return std::nullopt;
+    if (!reader->ReadDouble(&landmark) || !reader->ReadDouble(&w0) ||
+        !reader->ReadDouble(&w1) || !reader->ReadDouble(&w2)) {
+      return std::nullopt;
+    }
+    if (landmark != decay.landmark()) return std::nullopt;
+    DecayedMoments out(std::move(decay));
+    out.w0_ = w0;
+    out.w1_ = w1;
+    out.w2_ = w2;
+    return out;
+  }
+
+ private:
+  ForwardDecay<G> decay_;
+  double w0_ = 0.0;  // Σ g(t_i - L)
+  double w1_ = 0.0;  // Σ g(t_i - L) v_i
+  double w2_ = 0.0;  // Σ g(t_i - L) v_i^2
+};
+
+/// Decayed min / max (Definition 6): tracks the extremum of the *static*
+/// products g(t_i - L) v_i, scaling at query time. The arg item is kept.
+template <ForwardG G, bool kIsMax>
+class DecayedExtremum {
+ public:
+  explicit DecayedExtremum(ForwardDecay<G> decay) : decay_(std::move(decay)) {}
+
+  /// Records value v_i at time t_i. O(1).
+  void Add(Timestamp ti, double v) {
+    const double scaled = decay_.StaticWeight(ti) * v;
+    if (!best_.has_value() || Better(scaled, best_scaled_)) {
+      best_scaled_ = scaled;
+      best_ = Item{ti, v};
+    }
+  }
+
+  /// The decayed extremum value at query time t; nullopt if empty.
+  std::optional<double> Value(Timestamp t) const {
+    if (!best_.has_value()) return std::nullopt;
+    return best_scaled_ / decay_.Normalizer(t);
+  }
+
+  /// The arrival that attains the extremum.
+  struct Item {
+    Timestamp ts;
+    double value;
+  };
+  std::optional<Item> ArgItem() const { return best_; }
+
+  void Merge(const DecayedExtremum& other) {
+    if (other.best_.has_value()) {
+      if (!best_.has_value() || Better(other.best_scaled_, best_scaled_)) {
+        best_scaled_ = other.best_scaled_;
+        best_ = other.best_;
+      }
+    }
+  }
+
+  void RescaleLandmark(Timestamp new_landmark)
+    requires requires(ForwardDecay<G>& d) { d.RescaleLandmark(0.0); }
+  {
+    best_scaled_ *= decay_.RescaleLandmark(new_landmark);
+  }
+
+ private:
+  static bool Better(double a, double b) { return kIsMax ? a > b : a < b; }
+
+  ForwardDecay<G> decay_;
+  double best_scaled_ = 0.0;
+  std::optional<Item> best_;
+};
+
+template <ForwardG G>
+using DecayedMin = DecayedExtremum<G, /*kIsMax=*/false>;
+
+template <ForwardG G>
+using DecayedMax = DecayedExtremum<G, /*kIsMax=*/true>;
+
+}  // namespace fwdecay
+
+#endif  // FWDECAY_CORE_AGGREGATES_H_

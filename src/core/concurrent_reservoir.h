@@ -1,0 +1,49 @@
+#ifndef FWDECAY_CORE_CONCURRENT_RESERVOIR_H_
+#define FWDECAY_CORE_CONCURRENT_RESERVOIR_H_
+
+#include <cstdint>
+#include <mutex>
+
+#include "core/decaying_reservoir.h"
+
+namespace fwdecay {
+
+/// Thread-safe facade over DecayingReservoir — the form a metrics
+/// library actually deploys (many request threads record latencies, a
+/// scraper thread takes snapshots). A single mutex suffices: updates are
+/// O(log k) and snapshots O(k log k), so contention is dominated by the
+/// measured work itself. For extreme update rates, shard several
+/// reservoirs and Merge the snapshots instead.
+class ConcurrentDecayingReservoir {
+ public:
+  ConcurrentDecayingReservoir(std::size_t k, double alpha, Timestamp start,
+                              std::uint64_t seed = 0x5eed)
+      : reservoir_(k, alpha, start, seed) {}
+
+  /// Records a measurement; safe to call from any thread.
+  void Update(Timestamp t, double value) {
+    std::lock_guard<std::mutex> lock(mu_);
+    reservoir_.Update(t, value);
+  }
+
+  /// Consistent snapshot; safe to call concurrently with updates.
+  ReservoirSnapshot Snapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return reservoir_.Snapshot();
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return reservoir_.size();
+  }
+
+  double alpha() const { return reservoir_.alpha(); }
+
+ private:
+  mutable std::mutex mu_;
+  DecayingReservoir reservoir_;
+};
+
+}  // namespace fwdecay
+
+#endif  // FWDECAY_CORE_CONCURRENT_RESERVOIR_H_

@@ -1,0 +1,220 @@
+#ifndef FWDECAY_CORE_DECAY_H_
+#define FWDECAY_CORE_DECAY_H_
+
+#include <cmath>
+#include <concepts>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "util/check.h"
+
+// Decay-function taxonomy (Sections II and III of the paper).
+//
+// A *forward* decay function is built from a positive monotone
+// non-decreasing g; the decayed weight of item i at query time t is
+//
+//     w(i, t) = g(t_i - L) / g(t - L)
+//
+// for a landmark L <= t_i (Definition 3). The numerator — the item's
+// *static weight* — is fixed at arrival, which is the property every
+// algorithm in this library exploits.
+//
+// A *backward* decay function is built from a positive monotone
+// non-increasing f of the item's age: w(i, t) = f(t - t_i) / f(0)
+// (Definition 2). Backward functions are provided for the exact reference
+// evaluator and for the baselines.
+
+namespace fwdecay {
+
+/// Timestamps are real-valued (seconds, or any monotone unit). Forward
+/// decay imposes no integrality or in-order requirements (Section VI-B).
+using Timestamp = double;
+
+/// A forward decay function: exposes the monotone non-decreasing g, and
+/// its logarithm for numerically robust products/ratios.
+template <typename G>
+concept ForwardG = requires(const G& g, double n) {
+  { g.G(n) } -> std::convertible_to<double>;
+  { g.LogG(n) } -> std::convertible_to<double>;
+  { g.name() } -> std::convertible_to<const char*>;
+};
+
+/// A backward decay function of an item's age.
+template <typename F>
+concept BackwardF = requires(const F& f, double age) {
+  { f.F(age) } -> std::convertible_to<double>;
+  { f.name() } -> std::convertible_to<const char*>;
+};
+
+// ---------------------------------------------------------------------------
+// Forward decay functions g (Section III)
+// ---------------------------------------------------------------------------
+
+/// g(n) = 1: no decay; every item keeps weight 1.
+struct NoDecayG {
+  double G(double) const { return 1.0; }
+  double LogG(double) const { return 0.0; }
+  const char* name() const { return "none"; }
+};
+
+/// g(n) = n^beta (monomial / "polynomial decay"). Satisfies the relative
+/// decay property (Lemma 1): items at the same fraction of [L, t] always
+/// get the same weight.
+struct MonomialG {
+  explicit MonomialG(double beta_in) : beta(beta_in) {
+    FWDECAY_CHECK_MSG(beta > 0.0, "monomial exponent must be positive");
+  }
+  double G(double n) const { return n <= 0.0 ? 0.0 : std::pow(n, beta); }
+  double LogG(double n) const {
+    return n <= 0.0 ? -std::numeric_limits<double>::infinity()
+                    : beta * std::log(n);
+  }
+  const char* name() const { return "monomial"; }
+  double beta;
+};
+
+/// g(n) = Σ_j gamma_j n^j, a general polynomial with non-negative
+/// coefficients (guaranteeing monotonicity).
+struct PolynomialG {
+  explicit PolynomialG(std::vector<double> coeffs_in)
+      : coeffs(std::move(coeffs_in)) {
+    FWDECAY_CHECK_MSG(!coeffs.empty(), "polynomial needs coefficients");
+    for (double c : coeffs) {
+      FWDECAY_CHECK_MSG(c >= 0.0,
+                        "polynomial coefficients must be non-negative");
+    }
+  }
+  double G(double n) const {
+    if (n < 0.0) n = 0.0;
+    double acc = 0.0;
+    // Horner evaluation, highest degree first.
+    for (std::size_t j = coeffs.size(); j-- > 0;) acc = acc * n + coeffs[j];
+    return acc;
+  }
+  double LogG(double n) const { return std::log(G(n)); }
+  const char* name() const { return "polynomial"; }
+  std::vector<double> coeffs;  // coeffs[j] multiplies n^j
+};
+
+/// g(n) = exp(alpha * n): exponential decay. Coincides exactly with
+/// backward exponential decay at rate alpha (Section III-A), which is why
+/// exponential decay was the one backward function systems could afford.
+struct ExponentialG {
+  explicit ExponentialG(double alpha_in) : alpha(alpha_in) {
+    FWDECAY_CHECK_MSG(alpha > 0.0, "exponential rate must be positive");
+  }
+  double G(double n) const { return std::exp(alpha * n); }
+  double LogG(double n) const { return alpha * n; }
+  const char* name() const { return "exponential"; }
+  /// Multiplier turning weights relative to landmark L into weights
+  /// relative to L' = L + delta: exp(-alpha * delta). The landmark
+  /// rescaling of Section VI-A — only exponential g admits one, because
+  /// only exp turns time shifts into weight scalings.
+  double ShiftFactor(double delta) const { return std::exp(-alpha * delta); }
+  double alpha;
+};
+
+/// g(n) = 1 for n > 0, else 0: the landmark window (Section III-C). All
+/// items after the landmark weigh 1 until the query/window closes.
+struct LandmarkWindowG {
+  double G(double n) const { return n > 0.0 ? 1.0 : 0.0; }
+  double LogG(double n) const {
+    return n > 0.0 ? 0.0 : -std::numeric_limits<double>::infinity();
+  }
+  const char* name() const { return "landmark-window"; }
+};
+
+/// g(n) = 1 + ln(1 + n): sub-polynomial (slower-than-any-polynomial)
+/// decay, the forward analogue of the paper's sub-polynomial example.
+struct LogarithmicG {
+  double G(double n) const { return n <= 0.0 ? 1.0 : 1.0 + std::log1p(n); }
+  double LogG(double n) const { return std::log(G(n)); }
+  const char* name() const { return "logarithmic"; }
+};
+
+/// Type-erased forward decay function for runtime configuration (the DSMS
+/// picks g from a query string). Satisfies ForwardG.
+class AnyForwardG {
+ public:
+  AnyForwardG() : AnyForwardG(NoDecayG{}) {}
+
+  template <ForwardG G>
+  explicit AnyForwardG(G g)
+      : g_([g](double n) { return g.G(n); }),
+        log_g_([g](double n) { return g.LogG(n); }),
+        name_(g.name()) {}
+
+  double G(double n) const { return g_(n); }
+  double LogG(double n) const { return log_g_(n); }
+  const char* name() const { return name_; }
+
+ private:
+  std::function<double(double)> g_;
+  std::function<double(double)> log_g_;
+  const char* name_;
+};
+
+// ---------------------------------------------------------------------------
+// Backward decay functions f (Section II-A)
+// ---------------------------------------------------------------------------
+
+/// f(a) = 1: no decay.
+struct NoDecayF {
+  double F(double) const { return 1.0; }
+  const char* name() const { return "none"; }
+};
+
+/// f(a) = 1 for a < W, 0 otherwise: the classic sliding window.
+struct SlidingWindowF {
+  explicit SlidingWindowF(double window_in) : window(window_in) {
+    FWDECAY_CHECK_MSG(window > 0.0, "window must be positive");
+  }
+  double F(double age) const { return age < window ? 1.0 : 0.0; }
+  const char* name() const { return "sliding-window"; }
+  double window;
+};
+
+/// f(a) = exp(-lambda a): backward exponential decay.
+struct ExponentialF {
+  explicit ExponentialF(double lambda_in) : lambda(lambda_in) {
+    FWDECAY_CHECK_MSG(lambda > 0.0, "exponential rate must be positive");
+  }
+  double F(double age) const { return std::exp(-lambda * age); }
+  const char* name() const { return "exponential"; }
+  double lambda;
+};
+
+/// f(a) = (a + 1)^(-alpha): backward polynomial decay.
+struct PolynomialF {
+  explicit PolynomialF(double alpha_in) : alpha(alpha_in) {
+    FWDECAY_CHECK_MSG(alpha > 0.0, "polynomial exponent must be positive");
+  }
+  double F(double age) const { return std::pow(age + 1.0, -alpha); }
+  const char* name() const { return "polynomial"; }
+  double alpha;
+};
+
+/// f(a) = exp(-lambda a^2): super-exponential decay.
+struct SuperExponentialF {
+  explicit SuperExponentialF(double lambda_in) : lambda(lambda_in) {
+    FWDECAY_CHECK_MSG(lambda > 0.0, "rate must be positive");
+  }
+  double F(double age) const { return std::exp(-lambda * age * age); }
+  const char* name() const { return "super-exponential"; }
+  double lambda;
+};
+
+/// f(a) = 1 / (1 + ln(1 + a)): sub-polynomial decay.
+struct SubPolynomialF {
+  double F(double age) const {
+    return 1.0 / (1.0 + std::log1p(age < 0.0 ? 0.0 : age));
+  }
+  const char* name() const { return "sub-polynomial"; }
+};
+
+}  // namespace fwdecay
+
+#endif  // FWDECAY_CORE_DECAY_H_

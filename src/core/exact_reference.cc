@@ -1,0 +1,142 @@
+#include "core/exact_reference.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace fwdecay {
+
+void ExactDecayedReference::Add(Timestamp ti, std::uint64_t key,
+                                double value) {
+  items_.push_back(Item{ti, key, value});
+}
+
+double ExactDecayedReference::Count(Timestamp t, const WeightFn& w) const {
+  double c = 0.0;
+  for (const Item& it : items_) c += w(it.ts, t);
+  return c;
+}
+
+double ExactDecayedReference::Sum(Timestamp t, const WeightFn& w) const {
+  double s = 0.0;
+  for (const Item& it : items_) s += w(it.ts, t) * it.value;
+  return s;
+}
+
+std::optional<double> ExactDecayedReference::Average(Timestamp t,
+                                                     const WeightFn& w) const {
+  const double c = Count(t, w);
+  if (c <= 0.0) return std::nullopt;
+  return Sum(t, w) / c;
+}
+
+std::optional<double> ExactDecayedReference::Variance(Timestamp t,
+                                                      const WeightFn& w) const {
+  const double c = Count(t, w);
+  if (c <= 0.0) return std::nullopt;
+  double s = 0.0;
+  double s2 = 0.0;
+  for (const Item& it : items_) {
+    const double wi = w(it.ts, t);
+    s += wi * it.value;
+    s2 += wi * it.value * it.value;
+  }
+  const double mean = s / c;
+  const double var = s2 / c - mean * mean;
+  return var < 0.0 ? 0.0 : var;
+}
+
+std::optional<double> ExactDecayedReference::Min(Timestamp t,
+                                                 const WeightFn& w) const {
+  std::optional<double> best;
+  for (const Item& it : items_) {
+    const double x = w(it.ts, t) * it.value;
+    if (!best.has_value() || x < *best) best = x;
+  }
+  return best;
+}
+
+std::optional<double> ExactDecayedReference::Max(Timestamp t,
+                                                 const WeightFn& w) const {
+  std::optional<double> best;
+  for (const Item& it : items_) {
+    const double x = w(it.ts, t) * it.value;
+    if (!best.has_value() || x > *best) best = x;
+  }
+  return best;
+}
+
+double ExactDecayedReference::KeyCount(Timestamp t, const WeightFn& w,
+                                       std::uint64_t key) const {
+  double c = 0.0;
+  for (const Item& it : items_) {
+    if (it.key == key) c += w(it.ts, t);
+  }
+  return c;
+}
+
+std::vector<std::pair<std::uint64_t, double>>
+ExactDecayedReference::HeavyHitters(Timestamp t, const WeightFn& w,
+                                    double phi) const {
+  std::unordered_map<std::uint64_t, double> counts;
+  double total = 0.0;
+  for (const Item& it : items_) {
+    const double wi = w(it.ts, t);
+    counts[it.key] += wi;
+    total += wi;
+  }
+  std::vector<std::pair<std::uint64_t, double>> out;
+  const double threshold = phi * total;
+  for (const auto& [key, c] : counts) {
+    if (c >= threshold) out.emplace_back(key, c);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  return out;
+}
+
+double ExactDecayedReference::Rank(Timestamp t, const WeightFn& w,
+                                   double v) const {
+  double r = 0.0;
+  for (const Item& it : items_) {
+    if (it.value <= v) r += w(it.ts, t);
+  }
+  return r;
+}
+
+std::optional<double> ExactDecayedReference::Quantile(Timestamp t,
+                                                      const WeightFn& w,
+                                                      double phi) const {
+  if (items_.empty()) return std::nullopt;
+  std::vector<std::pair<double, double>> weighted;  // (value, weight)
+  weighted.reserve(items_.size());
+  double total = 0.0;
+  for (const Item& it : items_) {
+    const double wi = w(it.ts, t);
+    weighted.emplace_back(it.value, wi);
+    total += wi;
+  }
+  std::sort(weighted.begin(), weighted.end());
+  const double target = phi * total;
+  double acc = 0.0;
+  for (const auto& [value, wi] : weighted) {
+    acc += wi;
+    if (acc >= target) return value;
+  }
+  return weighted.back().first;
+}
+
+double ExactDecayedReference::CountDistinct(Timestamp t,
+                                            const WeightFn& w) const {
+  std::unordered_map<std::uint64_t, double> max_w;
+  for (const Item& it : items_) {
+    const double wi = w(it.ts, t);
+    auto [pos, inserted] = max_w.try_emplace(it.key, wi);
+    if (!inserted && wi > pos->second) pos->second = wi;
+  }
+  double d = 0.0;
+  for (const auto& [key, wi] : max_w) d += wi;
+  return d;
+}
+
+}  // namespace fwdecay

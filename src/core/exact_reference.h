@@ -1,0 +1,94 @@
+#ifndef FWDECAY_CORE_EXACT_REFERENCE_H_
+#define FWDECAY_CORE_EXACT_REFERENCE_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "core/decay.h"
+
+namespace fwdecay {
+
+/// Exact decayed-aggregate evaluator that buffers the whole stream.
+///
+/// This is the brute-force semantics of Definitions 5–9 under *any*
+/// decay — the caller passes the weight function w(t_i, t) at query time,
+/// so both forward (g(t_i-L)/g(t-L)) and backward (f(t-t_i)/f(0)) models
+/// are covered by one reference. It exists for two purposes:
+///  * ground truth in tests (the approximate structures are validated
+///    against it);
+///  * the "exact backward decay" strawman: it illustrates why backward
+///    decay needs to revisit every buffered item per query, the cost the
+///    paper's Section III opens with.
+class ExactDecayedReference {
+ public:
+  /// Decayed weight of an item with timestamp t_i, evaluated at time t.
+  using WeightFn = std::function<double(Timestamp ti, Timestamp t)>;
+
+  /// Buffers one arrival: timestamp, item key (for HH/distinct) and
+  /// numeric value (for sum/avg/min/max/quantiles).
+  void Add(Timestamp ti, std::uint64_t key, double value);
+
+  std::size_t Size() const { return items_.size(); }
+
+  /// Σ_i w(t_i, t).
+  double Count(Timestamp t, const WeightFn& w) const;
+
+  /// Σ_i w(t_i, t) v_i.
+  double Sum(Timestamp t, const WeightFn& w) const;
+
+  /// Sum / Count; nullopt when the decayed count is zero.
+  std::optional<double> Average(Timestamp t, const WeightFn& w) const;
+
+  /// Weighted variance (weights as probabilities), per Section IV-A.
+  std::optional<double> Variance(Timestamp t, const WeightFn& w) const;
+
+  /// min_i / max_i of w(t_i, t) v_i (Definition 6).
+  std::optional<double> Min(Timestamp t, const WeightFn& w) const;
+  std::optional<double> Max(Timestamp t, const WeightFn& w) const;
+
+  /// Exact decayed count per key, d_v (Definition 7).
+  double KeyCount(Timestamp t, const WeightFn& w, std::uint64_t key) const;
+
+  /// Keys with d_v >= phi * C, sorted by decreasing decayed count.
+  std::vector<std::pair<std::uint64_t, double>> HeavyHitters(
+      Timestamp t, const WeightFn& w, double phi) const;
+
+  /// Exact decayed rank of value v (Definition 8, over item values).
+  double Rank(Timestamp t, const WeightFn& w, double v) const;
+
+  /// Exact phi-quantile: smallest value with rank >= phi * C.
+  std::optional<double> Quantile(Timestamp t, const WeightFn& w,
+                                 double phi) const;
+
+  /// Exact decayed distinct count, Σ_v max w (Definition 9).
+  double CountDistinct(Timestamp t, const WeightFn& w) const;
+
+ private:
+  struct Item {
+    Timestamp ts;
+    std::uint64_t key;
+    double value;
+  };
+  std::vector<Item> items_;
+};
+
+/// Convenience adaptors turning decay-function structs into WeightFns.
+template <ForwardG G>
+ExactDecayedReference::WeightFn ForwardWeightFn(G g, Timestamp landmark) {
+  return [g = std::move(g), landmark](Timestamp ti, Timestamp t) {
+    return g.G(ti - landmark) / g.G(t - landmark);
+  };
+}
+
+template <BackwardF F>
+ExactDecayedReference::WeightFn BackwardWeightFn(F f) {
+  return [f = std::move(f)](Timestamp ti, Timestamp t) {
+    return f.F(t - ti) / f.F(0.0);
+  };
+}
+
+}  // namespace fwdecay
+
+#endif  // FWDECAY_CORE_EXACT_REFERENCE_H_

@@ -1,0 +1,87 @@
+#ifndef FWDECAY_CORE_FORWARD_DECAY_H_
+#define FWDECAY_CORE_FORWARD_DECAY_H_
+
+#include <cmath>
+
+#include "core/decay.h"
+#include "util/check.h"
+
+namespace fwdecay {
+
+/// The forward-decay weight engine (Definition 3).
+///
+/// Binds a forward decay function g to a landmark time L and provides the
+/// three quantities every algorithm needs:
+///
+///  * StaticWeight(t_i)  = g(t_i - L)       — fixed at arrival; this is
+///    what summaries store and weighted sketches are fed.
+///  * Normalizer(t)      = g(t - L)         — applied once at query time.
+///  * Weight(t_i, t)     = the ratio, the actual decayed weight in [0,1].
+///
+/// The landmark defaults to "the query start time" per the paper's
+/// recommendation (Section III-B): with a monomial g this makes the weight
+/// a function of the item's *relative* age within [L, t].
+template <ForwardG G>
+class ForwardDecay {
+ public:
+  ForwardDecay(G g, Timestamp landmark)
+      : g_(std::move(g)), landmark_(landmark) {}
+
+  /// g(t_i - L). Requires t_i >= L (items before the landmark are outside
+  /// the model; callers that may see them should clamp or drop).
+  double StaticWeight(Timestamp ti) const {
+    FWDECAY_DCHECK(ti >= landmark_);
+    return g_.G(ti - landmark_);
+  }
+
+  /// log g(t_i - L): useful when g overflows doubles (exponential g over
+  /// long horizons) — samplers work entirely in the log domain.
+  double LogStaticWeight(Timestamp ti) const {
+    FWDECAY_DCHECK(ti >= landmark_);
+    return g_.LogG(ti - landmark_);
+  }
+
+  /// g(t - L), the query-time normalizer.
+  double Normalizer(Timestamp t) const { return g_.G(t - landmark_); }
+
+  /// The decayed weight w(i, t) = g(t_i - L)/g(t - L), in [0, 1] whenever
+  /// L <= t_i <= t.
+  double Weight(Timestamp ti, Timestamp t) const {
+    const double denom = Normalizer(t);
+    FWDECAY_DCHECK(denom > 0.0);
+    return StaticWeight(ti) / denom;
+  }
+
+  const G& g() const { return g_; }
+  Timestamp landmark() const { return landmark_; }
+
+  /// Moves the landmark to `new_landmark` and returns the factor by which
+  /// every stored static weight (and any linear combination of them) must
+  /// be multiplied so results are unchanged. Only decay functions for
+  /// which a time shift is a weight scaling support this — exponential g,
+  /// via ShiftFactor (Section VI-A numerical rescaling).
+  double RescaleLandmark(Timestamp new_landmark)
+    requires requires(const G& g, double d) {
+      { g.ShiftFactor(d) } -> std::convertible_to<double>;
+    }
+  {
+    const double factor = g_.ShiftFactor(new_landmark - landmark_);
+    landmark_ = new_landmark;
+    return factor;
+  }
+
+ private:
+  G g_;
+  Timestamp landmark_;
+};
+
+/// Deduction helper so call sites can write
+/// `MakeForwardDecay(ExponentialG(0.1), t0)`.
+template <ForwardG G>
+ForwardDecay<G> MakeForwardDecay(G g, Timestamp landmark) {
+  return ForwardDecay<G>(std::move(g), landmark);
+}
+
+}  // namespace fwdecay
+
+#endif  // FWDECAY_CORE_FORWARD_DECAY_H_

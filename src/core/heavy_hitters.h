@@ -1,0 +1,124 @@
+#ifndef FWDECAY_CORE_HEAVY_HITTERS_H_
+#define FWDECAY_CORE_HEAVY_HITTERS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/forward_decay.h"
+#include "sketch/space_saving.h"
+
+namespace fwdecay {
+
+/// One decayed heavy hitter: key plus its decayed-count estimate.
+struct DecayedHeavyHitter {
+  std::uint64_t key = 0;
+  /// Estimated decayed count d_v (upper bound), already normalized by
+  /// g(t - L) for the query time passed to Query().
+  double decayed_count = 0.0;
+  /// Maximum overestimation in the same normalized units.
+  double error = 0.0;
+};
+
+/// Heavy hitters under forward decay (Definition 7, Theorem 2).
+///
+/// Reduction: d_v >= phi * C is equivalent to
+///   Σ_{v_i = v} g(t_i - L)  >=  phi * Σ_i g(t_i - L),
+/// a weighted heavy-hitters instance over weights that never change after
+/// arrival. The weighted SpaceSaving sketch solves it with O(1/eps)
+/// counters and O(log 1/eps) per update — the same asymptotics as the
+/// undecayed problem, which is the headline of Section IV-C.
+template <ForwardG G>
+class DecayedHeavyHitters {
+ public:
+  /// `eps` is the count accuracy of Theorem 2: all keys with decayed count
+  /// >= phi*C are reported and none below (phi - eps)*C.
+  DecayedHeavyHitters(ForwardDecay<G> decay, double eps)
+      : decay_(std::move(decay)),
+        sketch_(static_cast<std::size_t>(std::ceil(1.0 / eps))) {
+    FWDECAY_CHECK_MSG(eps > 0.0 && eps < 1.0, "eps must be in (0, 1)");
+  }
+
+  /// Records an arrival of `key` at time t_i. Out-of-order friendly.
+  void Add(Timestamp ti, std::uint64_t key) {
+    sketch_.Update(key, decay_.StaticWeight(ti));
+  }
+
+  /// Records an arrival counted with multiplicity `n` (e.g. packet bytes).
+  void AddN(Timestamp ti, std::uint64_t key, double n) {
+    FWDECAY_DCHECK(n > 0.0);
+    sketch_.Update(key, n * decay_.StaticWeight(ti));
+  }
+
+  /// Total decayed count C at query time t (Definition 5).
+  double DecayedTotal(Timestamp t) const {
+    return sketch_.TotalWeight() / decay_.Normalizer(t);
+  }
+
+  /// All keys whose decayed count is at least phi * C, evaluated at query
+  /// time t, sorted by decreasing estimate.
+  std::vector<DecayedHeavyHitter> Query(Timestamp t, double phi) const {
+    const double norm = decay_.Normalizer(t);
+    std::vector<DecayedHeavyHitter> out;
+    for (const HeavyHitter& h : sketch_.Query(phi)) {
+      out.push_back(
+          DecayedHeavyHitter{h.key, h.estimate / norm, h.error / norm});
+    }
+    return out;
+  }
+
+  /// Decayed-count upper bound for a single key at query time t.
+  double Estimate(Timestamp t, std::uint64_t key) const {
+    return sketch_.Estimate(key) / decay_.Normalizer(t);
+  }
+
+  /// Combines a peer (same g, same landmark, same eps) per Section VI-B.
+  void Merge(const DecayedHeavyHitters& other) {
+    sketch_.Merge(other.sketch_);
+  }
+
+  /// Rebases onto a new landmark (exponential g only; Section VI-A): every
+  /// stored counter is a linear combination of static weights, so one
+  /// linear pass multiplies them by the shift factor.
+  void RescaleLandmark(Timestamp new_landmark)
+    requires requires(ForwardDecay<G>& d) { d.RescaleLandmark(0.0); }
+  {
+    sketch_.ScaleWeights(decay_.RescaleLandmark(new_landmark));
+  }
+
+  const WeightedSpaceSaving& sketch() const { return sketch_; }
+  const ForwardDecay<G>& decay() const { return decay_; }
+  std::size_t MemoryBytes() const { return sketch_.MemoryBytes(); }
+
+  /// Serializes landmark + sketch for the distributed setting. The decay
+  /// function g is configuration: the receiver constructs with the same
+  /// g and the embedded landmark is verified on Deserialize.
+  void SerializeTo(ByteWriter* writer) const {
+    writer->WriteU8(0x48);  // 'H'
+    writer->WriteDouble(decay_.landmark());
+    sketch_.SerializeTo(writer);
+  }
+
+  /// Reconstructs; nullopt on corrupt input or landmark mismatch.
+  static std::optional<DecayedHeavyHitters> Deserialize(ForwardDecay<G> decay,
+                                                        ByteReader* reader) {
+    std::uint8_t tag = 0;
+    double landmark = 0.0;
+    if (!reader->ReadU8(&tag) || tag != 0x48) return std::nullopt;
+    if (!reader->ReadDouble(&landmark) || landmark != decay.landmark()) {
+      return std::nullopt;
+    }
+    auto sketch = WeightedSpaceSaving::Deserialize(reader);
+    if (!sketch.has_value()) return std::nullopt;
+    DecayedHeavyHitters out(std::move(decay), /*eps=*/0.5);
+    out.sketch_ = *std::move(sketch);
+    return out;
+  }
+
+ private:
+  ForwardDecay<G> decay_;
+  WeightedSpaceSaving sketch_;
+};
+
+}  // namespace fwdecay
+
+#endif  // FWDECAY_CORE_HEAVY_HITTERS_H_

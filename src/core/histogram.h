@@ -1,0 +1,128 @@
+#ifndef FWDECAY_CORE_HISTOGRAM_H_
+#define FWDECAY_CORE_HISTOGRAM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/forward_decay.h"
+#include "util/bytes.h"
+#include "util/check.h"
+
+namespace fwdecay {
+
+/// Fixed-bin decayed histogram: per-bin decayed counts over a bounded
+/// value range. The per-bin accumulators are just decayed counts
+/// (Theorem 1), so the whole structure is O(bins) state with O(1)
+/// updates, merges exactly, and supports exponential landmark rescaling.
+/// The workhorse for "decayed distribution of packet sizes"-style
+/// dashboards where quantile sketches are overkill.
+template <ForwardG G>
+class DecayedHistogram {
+ public:
+  /// Bins partition [lo, hi) uniformly; values outside clamp to the
+  /// first/last bin (tracked separately as underflow/overflow counts).
+  DecayedHistogram(ForwardDecay<G> decay, double lo, double hi,
+                   std::size_t bins)
+      : decay_(std::move(decay)), lo_(lo), hi_(hi), weights_(bins, 0.0) {
+    FWDECAY_CHECK_MSG(hi > lo, "histogram range must be non-empty");
+    FWDECAY_CHECK(bins >= 1);
+  }
+
+  /// Records value v at time t_i. O(1).
+  void Add(Timestamp ti, double v) {
+    const double w = decay_.StaticWeight(ti);
+    if (v < lo_) {
+      underflow_ += w;
+      return;
+    }
+    if (v >= hi_) {
+      overflow_ += w;
+      return;
+    }
+    const auto bin = static_cast<std::size_t>(
+        (v - lo_) / (hi_ - lo_) * static_cast<double>(weights_.size()));
+    weights_[bin < weights_.size() ? bin : weights_.size() - 1] += w;
+  }
+
+  /// Decayed mass of bin `i` at query time t.
+  double BinMass(Timestamp t, std::size_t i) const {
+    FWDECAY_CHECK(i < weights_.size());
+    return weights_[i] / decay_.Normalizer(t);
+  }
+
+  /// Total decayed mass (including clamped values) at query time t.
+  double TotalMass(Timestamp t) const {
+    double sum = underflow_ + overflow_;
+    for (double w : weights_) sum += w;
+    return sum / decay_.Normalizer(t);
+  }
+
+  double UnderflowMass(Timestamp t) const {
+    return underflow_ / decay_.Normalizer(t);
+  }
+  double OverflowMass(Timestamp t) const {
+    return overflow_ / decay_.Normalizer(t);
+  }
+
+  /// Approximate phi-quantile by linear interpolation within the bin
+  /// where the cumulative decayed mass crosses phi (like the classic
+  /// histogram_quantile of monitoring systems). Time-invariant.
+  double Quantile(double phi) const {
+    FWDECAY_CHECK(phi >= 0.0 && phi <= 1.0);
+    double total = underflow_ + overflow_;
+    for (double w : weights_) total += w;
+    if (total <= 0.0) return lo_;
+    const double target = phi * total;
+    double acc = underflow_;
+    if (acc >= target) return lo_;
+    const double bin_width =
+        (hi_ - lo_) / static_cast<double>(weights_.size());
+    for (std::size_t i = 0; i < weights_.size(); ++i) {
+      if (acc + weights_[i] >= target) {
+        const double frac =
+            weights_[i] > 0.0 ? (target - acc) / weights_[i] : 0.0;
+        return lo_ + (static_cast<double>(i) + frac) * bin_width;
+      }
+      acc += weights_[i];
+    }
+    return hi_;
+  }
+
+  /// Exact merge with a peer (same range, bins, g and landmark).
+  void Merge(const DecayedHistogram& other) {
+    FWDECAY_CHECK(weights_.size() == other.weights_.size());
+    FWDECAY_CHECK(lo_ == other.lo_ && hi_ == other.hi_);
+    for (std::size_t i = 0; i < weights_.size(); ++i) {
+      weights_[i] += other.weights_[i];
+    }
+    underflow_ += other.underflow_;
+    overflow_ += other.overflow_;
+  }
+
+  /// Exponential landmark rescaling (Section VI-A).
+  void RescaleLandmark(Timestamp new_landmark)
+    requires requires(ForwardDecay<G>& d) { d.RescaleLandmark(0.0); }
+  {
+    const double factor = decay_.RescaleLandmark(new_landmark);
+    for (double& w : weights_) w *= factor;
+    underflow_ *= factor;
+    overflow_ *= factor;
+  }
+
+  std::size_t bins() const { return weights_.size(); }
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+  const ForwardDecay<G>& decay() const { return decay_; }
+
+ private:
+  ForwardDecay<G> decay_;
+  double lo_;
+  double hi_;
+  double underflow_ = 0.0;
+  double overflow_ = 0.0;
+  std::vector<double> weights_;
+};
+
+}  // namespace fwdecay
+
+#endif  // FWDECAY_CORE_HISTOGRAM_H_

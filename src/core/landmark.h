@@ -1,0 +1,72 @@
+#ifndef FWDECAY_CORE_LANDMARK_H_
+#define FWDECAY_CORE_LANDMARK_H_
+
+#include <cmath>
+
+#include "core/decay.h"
+#include "core/forward_decay.h"
+#include "util/check.h"
+
+// Landmark policies (Section III-B): the paper recommends setting the
+// landmark to (a lower bound on) the query's smallest timestamp — for
+// continuous per-bucket queries, the start of each time bucket. This is
+// exactly what the GSQL idiom `(time % 60)` implements; the helper here
+// gives the same semantics to C++ callers without manual arithmetic.
+
+namespace fwdecay {
+
+/// Forward decay whose landmark is the start of the `period`-long
+/// tumbling bucket containing each item: items are weighted by
+/// g(t_i mod period), normalized by g(t mod period) within the same
+/// bucket. Cross-bucket comparisons are meaningless by design — each
+/// bucket is its own query with its own landmark, matching the paper's
+/// per-minute experiments.
+template <ForwardG G>
+class BucketedForwardDecay {
+ public:
+  BucketedForwardDecay(G g, double period) : g_(std::move(g)),
+                                             period_(period) {
+    FWDECAY_CHECK_MSG(period > 0.0, "bucket period must be positive");
+  }
+
+  /// Start of the bucket containing time t (the landmark for t).
+  Timestamp LandmarkFor(Timestamp t) const {
+    return std::floor(t / period_) * period_;
+  }
+
+  /// Bucket index of time t.
+  std::int64_t BucketOf(Timestamp t) const {
+    return static_cast<std::int64_t>(std::floor(t / period_));
+  }
+
+  /// g(t_i - L(t_i)): the static weight relative to the item's own
+  /// bucket landmark — what a per-bucket weighted aggregate stores.
+  double StaticWeight(Timestamp ti) const {
+    return g_.G(ti - LandmarkFor(ti));
+  }
+
+  /// Decayed weight of an item at query time t. Both must fall in the
+  /// same bucket (checked): per-bucket queries never mix landmarks.
+  double Weight(Timestamp ti, Timestamp t) const {
+    FWDECAY_CHECK_MSG(BucketOf(ti) == BucketOf(t),
+                      "item and query time are in different buckets");
+    return StaticWeight(ti) / g_.G(t - LandmarkFor(t));
+  }
+
+  /// The fixed-landmark decay for one bucket — use it to construct the
+  /// per-bucket aggregates/sketches of this library.
+  ForwardDecay<G> DecayForBucket(std::int64_t bucket) const {
+    return ForwardDecay<G>(g_, static_cast<double>(bucket) * period_);
+  }
+
+  const G& g() const { return g_; }
+  double period() const { return period_; }
+
+ private:
+  G g_;
+  double period_;
+};
+
+}  // namespace fwdecay
+
+#endif  // FWDECAY_CORE_LANDMARK_H_

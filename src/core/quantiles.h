@@ -1,0 +1,94 @@
+#ifndef FWDECAY_CORE_QUANTILES_H_
+#define FWDECAY_CORE_QUANTILES_H_
+
+#include <cstdint>
+
+#include "core/forward_decay.h"
+#include "sketch/qdigest.h"
+
+namespace fwdecay {
+
+/// Quantiles under forward decay (Definition 8, Theorem 3).
+///
+/// The decayed rank r_v = Σ_{v_i <= v} g(t_i - L)/g(t - L) factors into a
+/// weighted-rank problem over static weights: a q-digest fed weighted
+/// updates answers it in O((1/eps) log U) space with O(log log U)-ish
+/// update cost, matching the undecayed bounds.
+///
+/// Note the pleasant consequence (as with the decayed average): because
+/// the g(t - L) normalizer cancels between r_v and C, the phi-quantile
+/// VALUE does not depend on the query time — only rank magnitudes do.
+template <ForwardG G>
+class DecayedQuantiles {
+ public:
+  /// Items are drawn from [0, 2^universe_bits); eps is the additive rank
+  /// error relative to the decayed count C.
+  DecayedQuantiles(ForwardDecay<G> decay, int universe_bits, double eps)
+      : decay_(std::move(decay)), digest_(universe_bits, eps) {}
+
+  /// Records value v_i arriving at time t_i. Out-of-order friendly.
+  void Add(Timestamp ti, std::uint64_t value) {
+    digest_.Update(value, decay_.StaticWeight(ti));
+  }
+
+  /// The phi-quantile (phi in [0, 1]): smallest v whose decayed rank is
+  /// (approximately) >= phi * C. Time-invariant, per the class comment.
+  std::uint64_t Quantile(double phi) const { return digest_.Quantile(phi); }
+
+  /// Decayed rank of value v at query time t.
+  double Rank(Timestamp t, std::uint64_t v) const {
+    return digest_.Rank(v) / decay_.Normalizer(t);
+  }
+
+  /// Decayed total count C at query time t.
+  double DecayedTotal(Timestamp t) const {
+    return digest_.TotalWeight() / decay_.Normalizer(t);
+  }
+
+  /// Combines a peer (same g, landmark, universe and eps) — Section VI-B.
+  void Merge(const DecayedQuantiles& other) { digest_.Merge(other.digest_); }
+
+  /// Rebases onto a new landmark (exponential g only; Section VI-A).
+  void RescaleLandmark(Timestamp new_landmark)
+    requires requires(ForwardDecay<G>& d) { d.RescaleLandmark(0.0); }
+  {
+    digest_.ScaleWeights(decay_.RescaleLandmark(new_landmark));
+  }
+
+  const QDigest& digest() const { return digest_; }
+  const ForwardDecay<G>& decay() const { return decay_; }
+  std::size_t MemoryBytes() const { return digest_.MemoryBytes(); }
+
+  /// Serializes landmark + digest for the distributed setting (the decay
+  /// function is configuration; the landmark is checked on Deserialize).
+  void SerializeTo(ByteWriter* writer) const {
+    writer->WriteU8(0x50);  // 'P' (percentiles)
+    writer->WriteDouble(decay_.landmark());
+    digest_.SerializeTo(writer);
+  }
+
+  /// Reconstructs; nullopt on corrupt input or landmark mismatch.
+  static std::optional<DecayedQuantiles> Deserialize(ForwardDecay<G> decay,
+                                                     ByteReader* reader) {
+    std::uint8_t tag = 0;
+    double landmark = 0.0;
+    if (!reader->ReadU8(&tag) || tag != 0x50) return std::nullopt;
+    if (!reader->ReadDouble(&landmark) || landmark != decay.landmark()) {
+      return std::nullopt;
+    }
+    auto digest = QDigest::Deserialize(reader);
+    if (!digest.has_value()) return std::nullopt;
+    DecayedQuantiles out(std::move(decay), digest->universe_bits(),
+                         digest->eps());
+    out.digest_ = *std::move(digest);
+    return out;
+  }
+
+ private:
+  ForwardDecay<G> decay_;
+  QDigest digest_;
+};
+
+}  // namespace fwdecay
+
+#endif  // FWDECAY_CORE_QUANTILES_H_

@@ -1,0 +1,81 @@
+#ifndef FWDECAY_CORE_TOPK_H_
+#define FWDECAY_CORE_TOPK_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "core/forward_decay.h"
+#include "core/heavy_hitters.h"
+
+namespace fwdecay {
+
+/// Decayed top-k: the k keys with the largest decayed counts.
+///
+/// The SpaceSaving sketch behind decayed heavy hitters (Theorem 2) is
+/// also the standard top-k summary (its original setting in Metwally et
+/// al.); this wrapper exposes that view. A reported entry is *guaranteed*
+/// to be in the true top-k when its lower bound (estimate - error)
+/// exceeds the (k+1)-th estimate — the classic SpaceSaving certainty
+/// test, surfaced per entry.
+template <ForwardG G>
+class DecayedTopK {
+ public:
+  struct Entry {
+    std::uint64_t key = 0;
+    double decayed_count = 0.0;  // upper bound, normalized at query time
+    double error = 0.0;
+    /// True when the entry provably belongs to the top-k.
+    bool guaranteed = false;
+  };
+
+  /// `k` results are reported; `slack` extra counters improve both the
+  /// estimates and the number of guaranteed entries.
+  DecayedTopK(ForwardDecay<G> decay, std::size_t k, std::size_t slack = 0)
+      : k_(k), hh_(std::move(decay), 1.0 / static_cast<double>(k + slack + 1)) {
+    FWDECAY_CHECK(k >= 1);
+  }
+
+  /// Records an arrival of `key` at time t_i.
+  void Add(Timestamp ti, std::uint64_t key) { hh_.Add(ti, key); }
+
+  /// Records an arrival with multiplicity (e.g. bytes).
+  void AddN(Timestamp ti, std::uint64_t key, double n) {
+    hh_.AddN(ti, key, n);
+  }
+
+  /// The current top-k by decayed count at query time t, sorted
+  /// descending, with per-entry guarantees.
+  std::vector<Entry> Query(Timestamp t) const {
+    // phi = 0 returns every counter, already sorted by estimate.
+    const auto all = hh_.Query(t, 0.0);
+    std::vector<Entry> out;
+    const std::size_t take = std::min(k_, all.size());
+    // The certainty threshold is the next-best estimate after the top-k.
+    const double next_best =
+        all.size() > take ? all[take].decayed_count : 0.0;
+    out.reserve(take);
+    for (std::size_t i = 0; i < take; ++i) {
+      Entry e;
+      e.key = all[i].key;
+      e.decayed_count = all[i].decayed_count;
+      e.error = all[i].error;
+      e.guaranteed = all[i].decayed_count - all[i].error >= next_best;
+      out.push_back(e);
+    }
+    return out;
+  }
+
+  void Merge(const DecayedTopK& other) { hh_.Merge(other.hh_); }
+
+  const DecayedHeavyHitters<G>& heavy_hitters() const { return hh_; }
+  std::size_t k() const { return k_; }
+
+ private:
+  std::size_t k_;
+  DecayedHeavyHitters<G> hh_;
+};
+
+}  // namespace fwdecay
+
+#endif  // FWDECAY_CORE_TOPK_H_

@@ -1,0 +1,176 @@
+#include "dsms/agg.h"
+
+#include <algorithm>
+#include <cctype>
+#include <unordered_set>
+
+#include "util/check.h"
+
+namespace fwdecay::dsms {
+
+namespace {
+
+std::string Lower(std::string s) {
+  for (char& c : s) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return s;
+}
+
+// --- Built-in SQL aggregates -----------------------------------------------
+
+class CountAgg : public AggState {
+ public:
+  void Update(const std::vector<Value>&) override { ++count_; }
+  void Merge(AggState& other) override {
+    count_ += static_cast<CountAgg&>(other).count_;
+  }
+  Value Finalize() const override { return Value(count_); }
+
+ private:
+  std::int64_t count_ = 0;
+};
+
+class SumAgg : public AggState {
+ public:
+  void Update(const std::vector<Value>& args) override {
+    FWDECAY_CHECK_MSG(!args.empty(), "sum() needs an argument");
+    if (!args[0].is_int()) all_int_ = false;
+    sum_ += args[0].AsDouble();
+  }
+  void Merge(AggState& other) override {
+    auto& o = static_cast<SumAgg&>(other);
+    sum_ += o.sum_;
+    all_int_ = all_int_ && o.all_int_;
+  }
+  Value Finalize() const override {
+    if (all_int_) return Value(static_cast<std::int64_t>(sum_));
+    return Value(sum_);
+  }
+
+ private:
+  double sum_ = 0.0;
+  bool all_int_ = true;
+};
+
+class AvgAgg : public AggState {
+ public:
+  void Update(const std::vector<Value>& args) override {
+    FWDECAY_CHECK_MSG(!args.empty(), "avg() needs an argument");
+    sum_ += args[0].AsDouble();
+    ++count_;
+  }
+  void Merge(AggState& other) override {
+    auto& o = static_cast<AvgAgg&>(other);
+    sum_ += o.sum_;
+    count_ += o.count_;
+  }
+  Value Finalize() const override {
+    return Value(count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_));
+  }
+
+ private:
+  double sum_ = 0.0;
+  std::int64_t count_ = 0;
+};
+
+/// count(distinct expr): exact distinct count over the argument's value
+/// hashes (Section IV-D's undecayed special case; the decayed variant is
+/// the FDDISTINCT UDAF).
+class CountDistinctAgg : public AggState {
+ public:
+  void Update(const std::vector<Value>& args) override {
+    FWDECAY_CHECK_MSG(!args.empty(), "count(distinct) needs an argument");
+    seen_.insert(args[0].Hash());
+  }
+  void Merge(AggState& other) override {
+    auto& o = static_cast<CountDistinctAgg&>(other);
+    seen_.insert(o.seen_.begin(), o.seen_.end());
+  }
+  Value Finalize() const override {
+    return Value(static_cast<std::int64_t>(seen_.size()));
+  }
+
+ private:
+  std::unordered_set<std::uint64_t> seen_;
+};
+
+template <bool kIsMax>
+class ExtremumAgg : public AggState {
+ public:
+  void Update(const std::vector<Value>& args) override {
+    FWDECAY_CHECK_MSG(!args.empty(), "min()/max() needs an argument");
+    Offer(args[0]);
+  }
+  void Merge(AggState& other) override {
+    auto& o = static_cast<ExtremumAgg&>(other);
+    if (o.has_value_) Offer(o.best_);
+  }
+  Value Finalize() const override { return has_value_ ? best_ : Value(); }
+
+ private:
+  void Offer(const Value& v) {
+    if (!has_value_ || (kIsMax ? Compare(v, best_) > 0
+                               : Compare(v, best_) < 0)) {
+      best_ = v;
+    }
+    has_value_ = true;
+  }
+
+  Value best_;
+  bool has_value_ = false;
+};
+
+}  // namespace
+
+AggRegistry::AggRegistry() {
+  Register("count", [] { return std::make_unique<CountAgg>(); });
+  Register("count_distinct",
+           [] { return std::make_unique<CountDistinctAgg>(); });
+  Register("sum", [] { return std::make_unique<SumAgg>(); });
+  Register("avg", [] { return std::make_unique<AvgAgg>(); });
+  Register("min", [] { return std::make_unique<ExtremumAgg<false>>(); });
+  Register("max", [] { return std::make_unique<ExtremumAgg<true>>(); });
+}
+
+AggRegistry& AggRegistry::Instance() {
+  // Leaked singleton: trivially-destructible static storage per the
+  // style rules on global objects.
+  static AggRegistry& registry = *new AggRegistry();
+  return registry;
+}
+
+void AggRegistry::Register(const std::string& name, AggFactory factory) {
+  const std::string key = Lower(name);
+  for (auto& [existing, f] : entries_) {
+    if (existing == key) {
+      f = std::move(factory);
+      return;
+    }
+  }
+  entries_.emplace_back(key, std::move(factory));
+}
+
+bool AggRegistry::Contains(const std::string& name) const {
+  const std::string key = Lower(name);
+  return std::any_of(entries_.begin(), entries_.end(),
+                     [&](const auto& e) { return e.first == key; });
+}
+
+std::unique_ptr<AggState> AggRegistry::Create(const std::string& name) const {
+  const std::string key = Lower(name);
+  for (const auto& [existing, factory] : entries_) {
+    if (existing == key) return factory();
+  }
+  FWDECAY_CHECK_MSG(false, "unknown aggregate function");
+  return nullptr;
+}
+
+std::vector<std::string> AggRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(entries_.size());
+  for (const auto& [name, factory] : entries_) names.push_back(name);
+  return names;
+}
+
+}  // namespace fwdecay::dsms

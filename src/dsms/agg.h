@@ -1,0 +1,71 @@
+#ifndef FWDECAY_DSMS_AGG_H_
+#define FWDECAY_DSMS_AGG_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dsms/value.h"
+
+// Aggregate-function framework of the mini DSMS.
+//
+// Mirrors the GS architecture the paper builds on (Section I/VIII): the
+// engine ships with the built-in SQL aggregates (count, sum, avg, min,
+// max) and exposes the same *UDAF* extension hook GS has — arbitrary
+// C++ aggregation code invoked per tuple with evaluated arguments. The
+// paper's entire experimental apparatus (weighted SpaceSaving, samplers,
+// EH baselines) plugs in through this interface; see udafs.h.
+
+namespace fwdecay::dsms {
+
+/// Per-group aggregation state. One instance per (group, aggregate call).
+class AggState {
+ public:
+  virtual ~AggState() = default;
+
+  /// Folds one tuple's evaluated argument list into the state.
+  virtual void Update(const std::vector<Value>& args) = 0;
+
+  /// Merges another state of the same concrete type (used by the
+  /// two-level aggregation split when the low level evicts a partial
+  /// group, and by distributed combination). Implementations may
+  /// CHECK-fail if merging is not meaningful for them.
+  virtual void Merge(AggState& other) = 0;
+
+  /// Produces the output value for the group.
+  virtual Value Finalize() const = 0;
+};
+
+/// Creates a fresh state for one group.
+using AggFactory = std::function<std::unique_ptr<AggState>()>;
+
+/// Name-to-factory registry. Built-in aggregates are pre-registered;
+/// UDAFs are added with Register() — no query-language or engine changes
+/// required, which is the deployment story of Section VI.
+class AggRegistry {
+ public:
+  /// The process-wide registry (lazily constructed, never destroyed).
+  static AggRegistry& Instance();
+
+  /// Registers (or replaces) an aggregate under a lowercase name.
+  void Register(const std::string& name, AggFactory factory);
+
+  /// True if `name` (any case) is a known aggregate.
+  bool Contains(const std::string& name) const;
+
+  /// Creates a state; CHECK-fails for unknown names.
+  std::unique_ptr<AggState> Create(const std::string& name) const;
+
+  /// All registered lowercase names (for the planner's classifier).
+  std::vector<std::string> Names() const;
+
+ private:
+  AggRegistry();
+
+  std::vector<std::pair<std::string, AggFactory>> entries_;
+};
+
+}  // namespace fwdecay::dsms
+
+#endif  // FWDECAY_DSMS_AGG_H_

@@ -1,0 +1,70 @@
+#ifndef FWDECAY_DSMS_BUNDLE_H_
+#define FWDECAY_DSMS_BUNDLE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dsms/engine.h"
+#include "util/check.h"
+
+// Multi-query shared execution: real DSMSs (GS included) run many
+// continuous queries over the same packet stream in a single pass. The
+// bundle owns the compiled plans and their executions and fans each
+// packet out once, so adding queries does not add stream scans.
+
+namespace fwdecay::dsms {
+
+class QueryBundle {
+ public:
+  /// Compiles and adds a query; returns its index, or -1 with *error.
+  int Add(const std::string& gsql, std::string* error,
+          CompiledQuery::Options options = {}) {
+    auto plan = CompiledQuery::Compile(gsql, error, options);
+    if (plan == nullptr) return -1;
+    entries_.push_back(Entry{std::move(plan), nullptr, gsql});
+    entries_.back().exec = entries_.back().plan->NewExecution();
+    return static_cast<int>(entries_.size()) - 1;
+  }
+
+  /// Feeds one packet to every query.
+  void Consume(const Packet& p) {
+    for (Entry& e : entries_) e.exec->Consume(p);
+  }
+
+  std::size_t size() const { return entries_.size(); }
+  const std::string& query_text(std::size_t i) const {
+    return entries_[i].gsql;
+  }
+
+  /// Finishes query `i` and restarts its execution (so the bundle can
+  /// keep consuming — per-epoch emission for all queries at once).
+  ResultSet Finish(std::size_t i) {
+    FWDECAY_CHECK(i < entries_.size());
+    ResultSet rs = entries_[i].exec->Finish();
+    entries_[i].exec = entries_[i].plan->NewExecution();
+    return rs;
+  }
+
+  /// Finishes every query in order, restarting all executions.
+  std::vector<ResultSet> FinishAll() {
+    std::vector<ResultSet> out;
+    out.reserve(entries_.size());
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      out.push_back(Finish(i));
+    }
+    return out;
+  }
+
+ private:
+  struct Entry {
+    std::unique_ptr<CompiledQuery> plan;
+    std::unique_ptr<QueryExecution> exec;
+    std::string gsql;
+  };
+  std::vector<Entry> entries_;
+};
+
+}  // namespace fwdecay::dsms
+
+#endif  // FWDECAY_DSMS_BUNDLE_H_

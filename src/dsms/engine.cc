@@ -1,0 +1,407 @@
+#include "dsms/engine.h"
+
+#include <algorithm>
+#include <cctype>
+#include <unordered_map>
+#include <utility>
+
+#include "util/check.h"
+#include "util/hash.h"
+
+namespace fwdecay::dsms {
+
+namespace {
+
+std::string Lower(std::string s) {
+  for (char& c : s) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return s;
+}
+
+std::uint64_t HashKey(const std::vector<Value>& key) {
+  std::uint64_t h = 0x12345678abcdef01ULL;
+  for (const Value& v : key) h = HashCombine(h, v.Hash());
+  return h;
+}
+
+bool KeysEqual(const std::vector<Value>& a, const std::vector<Value>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (!(a[i] == b[i])) return false;
+  }
+  return true;
+}
+
+// Binds an expression for post-aggregation evaluation: aggregate calls
+// become kAggRef slots (appending their name and per-tuple argument
+// expressions to the plan), and subtrees matching a GROUP BY expression
+// (textually) or a GROUP BY alias become kGroupRef. Any raw column that
+// survives is an error — it is neither aggregated nor grouped.
+bool BindPostExpr(
+    std::unique_ptr<Expr>& expr, const std::vector<std::string>& agg_names,
+    const std::vector<std::string>& group_text,
+    const std::vector<std::pair<std::string, int>>& alias_to_pos,
+    std::vector<std::string>* slot_names,
+    std::vector<std::vector<std::unique_ptr<Expr>>>* slot_args,
+    std::string* error) {
+  if (expr->kind == Expr::Kind::kCall) {
+    const std::string name = Lower(expr->name);
+    if (std::find(agg_names.begin(), agg_names.end(), name) !=
+        agg_names.end()) {
+      const int slot = static_cast<int>(slot_names->size());
+      slot_names->push_back(name);
+      slot_args->push_back(std::move(expr->args));
+      expr = Expr::AggRef(slot);
+      return true;
+    }
+  }
+  if (expr->kind == Expr::Kind::kColumn) {
+    const std::string col = Lower(expr->name);
+    for (const auto& [alias, pos] : alias_to_pos) {
+      if (alias == col) {
+        expr = Expr::GroupRef(pos);
+        return true;
+      }
+    }
+  }
+  const std::string text = expr->ToString();
+  for (std::size_t i = 0; i < group_text.size(); ++i) {
+    if (group_text[i] == text) {
+      expr = Expr::GroupRef(static_cast<int>(i));
+      return true;
+    }
+  }
+  if (expr->kind == Expr::Kind::kColumn) {
+    *error = "column '" + expr->name +
+             "' is used outside an aggregate and does not match a GROUP BY "
+             "expression or alias";
+    return false;
+  }
+  for (auto& arg : expr->args) {
+    if (!BindPostExpr(arg, agg_names, group_text, alias_to_pos, slot_names,
+                      slot_args, error)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Compilation
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<CompiledQuery> CompiledQuery::Compile(const std::string& gsql,
+                                                      std::string* error) {
+  return Compile(gsql, error, Options{});
+}
+
+std::unique_ptr<CompiledQuery> CompiledQuery::Compile(const std::string& gsql,
+                                                      std::string* error,
+                                                      Options options) {
+  ParseResult parsed = ParseQuery(gsql);
+  if (!parsed.ok()) {
+    *error = parsed.error;
+    return nullptr;
+  }
+  return CompileParsed(std::move(*parsed.query), error, options);
+}
+
+std::unique_ptr<CompiledQuery> CompiledQuery::CompileParsed(Query query,
+                                                            std::string* error,
+                                                            Options options) {
+  auto plan = std::unique_ptr<CompiledQuery>(new CompiledQuery());
+  plan->options_ = options;
+
+  // FROM clause: TCP and UDP are protocol-filtered views of the packet
+  // stream; PKT (or anything else) is the raw stream.
+  const std::string from = Lower(query.from);
+  if (from == "tcp") {
+    plan->protocol_filter_ = kProtoTcp;
+  } else if (from == "udp") {
+    plan->protocol_filter_ = kProtoUdp;
+  } else {
+    plan->protocol_filter_ = 0;
+  }
+  plan->where_ = std::move(query.where);
+
+  // Group-by expressions, with alias -> position mapping.
+  std::vector<std::pair<std::string, int>> alias_to_pos;
+  std::vector<std::string> group_text;
+  for (std::size_t i = 0; i < query.group_by.size(); ++i) {
+    SelectItem& item = query.group_by[i];
+    group_text.push_back(item.expr->ToString());
+    if (!item.alias.empty()) {
+      alias_to_pos.emplace_back(item.alias, static_cast<int>(i));
+    }
+    plan->group_exprs_.push_back(std::move(item.expr));
+  }
+
+  const std::vector<std::string> agg_names = AggRegistry::Instance().Names();
+
+  for (SelectItem& item : query.select) {
+    OutputItem out;
+    out.source_text = item.expr->ToString();
+    out.column_name = item.alias.empty() ? out.source_text : item.alias;
+    if (!BindPostExpr(item.expr, agg_names, group_text, alias_to_pos,
+                      &plan->agg_names_, &plan->agg_args_, error)) {
+      return nullptr;
+    }
+    out.post = std::move(item.expr);
+    plan->outputs_.push_back(std::move(out));
+  }
+
+  // HAVING: a post-aggregation predicate over group columns + aggregates.
+  if (query.having != nullptr) {
+    if (!BindPostExpr(query.having, agg_names, group_text, alias_to_pos,
+                      &plan->agg_names_, &plan->agg_args_, error)) {
+      return nullptr;
+    }
+    plan->having_ = std::move(query.having);
+  }
+
+  // ORDER BY: resolve each entry to an output column — by 1-based
+  // position, by alias/column name, or by expression text.
+  for (OrderItem& item : query.order_by) {
+    std::size_t col = plan->outputs_.size();
+    if (item.expr->kind == Expr::Kind::kLiteral &&
+        item.expr->literal.is_int()) {
+      const std::int64_t pos = item.expr->literal.AsInt();
+      if (pos < 1 ||
+          pos > static_cast<std::int64_t>(plan->outputs_.size())) {
+        *error = "ORDER BY position out of range";
+        return nullptr;
+      }
+      col = static_cast<std::size_t>(pos - 1);
+    } else {
+      const std::string text = item.expr->ToString();
+      for (std::size_t i = 0; i < plan->outputs_.size(); ++i) {
+        if (plan->outputs_[i].column_name == text ||
+            plan->outputs_[i].source_text == text) {
+          col = i;
+          break;
+        }
+      }
+      if (col == plan->outputs_.size()) {
+        *error = "ORDER BY item '" + text +
+                 "' does not name an output column";
+        return nullptr;
+      }
+    }
+    plan->order_by_.emplace_back(col, item.descending);
+  }
+  plan->limit_ = query.limit;
+
+  if (plan->options_.two_level) {
+    FWDECAY_CHECK_MSG(plan->options_.low_level_slots >= 2,
+                      "two-level mode needs at least 2 low-level slots");
+  }
+  return plan;
+}
+
+std::unique_ptr<QueryExecution> CompiledQuery::NewExecution() const {
+  return std::make_unique<QueryExecution>(this);
+}
+
+// ---------------------------------------------------------------------------
+// Execution
+// ---------------------------------------------------------------------------
+
+struct QueryExecution::Group {
+  std::vector<Value> key;
+  std::vector<std::unique_ptr<AggState>> aggs;
+};
+
+struct QueryExecution::LowSlot {
+  bool occupied = false;
+  std::uint64_t hash = 0;
+  Group group;
+};
+
+struct QueryExecution::HighTable {
+  // hash -> bucket of groups (chained to handle Value-level collisions).
+  std::unordered_map<std::uint64_t, std::vector<Group>> map;
+};
+
+QueryExecution::QueryExecution(const CompiledQuery* plan)
+    : plan_(plan), high_(std::make_unique<HighTable>()) {
+  if (plan_->options_.two_level) {
+    low_table_.resize(plan_->options_.low_level_slots);
+  }
+}
+
+QueryExecution::~QueryExecution() = default;
+
+namespace {
+
+std::vector<std::unique_ptr<AggState>> MakeAggStates(
+    const std::vector<std::string>& names) {
+  std::vector<std::unique_ptr<AggState>> states;
+  states.reserve(names.size());
+  for (const std::string& name : names) {
+    states.push_back(AggRegistry::Instance().Create(name));
+  }
+  return states;
+}
+
+}  // namespace
+
+QueryExecution::Group* QueryExecution::FindOrCreateHighGroup(
+    std::uint64_t hash, std::vector<Value>&& key) {
+  std::vector<Group>& bucket = high_->map[hash];
+  for (Group& g : bucket) {
+    if (KeysEqual(g.key, key)) return &g;
+  }
+  bucket.push_back(Group{std::move(key), MakeAggStates(plan_->agg_names_)});
+  return &bucket.back();
+}
+
+void QueryExecution::UpdateGroup(Group& group, const Packet& p) {
+  std::vector<Value> args;
+  for (std::size_t slot = 0; slot < plan_->agg_names_.size(); ++slot) {
+    args.clear();
+    for (const auto& arg_expr : plan_->agg_args_[slot]) {
+      args.push_back(EvalExpr(*arg_expr, p));
+    }
+    group.aggs[slot]->Update(args);
+  }
+}
+
+void QueryExecution::EvictToHigh(LowSlot& slot) {
+  Group* target =
+      FindOrCreateHighGroup(slot.hash, std::move(slot.group.key));
+  for (std::size_t i = 0; i < target->aggs.size(); ++i) {
+    target->aggs[i]->Merge(*slot.group.aggs[i]);
+  }
+  slot.occupied = false;
+  slot.group.key.clear();
+  slot.group.aggs.clear();
+  ++low_level_evictions_;
+}
+
+void QueryExecution::Consume(const Packet& p) {
+  if (plan_->protocol_filter_ != 0 && p.protocol != plan_->protocol_filter_) {
+    return;
+  }
+  if (plan_->where_ != nullptr && !EvalPredicate(*plan_->where_, p)) return;
+  ++tuples_aggregated_;
+
+  std::vector<Value> key;
+  key.reserve(plan_->group_exprs_.size());
+  for (const auto& g : plan_->group_exprs_) key.push_back(EvalExpr(*g, p));
+  const std::uint64_t hash = HashKey(key);
+
+  if (!plan_->options_.two_level) {
+    Group* group = FindOrCreateHighGroup(hash, std::move(key));
+    UpdateGroup(*group, p);
+    return;
+  }
+
+  // Two-level path: direct-mapped low-level table; collisions evict the
+  // incumbent partial group to the high level (GS's low/high split).
+  LowSlot& slot = low_table_[hash % low_table_.size()];
+  if (slot.occupied && (slot.hash != hash || !KeysEqual(slot.group.key, key))) {
+    EvictToHigh(slot);
+  }
+  if (!slot.occupied) {
+    slot.occupied = true;
+    slot.hash = hash;
+    slot.group.key = std::move(key);
+    slot.group.aggs = MakeAggStates(plan_->agg_names_);
+  }
+  UpdateGroup(slot.group, p);
+}
+
+std::size_t QueryExecution::GroupCount() const {
+  std::size_t n = 0;
+  for (const auto& [hash, bucket] : high_->map) n += bucket.size();
+  for (const LowSlot& slot : low_table_) {
+    if (slot.occupied) ++n;
+  }
+  return n;
+}
+
+ResultSet QueryExecution::Finish() {
+  // Flush remaining low-level partial groups.
+  for (LowSlot& slot : low_table_) {
+    if (slot.occupied) EvictToHigh(slot);
+  }
+
+  ResultSet result;
+  for (const auto& out : plan_->outputs_) result.columns.push_back(out.column_name);
+
+  std::vector<Group*> groups;
+  for (auto& [hash, bucket] : high_->map) {
+    for (Group& g : bucket) groups.push_back(&g);
+  }
+  std::sort(groups.begin(), groups.end(), [](const Group* a, const Group* b) {
+    const std::size_t n = std::min(a->key.size(), b->key.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      // Mixed-type keys are ordered int < double < string per slot; within
+      // a query every slot has a fixed type, so this only breaks ties.
+      const Value& x = a->key[i];
+      const Value& y = b->key[i];
+      if (!(x == y)) {
+        if (x.is_string() != y.is_string()) return y.is_string();
+        return Compare(x, y) < 0;
+      }
+    }
+    return a->key.size() < b->key.size();
+  });
+
+  for (Group* g : groups) {
+    std::vector<Value> agg_values;
+    agg_values.reserve(g->aggs.size());
+    for (const auto& agg : g->aggs) agg_values.push_back(agg->Finalize());
+    if (plan_->having_ != nullptr &&
+        !EvalPostPredicate(*plan_->having_, agg_values, g->key)) {
+      continue;
+    }
+    std::vector<Value> row;
+    row.reserve(plan_->outputs_.size());
+    for (const auto& out : plan_->outputs_) {
+      row.push_back(EvalPostExpr(*out.post, agg_values, g->key));
+    }
+    result.rows.push_back(std::move(row));
+  }
+
+  // ORDER BY (stable, lexicographic over the listed columns); the rows
+  // are already in group-key order, which remains the tiebreaker.
+  if (!plan_->order_by_.empty()) {
+    std::stable_sort(
+        result.rows.begin(), result.rows.end(),
+        [this](const std::vector<Value>& a, const std::vector<Value>& b) {
+          for (const auto& [col, desc] : plan_->order_by_) {
+            const int cmp = Compare(a[col], b[col]);
+            if (cmp != 0) return desc ? cmp > 0 : cmp < 0;
+          }
+          return false;
+        });
+  }
+  if (plan_->limit_.has_value() &&
+      result.rows.size() > static_cast<std::size_t>(*plan_->limit_)) {
+    result.rows.resize(static_cast<std::size_t>(*plan_->limit_));
+  }
+  return result;
+}
+
+std::string ResultSet::ToString() const {
+  std::string s;
+  for (std::size_t c = 0; c < columns.size(); ++c) {
+    if (c > 0) s += "\t";
+    s += columns[c];
+  }
+  s += "\n";
+  for (const auto& row : rows) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) s += "\t";
+      s += row[c].ToString();
+    }
+    s += "\n";
+  }
+  return s;
+}
+
+}  // namespace fwdecay::dsms

@@ -1,0 +1,145 @@
+#ifndef FWDECAY_DSMS_ENGINE_H_
+#define FWDECAY_DSMS_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "dsms/agg.h"
+#include "dsms/expr.h"
+#include "dsms/packet.h"
+#include "dsms/parser.h"
+#include "dsms/value.h"
+
+// Query compilation and execution for the mini DSMS.
+//
+// The pipeline mirrors the slice of GS the paper exercises: a stream
+// selection (FROM TCP/UDP/PKT plus WHERE), a group-by over arbitrary
+// scalar expressions (time buckets are just `time/60`), and per-group
+// aggregates — built-in or UDAF. Like GS, the engine can split
+// aggregation into two levels (Figure 2(a) vs 2(b)): a fixed-size
+// direct-mapped low-level table absorbs most updates and evicts partial
+// groups to the high-level hash map on collision.
+
+namespace fwdecay::dsms {
+
+/// Result table produced by QueryExecution::Finish().
+struct ResultSet {
+  std::vector<std::string> columns;
+  std::vector<std::vector<Value>> rows;
+
+  /// Renders the table for human consumption.
+  std::string ToString() const;
+};
+
+class QueryExecution;
+
+/// A validated, bound query plan. Immutable and reusable: create any
+/// number of executions from one compiled query.
+class CompiledQuery {
+ public:
+  struct Options {
+    /// Enables the GS-style two-level aggregation split.
+    bool two_level = false;
+    /// Number of slots in the low-level direct-mapped table.
+    std::size_t low_level_slots = 4096;
+  };
+
+  /// Compiles GSQL text; returns nullptr and sets *error on failure.
+  static std::unique_ptr<CompiledQuery> Compile(const std::string& gsql,
+                                                std::string* error);
+  static std::unique_ptr<CompiledQuery> Compile(const std::string& gsql,
+                                                std::string* error,
+                                                Options options);
+
+  /// Compiles an already-parsed query.
+  static std::unique_ptr<CompiledQuery> CompileParsed(Query query,
+                                                      std::string* error,
+                                                      Options options);
+
+  /// Starts a fresh execution of this plan. The execution holds a
+  /// reference to this plan: the CompiledQuery must outlive every
+  /// QueryExecution created from it.
+  std::unique_ptr<QueryExecution> NewExecution() const;
+
+  const Options& options() const { return options_; }
+  std::size_t num_aggregates() const { return agg_names_.size(); }
+
+ private:
+  friend class QueryExecution;
+
+  struct OutputItem {
+    // Bound post-aggregation expression: kGroupRef/kAggRef placeholders
+    // over the group key and finalized aggregates.
+    std::unique_ptr<Expr> post;
+    std::string column_name;
+    std::string source_text;  // pre-binding text, for ORDER BY matching
+  };
+
+  CompiledQuery() = default;
+
+  Options options_;
+  std::uint8_t protocol_filter_ = 0;     // 0 = all, else exact match
+  std::unique_ptr<Expr> where_;          // may be null
+  std::vector<std::unique_ptr<Expr>> group_exprs_;
+  std::vector<std::string> agg_names_;   // aggregate function per slot
+  // Argument expressions per aggregate slot.
+  std::vector<std::vector<std::unique_ptr<Expr>>> agg_args_;
+  std::vector<OutputItem> outputs_;
+  std::unique_ptr<Expr> having_;         // bound post expr; may be null
+  // Output column index + descending flag, applied in order.
+  std::vector<std::pair<std::size_t, bool>> order_by_;
+  std::optional<std::int64_t> limit_;
+};
+
+/// Mutable state of one run: feed packets, then collect results.
+class QueryExecution {
+ public:
+  explicit QueryExecution(const CompiledQuery* plan);
+  ~QueryExecution();
+
+  QueryExecution(const QueryExecution&) = delete;
+  QueryExecution& operator=(const QueryExecution&) = delete;
+
+  /// Processes one packet (filter -> group -> aggregate update).
+  void Consume(const Packet& p);
+
+  /// Flushes the low level and produces the final result table, sorted
+  /// by group key for determinism.
+  ResultSet Finish();
+
+  /// Packets that passed the filter so far.
+  std::uint64_t tuples_aggregated() const { return tuples_aggregated_; }
+
+  /// Distinct groups currently held (low + high level).
+  std::size_t GroupCount() const;
+
+  /// Evictions from the low-level table (two-level mode only).
+  std::uint64_t low_level_evictions() const { return low_level_evictions_; }
+
+ private:
+  struct Group;
+  struct LowSlot;
+
+  Group* FindOrCreateHighGroup(std::uint64_t hash,
+                               std::vector<Value>&& key);
+  void UpdateGroup(Group& group, const Packet& p);
+  void EvictToHigh(LowSlot& slot);
+
+  const CompiledQuery* plan_;
+  std::uint64_t tuples_aggregated_ = 0;
+  std::uint64_t low_level_evictions_ = 0;
+
+  // Storage details live in the .cc (pimpl-free; concrete types are
+  // private nested structs).
+  std::vector<LowSlot> low_table_;
+  struct HighTable;
+  std::unique_ptr<HighTable> high_;
+};
+
+}  // namespace fwdecay::dsms
+
+#endif  // FWDECAY_DSMS_ENGINE_H_

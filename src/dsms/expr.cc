@@ -1,0 +1,366 @@
+#include "dsms/expr.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace fwdecay::dsms {
+
+std::unique_ptr<Expr> Expr::Column(std::string name) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kColumn;
+  e->name = std::move(name);
+  return e;
+}
+
+std::unique_ptr<Expr> Expr::Literal(Value v) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kLiteral;
+  e->literal = std::move(v);
+  return e;
+}
+
+std::unique_ptr<Expr> Expr::Star() {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kStar;
+  return e;
+}
+
+std::unique_ptr<Expr> Expr::AggRef(int index) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kAggRef;
+  e->agg_index = index;
+  return e;
+}
+
+std::unique_ptr<Expr> Expr::GroupRef(int index) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kGroupRef;
+  e->group_index = index;
+  return e;
+}
+
+std::unique_ptr<Expr> Expr::Binary(BinOp op, std::unique_ptr<Expr> lhs,
+                                   std::unique_ptr<Expr> rhs) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kBinary;
+  e->op = op;
+  e->args.push_back(std::move(lhs));
+  e->args.push_back(std::move(rhs));
+  return e;
+}
+
+std::unique_ptr<Expr> Expr::Neg(std::unique_ptr<Expr> operand) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kNeg;
+  e->args.push_back(std::move(operand));
+  return e;
+}
+
+std::unique_ptr<Expr> Expr::Call(std::string func,
+                                 std::vector<std::unique_ptr<Expr>> args) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kCall;
+  e->name = std::move(func);
+  e->args = std::move(args);
+  return e;
+}
+
+std::unique_ptr<Expr> Expr::Clone() const {
+  auto e = std::make_unique<Expr>();
+  e->kind = kind;
+  e->name = name;
+  e->literal = literal;
+  e->op = op;
+  e->agg_index = agg_index;
+  e->group_index = group_index;
+  e->args.reserve(args.size());
+  for (const auto& a : args) e->args.push_back(a->Clone());
+  return e;
+}
+
+namespace {
+
+std::string Lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+const char* OpText(BinOp op) {
+  switch (op) {
+    case BinOp::kAdd: return "+";
+    case BinOp::kSub: return "-";
+    case BinOp::kMul: return "*";
+    case BinOp::kDiv: return "/";
+    case BinOp::kMod: return "%";
+    case BinOp::kEq: return "=";
+    case BinOp::kNe: return "<>";
+    case BinOp::kLt: return "<";
+    case BinOp::kLe: return "<=";
+    case BinOp::kGt: return ">";
+    case BinOp::kGe: return ">=";
+    case BinOp::kAnd: return "and";
+    case BinOp::kOr: return "or";
+  }
+  return "?";
+}
+
+}  // namespace
+
+bool Expr::ContainsCall(const std::vector<std::string>& agg_names) const {
+  if (kind == Kind::kCall) {
+    const std::string lower = Lower(name);
+    for (const std::string& agg : agg_names) {
+      if (lower == agg) return true;
+    }
+  }
+  for (const auto& a : args) {
+    if (a->ContainsCall(agg_names)) return true;
+  }
+  return false;
+}
+
+std::string Expr::ToString() const {
+  switch (kind) {
+    case Kind::kColumn:
+      return Lower(name);
+    case Kind::kLiteral:
+      return literal.ToString();
+    case Kind::kStar:
+      return "*";
+    case Kind::kAggRef:
+      return "$agg" + std::to_string(agg_index);
+    case Kind::kGroupRef:
+      return "$grp" + std::to_string(group_index);
+    case Kind::kNeg: {
+      std::string s = "(-";
+      s += args[0]->ToString();
+      s += ")";
+      return s;
+    }
+    case Kind::kBinary: {
+      std::string s = "(";
+      s += args[0]->ToString();
+      s += " ";
+      s += OpText(op);
+      s += " ";
+      s += args[1]->ToString();
+      s += ")";
+      return s;
+    }
+    case Kind::kCall: {
+      std::string s = Lower(name) + "(";
+      for (std::size_t i = 0; i < args.size(); ++i) {
+        if (i > 0) s += ", ";
+        s += args[i]->ToString();
+      }
+      return s + ")";
+    }
+  }
+  return "?";
+}
+
+bool IsKnownColumn(const std::string& name) {
+  const std::string n = Lower(name);
+  return n == "time" || n == "dtime" || n == "srcip" || n == "destip" ||
+         n == "srcport" || n == "destport" || n == "len" || n == "protocol";
+}
+
+Value ReadColumn(const std::string& name, const Packet& p) {
+  const std::string n = Lower(name);
+  if (n == "time") return Value(static_cast<std::int64_t>(p.time));
+  if (n == "dtime") return Value(p.time);
+  if (n == "srcip") return Value(static_cast<std::int64_t>(p.src_ip));
+  if (n == "destip") return Value(static_cast<std::int64_t>(p.dest_ip));
+  if (n == "srcport") return Value(static_cast<std::int64_t>(p.src_port));
+  if (n == "destport") return Value(static_cast<std::int64_t>(p.dest_port));
+  if (n == "len") return Value(static_cast<std::int64_t>(p.len));
+  if (n == "protocol") return Value(static_cast<std::int64_t>(p.protocol));
+  FWDECAY_CHECK_MSG(false, "unknown column");
+  return Value();
+}
+
+namespace {
+
+// Applies a built-in scalar function to already-evaluated arguments;
+// shared by the per-tuple and post-aggregation evaluators.
+Value ApplyScalarFn(const std::string& name, const std::vector<Value>& args) {
+  const std::string fn = Lower(name);
+  auto arg = [&](std::size_t i) {
+    FWDECAY_CHECK_MSG(i < args.size(), "missing scalar function argument");
+    return args[i];
+  };
+  if (fn == "exp") return Value(std::exp(arg(0).AsDouble()));
+  if (fn == "ln") return Value(std::log(arg(0).AsDouble()));
+  if (fn == "sqrt") return Value(std::sqrt(arg(0).AsDouble()));
+  if (fn == "abs") return Value(std::fabs(arg(0).AsDouble()));
+  if (fn == "floor") {
+    return Value(static_cast<std::int64_t>(std::floor(arg(0).AsDouble())));
+  }
+  if (fn == "pow") {
+    return Value(std::pow(arg(0).AsDouble(), arg(1).AsDouble()));
+  }
+  // Syntactic sugar for forward-decay weights (Section IV suggests
+  // exactly this kind of helper): the landmark is the start of the
+  // `period`-long bucket containing t, so
+  //   polyweight(time, 60, 2)  ==  (time % 60)^2
+  //   expweight(time, 60, 0.1) ==  exp(0.1 * (time % 60))
+  if (fn == "polyweight") {
+    const double offset = std::fmod(arg(0).AsDouble(), arg(1).AsDouble());
+    return Value(std::pow(offset, arg(2).AsDouble()));
+  }
+  if (fn == "expweight") {
+    const double offset = std::fmod(arg(0).AsDouble(), arg(1).AsDouble());
+    return Value(std::exp(arg(2).AsDouble() * offset));
+  }
+  FWDECAY_CHECK_MSG(false, "unknown scalar function (aggregates cannot be "
+                           "evaluated per tuple)");
+  return Value();
+}
+
+Value EvalScalarCall(const Expr& e, const Packet& p) {
+  std::vector<Value> args;
+  args.reserve(e.args.size());
+  for (const auto& a : e.args) args.push_back(EvalExpr(*a, p));
+  return ApplyScalarFn(e.name, args);
+}
+
+}  // namespace
+
+Value EvalExpr(const Expr& e, const Packet& p) {
+  switch (e.kind) {
+    case Expr::Kind::kColumn:
+      return ReadColumn(e.name, p);
+    case Expr::Kind::kLiteral:
+      return e.literal;
+    case Expr::Kind::kStar:
+      return Value(std::int64_t{1});
+    case Expr::Kind::kAggRef:
+    case Expr::Kind::kGroupRef:
+      FWDECAY_CHECK_MSG(false,
+                        "post-aggregation placeholder evaluated per tuple — "
+                        "use EvalPostExpr");
+      return Value();
+    case Expr::Kind::kNeg:
+      return Value(std::int64_t{0}) - EvalExpr(*e.args[0], p);
+    case Expr::Kind::kCall:
+      return EvalScalarCall(e, p);
+    case Expr::Kind::kBinary: {
+      // Short-circuit logical operators.
+      if (e.op == BinOp::kAnd) {
+        return Value(std::int64_t{EvalPredicate(*e.args[0], p) &&
+                                  EvalPredicate(*e.args[1], p)});
+      }
+      if (e.op == BinOp::kOr) {
+        return Value(std::int64_t{EvalPredicate(*e.args[0], p) ||
+                                  EvalPredicate(*e.args[1], p)});
+      }
+      const Value lhs = EvalExpr(*e.args[0], p);
+      const Value rhs = EvalExpr(*e.args[1], p);
+      switch (e.op) {
+        case BinOp::kAdd: return lhs + rhs;
+        case BinOp::kSub: return lhs - rhs;
+        case BinOp::kMul: return lhs * rhs;
+        case BinOp::kDiv: return lhs / rhs;
+        case BinOp::kMod: return lhs % rhs;
+        case BinOp::kEq: return Value(std::int64_t{lhs == rhs});
+        case BinOp::kNe: return Value(std::int64_t{!(lhs == rhs)});
+        case BinOp::kLt: return Value(std::int64_t{Compare(lhs, rhs) < 0});
+        case BinOp::kLe: return Value(std::int64_t{Compare(lhs, rhs) <= 0});
+        case BinOp::kGt: return Value(std::int64_t{Compare(lhs, rhs) > 0});
+        case BinOp::kGe: return Value(std::int64_t{Compare(lhs, rhs) >= 0});
+        case BinOp::kAnd:
+        case BinOp::kOr:
+          break;  // handled above
+      }
+      break;
+    }
+  }
+  FWDECAY_CHECK_MSG(false, "unreachable expression kind");
+  return Value();
+}
+
+bool EvalPredicate(const Expr& e, const Packet& p) {
+  const Value v = EvalExpr(e, p);
+  if (v.is_int()) return v.AsInt() != 0;
+  if (v.is_double()) return v.AsDouble() != 0.0;
+  return !v.AsString().empty();
+}
+
+Value EvalPostExpr(const Expr& e, const std::vector<Value>& agg_values,
+                   const std::vector<Value>& group_key) {
+  switch (e.kind) {
+    case Expr::Kind::kAggRef:
+      FWDECAY_CHECK(e.agg_index >= 0 &&
+                    static_cast<std::size_t>(e.agg_index) <
+                        agg_values.size());
+      return agg_values[static_cast<std::size_t>(e.agg_index)];
+    case Expr::Kind::kGroupRef:
+      FWDECAY_CHECK(e.group_index >= 0 &&
+                    static_cast<std::size_t>(e.group_index) <
+                        group_key.size());
+      return group_key[static_cast<std::size_t>(e.group_index)];
+    case Expr::Kind::kLiteral:
+      return e.literal;
+    case Expr::Kind::kNeg:
+      return Value(std::int64_t{0}) -
+             EvalPostExpr(*e.args[0], agg_values, group_key);
+    case Expr::Kind::kCall: {
+      std::vector<Value> args;
+      args.reserve(e.args.size());
+      for (const auto& a : e.args) {
+        args.push_back(EvalPostExpr(*a, agg_values, group_key));
+      }
+      return ApplyScalarFn(e.name, args);
+    }
+    case Expr::Kind::kBinary: {
+      if (e.op == BinOp::kAnd) {
+        return Value(
+            std::int64_t{EvalPostPredicate(*e.args[0], agg_values, group_key) &&
+                         EvalPostPredicate(*e.args[1], agg_values, group_key)});
+      }
+      if (e.op == BinOp::kOr) {
+        return Value(
+            std::int64_t{EvalPostPredicate(*e.args[0], agg_values, group_key) ||
+                         EvalPostPredicate(*e.args[1], agg_values, group_key)});
+      }
+      const Value lhs = EvalPostExpr(*e.args[0], agg_values, group_key);
+      const Value rhs = EvalPostExpr(*e.args[1], agg_values, group_key);
+      switch (e.op) {
+        case BinOp::kAdd: return lhs + rhs;
+        case BinOp::kSub: return lhs - rhs;
+        case BinOp::kMul: return lhs * rhs;
+        case BinOp::kDiv: return lhs / rhs;
+        case BinOp::kMod: return lhs % rhs;
+        case BinOp::kEq: return Value(std::int64_t{lhs == rhs});
+        case BinOp::kNe: return Value(std::int64_t{!(lhs == rhs)});
+        case BinOp::kLt: return Value(std::int64_t{Compare(lhs, rhs) < 0});
+        case BinOp::kLe: return Value(std::int64_t{Compare(lhs, rhs) <= 0});
+        case BinOp::kGt: return Value(std::int64_t{Compare(lhs, rhs) > 0});
+        case BinOp::kGe: return Value(std::int64_t{Compare(lhs, rhs) >= 0});
+        case BinOp::kAnd:
+        case BinOp::kOr:
+          break;  // handled above
+      }
+      break;
+    }
+    default:
+      FWDECAY_CHECK_MSG(false,
+                        "post-aggregate expressions may only combine "
+                        "aggregate results, group columns and literals");
+  }
+  return Value();
+}
+
+bool EvalPostPredicate(const Expr& e, const std::vector<Value>& agg_values,
+                       const std::vector<Value>& group_key) {
+  const Value v = EvalPostExpr(e, agg_values, group_key);
+  if (v.is_int()) return v.AsInt() != 0;
+  if (v.is_double()) return v.AsDouble() != 0.0;
+  return !v.AsString().empty();
+}
+
+}  // namespace fwdecay::dsms

@@ -1,0 +1,94 @@
+#ifndef FWDECAY_DSMS_EXPR_H_
+#define FWDECAY_DSMS_EXPR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dsms/packet.h"
+#include "dsms/value.h"
+
+namespace fwdecay::dsms {
+
+/// Binary operators of the GSQL expression language.
+enum class BinOp {
+  kAdd, kSub, kMul, kDiv, kMod,
+  kEq, kNe, kLt, kLe, kGt, kGe,
+  kAnd, kOr,
+};
+
+/// Expression AST node. The same node type covers scalar expressions,
+/// predicates (comparisons yield int 0/1), and function/aggregate calls;
+/// the planner decides which calls are aggregates.
+struct Expr {
+  enum class Kind {
+    kColumn, kLiteral, kStar, kBinary, kNeg, kCall,
+    kAggRef,   // planner-internal: finalized aggregate slot
+    kGroupRef  // planner-internal: group-by key position
+  };
+
+  Kind kind = Kind::kLiteral;
+  std::string name;             // column name or call function name
+  Value literal;                // kLiteral payload
+  BinOp op = BinOp::kAdd;       // kBinary operator
+  int agg_index = -1;           // kAggRef: slot in the group's agg states
+  int group_index = -1;         // kGroupRef: position in the group key
+  std::vector<std::unique_ptr<Expr>> args;  // operands / call arguments
+
+  static std::unique_ptr<Expr> Column(std::string name);
+  static std::unique_ptr<Expr> Literal(Value v);
+  static std::unique_ptr<Expr> Star();
+  /// Planner-internal: placeholder for the finalized value of the
+  /// group's agg_index-th aggregate (see engine.h).
+  static std::unique_ptr<Expr> AggRef(int index);
+  /// Planner-internal: placeholder for the group key's index-th value.
+  static std::unique_ptr<Expr> GroupRef(int index);
+  static std::unique_ptr<Expr> Binary(BinOp op, std::unique_ptr<Expr> lhs,
+                                      std::unique_ptr<Expr> rhs);
+  static std::unique_ptr<Expr> Neg(std::unique_ptr<Expr> operand);
+  static std::unique_ptr<Expr> Call(std::string func,
+                                    std::vector<std::unique_ptr<Expr>> args);
+
+  /// Deep copy.
+  std::unique_ptr<Expr> Clone() const;
+
+  /// True if this subtree contains a call to one of `agg_names`
+  /// (case-insensitive) — used by the planner to split select items into
+  /// group expressions and aggregates.
+  bool ContainsCall(const std::vector<std::string>& agg_names) const;
+
+  /// Canonical text form, used to match select items against group-by
+  /// expressions and for error messages.
+  std::string ToString() const;
+};
+
+/// True if the packet schema has a column of this name.
+bool IsKnownColumn(const std::string& name);
+
+/// Reads a schema column from a packet. Columns (all integer-valued
+/// except dtime): time (whole seconds), dtime (fractional seconds),
+/// srcIP, destIP, srcPort, destPort, len, protocol.
+Value ReadColumn(const std::string& name, const Packet& p);
+
+/// Evaluates a scalar expression (no aggregate calls) against a packet.
+/// Scalar functions available: exp, ln, sqrt, abs, floor, pow.
+Value EvalExpr(const Expr& e, const Packet& p);
+
+/// Evaluates a predicate: nonzero numeric result = true.
+bool EvalPredicate(const Expr& e, const Packet& p);
+
+/// Evaluates a post-aggregation expression: kAggRef nodes read from
+/// `agg_values`, kGroupRef nodes from `group_key`; raw column references
+/// are not allowed (the planner replaced every bindable one). Supports
+/// the full operator set including comparisons and logic, so it also
+/// evaluates HAVING predicates.
+Value EvalPostExpr(const Expr& e, const std::vector<Value>& agg_values,
+                   const std::vector<Value>& group_key);
+
+/// Truthiness of a post-aggregation predicate (HAVING).
+bool EvalPostPredicate(const Expr& e, const std::vector<Value>& agg_values,
+                       const std::vector<Value>& group_key);
+
+}  // namespace fwdecay::dsms
+
+#endif  // FWDECAY_DSMS_EXPR_H_

@@ -1,0 +1,117 @@
+#include "dsms/netgen.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/hash.h"
+
+namespace fwdecay::dsms {
+
+PacketGenerator::PacketGenerator(const TraceConfig& config)
+    : config_(config),
+      rng_(config.seed),
+      delay_rng_(config.seed ^ 0xdecade0decade0ULL),
+      server_zipf_(config.num_servers, config.server_skew) {
+  FWDECAY_CHECK(config.rate_pps > 0.0);
+  FWDECAY_CHECK(config.num_servers >= 1);
+  FWDECAY_CHECK(config.num_clients >= 1);
+  FWDECAY_CHECK(config.ports_per_server >= 1);
+  FWDECAY_CHECK_MSG(config.mean_flow_len >= 1.0,
+                    "flows must average at least one packet");
+  FWDECAY_CHECK(config.target_active_flows >= 1);
+}
+
+PacketGenerator::Flow PacketGenerator::MakeFlow() {
+  Flow f;
+  // Zipf-popular server; the server rank is scrambled into an IP so that
+  // popular keys are not numerically adjacent.
+  const std::uint64_t server = server_zipf_.Next(rng_);
+  f.dest_ip = static_cast<std::uint32_t>(HashU64(server, /*seed=*/7));
+  f.dest_port = static_cast<std::uint16_t>(
+      80 + rng_.NextBounded(config_.ports_per_server));
+  f.src_ip = static_cast<std::uint32_t>(
+      HashU64(rng_.NextBounded(config_.num_clients), /*seed=*/13));
+  f.src_port = static_cast<std::uint16_t>(1024 + rng_.NextBounded(60000));
+  f.protocol =
+      rng_.NextBernoulli(config_.tcp_fraction) ? kProtoTcp : kProtoUdp;
+  return f;
+}
+
+Packet PacketGenerator::MakePacket() {
+  // Advance the arrival clock.
+  if (config_.poisson_arrivals) {
+    clock_ += rng_.NextExponential(config_.rate_pps);
+  } else {
+    clock_ += 1.0 / config_.rate_pps;
+  }
+
+  Packet p;
+  p.time = clock_;
+  if (config_.flow_structured) {
+    // Keep the pool near the target, emit from a random active flow, and
+    // terminate it with probability 1/mean_flow_len (geometric lengths).
+    while (flows_.size() < config_.target_active_flows) {
+      flows_.push_back(MakeFlow());
+    }
+    const std::size_t idx = rng_.NextBounded(flows_.size());
+    const Flow& f = flows_[idx];
+    p.src_ip = f.src_ip;
+    p.src_port = f.src_port;
+    p.dest_ip = f.dest_ip;
+    p.dest_port = f.dest_port;
+    p.protocol = f.protocol;
+    if (rng_.NextBernoulli(1.0 / config_.mean_flow_len)) {
+      flows_[idx] = flows_.back();
+      flows_.pop_back();
+    }
+  } else {
+    const Flow f = MakeFlow();
+    p.src_ip = f.src_ip;
+    p.src_port = f.src_port;
+    p.dest_ip = f.dest_ip;
+    p.dest_port = f.dest_port;
+    p.protocol = f.protocol;
+  }
+  // Bimodal packet sizes: mostly small ACK-ish packets and full MTUs,
+  // with a uniform middle band — the shape of real packet-length
+  // distributions.
+  const double r = rng_.NextDouble();
+  if (r < 0.45) {
+    p.len = 40 + static_cast<std::uint32_t>(rng_.NextBounded(64));
+  } else if (r < 0.75) {
+    p.len = 1400 + static_cast<std::uint32_t>(rng_.NextBounded(100));
+  } else {
+    p.len = 104 + static_cast<std::uint32_t>(rng_.NextBounded(1296));
+  }
+  return p;
+}
+
+Packet PacketGenerator::Next() {
+  if (config_.reorder_jitter <= 0.0) return MakePacket();
+
+  // Out-of-order delivery: each generated packet is held for a random
+  // delay; the earliest releasable packet is delivered. The loop keeps a
+  // modest buffer so something is always releasable.
+  while (delayed_.size() < 64) {
+    Packet p = MakePacket();
+    const double release =
+        p.time + delay_rng_.NextDouble() * config_.reorder_jitter;
+    delayed_.push_back(Delayed{release, p});
+  }
+  auto it = std::min_element(delayed_.begin(), delayed_.end(),
+                             [](const Delayed& a, const Delayed& b) {
+                               return a.release_at < b.release_at;
+                             });
+  Packet out = it->packet;
+  delayed_.erase(it);
+  return out;
+}
+
+std::vector<Packet> PacketGenerator::Generate(std::size_t n) {
+  std::vector<Packet> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(Next());
+  return out;
+}
+
+}  // namespace fwdecay::dsms

@@ -1,0 +1,98 @@
+#ifndef FWDECAY_DSMS_NETGEN_H_
+#define FWDECAY_DSMS_NETGEN_H_
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "dsms/packet.h"
+#include "util/random.h"
+#include "util/zipf.h"
+
+namespace fwdecay::dsms {
+
+/// Configuration for the synthetic packet-trace generator.
+///
+/// Substitutes for the paper's live 1.8 Gbit/s link (DESIGN.md §2): the
+/// algorithms' costs depend on arrival rate, group cardinality and key
+/// skew, all of which are explicit knobs here.
+struct TraceConfig {
+  /// Offered load in packets per second (drives timestamp spacing).
+  double rate_pps = 100000.0;
+  /// Number of distinct destination hosts (heavy-hitter candidates).
+  std::uint32_t num_servers = 20000;
+  /// Zipf skew of destination popularity (1.0 ~ classic internet traffic).
+  double server_skew = 1.1;
+  /// Distinct service ports per server.
+  std::uint16_t ports_per_server = 4;
+  /// Number of distinct client source addresses.
+  std::uint32_t num_clients = 50000;
+  /// Fraction of packets that are TCP (the rest are UDP).
+  double tcp_fraction = 0.85;
+  /// If > 0, packet delivery is delayed by up to this many seconds,
+  /// producing out-of-order timestamps (Section VI-B scenarios).
+  double reorder_jitter = 0.0;
+  /// Poisson (exponential gaps) vs deterministic arrival spacing.
+  bool poisson_arrivals = true;
+  /// When true, packets are emitted by persistent *flows*: a flow pins
+  /// its 5-tuple (client address/port -> server address/port, protocol)
+  /// and emits a geometric number of packets, so the same keys repeat in
+  /// bursts the way real TCP connections do. When false (default) every
+  /// packet draws fresh endpoints.
+  bool flow_structured = false;
+  /// Mean packets per flow (geometric); flow_structured only.
+  double mean_flow_len = 20.0;
+  /// Target number of concurrently active flows; flow_structured only.
+  std::uint32_t target_active_flows = 1000;
+  std::uint64_t seed = 42;
+};
+
+/// Streaming generator of synthetic packets with Zipf-skewed destinations
+/// and realistic bimodal packet sizes. Deterministic for a fixed config.
+class PacketGenerator {
+ public:
+  explicit PacketGenerator(const TraceConfig& config);
+
+  /// Returns the next packet (timestamps non-decreasing unless
+  /// reorder_jitter > 0, in which case delivery order is perturbed while
+  /// embedded timestamps remain the true arrival instants).
+  Packet Next();
+
+  /// Convenience: materializes the next `n` packets.
+  std::vector<Packet> Generate(std::size_t n);
+
+  const TraceConfig& config() const { return config_; }
+
+ private:
+  struct Flow {
+    std::uint32_t src_ip;
+    std::uint32_t dest_ip;
+    std::uint16_t src_port;
+    std::uint16_t dest_port;
+    std::uint8_t protocol;
+  };
+
+  Packet MakePacket();
+  Flow MakeFlow();
+
+  TraceConfig config_;
+  Rng rng_;
+  // Delivery-delay randomness is drawn from a separate generator so that
+  // the packet *content* for a given seed is identical whether or not
+  // reordering is enabled — controlled A/B experiments rely on this.
+  Rng delay_rng_;
+  ZipfGenerator server_zipf_;
+  double clock_ = 0.0;
+  // Reorder buffer: packets are released once their (true time + jitter
+  // delay) passes the generator clock.
+  struct Delayed {
+    double release_at;
+    Packet packet;
+  };
+  std::deque<Delayed> delayed_;
+  std::vector<Flow> flows_;  // active flows (flow_structured only)
+};
+
+}  // namespace fwdecay::dsms
+
+#endif  // FWDECAY_DSMS_NETGEN_H_

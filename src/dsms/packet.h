@@ -1,0 +1,32 @@
+#ifndef FWDECAY_DSMS_PACKET_H_
+#define FWDECAY_DSMS_PACKET_H_
+
+#include <cstdint>
+
+namespace fwdecay::dsms {
+
+/// Protocol numbers used by the generator and query predicates.
+inline constexpr std::uint8_t kProtoTcp = 6;
+inline constexpr std::uint8_t kProtoUdp = 17;
+
+/// One network packet record — the tuple type flowing through the mini
+/// DSMS, mirroring the fields the paper's GSQL queries touch (time, the
+/// destination pair, the packet length, and the protocol selector).
+struct Packet {
+  double time = 0.0;          // arrival timestamp, seconds
+  std::uint32_t src_ip = 0;
+  std::uint32_t dest_ip = 0;
+  std::uint16_t src_port = 0;
+  std::uint16_t dest_port = 0;
+  std::uint32_t len = 0;      // bytes
+  std::uint8_t protocol = kProtoTcp;
+};
+
+/// 64-bit key for the (destIP, destPort) group the paper's queries use.
+inline std::uint64_t DestKey(const Packet& p) {
+  return (static_cast<std::uint64_t>(p.dest_ip) << 16) | p.dest_port;
+}
+
+}  // namespace fwdecay::dsms
+
+#endif  // FWDECAY_DSMS_PACKET_H_

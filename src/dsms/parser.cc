@@ -1,0 +1,485 @@
+#include "dsms/parser.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <utility>
+
+namespace fwdecay::dsms {
+
+namespace {
+
+enum class TokKind {
+  kIdent, kNumber, kString,
+  kLParen, kRParen, kComma, kStar,
+  kPlus, kMinus, kSlash, kPercent,
+  kEq, kNe, kLt, kLe, kGt, kGe,
+  kEnd,
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;   // identifier / string payload
+  double number = 0.0;
+  bool number_is_int = false;
+  std::int64_t int_value = 0;
+  std::size_t pos = 0;  // byte offset, for diagnostics
+};
+
+/// Hand-rolled lexer for the GSQL subset.
+class Lexer {
+ public:
+  explicit Lexer(const std::string& text) : text_(text) {}
+
+  // Tokenizes everything up front; returns false + error on bad input.
+  bool Run(std::string* error) {
+    while (true) {
+      SkipSpace();
+      if (pos_ >= text_.size()) {
+        Push(TokKind::kEnd, pos_);
+        return true;
+      }
+      const std::size_t start = pos_;
+      const char c = text_[pos_];
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        std::size_t end = pos_;
+        while (end < text_.size() &&
+               (std::isalnum(static_cast<unsigned char>(text_[end])) ||
+                text_[end] == '_')) {
+          ++end;
+        }
+        Token t{TokKind::kIdent, text_.substr(pos_, end - pos_), 0, false, 0,
+                start};
+        tokens_.push_back(std::move(t));
+        pos_ = end;
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c)) || c == '.') {
+        if (!LexNumber(start, error)) return false;
+        continue;
+      }
+      if (c == '\'') {
+        const std::size_t close = text_.find('\'', pos_ + 1);
+        if (close == std::string::npos) {
+          *error = "unterminated string literal at offset " +
+                   std::to_string(start);
+          return false;
+        }
+        Token t{TokKind::kString, text_.substr(pos_ + 1, close - pos_ - 1), 0,
+                false, 0, start};
+        tokens_.push_back(std::move(t));
+        pos_ = close + 1;
+        continue;
+      }
+      switch (c) {
+        case '(': Push(TokKind::kLParen, start); ++pos_; continue;
+        case ')': Push(TokKind::kRParen, start); ++pos_; continue;
+        case ',': Push(TokKind::kComma, start); ++pos_; continue;
+        case '*': Push(TokKind::kStar, start); ++pos_; continue;
+        case '+': Push(TokKind::kPlus, start); ++pos_; continue;
+        case '-': Push(TokKind::kMinus, start); ++pos_; continue;
+        case '/': Push(TokKind::kSlash, start); ++pos_; continue;
+        case '%': Push(TokKind::kPercent, start); ++pos_; continue;
+        case '=':
+          ++pos_;
+          if (pos_ < text_.size() && text_[pos_] == '=') ++pos_;
+          Push(TokKind::kEq, start);
+          continue;
+        case '!':
+          if (pos_ + 1 < text_.size() && text_[pos_ + 1] == '=') {
+            pos_ += 2;
+            Push(TokKind::kNe, start);
+            continue;
+          }
+          break;
+        case '<':
+          ++pos_;
+          if (pos_ < text_.size() && text_[pos_] == '=') {
+            ++pos_;
+            Push(TokKind::kLe, start);
+          } else if (pos_ < text_.size() && text_[pos_] == '>') {
+            ++pos_;
+            Push(TokKind::kNe, start);
+          } else {
+            Push(TokKind::kLt, start);
+          }
+          continue;
+        case '>':
+          ++pos_;
+          if (pos_ < text_.size() && text_[pos_] == '=') {
+            ++pos_;
+            Push(TokKind::kGe, start);
+          } else {
+            Push(TokKind::kGt, start);
+          }
+          continue;
+        default:
+          break;
+      }
+      *error = std::string("unexpected character '") + c + "' at offset " +
+               std::to_string(start);
+      return false;
+    }
+  }
+
+  std::vector<Token> Take() { return std::move(tokens_); }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  void Push(TokKind kind, std::size_t pos) {
+    tokens_.push_back(Token{kind, "", 0, false, 0, pos});
+  }
+
+  bool LexNumber(std::size_t start, std::string* error) {
+    std::size_t end = pos_;
+    bool is_int = true;
+    while (end < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[end])) ||
+            text_[end] == '.' || text_[end] == 'e' || text_[end] == 'E' ||
+            ((text_[end] == '+' || text_[end] == '-') && end > pos_ &&
+             (text_[end - 1] == 'e' || text_[end - 1] == 'E')))) {
+      if (!std::isdigit(static_cast<unsigned char>(text_[end]))) {
+        is_int = false;
+      }
+      ++end;
+    }
+    const std::string num = text_.substr(pos_, end - pos_);
+    Token t{TokKind::kNumber, num, 0, is_int, 0, start};
+    char* parse_end = nullptr;
+    if (is_int) {
+      t.int_value = std::strtoll(num.c_str(), &parse_end, 10);
+    } else {
+      t.number = std::strtod(num.c_str(), &parse_end);
+    }
+    if (parse_end == nullptr || *parse_end != '\0') {
+      *error = "bad numeric literal '" + num + "' at offset " +
+               std::to_string(start);
+      return false;
+    }
+    tokens_.push_back(std::move(t));
+    pos_ = end;
+    return true;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  std::vector<Token> tokens_;
+};
+
+std::string LowerCopy(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return s;
+}
+
+/// Recursive-descent parser over the token stream.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  ParseResult ParseQueryText() {
+    ParseResult result;
+    Query q;
+    if (!ExpectKeyword("select")) return Fail(&result);
+    if (!ParseSelectList(&q.select)) return Fail(&result);
+    if (!ExpectKeyword("from")) return Fail(&result);
+    if (Peek().kind != TokKind::kIdent) {
+      error_ = "expected stream name after FROM";
+      return Fail(&result);
+    }
+    q.from = Next().text;
+    if (PeekKeyword("where")) {
+      Next();
+      q.where = ParseExpr();
+      if (q.where == nullptr) return Fail(&result);
+    }
+    if (PeekKeyword("group")) {
+      Next();
+      if (!ExpectKeyword("by")) return Fail(&result);
+      if (!ParseSelectList(&q.group_by)) return Fail(&result);
+    }
+    if (PeekKeyword("having")) {
+      Next();
+      q.having = ParseExpr();
+      if (q.having == nullptr) return Fail(&result);
+    }
+    if (PeekKeyword("order")) {
+      Next();
+      if (!ExpectKeyword("by")) return Fail(&result);
+      while (true) {
+        OrderItem item;
+        item.expr = ParseExpr();
+        if (item.expr == nullptr) return Fail(&result);
+        if (PeekKeyword("desc")) {
+          Next();
+          item.descending = true;
+        } else if (PeekKeyword("asc")) {
+          Next();
+        }
+        q.order_by.push_back(std::move(item));
+        if (Peek().kind != TokKind::kComma) break;
+        Next();
+      }
+    }
+    if (PeekKeyword("limit")) {
+      Next();
+      if (Peek().kind != TokKind::kNumber || !Peek().number_is_int ||
+          Peek().int_value < 0) {
+        error_ = "LIMIT expects a non-negative integer";
+        return Fail(&result);
+      }
+      q.limit = Next().int_value;
+    }
+    if (Peek().kind != TokKind::kEnd) {
+      error_ = "unexpected trailing input at offset " +
+               std::to_string(Peek().pos);
+      return Fail(&result);
+    }
+    result.query = std::move(q);
+    return result;
+  }
+
+  ExprParseResult ParseExprOnlyText() {
+    ExprParseResult result;
+    result.expr = ParseExpr();
+    if (result.expr == nullptr || Peek().kind != TokKind::kEnd) {
+      if (error_.empty()) error_ = "unexpected trailing input";
+      result.expr = nullptr;
+      result.error = error_;
+    }
+    return result;
+  }
+
+ private:
+  ParseResult Fail(ParseResult* result) {
+    result->error = error_.empty() ? "parse error" : error_;
+    result->query.reset();
+    return std::move(*result);
+  }
+
+  const Token& Peek() const { return tokens_[index_]; }
+  const Token& Next() { return tokens_[index_++]; }
+
+  bool PeekKeyword(const char* kw) const {
+    return Peek().kind == TokKind::kIdent && LowerCopy(Peek().text) == kw;
+  }
+
+  bool ExpectKeyword(const char* kw) {
+    if (!PeekKeyword(kw)) {
+      error_ = std::string("expected keyword '") + kw + "' at offset " +
+               std::to_string(Peek().pos);
+      return false;
+    }
+    Next();
+    return true;
+  }
+
+  bool Expect(TokKind kind, const char* what) {
+    if (Peek().kind != kind) {
+      error_ = std::string("expected ") + what + " at offset " +
+               std::to_string(Peek().pos);
+      return false;
+    }
+    Next();
+    return true;
+  }
+
+  bool ParseSelectList(std::vector<SelectItem>* items) {
+    while (true) {
+      SelectItem item;
+      item.expr = ParseExpr();
+      if (item.expr == nullptr) return false;
+      if (PeekKeyword("as")) {
+        Next();
+        if (Peek().kind != TokKind::kIdent) {
+          error_ = "expected alias after AS";
+          return false;
+        }
+        item.alias = LowerCopy(Next().text);
+      }
+      items->push_back(std::move(item));
+      if (Peek().kind != TokKind::kComma) return true;
+      Next();
+    }
+  }
+
+  // expr := and-expr (OR and-expr)*
+  std::unique_ptr<Expr> ParseExpr() {
+    auto lhs = ParseAnd();
+    if (lhs == nullptr) return nullptr;
+    while (PeekKeyword("or")) {
+      Next();
+      auto rhs = ParseAnd();
+      if (rhs == nullptr) return nullptr;
+      lhs = Expr::Binary(BinOp::kOr, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  std::unique_ptr<Expr> ParseAnd() {
+    auto lhs = ParseComparison();
+    if (lhs == nullptr) return nullptr;
+    while (PeekKeyword("and")) {
+      Next();
+      auto rhs = ParseComparison();
+      if (rhs == nullptr) return nullptr;
+      lhs = Expr::Binary(BinOp::kAnd, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  std::unique_ptr<Expr> ParseComparison() {
+    auto lhs = ParseAdditive();
+    if (lhs == nullptr) return nullptr;
+    BinOp op;
+    switch (Peek().kind) {
+      case TokKind::kEq: op = BinOp::kEq; break;
+      case TokKind::kNe: op = BinOp::kNe; break;
+      case TokKind::kLt: op = BinOp::kLt; break;
+      case TokKind::kLe: op = BinOp::kLe; break;
+      case TokKind::kGt: op = BinOp::kGt; break;
+      case TokKind::kGe: op = BinOp::kGe; break;
+      default: return lhs;
+    }
+    Next();
+    auto rhs = ParseAdditive();
+    if (rhs == nullptr) return nullptr;
+    return Expr::Binary(op, std::move(lhs), std::move(rhs));
+  }
+
+  std::unique_ptr<Expr> ParseAdditive() {
+    auto lhs = ParseMultiplicative();
+    if (lhs == nullptr) return nullptr;
+    while (Peek().kind == TokKind::kPlus || Peek().kind == TokKind::kMinus) {
+      const BinOp op =
+          Next().kind == TokKind::kPlus ? BinOp::kAdd : BinOp::kSub;
+      auto rhs = ParseMultiplicative();
+      if (rhs == nullptr) return nullptr;
+      lhs = Expr::Binary(op, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  std::unique_ptr<Expr> ParseMultiplicative() {
+    auto lhs = ParseUnary();
+    if (lhs == nullptr) return nullptr;
+    while (Peek().kind == TokKind::kStar || Peek().kind == TokKind::kSlash ||
+           Peek().kind == TokKind::kPercent) {
+      BinOp op = BinOp::kMul;
+      if (Peek().kind == TokKind::kSlash) op = BinOp::kDiv;
+      if (Peek().kind == TokKind::kPercent) op = BinOp::kMod;
+      Next();
+      auto rhs = ParseUnary();
+      if (rhs == nullptr) return nullptr;
+      lhs = Expr::Binary(op, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  std::unique_ptr<Expr> ParseUnary() {
+    if (Peek().kind == TokKind::kMinus) {
+      Next();
+      auto operand = ParseUnary();
+      if (operand == nullptr) return nullptr;
+      return Expr::Neg(std::move(operand));
+    }
+    return ParsePrimary();
+  }
+
+  std::unique_ptr<Expr> ParsePrimary() {
+    const Token& t = Peek();
+    switch (t.kind) {
+      case TokKind::kNumber: {
+        const Token tok = Next();
+        if (tok.number_is_int) return Expr::Literal(Value(tok.int_value));
+        return Expr::Literal(Value(tok.number));
+      }
+      case TokKind::kString: {
+        return Expr::Literal(Value(Next().text));
+      }
+      case TokKind::kLParen: {
+        Next();
+        auto inner = ParseExpr();
+        if (inner == nullptr) return nullptr;
+        if (!Expect(TokKind::kRParen, "')'")) return nullptr;
+        return inner;
+      }
+      case TokKind::kStar: {
+        Next();
+        return Expr::Star();
+      }
+      case TokKind::kIdent: {
+        const std::string name = Next().text;
+        if (Peek().kind != TokKind::kLParen) return Expr::Column(name);
+        Next();  // '('
+        // SQL's `count(distinct x)` form: the DISTINCT keyword selects
+        // the set-semantics variant of the aggregate (Section IV-D).
+        bool distinct = false;
+        if (PeekKeyword("distinct")) {
+          Next();
+          distinct = true;
+        }
+        std::vector<std::unique_ptr<Expr>> args;
+        if (Peek().kind != TokKind::kRParen) {
+          while (true) {
+            auto arg = ParseExpr();
+            if (arg == nullptr) return nullptr;
+            args.push_back(std::move(arg));
+            if (Peek().kind != TokKind::kComma) break;
+            Next();
+          }
+        }
+        if (!Expect(TokKind::kRParen, "')' after call arguments")) {
+          return nullptr;
+        }
+        if (distinct) {
+          if (args.empty()) {
+            error_ = "DISTINCT requires an argument";
+            return nullptr;
+          }
+          return Expr::Call(name + "_distinct", std::move(args));
+        }
+        return Expr::Call(name, std::move(args));
+      }
+      default:
+        error_ = "expected expression at offset " + std::to_string(t.pos);
+        return nullptr;
+    }
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t index_ = 0;
+  std::string error_;
+};
+
+}  // namespace
+
+ParseResult ParseQuery(const std::string& text) {
+  Lexer lexer(text);
+  std::string error;
+  if (!lexer.Run(&error)) {
+    ParseResult result;
+    result.error = error;
+    return result;
+  }
+  Parser parser(lexer.Take());
+  return parser.ParseQueryText();
+}
+
+ExprParseResult ParseExpressionOnly(const std::string& text) {
+  Lexer lexer(text);
+  std::string error;
+  if (!lexer.Run(&error)) {
+    ExprParseResult result;
+    result.error = error;
+    return result;
+  }
+  Parser parser(lexer.Take());
+  return parser.ParseExprOnlyText();
+}
+
+}  // namespace fwdecay::dsms

@@ -1,0 +1,122 @@
+#include "dsms/trace_io.h"
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+#include "util/bytes.h"
+
+namespace fwdecay::dsms {
+
+namespace {
+
+constexpr char kMagic[8] = {'F', 'W', 'D', 'T', 'R', 'C', '0', '1'};
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+void AppendPacket(ByteWriter* w, const Packet& p) {
+  w->WriteDouble(p.time);
+  w->WriteU32(p.src_ip);
+  w->WriteU32(p.dest_ip);
+  w->WriteU32(p.src_port);   // widened for alignment-free simplicity
+  w->WriteU32(p.dest_port);
+  w->WriteU32(p.len);
+  w->WriteU8(p.protocol);
+}
+
+bool ParsePacket(ByteReader* r, Packet* p) {
+  std::uint32_t src_port = 0;
+  std::uint32_t dest_port = 0;
+  std::uint8_t protocol = 0;
+  if (!r->ReadDouble(&p->time) || !r->ReadU32(&p->src_ip) ||
+      !r->ReadU32(&p->dest_ip) || !r->ReadU32(&src_port) ||
+      !r->ReadU32(&dest_port) || !r->ReadU32(&p->len) ||
+      !r->ReadU8(&protocol)) {
+    return false;
+  }
+  if (src_port > 0xffff || dest_port > 0xffff) return false;
+  p->src_port = static_cast<std::uint16_t>(src_port);
+  p->dest_port = static_cast<std::uint16_t>(dest_port);
+  p->protocol = protocol;
+  return true;
+}
+
+}  // namespace
+
+bool WriteTrace(const std::string& path, const std::vector<Packet>& packets,
+                std::string* error) {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (f == nullptr) {
+    *error = "cannot open '" + path + "' for writing";
+    return false;
+  }
+  ByteWriter w;
+  for (char c : kMagic) w.WriteU8(static_cast<std::uint8_t>(c));
+  w.WriteU64(packets.size());
+  for (const Packet& p : packets) AppendPacket(&w, p);
+  const auto& bytes = w.bytes();
+  if (std::fwrite(bytes.data(), 1, bytes.size(), f.get()) != bytes.size()) {
+    *error = "short write to '" + path + "'";
+    return false;
+  }
+  return true;
+}
+
+std::optional<std::vector<Packet>> ReadTrace(const std::string& path,
+                                             std::string* error) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (f == nullptr) {
+    *error = "cannot open '" + path + "'";
+    return std::nullopt;
+  }
+  std::fseek(f.get(), 0, SEEK_END);
+  const long size = std::ftell(f.get());
+  std::fseek(f.get(), 0, SEEK_SET);
+  if (size < static_cast<long>(sizeof(kMagic) + 8)) {
+    *error = "'" + path + "' is not a fwdecay trace (too short)";
+    return std::nullopt;
+  }
+  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(size));
+  if (std::fread(bytes.data(), 1, bytes.size(), f.get()) != bytes.size()) {
+    *error = "short read from '" + path + "'";
+    return std::nullopt;
+  }
+  ByteReader r(bytes);
+  char magic[8];
+  for (char& c : magic) {
+    std::uint8_t b = 0;
+    if (!r.ReadU8(&b)) return std::nullopt;
+    c = static_cast<char>(b);
+  }
+  if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    *error = "'" + path + "' has a bad magic header";
+    return std::nullopt;
+  }
+  std::uint64_t count = 0;
+  if (!r.ReadU64(&count)) {
+    *error = "truncated header in '" + path + "'";
+    return std::nullopt;
+  }
+  std::vector<Packet> packets;
+  packets.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    Packet p;
+    if (!ParsePacket(&r, &p)) {
+      *error = "truncated or corrupt record in '" + path + "'";
+      return std::nullopt;
+    }
+    packets.push_back(p);
+  }
+  if (!r.Exhausted()) {
+    *error = "trailing bytes in '" + path + "'";
+    return std::nullopt;
+  }
+  return packets;
+}
+
+}  // namespace fwdecay::dsms

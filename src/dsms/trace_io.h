@@ -1,0 +1,30 @@
+#ifndef FWDECAY_DSMS_TRACE_IO_H_
+#define FWDECAY_DSMS_TRACE_IO_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dsms/packet.h"
+
+// Binary packet-trace files: record and replay workloads so experiments
+// are repeatable across machines (and so externally captured traces can
+// be fed to the engine in place of the synthetic generator).
+//
+// Format: 8-byte magic "FWDTRC01", u64 packet count, then fixed-width
+// little-endian records (time f64, src_ip u32, dest_ip u32, src_port
+// u16, dest_port u16, len u32, protocol u8).
+
+namespace fwdecay::dsms {
+
+/// Writes the trace; returns false (and sets *error) on I/O failure.
+bool WriteTrace(const std::string& path, const std::vector<Packet>& packets,
+                std::string* error);
+
+/// Reads a trace; nullopt (and *error) on missing/corrupt/truncated files.
+std::optional<std::vector<Packet>> ReadTrace(const std::string& path,
+                                             std::string* error);
+
+}  // namespace fwdecay::dsms
+
+#endif  // FWDECAY_DSMS_TRACE_IO_H_

@@ -1,0 +1,61 @@
+#include "dsms/tumbling.h"
+
+#include <cmath>
+#include <utility>
+
+#include "util/check.h"
+
+namespace fwdecay::dsms {
+
+TumblingRunner::TumblingRunner(const CompiledQuery* plan,
+                               double bucket_seconds, EmitFn emit,
+                               double slack_seconds)
+    : plan_(plan),
+      bucket_seconds_(bucket_seconds),
+      slack_seconds_(slack_seconds),
+      emit_(std::move(emit)) {
+  FWDECAY_CHECK(plan != nullptr);
+  FWDECAY_CHECK(bucket_seconds > 0.0);
+  FWDECAY_CHECK(slack_seconds >= 0.0);
+}
+
+void TumblingRunner::Consume(const Packet& p) {
+  const auto bucket =
+      static_cast<std::int64_t>(std::floor(p.time / bucket_seconds_));
+  if (bucket < next_unemitted_) {
+    ++late_drops_;
+    return;
+  }
+  auto it = open_.find(bucket);
+  if (it == open_.end()) {
+    it = open_.emplace(bucket, plan_->NewExecution()).first;
+  }
+  it->second->Consume(p);
+  if (p.time > watermark_) {
+    watermark_ = p.time;
+    EmitReady();
+  }
+}
+
+void TumblingRunner::EmitReady() {
+  while (!open_.empty()) {
+    const std::int64_t bucket = open_.begin()->first;
+    const double bucket_end =
+        (static_cast<double>(bucket) + 1.0) * bucket_seconds_;
+    if (watermark_ < bucket_end + slack_seconds_) break;
+    emit_(bucket, open_.begin()->second->Finish());
+    open_.erase(open_.begin());
+    next_unemitted_ = bucket + 1;
+  }
+}
+
+void TumblingRunner::Flush() {
+  while (!open_.empty()) {
+    const std::int64_t bucket = open_.begin()->first;
+    emit_(bucket, open_.begin()->second->Finish());
+    open_.erase(open_.begin());
+    next_unemitted_ = bucket + 1;
+  }
+}
+
+}  // namespace fwdecay::dsms

@@ -1,0 +1,500 @@
+#include "dsms/udafs.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dsms/agg.h"
+#include "sampling/biased_reservoir.h"
+#include "sampling/reservoir.h"
+#include "sketch/backward_sum.h"
+#include "sketch/dominance_norm.h"
+#include "sketch/qdigest.h"
+#include "sketch/sliding_hh.h"
+#include "sketch/space_saving.h"
+#include "util/check.h"
+#include "util/random.h"
+#include "util/top_k_heap.h"
+
+namespace fwdecay::dsms {
+
+namespace {
+
+// Each sampler state draws from its own deterministic generator; states
+// are numbered in creation order so repeated runs reproduce exactly.
+std::uint64_t NextStateSeed() {
+  static std::atomic<std::uint64_t> counter{0};
+  return 0x9d5f7ab1u + counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+// Renders a sample of numeric items as "v1,v2,..." sorted ascending.
+std::string RenderSample(std::vector<double> items) {
+  std::sort(items.begin(), items.end());
+  std::string out;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) out += ",";
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%g", items[i]);
+    out += buf;
+  }
+  return out;
+}
+
+std::size_t OptSize(const std::vector<Value>& args, std::size_t index,
+                    std::size_t fallback) {
+  if (args.size() <= index) return fallback;
+  const std::int64_t v = args[index].AsInt();
+  FWDECAY_CHECK_MSG(v > 0, "UDAF size parameter must be positive");
+  return static_cast<std::size_t>(v);
+}
+
+double OptDouble(const std::vector<Value>& args, std::size_t index,
+                 double fallback) {
+  return args.size() <= index ? fallback : args[index].AsDouble();
+}
+
+// --- Samplers ---------------------------------------------------------------
+
+/// PRISAMP(item, weight [, k]): priority sampling. Priorities w/u are
+/// kept in the linear domain — weights such as exp(time % 60) stay well
+/// within double range inside a one-minute group.
+class PrisampUdaf : public AggState {
+ public:
+  PrisampUdaf() : rng_(NextStateSeed()) {}
+
+  void Update(const std::vector<Value>& args) override {
+    FWDECAY_CHECK_MSG(args.size() >= 2, "PRISAMP(item, weight [, k])");
+    EnsureHeap(OptSize(args, 2, kDefaultK) + 1);  // +1: threshold slot
+    const double w = args[1].AsDouble();
+    if (w <= 0.0) return;
+    heap_->Offer(w / rng_.NextDoubleOpenZero(), args[0].AsDouble());
+  }
+
+  void Merge(AggState& other) override {
+    auto& o = static_cast<PrisampUdaf&>(other);
+    if (o.heap_ == nullptr) return;
+    EnsureHeap(o.heap_->capacity());
+    for (const auto& e : o.heap_->entries()) heap_->Offer(e.score, e.value);
+  }
+
+  Value Finalize() const override {
+    if (heap_ == nullptr) return Value(std::string());
+    auto sorted = heap_->SortedByScoreDesc();
+    std::vector<double> items;
+    const std::size_t take = sorted.size() == heap_->capacity()
+                                 ? sorted.size() - 1
+                                 : sorted.size();
+    for (std::size_t i = 0; i < take; ++i) items.push_back(sorted[i].value);
+    return Value(RenderSample(std::move(items)));
+  }
+
+ private:
+  static constexpr std::size_t kDefaultK = 64;
+
+  void EnsureHeap(std::size_t k_plus_1) {
+    if (heap_ == nullptr) heap_ = std::make_unique<TopKHeap<double>>(k_plus_1);
+  }
+
+  Rng rng_;
+  std::unique_ptr<TopKHeap<double>> heap_;
+};
+
+/// WRSAMP(item, weight [, k]): A-Res weighted reservoir, log-domain keys.
+class WrsampUdaf : public AggState {
+ public:
+  WrsampUdaf() : rng_(NextStateSeed()) {}
+
+  void Update(const std::vector<Value>& args) override {
+    FWDECAY_CHECK_MSG(args.size() >= 2, "WRSAMP(item, weight [, k])");
+    EnsureHeap(OptSize(args, 2, kDefaultK));
+    const double w = args[1].AsDouble();
+    if (w <= 0.0) return;
+    const double score =
+        std::log(w) - std::log(-std::log(rng_.NextDoubleOpenZero()));
+    heap_->Offer(score, args[0].AsDouble());
+  }
+
+  void Merge(AggState& other) override {
+    auto& o = static_cast<WrsampUdaf&>(other);
+    if (o.heap_ == nullptr) return;
+    EnsureHeap(o.heap_->capacity());
+    for (const auto& e : o.heap_->entries()) heap_->Offer(e.score, e.value);
+  }
+
+  Value Finalize() const override {
+    if (heap_ == nullptr) return Value(std::string());
+    std::vector<double> items;
+    for (const auto& e : heap_->entries()) items.push_back(e.value);
+    return Value(RenderSample(std::move(items)));
+  }
+
+ private:
+  static constexpr std::size_t kDefaultK = 64;
+
+  void EnsureHeap(std::size_t k) {
+    if (heap_ == nullptr) heap_ = std::make_unique<TopKHeap<double>>(k);
+  }
+
+  Rng rng_;
+  std::unique_ptr<TopKHeap<double>> heap_;
+};
+
+/// RESSAMP(item [, k]): Vitter's undecayed reservoir (baseline).
+class RessampUdaf : public AggState {
+ public:
+  RessampUdaf() : rng_(NextStateSeed()) {}
+
+  void Update(const std::vector<Value>& args) override {
+    FWDECAY_CHECK_MSG(!args.empty(), "RESSAMP(item [, k])");
+    if (sampler_ == nullptr) {
+      sampler_ = std::make_unique<ReservoirSampler<double>>(
+          OptSize(args, 1, kDefaultK));
+    }
+    sampler_->Add(args[0].AsDouble(), rng_);
+  }
+
+  void Merge(AggState& other) override {
+    // Approximate merge: re-offer the peer's sample. Fine for the
+    // two-level engine split (partial groups are disjoint stream
+    // segments) though not an exact reservoir union.
+    auto& o = static_cast<RessampUdaf&>(other);
+    if (o.sampler_ == nullptr) return;
+    if (sampler_ == nullptr) {
+      sampler_ = std::make_unique<ReservoirSampler<double>>(
+          o.sampler_->capacity());
+    }
+    for (double v : o.sampler_->sample()) sampler_->Add(v, rng_);
+  }
+
+  Value Finalize() const override {
+    if (sampler_ == nullptr) return Value(std::string());
+    return Value(RenderSample(sampler_->sample()));
+  }
+
+ private:
+  static constexpr std::size_t kDefaultK = 64;
+
+  Rng rng_;
+  std::unique_ptr<ReservoirSampler<double>> sampler_;
+};
+
+/// AGGSAMP(item [, k]): Aggarwal's biased reservoir (baseline).
+class AggsampUdaf : public AggState {
+ public:
+  AggsampUdaf() : rng_(NextStateSeed()) {}
+
+  void Update(const std::vector<Value>& args) override {
+    FWDECAY_CHECK_MSG(!args.empty(), "AGGSAMP(item [, k])");
+    if (sampler_ == nullptr) {
+      sampler_ = std::make_unique<BiasedReservoirSampler<double>>(
+          OptSize(args, 1, kDefaultK));
+    }
+    sampler_->Add(args[0].AsDouble(), rng_);
+  }
+
+  void Merge(AggState& other) override {
+    auto& o = static_cast<AggsampUdaf&>(other);
+    if (o.sampler_ == nullptr) return;
+    if (sampler_ == nullptr) {
+      sampler_ = std::make_unique<BiasedReservoirSampler<double>>(
+          o.sampler_->capacity());
+    }
+    for (double v : o.sampler_->sample()) sampler_->Add(v, rng_);
+  }
+
+  Value Finalize() const override {
+    if (sampler_ == nullptr) return Value(std::string());
+    return Value(RenderSample(sampler_->sample()));
+  }
+
+ private:
+  static constexpr std::size_t kDefaultK = 64;
+
+  Rng rng_;
+  std::unique_ptr<BiasedReservoirSampler<double>> sampler_;
+};
+
+// --- Heavy hitters ----------------------------------------------------------
+
+std::string RenderHitters(const std::vector<HeavyHitter>& hitters) {
+  std::string out;
+  for (std::size_t i = 0; i < hitters.size(); ++i) {
+    if (i > 0) out += " ";
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%llu:%.1f",
+                  static_cast<unsigned long long>(hitters[i].key),
+                  hitters[i].estimate);
+    out += buf;
+  }
+  return out;
+}
+
+/// FDHH(key, weight [, phi [, eps]]): forward-decayed heavy hitters via
+/// weighted SpaceSaving (Theorem 2). The weight argument is the static
+/// weight g(t_i - L) generated by the query.
+class FdhhUdaf : public AggState {
+ public:
+  void Update(const std::vector<Value>& args) override {
+    FWDECAY_CHECK_MSG(args.size() >= 2, "FDHH(key, weight [, phi [, eps]])");
+    if (sketch_ == nullptr) {
+      phi_ = OptDouble(args, 2, 0.05);
+      const double eps = OptDouble(args, 3, 0.01);
+      sketch_ = std::make_unique<WeightedSpaceSaving>(
+          static_cast<std::size_t>(std::ceil(1.0 / eps)));
+    }
+    const double w = args[1].AsDouble();
+    if (w <= 0.0) return;
+    sketch_->Update(static_cast<std::uint64_t>(args[0].AsInt()), w);
+  }
+
+  void Merge(AggState& other) override {
+    auto& o = static_cast<FdhhUdaf&>(other);
+    if (o.sketch_ == nullptr) return;
+    if (sketch_ == nullptr) {
+      phi_ = o.phi_;
+      sketch_ = std::make_unique<WeightedSpaceSaving>(o.sketch_->capacity());
+    }
+    sketch_->Merge(*o.sketch_);
+  }
+
+  Value Finalize() const override {
+    if (sketch_ == nullptr) return Value(std::string());
+    return Value(RenderHitters(sketch_->Query(phi_)));
+  }
+
+ private:
+  double phi_ = 0.05;
+  std::unique_ptr<WeightedSpaceSaving> sketch_;
+};
+
+/// UNARYHH(key [, phi [, eps]]): undecayed heavy hitters via the
+/// unary-optimized SpaceSaving (the paper's "Unary HH").
+class UnaryhhUdaf : public AggState {
+ public:
+  void Update(const std::vector<Value>& args) override {
+    FWDECAY_CHECK_MSG(!args.empty(), "UNARYHH(key [, phi [, eps]])");
+    if (sketch_ == nullptr) {
+      phi_ = OptDouble(args, 1, 0.05);
+      const double eps = OptDouble(args, 2, 0.01);
+      sketch_ = std::make_unique<UnarySpaceSaving>(
+          static_cast<std::size_t>(std::ceil(1.0 / eps)));
+    }
+    sketch_->Update(static_cast<std::uint64_t>(args[0].AsInt()));
+  }
+
+  void Merge(AggState&) override {
+    FWDECAY_CHECK_MSG(false,
+                      "UNARYHH does not support the two-level split; run it "
+                      "one-level (as the paper does for holistic UDAFs)");
+  }
+
+  Value Finalize() const override {
+    if (sketch_ == nullptr) return Value(std::string());
+    return Value(RenderHitters(sketch_->Query(phi_)));
+  }
+
+ private:
+  double phi_ = 0.05;
+  std::unique_ptr<UnarySpaceSaving> sketch_;
+};
+
+/// SWHH(time, key [, phi [, eps]]): the sliding-window/backward-decay HH
+/// baseline; finalizes to the HH set over the whole group span.
+class SwhhUdaf : public AggState {
+ public:
+  void Update(const std::vector<Value>& args) override {
+    FWDECAY_CHECK_MSG(args.size() >= 2, "SWHH(time, key [, phi [, eps]])");
+    if (sketch_ == nullptr) {
+      phi_ = OptDouble(args, 2, 0.05);
+      const double eps = OptDouble(args, 3, 0.01);
+      sketch_ = std::make_unique<SlidingWindowHeavyHitters>(eps);
+    }
+    const double ts = args[0].AsDouble();
+    last_ts_ = std::max(last_ts_, ts);
+    if (first_ts_ < 0.0) first_ts_ = ts;
+    sketch_->Update(ts, static_cast<std::uint64_t>(args[1].AsInt()));
+  }
+
+  void Merge(AggState&) override {
+    FWDECAY_CHECK_MSG(false, "SWHH does not support the two-level split");
+  }
+
+  Value Finalize() const override {
+    if (sketch_ == nullptr) return Value(std::string());
+    const double window = std::max(last_ts_ - first_ts_, 1e-9) * 2.0;
+    return Value(RenderHitters(sketch_->QueryWindow(last_ts_, window, phi_)));
+  }
+
+ private:
+  double phi_ = 0.05;
+  double first_ts_ = -1.0;
+  double last_ts_ = 0.0;
+  std::unique_ptr<SlidingWindowHeavyHitters> sketch_;
+};
+
+// --- Backward-decayed sum baseline ------------------------------------------
+
+/// EHDSUM(time, value [, eps]): maintains the exponential-histogram pair
+/// and finalizes to the backward *polynomial* decayed sum f(a)=(a+1)^-2
+/// evaluated at the group's last timestamp — the Figure 2 baseline.
+class EhdsumUdaf : public AggState {
+ public:
+  void Update(const std::vector<Value>& args) override {
+    FWDECAY_CHECK_MSG(args.size() >= 2, "EHDSUM(time, value [, eps])");
+    if (agg_ == nullptr) {
+      const double eps = OptDouble(args, 2, 0.1);
+      agg_ = std::make_unique<BackwardDecayedAggregator>(eps,
+                                                         /*value_bits=*/16);
+    }
+    const double ts = args[0].AsDouble();
+    last_ts_ = std::max(last_ts_, ts);
+    agg_->Insert(ts, static_cast<std::uint64_t>(args[1].AsInt()));
+  }
+
+  void Merge(AggState&) override {
+    FWDECAY_CHECK_MSG(false, "EHDSUM does not support the two-level split");
+  }
+
+  Value Finalize() const override {
+    if (agg_ == nullptr) return Value(0.0);
+    return Value(agg_->DecayedSum(
+        last_ts_, [](double age) { return std::pow(age + 1.0, -2.0); }));
+  }
+
+ private:
+  double last_ts_ = 0.0;
+  std::unique_ptr<BackwardDecayedAggregator> agg_;
+};
+
+// --- Decayed min / max (Definition 6) ---------------------------------------
+
+/// FDMIN/FDMAX(value, weight): tracks the extremum of weight * value —
+/// the static product g(t_i - L) * v_i of Definition 6; divide by
+/// g(t - L) downstream to obtain the decayed extremum at query time t.
+template <bool kIsMax>
+class FdExtremumUdaf : public AggState {
+ public:
+  void Update(const std::vector<Value>& args) override {
+    FWDECAY_CHECK_MSG(args.size() >= 2, "FDMIN/FDMAX(value, weight)");
+    const double w = args[1].AsDouble();
+    if (w <= 0.0) return;
+    Offer(w * args[0].AsDouble());
+  }
+
+  void Merge(AggState& other) override {
+    auto& o = static_cast<FdExtremumUdaf&>(other);
+    if (o.has_value_) Offer(o.best_);
+  }
+
+  Value Finalize() const override { return Value(has_value_ ? best_ : 0.0); }
+
+ private:
+  void Offer(double scaled) {
+    if (!has_value_ || (kIsMax ? scaled > best_ : scaled < best_)) {
+      best_ = scaled;
+    }
+    has_value_ = true;
+  }
+
+  double best_ = 0.0;
+  bool has_value_ = false;
+};
+
+// --- Quantiles and distinct -------------------------------------------------
+
+/// FDQUANTILE(value, weight, phi [, bits [, eps]]): weighted q-digest
+/// quantile under forward decay (Theorem 3).
+class FdquantileUdaf : public AggState {
+ public:
+  void Update(const std::vector<Value>& args) override {
+    FWDECAY_CHECK_MSG(args.size() >= 3,
+                      "FDQUANTILE(value, weight, phi [, bits [, eps]])");
+    if (digest_ == nullptr) {
+      phi_ = args[2].AsDouble();
+      const int bits = static_cast<int>(OptSize(args, 3, 16));
+      const double eps = OptDouble(args, 4, 0.01);
+      digest_ = std::make_unique<QDigest>(bits, eps);
+    }
+    const double w = args[1].AsDouble();
+    if (w <= 0.0) return;
+    digest_->Update(static_cast<std::uint64_t>(args[0].AsInt()), w);
+  }
+
+  void Merge(AggState& other) override {
+    auto& o = static_cast<FdquantileUdaf&>(other);
+    if (o.digest_ == nullptr) return;
+    if (digest_ == nullptr) {
+      phi_ = o.phi_;
+      digest_ = std::make_unique<QDigest>(o.digest_->universe_bits(),
+                                          o.digest_->eps());
+    }
+    digest_->Merge(*o.digest_);
+  }
+
+  Value Finalize() const override {
+    if (digest_ == nullptr) return Value(std::int64_t{0});
+    return Value(static_cast<std::int64_t>(digest_->Quantile(phi_)));
+  }
+
+ private:
+  double phi_ = 0.5;
+  std::unique_ptr<QDigest> digest_;
+};
+
+/// FDDISTINCT(key, weight [, k]): decayed count-distinct via the
+/// dominance-norm sketch (Theorem 4). Finalizes to the un-normalized
+/// dominance norm; divide by g(t - L) downstream if needed.
+class FddistinctUdaf : public AggState {
+ public:
+  void Update(const std::vector<Value>& args) override {
+    FWDECAY_CHECK_MSG(args.size() >= 2, "FDDISTINCT(key, weight [, k])");
+    if (sketch_ == nullptr) {
+      sketch_ = std::make_unique<DominanceNormSketch>(OptSize(args, 2, 1024));
+    }
+    const double w = args[1].AsDouble();
+    if (w <= 0.0) return;
+    sketch_->Update(static_cast<std::uint64_t>(args[0].AsInt()), w);
+  }
+
+  void Merge(AggState& other) override {
+    auto& o = static_cast<FddistinctUdaf&>(other);
+    if (o.sketch_ == nullptr) return;
+    if (sketch_ == nullptr) {
+      sketch_ = std::make_unique<DominanceNormSketch>(1024);
+    }
+    sketch_->Merge(*o.sketch_);
+  }
+
+  Value Finalize() const override {
+    if (sketch_ == nullptr) return Value(0.0);
+    return Value(sketch_->Estimate());
+  }
+
+ private:
+  std::unique_ptr<DominanceNormSketch> sketch_;
+};
+
+}  // namespace
+
+void RegisterPaperUdafs() {
+  AggRegistry& r = AggRegistry::Instance();
+  r.Register("prisamp", [] { return std::make_unique<PrisampUdaf>(); });
+  r.Register("wrsamp", [] { return std::make_unique<WrsampUdaf>(); });
+  r.Register("ressamp", [] { return std::make_unique<RessampUdaf>(); });
+  r.Register("aggsamp", [] { return std::make_unique<AggsampUdaf>(); });
+  r.Register("fdhh", [] { return std::make_unique<FdhhUdaf>(); });
+  r.Register("unaryhh", [] { return std::make_unique<UnaryhhUdaf>(); });
+  r.Register("swhh", [] { return std::make_unique<SwhhUdaf>(); });
+  r.Register("ehdsum", [] { return std::make_unique<EhdsumUdaf>(); });
+  r.Register("fdquantile", [] { return std::make_unique<FdquantileUdaf>(); });
+  r.Register("fddistinct", [] { return std::make_unique<FddistinctUdaf>(); });
+  r.Register("fdmin",
+             [] { return std::make_unique<FdExtremumUdaf<false>>(); });
+  r.Register("fdmax",
+             [] { return std::make_unique<FdExtremumUdaf<true>>(); });
+}
+
+}  // namespace fwdecay::dsms

@@ -1,0 +1,131 @@
+#include "dsms/value.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/check.h"
+#include "util/hash.h"
+
+namespace fwdecay::dsms {
+
+std::int64_t Value::AsInt() const {
+  if (is_int()) return std::get<std::int64_t>(v_);
+  if (is_double()) return static_cast<std::int64_t>(std::get<double>(v_));
+  FWDECAY_CHECK_MSG(false, "string value used as integer");
+  return 0;
+}
+
+double Value::AsDouble() const {
+  if (is_double()) return std::get<double>(v_);
+  if (is_int()) return static_cast<double>(std::get<std::int64_t>(v_));
+  FWDECAY_CHECK_MSG(false, "string value used as double");
+  return 0.0;
+}
+
+const std::string& Value::AsString() const {
+  FWDECAY_CHECK_MSG(is_string(), "non-string value used as string");
+  return std::get<std::string>(v_);
+}
+
+std::string Value::ToString() const {
+  if (is_string()) return std::get<std::string>(v_);
+  char buf[64];
+  if (is_int()) {
+    std::snprintf(buf, sizeof(buf), "%lld",
+                  static_cast<long long>(std::get<std::int64_t>(v_)));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%g", std::get<double>(v_));
+  }
+  return buf;
+}
+
+std::uint64_t Value::Hash() const {
+  if (is_int()) {
+    return HashU64(static_cast<std::uint64_t>(std::get<std::int64_t>(v_)), 1);
+  }
+  if (is_double()) {
+    const double d = std::get<double>(v_);
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(d));
+    __builtin_memcpy(&bits, &d, sizeof(bits));
+    return HashU64(bits, 2);
+  }
+  return HashString(std::get<std::string>(v_), 3);
+}
+
+bool operator==(const Value& a, const Value& b) {
+  if (a.is_string() || b.is_string()) {
+    return a.is_string() && b.is_string() && a.AsString() == b.AsString();
+  }
+  if (a.is_int() && b.is_int()) return a.AsInt() == b.AsInt();
+  return a.AsDouble() == b.AsDouble();
+}
+
+namespace {
+
+// Applies an arithmetic op with integer/double promotion.
+template <typename IntOp, typename DblOp>
+Value Arith(const Value& a, const Value& b, IntOp iop, DblOp dop) {
+  FWDECAY_CHECK_MSG(!a.is_string() && !b.is_string(),
+                    "arithmetic on string value");
+  if (a.is_int() && b.is_int()) return Value(iop(a.AsInt(), b.AsInt()));
+  return Value(dop(a.AsDouble(), b.AsDouble()));
+}
+
+}  // namespace
+
+Value operator+(const Value& a, const Value& b) {
+  return Arith(
+      a, b, [](std::int64_t x, std::int64_t y) { return x + y; },
+      [](double x, double y) { return x + y; });
+}
+
+Value operator-(const Value& a, const Value& b) {
+  return Arith(
+      a, b, [](std::int64_t x, std::int64_t y) { return x - y; },
+      [](double x, double y) { return x - y; });
+}
+
+Value operator*(const Value& a, const Value& b) {
+  return Arith(
+      a, b, [](std::int64_t x, std::int64_t y) { return x * y; },
+      [](double x, double y) { return x * y; });
+}
+
+Value operator/(const Value& a, const Value& b) {
+  return Arith(
+      a, b,
+      [](std::int64_t x, std::int64_t y) {
+        FWDECAY_CHECK_MSG(y != 0, "integer division by zero");
+        return x / y;
+      },
+      [](double x, double y) { return x / y; });
+}
+
+Value operator%(const Value& a, const Value& b) {
+  return Arith(
+      a, b,
+      [](std::int64_t x, std::int64_t y) {
+        FWDECAY_CHECK_MSG(y != 0, "integer modulo by zero");
+        return x % y;
+      },
+      [](double x, double y) { return std::fmod(x, y); });
+}
+
+int Compare(const Value& a, const Value& b) {
+  if (a.is_string() || b.is_string()) {
+    FWDECAY_CHECK_MSG(a.is_string() && b.is_string(),
+                      "comparing string with non-string");
+    return a.AsString().compare(b.AsString());
+  }
+  if (a.is_int() && b.is_int()) {
+    const std::int64_t x = a.AsInt();
+    const std::int64_t y = b.AsInt();
+    return x < y ? -1 : (x > y ? 1 : 0);
+  }
+  const double x = a.AsDouble();
+  const double y = b.AsDouble();
+  return x < y ? -1 : (x > y ? 1 : 0);
+}
+
+}  // namespace fwdecay::dsms

@@ -1,0 +1,59 @@
+#ifndef FWDECAY_DSMS_VALUE_H_
+#define FWDECAY_DSMS_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+namespace fwdecay::dsms {
+
+/// Runtime value in the GSQL engine: 64-bit integer, double, or string.
+///
+/// Integer arithmetic stays in integers (so `time/60` is the paper's
+/// time-bucket truncation and `time % 60` its in-bucket offset); mixing
+/// an integer with a double promotes to double.
+class Value {
+ public:
+  Value() : v_(std::int64_t{0}) {}
+  explicit Value(std::int64_t i) : v_(i) {}
+  explicit Value(double d) : v_(d) {}
+  explicit Value(std::string s) : v_(std::move(s)) {}
+
+  bool is_int() const { return std::holds_alternative<std::int64_t>(v_); }
+  bool is_double() const { return std::holds_alternative<double>(v_); }
+  bool is_string() const { return std::holds_alternative<std::string>(v_); }
+
+  std::int64_t AsInt() const;
+  double AsDouble() const;
+  const std::string& AsString() const;
+
+  /// Human-readable rendering (integers without decimals).
+  std::string ToString() const;
+
+  /// Hash for group-by keys.
+  std::uint64_t Hash() const;
+
+  friend bool operator==(const Value& a, const Value& b);
+
+  // Arithmetic with int/double promotion; CHECK-fails on strings.
+  friend Value operator+(const Value& a, const Value& b);
+  friend Value operator-(const Value& a, const Value& b);
+  friend Value operator*(const Value& a, const Value& b);
+  friend Value operator/(const Value& a, const Value& b);
+  friend Value operator%(const Value& a, const Value& b);
+
+  // Ordering comparison: -1, 0, +1. Strings compare lexicographically;
+  // numerics numerically.
+  friend int Compare(const Value& a, const Value& b);
+
+ private:
+  std::variant<std::int64_t, double, std::string> v_;
+};
+
+/// Namespace-scope declaration so Compare can be named with
+/// qualification (the in-class friend is otherwise ADL-only).
+int Compare(const Value& a, const Value& b);
+
+}  // namespace fwdecay::dsms
+
+#endif  // FWDECAY_DSMS_VALUE_H_

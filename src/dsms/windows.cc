@@ -1,0 +1,102 @@
+#include "dsms/windows.h"
+
+#include <cmath>
+#include <utility>
+
+#include "util/check.h"
+
+namespace fwdecay::dsms {
+
+SlidingRunner::SlidingRunner(const CompiledQuery* plan, double width_seconds,
+                             double slide_seconds, EmitFn emit,
+                             double slack_seconds)
+    : plan_(plan),
+      width_(width_seconds),
+      slide_(slide_seconds),
+      slack_(slack_seconds),
+      emit_(std::move(emit)) {
+  FWDECAY_CHECK(plan != nullptr);
+  FWDECAY_CHECK(width_seconds > 0.0);
+  FWDECAY_CHECK(slide_seconds > 0.0);
+  FWDECAY_CHECK_MSG(slide_seconds <= width_seconds,
+                    "slide must not exceed the window width");
+  FWDECAY_CHECK(slack_seconds >= 0.0);
+}
+
+void SlidingRunner::Consume(const Packet& p) {
+  // Window k covers [k*slide, k*slide + width): the packet belongs to
+  // windows k in (t-width, t] / slide.
+  const auto last =
+      static_cast<std::int64_t>(std::floor(p.time / slide_));
+  const auto first = static_cast<std::int64_t>(
+      std::floor((p.time - width_) / slide_)) + 1;
+  bool dropped = true;
+  for (std::int64_t k = std::max(first, next_unemitted_); k <= last; ++k) {
+    auto it = open_.find(k);
+    if (it == open_.end()) {
+      it = open_.emplace(k, plan_->NewExecution()).first;
+    }
+    it->second->Consume(p);
+    dropped = false;
+  }
+  if (dropped) ++late_drops_;
+  if (p.time > watermark_) {
+    watermark_ = p.time;
+    EmitReady();
+  }
+}
+
+void SlidingRunner::EmitReady() {
+  while (!open_.empty()) {
+    const std::int64_t k = open_.begin()->first;
+    const double window_end = static_cast<double>(k) * slide_ + width_;
+    if (watermark_ < window_end + slack_) break;
+    emit_(static_cast<double>(k) * slide_, window_end,
+          open_.begin()->second->Finish());
+    open_.erase(open_.begin());
+    next_unemitted_ = k + 1;
+  }
+}
+
+void SlidingRunner::Flush() {
+  while (!open_.empty()) {
+    const std::int64_t k = open_.begin()->first;
+    emit_(static_cast<double>(k) * slide_,
+          static_cast<double>(k) * slide_ + width_,
+          open_.begin()->second->Finish());
+    open_.erase(open_.begin());
+    next_unemitted_ = k + 1;
+  }
+}
+
+LatchedRunner::LatchedRunner(const CompiledQuery* plan, double bucket_seconds,
+                             EmitFn emit)
+    : bucket_seconds_(bucket_seconds),
+      emit_(std::move(emit)),
+      exec_(plan->NewExecution()) {
+  FWDECAY_CHECK(bucket_seconds > 0.0);
+}
+
+void LatchedRunner::Consume(const Packet& p) {
+  const auto bucket =
+      static_cast<std::int64_t>(std::floor(p.time / bucket_seconds_));
+  if (current_bucket_ == std::numeric_limits<std::int64_t>::min()) {
+    current_bucket_ = bucket;
+  }
+  if (bucket > current_bucket_) {
+    // Snapshot the cumulative state; Finish() is repeatable — it drains
+    // the low-level table into the high level and renders, leaving the
+    // accumulated aggregates intact.
+    emit_(current_bucket_, exec_->Finish());
+    current_bucket_ = bucket;
+  }
+  exec_->Consume(p);
+}
+
+void LatchedRunner::Flush() {
+  if (current_bucket_ != std::numeric_limits<std::int64_t>::min()) {
+    emit_(current_bucket_, exec_->Finish());
+  }
+}
+
+}  // namespace fwdecay::dsms

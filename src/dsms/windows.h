@@ -1,0 +1,84 @@
+#ifndef FWDECAY_DSMS_WINDOWS_H_
+#define FWDECAY_DSMS_WINDOWS_H_
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <map>
+#include <memory>
+
+#include "dsms/engine.h"
+
+// The remaining window semantics the paper's related-work section
+// attributes to Aurora (Section VII): alongside tumbling windows
+// (dsms/tumbling.h) these are *sliding* windows, which overlap, and
+// *latched* windows, which are tumbling with preserved internal state.
+// Forward decay composes with any of them — the runner only decides when
+// results are emitted; the aggregates inside are unchanged.
+
+namespace fwdecay::dsms {
+
+/// Overlapping sliding windows of `width_seconds`, advancing every
+/// `slide_seconds` (slide <= width). Each window [k*slide, k*slide+width)
+/// gets its own execution; a packet feeds every window covering its
+/// timestamp; a window emits when the event-time watermark passes its
+/// end plus the out-of-order slack.
+class SlidingRunner {
+ public:
+  using EmitFn =
+      std::function<void(double window_start, double window_end, ResultSet)>;
+
+  SlidingRunner(const CompiledQuery* plan, double width_seconds,
+                double slide_seconds, EmitFn emit,
+                double slack_seconds = 0.0);
+
+  /// Routes one packet to all covering windows; may emit windows.
+  void Consume(const Packet& p);
+
+  /// Emits every still-open window (end of stream).
+  void Flush();
+
+  std::size_t open_windows() const { return open_.size(); }
+  std::uint64_t late_drops() const { return late_drops_; }
+
+ private:
+  void EmitReady();
+
+  const CompiledQuery* plan_;
+  double width_;
+  double slide_;
+  double slack_;
+  EmitFn emit_;
+  double watermark_ = -std::numeric_limits<double>::infinity();
+  std::int64_t next_unemitted_ = std::numeric_limits<std::int64_t>::min();
+  std::uint64_t late_drops_ = 0;
+  // Window k covers [k*slide, k*slide + width).
+  std::map<std::int64_t, std::unique_ptr<QueryExecution>> open_;
+};
+
+/// Latched windows: one long-lived execution whose cumulative state is
+/// snapshotted every `bucket_seconds` — "tumbling with preserved internal
+/// states" in Aurora's terms. Emits a cumulative ResultSet per bucket.
+class LatchedRunner {
+ public:
+  using EmitFn = std::function<void(std::int64_t bucket, ResultSet)>;
+
+  LatchedRunner(const CompiledQuery* plan, double bucket_seconds,
+                EmitFn emit);
+
+  /// Feeds the cumulative execution; snapshots at bucket boundaries.
+  void Consume(const Packet& p);
+
+  /// Emits the final cumulative snapshot.
+  void Flush();
+
+ private:
+  double bucket_seconds_;
+  EmitFn emit_;
+  std::int64_t current_bucket_ = std::numeric_limits<std::int64_t>::min();
+  std::unique_ptr<QueryExecution> exec_;
+};
+
+}  // namespace fwdecay::dsms
+
+#endif  // FWDECAY_DSMS_WINDOWS_H_

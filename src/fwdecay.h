@@ -1,0 +1,49 @@
+#ifndef FWDECAY_FWDECAY_H_
+#define FWDECAY_FWDECAY_H_
+
+// Umbrella header for the fwdecay library — everything a downstream user
+// needs for forward-decayed analytics. Include narrower headers directly
+// when compile time matters.
+//
+//   #include "fwdecay.h"
+//   fwdecay::ForwardDecay<fwdecay::MonomialG> decay(
+//       fwdecay::MonomialG(2.0), /*landmark=*/0.0);
+//   fwdecay::DecayedMoments<fwdecay::MonomialG> moments(decay);
+//
+// Layers (see README.md):
+//   core/      decay model, O(1) aggregates, HH/quantiles/distinct
+//   sampling/  decayed samplers (Section V of the paper)
+//   sketch/    summary substrates + backward-decay baselines
+//   dsms/      mini stream engine with GSQL + UDAFs
+
+#include "core/aggregates.h"
+#include "core/concurrent_reservoir.h"
+#include "core/count_distinct.h"
+#include "core/decay.h"
+#include "core/decaying_reservoir.h"
+#include "core/exact_reference.h"
+#include "core/forward_decay.h"
+#include "core/heavy_hitters.h"
+#include "core/histogram.h"
+#include "core/landmark.h"
+#include "core/quantiles.h"
+#include "core/topk.h"
+#include "sampling/biased_reservoir.h"
+#include "sampling/priority_sampling.h"
+#include "sampling/reservoir.h"
+#include "sampling/weighted_reservoir.h"
+#include "sampling/with_replacement.h"
+#include "sketch/backward_sum.h"
+#include "sketch/count_min.h"
+#include "sketch/dominance_norm.h"
+#include "sketch/exp_histogram.h"
+#include "sketch/hll.h"
+#include "sketch/kmv.h"
+#include "sketch/qdigest.h"
+#include "sketch/sliding_hh.h"
+#include "sketch/sliding_quantiles.h"
+#include "sketch/space_saving.h"
+#include "sketch/tdigest.h"
+#include "sketch/waves.h"
+
+#endif  // FWDECAY_FWDECAY_H_

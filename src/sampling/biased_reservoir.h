@@ -1,0 +1,64 @@
+#ifndef FWDECAY_SAMPLING_BIASED_RESERVOIR_H_
+#define FWDECAY_SAMPLING_BIASED_RESERVOIR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/check.h"
+#include "util/random.h"
+
+namespace fwdecay {
+
+/// Aggarwal's biased reservoir sampling (VLDB'06) — the prior-art
+/// baseline the paper compares against in Figure 3 and improves on with
+/// Corollary 1.
+///
+/// Maintains a reservoir of capacity k whose inclusion probabilities
+/// follow a *backward exponential* bias e^(-lambda r) in the item's
+/// arrival index r, with lambda = 1/k: on each arrival, with probability
+/// fill = size/k the new item overwrites a uniformly random slot;
+/// otherwise it is appended.
+///
+/// Limitations (the ones forward decay removes, per Section V-C):
+///  * the decay rate is tied to the reservoir size (lambda = 1/k);
+///  * the bias is in the arrival *index*, so it matches time-decay only
+///    for unit-spaced, in-order timestamps ("sequential integers" in the
+///    paper's phrasing);
+///  * only exponential bias is supported.
+template <typename T>
+class BiasedReservoirSampler {
+ public:
+  explicit BiasedReservoirSampler(std::size_t k) : k_(k) {
+    FWDECAY_CHECK(k > 0);
+    sample_.reserve(k);
+  }
+
+  /// Offers the next stream item (arrival order defines the bias).
+  void Add(const T& item, Rng& rng) {
+    ++seen_;
+    const double fill =
+        static_cast<double>(sample_.size()) / static_cast<double>(k_);
+    if (rng.NextDouble() < fill) {
+      sample_[rng.NextBounded(sample_.size())] = item;
+    } else {
+      sample_.push_back(item);
+    }
+  }
+
+  /// Effective exponential decay rate of the maintained bias.
+  double lambda() const { return 1.0 / static_cast<double>(k_); }
+
+  const std::vector<T>& sample() const { return sample_; }
+  std::uint64_t seen() const { return seen_; }
+  std::size_t capacity() const { return k_; }
+
+ private:
+  std::size_t k_;
+  std::uint64_t seen_ = 0;
+  std::vector<T> sample_;
+};
+
+}  // namespace fwdecay
+
+#endif  // FWDECAY_SAMPLING_BIASED_RESERVOIR_H_

@@ -1,0 +1,105 @@
+#ifndef FWDECAY_SAMPLING_PRIORITY_SAMPLING_H_
+#define FWDECAY_SAMPLING_PRIORITY_SAMPLING_H_
+
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include "core/forward_decay.h"
+#include "util/check.h"
+#include "util/random.h"
+#include "util/top_k_heap.h"
+
+namespace fwdecay {
+
+/// Priority sampling (Alon, Duffield, Lund, Thorup, PODS'05) under
+/// forward decay — the PRISAMP UDAF of the paper's Section VIII.
+///
+/// Item i gets priority q_i = w_i / u_i (u_i uniform in (0,1]); the
+/// sample is the k items of highest priority, and the (k+1)-th highest
+/// priority τ is the threshold. The Horvitz–Thompson-style estimator
+///   ŵ_i = max(w_i, τ)  for sampled i, 0 otherwise
+/// is unbiased for any subset-sum query, with near-optimal variance.
+///
+/// As with the other samplers, w_i is the static weight g(t_i - L);
+/// priorities are *compared* in the log domain (log q = log w - log u) so
+/// exponential g cannot overflow the comparisons. Estimation, which needs
+/// linear-domain w and τ, is performed relative to the largest retained
+/// log-weight, i.e. estimates are returned as decayed weights normalized
+/// at the caller's query time.
+template <typename T, ForwardG G>
+class PrioritySampler {
+ public:
+  struct SampleEntry {
+    T item;
+    Timestamp ts;
+    double log_weight;   // log g(t_i - L)
+    double log_priority; // log w_i - log u_i
+  };
+
+  PrioritySampler(ForwardDecay<G> decay, std::size_t k)
+      : decay_(std::move(decay)), heap_(k + 1) {}
+
+  /// Offers item arriving at t_i. O(log k).
+  void Add(Timestamp ti, const T& item, Rng& rng) {
+    const double log_w = decay_.LogStaticWeight(ti);
+    if (log_w == -std::numeric_limits<double>::infinity()) return;
+    const double log_q = log_w - std::log(rng.NextDoubleOpenZero());
+    heap_.Offer(log_q, SampleEntry{item, ti, log_w, log_q});
+  }
+
+  /// The k highest-priority items (the (k+1)-th is the threshold and is
+  /// excluded, per the estimator's definition).
+  std::vector<SampleEntry> Sample() const {
+    auto sorted = heap_.SortedByScoreDesc();
+    std::vector<SampleEntry> out;
+    const std::size_t take =
+        sorted.size() == heap_.capacity() ? sorted.size() - 1 : sorted.size();
+    out.reserve(take);
+    for (std::size_t i = 0; i < take; ++i) out.push_back(sorted[i].value);
+    return out;
+  }
+
+  /// Unbiased estimate of the decayed subset sum
+  ///   Σ_{i : pred(item_i)} w(i, t)
+  /// at query time t: Σ max(w_i, τ)/g(t-L) over sampled items matching
+  /// `pred`. Computed in a shifted domain anchored at log g(t - L).
+  double EstimateDecayedSubsetSum(
+      Timestamp t, const std::function<bool(const T&)>& pred) const {
+    const double log_norm = decay_.g().LogG(t - decay_.landmark());
+    auto sorted = heap_.SortedByScoreDesc();
+    if (sorted.empty()) return 0.0;
+    double log_tau = -std::numeric_limits<double>::infinity();
+    std::size_t take = sorted.size();
+    if (sorted.size() == heap_.capacity()) {
+      log_tau = sorted.back().score;
+      take = sorted.size() - 1;
+    }
+    double total = 0.0;
+    for (std::size_t i = 0; i < take; ++i) {
+      const SampleEntry& e = sorted[i].value;
+      if (!pred(e.item)) continue;
+      const double log_est = std::max(e.log_weight, log_tau);
+      total += std::exp(log_est - log_norm);
+    }
+    return total;
+  }
+
+  /// Estimate of the full decayed count at time t (pred == everything).
+  double EstimateDecayedCount(Timestamp t) const {
+    return EstimateDecayedSubsetSum(t, [](const T&) { return true; });
+  }
+
+  std::size_t sample_size() const {
+    return heap_.size() == heap_.capacity() ? heap_.size() - 1 : heap_.size();
+  }
+  const ForwardDecay<G>& decay() const { return decay_; }
+
+ private:
+  ForwardDecay<G> decay_;
+  TopKHeap<SampleEntry> heap_;  // holds k+1 entries; min is the threshold
+};
+
+}  // namespace fwdecay
+
+#endif  // FWDECAY_SAMPLING_PRIORITY_SAMPLING_H_

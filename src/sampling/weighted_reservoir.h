@@ -1,0 +1,156 @@
+#ifndef FWDECAY_SAMPLING_WEIGHTED_RESERVOIR_H_
+#define FWDECAY_SAMPLING_WEIGHTED_RESERVOIR_H_
+
+#include <cmath>
+#include <vector>
+
+#include "core/forward_decay.h"
+#include "util/check.h"
+#include "util/random.h"
+#include "util/top_k_heap.h"
+
+namespace fwdecay {
+
+/// Weighted reservoir sampling WITHOUT replacement under forward decay
+/// (Section V-B, Theorem 6) — the algorithm of Efraimidis & Spirakis
+/// (A-Res): item i gets key u_i^(1/w_i) with u_i uniform; the sample is
+/// the k items with the largest keys.
+///
+/// Because sampling is invariant to globally scaling the weights, the
+/// weight is simply the static weight g(t_i - L) — no normalizer needed.
+/// Keys are compared in the log-log domain,
+///     score_i = log w_i - log(-log u_i),
+/// a strictly monotone transform of u_i^(1/w_i). This sidesteps the
+/// overflow problem of Section VI-A entirely: exponential g over long
+/// horizons would overflow w_i = exp(alpha n), but log w_i = alpha*n is
+/// perfectly representable, so this sampler never needs landmark
+/// rescaling.
+template <typename T, ForwardG G>
+class WeightedReservoirSampler {
+ public:
+  WeightedReservoirSampler(ForwardDecay<G> decay, std::size_t k)
+      : decay_(std::move(decay)), heap_(k) {}
+
+  /// Offers item arriving at t_i. O(log k).
+  void Add(Timestamp ti, const T& item, Rng& rng) {
+    const double log_w = decay_.LogStaticWeight(ti);
+    if (log_w == -std::numeric_limits<double>::infinity()) return;
+    const double u = rng.NextDoubleOpenZero();
+    // -log u is an Exp(1) variate; key u^(1/w) ranks identically to
+    // score = log w - log(-log u).
+    const double score = log_w - std::log(-std::log(u));
+    heap_.Offer(score, item);
+  }
+
+  /// The current without-replacement sample (unordered).
+  std::vector<T> Sample() const {
+    std::vector<T> out;
+    out.reserve(heap_.size());
+    for (const auto& entry : heap_.entries()) out.push_back(entry.value);
+    return out;
+  }
+
+  std::size_t sample_size() const { return heap_.size(); }
+  std::size_t capacity() const { return heap_.capacity(); }
+  const ForwardDecay<G>& decay() const { return decay_; }
+
+ private:
+  ForwardDecay<G> decay_;
+  TopKHeap<T> heap_;
+};
+
+/// A-ExpJ: the "exponential jumps" variant of A-Res (Efraimidis &
+/// Spirakis). Distribution-identical, but instead of drawing a key per
+/// item it draws a *threshold jump*: items are skipped until the running
+/// weight crosses the jump, so only O(k log(n/k)) random draws are made.
+/// The admission test runs in the same log-log score domain as A-Res.
+template <typename T, ForwardG G>
+class ExpJumpsReservoirSampler {
+ public:
+  ExpJumpsReservoirSampler(ForwardDecay<G> decay, std::size_t k)
+      : decay_(std::move(decay)), heap_(k) {}
+
+  /// Offers item arriving at t_i. O(1) for skipped items, O(log k) for
+  /// admitted ones.
+  void Add(Timestamp ti, const T& item, Rng& rng) {
+    const double log_w = decay_.LogStaticWeight(ti);
+    if (log_w == -std::numeric_limits<double>::infinity()) return;
+    if (!heap_.Full()) {
+      const double u = rng.NextDoubleOpenZero();
+      heap_.Offer(log_w - std::log(-std::log(u)), item);
+      if (heap_.Full()) ScheduleJump(rng);
+      return;
+    }
+    // Accumulate weight toward the pending jump in a numerically safe
+    // way: weights within one jump window are summed relative to the
+    // window's max log-weight.
+    AccumulateLog(log_w);
+    if (acc_log_weight_ < jump_log_weight_) return;
+    // This item crosses the jump: admit it with key r^(1/w_i), r uniform
+    // in (t_w, 1) where t_w = T_w^{w_i} and T_w is the threshold key
+    // (per A-ExpJ). Since -log T_w = exp(-t_score), we have
+    //   -log t_w = w_i * exp(-t_score),
+    // computed in the log domain so exponential weights cannot overflow.
+    // When t_w underflows to zero, r is simply uniform on (0, 1).
+    const double t_score = heap_.MinScore();
+    const double log_neg_log_tw_scaled = log_w - t_score;  // log(-log t_w)
+    double r;
+    if (log_neg_log_tw_scaled > 6.55) {  // -log t_w > ~700 => t_w ~ 0
+      r = rng.NextDoubleOpenZero();
+    } else {
+      const double t_w = std::exp(-std::exp(log_neg_log_tw_scaled));
+      r = t_w + rng.NextDouble() * (1.0 - t_w);
+    }
+    // score = log w_i - log(-log r), same domain as A-Res keys. The max
+    // guards the measure-zero draws r -> 1 (score would be +inf) and
+    // r -> t_w (tie with the threshold; Offer rejects ties, matching the
+    // open interval in the algorithm).
+    const double neg_log_r = std::max(-std::log(r), 1e-300);
+    heap_.Offer(log_w - std::log(neg_log_r), item);
+    ScheduleJump(rng);
+  }
+
+  std::vector<T> Sample() const {
+    std::vector<T> out;
+    out.reserve(heap_.size());
+    for (const auto& entry : heap_.entries()) out.push_back(entry.value);
+    return out;
+  }
+
+  std::size_t sample_size() const { return heap_.size(); }
+  const ForwardDecay<G>& decay() const { return decay_; }
+
+ private:
+  // The jump X_w satisfies: skip items until Σ w_i >= X_w where
+  // X_w = log(u)/log(T_w) for u uniform — equivalently
+  // X_w = (-log u)/(-log T_w). We track Σ w_i and X_w in a shifted
+  // domain anchored at the threshold's log scale to avoid overflow.
+  void ScheduleJump(Rng& rng) {
+    const double t_score = heap_.MinScore();
+    const double neg_log_tw = std::exp(-t_score);  // -log T_w
+    const double u = rng.NextDoubleOpenZero();
+    // jump weight X_w = -log(u) / -log(T_w)
+    jump_log_weight_ = std::log(-std::log(u)) - std::log(neg_log_tw);
+    acc_log_weight_ = -std::numeric_limits<double>::infinity();
+  }
+
+  // acc := log(exp(acc) + exp(x)), the standard log-sum-exp update.
+  void AccumulateLog(double x) {
+    if (acc_log_weight_ == -std::numeric_limits<double>::infinity()) {
+      acc_log_weight_ = x;
+      return;
+    }
+    const double hi = std::max(acc_log_weight_, x);
+    const double lo = std::min(acc_log_weight_, x);
+    acc_log_weight_ = hi + std::log1p(std::exp(lo - hi));
+  }
+
+  ForwardDecay<G> decay_;
+  TopKHeap<T> heap_;
+  double jump_log_weight_ = 0.0;
+  double acc_log_weight_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace fwdecay
+
+#endif  // FWDECAY_SAMPLING_WEIGHTED_RESERVOIR_H_

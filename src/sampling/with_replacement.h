@@ -1,0 +1,67 @@
+#ifndef FWDECAY_SAMPLING_WITH_REPLACEMENT_H_
+#define FWDECAY_SAMPLING_WITH_REPLACEMENT_H_
+
+#include <optional>
+#include <vector>
+
+#include "core/forward_decay.h"
+#include "util/check.h"
+#include "util/random.h"
+
+namespace fwdecay {
+
+/// Sampling WITH replacement under forward decay (Section V-A, Theorem 5).
+///
+/// For a sample of size s, runs s independent "chains". Each chain keeps
+/// one candidate item and the running weight total W_i = Σ_{j<=i} g(t_j-L);
+/// arrival i replaces the candidate with probability g(t_i - L)/W_i, which
+/// telescopes to the exact target probability g(t_i - L)/W_n. Space O(s),
+/// time O(s) per tuple, no dependence on arrival order of timestamps
+/// beyond ti >= L.
+template <typename T, ForwardG G>
+class ForwardDecaySamplerWR {
+ public:
+  ForwardDecaySamplerWR(ForwardDecay<G> decay, std::size_t sample_size)
+      : decay_(std::move(decay)), chains_(sample_size) {
+    FWDECAY_CHECK(sample_size > 0);
+  }
+
+  /// Offers item arriving at t_i.
+  void Add(Timestamp ti, const T& item, Rng& rng) {
+    const double w = decay_.StaticWeight(ti);
+    if (w <= 0.0) return;  // zero-weight items can never be sampled
+    total_weight_ += w;
+    const double p = w / total_weight_;
+    for (Chain& chain : chains_) {
+      if (rng.NextDouble() < p) chain.candidate = item;
+    }
+  }
+
+  /// The current sample: one (independent, with-replacement) draw per
+  /// chain. Empty entries only before the first positive-weight arrival.
+  std::vector<T> Sample() const {
+    std::vector<T> out;
+    out.reserve(chains_.size());
+    for (const Chain& chain : chains_) {
+      if (chain.candidate.has_value()) out.push_back(*chain.candidate);
+    }
+    return out;
+  }
+
+  double TotalStaticWeight() const { return total_weight_; }
+  std::size_t sample_size() const { return chains_.size(); }
+  const ForwardDecay<G>& decay() const { return decay_; }
+
+ private:
+  struct Chain {
+    std::optional<T> candidate;
+  };
+
+  ForwardDecay<G> decay_;
+  double total_weight_ = 0.0;
+  std::vector<Chain> chains_;
+};
+
+}  // namespace fwdecay
+
+#endif  // FWDECAY_SAMPLING_WITH_REPLACEMENT_H_

@@ -1,0 +1,65 @@
+#include "sketch/backward_sum.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace fwdecay {
+
+double CombineWindowQueries(double horizon, const BackwardDecayFn& f,
+                            int grid_size,
+                            const std::function<double(double)>& window_query) {
+  FWDECAY_CHECK_MSG(grid_size >= 2, "grid must have at least two ages");
+  horizon = std::max(horizon, 1e-9);
+  // Geometric age grid from a small fraction of the horizon up to the
+  // horizon itself; items younger than the first knot get full weight.
+  const double a_min = horizon * 1e-4;
+  const double ratio =
+      std::pow(horizon / a_min, 1.0 / static_cast<double>(grid_size - 1));
+  double result = f(a_min) * window_query(a_min);
+  double prev_age = a_min;
+  for (int j = 1; j < grid_size; ++j) {
+    const double age = a_min * std::pow(ratio, j);
+    const double delta = window_query(age) - window_query(prev_age);
+    if (delta > 0.0) result += f(age) * delta;
+    prev_age = age;
+  }
+  return result;
+}
+
+BackwardDecayedAggregator::BackwardDecayedAggregator(double eps,
+                                                     int value_bits,
+                                                     int grid_size)
+    : grid_size_(grid_size), count_eh_(eps), sum_eh_(eps, value_bits) {
+  FWDECAY_CHECK_MSG(grid_size >= 2, "grid must have at least two ages");
+}
+
+void BackwardDecayedAggregator::Insert(double ts, std::uint64_t value) {
+  if (!has_data_) {
+    first_ts_ = ts;
+    has_data_ = true;
+  }
+  count_eh_.Insert(ts);
+  sum_eh_.Insert(ts, value);
+}
+
+double BackwardDecayedAggregator::DecayedCount(double now,
+                                               const BackwardDecayFn& f) const {
+  if (!has_data_) return 0.0;
+  return CombineWindowQueries(now - first_ts_, f, grid_size_,
+                              [&](double window) {
+                                return count_eh_.CountInWindow(now, window);
+                              });
+}
+
+double BackwardDecayedAggregator::DecayedSum(double now,
+                                             const BackwardDecayFn& f) const {
+  if (!has_data_) return 0.0;
+  return CombineWindowQueries(now - first_ts_, f, grid_size_,
+                              [&](double window) {
+                                return sum_eh_.SumInWindow(now, window);
+                              });
+}
+
+}  // namespace fwdecay

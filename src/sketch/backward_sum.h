@@ -1,0 +1,70 @@
+#ifndef FWDECAY_SKETCH_BACKWARD_SUM_H_
+#define FWDECAY_SKETCH_BACKWARD_SUM_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "sketch/exp_histogram.h"
+
+// Backward-decayed sums and counts via the Cohen–Strauss reduction
+// (PODS'03), as used for the paper's Figure 2 baseline: any backward decay
+// function f(age), specified at query time, can be approximated by a
+// telescoping combination of scaled sliding-window queries over a single
+// exponential histogram:
+//
+//   sum_i f(t - t_i) v_i  ≈  Σ_j [f(a_j) - f(a_{j+1})] * WindowSum(a_j..)
+//
+// evaluated on a geometric grid of ages a_0 = 0 < a_1 < ... < a_m. The
+// per-tuple cost is the EH insertion cascade; the per-group state is the
+// EH buckets — both substantially heavier than forward decay's single
+// running float, which is exactly the contrast the paper measures.
+
+namespace fwdecay {
+
+/// A backward decay function: maps an age a >= 0 to a weight in [0, 1],
+/// monotone non-increasing, f(0) = 1.
+using BackwardDecayFn = std::function<double(double)>;
+
+/// Evaluates the Cohen–Strauss telescoped combination
+///   Σ_j f(a_j) * (W(a_j) - W(a_{j-1}))
+/// over a geometric grid of `grid_size` ages spanning (0, horizon], where
+/// `window_query(a)` returns the window aggregate of items with age <= a.
+/// Shared by the decayed-sum baseline and the sliding-window HH baseline.
+double CombineWindowQueries(double horizon, const BackwardDecayFn& f,
+                            int grid_size,
+                            const std::function<double(double)>& window_query);
+
+/// Approximates backward-decayed count and sum with one EhCount + EhSum.
+class BackwardDecayedAggregator {
+ public:
+  /// `eps` is the EH relative error; `value_bits` bounds the inserted
+  /// values; `grid_size` is the number of window queries per decayed
+  /// query (the discretization of the Cohen–Strauss integral).
+  BackwardDecayedAggregator(double eps, int value_bits, int grid_size = 48);
+
+  /// Records an arrival (timestamps must be non-decreasing).
+  void Insert(double ts, std::uint64_t value);
+
+  /// Approximate decayed count at time `now` under decay f.
+  double DecayedCount(double now, const BackwardDecayFn& f) const;
+
+  /// Approximate decayed sum at time `now` under decay f.
+  double DecayedSum(double now, const BackwardDecayFn& f) const;
+
+  std::size_t MemoryBytes() const {
+    return count_eh_.MemoryBytes() + sum_eh_.MemoryBytes();
+  }
+
+  std::uint64_t TotalCount() const { return count_eh_.TotalCount(); }
+
+ private:
+  int grid_size_;
+  double first_ts_ = 0.0;
+  bool has_data_ = false;
+  EhCount count_eh_;
+  EhSum sum_eh_;
+};
+
+}  // namespace fwdecay
+
+#endif  // FWDECAY_SKETCH_BACKWARD_SUM_H_

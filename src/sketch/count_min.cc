@@ -1,0 +1,93 @@
+#include "sketch/count_min.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+#include "util/hash.h"
+
+namespace fwdecay {
+
+CountMinSketch::CountMinSketch(double eps, double delta, std::uint64_t seed)
+    : seed_(seed) {
+  FWDECAY_CHECK_MSG(eps > 0.0 && eps < 1.0, "eps must be in (0, 1)");
+  FWDECAY_CHECK_MSG(delta > 0.0 && delta < 1.0, "delta must be in (0, 1)");
+  width_ = static_cast<std::size_t>(std::ceil(std::exp(1.0) / eps));
+  depth_ = static_cast<std::size_t>(std::ceil(std::log(1.0 / delta)));
+  depth_ = std::max<std::size_t>(depth_, 1);
+  cells_.assign(width_ * depth_, 0.0);
+}
+
+std::size_t CountMinSketch::CellIndex(std::size_t row,
+                                      std::uint64_t key) const {
+  const std::uint64_t h = HashU64(key, seed_ + row * 0x9e3779b9ULL);
+  return row * width_ + static_cast<std::size_t>(h % width_);
+}
+
+void CountMinSketch::Update(std::uint64_t key, double weight) {
+  FWDECAY_DCHECK(weight > 0.0);
+  total_weight_ += weight;
+  for (std::size_t row = 0; row < depth_; ++row) {
+    cells_[CellIndex(row, key)] += weight;
+  }
+}
+
+double CountMinSketch::Estimate(std::uint64_t key) const {
+  double est = std::numeric_limits<double>::infinity();
+  for (std::size_t row = 0; row < depth_; ++row) {
+    est = std::min(est, cells_[CellIndex(row, key)]);
+  }
+  return est;
+}
+
+void CountMinSketch::Merge(const CountMinSketch& other) {
+  FWDECAY_CHECK(width_ == other.width_ && depth_ == other.depth_);
+  FWDECAY_CHECK(seed_ == other.seed_);
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    cells_[i] += other.cells_[i];
+  }
+  total_weight_ += other.total_weight_;
+}
+
+void CountMinSketch::ScaleWeights(double factor) {
+  FWDECAY_CHECK(factor > 0.0);
+  for (double& c : cells_) c *= factor;
+  total_weight_ *= factor;
+}
+
+void CountMinSketch::SerializeTo(ByteWriter* writer) const {
+  writer->WriteU8(0x4e);  // 'N'
+  writer->WriteU64(width_);
+  writer->WriteU64(depth_);
+  writer->WriteU64(seed_);
+  writer->WriteDouble(total_weight_);
+  for (double c : cells_) writer->WriteDouble(c);
+}
+
+std::optional<CountMinSketch> CountMinSketch::Deserialize(
+    ByteReader* reader) {
+  std::uint8_t tag = 0;
+  std::uint64_t width = 0;
+  std::uint64_t depth = 0;
+  std::uint64_t seed = 0;
+  double total = 0.0;
+  if (!reader->ReadU8(&tag) || tag != 0x4e) return std::nullopt;
+  if (!reader->ReadU64(&width) || width == 0) return std::nullopt;
+  if (!reader->ReadU64(&depth) || depth == 0) return std::nullopt;
+  if (!reader->ReadU64(&seed) || !reader->ReadDouble(&total)) {
+    return std::nullopt;
+  }
+  if (width * depth > (std::uint64_t{1} << 30)) return std::nullopt;
+  CountMinSketch out(0.5, 0.5, seed);  // dimensions replaced below
+  out.width_ = static_cast<std::size_t>(width);
+  out.depth_ = static_cast<std::size_t>(depth);
+  out.total_weight_ = total;
+  out.cells_.assign(out.width_ * out.depth_, 0.0);
+  for (double& c : out.cells_) {
+    if (!reader->ReadDouble(&c)) return std::nullopt;
+  }
+  return out;
+}
+
+}  // namespace fwdecay

@@ -1,0 +1,58 @@
+#ifndef FWDECAY_SKETCH_COUNT_MIN_H_
+#define FWDECAY_SKETCH_COUNT_MIN_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "util/bytes.h"
+
+// Count-Min sketch (Cormode & Muthukrishnan) with real-valued weighted
+// updates — an alternative backend for forward-decayed heavy hitters
+// (Theorem 2 only needs *some* weighted heavy-hitter summary; the paper
+// uses SpaceSaving, and bench_micro ablates the two). Point estimates
+// are biased upward by at most eps * W with probability 1 - delta.
+
+namespace fwdecay {
+
+class CountMinSketch {
+ public:
+  /// `eps` is the additive error fraction (width = ceil(e/eps));
+  /// `delta` the failure probability (depth = ceil(ln(1/delta))).
+  CountMinSketch(double eps, double delta, std::uint64_t seed = 0xc1);
+
+  /// Adds `weight` (> 0) to `key`. O(depth).
+  void Update(std::uint64_t key, double weight);
+
+  /// Upper-bound point estimate of the key's total weight.
+  double Estimate(std::uint64_t key) const;
+
+  /// Total inserted weight (exact).
+  double TotalWeight() const { return total_weight_; }
+
+  /// Merges a sketch with identical dimensions and seed.
+  void Merge(const CountMinSketch& other);
+
+  /// Multiplies all cells by factor > 0 (landmark rescaling support).
+  void ScaleWeights(double factor);
+
+  void SerializeTo(ByteWriter* writer) const;
+  static std::optional<CountMinSketch> Deserialize(ByteReader* reader);
+
+  std::size_t width() const { return width_; }
+  std::size_t depth() const { return depth_; }
+  std::size_t MemoryBytes() const { return cells_.size() * sizeof(double); }
+
+ private:
+  std::size_t CellIndex(std::size_t row, std::uint64_t key) const;
+
+  std::size_t width_;
+  std::size_t depth_;
+  std::uint64_t seed_;
+  double total_weight_ = 0.0;
+  std::vector<double> cells_;  // row-major depth x width
+};
+
+}  // namespace fwdecay
+
+#endif  // FWDECAY_SKETCH_COUNT_MIN_H_

@@ -1,0 +1,173 @@
+#include "sketch/dominance_norm.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace fwdecay {
+
+DominanceNormSketch::DominanceNormSketch(std::size_t k, double level_base,
+                                         std::uint64_t hash_seed)
+    : k_(k),
+      level_base_(level_base),
+      inv_log_base_(1.0 / std::log(level_base)),
+      hash_seed_(hash_seed) {
+  FWDECAY_CHECK_MSG(level_base > 1.0, "level base must exceed 1");
+}
+
+int DominanceNormSketch::LevelOf(double weight) const {
+  FWDECAY_DCHECK(weight > 0.0);
+  return static_cast<int>(std::floor(std::log(weight) * inv_log_base_));
+}
+
+void DominanceNormSketch::Update(std::uint64_t key, double weight) {
+  const int level = LevelOf(weight);
+  auto it = levels_.find(level);
+  if (it == levels_.end()) {
+    it = levels_.emplace(level, KmvSketch(k_, hash_seed_)).first;
+  }
+  it->second.Insert(key);
+}
+
+double DominanceNormSketch::Estimate() const {
+  if (levels_.empty()) return 0.0;
+  // Sweep present levels from the highest down, unioning sketches as we
+  // go; after merging level l, `acc` sketches D(>= b^l) = #keys whose max
+  // weight is at least b^l. The norm of the representatives,
+  //   Σ_keys b^{level(key)} = Σ_l D(>= b^l) * (b^l - b^{l'})
+  // where l' is the next lower *present* level (or -inf), telescopes
+  // exactly; absent levels add no keys, so their strips fold into the
+  // term of the present level above them.
+  KmvSketch acc(k_, hash_seed_);
+  double norm = 0.0;
+  for (auto it = levels_.rbegin(); it != levels_.rend(); ++it) {
+    acc.Merge(it->second);
+    auto next = std::next(it);
+    const double hi = std::pow(level_base_, it->first);
+    const double lo =
+        (next == levels_.rend()) ? 0.0 : std::pow(level_base_, next->first);
+    norm += acc.Estimate() * (hi - lo);
+  }
+  // `norm` estimates Σ b^{level(key)}, which under-approximates the true
+  // dominance norm by at most a factor of level_base_ (each key's true
+  // max weight lies in [b^l, b^{l+1})).
+  return norm;
+}
+
+void DominanceNormSketch::Merge(const DominanceNormSketch& other) {
+  FWDECAY_CHECK(k_ == other.k_ && hash_seed_ == other.hash_seed_);
+  FWDECAY_CHECK(level_base_ == other.level_base_);
+  for (const auto& [level, sketch] : other.levels_) {
+    auto it = levels_.find(level);
+    if (it == levels_.end()) {
+      levels_.emplace(level, sketch);
+    } else {
+      it->second.Merge(sketch);
+    }
+  }
+}
+
+std::size_t DominanceNormSketch::MemoryBytes() const {
+  std::size_t total = 0;
+  for (const auto& [level, sketch] : levels_) total += sketch.MemoryBytes();
+  return total;
+}
+
+HllDominanceNormSketch::HllDominanceNormSketch(int precision,
+                                               double level_base,
+                                               std::uint64_t hash_seed)
+    : precision_(precision),
+      level_base_(level_base),
+      inv_log_base_(1.0 / std::log(level_base)),
+      hash_seed_(hash_seed) {
+  FWDECAY_CHECK_MSG(level_base > 1.0, "level base must exceed 1");
+}
+
+int HllDominanceNormSketch::LevelOf(double weight) const {
+  FWDECAY_DCHECK(weight > 0.0);
+  return static_cast<int>(std::floor(std::log(weight) * inv_log_base_));
+}
+
+void HllDominanceNormSketch::Update(std::uint64_t key, double weight) {
+  const int level = LevelOf(weight);
+  auto it = levels_.find(level);
+  if (it == levels_.end()) {
+    it = levels_.emplace(level, HllSketch(precision_, hash_seed_)).first;
+  }
+  it->second.Insert(key);
+}
+
+double HllDominanceNormSketch::Estimate() const {
+  if (levels_.empty()) return 0.0;
+  // Same top-down telescoping as the KMV variant; HLL merges are exact
+  // register-wise unions, so the running accumulator sketches D(>= b^l).
+  HllSketch acc(precision_, hash_seed_);
+  double norm = 0.0;
+  for (auto it = levels_.rbegin(); it != levels_.rend(); ++it) {
+    acc.Merge(it->second);
+    auto next = std::next(it);
+    const double hi = std::pow(level_base_, it->first);
+    const double lo =
+        (next == levels_.rend()) ? 0.0 : std::pow(level_base_, next->first);
+    norm += acc.Estimate() * (hi - lo);
+  }
+  return norm;
+}
+
+void HllDominanceNormSketch::Merge(const HllDominanceNormSketch& other) {
+  FWDECAY_CHECK(precision_ == other.precision_ &&
+                hash_seed_ == other.hash_seed_);
+  FWDECAY_CHECK(level_base_ == other.level_base_);
+  for (const auto& [level, sketch] : other.levels_) {
+    auto it = levels_.find(level);
+    if (it == levels_.end()) {
+      levels_.emplace(level, sketch);
+    } else {
+      it->second.Merge(sketch);
+    }
+  }
+}
+
+std::size_t HllDominanceNormSketch::MemoryBytes() const {
+  std::size_t total = 0;
+  for (const auto& [level, sketch] : levels_) total += sketch.MemoryBytes();
+  return total;
+}
+
+void DominanceNormSketch::SerializeTo(ByteWriter* writer) const {
+  writer->WriteU8(0x44);  // 'D'
+  writer->WriteU64(k_);
+  writer->WriteDouble(level_base_);
+  writer->WriteU64(hash_seed_);
+  writer->WriteU32(static_cast<std::uint32_t>(levels_.size()));
+  for (const auto& [level, sketch] : levels_) {
+    writer->WriteI64(level);
+    sketch.SerializeTo(writer);
+  }
+}
+
+std::optional<DominanceNormSketch> DominanceNormSketch::Deserialize(
+    ByteReader* reader) {
+  std::uint8_t tag = 0;
+  std::uint64_t k = 0;
+  double base = 0.0;
+  std::uint64_t seed = 0;
+  std::uint32_t n = 0;
+  if (!reader->ReadU8(&tag) || tag != 0x44) return std::nullopt;
+  if (!reader->ReadU64(&k) || k < 3) return std::nullopt;
+  if (!reader->ReadDouble(&base) || !(base > 1.0)) return std::nullopt;
+  if (!reader->ReadU64(&seed) || !reader->ReadU32(&n)) return std::nullopt;
+  DominanceNormSketch out(static_cast<std::size_t>(k), base, seed);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    std::int64_t level = 0;
+    if (!reader->ReadI64(&level)) return std::nullopt;
+    auto kmv = KmvSketch::Deserialize(reader);
+    if (!kmv.has_value() || kmv->k() != k || kmv->hash_seed() != seed) {
+      return std::nullopt;
+    }
+    out.levels_.emplace(static_cast<int>(level), *std::move(kmv));
+  }
+  return out;
+}
+
+}  // namespace fwdecay

@@ -1,0 +1,115 @@
+#include "sketch/exp_histogram.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace fwdecay {
+
+EhCount::EhCount(double eps, double horizon) : eps_(eps), horizon_(horizon) {
+  FWDECAY_CHECK_MSG(eps > 0.0 && eps <= 1.0, "eps must be in (0, 1]");
+  FWDECAY_CHECK(horizon > 0.0);
+  // Datar et al.: at most k/2 + 2 buckets of each size, k = ceil(1/eps).
+  const auto k = static_cast<std::size_t>(std::ceil(1.0 / eps));
+  max_per_size_ = k / 2 + 2;
+}
+
+void EhCount::Insert(double ts) {
+  FWDECAY_CHECK_MSG(ts >= last_ts_,
+                    "EH requires non-decreasing timestamps");
+  last_ts_ = ts;
+  ++total_count_;
+  buckets_.push_front(Bucket{ts, 1});
+
+  // Cascade: whenever a size class overflows, merge its two *oldest*
+  // buckets into one of twice the size (keeping the newer timestamp of
+  // the two, i.e. the earlier position's ts).
+  std::uint64_t size = 1;
+  // Scan from the front; buckets of equal size are contiguous because
+  // sizes are non-decreasing toward the back.
+  std::size_t begin = 0;
+  while (true) {
+    // Find the run of buckets with this size.
+    std::size_t i = begin;
+    while (i < buckets_.size() && buckets_[i].size < size) ++i;
+    std::size_t run_begin = i;
+    while (i < buckets_.size() && buckets_[i].size == size) ++i;
+    const std::size_t run_len = i - run_begin;
+    if (run_len <= max_per_size_) break;
+    // Merge the two oldest of this size (positions i-2 and i-1).
+    // Position i-2 is the newer of the pair; the merged bucket keeps its
+    // timestamp (the most recent element among the merged contents).
+    buckets_[i - 2].size *= 2;
+    buckets_.erase(buckets_.begin() + static_cast<std::ptrdiff_t>(i - 1));
+    begin = i - 2;
+    size *= 2;
+  }
+  Expire(ts);
+}
+
+void EhCount::Expire(double now) {
+  if (horizon_ == std::numeric_limits<double>::infinity()) return;
+  const double cutoff = now - horizon_;
+  while (buckets_.size() > 1 && buckets_.back().ts < cutoff) {
+    buckets_.pop_back();
+  }
+}
+
+double EhCount::CountInWindow(double now, double window) const {
+  const double cutoff = now - window;
+  double count = 0.0;
+  std::uint64_t last_size = 0;
+  for (const Bucket& b : buckets_) {
+    if (b.ts < cutoff) break;
+    count += static_cast<double>(b.size);
+    last_size = b.size;
+  }
+  // The oldest contributing bucket may straddle the window boundary; the
+  // standard estimator subtracts half of it.
+  if (last_size > 1) count -= static_cast<double>(last_size) / 2.0;
+  return count;
+}
+
+std::size_t EhCount::MemoryBytes() const {
+  // ts (8) + size (8) per bucket.
+  return buckets_.size() * sizeof(Bucket);
+}
+
+EhSum::EhSum(double eps, int value_bits, double horizon) {
+  FWDECAY_CHECK_MSG(value_bits >= 1 && value_bits <= 40,
+                    "value_bits must be in [1, 40]");
+  bit_ehs_.reserve(static_cast<std::size_t>(value_bits));
+  for (int b = 0; b < value_bits; ++b) bit_ehs_.emplace_back(eps, horizon);
+}
+
+void EhSum::Insert(double ts, std::uint64_t v) {
+  FWDECAY_CHECK_MSG(v < (std::uint64_t{1} << bit_ehs_.size()),
+                    "value exceeds EhSum value_bits");
+  total_sum_ += static_cast<double>(v);
+  for (std::size_t b = 0; v != 0; ++b, v >>= 1) {
+    if (v & 1) bit_ehs_[b].Insert(ts);
+  }
+}
+
+double EhSum::SumInWindow(double now, double window) const {
+  double sum = 0.0;
+  for (std::size_t b = 0; b < bit_ehs_.size(); ++b) {
+    sum += std::ldexp(bit_ehs_[b].CountInWindow(now, window),
+                      static_cast<int>(b));
+  }
+  return sum;
+}
+
+std::size_t EhSum::BucketCount() const {
+  std::size_t n = 0;
+  for (const EhCount& eh : bit_ehs_) n += eh.BucketCount();
+  return n;
+}
+
+std::size_t EhSum::MemoryBytes() const {
+  std::size_t n = 0;
+  for (const EhCount& eh : bit_ehs_) n += eh.MemoryBytes();
+  return n;
+}
+
+}  // namespace fwdecay

@@ -1,0 +1,95 @@
+#ifndef FWDECAY_SKETCH_EXP_HISTOGRAM_H_
+#define FWDECAY_SKETCH_EXP_HISTOGRAM_H_
+
+#include <cstdint>
+#include <deque>
+#include <limits>
+#include <vector>
+
+// Exponential Histograms (Datar, Gionis, Indyk, Motwani, SODA'02).
+//
+// This is the *backward decay* baseline of the paper's Figure 2: following
+// Cohen & Strauss, a single EH can answer a sliding-window count/sum for
+// any window width, and an arbitrary backward-decayed sum is a combination
+// of scaled window queries (see backward_sum.h). The cost the paper
+// highlights — kilobytes of state per group and a per-tuple cascade of
+// bucket merges — is intrinsic to the structure and is what the benchmarks
+// measure.
+
+namespace fwdecay {
+
+/// EH for counting 1-unit arrivals with non-decreasing timestamps.
+///
+/// With parameter eps, a window-count query returns an estimate within a
+/// (1 + eps) relative factor using O((1/eps) * log(eps * N)) buckets.
+class EhCount {
+ public:
+  /// `eps` is the relative error; `horizon` (optional) lets the structure
+  /// drop buckets older than `now - horizon` — pass infinity to answer
+  /// queries over the whole stream history.
+  explicit EhCount(double eps,
+                   double horizon = std::numeric_limits<double>::infinity());
+
+  /// Records one arrival at timestamp `ts`. Timestamps must be
+  /// non-decreasing (EHs require in-order arrival — one of the backward
+  /// model's limitations that forward decay removes).
+  void Insert(double ts);
+
+  /// Estimated number of arrivals in (now - window, now].
+  double CountInWindow(double now, double window) const;
+
+  /// Exact total arrivals ever inserted (kept on the side).
+  std::uint64_t TotalCount() const { return total_count_; }
+
+  std::size_t BucketCount() const { return buckets_.size(); }
+  std::size_t MemoryBytes() const;
+  double eps() const { return eps_; }
+
+ private:
+  struct Bucket {
+    double ts;          // most recent timestamp in the bucket
+    std::uint64_t size; // always a power of two
+  };
+
+  void Expire(double now);
+
+  double eps_;
+  double horizon_;
+  std::size_t max_per_size_;  // buckets allowed per size class
+  std::uint64_t total_count_ = 0;
+  double last_ts_ = -std::numeric_limits<double>::infinity();
+  // Newest bucket at the front; sizes non-decreasing toward the back.
+  std::deque<Bucket> buckets_;
+};
+
+/// EH for sliding-window sums of integer values in [0, 2^value_bits).
+///
+/// Uses the bit-decomposition reduction of Datar et al.: value v feeds an
+/// EhCount for every set bit of v; the window sum is the weighted sum of
+/// per-bit window counts, preserving the (1 + eps) guarantee.
+class EhSum {
+ public:
+  EhSum(double eps, int value_bits,
+        double horizon = std::numeric_limits<double>::infinity());
+
+  /// Records an arrival of value `v` at timestamp `ts` (non-decreasing).
+  void Insert(double ts, std::uint64_t v);
+
+  /// Estimated sum of values in (now - window, now].
+  double SumInWindow(double now, double window) const;
+
+  /// Exact total sum ever inserted (kept on the side).
+  double TotalSum() const { return total_sum_; }
+
+  std::size_t BucketCount() const;
+  std::size_t MemoryBytes() const;
+  int value_bits() const { return static_cast<int>(bit_ehs_.size()); }
+
+ private:
+  double total_sum_ = 0.0;
+  std::vector<EhCount> bit_ehs_;
+};
+
+}  // namespace fwdecay
+
+#endif  // FWDECAY_SKETCH_EXP_HISTOGRAM_H_

@@ -1,0 +1,108 @@
+#ifndef FWDECAY_SKETCH_HLL_H_
+#define FWDECAY_SKETCH_HLL_H_
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "util/bytes.h"
+#include "util/check.h"
+#include "util/hash.h"
+
+// HyperLogLog distinct counter (Flajolet et al.) — an alternative,
+// constant-size backend for the distinct-counting layer under the
+// dominance-norm estimator (KMV is the default; HLL trades the ability
+// to enumerate retained hashes for a fixed 2^p-byte footprint).
+
+namespace fwdecay {
+
+class HllSketch {
+ public:
+  /// `precision` p in [4, 18]: 2^p one-byte registers; relative standard
+  /// error ~ 1.04 / sqrt(2^p). Sketches that will be merged must share
+  /// `hash_seed`.
+  explicit HllSketch(int precision = 12, std::uint64_t hash_seed = 0)
+      : precision_(precision), hash_seed_(hash_seed) {
+    FWDECAY_CHECK_MSG(precision >= 4 && precision <= 18,
+                      "HLL precision must be in [4, 18]");
+    registers_.assign(std::size_t{1} << precision, 0);
+  }
+
+  /// Observes a key (multiplicity-insensitive).
+  void Insert(std::uint64_t key) {
+    const std::uint64_t h = HashU64(key, hash_seed_);
+    const std::size_t reg = static_cast<std::size_t>(h >> (64 - precision_));
+    // Rank of the first set bit among the remaining 64 - p bits.
+    const std::uint64_t rest = (h << precision_) | (std::uint64_t{1}
+                                                    << (precision_ - 1));
+    const auto rank = static_cast<std::uint8_t>(std::countl_zero(rest) + 1);
+    if (rank > registers_[reg]) registers_[reg] = rank;
+  }
+
+  /// Estimated number of distinct keys (with the standard small-range
+  /// linear-counting correction).
+  double Estimate() const {
+    const double m = static_cast<double>(registers_.size());
+    double sum = 0.0;
+    std::size_t zeros = 0;
+    for (std::uint8_t r : registers_) {
+      sum += std::ldexp(1.0, -static_cast<int>(r));
+      zeros += (r == 0);
+    }
+    const double alpha =
+        m <= 16 ? 0.673 : (m <= 32 ? 0.697 : (m <= 64 ? 0.709
+                                                      : 0.7213 / (1.0 + 1.079 / m)));
+    const double raw = alpha * m * m / sum;
+    if (raw <= 2.5 * m && zeros > 0) {
+      return m * std::log(m / static_cast<double>(zeros));
+    }
+    return raw;
+  }
+
+  /// Register-wise max merge (exact union semantics).
+  void Merge(const HllSketch& other) {
+    FWDECAY_CHECK(precision_ == other.precision_);
+    FWDECAY_CHECK(hash_seed_ == other.hash_seed_);
+    for (std::size_t i = 0; i < registers_.size(); ++i) {
+      registers_[i] = std::max(registers_[i], other.registers_[i]);
+    }
+  }
+
+  void SerializeTo(ByteWriter* writer) const {
+    writer->WriteU8(0x4c);  // 'L'
+    writer->WriteU8(static_cast<std::uint8_t>(precision_));
+    writer->WriteU64(hash_seed_);
+    for (std::uint8_t r : registers_) writer->WriteU8(r);
+  }
+
+  static std::optional<HllSketch> Deserialize(ByteReader* reader) {
+    std::uint8_t tag = 0;
+    std::uint8_t precision = 0;
+    std::uint64_t seed = 0;
+    if (!reader->ReadU8(&tag) || tag != 0x4c) return std::nullopt;
+    if (!reader->ReadU8(&precision) || precision < 4 || precision > 18) {
+      return std::nullopt;
+    }
+    if (!reader->ReadU64(&seed)) return std::nullopt;
+    HllSketch out(precision, seed);
+    for (std::uint8_t& r : out.registers_) {
+      if (!reader->ReadU8(&r)) return std::nullopt;
+    }
+    return out;
+  }
+
+  int precision() const { return precision_; }
+  std::uint64_t hash_seed() const { return hash_seed_; }
+  std::size_t MemoryBytes() const { return registers_.size(); }
+
+ private:
+  int precision_;
+  std::uint64_t hash_seed_;
+  std::vector<std::uint8_t> registers_;
+};
+
+}  // namespace fwdecay
+
+#endif  // FWDECAY_SKETCH_HLL_H_

@@ -1,0 +1,110 @@
+#ifndef FWDECAY_SKETCH_KMV_H_
+#define FWDECAY_SKETCH_KMV_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <unordered_set>
+#include <vector>
+
+#include "util/bytes.h"
+#include "util/check.h"
+#include "util/hash.h"
+
+// K-minimum-values distinct-count sketch (Bar-Yossef et al.).
+//
+// Serves as the distinct-counting primitive inside the dominance-norm
+// estimator (decayed count-distinct, Theorem 4). Unions of KMV sketches
+// built with the SAME hash seed are themselves KMV sketches, which the
+// level-set estimator relies on.
+
+namespace fwdecay {
+
+class KmvSketch {
+ public:
+  /// `k` controls accuracy: relative standard error ~= 1/sqrt(k - 2).
+  /// Sketches that will be unioned must share `hash_seed`.
+  explicit KmvSketch(std::size_t k, std::uint64_t hash_seed = 0)
+      : k_(k), hash_seed_(hash_seed) {
+    FWDECAY_CHECK_MSG(k >= 3, "KMV needs k >= 3");
+    heap_.reserve(k);
+  }
+
+  /// Observes a key (multiplicity-insensitive).
+  void Insert(std::uint64_t key) { InsertHash(HashU64(key, hash_seed_)); }
+
+  /// Observes a pre-hashed key; the hash must come from the same seed.
+  void InsertHash(std::uint64_t h) {
+    if (heap_.size() < k_) {
+      if (members_.insert(h).second) {
+        heap_.push_back(h);
+        std::push_heap(heap_.begin(), heap_.end());
+      }
+      return;
+    }
+    if (h >= heap_.front()) return;
+    if (!members_.insert(h).second) return;
+    std::pop_heap(heap_.begin(), heap_.end());
+    members_.erase(heap_.back());
+    heap_.back() = h;
+    std::push_heap(heap_.begin(), heap_.end());
+  }
+
+  /// Estimated number of distinct keys observed.
+  double Estimate() const {
+    if (heap_.size() < k_) return static_cast<double>(heap_.size());
+    // kth smallest normalized hash value.
+    const double u_k = HashToUnitOpen(heap_.front());
+    return static_cast<double>(k_ - 1) / u_k;
+  }
+
+  /// Unions another sketch (must share k and hash seed).
+  void Merge(const KmvSketch& other) {
+    FWDECAY_CHECK(hash_seed_ == other.hash_seed_);
+    for (std::uint64_t h : other.heap_) InsertHash(h);
+  }
+
+  std::size_t k() const { return k_; }
+  std::uint64_t hash_seed() const { return hash_seed_; }
+  std::size_t size() const { return heap_.size(); }
+  const std::vector<std::uint64_t>& hashes() const { return heap_; }
+  std::size_t MemoryBytes() const { return heap_.size() * 8 + 64; }
+
+  /// Serializes the sketch (Section VI-B summary shipping).
+  void SerializeTo(ByteWriter* writer) const {
+    writer->WriteU8(0x4b);  // 'K'
+    writer->WriteU64(k_);
+    writer->WriteU64(hash_seed_);
+    writer->WriteU32(static_cast<std::uint32_t>(heap_.size()));
+    for (std::uint64_t h : heap_) writer->WriteU64(h);
+  }
+
+  /// Reconstructs a sketch; nullopt on truncated/corrupt input.
+  static std::optional<KmvSketch> Deserialize(ByteReader* reader) {
+    std::uint8_t tag = 0;
+    std::uint64_t k = 0;
+    std::uint64_t seed = 0;
+    std::uint32_t n = 0;
+    if (!reader->ReadU8(&tag) || tag != 0x4b) return std::nullopt;
+    if (!reader->ReadU64(&k) || k < 3) return std::nullopt;
+    if (!reader->ReadU64(&seed)) return std::nullopt;
+    if (!reader->ReadU32(&n) || n > k) return std::nullopt;
+    KmvSketch out(static_cast<std::size_t>(k), seed);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      std::uint64_t h = 0;
+      if (!reader->ReadU64(&h)) return std::nullopt;
+      out.InsertHash(h);
+    }
+    return out;
+  }
+
+ private:
+  std::size_t k_;
+  std::uint64_t hash_seed_;
+  std::vector<std::uint64_t> heap_;  // max-heap of the k smallest hashes
+  std::unordered_set<std::uint64_t> members_;
+};
+
+}  // namespace fwdecay
+
+#endif  // FWDECAY_SKETCH_KMV_H_

@@ -1,0 +1,85 @@
+#ifndef FWDECAY_SKETCH_QDIGEST_H_
+#define FWDECAY_SKETCH_QDIGEST_H_
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "util/bytes.h"
+
+// Weighted q-digest (Shrivastava et al., SenSys'04) over an integer
+// universe [0, U). This is the structure behind forward-decayed quantiles
+// (Theorem 3): updates carry the static weight g(t_i - L), queries factor
+// out g(t - L), so the quantile answer is unchanged by the normalization.
+//
+// Guarantees: with compression parameter k, the digest stores O(k) nodes
+// and answers rank queries within additive error (log2 U / k) * W, where W
+// is the total inserted weight. Choosing k = ceil(log2(U)/eps) yields the
+// eps*W rank error of Theorem 3.
+
+namespace fwdecay {
+
+class QDigest {
+ public:
+  /// Creates a digest over values in [0, 2^universe_bits) with rank error
+  /// at most eps * TotalWeight().
+  QDigest(int universe_bits, double eps);
+
+  /// Adds `weight` (> 0) at `value` (< 2^universe_bits). Amortized O(1)
+  /// map work plus periodic compression.
+  void Update(std::uint64_t value, double weight);
+
+  /// Total inserted weight (exact).
+  double TotalWeight() const { return total_weight_; }
+
+  /// Returns a value whose rank is within eps*W of phi*W (phi in [0,1]).
+  std::uint64_t Quantile(double phi) const;
+
+  /// Estimated weight of items with value <= v, within eps*W additive
+  /// error.
+  double Rank(std::uint64_t v) const;
+
+  /// Merges another digest with identical universe_bits; error bounds add.
+  /// Implements the distributed combination of Section VI-B.
+  void Merge(const QDigest& other);
+
+  /// Multiplies every node weight by `factor` > 0 (exponential landmark
+  /// rescaling, Section VI-A).
+  void ScaleWeights(double factor);
+
+  /// Forces compression to the canonical small size.
+  void Compress();
+
+  int universe_bits() const { return universe_bits_; }
+  double eps() const { return eps_; }
+  std::size_t NodeCount() const { return nodes_.size(); }
+  std::size_t MemoryBytes() const;
+
+  /// Serializes the digest (compressed first, to ship minimal bytes).
+  void SerializeTo(ByteWriter* writer) const;
+
+  /// Reconstructs a digest; nullopt on truncated/corrupt input.
+  static std::optional<QDigest> Deserialize(ByteReader* reader);
+
+ private:
+  // Node ids form an implicit binary tree: root = 1; children of x are 2x
+  // and 2x+1; leaves are U + value. Depth(x) = floor(log2 x).
+  std::uint64_t LeafId(std::uint64_t value) const {
+    return (std::uint64_t{1} << universe_bits_) + value;
+  }
+  // Inclusive upper end of the value range covered by node `id`.
+  std::uint64_t RangeHi(std::uint64_t id) const;
+  std::uint64_t RangeLo(std::uint64_t id) const;
+
+  int universe_bits_;
+  double eps_;
+  double k_;  // compression parameter: node threshold is total/k
+  double total_weight_ = 0.0;
+  std::size_t updates_since_compress_ = 0;
+  std::unordered_map<std::uint64_t, double> nodes_;
+};
+
+}  // namespace fwdecay
+
+#endif  // FWDECAY_SKETCH_QDIGEST_H_

@@ -1,0 +1,93 @@
+#include "sketch/sliding_quantiles.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace fwdecay {
+
+SlidingWindowQuantiles::SlidingWindowQuantiles(double eps,
+                                               double pane_seconds,
+                                               int universe_bits)
+    : eps_(eps), pane_seconds_(pane_seconds), universe_bits_(universe_bits) {
+  FWDECAY_CHECK_MSG(pane_seconds > 0.0, "pane width must be positive");
+}
+
+void SlidingWindowQuantiles::Update(double ts, std::uint64_t v) {
+  const auto pane = static_cast<std::int64_t>(std::floor(ts / pane_seconds_));
+  if (panes_.empty() || panes_.back().index < pane) {
+    FWDECAY_CHECK_MSG(panes_.empty() || ts >= panes_.back().index *
+                                                  pane_seconds_,
+                      "timestamps must be non-decreasing");
+    panes_.push_back(Pane{pane, QDigest(universe_bits_, eps_)});
+  }
+  FWDECAY_CHECK_MSG(panes_.back().index == pane,
+                    "timestamps must be non-decreasing");
+  panes_.back().digest.Update(v, 1.0);
+}
+
+std::uint64_t SlidingWindowQuantiles::QueryWindowQuantile(double now,
+                                                          double window,
+                                                          double phi) const {
+  QDigest merged(universe_bits_, eps_);
+  const double cutoff = now - window;
+  for (const Pane& pane : panes_) {
+    // A pane participates if any part of it lies inside the window.
+    const double pane_end =
+        (static_cast<double>(pane.index) + 1.0) * pane_seconds_;
+    if (pane_end >= cutoff) merged.Merge(pane.digest);
+  }
+  return merged.Quantile(phi);
+}
+
+std::pair<double, double> SlidingWindowQuantiles::DecayedRank(
+    double now, const std::function<double(double)>& f,
+    std::uint64_t v) const {
+  double rank = 0.0;
+  double total = 0.0;
+  for (const Pane& pane : panes_) {
+    // Age of the pane's midpoint — the discretization error is bounded
+    // by the pane width, the analogue of the Cohen-Strauss grid step.
+    const double mid =
+        (static_cast<double>(pane.index) + 0.5) * pane_seconds_;
+    const double age = now - mid;
+    const double w = f(age < 0.0 ? 0.0 : age);
+    rank += w * pane.digest.Rank(v);
+    total += w * pane.digest.TotalWeight();
+  }
+  return {rank, total};
+}
+
+std::uint64_t SlidingWindowQuantiles::QueryDecayedQuantile(
+    double now, const std::function<double(double)>& f, double phi) const {
+  if (panes_.empty()) return 0;
+  // Binary search for the smallest v with decayed rank >= phi * total.
+  const double total = DecayedRank(now, f, (std::uint64_t{1} << universe_bits_) - 1)
+                           .second;
+  const double target = phi * total;
+  std::uint64_t lo = 0;
+  std::uint64_t hi = (std::uint64_t{1} << universe_bits_) - 1;
+  while (lo < hi) {
+    const std::uint64_t mid = lo + (hi - lo) / 2;
+    if (DecayedRank(now, f, mid).first >= target) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return lo;
+}
+
+std::size_t SlidingWindowQuantiles::MemoryBytes() const {
+  std::size_t total = 0;
+  for (const Pane& pane : panes_) total += pane.digest.MemoryBytes() + 16;
+  return total;
+}
+
+double SlidingWindowQuantiles::TotalWeight() const {
+  double total = 0.0;
+  for (const Pane& pane : panes_) total += pane.digest.TotalWeight();
+  return total;
+}
+
+}  // namespace fwdecay

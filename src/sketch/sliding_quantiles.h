@@ -1,0 +1,66 @@
+#ifndef FWDECAY_SKETCH_SLIDING_QUANTILES_H_
+#define FWDECAY_SKETCH_SLIDING_QUANTILES_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "sketch/qdigest.h"
+
+// Sliding-window / backward-decayed quantiles — the baseline class the
+// paper's related work surveys for holistic aggregates under backward
+// decay (Arasu–Manku style window quantiles, extended to arbitrary decay
+// via the Cohen–Strauss combination). Reconstruction: the stream is cut
+// into fixed panes, each summarized by a q-digest; a window query merges
+// the panes it covers, and a backward-decayed rank weighs each pane by
+// f(pane age). As with the sliding-window heavy hitters, the point is
+// the cost: state grows with the number of panes (i.e. with stream
+// span), a logarithmic-plus factor above the single q-digest forward
+// decay needs (Theorem 3).
+
+namespace fwdecay {
+
+class SlidingWindowQuantiles {
+ public:
+  /// `eps` is the per-pane rank error; `pane_seconds` the pane width;
+  /// values are drawn from [0, 2^universe_bits).
+  SlidingWindowQuantiles(double eps, double pane_seconds, int universe_bits);
+
+  /// Records value `v` at timestamp `ts` (non-decreasing).
+  void Update(double ts, std::uint64_t v);
+
+  /// The phi-quantile restricted to the window (now - window, now].
+  std::uint64_t QueryWindowQuantile(double now, double window,
+                                    double phi) const;
+
+  /// The phi-quantile under an arbitrary backward decay f(age) supplied
+  /// at query time (binary search over the value domain against the
+  /// pane-weighted decayed rank).
+  std::uint64_t QueryDecayedQuantile(double now,
+                                     const std::function<double(double)>& f,
+                                     double phi) const;
+
+  std::size_t PaneCount() const { return panes_.size(); }
+  std::size_t MemoryBytes() const;
+  double TotalWeight() const;
+
+ private:
+  struct Pane {
+    std::int64_t index;  // floor(ts / pane_seconds)
+    QDigest digest;
+  };
+
+  // Decayed rank of v and decayed total, as (rank, total).
+  std::pair<double, double> DecayedRank(
+      double now, const std::function<double(double)>& f,
+      std::uint64_t v) const;
+
+  double eps_;
+  double pane_seconds_;
+  int universe_bits_;
+  std::deque<Pane> panes_;  // oldest first
+};
+
+}  // namespace fwdecay
+
+#endif  // FWDECAY_SKETCH_SLIDING_QUANTILES_H_

@@ -1,0 +1,319 @@
+#include "sketch/space_saving.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace fwdecay {
+
+// ---------------------------------------------------------------------------
+// WeightedSpaceSaving
+// ---------------------------------------------------------------------------
+
+WeightedSpaceSaving::WeightedSpaceSaving(std::size_t capacity)
+    : capacity_(capacity) {
+  FWDECAY_CHECK_MSG(capacity >= 1, "SpaceSaving needs at least one counter");
+  counters_.reserve(capacity);
+  heap_.reserve(capacity);
+  index_.reserve(capacity * 2);
+}
+
+bool WeightedSpaceSaving::HeapLess(std::size_t a, std::size_t b) const {
+  return counters_[heap_[a]].count < counters_[heap_[b]].count;
+}
+
+void WeightedSpaceSaving::HeapSwap(std::size_t a, std::size_t b) {
+  std::swap(heap_[a], heap_[b]);
+  counters_[heap_[a]].heap_pos = a;
+  counters_[heap_[b]].heap_pos = b;
+}
+
+void WeightedSpaceSaving::SiftUp(std::size_t i) {
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!HeapLess(i, parent)) break;
+    HeapSwap(i, parent);
+    i = parent;
+  }
+}
+
+void WeightedSpaceSaving::SiftDown(std::size_t i) {
+  const std::size_t n = heap_.size();
+  while (true) {
+    std::size_t smallest = i;
+    const std::size_t l = 2 * i + 1;
+    const std::size_t r = 2 * i + 2;
+    if (l < n && HeapLess(l, smallest)) smallest = l;
+    if (r < n && HeapLess(r, smallest)) smallest = r;
+    if (smallest == i) break;
+    HeapSwap(i, smallest);
+    i = smallest;
+  }
+}
+
+void WeightedSpaceSaving::Update(std::uint64_t key, double weight) {
+  FWDECAY_DCHECK(weight > 0.0);
+  total_weight_ += weight;
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    Counter& c = counters_[it->second];
+    c.count += weight;
+    SiftDown(c.heap_pos);  // count only grew; heap property below may break
+    return;
+  }
+  if (counters_.size() < capacity_) {
+    const std::size_t idx = counters_.size();
+    counters_.push_back(Counter{key, weight, 0.0, heap_.size()});
+    heap_.push_back(idx);
+    SiftUp(counters_[idx].heap_pos);
+    index_.emplace(key, idx);
+    return;
+  }
+  // Evict the minimum-count counter: the newcomer inherits its count as
+  // error, per the SpaceSaving replacement rule.
+  const std::size_t idx = heap_[0];
+  Counter& c = counters_[idx];
+  index_.erase(c.key);
+  index_.emplace(key, idx);
+  c.error = c.count;
+  c.count += weight;
+  c.key = key;
+  SiftDown(c.heap_pos);
+}
+
+std::vector<HeavyHitter> WeightedSpaceSaving::Query(double phi) const {
+  std::vector<HeavyHitter> out;
+  const double threshold = phi * total_weight_;
+  for (const Counter& c : counters_) {
+    if (c.count >= threshold) {
+      out.push_back(HeavyHitter{c.key, c.count, c.error});
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const HeavyHitter& a, const HeavyHitter& b) {
+              return a.estimate > b.estimate;
+            });
+  return out;
+}
+
+double WeightedSpaceSaving::Estimate(std::uint64_t key) const {
+  auto it = index_.find(key);
+  return it == index_.end() ? 0.0 : counters_[it->second].count;
+}
+
+void WeightedSpaceSaving::Merge(const WeightedSpaceSaving& other) {
+  // Feeding the other sketch's counters as weighted updates preserves the
+  // combined guarantee: estimates remain upper bounds and the total error
+  // is at most the sum of the two sketches' errors.
+  for (const Counter& c : other.counters_) {
+    Update(c.key, c.count);
+  }
+  total_weight_ += other.total_weight_;
+  // Update() above already added the counter weights to total_weight_;
+  // correct it so the total equals the true combined weight.
+  double counted = 0.0;
+  for (const Counter& c : other.counters_) counted += c.count;
+  total_weight_ -= counted;
+}
+
+std::size_t WeightedSpaceSaving::MemoryBytes() const {
+  // key (8) + count (8) + error (8) + heap bookkeeping (8) per counter,
+  // plus the hash index entry (~16).
+  return counters_.size() * (sizeof(Counter) + 16);
+}
+
+void WeightedSpaceSaving::ScaleWeights(double factor) {
+  FWDECAY_CHECK(factor > 0.0);
+  for (Counter& c : counters_) {
+    c.count *= factor;
+    c.error *= factor;
+  }
+  total_weight_ *= factor;
+  // Scaling by a positive constant preserves the heap order.
+}
+
+namespace {
+constexpr std::uint8_t kWeightedSsTag = 0x53;  // 'S'
+constexpr std::uint8_t kWeightedSsVersion = 1;
+}  // namespace
+
+void WeightedSpaceSaving::SerializeTo(ByteWriter* writer) const {
+  writer->WriteU8(kWeightedSsTag);
+  writer->WriteU8(kWeightedSsVersion);
+  writer->WriteU64(capacity_);
+  writer->WriteDouble(total_weight_);
+  writer->WriteU32(static_cast<std::uint32_t>(counters_.size()));
+  for (const Counter& c : counters_) {
+    writer->WriteU64(c.key);
+    writer->WriteDouble(c.count);
+    writer->WriteDouble(c.error);
+  }
+}
+
+std::optional<WeightedSpaceSaving> WeightedSpaceSaving::Deserialize(
+    ByteReader* reader) {
+  std::uint8_t tag = 0;
+  std::uint8_t version = 0;
+  std::uint64_t capacity = 0;
+  double total = 0.0;
+  std::uint32_t n = 0;
+  if (!reader->ReadU8(&tag) || tag != kWeightedSsTag) return std::nullopt;
+  if (!reader->ReadU8(&version) || version != kWeightedSsVersion) {
+    return std::nullopt;
+  }
+  if (!reader->ReadU64(&capacity) || capacity == 0) return std::nullopt;
+  if (!reader->ReadDouble(&total)) return std::nullopt;
+  if (!reader->ReadU32(&n) || n > capacity) return std::nullopt;
+
+  WeightedSpaceSaving out(static_cast<std::size_t>(capacity));
+  out.total_weight_ = total;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    Counter c{0, 0.0, 0.0, i};
+    if (!reader->ReadU64(&c.key) || !reader->ReadDouble(&c.count) ||
+        !reader->ReadDouble(&c.error)) {
+      return std::nullopt;
+    }
+    if (out.index_.contains(c.key)) return std::nullopt;  // corrupt
+    out.index_.emplace(c.key, out.counters_.size());
+    out.heap_.push_back(out.counters_.size());
+    out.counters_.push_back(c);
+  }
+  // Heapify (bottom-up) to restore the min-heap invariant.
+  for (std::size_t i = out.heap_.size() / 2; i-- > 0;) {
+    out.SiftDown(i);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// UnarySpaceSaving
+// ---------------------------------------------------------------------------
+
+UnarySpaceSaving::UnarySpaceSaving(std::size_t capacity)
+    : capacity_(capacity) {
+  FWDECAY_CHECK_MSG(capacity >= 1, "SpaceSaving needs at least one counter");
+  counters_.resize(capacity);
+  buckets_.reserve(capacity + 1);
+  index_.reserve(capacity * 2);
+}
+
+std::uint32_t UnarySpaceSaving::AllocBucket(std::uint64_t count) {
+  std::uint32_t b;
+  if (free_bucket_ != kNil) {
+    b = free_bucket_;
+    free_bucket_ = buckets_[b].next;
+  } else {
+    b = static_cast<std::uint32_t>(buckets_.size());
+    buckets_.emplace_back();
+  }
+  buckets_[b] = Bucket{count, kNil, kNil, kNil};
+  return b;
+}
+
+void UnarySpaceSaving::FreeBucket(std::uint32_t b) {
+  Bucket& bk = buckets_[b];
+  if (bk.prev != kNil) buckets_[bk.prev].next = bk.next;
+  if (bk.next != kNil) buckets_[bk.next].prev = bk.prev;
+  if (min_bucket_ == b) min_bucket_ = bk.next;
+  bk.next = free_bucket_;
+  free_bucket_ = b;
+}
+
+void UnarySpaceSaving::DetachCounter(std::uint32_t c) {
+  Counter& cn = counters_[c];
+  Bucket& bk = buckets_[cn.bucket];
+  if (cn.prev != kNil) counters_[cn.prev].next = cn.next;
+  if (cn.next != kNil) counters_[cn.next].prev = cn.prev;
+  if (bk.head == c) bk.head = cn.next;
+}
+
+void UnarySpaceSaving::AttachCounter(std::uint32_t c, std::uint32_t bucket) {
+  Counter& cn = counters_[c];
+  Bucket& bk = buckets_[bucket];
+  cn.bucket = bucket;
+  cn.prev = kNil;
+  cn.next = bk.head;
+  if (bk.head != kNil) counters_[bk.head].prev = c;
+  bk.head = c;
+}
+
+void UnarySpaceSaving::IncrementCounter(std::uint32_t c) {
+  const std::uint32_t old_bucket = counters_[c].bucket;
+  const std::uint64_t new_count = buckets_[old_bucket].count + 1;
+  const std::uint32_t next_bucket = buckets_[old_bucket].next;
+
+  DetachCounter(c);
+  std::uint32_t target;
+  if (next_bucket != kNil && buckets_[next_bucket].count == new_count) {
+    target = next_bucket;
+  } else {
+    // Insert a fresh bucket between old_bucket and next_bucket.
+    target = AllocBucket(new_count);
+    buckets_[target].prev = old_bucket;
+    buckets_[target].next = next_bucket;
+    buckets_[old_bucket].next = target;
+    if (next_bucket != kNil) buckets_[next_bucket].prev = target;
+  }
+  AttachCounter(c, target);
+  if (buckets_[old_bucket].head == kNil) FreeBucket(old_bucket);
+}
+
+void UnarySpaceSaving::Update(std::uint64_t key) {
+  ++total_count_;
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    IncrementCounter(it->second);
+    return;
+  }
+  if (num_counters_ < capacity_) {
+    const auto c = static_cast<std::uint32_t>(num_counters_++);
+    counters_[c] = Counter{key, 0, kNil, kNil, kNil};
+    if (min_bucket_ == kNil || buckets_[min_bucket_].count != 1) {
+      const std::uint32_t b = AllocBucket(1);
+      buckets_[b].next = min_bucket_;
+      if (min_bucket_ != kNil) buckets_[min_bucket_].prev = b;
+      min_bucket_ = b;
+    }
+    AttachCounter(c, min_bucket_);
+    index_.emplace(key, c);
+    return;
+  }
+  // Replace a counter from the minimum bucket.
+  const std::uint32_t c = buckets_[min_bucket_].head;
+  Counter& cn = counters_[c];
+  index_.erase(cn.key);
+  index_.emplace(key, c);
+  cn.key = key;
+  cn.error = buckets_[min_bucket_].count;
+  IncrementCounter(c);
+}
+
+std::vector<HeavyHitter> UnarySpaceSaving::Query(double phi) const {
+  std::vector<HeavyHitter> out;
+  const double threshold = phi * static_cast<double>(total_count_);
+  for (std::size_t c = 0; c < num_counters_; ++c) {
+    const Counter& cn = counters_[c];
+    const auto count = static_cast<double>(buckets_[cn.bucket].count);
+    if (count >= threshold) {
+      out.push_back(HeavyHitter{cn.key, count, static_cast<double>(cn.error)});
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const HeavyHitter& a, const HeavyHitter& b) {
+              return a.estimate > b.estimate;
+            });
+  return out;
+}
+
+std::uint64_t UnarySpaceSaving::Estimate(std::uint64_t key) const {
+  auto it = index_.find(key);
+  if (it == index_.end()) return 0;
+  return buckets_[counters_[it->second].bucket].count;
+}
+
+std::size_t UnarySpaceSaving::MemoryBytes() const {
+  return num_counters_ * (sizeof(Counter) + 16) +
+         buckets_.size() * sizeof(Bucket);
+}
+
+}  // namespace fwdecay

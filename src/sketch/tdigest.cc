@@ -1,0 +1,124 @@
+#include "sketch/tdigest.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace fwdecay {
+
+namespace {
+
+// k1 scale function: k(q) = delta/(2*pi) * asin(2q - 1). The size limit
+// for a cluster spanning [q0, q1] is k(q1) - k(q0) <= 1.
+double ScaleK(double q, double compression) {
+  q = std::clamp(q, 0.0, 1.0);
+  return compression / (2.0 * 3.14159265358979323846) *
+         std::asin(2.0 * q - 1.0);
+}
+
+}  // namespace
+
+TDigest::TDigest(double compression) : compression_(compression) {
+  FWDECAY_CHECK_MSG(compression >= 10.0, "compression must be >= 10");
+  buffer_.reserve(static_cast<std::size_t>(compression));
+}
+
+void TDigest::Add(double value, double weight) {
+  FWDECAY_DCHECK(weight > 0.0);
+  FWDECAY_CHECK_MSG(std::isfinite(value), "t-digest values must be finite");
+  buffer_.push_back(Centroid{value, weight});
+  total_weight_ += weight;
+  if (buffer_.size() >= static_cast<std::size_t>(compression_)) Compress();
+}
+
+void TDigest::Compress() const {
+  if (buffer_.empty()) return;
+  std::vector<Centroid> all;
+  all.reserve(centroids_.size() + buffer_.size());
+  all.insert(all.end(), centroids_.begin(), centroids_.end());
+  all.insert(all.end(), buffer_.begin(), buffer_.end());
+  buffer_.clear();
+  std::sort(all.begin(), all.end(),
+            [](const Centroid& a, const Centroid& b) {
+              return a.mean < b.mean;
+            });
+
+  centroids_.clear();
+  double done = 0.0;  // weight fully merged so far
+  Centroid current = all[0];
+  double k_lo = ScaleK(0.0, compression_);
+  for (std::size_t i = 1; i < all.size(); ++i) {
+    const double q_hi = (done + current.weight + all[i].weight) /
+                        total_weight_;
+    if (ScaleK(q_hi, compression_) - k_lo <= 1.0) {
+      // Merge into the current cluster (weighted mean update).
+      const double w = current.weight + all[i].weight;
+      current.mean += (all[i].mean - current.mean) * all[i].weight / w;
+      current.weight = w;
+    } else {
+      done += current.weight;
+      centroids_.push_back(current);
+      k_lo = ScaleK(done / total_weight_, compression_);
+      current = all[i];
+    }
+  }
+  centroids_.push_back(current);
+}
+
+double TDigest::Quantile(double phi) const {
+  Compress();
+  FWDECAY_CHECK(phi >= 0.0 && phi <= 1.0);
+  if (centroids_.empty()) return 0.0;
+  if (centroids_.size() == 1) return centroids_[0].mean;
+  const double target = phi * total_weight_;
+  // Walk centroids, interpolating between adjacent means with each
+  // centroid's weight centered on its mean.
+  double cum = 0.0;
+  for (std::size_t i = 0; i < centroids_.size(); ++i) {
+    const double mid = cum + centroids_[i].weight / 2.0;
+    if (target <= mid || i + 1 == centroids_.size()) {
+      if (i == 0) return centroids_[0].mean;
+      const double prev_mid =
+          cum - centroids_[i - 1].weight / 2.0;
+      const double frac =
+          (target - prev_mid) / std::max(mid - prev_mid, 1e-300);
+      return centroids_[i - 1].mean +
+             std::clamp(frac, 0.0, 1.0) *
+                 (centroids_[i].mean - centroids_[i - 1].mean);
+    }
+    cum += centroids_[i].weight;
+  }
+  return centroids_.back().mean;
+}
+
+double TDigest::CdfAt(double value) const {
+  Compress();
+  if (centroids_.empty()) return 0.0;
+  double cum = 0.0;
+  for (const Centroid& c : centroids_) {
+    if (c.mean > value) break;
+    cum += c.weight;
+  }
+  return cum / total_weight_;
+}
+
+void TDigest::Merge(const TDigest& other) {
+  other.Compress();
+  for (const Centroid& c : other.centroids_) {
+    buffer_.push_back(c);
+    total_weight_ += c.weight;
+    if (buffer_.size() >= static_cast<std::size_t>(compression_)) Compress();
+  }
+}
+
+std::size_t TDigest::CentroidCount() const {
+  Compress();
+  return centroids_.size();
+}
+
+std::size_t TDigest::MemoryBytes() const {
+  return (centroids_.capacity() + buffer_.capacity()) * sizeof(Centroid);
+}
+
+}  // namespace fwdecay

@@ -1,0 +1,60 @@
+#ifndef FWDECAY_SKETCH_TDIGEST_H_
+#define FWDECAY_SKETCH_TDIGEST_H_
+
+#include <cstdint>
+#include <vector>
+
+// Merging t-digest (Dunning & Ertl) with weighted insertion — a modern
+// alternative weighted-quantile backend ablated against the q-digest in
+// bench_micro. Where the q-digest needs a bounded integer universe, the
+// t-digest handles arbitrary real values with relative-accuracy tails,
+// at the price of probabilistic (interpolated) rather than deterministic
+// rank guarantees. Forward decay is agnostic to the backend: both
+// consume (value, static weight) pairs (Theorem 3's reduction).
+
+namespace fwdecay {
+
+class TDigest {
+ public:
+  /// `compression` (delta) bounds the number of retained centroids
+  /// (~2*delta) and the rank resolution (error ~ q(1-q)/delta).
+  explicit TDigest(double compression = 100.0);
+
+  /// Adds `value` with positive `weight`. Amortized O(log n) via a
+  /// buffer that is merge-compressed when full.
+  void Add(double value, double weight);
+
+  /// Estimated phi-quantile (phi in [0, 1]).
+  double Quantile(double phi) const;
+
+  /// Estimated fraction of total weight at or below `value`.
+  double CdfAt(double value) const;
+
+  /// Merges another digest (any compression).
+  void Merge(const TDigest& other);
+
+  double TotalWeight() const { return total_weight_; }
+  std::size_t CentroidCount() const;
+  std::size_t MemoryBytes() const;
+
+ private:
+  struct Centroid {
+    double mean;
+    double weight;
+  };
+
+  // Sorts the buffer into the centroid list and re-clusters under the
+  // k1 scale-function size limits.
+  void Compress() const;
+
+  double compression_;
+  double total_weight_ = 0.0;
+  // Compression is logically const (it does not change the summarized
+  // distribution), so query methods can trigger it.
+  mutable std::vector<Centroid> centroids_;  // sorted by mean after Compress
+  mutable std::vector<Centroid> buffer_;
+};
+
+}  // namespace fwdecay
+
+#endif  // FWDECAY_SKETCH_TDIGEST_H_

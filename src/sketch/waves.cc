@@ -1,0 +1,69 @@
+#include "sketch/waves.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace fwdecay {
+
+WaveCount::WaveCount(double eps) : eps_(eps) {
+  FWDECAY_CHECK_MSG(eps > 0.0 && eps <= 1.0, "eps must be in (0, 1]");
+  per_level_ = static_cast<std::size_t>(std::ceil(1.0 / eps)) + 2;
+}
+
+void WaveCount::Insert(double ts) {
+  ++count_;
+  const std::uint64_t index = count_;
+  // The arrival joins every level whose stride divides its index.
+  for (std::size_t l = 0;; ++l) {
+    if ((index & ((std::uint64_t{1} << l) - 1)) != 0) break;
+    if (levels_.size() <= l) levels_.emplace_back();
+    Level& level = levels_[l];
+    FWDECAY_DCHECK(level.entries.empty() ||
+                   ts >= level.entries.back().first);
+    level.entries.emplace_back(ts, index);
+    if (level.entries.size() > per_level_) level.entries.pop_front();
+  }
+}
+
+double WaveCount::CountInWindow(double now, double window) const {
+  if (count_ == 0) return 0.0;
+  const double cutoff = now - window;
+  // Finest level whose retained span reaches back to the cutoff: its
+  // oldest retained timestamp is <= cutoff, so the boundary arrival lies
+  // within the level (index error at most one stride).
+  for (std::size_t l = 0; l < levels_.size(); ++l) {
+    const Level& level = levels_[l];
+    if (level.entries.empty() || level.entries.front().first > cutoff) {
+      continue;
+    }
+    // Largest retained timestamp <= cutoff.
+    auto it = std::upper_bound(
+        level.entries.begin(), level.entries.end(), cutoff,
+        [](double value, const auto& e) { return value < e.first; });
+    --it;  // guaranteed valid: front() <= cutoff
+    const double stride = std::ldexp(1.0, static_cast<int>(l));
+    // True boundary index lies in [it->index, it->index + stride); use
+    // the midpoint, bounding the error by stride/2.
+    const double boundary =
+        static_cast<double>(it->second) + stride / 2.0;
+    const double in_window = static_cast<double>(count_) - boundary;
+    return in_window < 0.0 ? 0.0 : in_window;
+  }
+  // No retained entry is as old as the cutoff: every arrival the sketch
+  // can distinguish is inside the window.
+  return static_cast<double>(count_);
+}
+
+std::size_t WaveCount::StoredPositions() const {
+  std::size_t n = 0;
+  for (const Level& level : levels_) n += level.entries.size();
+  return n;
+}
+
+std::size_t WaveCount::MemoryBytes() const {
+  return StoredPositions() * sizeof(std::pair<double, std::uint64_t>);
+}
+
+}  // namespace fwdecay

@@ -1,0 +1,56 @@
+#ifndef FWDECAY_SKETCH_WAVES_H_
+#define FWDECAY_SKETCH_WAVES_H_
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+// Deterministic Waves (Gibbons & Tirthapura, SPAA'02): the other classic
+// sliding-window counter the paper's related-work section surveys
+// alongside exponential histograms. Answers "how many arrivals in the
+// last W time units" within a 1+eps factor using O((1/eps) log(eps N))
+// stored positions.
+//
+// Included as an ablation substrate: bench_micro compares Waves and EH
+// as the window-query backend of the Cohen–Strauss backward-decay
+// reduction; both carry the same per-group state burden that forward
+// decay removes.
+
+namespace fwdecay {
+
+/// Wave-based sliding-window count over non-decreasing timestamps.
+class WaveCount {
+ public:
+  /// eps is the relative error of window-count queries.
+  explicit WaveCount(double eps);
+
+  /// Records one arrival at timestamp `ts` (non-decreasing).
+  void Insert(double ts);
+
+  /// Estimated number of arrivals in (now - window, now].
+  double CountInWindow(double now, double window) const;
+
+  /// Exact total arrivals (kept on the side).
+  std::uint64_t TotalCount() const { return count_; }
+
+  std::size_t StoredPositions() const;
+  std::size_t MemoryBytes() const;
+
+ private:
+  // Level l keeps the timestamps of arrivals whose 1-based index is
+  // divisible by 2^l, truncated to the most recent (1/eps + 2) entries.
+  // The window count is reconstructed from the coarsest level that still
+  // covers the window boundary.
+  struct Level {
+    std::deque<std::pair<double, std::uint64_t>> entries;  // (ts, index)
+  };
+
+  double eps_;
+  std::size_t per_level_;
+  std::uint64_t count_ = 0;
+  std::vector<Level> levels_;
+};
+
+}  // namespace fwdecay
+
+#endif  // FWDECAY_SKETCH_WAVES_H_

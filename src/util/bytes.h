@@ -1,0 +1,90 @@
+#ifndef FWDECAY_UTIL_BYTES_H_
+#define FWDECAY_UTIL_BYTES_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+// Little byte-stream writer/reader pair used to serialize summaries for
+// the distributed setting (Section VI-B): sites serialize their
+// statically-weighted summaries, ship them, and the coordinator
+// deserializes and merges. Encoding is little-endian, fixed-width, with
+// length-prefixed containers; readers never over-read — any truncation
+// or corruption surfaces as a failed Read* call, and callers return
+// std::nullopt.
+
+namespace fwdecay {
+
+/// Appends fixed-width values to a growable byte buffer.
+class ByteWriter {
+ public:
+  void WriteU8(std::uint8_t v) { buf_.push_back(v); }
+
+  void WriteU32(std::uint32_t v) { WriteRaw(&v, sizeof(v)); }
+
+  void WriteU64(std::uint64_t v) { WriteRaw(&v, sizeof(v)); }
+
+  void WriteI64(std::int64_t v) { WriteRaw(&v, sizeof(v)); }
+
+  void WriteDouble(double v) { WriteRaw(&v, sizeof(v)); }
+
+  void WriteString(const std::string& s) {
+    WriteU32(static_cast<std::uint32_t>(s.size()));
+    WriteRaw(s.data(), s.size());
+  }
+
+  const std::vector<std::uint8_t>& bytes() const { return buf_; }
+  std::vector<std::uint8_t> Take() { return std::move(buf_); }
+
+ private:
+  void WriteRaw(const void* data, std::size_t len) {
+    const auto* p = static_cast<const std::uint8_t*>(data);
+    buf_.insert(buf_.end(), p, p + len);
+  }
+
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Consumes fixed-width values from a byte span; all reads are bounds
+/// checked and return false on exhaustion.
+class ByteReader {
+ public:
+  ByteReader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+  explicit ByteReader(const std::vector<std::uint8_t>& bytes)
+      : ByteReader(bytes.data(), bytes.size()) {}
+
+  bool ReadU8(std::uint8_t* out) { return ReadRaw(out, sizeof(*out)); }
+  bool ReadU32(std::uint32_t* out) { return ReadRaw(out, sizeof(*out)); }
+  bool ReadU64(std::uint64_t* out) { return ReadRaw(out, sizeof(*out)); }
+  bool ReadI64(std::int64_t* out) { return ReadRaw(out, sizeof(*out)); }
+  bool ReadDouble(double* out) { return ReadRaw(out, sizeof(*out)); }
+
+  bool ReadString(std::string* out) {
+    std::uint32_t len = 0;
+    if (!ReadU32(&len) || len > Remaining()) return false;
+    out->assign(reinterpret_cast<const char*>(data_ + pos_), len);
+    pos_ += len;
+    return true;
+  }
+
+  std::size_t Remaining() const { return size_ - pos_; }
+  bool Exhausted() const { return pos_ == size_; }
+
+ private:
+  bool ReadRaw(void* out, std::size_t len) {
+    if (Remaining() < len) return false;
+    std::memcpy(out, data_ + pos_, len);
+    pos_ += len;
+    return true;
+  }
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace fwdecay
+
+#endif  // FWDECAY_UTIL_BYTES_H_

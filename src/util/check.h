@@ -1,0 +1,52 @@
+#ifndef FWDECAY_UTIL_CHECK_H_
+#define FWDECAY_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// Lightweight invariant-checking macros for library code.
+//
+// The library is exception-free (Google style); contract violations are
+// programming errors and abort with a source location and message.
+// FWDECAY_CHECK is always on; FWDECAY_DCHECK compiles away in NDEBUG builds
+// and is meant for hot paths.
+
+namespace fwdecay::internal {
+
+/// Prints a fatal-check failure and aborts. Never returns.
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr, const char* msg) {
+  std::fprintf(stderr, "FWDECAY_CHECK failed at %s:%d: %s%s%s\n", file, line,
+               expr, (msg != nullptr && msg[0] != '\0') ? " — " : "",
+               msg != nullptr ? msg : "");
+  std::abort();
+}
+
+}  // namespace fwdecay::internal
+
+/// Aborts with a diagnostic if `cond` is false. Always enabled.
+#define FWDECAY_CHECK(cond)                                            \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      ::fwdecay::internal::CheckFailed(__FILE__, __LINE__, #cond, ""); \
+    }                                                                  \
+  } while (0)
+
+/// Like FWDECAY_CHECK but with an explanatory message.
+#define FWDECAY_CHECK_MSG(cond, msg)                                    \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      ::fwdecay::internal::CheckFailed(__FILE__, __LINE__, #cond, msg); \
+    }                                                                   \
+  } while (0)
+
+/// Debug-only check; compiles to nothing when NDEBUG is defined.
+#ifdef NDEBUG
+#define FWDECAY_DCHECK(cond) \
+  do {                       \
+  } while (0)
+#else
+#define FWDECAY_DCHECK(cond) FWDECAY_CHECK(cond)
+#endif
+
+#endif  // FWDECAY_UTIL_CHECK_H_

@@ -1,0 +1,54 @@
+#ifndef FWDECAY_UTIL_STATS_H_
+#define FWDECAY_UTIL_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace fwdecay {
+
+/// Streaming mean/variance accumulator (Welford's algorithm).
+///
+/// Used by the benchmark harness to summarize per-tuple timings and by
+/// tests to validate sampling distributions without storing all samples.
+class RunningStats {
+ public:
+  RunningStats() = default;
+
+  /// Folds one observation into the summary.
+  void Add(double x);
+
+  /// Merges another summary (parallel Welford / Chan et al.).
+  void Merge(const RunningStats& other);
+
+  /// Resets to the empty state.
+  void Reset() { *this = RunningStats(); }
+
+  std::size_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  /// Population variance; 0 for fewer than two observations.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return mean_ * static_cast<double>(count_); }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Returns the p-quantile (0 <= p <= 1) of `values` by sorting a copy.
+/// Intended for small benchmark result vectors, not hot paths.
+double Percentile(std::vector<double> values, double p);
+
+/// Pearson chi-squared statistic for observed vs expected counts.
+/// Used by property tests on samplers. Vectors must be the same size.
+double ChiSquaredStatistic(const std::vector<double>& observed,
+                           const std::vector<double>& expected);
+
+}  // namespace fwdecay
+
+#endif  // FWDECAY_UTIL_STATS_H_

@@ -1,0 +1,65 @@
+#include "util/table_printer.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/check.h"
+
+namespace fwdecay {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  FWDECAY_CHECK(!header_.empty());
+}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  FWDECAY_CHECK_MSG(row.size() == header_.size(),
+                    "row arity must match header");
+  rows_.push_back(std::move(row));
+}
+
+std::string TablePrinter::Fmt(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+void TablePrinter::Print(std::FILE* out) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      std::fprintf(out, "%s%-*s", c == 0 ? "" : "  ",
+                   static_cast<int>(widths[c]), row[c].c_str());
+    }
+    std::fprintf(out, "\n");
+  };
+  print_row(header_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    total += widths[c] + (c == 0 ? 0 : 2);
+  }
+  for (std::size_t i = 0; i < total; ++i) std::fputc('-', out);
+  std::fputc('\n', out);
+  for (const auto& row : rows_) print_row(row);
+}
+
+void TablePrinter::PrintCsv(std::FILE* out) const {
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      std::fprintf(out, "%s%s", c == 0 ? "" : ",", row[c].c_str());
+    }
+    std::fprintf(out, "\n");
+  };
+  print_row(header_);
+  for (const auto& row : rows_) print_row(row);
+}
+
+}  // namespace fwdecay

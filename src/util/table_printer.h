@@ -1,0 +1,40 @@
+#ifndef FWDECAY_UTIL_TABLE_PRINTER_H_
+#define FWDECAY_UTIL_TABLE_PRINTER_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace fwdecay {
+
+/// Renders aligned plain-text tables, used by the benchmark harness to
+/// print the rows/series corresponding to each figure in the paper.
+///
+/// Usage:
+///   TablePrinter t({"rate (pkt/s)", "undecayed", "fwd poly", "fwd exp"});
+///   t.AddRow({"100000", "31.2", "44.0", "47.9"});
+///   t.Print(stdout);
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Appends one row; must have the same arity as the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience: formats a double with `precision` decimal places.
+  static std::string Fmt(double value, int precision = 2);
+
+  /// Writes the table with a separator line under the header.
+  void Print(std::FILE* out) const;
+
+  /// Writes the table as CSV (for plotting scripts).
+  void PrintCsv(std::FILE* out) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace fwdecay
+
+#endif  // FWDECAY_UTIL_TABLE_PRINTER_H_

@@ -1,0 +1,39 @@
+#ifndef FWDECAY_UTIL_TIMER_H_
+#define FWDECAY_UTIL_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace fwdecay {
+
+/// Wall-clock stopwatch over std::chrono::steady_clock.
+///
+/// The benchmark harness measures per-tuple processing cost with this and
+/// converts it to the paper's "CPU load %" proxy (rate × ns/tuple / 1e9).
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Nanoseconds elapsed since construction or the last Reset().
+  std::int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
+
+  /// Seconds elapsed since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return static_cast<double>(ElapsedNanos()) * 1e-9;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace fwdecay
+
+#endif  // FWDECAY_UTIL_TIMER_H_

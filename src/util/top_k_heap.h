@@ -1,0 +1,82 @@
+#ifndef FWDECAY_UTIL_TOP_K_HEAP_H_
+#define FWDECAY_UTIL_TOP_K_HEAP_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "util/check.h"
+
+namespace fwdecay {
+
+/// Bounded min-heap keeping the k items with the largest scores.
+///
+/// The weighted reservoir (A-Res) and priority samplers maintain their
+/// samples in one of these: Offer() is O(log k) and the heap root is the
+/// threshold item (smallest retained score), exactly the quantity both
+/// samplers need for admission tests and estimators.
+template <typename T>
+class TopKHeap {
+ public:
+  struct Entry {
+    double score;
+    T value;
+  };
+
+  explicit TopKHeap(std::size_t k) : k_(k) { FWDECAY_CHECK(k > 0); }
+
+  /// Offers an item; returns true if it was admitted (possibly evicting
+  /// the current minimum-score item).
+  bool Offer(double score, T value) {
+    if (entries_.size() < k_) {
+      entries_.push_back(Entry{score, std::move(value)});
+      std::push_heap(entries_.begin(), entries_.end(), GreaterScore);
+      return true;
+    }
+    if (score <= entries_.front().score) return false;
+    std::pop_heap(entries_.begin(), entries_.end(), GreaterScore);
+    entries_.back() = Entry{score, std::move(value)};
+    std::push_heap(entries_.begin(), entries_.end(), GreaterScore);
+    return true;
+  }
+
+  /// True once k items have been admitted.
+  bool Full() const { return entries_.size() == k_; }
+
+  /// Smallest retained score; only valid when not empty.
+  double MinScore() const {
+    FWDECAY_CHECK(!entries_.empty());
+    return entries_.front().score;
+  }
+
+  std::size_t size() const { return entries_.size(); }
+  std::size_t capacity() const { return k_; }
+  bool empty() const { return entries_.empty(); }
+
+  /// Unordered access to the retained entries.
+  const std::vector<Entry>& entries() const { return entries_; }
+
+  /// Returns entries sorted by descending score (does not modify *this).
+  std::vector<Entry> SortedByScoreDesc() const {
+    std::vector<Entry> out = entries_;
+    std::sort(out.begin(), out.end(), [](const Entry& a, const Entry& b) {
+      return a.score > b.score;
+    });
+    return out;
+  }
+
+  void Clear() { entries_.clear(); }
+
+ private:
+  // Min-heap on score: parent has the smallest score.
+  static bool GreaterScore(const Entry& a, const Entry& b) {
+    return a.score > b.score;
+  }
+
+  std::size_t k_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace fwdecay
+
+#endif  // FWDECAY_UTIL_TOP_K_HEAP_H_

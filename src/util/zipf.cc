@@ -1,0 +1,62 @@
+#include "util/zipf.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace fwdecay {
+
+namespace {
+
+// Helper for rejection-inversion: computes ((1-s) x^(1-s) style antiderivative
+// with the s == 1 limit handled via log.
+double HIntegral(double x, double exponent) {
+  const double log_x = std::log(x);
+  if (std::abs(exponent - 1.0) < 1e-12) return log_x;
+  return std::exp((1.0 - exponent) * log_x) / (1.0 - exponent);
+}
+
+double HIntegralInverse(double x, double exponent) {
+  if (std::abs(exponent - 1.0) < 1e-12) return std::exp(x);
+  return std::exp(std::log((1.0 - exponent) * x) / (1.0 - exponent));
+}
+
+}  // namespace
+
+ZipfGenerator::ZipfGenerator(std::uint64_t num_items, double exponent)
+    : num_items_(num_items), exponent_(exponent) {
+  FWDECAY_CHECK_MSG(num_items >= 1, "Zipf domain must be non-empty");
+  FWDECAY_CHECK_MSG(exponent >= 0.0, "Zipf exponent must be >= 0");
+  h_x1_ = H(1.5) - 1.0;
+  h_num_items_ = H(static_cast<double>(num_items_) + 0.5);
+  s_ = 2.0 - HInverse(H(2.5) - std::exp(-exponent_ * std::log(2.0)));
+}
+
+double ZipfGenerator::H(double x) const { return HIntegral(x, exponent_); }
+
+double ZipfGenerator::HInverse(double x) const {
+  return HIntegralInverse(x, exponent_);
+}
+
+std::uint64_t ZipfGenerator::Next(Rng& rng) {
+  if (num_items_ == 1) return 1;
+  // Hörmann & Derflinger rejection-inversion. Expected < 2 iterations.
+  while (true) {
+    const double u =
+        h_num_items_ + rng.NextDouble() * (h_x1_ - h_num_items_);
+    const double x = HInverse(u);
+    std::uint64_t k = static_cast<std::uint64_t>(x + 0.5);
+    if (k < 1) {
+      k = 1;
+    } else if (k > num_items_) {
+      k = num_items_;
+    }
+    const double kd = static_cast<double>(k);
+    if (kd - x <= s_ ||
+        u >= H(kd + 0.5) - std::exp(-exponent_ * std::log(kd))) {
+      return k;
+    }
+  }
+}
+
+}  // namespace fwdecay

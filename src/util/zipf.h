@@ -1,0 +1,43 @@
+#ifndef FWDECAY_UTIL_ZIPF_H_
+#define FWDECAY_UTIL_ZIPF_H_
+
+#include <cstdint>
+
+#include "util/random.h"
+
+namespace fwdecay {
+
+/// Draws integers in [1, n] with P(k) ∝ k^(-s), i.e. a Zipf distribution.
+///
+/// Network-style workloads (the paper's packet destinations) are heavily
+/// skewed; the generator uses rejection-inversion (Hörmann & Derflinger
+/// 1996), which needs O(1) setup and O(1) expected time per draw for any
+/// exponent s >= 0, instead of the O(n) CDF table of the naive method.
+class ZipfGenerator {
+ public:
+  /// Creates a generator over the domain [1, num_items] with skew
+  /// `exponent` (0 = uniform; 1 ≈ classic Zipf; larger = more skewed).
+  ZipfGenerator(std::uint64_t num_items, double exponent);
+
+  /// Returns the next Zipf-distributed value in [1, num_items].
+  std::uint64_t Next(Rng& rng);
+
+  std::uint64_t num_items() const { return num_items_; }
+  double exponent() const { return exponent_; }
+
+ private:
+  // H(x) is the integral of the density; see the implementation for the
+  // s == 1 special case.
+  double H(double x) const;
+  double HInverse(double x) const;
+
+  std::uint64_t num_items_;
+  double exponent_;
+  double h_x1_;
+  double h_num_items_;
+  double s_;
+};
+
+}  // namespace fwdecay
+
+#endif  // FWDECAY_UTIL_ZIPF_H_

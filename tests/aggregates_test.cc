@@ -1,0 +1,222 @@
+// Tests for the O(1)-state decayed aggregates (Section IV-A/B) against
+// the paper's worked Example 2 and the exact reference evaluator.
+
+#include <cmath>
+#include <optional>
+
+#include <gtest/gtest.h>
+
+#include "core/aggregates.h"
+#include "core/exact_reference.h"
+#include "util/random.h"
+
+namespace fwdecay {
+namespace {
+
+const std::pair<double, double> kExampleStream[] = {
+    {105, 4}, {107, 8}, {103, 3}, {108, 6}, {104, 4}};
+
+ForwardDecay<MonomialG> ExampleDecay() {
+  return ForwardDecay<MonomialG>(MonomialG(2.0), 100.0);
+}
+
+TEST(DecayedCountTest, PaperExample2Count) {
+  DecayedCount<MonomialG> count(ExampleDecay());
+  for (const auto& [ts, v] : kExampleStream) count.Add(ts);
+  EXPECT_NEAR(count.Value(110.0), 1.63, 1e-12);
+}
+
+TEST(DecayedMomentsTest, PaperExample2SumAndAverage) {
+  DecayedMoments<MonomialG> m(ExampleDecay());
+  for (const auto& [ts, v] : kExampleStream) m.Add(ts, v);
+  EXPECT_NEAR(m.Sum(110.0), 9.67, 1e-12);
+  ASSERT_TRUE(m.Average().has_value());
+  EXPECT_NEAR(*m.Average(), 9.67 / 1.63, 1e-12);
+}
+
+TEST(DecayedMomentsTest, AverageIsTimeInvariant) {
+  // Section IV-A: the decayed average does not change as t advances.
+  DecayedMoments<MonomialG> m(ExampleDecay());
+  for (const auto& [ts, v] : kExampleStream) m.Add(ts, v);
+  const double avg = *m.Average();
+  // Count and Sum both shrink with t but their ratio is fixed.
+  EXPECT_NEAR(m.Sum(200.0) / m.Count(200.0), avg, 1e-12);
+  EXPECT_NEAR(m.Sum(1000.0) / m.Count(1000.0), avg, 1e-12);
+}
+
+TEST(DecayedMomentsTest, ConstantValuesAverageToThatValue) {
+  // "If all items have the same value v, their average should be v no
+  // matter when the query is executed."
+  DecayedMoments<ExponentialG> m(
+      ForwardDecay<ExponentialG>(ExponentialG(0.2), 0.0));
+  for (double ts : {1.0, 5.0, 9.0, 13.0}) m.Add(ts, 7.5);
+  EXPECT_NEAR(*m.Average(), 7.5, 1e-12);
+  ASSERT_TRUE(m.Variance().has_value());
+  EXPECT_NEAR(*m.Variance(), 0.0, 1e-12);
+}
+
+TEST(DecayedMomentsTest, MatchesExactReference) {
+  Rng rng(99);
+  ExactDecayedReference ref;
+  DecayedMoments<MonomialG> m(
+      ForwardDecay<MonomialG>(MonomialG(1.5), 50.0));
+  for (int i = 0; i < 500; ++i) {
+    const double ts = 50.0 + rng.NextDouble() * 100.0;
+    const double v = rng.NextDouble() * 20.0 - 5.0;
+    ref.Add(ts, 0, v);
+    m.Add(ts, v);
+  }
+  const auto w = ForwardWeightFn(MonomialG(1.5), 50.0);
+  const double t = 160.0;
+  EXPECT_NEAR(m.Count(t), ref.Count(t, w), 1e-9);
+  EXPECT_NEAR(m.Sum(t), ref.Sum(t, w), 1e-9);
+  EXPECT_NEAR(*m.Average(), *ref.Average(t, w), 1e-9);
+  EXPECT_NEAR(*m.Variance(), *ref.Variance(t, w), 1e-9);
+}
+
+TEST(DecayedCountTest, MergeEqualsUnion) {
+  // Section VI-B: distributed partial aggregates merge exactly.
+  Rng rng(5);
+  DecayedCount<MonomialG> all(ExampleDecay());
+  DecayedCount<MonomialG> left(ExampleDecay());
+  DecayedCount<MonomialG> right(ExampleDecay());
+  for (int i = 0; i < 200; ++i) {
+    const double ts = 100.0 + rng.NextDouble() * 50.0;
+    all.Add(ts);
+    (i % 2 == 0 ? left : right).Add(ts);
+  }
+  left.Merge(right);
+  EXPECT_NEAR(left.Value(160.0), all.Value(160.0), 1e-9);
+}
+
+TEST(DecayedCountTest, AddNEqualsRepeatedAdd) {
+  DecayedCount<MonomialG> a(ExampleDecay());
+  DecayedCount<MonomialG> b(ExampleDecay());
+  a.AddN(105.0, 4.0);
+  for (int i = 0; i < 4; ++i) b.Add(105.0);
+  EXPECT_NEAR(a.Value(110.0), b.Value(110.0), 1e-12);
+}
+
+TEST(DecayedCountTest, OutOfOrderArrivalsIrrelevant) {
+  // Section VI-B: no algorithm depends on arrival order.
+  DecayedCount<MonomialG> fwd(ExampleDecay());
+  DecayedCount<MonomialG> rev(ExampleDecay());
+  const double stamps[] = {101, 105, 103, 120, 110, 107};
+  for (double ts : stamps) fwd.Add(ts);
+  for (int i = 5; i >= 0; --i) rev.Add(stamps[i]);
+  EXPECT_DOUBLE_EQ(fwd.Value(130.0), rev.Value(130.0));
+}
+
+TEST(DecayedCountTest, ExponentialRescaleLandmarkPreservesValue) {
+  ForwardDecay<ExponentialG> decay(ExponentialG(0.5), 0.0);
+  DecayedCount<ExponentialG> count(decay);
+  for (double ts : {1.0, 2.0, 3.0, 10.0}) count.Add(ts);
+  const double before = count.Value(12.0);
+  count.RescaleLandmark(8.0);
+  EXPECT_NEAR(count.Value(12.0), before, 1e-9);
+}
+
+TEST(DecayedCountTest, RescalePreventsOverflow) {
+  // Without rescaling, static weights at alpha=1 overflow past n ~ 709.
+  ForwardDecay<ExponentialG> decay(ExponentialG(1.0), 0.0);
+  DecayedCount<ExponentialG> count(decay);
+  double t = 0.0;
+  for (int i = 0; i < 3000; ++i) {
+    t += 1.0;
+    count.Add(t);
+    if (count.RawWeightedCount() > 1e100) count.RescaleLandmark(t);
+  }
+  EXPECT_TRUE(std::isfinite(count.RawWeightedCount()));
+  // The exponentially decayed count converges to 1/(1-e^-1).
+  EXPECT_NEAR(count.Value(t), 1.0 / (1.0 - std::exp(-1.0)), 1e-6);
+}
+
+TEST(DecayedExtremumTest, PaperDefinition6) {
+  // MIN/MAX of g(ti-L)*vi / g(t-L) over the example stream.
+  DecayedMin<MonomialG> mn(ExampleDecay());
+  DecayedMax<MonomialG> mx(ExampleDecay());
+  for (const auto& [ts, v] : kExampleStream) {
+    mn.Add(ts, v);
+    mx.Add(ts, v);
+  }
+  // weights*values: {1.0, 3.92, 0.27, 3.84, 0.64}
+  EXPECT_NEAR(*mn.Value(110.0), 0.09 * 3.0, 1e-12);
+  EXPECT_NEAR(*mx.Value(110.0), 0.49 * 8.0, 1e-12);
+}
+
+TEST(DecayedExtremumTest, MatchesExactReference) {
+  Rng rng(321);
+  ExactDecayedReference ref;
+  DecayedMin<ExponentialG> mn(
+      ForwardDecay<ExponentialG>(ExponentialG(0.1), 0.0));
+  DecayedMax<ExponentialG> mx(
+      ForwardDecay<ExponentialG>(ExponentialG(0.1), 0.0));
+  for (int i = 0; i < 300; ++i) {
+    const double ts = rng.NextDouble() * 40.0;
+    const double v = rng.NextDouble() * 10.0 - 3.0;  // negatives included
+    ref.Add(ts, 0, v);
+    mn.Add(ts, v);
+    mx.Add(ts, v);
+  }
+  const auto w = BackwardWeightFn(ExponentialF(0.1));  // == forward exp
+  EXPECT_NEAR(*mn.Value(50.0), *ref.Min(50.0, w), 1e-9);
+  EXPECT_NEAR(*mx.Value(50.0), *ref.Max(50.0, w), 1e-9);
+}
+
+TEST(DecayedExtremumTest, ArgItemTracksTheExtremum) {
+  DecayedMax<MonomialG> mx(ExampleDecay());
+  for (const auto& [ts, v] : kExampleStream) mx.Add(ts, v);
+  ASSERT_TRUE(mx.ArgItem().has_value());
+  EXPECT_DOUBLE_EQ(mx.ArgItem()->ts, 107.0);
+  EXPECT_DOUBLE_EQ(mx.ArgItem()->value, 8.0);
+}
+
+TEST(DecayedExtremumTest, MergeTakesTheBetter) {
+  DecayedMax<MonomialG> a(ExampleDecay());
+  DecayedMax<MonomialG> b(ExampleDecay());
+  a.Add(105.0, 4.0);
+  b.Add(107.0, 8.0);
+  a.Merge(b);
+  EXPECT_NEAR(*a.Value(110.0), 0.49 * 8.0, 1e-12);
+}
+
+TEST(DecayedAggregatesTest, EmptyStateYieldsNulloptOrZero) {
+  DecayedMoments<MonomialG> m(ExampleDecay());
+  EXPECT_FALSE(m.Average().has_value());
+  EXPECT_FALSE(m.Variance().has_value());
+  EXPECT_DOUBLE_EQ(m.Count(110.0), 0.0);
+  DecayedMin<MonomialG> mn(ExampleDecay());
+  EXPECT_FALSE(mn.Value(110.0).has_value());
+}
+
+TEST(ExactReferenceTest, QuantileAndHeavyHittersBasics) {
+  ExactDecayedReference ref;
+  // Keys equal to values for convenience.
+  for (const auto& [ts, v] : kExampleStream) {
+    ref.Add(ts, static_cast<std::uint64_t>(v), v);
+  }
+  const auto w = ForwardWeightFn(MonomialG(2.0), 100.0);
+  // Example 3: phi=0.2 heavy hitters are {4, 6, 8}.
+  const auto hh = ref.HeavyHitters(110.0, w, 0.2);
+  ASSERT_EQ(hh.size(), 3u);
+  EXPECT_EQ(hh[0].first, 6u);  // d_6 = 0.64 dominates
+  EXPECT_EQ(hh[1].first, 8u);
+  EXPECT_EQ(hh[2].first, 4u);
+  // Ranks: r_3 = 0.09, r_4 = 0.50, r_6 = 1.14, r_8 = 1.63.
+  EXPECT_NEAR(ref.Rank(110.0, w, 4.0), 0.50, 1e-12);
+  // Median (phi=0.5): first value whose rank >= 0.815 is 6.
+  EXPECT_DOUBLE_EQ(*ref.Quantile(110.0, w, 0.5), 6.0);
+}
+
+TEST(ExactReferenceTest, CountDistinctUsesMaxWeight) {
+  ExactDecayedReference ref;
+  ref.Add(105.0, /*key=*/1, 0.0);
+  ref.Add(108.0, /*key=*/1, 0.0);  // same key, later ⇒ larger weight
+  ref.Add(103.0, /*key=*/2, 0.0);
+  const auto w = ForwardWeightFn(MonomialG(2.0), 100.0);
+  // D = max(0.25, 0.64) + 0.09 = 0.73.
+  EXPECT_NEAR(ref.CountDistinct(110.0, w), 0.73, 1e-12);
+}
+
+}  // namespace
+}  // namespace fwdecay

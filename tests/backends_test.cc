@@ -1,0 +1,344 @@
+// Tests for the alternative summary backends: Count-Min (weighted),
+// merging t-digest, and the sliding-window quantiles baseline.
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <unordered_set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/exact_reference.h"
+#include "sketch/count_min.h"
+#include "sketch/hll.h"
+#include "sketch/kmv.h"
+#include "sketch/sliding_quantiles.h"
+#include "sketch/tdigest.h"
+#include "util/bytes.h"
+#include "util/random.h"
+#include "util/zipf.h"
+
+namespace fwdecay {
+namespace {
+
+// --- Count-Min ----------------------------------------------------------------
+
+TEST(CountMinTest, EstimateIsUpperBoundWithinEps) {
+  Rng rng(1);
+  ZipfGenerator zipf(2000, 1.2);
+  const double eps = 0.005;
+  CountMinSketch cm(eps, 0.01);
+  std::map<std::uint64_t, double> truth;
+  double total = 0.0;
+  for (int i = 0; i < 100000; ++i) {
+    const std::uint64_t key = zipf.Next(rng);
+    const double w = 0.5 + rng.NextDouble();
+    cm.Update(key, w);
+    truth[key] += w;
+    total += w;
+  }
+  int violations = 0;
+  for (const auto& [key, w] : truth) {
+    const double est = cm.Estimate(key);
+    EXPECT_GE(est, w - 1e-9);  // always an upper bound
+    violations += est > w + eps * total;
+  }
+  // P(overflow beyond eps*W) <= delta per key; allow a small tail.
+  EXPECT_LE(violations, static_cast<int>(truth.size() / 20));
+}
+
+TEST(CountMinTest, UnseenKeysUsuallySmall) {
+  Rng rng(2);
+  CountMinSketch cm(0.01, 0.01);
+  for (int i = 0; i < 10000; ++i) cm.Update(rng.NextBounded(100), 1.0);
+  // A fresh key's estimate is bounded by eps*W with high probability.
+  int big = 0;
+  for (std::uint64_t key = 1000000; key < 1000100; ++key) {
+    big += cm.Estimate(key) > 0.01 * cm.TotalWeight();
+  }
+  EXPECT_LE(big, 5);
+}
+
+TEST(CountMinTest, MergeEqualsUnionStream) {
+  Rng rng(3);
+  CountMinSketch a(0.01, 0.05, /*seed=*/9);
+  CountMinSketch b(0.01, 0.05, /*seed=*/9);
+  CountMinSketch both(0.01, 0.05, /*seed=*/9);
+  for (int i = 0; i < 20000; ++i) {
+    const std::uint64_t key = rng.NextBounded(500);
+    (i % 2 == 0 ? a : b).Update(key, 1.0);
+    both.Update(key, 1.0);
+  }
+  a.Merge(b);
+  for (std::uint64_t key = 1; key < 500; key += 37) {
+    EXPECT_DOUBLE_EQ(a.Estimate(key), both.Estimate(key));
+  }
+}
+
+TEST(CountMinTest, ScaleWeightsForLandmarkRescaling) {
+  CountMinSketch cm(0.01, 0.05);
+  cm.Update(7, 10.0);
+  cm.ScaleWeights(0.25);
+  EXPECT_NEAR(cm.Estimate(7), 2.5, 1e-12);
+  EXPECT_NEAR(cm.TotalWeight(), 2.5, 1e-12);
+}
+
+TEST(CountMinTest, SerializeRoundTrip) {
+  Rng rng(4);
+  CountMinSketch cm(0.02, 0.05);
+  for (int i = 0; i < 5000; ++i) cm.Update(rng.NextBounded(300), 1.0);
+  ByteWriter w;
+  cm.SerializeTo(&w);
+  ByteReader r(w.bytes());
+  auto restored = CountMinSketch::Deserialize(&r);
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_TRUE(r.Exhausted());
+  EXPECT_DOUBLE_EQ(restored->TotalWeight(), cm.TotalWeight());
+  for (std::uint64_t key = 0; key < 300; key += 17) {
+    EXPECT_DOUBLE_EQ(restored->Estimate(key), cm.Estimate(key));
+  }
+  // Truncation rejected.
+  ByteReader trunc(w.bytes().data(), w.bytes().size() / 2);
+  EXPECT_FALSE(CountMinSketch::Deserialize(&trunc).has_value());
+}
+
+TEST(CountMinTest, ForwardDecayedHeavyHittersViaCountMin) {
+  // Theorem 2's reduction works with any weighted summary: feed static
+  // weights g(t_i - L) and compare the decayed estimates with the exact
+  // reference.
+  Rng rng(5);
+  ZipfGenerator zipf(300, 1.4);
+  CountMinSketch cm(0.005, 0.01);
+  ExactDecayedReference ref;
+  const double landmark = 0.0;
+  for (int i = 0; i < 50000; ++i) {
+    const double ts = 1.0 + rng.NextDouble() * 59.0;
+    const std::uint64_t key = zipf.Next(rng);
+    const double w = (ts - landmark) * (ts - landmark);
+    cm.Update(key, w);
+    ref.Add(ts, key, 0.0);
+  }
+  const auto wfn = ForwardWeightFn(MonomialG(2.0), landmark);
+  const double t = 60.0;
+  const double norm = 3600.0;  // g(t - L)
+  for (const auto& [key, exact] : ref.HeavyHitters(t, wfn, 0.02)) {
+    const double est = cm.Estimate(key) / norm;
+    EXPECT_GE(est, exact - 1e-9);
+    EXPECT_LE(est, exact + 0.01 * ref.Count(t, wfn) + 1e-9);
+  }
+}
+
+// --- t-digest -------------------------------------------------------------------
+
+TEST(TDigestTest, SingleValue) {
+  TDigest td(100.0);
+  td.Add(42.0, 3.0);
+  EXPECT_DOUBLE_EQ(td.Quantile(0.5), 42.0);
+  EXPECT_DOUBLE_EQ(td.TotalWeight(), 3.0);
+}
+
+TEST(TDigestTest, UniformQuantilesAccurate) {
+  Rng rng(6);
+  TDigest td(200.0);
+  for (int i = 0; i < 100000; ++i) td.Add(rng.NextDouble() * 1000.0, 1.0);
+  for (double phi : {0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99}) {
+    EXPECT_NEAR(td.Quantile(phi), phi * 1000.0, 15.0) << "phi=" << phi;
+  }
+}
+
+TEST(TDigestTest, WeightedQuantilesMatchExact) {
+  Rng rng(7);
+  TDigest td(200.0);
+  ExactDecayedReference ref;
+  for (int i = 0; i < 20000; ++i) {
+    const double v = rng.NextDouble() * 100.0;
+    const double ts = rng.NextDouble() * 10.0;
+    td.Add(v, (ts + 1.0) * (ts + 1.0));  // weighted by (ts+1)^2
+    ref.Add(ts, 0, v);
+  }
+  const auto w = [](Timestamp ti, Timestamp) {
+    return (ti + 1.0) * (ti + 1.0);
+  };
+  for (double phi : {0.25, 0.5, 0.75}) {
+    const double exact = *ref.Quantile(10.0, w, phi);
+    EXPECT_NEAR(td.Quantile(phi), exact, 3.0) << "phi=" << phi;
+  }
+}
+
+TEST(TDigestTest, TailsAreSharper) {
+  Rng rng(8);
+  TDigest td(100.0);
+  for (int i = 0; i < 100000; ++i) td.Add(rng.NextDouble(), 1.0);
+  // Extreme quantiles have relative accuracy: p999 within a tight band.
+  EXPECT_NEAR(td.Quantile(0.999), 0.999, 0.005);
+  EXPECT_NEAR(td.Quantile(0.001), 0.001, 0.005);
+}
+
+TEST(TDigestTest, CentroidCountBounded) {
+  Rng rng(9);
+  const double compression = 100.0;
+  TDigest td(compression);
+  for (int i = 0; i < 200000; ++i) td.Add(rng.NextDouble() * 1e6, 1.0);
+  EXPECT_LE(td.CentroidCount(), static_cast<std::size_t>(2 * compression));
+}
+
+TEST(TDigestTest, MergePreservesDistribution) {
+  Rng rng(10);
+  TDigest a(100.0);
+  TDigest b(100.0);
+  for (int i = 0; i < 50000; ++i) {
+    const double v = rng.NextDouble() * 100.0;
+    (i % 2 == 0 ? a : b).Add(v, 1.0);
+  }
+  a.Merge(b);
+  EXPECT_NEAR(a.TotalWeight(), 50000.0, 1e-6);
+  EXPECT_NEAR(a.Quantile(0.5), 50.0, 3.0);
+}
+
+TEST(TDigestTest, CdfMonotoneAndConsistent) {
+  Rng rng(11);
+  TDigest td(100.0);
+  for (int i = 0; i < 20000; ++i) td.Add(rng.NextDouble() * 10.0, 1.0);
+  double prev = -1.0;
+  for (double v = 0.0; v <= 10.0; v += 0.5) {
+    const double c = td.CdfAt(v);
+    EXPECT_GE(c, prev);
+    prev = c;
+  }
+  EXPECT_NEAR(td.CdfAt(5.0), 0.5, 0.05);
+}
+
+// --- HyperLogLog ---------------------------------------------------------------
+
+TEST(HllTest, EstimateWithinExpectedError) {
+  HllSketch hll(12);
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) hll.Insert(static_cast<std::uint64_t>(i));
+  // stderr ~ 1.04/sqrt(4096) ~ 1.6%; allow 5 sigma.
+  EXPECT_NEAR(hll.Estimate(), n, 5.0 * 0.0163 * n);
+}
+
+TEST(HllTest, SmallCardinalitiesViaLinearCounting) {
+  HllSketch hll(12);
+  for (std::uint64_t k = 0; k < 100; ++k) hll.Insert(k);
+  EXPECT_NEAR(hll.Estimate(), 100.0, 5.0);
+  // Duplicates don't move the estimate.
+  for (std::uint64_t k = 0; k < 100; ++k) hll.Insert(k);
+  EXPECT_NEAR(hll.Estimate(), 100.0, 5.0);
+}
+
+TEST(HllTest, MergeEqualsUnion) {
+  HllSketch a(11, /*hash_seed=*/3);
+  HllSketch b(11, /*hash_seed=*/3);
+  HllSketch u(11, /*hash_seed=*/3);
+  for (std::uint64_t k = 0; k < 50000; ++k) {
+    if (k % 2 == 0) a.Insert(k);
+    if (k % 3 == 0) b.Insert(k);
+    if (k % 2 == 0 || k % 3 == 0) u.Insert(k);
+  }
+  a.Merge(b);
+  EXPECT_DOUBLE_EQ(a.Estimate(), u.Estimate());
+}
+
+TEST(HllTest, SerializeRoundTrip) {
+  HllSketch hll(10, 7);
+  for (std::uint64_t k = 0; k < 12345; ++k) hll.Insert(k);
+  ByteWriter w;
+  hll.SerializeTo(&w);
+  ByteReader r(w.bytes());
+  auto restored = HllSketch::Deserialize(&r);
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_TRUE(r.Exhausted());
+  EXPECT_DOUBLE_EQ(restored->Estimate(), hll.Estimate());
+  ByteReader trunc(w.bytes().data(), w.bytes().size() - 5);
+  EXPECT_FALSE(HllSketch::Deserialize(&trunc).has_value());
+}
+
+TEST(HllTest, AgreesWithKmvOnSameStream) {
+  HllSketch hll(12);
+  KmvSketch kmv(1024);
+  Rng rng(20);
+  ZipfGenerator zipf(30000, 1.1);
+  std::unordered_set<std::uint64_t> truth;
+  for (int i = 0; i < 300000; ++i) {
+    const std::uint64_t key = zipf.Next(rng);
+    hll.Insert(key);
+    kmv.Insert(key);
+    truth.insert(key);
+  }
+  const double d = static_cast<double>(truth.size());
+  EXPECT_NEAR(hll.Estimate(), d, 0.1 * d);
+  EXPECT_NEAR(kmv.Estimate(), d, 0.16 * d);
+}
+
+// --- Sliding-window quantiles baseline ------------------------------------------
+
+TEST(SlidingWindowQuantilesTest, WindowQuantileTracksRecentData) {
+  Rng rng(12);
+  SlidingWindowQuantiles sq(0.02, /*pane_seconds=*/1.0, /*universe_bits=*/10);
+  // First 50 s: values ~100; last 10 s: values ~900.
+  double t = 0.0;
+  for (int i = 0; i < 50000; ++i) {
+    t += 0.001;
+    sq.Update(t, 80 + rng.NextBounded(40));
+  }
+  for (int i = 0; i < 10000; ++i) {
+    t += 0.001;
+    sq.Update(t, 880 + rng.NextBounded(40));
+  }
+  // Window covering only the recent regime.
+  const std::uint64_t recent = sq.QueryWindowQuantile(t, 9.0, 0.5);
+  EXPECT_GT(recent, 800u);
+  // Window covering everything: median from the old regime.
+  const std::uint64_t all = sq.QueryWindowQuantile(t, 120.0, 0.5);
+  EXPECT_LT(all, 200u);
+}
+
+TEST(SlidingWindowQuantilesTest, DecayedQuantileMatchesExact) {
+  Rng rng(13);
+  SlidingWindowQuantiles sq(0.01, 0.5, 10);
+  ExactDecayedReference ref;
+  double t = 0.0;
+  for (int i = 0; i < 40000; ++i) {
+    t += 0.001;
+    const std::uint64_t v = rng.NextBounded(1 << 10);
+    sq.Update(t, v);
+    ref.Add(t, 0, static_cast<double>(v));
+  }
+  PolynomialF f(2.0);
+  const auto w = BackwardWeightFn(f);
+  for (double phi : {0.25, 0.5, 0.75}) {
+    const auto est = static_cast<double>(sq.QueryDecayedQuantile(
+        t, [&](double age) { return f.F(age); }, phi));
+    const double exact = *ref.Quantile(t, w, phi);
+    // Pane discretization + q-digest error.
+    EXPECT_NEAR(est, exact, 80.0) << "phi=" << phi;
+  }
+}
+
+TEST(SlidingWindowQuantilesTest, StateGrowsWithStreamSpan) {
+  // The cost story: pane count — and so memory — grows with the stream
+  // span, unlike the single q-digest forward decay needs.
+  SlidingWindowQuantiles sq(0.05, 1.0, 10);
+  Rng rng(14);
+  double t = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    t += 0.01;  // 200 seconds => 200 panes
+    sq.Update(t, rng.NextBounded(1 << 10));
+  }
+  EXPECT_GE(sq.PaneCount(), 199u);
+  QDigest single(10, 0.05);
+  for (int i = 0; i < 20000; ++i) single.Update(rng.NextBounded(1 << 10), 1.0);
+  single.Compress();
+  EXPECT_GT(sq.MemoryBytes(), 5 * single.MemoryBytes());
+}
+
+TEST(SlidingWindowQuantilesTest, RejectsOutOfOrderAcrossPanes) {
+  SlidingWindowQuantiles sq(0.05, 1.0, 8);
+  sq.Update(5.0, 10);
+  EXPECT_DEATH(sq.Update(2.0, 10), "non-decreasing");
+}
+
+}  // namespace
+}  // namespace fwdecay

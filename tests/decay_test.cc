@@ -1,0 +1,220 @@
+// Tests for the decay-function taxonomy and the forward-decay engine:
+// Definition 1 properties, the paper's worked Example 1, the forward ==
+// backward coincidence for exponential decay (Section III-A), the
+// relative-decay property (Lemma 1), and landmark rescaling (Section VI-A).
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/decay.h"
+#include "core/forward_decay.h"
+
+namespace fwdecay {
+namespace {
+
+// The stream of Example 1: (timestamp, value).
+const std::pair<double, double> kExampleStream[] = {
+    {105, 4}, {107, 8}, {103, 3}, {108, 6}, {104, 4}};
+
+TEST(ForwardDecayTest, PaperExample1Weights) {
+  ForwardDecay<MonomialG> decay(MonomialG(2.0), 100.0);
+  const double expected[] = {0.25, 0.49, 0.09, 0.64, 0.16};
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_NEAR(decay.Weight(kExampleStream[i].first, 110.0), expected[i],
+                1e-12);
+  }
+}
+
+TEST(ForwardDecayTest, WeightIsOneAtArrival) {
+  // Definition 1, condition 1: w(i, t) = 1 when t = t_i.
+  ForwardDecay<MonomialG> poly(MonomialG(3.0), 0.0);
+  ForwardDecay<ExponentialG> exp_decay(ExponentialG(0.5), 0.0);
+  ForwardDecay<LogarithmicG> log_decay(LogarithmicG{}, 0.0);
+  for (double ti : {0.5, 1.0, 7.25, 100.0}) {
+    EXPECT_DOUBLE_EQ(poly.Weight(ti, ti), 1.0);
+    EXPECT_DOUBLE_EQ(exp_decay.Weight(ti, ti), 1.0);
+    EXPECT_DOUBLE_EQ(log_decay.Weight(ti, ti), 1.0);
+  }
+}
+
+// Property sweep over all forward decay functions: weights lie in [0, 1]
+// and are monotone non-increasing in the query time (Definition 1).
+template <typename G>
+void CheckDecayFunctionProperties(G g) {
+  ForwardDecay<G> decay(std::move(g), 10.0);
+  const double ti = 14.0;
+  double prev = 1.0;
+  for (double t = ti; t <= 200.0; t += 0.7) {
+    const double w = decay.Weight(ti, t);
+    EXPECT_GE(w, 0.0);
+    EXPECT_LE(w, 1.0 + 1e-12);
+    EXPECT_LE(w, prev + 1e-12) << "weight increased at t=" << t;
+    prev = w;
+  }
+}
+
+TEST(ForwardDecayTest, AllFunctionsSatisfyDefinition1) {
+  CheckDecayFunctionProperties(NoDecayG{});
+  CheckDecayFunctionProperties(MonomialG(1.0));
+  CheckDecayFunctionProperties(MonomialG(2.0));
+  CheckDecayFunctionProperties(MonomialG(0.5));
+  CheckDecayFunctionProperties(PolynomialG({1.0, 2.0, 3.0}));
+  CheckDecayFunctionProperties(ExponentialG(0.1));
+  CheckDecayFunctionProperties(LandmarkWindowG{});
+  CheckDecayFunctionProperties(LogarithmicG{});
+}
+
+TEST(ForwardDecayTest, ExponentialForwardEqualsBackward) {
+  // Section III-A: forward g(n) = exp(alpha n) gives exactly
+  // w = exp(-alpha (t - t_i)) for ANY landmark choice.
+  const double alpha = 0.37;
+  ExponentialF backward(alpha);
+  for (double landmark : {0.0, 50.0, 99.0}) {
+    ForwardDecay<ExponentialG> forward(ExponentialG(alpha), landmark);
+    for (double ti : {100.0, 123.5, 200.0}) {
+      for (double t : {ti, ti + 1.0, ti + 10.0, ti + 50.0}) {
+        EXPECT_NEAR(forward.Weight(ti, t), backward.F(t - ti) / backward.F(0),
+                    1e-12);
+      }
+    }
+  }
+}
+
+TEST(ForwardDecayTest, PolynomialForwardDiffersFromBackward) {
+  // The coincidence is special to exponential decay: monomial forward
+  // decay is NOT backward polynomial decay.
+  ForwardDecay<MonomialG> forward(MonomialG(2.0), 0.0);
+  PolynomialF backward(2.0);
+  const double ti = 10.0;
+  const double t = 20.0;
+  EXPECT_GT(std::abs(forward.Weight(ti, t) - backward.F(t - ti)), 0.05);
+}
+
+TEST(ForwardDecayTest, RelativeDecayPropertyForMonomials) {
+  // Lemma 1: items at fraction gamma of [L, t] get weight gamma^beta,
+  // for every query time t.
+  for (double beta : {0.5, 1.0, 2.0, 3.0}) {
+    ForwardDecay<MonomialG> decay(MonomialG(beta), 100.0);
+    for (double gamma : {0.1, 0.25, 0.5, 0.75, 0.9}) {
+      for (double t : {110.0, 200.0, 1000.0}) {
+        const double ti = gamma * t + (1.0 - gamma) * 100.0;
+        EXPECT_NEAR(decay.Weight(ti, t), std::pow(gamma, beta), 1e-9)
+            << "beta=" << beta << " gamma=" << gamma << " t=" << t;
+      }
+    }
+  }
+}
+
+TEST(ForwardDecayTest, RelativeDecayFailsForExponential) {
+  // Exponential forward decay does NOT have the relative decay property:
+  // the half-way item's weight changes with t.
+  ForwardDecay<ExponentialG> decay(ExponentialG(0.1), 100.0);
+  const double w1 = decay.Weight(105.0, 110.0);   // halfway at t=110
+  const double w2 = decay.Weight(150.0, 200.0);   // halfway at t=200
+  EXPECT_GT(std::abs(w1 - w2), 0.01);
+}
+
+TEST(ForwardDecayTest, LandmarkWindowWeights) {
+  ForwardDecay<LandmarkWindowG> decay(LandmarkWindowG{}, 100.0);
+  EXPECT_DOUBLE_EQ(decay.Weight(101.0, 500.0), 1.0);
+  EXPECT_DOUBLE_EQ(decay.Weight(499.0, 500.0), 1.0);
+  // Items exactly at the landmark carry weight 0 (n = 0 is outside the
+  // open window n > 0).
+  EXPECT_DOUBLE_EQ(decay.StaticWeight(100.0), 0.0);
+}
+
+TEST(ForwardDecayTest, ScalingGHasNoEffectOnWeights) {
+  // "Scaling g by a constant has no effect" (after Definition 3):
+  // PolynomialG with coefficients {0,0,c} is c * n^2.
+  ForwardDecay<MonomialG> base(MonomialG(2.0), 100.0);
+  ForwardDecay<PolynomialG> scaled(PolynomialG({0.0, 0.0, 17.0}), 100.0);
+  for (const auto& [ts, value] : kExampleStream) {
+    EXPECT_NEAR(base.Weight(ts, 110.0), scaled.Weight(ts, 110.0), 1e-12);
+  }
+}
+
+TEST(ForwardDecayTest, LogStaticWeightMatchesLogOfStaticWeight) {
+  ForwardDecay<MonomialG> poly(MonomialG(2.5), 10.0);
+  ForwardDecay<ExponentialG> exp_decay(ExponentialG(0.3), 10.0);
+  for (double ti : {11.0, 15.0, 42.0}) {
+    EXPECT_NEAR(poly.LogStaticWeight(ti), std::log(poly.StaticWeight(ti)),
+                1e-12);
+    EXPECT_NEAR(exp_decay.LogStaticWeight(ti),
+                std::log(exp_decay.StaticWeight(ti)), 1e-9);
+  }
+}
+
+TEST(ForwardDecayTest, LogStaticWeightRobustWhereLinearOverflows) {
+  // For exponential g over a long horizon the static weight overflows a
+  // double, but the log-domain value is exact — the property the
+  // samplers rely on.
+  ForwardDecay<ExponentialG> decay(ExponentialG(1.0), 0.0);
+  EXPECT_TRUE(std::isinf(decay.StaticWeight(1000.0)));
+  EXPECT_DOUBLE_EQ(decay.LogStaticWeight(1000.0), 1000.0);
+}
+
+TEST(ForwardDecayTest, RescaleLandmarkPreservesWeights) {
+  // Section VI-A: for exponential g, moving the landmark and multiplying
+  // stored static weights by the shift factor leaves all results
+  // unchanged.
+  ForwardDecay<ExponentialG> decay(ExponentialG(0.25), 100.0);
+  const double ti = 140.0;
+  const double t = 150.0;
+  const double static_before = decay.StaticWeight(ti);
+  const double weight_before = decay.Weight(ti, t);
+  const double factor = decay.RescaleLandmark(130.0);
+  EXPECT_DOUBLE_EQ(decay.landmark(), 130.0);
+  EXPECT_NEAR(static_before * factor, decay.StaticWeight(ti), 1e-9);
+  EXPECT_NEAR(decay.Weight(ti, t), weight_before, 1e-12);
+}
+
+TEST(AnyForwardGTest, WrapsConcreteFunctions) {
+  AnyForwardG any(MonomialG(2.0));
+  MonomialG concrete(2.0);
+  for (double n : {0.5, 1.0, 9.0}) {
+    EXPECT_DOUBLE_EQ(any.G(n), concrete.G(n));
+    EXPECT_DOUBLE_EQ(any.LogG(n), concrete.LogG(n));
+  }
+  EXPECT_STREQ(any.name(), "monomial");
+  // And it composes with the decay engine like any other G.
+  ForwardDecay<AnyForwardG> decay(AnyForwardG(ExponentialG(0.1)), 0.0);
+  EXPECT_NEAR(decay.Weight(5.0, 10.0), std::exp(-0.5), 1e-12);
+}
+
+TEST(BackwardDecayTest, FunctionsSatisfyDefinition1) {
+  // f(0) normalized weight is 1; weights non-increasing with age.
+  auto check = [](auto f) {
+    EXPECT_DOUBLE_EQ(f.F(0.0) / f.F(0.0), 1.0);
+    double prev = f.F(0.0);
+    for (double age = 0.0; age <= 100.0; age += 0.5) {
+      const double cur = f.F(age);
+      EXPECT_LE(cur, prev + 1e-12);
+      EXPECT_GE(cur, 0.0);
+      prev = cur;
+    }
+  };
+  check(NoDecayF{});
+  check(SlidingWindowF(30.0));
+  check(ExponentialF(0.2));
+  check(PolynomialF(1.5));
+  check(SuperExponentialF(0.01));
+  check(SubPolynomialF{});
+}
+
+TEST(BackwardDecayTest, SlidingWindowCutsOffAtW) {
+  SlidingWindowF f(10.0);
+  EXPECT_DOUBLE_EQ(f.F(9.999), 1.0);
+  EXPECT_DOUBLE_EQ(f.F(10.0), 0.0);
+}
+
+TEST(PolynomialGTest, HornerMatchesDirectEvaluation) {
+  PolynomialG g({1.0, 2.0, 0.0, 4.0});  // 1 + 2n + 4n^3
+  for (double n : {0.0, 0.5, 1.0, 3.0}) {
+    EXPECT_NEAR(g.G(n), 1.0 + 2.0 * n + 4.0 * n * n * n, 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace fwdecay

@@ -1,0 +1,143 @@
+// Tests for the DecayingReservoir metrics application layer.
+
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/concurrent_reservoir.h"
+#include "core/decaying_reservoir.h"
+#include "util/random.h"
+
+namespace fwdecay {
+namespace {
+
+TEST(DecayingReservoirTest, EmptySnapshot) {
+  DecayingReservoir reservoir(128, 0.015, 0.0);
+  const auto snap = reservoir.Snapshot();
+  EXPECT_EQ(snap.size, 0u);
+  EXPECT_DOUBLE_EQ(snap.mean, 0.0);
+}
+
+TEST(DecayingReservoirTest, KeepsEverythingUnderCapacity) {
+  DecayingReservoir reservoir(100, 0.015, 0.0);
+  for (int i = 0; i < 50; ++i) {
+    reservoir.Update(static_cast<double>(i), 10.0);
+  }
+  const auto snap = reservoir.Snapshot();
+  EXPECT_EQ(snap.size, 50u);
+  EXPECT_DOUBLE_EQ(snap.mean, 10.0);
+  EXPECT_DOUBLE_EQ(snap.median, 10.0);
+  EXPECT_DOUBLE_EQ(snap.stddev, 0.0);
+}
+
+TEST(DecayingReservoirTest, SnapshotOrderStatisticsConsistent) {
+  DecayingReservoir reservoir(256, 0.01, 0.0);
+  Rng rng(1);
+  for (int i = 0; i < 5000; ++i) {
+    reservoir.Update(0.01 * i, rng.NextDouble() * 100.0);
+  }
+  const auto snap = reservoir.Snapshot();
+  EXPECT_EQ(snap.size, 256u);
+  EXPECT_LE(snap.min, snap.median);
+  EXPECT_LE(snap.median, snap.p75);
+  EXPECT_LE(snap.p75, snap.p95);
+  EXPECT_LE(snap.p95, snap.p99);
+  EXPECT_LE(snap.p99, snap.max);
+  EXPECT_GE(snap.mean, snap.min);
+  EXPECT_LE(snap.mean, snap.max);
+}
+
+TEST(DecayingReservoirTest, TracksRegimeShift) {
+  // Old regime value 10, new regime value 100: with a strong decay the
+  // snapshot after the shift must be dominated by the new regime.
+  DecayingReservoir reservoir(200, 0.1, 0.0, /*seed=*/3);
+  for (int i = 0; i < 20000; ++i) {
+    reservoir.Update(0.01 * i, 10.0);  // t in [0, 200)
+  }
+  for (int i = 0; i < 20000; ++i) {
+    reservoir.Update(200.0 + 0.01 * i, 100.0);  // t in [200, 400)
+  }
+  const auto snap = reservoir.Snapshot();
+  EXPECT_DOUBLE_EQ(snap.median, 100.0);
+  EXPECT_GT(snap.mean, 90.0);
+}
+
+TEST(DecayingReservoirTest, UniformWhenTimestampsEqual) {
+  // All measurements at the same instant have equal weight: the sample
+  // is a plain uniform one and the mean estimates the population mean.
+  DecayingReservoir reservoir(512, 0.015, 0.0, /*seed=*/4);
+  Rng rng(5);
+  RunningStats truth;
+  for (int i = 0; i < 20000; ++i) {
+    const double v = rng.NextDouble() * 50.0;
+    truth.Add(v);
+    reservoir.Update(1.0, v);
+  }
+  const auto snap = reservoir.Snapshot();
+  EXPECT_NEAR(snap.mean, truth.mean(), 3.0);
+  EXPECT_NEAR(snap.median, 25.0, 5.0);
+}
+
+TEST(DecayingReservoirTest, NoOverflowOverVeryLongHorizons) {
+  // alpha * (t - L) reaches 1e7 — the classic linear-domain weights would
+  // overflow at ~710; the log-domain implementation just works.
+  DecayingReservoir reservoir(64, 1.0, 0.0, /*seed=*/6);
+  for (int day = 0; day < 100; ++day) {
+    const double t = 1e5 * day;
+    for (int i = 0; i < 100; ++i) {
+      reservoir.Update(t + i, static_cast<double>(day));
+    }
+  }
+  const auto snap = reservoir.Snapshot();
+  EXPECT_EQ(snap.size, 64u);
+  // Only the newest day survives in the sample.
+  EXPECT_DOUBLE_EQ(snap.min, 99.0);
+  EXPECT_TRUE(std::isfinite(snap.mean));
+}
+
+TEST(ConcurrentDecayingReservoirTest, ParallelUpdatesAndSnapshots) {
+  ConcurrentDecayingReservoir reservoir(256, 0.01, 0.0);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int w = 0; w < kThreads; ++w) {
+    workers.emplace_back([&reservoir, w] {
+      Rng rng(1000 + static_cast<std::uint64_t>(w));
+      for (int i = 0; i < kPerThread; ++i) {
+        reservoir.Update(0.001 * i, 10.0 + rng.NextDouble() * 5.0);
+        if (i % 1000 == 0) {
+          const auto snap = reservoir.Snapshot();  // concurrent reads
+          if (snap.size > 0) {
+            EXPECT_GE(snap.min, 10.0);
+            EXPECT_LE(snap.max, 15.0);
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : workers) t.join();
+  const auto snap = reservoir.Snapshot();
+  EXPECT_EQ(snap.size, 256u);
+  EXPECT_GE(snap.median, 10.0);
+  EXPECT_LE(snap.median, 15.0);
+}
+
+TEST(DecayingReservoirTest, OutOfOrderMeasurementsAccepted) {
+  DecayingReservoir a(128, 0.05, 0.0, /*seed=*/7);
+  DecayingReservoir b(128, 0.05, 0.0, /*seed=*/7);
+  const double stamps[] = {5.0, 1.0, 9.0, 3.0, 7.0};
+  for (double ts : stamps) a.Update(ts, ts);
+  for (double ts : {1.0, 3.0, 5.0, 7.0, 9.0}) b.Update(ts, ts);
+  // Same multiset retained while under capacity, regardless of order.
+  auto sa = a.Snapshot().values;
+  auto sb = b.Snapshot().values;
+  std::sort(sa.begin(), sa.end());
+  std::sort(sb.begin(), sb.end());
+  EXPECT_EQ(sa, sb);
+}
+
+}  // namespace
+}  // namespace fwdecay

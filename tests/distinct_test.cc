@@ -1,0 +1,231 @@
+// Tests for KMV distinct counting, the dominance-norm level-set
+// estimator, and decayed count-distinct (Definition 9, Theorem 4).
+
+#include <cmath>
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "core/count_distinct.h"
+#include "sketch/dominance_norm.h"
+#include "sketch/kmv.h"
+#include "util/random.h"
+#include "util/zipf.h"
+
+namespace fwdecay {
+namespace {
+
+TEST(KmvTest, ExactBelowK) {
+  KmvSketch kmv(64);
+  for (std::uint64_t k = 0; k < 50; ++k) kmv.Insert(k);
+  EXPECT_DOUBLE_EQ(kmv.Estimate(), 50.0);
+  // Duplicates don't change anything.
+  for (std::uint64_t k = 0; k < 50; ++k) kmv.Insert(k);
+  EXPECT_DOUBLE_EQ(kmv.Estimate(), 50.0);
+}
+
+TEST(KmvTest, EstimateWithinRelativeError) {
+  const std::size_t k = 1024;
+  KmvSketch kmv(k);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) kmv.Insert(static_cast<std::uint64_t>(i));
+  // Relative stderr ~ 1/sqrt(k-2) ~ 3.1%; allow 5 sigma.
+  EXPECT_NEAR(kmv.Estimate(), n, 5.0 * n / std::sqrt(k - 2.0));
+}
+
+TEST(KmvTest, MultiplicityInsensitive) {
+  Rng rng(1);
+  ZipfGenerator zipf(5000, 1.5);
+  KmvSketch kmv(512);
+  std::unordered_set<std::uint64_t> truth;
+  for (int i = 0; i < 200000; ++i) {
+    const std::uint64_t key = zipf.Next(rng);
+    kmv.Insert(key);
+    truth.insert(key);
+  }
+  const double d = static_cast<double>(truth.size());
+  EXPECT_NEAR(kmv.Estimate(), d, 5.0 * d / std::sqrt(510.0));
+}
+
+TEST(KmvTest, MergeEqualsUnion) {
+  KmvSketch a(256, /*hash_seed=*/9);
+  KmvSketch b(256, /*hash_seed=*/9);
+  KmvSketch u(256, /*hash_seed=*/9);
+  for (std::uint64_t k = 0; k < 30000; ++k) {
+    if (k % 3 != 0) a.Insert(k);
+    if (k % 3 != 1) b.Insert(k);  // overlap on k%3==2
+    u.Insert(k);
+  }
+  a.Merge(b);
+  EXPECT_DOUBLE_EQ(a.Estimate(), u.Estimate());
+}
+
+TEST(ExactDominanceNormTest, SumsMaxWeights) {
+  ExactDominanceNorm norm;
+  norm.Update(1, 2.0);
+  norm.Update(1, 5.0);
+  norm.Update(1, 3.0);  // max for key 1 is 5
+  norm.Update(2, 1.0);
+  EXPECT_DOUBLE_EQ(norm.Estimate(), 6.0);
+  EXPECT_EQ(norm.DistinctKeys(), 2u);
+}
+
+TEST(DominanceNormSketchTest, SingleKeySingleWeight) {
+  DominanceNormSketch sketch(64, 1.05);
+  sketch.Update(7, 100.0);
+  // Estimate approximates 100 from below within the level base.
+  EXPECT_LE(sketch.Estimate(), 100.0 + 1e-9);
+  EXPECT_GE(sketch.Estimate(), 100.0 / 1.05 - 1e-9);
+}
+
+TEST(DominanceNormSketchTest, TracksExactNormOnRandomStreams) {
+  Rng rng(2);
+  const double base = 1.05;
+  DominanceNormSketch sketch(2048, base);
+  ExactDominanceNorm exact;
+  ZipfGenerator zipf(3000, 1.0);
+  for (int i = 0; i < 100000; ++i) {
+    const std::uint64_t key = zipf.Next(rng);
+    // Weights spanning several orders of magnitude.
+    const double w = std::exp(rng.NextDouble() * 10.0 - 3.0);
+    sketch.Update(key, w);
+    exact.Update(key, w);
+  }
+  const double truth = exact.Estimate();
+  const double est = sketch.Estimate();
+  // Discretization under-estimates by <= factor base; KMV noise ~2-3%.
+  EXPECT_LE(est, truth * 1.15);
+  EXPECT_GE(est, truth / base * 0.85);
+}
+
+TEST(DominanceNormSketchTest, MergeApproximatesUnion) {
+  Rng rng(3);
+  DominanceNormSketch a(1024, 1.1, /*hash_seed=*/5);
+  DominanceNormSketch b(1024, 1.1, /*hash_seed=*/5);
+  ExactDominanceNorm exact;
+  for (int i = 0; i < 40000; ++i) {
+    const std::uint64_t key = rng.NextBounded(5000);
+    const double w = 1.0 + rng.NextDouble() * 99.0;
+    (i % 2 == 0 ? a : b).Update(key, w);
+    exact.Update(key, w);
+  }
+  a.Merge(b);
+  const double truth = exact.Estimate();
+  EXPECT_NEAR(a.Estimate(), truth, 0.2 * truth);
+}
+
+TEST(DominanceNormSketchTest, MemoryBoundedByLevelsTimesK) {
+  Rng rng(4);
+  DominanceNormSketch sketch(256, 1.1);
+  for (int i = 0; i < 50000; ++i) {
+    sketch.Update(rng.NextBounded(100000), 1.0 + rng.NextDouble() * 1e6);
+  }
+  // Each level holds at most k hashes of 8 bytes (+overhead).
+  EXPECT_LE(sketch.MemoryBytes(),
+            sketch.LevelCount() * (256 * 8 + 64));
+}
+
+TEST(HllDominanceNormSketchTest, TracksExactNorm) {
+  Rng rng(30);
+  const double base = 1.1;
+  HllDominanceNormSketch sketch(/*precision=*/12, base);
+  ExactDominanceNorm exact;
+  ZipfGenerator zipf(3000, 1.0);
+  for (int i = 0; i < 100000; ++i) {
+    const std::uint64_t key = zipf.Next(rng);
+    const double w = std::exp(rng.NextDouble() * 10.0 - 3.0);
+    sketch.Update(key, w);
+    exact.Update(key, w);
+  }
+  const double truth = exact.Estimate();
+  const double est = sketch.Estimate();
+  // Discretization underestimates by <= base; HLL error ~2%.
+  EXPECT_LE(est, truth * 1.15);
+  EXPECT_GE(est, truth / base * 0.8);
+}
+
+TEST(HllDominanceNormSketchTest, MergeApproximatesUnion) {
+  Rng rng(31);
+  HllDominanceNormSketch a(11, 1.1, /*hash_seed=*/4);
+  HllDominanceNormSketch b(11, 1.1, /*hash_seed=*/4);
+  ExactDominanceNorm exact;
+  for (int i = 0; i < 40000; ++i) {
+    const std::uint64_t key = rng.NextBounded(5000);
+    const double w = 1.0 + rng.NextDouble() * 99.0;
+    (i % 2 == 0 ? a : b).Update(key, w);
+    exact.Update(key, w);
+  }
+  a.Merge(b);
+  const double truth = exact.Estimate();
+  EXPECT_NEAR(a.Estimate(), truth, 0.2 * truth);
+}
+
+TEST(HllDominanceNormSketchTest, ConstantMemoryPerLevel) {
+  Rng rng(32);
+  HllDominanceNormSketch sketch(10, 1.1);
+  for (int i = 0; i < 100000; ++i) {
+    sketch.Update(rng.NextBounded(1u << 30), 1.0 + rng.NextDouble() * 1e6);
+  }
+  // Exactly 2^10 bytes per level, regardless of distinct keys.
+  EXPECT_EQ(sketch.MemoryBytes(), sketch.LevelCount() * 1024);
+}
+
+// --- DecayedDistinct (Theorem 4) --------------------------------------------
+
+TEST(DecayedDistinctTest, MatchesExactUnderPolyDecay) {
+  Rng rng(5);
+  ForwardDecay<MonomialG> decay(MonomialG(2.0), 0.0);
+  DecayedDistinct<MonomialG> approx(decay, 2048, 1.05);
+  ExactDecayedDistinct<MonomialG> exact(decay);
+  ZipfGenerator zipf(2000, 1.1);
+  for (int i = 0; i < 50000; ++i) {
+    const double ts = 1.0 + rng.NextDouble() * 99.0;
+    const std::uint64_t key = zipf.Next(rng);
+    approx.Add(ts, key);
+    exact.Add(ts, key);
+  }
+  const double truth = exact.Value(100.0);
+  const double est = approx.Estimate(100.0);
+  EXPECT_LE(est, truth * 1.15);
+  EXPECT_GE(est, truth * 0.80);
+}
+
+TEST(DecayedDistinctTest, RepeatedKeyCountsOnce) {
+  ForwardDecay<MonomialG> decay(MonomialG(2.0), 100.0);
+  ExactDecayedDistinct<MonomialG> exact(decay);
+  // Same key at several times: decayed distinct = max weight = most
+  // recent arrival's weight.
+  exact.Add(105.0, 42);
+  exact.Add(108.0, 42);
+  exact.Add(103.0, 42);
+  EXPECT_NEAR(exact.Value(110.0), 0.64, 1e-12);
+  EXPECT_EQ(exact.DistinctKeys(), 1u);
+}
+
+TEST(DecayedDistinctTest, UndecayedReducesToPlainDistinctCount) {
+  // g = 1: every key's max weight is 1, so D = #distinct.
+  ForwardDecay<NoDecayG> decay(NoDecayG{}, 0.0);
+  ExactDecayedDistinct<NoDecayG> exact(decay);
+  Rng rng(6);
+  std::unordered_set<std::uint64_t> truth;
+  for (int i = 0; i < 10000; ++i) {
+    const std::uint64_t key = rng.NextBounded(700);
+    exact.Add(rng.NextDouble() * 10.0, key);
+    truth.insert(key);
+  }
+  EXPECT_DOUBLE_EQ(exact.Value(10.0), static_cast<double>(truth.size()));
+}
+
+TEST(DecayedDistinctTest, OutOfOrderInsensitive) {
+  ForwardDecay<MonomialG> decay(MonomialG(2.0), 0.0);
+  ExactDecayedDistinct<MonomialG> fwd(decay);
+  ExactDecayedDistinct<MonomialG> rev(decay);
+  const std::pair<double, std::uint64_t> items[] = {
+      {1.0, 1}, {5.0, 2}, {3.0, 1}, {9.0, 3}, {7.0, 2}};
+  for (const auto& [ts, key] : items) fwd.Add(ts, key);
+  for (int i = 4; i >= 0; --i) rev.Add(items[i].first, items[i].second);
+  EXPECT_DOUBLE_EQ(fwd.Value(10.0), rev.Value(10.0));
+}
+
+}  // namespace
+}  // namespace fwdecay

@@ -1,0 +1,210 @@
+// Tests for the exponential histograms and the Cohen–Strauss
+// backward-decay reduction (the paper's Figure 2 baseline).
+
+#include <cmath>
+#include <deque>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/decay.h"
+#include "core/exact_reference.h"
+#include "sketch/backward_sum.h"
+#include "sketch/exp_histogram.h"
+#include "util/random.h"
+
+namespace fwdecay {
+namespace {
+
+TEST(EhCountTest, ExactForShortStreams) {
+  EhCount eh(0.1);
+  for (int i = 1; i <= 8; ++i) eh.Insert(static_cast<double>(i));
+  EXPECT_EQ(eh.TotalCount(), 8u);
+  // All items within the window and few buckets: estimate close to 8.
+  EXPECT_NEAR(eh.CountInWindow(8.0, 100.0), 8.0, 2.0);
+}
+
+TEST(EhCountTest, WindowCountWithinRelativeError) {
+  const double eps = 0.1;
+  EhCount eh(eps);
+  std::deque<double> stamps;
+  Rng rng(1);
+  double t = 0.0;
+  for (int i = 0; i < 100000; ++i) {
+    t += rng.NextExponential(1000.0);  // ~1000 arrivals/sec
+    eh.Insert(t);
+    stamps.push_back(t);
+  }
+  for (double window : {0.01, 0.1, 1.0, 10.0, 100.0}) {
+    const double est = eh.CountInWindow(t, window);
+    double truth = 0.0;
+    for (double s : stamps) truth += (s >= t - window);
+    if (truth < 10) continue;  // tiny windows: absolute slack dominates
+    EXPECT_NEAR(est, truth, eps * truth + 2.0) << "window=" << window;
+  }
+}
+
+TEST(EhCountTest, SpaceIsLogarithmicInStreamLength) {
+  const double eps = 0.1;
+  EhCount eh(eps);
+  for (int i = 1; i <= 100000; ++i) eh.Insert(static_cast<double>(i));
+  // O((1/eps) log(eps N)) buckets; generous constant.
+  const double bound = (1.0 / eps) * std::log2(eps * 100000.0) * 2.0 + 16.0;
+  EXPECT_LE(eh.BucketCount(), static_cast<std::size_t>(bound));
+}
+
+TEST(EhCountTest, HorizonDropsOldBuckets) {
+  EhCount bounded(0.1, /*horizon=*/10.0);
+  EhCount unbounded(0.1);
+  for (int i = 1; i <= 50000; ++i) {
+    bounded.Insert(static_cast<double>(i));
+    unbounded.Insert(static_cast<double>(i));
+  }
+  EXPECT_LT(bounded.BucketCount(), unbounded.BucketCount());
+}
+
+TEST(EhSumTest, WindowSumWithinRelativeError) {
+  const double eps = 0.1;
+  EhSum eh(eps, /*value_bits=*/12);
+  std::vector<std::pair<double, std::uint64_t>> items;
+  Rng rng(2);
+  double t = 0.0;
+  for (int i = 0; i < 30000; ++i) {
+    t += rng.NextExponential(500.0);
+    const std::uint64_t v = 40 + rng.NextBounded(1460);
+    eh.Insert(t, v);
+    items.emplace_back(t, v);
+  }
+  for (double window : {0.5, 5.0, 50.0}) {
+    double truth = 0.0;
+    for (const auto& [ts, v] : items) {
+      if (ts >= t - window) truth += static_cast<double>(v);
+    }
+    const double est = eh.SumInWindow(t, window);
+    EXPECT_NEAR(est, truth, eps * truth + 1500.0) << "window=" << window;
+  }
+}
+
+TEST(EhSumTest, TotalSumExact) {
+  EhSum eh(0.1, 8);
+  double total = 0.0;
+  Rng rng(3);
+  for (int i = 1; i <= 1000; ++i) {
+    const std::uint64_t v = rng.NextBounded(256);
+    eh.Insert(static_cast<double>(i), v);
+    total += static_cast<double>(v);
+  }
+  EXPECT_DOUBLE_EQ(eh.TotalSum(), total);
+}
+
+TEST(EhSumTest, ZeroValuesAreFree) {
+  EhSum eh(0.1, 8);
+  eh.Insert(1.0, 0);
+  eh.Insert(2.0, 0);
+  EXPECT_DOUBLE_EQ(eh.SumInWindow(2.0, 10.0), 0.0);
+  EXPECT_EQ(eh.BucketCount(), 0u);
+}
+
+TEST(EhCountTest, RequiresNondecreasingTimestamps) {
+  EhCount eh(0.1);
+  eh.Insert(5.0);
+  EXPECT_DEATH(eh.Insert(4.0), "non-decreasing");
+}
+
+// --- Cohen–Strauss reduction -------------------------------------------------
+
+TEST(BackwardDecayedAggregatorTest, PolynomialDecaySumMatchesExact) {
+  Rng rng(4);
+  BackwardDecayedAggregator agg(/*eps=*/0.05, /*value_bits=*/11,
+                                /*grid_size=*/64);
+  ExactDecayedReference ref;
+  double t = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    t += rng.NextExponential(200.0);
+    const std::uint64_t v = 1 + rng.NextBounded(2000);
+    agg.Insert(t, v);
+    ref.Add(t, 0, static_cast<double>(v));
+  }
+  PolynomialF f(2.0);
+  const auto w = BackwardWeightFn(f);
+  const double exact = ref.Sum(t, w);
+  const double est = agg.DecayedSum(t, [&](double age) { return f.F(age); });
+  // EH error + grid discretization: expect within ~15%.
+  EXPECT_NEAR(est, exact, 0.15 * exact);
+}
+
+TEST(BackwardDecayedAggregatorTest, ExponentialDecayCountMatchesExact) {
+  Rng rng(5);
+  BackwardDecayedAggregator agg(0.05, 11, 64);
+  ExactDecayedReference ref;
+  double t = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    t += rng.NextExponential(200.0);
+    agg.Insert(t, 1);
+    ref.Add(t, 0, 1.0);
+  }
+  ExponentialF f(0.1);
+  const auto w = BackwardWeightFn(f);
+  const double exact = ref.Count(t, w);
+  const double est = agg.DecayedCount(t, [&](double age) { return f.F(age); });
+  EXPECT_NEAR(est, exact, 0.15 * exact);
+}
+
+TEST(BackwardDecayedAggregatorTest, SlidingWindowAsDecayFunction) {
+  // The sliding window is itself a backward decay function; the grid
+  // combination reduces to (roughly) a single window query.
+  Rng rng(6);
+  BackwardDecayedAggregator agg(0.05, 11, 96);
+  ExactDecayedReference ref;
+  double t = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    t += rng.NextExponential(200.0);
+    agg.Insert(t, 1);
+    ref.Add(t, 0, 1.0);
+  }
+  SlidingWindowF f(20.0);
+  const auto w = BackwardWeightFn(f);
+  const double exact = ref.Count(t, w);
+  const double est = agg.DecayedCount(t, [&](double age) { return f.F(age); });
+  EXPECT_NEAR(est, exact, 0.2 * exact);
+}
+
+TEST(BackwardDecayedAggregatorTest, NoDecayRecoversPlainSum) {
+  BackwardDecayedAggregator agg(0.05, 8, 48);
+  double total = 0.0;
+  Rng rng(7);
+  double t = 0.0;
+  for (int i = 0; i < 5000; ++i) {
+    t += 0.01;
+    const std::uint64_t v = rng.NextBounded(200);
+    agg.Insert(t, v);
+    total += static_cast<double>(v);
+  }
+  const double est = agg.DecayedSum(t, [](double) { return 1.0; });
+  EXPECT_NEAR(est, total, 0.12 * total);
+}
+
+TEST(BackwardDecayedAggregatorTest, MemoryIsKilobytesPerGroup) {
+  // Figure 2(d): EH state is orders of magnitude above the 8 bytes a
+  // forward-decayed sum needs.
+  Rng rng(8);
+  BackwardDecayedAggregator agg(0.01, 11);
+  double t = 0.0;
+  for (int i = 0; i < 50000; ++i) {
+    t += rng.NextExponential(1000.0);
+    agg.Insert(t, 1 + rng.NextBounded(1500));
+  }
+  EXPECT_GT(agg.MemoryBytes(), 1024u);  // kilobytes...
+  EXPECT_GT(agg.MemoryBytes(), 8u * 100);  // ...vs 8 B forward state
+}
+
+TEST(CombineWindowQueriesTest, ConstantWindowFunction) {
+  // If W(a) = c for all a (everything younger than the smallest knot),
+  // the combination returns f(~0) * c.
+  const double est = CombineWindowQueries(
+      100.0, [](double) { return 0.5; }, 32, [](double) { return 10.0; });
+  EXPECT_NEAR(est, 5.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace fwdecay

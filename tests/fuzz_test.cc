@@ -1,0 +1,198 @@
+// Randomized robustness and differential tests:
+//  - the GSQL lexer/parser never crashes on mutated query strings and
+//    either parses or reports a diagnostic;
+//  - parse -> ToString -> parse is a fixpoint (canonical text is stable);
+//  - the engine's one-level and two-level modes agree on randomized
+//    queries over randomized traces;
+//  - q-digest and t-digest agree (within their accuracies) as weighted
+//    quantile backends on identical weighted streams.
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dsms/engine.h"
+#include "dsms/netgen.h"
+#include "dsms/parser.h"
+#include "sketch/qdigest.h"
+#include "sketch/tdigest.h"
+#include "util/random.h"
+
+namespace fwdecay {
+namespace {
+
+using dsms::CompiledQuery;
+using dsms::PacketGenerator;
+using dsms::ParseQuery;
+using dsms::TraceConfig;
+
+const char* const kSeedQueries[] = {
+    "select tb, destIP, destPort, count(*) from TCP "
+    "group by time/60 as tb, destIP, destPort",
+    "select tb, sum(len*(time % 60)*(time % 60))/3600.0 from TCP "
+    "group by time/60 as tb",
+    "select destPort, min(len), max(len), avg(len) from UDP "
+    "where len > 100 group by destPort having count(*) >= 2 "
+    "order by 2 desc limit 5",
+    "select tb, destPort, sum(len) as bytes from PKT "
+    "where protocol = 6 and (destPort = 80 or destPort = 443) "
+    "group by time/10 as tb, destPort order by bytes desc",
+};
+
+TEST(ParserFuzzTest, MutatedQueriesNeverCrash) {
+  Rng rng(1);
+  const std::string charset =
+      "abcdefghijklmnopqrstuvwxyz0123456789()*,/%+-<>=. '";
+  int parsed_ok = 0;
+  for (int trial = 0; trial < 3000; ++trial) {
+    std::string q = kSeedQueries[trial % 4];
+    // Apply 1-8 random mutations: replace, insert, or delete a byte.
+    const int mutations = 1 + static_cast<int>(rng.NextBounded(8));
+    for (int m = 0; m < mutations && !q.empty(); ++m) {
+      const std::size_t pos = rng.NextBounded(q.size());
+      switch (rng.NextBounded(3)) {
+        case 0:
+          q[pos] = charset[rng.NextBounded(charset.size())];
+          break;
+        case 1:
+          q.insert(q.begin() + static_cast<std::ptrdiff_t>(pos),
+                   charset[rng.NextBounded(charset.size())]);
+          break;
+        default:
+          q.erase(q.begin() + static_cast<std::ptrdiff_t>(pos));
+          break;
+      }
+    }
+    const auto result = ParseQuery(q);
+    if (result.ok()) {
+      ++parsed_ok;
+    } else {
+      EXPECT_FALSE(result.error.empty()) << q;
+    }
+  }
+  // Sanity: some mutations must survive parsing, some must not.
+  EXPECT_GT(parsed_ok, 50);
+  EXPECT_LT(parsed_ok, 2950);
+}
+
+TEST(ParserFuzzTest, RandomGarbageNeverCrashes) {
+  Rng rng(2);
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::string q;
+    const std::size_t len = rng.NextBounded(120);
+    for (std::size_t i = 0; i < len; ++i) {
+      q.push_back(static_cast<char>(32 + rng.NextBounded(95)));
+    }
+    (void)ParseQuery(q);  // must not crash or hang
+  }
+}
+
+TEST(ParserFuzzTest, ToStringRoundTripIsFixpoint) {
+  for (const char* seed : kSeedQueries) {
+    const auto first = ParseQuery(seed);
+    ASSERT_TRUE(first.ok()) << seed;
+    // Rebuild query text from the parsed structure's expressions.
+    auto render = [](const dsms::Query& q) {
+      std::string out = "select ";
+      for (std::size_t i = 0; i < q.select.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += q.select[i].expr->ToString();
+      }
+      out += " from " + q.from;
+      if (q.where != nullptr) out += " where " + q.where->ToString();
+      if (!q.group_by.empty()) {
+        out += " group by ";
+        for (std::size_t i = 0; i < q.group_by.size(); ++i) {
+          if (i > 0) out += ", ";
+          out += q.group_by[i].expr->ToString();
+        }
+      }
+      return out;
+    };
+    const std::string text1 = render(*first.query);
+    const auto second = ParseQuery(text1);
+    ASSERT_TRUE(second.ok()) << text1;
+    EXPECT_EQ(render(*second.query), text1);
+  }
+}
+
+TEST(EngineDifferentialTest, OneLevelAndTwoLevelAgreeOnRandomQueries) {
+  Rng rng(3);
+  const char* const group_exprs[] = {"destPort", "time/10 as tb",
+                                     "destIP", "len/200"};
+  const char* const agg_exprs[] = {
+      "count(*)", "sum(len)", "min(len)", "max(len)", "avg(len)",
+      "sum(len*(time % 10))"};
+  for (int trial = 0; trial < 12; ++trial) {
+    const std::string gsql =
+        std::string("select ") + group_exprs[trial % 4] + ", " +
+        agg_exprs[trial % 6] + ", " + agg_exprs[(trial + 2) % 6] +
+        " from TCP group by " + group_exprs[trial % 4];
+    std::string error;
+    auto one = CompiledQuery::Compile(gsql, &error);
+    ASSERT_NE(one, nullptr) << gsql << ": " << error;
+    CompiledQuery::Options opts;
+    opts.two_level = true;
+    opts.low_level_slots = 64;  // tiny table to force heavy eviction
+    auto two = CompiledQuery::Compile(gsql, &error, opts);
+    ASSERT_NE(two, nullptr) << error;
+
+    TraceConfig cfg;
+    cfg.rate_pps = 5000.0;
+    cfg.num_servers = 200;
+    cfg.seed = 100 + static_cast<std::uint64_t>(trial);
+    PacketGenerator gen(cfg);
+    auto e1 = one->NewExecution();
+    auto e2 = two->NewExecution();
+    for (const auto& p : gen.Generate(20000)) {
+      e1->Consume(p);
+      e2->Consume(p);
+    }
+    const auto r1 = e1->Finish();
+    const auto r2 = e2->Finish();
+    ASSERT_EQ(r1.rows.size(), r2.rows.size()) << gsql;
+    EXPECT_GT(e2->low_level_evictions(), 0u);
+    for (std::size_t i = 0; i < r1.rows.size(); ++i) {
+      for (std::size_t c = 0; c < r1.rows[i].size(); ++c) {
+        if (r1.rows[i][c].is_double()) {
+          EXPECT_NEAR(r1.rows[i][c].AsDouble(), r2.rows[i][c].AsDouble(),
+                      1e-6 * (1.0 + std::abs(r1.rows[i][c].AsDouble())))
+              << gsql << " row " << i << " col " << c;
+        } else {
+          EXPECT_TRUE(r1.rows[i][c] == r2.rows[i][c])
+              << gsql << " row " << i << " col " << c;
+        }
+      }
+    }
+  }
+}
+
+TEST(QuantileBackendDifferentialTest, QDigestAndTDigestAgree) {
+  Rng rng(4);
+  for (int trial = 0; trial < 5; ++trial) {
+    QDigest qd(12, 0.01);
+    TDigest td(200.0);
+    // Mixed weighted stream: two value clusters with different weights.
+    for (int i = 0; i < 30000; ++i) {
+      const bool cluster = rng.NextBernoulli(0.3);
+      const std::uint64_t v = cluster ? 3000 + rng.NextBounded(200)
+                                      : 500 + rng.NextBounded(400);
+      const double w = 0.5 + rng.NextDouble() * (cluster ? 5.0 : 1.0);
+      qd.Update(v, w);
+      td.Add(static_cast<double>(v), w);
+    }
+    for (double phi : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+      const auto q1 = static_cast<double>(qd.Quantile(phi));
+      const double q2 = td.Quantile(phi);
+      // Both estimate the same weighted quantile; tolerance covers both
+      // sketches' errors plus interpolation across the cluster gap.
+      EXPECT_NEAR(q1, q2, 250.0)
+          << "trial " << trial << " phi=" << phi;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fwdecay

@@ -1,0 +1,252 @@
+// Tests for the GSQL extensions beyond the paper's minimal subset:
+// HAVING, ORDER BY, LIMIT, and generalized output expressions mixing
+// group columns with aggregates.
+
+#include <cmath>
+#include <optional>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "dsms/engine.h"
+#include "dsms/packet.h"
+
+namespace fwdecay::dsms {
+namespace {
+
+Packet At(double time, std::uint16_t port, std::uint32_t len) {
+  Packet p;
+  p.time = time;
+  p.dest_port = port;
+  p.len = len;
+  p.protocol = kProtoTcp;
+  return p;
+}
+
+// Compiles and runs the query over the shared fixture stream; nullopt
+// on compile failure. (The plan must outlive the execution, so the whole
+// run happens inside this helper.)
+std::optional<ResultSet> RunFixture(const std::string& gsql,
+                                    std::string* error) {
+  auto plan = CompiledQuery::Compile(gsql, error);
+  if (plan == nullptr) return std::nullopt;
+  auto exec = plan->NewExecution();
+  // Three ports: 80 (3 packets), 443 (2), 8080 (1).
+  exec->Consume(At(1.0, 80, 100));
+  exec->Consume(At(2.0, 80, 200));
+  exec->Consume(At(3.0, 80, 300));
+  exec->Consume(At(4.0, 443, 400));
+  exec->Consume(At(5.0, 443, 500));
+  exec->Consume(At(6.0, 8080, 600));
+  return exec->Finish();
+}
+
+TEST(GsqlExtensionsTest, HavingFiltersGroups) {
+  std::string error;
+  const auto result = RunFixture(
+      "select destPort, count(*) from TCP group by destPort "
+      "having count(*) >= 2",
+      &error);
+  ASSERT_TRUE(result.has_value()) << error;
+  const ResultSet& rs = *result;
+  ASSERT_EQ(rs.rows.size(), 2u);
+  EXPECT_EQ(rs.rows[0][0].AsInt(), 80);
+  EXPECT_EQ(rs.rows[1][0].AsInt(), 443);
+}
+
+TEST(GsqlExtensionsTest, HavingMayReferenceGroupColumnsAndLogic) {
+  std::string error;
+  const auto result = RunFixture(
+      "select destPort, sum(len) from TCP group by destPort "
+      "having destPort < 1000 and sum(len) > 500",
+      &error);
+  ASSERT_TRUE(result.has_value()) << error;
+  const ResultSet& rs = *result;
+  ASSERT_EQ(rs.rows.size(), 2u);  // 80 (600) and 443 (900); 8080 excluded
+  EXPECT_EQ(rs.rows[0][0].AsInt(), 80);
+  EXPECT_EQ(rs.rows[1][0].AsInt(), 443);
+}
+
+TEST(GsqlExtensionsTest, OrderByAggregateDescending) {
+  std::string error;
+  const auto result = RunFixture(
+      "select destPort, sum(len) as bytes from TCP group by destPort "
+      "order by bytes desc",
+      &error);
+  ASSERT_TRUE(result.has_value()) << error;
+  const ResultSet& rs = *result;
+  ASSERT_EQ(rs.rows.size(), 3u);
+  EXPECT_EQ(rs.rows[0][0].AsInt(), 443);   // 900 bytes
+  EXPECT_EQ(rs.rows[1][0].AsInt(), 80);    // 600
+  EXPECT_EQ(rs.rows[2][0].AsInt(), 8080);  // 600... tie with 80
+}
+
+TEST(GsqlExtensionsTest, OrderByPositionAndLimit) {
+  std::string error;
+  const auto result = RunFixture(
+      "select destPort, count(*) from TCP group by destPort "
+      "order by 2 desc limit 1",
+      &error);
+  ASSERT_TRUE(result.has_value()) << error;
+  const ResultSet& rs = *result;
+  ASSERT_EQ(rs.rows.size(), 1u);
+  EXPECT_EQ(rs.rows[0][0].AsInt(), 80);
+  EXPECT_EQ(rs.rows[0][1].AsInt(), 3);
+}
+
+TEST(GsqlExtensionsTest, OrderByTiesKeepGroupOrder) {
+  std::string error;
+  const auto result = RunFixture(
+      "select destPort, count(*) as n from TCP group by destPort "
+      "order by n asc",
+      &error);
+  ASSERT_TRUE(result.has_value()) << error;
+  const ResultSet& rs = *result;
+  ASSERT_EQ(rs.rows.size(), 3u);
+  EXPECT_EQ(rs.rows[0][0].AsInt(), 8080);  // n=1
+  EXPECT_EQ(rs.rows[1][0].AsInt(), 443);   // n=2
+  EXPECT_EQ(rs.rows[2][0].AsInt(), 80);    // n=3
+}
+
+TEST(GsqlExtensionsTest, MixedGroupAndAggregateOutputExpression) {
+  // Output expressions may combine group columns with aggregates — e.g.
+  // normalize a sum by the (grouped) port number.
+  std::string error;
+  const auto result = RunFixture(
+      "select destPort, sum(len) / destPort from TCP group by destPort",
+      &error);
+  ASSERT_TRUE(result.has_value()) << error;
+  const ResultSet& rs = *result;
+  ASSERT_EQ(rs.rows.size(), 3u);
+  EXPECT_EQ(rs.rows[0][1].AsInt(), 600 / 80);
+  EXPECT_EQ(rs.rows[1][1].AsInt(), 900 / 443);
+}
+
+TEST(GsqlExtensionsTest, ScalarFunctionOfAggregate) {
+  std::string error;
+  const auto result = RunFixture("select destPort, sqrt(sum(len)) from TCP group by destPort",
+                  &error);
+  ASSERT_TRUE(result.has_value()) << error;
+  const ResultSet& rs = *result;
+  EXPECT_NEAR(rs.rows[1][1].AsDouble(), 30.0, 1e-9);  // sqrt(900)
+}
+
+TEST(GsqlExtensionsTest, GroupAliasUsableInsideExpressions) {
+  std::string error;
+  const auto result = RunFixture(
+      "select tb * 60, count(*) from TCP group by time/3 as tb", &error);
+  ASSERT_TRUE(result.has_value()) << error;
+  const ResultSet& rs = *result;
+  ASSERT_EQ(rs.rows.size(), 3u);  // buckets 0 (t=1,2), 1 (3,4,5), 2 (6)
+  EXPECT_EQ(rs.rows[0][0].AsInt(), 0);
+  EXPECT_EQ(rs.rows[1][0].AsInt(), 60);
+  EXPECT_EQ(rs.rows[2][0].AsInt(), 120);
+}
+
+TEST(GsqlExtensionsTest, BadOrderByDiagnosed) {
+  std::string error;
+  EXPECT_EQ(CompiledQuery::Compile(
+                "select destPort, count(*) from TCP group by destPort "
+                "order by nosuchcol",
+                &error),
+            nullptr);
+  EXPECT_NE(error.find("ORDER BY"), std::string::npos);
+  EXPECT_EQ(CompiledQuery::Compile(
+                "select destPort, count(*) from TCP group by destPort "
+                "order by 7",
+                &error),
+            nullptr);
+  EXPECT_NE(error.find("out of range"), std::string::npos);
+}
+
+TEST(GsqlExtensionsTest, BadLimitDiagnosed) {
+  std::string error;
+  EXPECT_EQ(CompiledQuery::Compile(
+                "select destPort, count(*) from TCP group by destPort "
+                "limit -3",
+                &error),
+            nullptr);
+}
+
+TEST(GsqlExtensionsTest, LimitZeroYieldsNoRows) {
+  std::string error;
+  const auto result = RunFixture(
+      "select destPort, count(*) from TCP group by destPort limit 0",
+      &error);
+  ASSERT_TRUE(result.has_value()) << error;
+  EXPECT_TRUE(result->rows.empty());
+}
+
+TEST(GsqlExtensionsTest, CountDistinct) {
+  // Section IV-D at the query level: count(distinct x) is the exact
+  // undecayed special case (the decayed variant is FDDISTINCT).
+  std::string error;
+  const auto result = RunFixture(
+      "select destPort, count(*), count(distinct len) from TCP "
+      "group by destPort",
+      &error);
+  ASSERT_TRUE(result.has_value()) << error;
+  ASSERT_EQ(result->rows.size(), 3u);
+  // Port 80: 3 packets with 3 distinct lengths; port 443: 2/2; 8080: 1/1.
+  EXPECT_EQ(result->rows[0][2].AsInt(), 3);
+  EXPECT_EQ(result->rows[1][2].AsInt(), 2);
+  EXPECT_EQ(result->rows[2][2].AsInt(), 1);
+}
+
+TEST(GsqlExtensionsTest, CountDistinctDeduplicates) {
+  std::string error;
+  auto plan = CompiledQuery::Compile(
+      "select protocol, count(distinct destPort) from PKT "
+      "group by protocol",
+      &error);
+  ASSERT_NE(plan, nullptr) << error;
+  auto exec = plan->NewExecution();
+  for (int i = 0; i < 100; ++i) {
+    exec->Consume(At(1.0 + i, static_cast<std::uint16_t>(i % 7), 100));
+  }
+  const ResultSet rs = exec->Finish();
+  ASSERT_EQ(rs.rows.size(), 1u);
+  EXPECT_EQ(rs.rows[0][1].AsInt(), 7);
+}
+
+TEST(GsqlExtensionsTest, DecayWeightSugarFunctions) {
+  // polyweight/expweight are the "simple syntactic sugar" Section IV
+  // suggests: equivalent to spelling the weight arithmetic out.
+  std::string error;
+  const auto sugar = RunFixture(
+      "select destPort, sum(len * polyweight(time, 60, 2)) / 3600.0 "
+      "from TCP group by destPort",
+      &error);
+  ASSERT_TRUE(sugar.has_value()) << error;
+  const auto spelled = RunFixture(
+      "select destPort, sum(len * (time % 60) * (time % 60)) / 3600.0 "
+      "from TCP group by destPort",
+      &error);
+  ASSERT_TRUE(spelled.has_value()) << error;
+  ASSERT_EQ(sugar->rows.size(), spelled->rows.size());
+  for (std::size_t i = 0; i < sugar->rows.size(); ++i) {
+    EXPECT_NEAR(sugar->rows[i][1].AsDouble(), spelled->rows[i][1].AsDouble(),
+                1e-9);
+  }
+  const auto exp_sugar = RunFixture(
+      "select destPort, sum(expweight(time, 60, 0.5)) from TCP "
+      "group by destPort",
+      &error);
+  ASSERT_TRUE(exp_sugar.has_value()) << error;
+  // Port 80 packets at t = 1, 2, 3.
+  EXPECT_NEAR(exp_sugar->rows[0][1].AsDouble(),
+              std::exp(0.5) + std::exp(1.0) + std::exp(1.5), 1e-9);
+}
+
+TEST(GsqlExtensionsTest, HavingWithUnboundColumnDiagnosed) {
+  std::string error;
+  EXPECT_EQ(CompiledQuery::Compile(
+                "select destPort, count(*) from TCP group by destPort "
+                "having len > 5",
+                &error),
+            nullptr);
+  EXPECT_NE(error.find("len"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fwdecay::dsms

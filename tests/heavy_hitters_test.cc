@@ -1,0 +1,224 @@
+// Tests for decayed heavy hitters (Theorem 2) and the sliding-window /
+// backward-decay baseline they are compared against (Figures 4-5).
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/exact_reference.h"
+#include "core/heavy_hitters.h"
+#include "sketch/sliding_hh.h"
+#include "util/random.h"
+#include "util/zipf.h"
+
+namespace fwdecay {
+namespace {
+
+TEST(DecayedHeavyHittersTest, PaperExample3) {
+  ForwardDecay<MonomialG> decay(MonomialG(2.0), 100.0);
+  DecayedHeavyHitters<MonomialG> hh(decay, 0.01);
+  const std::pair<double, std::uint64_t> stream[] = {
+      {105, 4}, {107, 8}, {103, 3}, {108, 6}, {104, 4}};
+  for (const auto& [ts, key] : stream) hh.Add(ts, key);
+  EXPECT_NEAR(hh.DecayedTotal(110.0), 1.63, 1e-12);
+  const auto result = hh.Query(110.0, 0.2);
+  std::set<std::uint64_t> keys;
+  for (const auto& h : result) keys.insert(h.key);
+  EXPECT_EQ(keys, (std::set<std::uint64_t>{4, 6, 8}));
+  // d_6 = 0.64 is the largest.
+  EXPECT_EQ(result[0].key, 6u);
+  EXPECT_NEAR(result[0].decayed_count, 0.64, 1e-12);
+}
+
+TEST(DecayedHeavyHittersTest, Theorem2RecallAndPrecision) {
+  Rng rng(1);
+  ZipfGenerator zipf(2000, 1.2);
+  const double eps = 0.005;
+  const double phi = 0.03;
+  ForwardDecay<MonomialG> decay(MonomialG(2.0), 0.0);
+  DecayedHeavyHitters<MonomialG> hh(decay, eps);
+  ExactDecayedReference ref;
+  for (int i = 0; i < 100000; ++i) {
+    const double ts = 1.0 + rng.NextDouble() * 59.0;
+    const std::uint64_t key = zipf.Next(rng);
+    hh.Add(ts, key);
+    ref.Add(ts, key, 0.0);
+  }
+  const auto w = ForwardWeightFn(MonomialG(2.0), 0.0);
+  const double t = 60.0;
+  const double total = ref.Count(t, w);
+  std::set<std::uint64_t> reported;
+  for (const auto& h : hh.Query(t, phi)) reported.insert(h.key);
+  // All keys with decayed count >= phi*C reported...
+  for (const auto& [key, c] : ref.HeavyHitters(t, w, phi)) {
+    EXPECT_TRUE(reported.contains(key)) << "missed " << key;
+  }
+  // ...and none below (phi - eps)*C.
+  for (std::uint64_t key : reported) {
+    EXPECT_GE(ref.KeyCount(t, w, key), (phi - eps) * total - 1e-9);
+  }
+}
+
+TEST(DecayedHeavyHittersTest, ExponentialDecayFavorsRecentKeys) {
+  // Key A dominates early, key B late: under fast exponential decay only
+  // B is heavy at the end.
+  ForwardDecay<ExponentialG> decay(ExponentialG(0.5), 0.0);
+  DecayedHeavyHitters<ExponentialG> hh(decay, 0.01);
+  for (int i = 0; i < 900; ++i) hh.Add(0.01 * i, /*key=*/1);
+  for (int i = 0; i < 100; ++i) hh.Add(40.0 + 0.01 * i, /*key=*/2);
+  const auto result = hh.Query(41.0, 0.5);
+  ASSERT_FALSE(result.empty());
+  EXPECT_EQ(result[0].key, 2u);
+}
+
+TEST(DecayedHeavyHittersTest, AddNScalesContribution) {
+  ForwardDecay<MonomialG> decay(MonomialG(1.0), 0.0);
+  DecayedHeavyHitters<MonomialG> a(decay, 0.1);
+  DecayedHeavyHitters<MonomialG> b(decay, 0.1);
+  a.AddN(5.0, 1, 3.0);
+  for (int i = 0; i < 3; ++i) b.Add(5.0, 1);
+  EXPECT_DOUBLE_EQ(a.Estimate(10.0, 1), b.Estimate(10.0, 1));
+}
+
+TEST(DecayedHeavyHittersTest, MergeCombinesSites) {
+  // Section VI-B: two sites with the same g and landmark merge into a
+  // summary of the union.
+  Rng rng(2);
+  ZipfGenerator zipf(200, 1.3);
+  ForwardDecay<MonomialG> decay(MonomialG(2.0), 0.0);
+  DecayedHeavyHitters<MonomialG> site1(decay, 0.01);
+  DecayedHeavyHitters<MonomialG> site2(decay, 0.01);
+  ExactDecayedReference ref;
+  for (int i = 0; i < 20000; ++i) {
+    const double ts = 1.0 + rng.NextDouble() * 9.0;
+    const std::uint64_t key = zipf.Next(rng);
+    (i % 2 == 0 ? site1 : site2).Add(ts, key);
+    ref.Add(ts, key, 0.0);
+  }
+  site1.Merge(site2);
+  const auto w = ForwardWeightFn(MonomialG(2.0), 0.0);
+  EXPECT_NEAR(site1.DecayedTotal(10.0), ref.Count(10.0, w), 1e-6);
+  // The top key's estimate stays an upper bound within combined error.
+  const auto top_true = ref.HeavyHitters(10.0, w, 0.05);
+  ASSERT_FALSE(top_true.empty());
+  EXPECT_GE(site1.Estimate(10.0, top_true[0].first),
+            top_true[0].second - 1e-9);
+}
+
+TEST(DecayedHeavyHittersTest, RescaleLandmarkKeepsAnswers) {
+  ForwardDecay<ExponentialG> decay(ExponentialG(0.3), 0.0);
+  DecayedHeavyHitters<ExponentialG> hh(decay, 0.05);
+  Rng rng(3);
+  for (int i = 0; i < 5000; ++i) {
+    hh.Add(rng.NextDouble() * 20.0, rng.NextBounded(50));
+  }
+  const double total_before = hh.DecayedTotal(20.0);
+  const double est_before = hh.Estimate(20.0, 7);
+  hh.RescaleLandmark(15.0);
+  EXPECT_NEAR(hh.DecayedTotal(20.0), total_before, total_before * 1e-9);
+  EXPECT_NEAR(hh.Estimate(20.0, 7), est_before, est_before * 1e-9 + 1e-12);
+}
+
+TEST(DecayedHeavyHittersTest, MemoryIsOneOverEps) {
+  ForwardDecay<MonomialG> decay(MonomialG(2.0), 0.0);
+  DecayedHeavyHitters<MonomialG> hh(decay, 0.01);
+  Rng rng(4);
+  for (int i = 0; i < 100000; ++i) {
+    hh.Add(1.0 + rng.NextDouble() * 10.0, rng.NextBounded(1u << 20));
+  }
+  // 100 counters regardless of 2^20 distinct keys.
+  EXPECT_LE(hh.sketch().size(), 100u);
+}
+
+// --- Sliding-window / backward baseline -------------------------------------
+
+TEST(SlidingWindowHeavyHittersTest, FindsWindowHeavyKeys) {
+  Rng rng(5);
+  SlidingWindowHeavyHitters swhh(0.01);
+  // Key 1 heavy in the old half, key 2 heavy in the recent half.
+  double t = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    t += 0.001;
+    swhh.Update(t, rng.NextBernoulli(0.4) ? 1 : 100 + rng.NextBounded(500));
+  }
+  for (int i = 0; i < 20000; ++i) {
+    t += 0.001;
+    swhh.Update(t, rng.NextBernoulli(0.4) ? 2 : 600 + rng.NextBounded(500));
+  }
+  // Window covering only the recent half: key 2 heavy, key 1 not.
+  const auto recent = swhh.QueryWindow(t, 20.0, 0.2);
+  ASSERT_FALSE(recent.empty());
+  EXPECT_EQ(recent[0].key, 2u);
+  for (const auto& h : recent) EXPECT_NE(h.key, 1u);
+  // Window covering everything: both heavy.
+  std::set<std::uint64_t> all_keys;
+  for (const auto& h : swhh.QueryWindow(t, 41.0, 0.15)) {
+    all_keys.insert(h.key);
+  }
+  EXPECT_TRUE(all_keys.contains(1));
+  EXPECT_TRUE(all_keys.contains(2));
+}
+
+TEST(SlidingWindowHeavyHittersTest, DecayedQueryMatchesExactReference) {
+  Rng rng(6);
+  ZipfGenerator zipf(300, 1.4);
+  SlidingWindowHeavyHitters swhh(0.02);
+  ExactDecayedReference ref;
+  double t = 0.0;
+  for (int i = 0; i < 30000; ++i) {
+    t += rng.NextExponential(500.0);
+    const std::uint64_t key = zipf.Next(rng);
+    swhh.Update(t, key);
+    ref.Add(t, key, 0.0);
+  }
+  PolynomialF f(2.0);
+  const auto w = BackwardWeightFn(f);
+  const auto exact_hh = ref.HeavyHitters(t, w, 0.05);
+  std::set<std::uint64_t> reported;
+  for (const auto& h : swhh.QueryDecayed(
+           t, [&](double age) { return f.F(age); }, 0.04)) {
+    reported.insert(h.key);
+  }
+  for (const auto& [key, c] : exact_hh) {
+    EXPECT_TRUE(reported.contains(key)) << "missed decayed-heavy key " << key;
+  }
+}
+
+TEST(SlidingWindowHeavyHittersTest, StateGrowsWithDistinctKeys) {
+  // The cost the paper highlights: memory scales with tracked keys, and
+  // does NOT shrink as eps grows (Figure 4(c,d)).
+  Rng rng(7);
+  ZipfGenerator zipf(5000, 1.1);
+  SlidingWindowHeavyHitters coarse(0.1);
+  SlidingWindowHeavyHitters fine(0.01);
+  double t = 0.0;
+  for (int i = 0; i < 50000; ++i) {
+    t += 0.0001;
+    const std::uint64_t key = zipf.Next(rng);
+    coarse.Update(t, key);
+    fine.Update(t, key);
+  }
+  EXPECT_GT(coarse.TrackedKeys(), 100u);
+  // Coarser eps prunes MORE aggressively yet still stores far more than
+  // the O(1/eps) counters of SpaceSaving.
+  EXPECT_GT(coarse.MemoryBytes(), 10u * 1024u);
+  EXPECT_GE(fine.MemoryBytes(), coarse.MemoryBytes());
+}
+
+TEST(SlidingWindowHeavyHittersTest, PruneNeverDropsHeavyKeys) {
+  Rng rng(8);
+  SlidingWindowHeavyHitters swhh(0.05);
+  double t = 0.0;
+  // One persistent heavy key within a churn of singletons.
+  for (int i = 0; i < 30000; ++i) {
+    t += 0.001;
+    swhh.Update(t, i % 3 == 0 ? 7u : 1000000u + static_cast<std::uint64_t>(i));
+  }
+  const auto hh = swhh.QueryWindow(t, t + 1.0, 0.2);
+  ASSERT_FALSE(hh.empty());
+  EXPECT_EQ(hh[0].key, 7u);
+}
+
+}  // namespace
+}  // namespace fwdecay

@@ -1,0 +1,334 @@
+// Parameterized property tests: every claim that should hold for EVERY
+// forward decay function is swept across the whole taxonomy with
+// TEST_P/INSTANTIATE_TEST_SUITE_P — Definition 1 invariants, agreement
+// of the O(1) aggregates with the exact reference, Theorem 2 recall,
+// quantile rank bounds, sampler marginals, merge = union, and
+// out-of-order insensitivity.
+
+#include <cmath>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/aggregates.h"
+#include "core/count_distinct.h"
+#include "core/exact_reference.h"
+#include "core/forward_decay.h"
+#include "core/heavy_hitters.h"
+#include "core/quantiles.h"
+#include "sampling/weighted_reservoir.h"
+#include "sampling/with_replacement.h"
+#include "util/random.h"
+#include "util/stats.h"
+#include "util/zipf.h"
+
+namespace fwdecay {
+namespace {
+
+struct DecayCase {
+  std::string label;
+  AnyForwardG g;
+  // Landmark-window g assigns weight 0 at n = 0 and 1 afterwards; a few
+  // checks need to know the function can produce zero weights.
+  bool can_be_zero = false;
+};
+
+// Readable gtest output instead of a byte dump.
+void PrintTo(const DecayCase& c, std::ostream* os) { *os << c.label; }
+
+std::vector<DecayCase> AllDecayCases() {
+  return {
+      {"none", AnyForwardG(NoDecayG{}), false},
+      {"linear", AnyForwardG(MonomialG(1.0)), true},
+      {"quadratic", AnyForwardG(MonomialG(2.0)), true},
+      {"sqrt", AnyForwardG(MonomialG(0.5)), true},
+      {"cubic", AnyForwardG(MonomialG(3.0)), true},
+      {"poly_1_2_3", AnyForwardG(PolynomialG({1.0, 2.0, 3.0})), false},
+      {"exp_slow", AnyForwardG(ExponentialG(0.05)), false},
+      {"exp_fast", AnyForwardG(ExponentialG(0.5)), false},
+      {"landmark_window", AnyForwardG(LandmarkWindowG{}), true},
+      {"logarithmic", AnyForwardG(LogarithmicG{}), false},
+  };
+}
+
+std::string CaseName(const testing::TestParamInfo<DecayCase>& info) {
+  return info.param.label;
+}
+
+class ForwardDecayPropertyTest : public testing::TestWithParam<DecayCase> {
+ protected:
+  ForwardDecay<AnyForwardG> Decay(Timestamp landmark = 0.0) const {
+    return ForwardDecay<AnyForwardG>(GetParam().g, landmark);
+  }
+};
+
+// --- Definition 1 ------------------------------------------------------------
+
+TEST_P(ForwardDecayPropertyTest, WeightsInUnitIntervalAndMonotone) {
+  const auto decay = Decay(10.0);
+  for (double ti : {10.25, 11.0, 25.0, 100.0}) {
+    double prev = 2.0;
+    for (double t = ti; t < 500.0; t += 3.7) {
+      const double w = decay.Weight(ti, t);
+      ASSERT_GE(w, 0.0) << "ti=" << ti << " t=" << t;
+      ASSERT_LE(w, 1.0 + 1e-12);
+      ASSERT_LE(w, prev + 1e-12) << "not monotone at t=" << t;
+      prev = w;
+    }
+  }
+}
+
+TEST_P(ForwardDecayPropertyTest, WeightIsOneAtArrivalUnlessZero) {
+  const auto decay = Decay(0.0);
+  for (double ti : {0.5, 3.0, 77.0}) {
+    const double w = decay.Weight(ti, ti);
+    if (decay.StaticWeight(ti) > 0.0) {
+      EXPECT_DOUBLE_EQ(w, 1.0) << "ti=" << ti;
+    }
+  }
+}
+
+TEST_P(ForwardDecayPropertyTest, StaticWeightNonDecreasingInTimestamp) {
+  const auto decay = Decay(0.0);
+  double prev = -1.0;
+  for (double ti = 0.5; ti < 200.0; ti += 1.3) {
+    const double w = decay.StaticWeight(ti);
+    ASSERT_GE(w, prev - 1e-12);
+    prev = w;
+  }
+}
+
+TEST_P(ForwardDecayPropertyTest, LogWeightConsistentWithWeight) {
+  const auto decay = Decay(0.0);
+  for (double ti : {1.0, 10.0, 50.0}) {
+    const double w = decay.StaticWeight(ti);
+    if (w > 0.0 && std::isfinite(w)) {
+      EXPECT_NEAR(decay.LogStaticWeight(ti), std::log(w),
+                  1e-9 * std::max(1.0, std::abs(std::log(w))));
+    }
+  }
+}
+
+// --- Theorem 1: O(1) aggregates match the exact reference --------------------
+
+TEST_P(ForwardDecayPropertyTest, MomentsMatchExactReference) {
+  Rng rng(42);
+  const auto decay = Decay(0.0);
+  DecayedMoments<AnyForwardG> m(decay);
+  ExactDecayedReference ref;
+  for (int i = 0; i < 400; ++i) {
+    const double ts = 0.5 + rng.NextDouble() * 99.0;
+    const double v = rng.NextDouble() * 10.0;
+    m.Add(ts, v);
+    ref.Add(ts, 0, v);
+  }
+  const AnyForwardG g = GetParam().g;
+  const auto w = [g](Timestamp ti, Timestamp t) {
+    return g.G(ti - 0.0) / g.G(t - 0.0);
+  };
+  const double t = 100.0;
+  const double exact_count = ref.Count(t, w);
+  EXPECT_NEAR(m.Count(t), exact_count, 1e-6 * std::max(1.0, exact_count));
+  const double exact_sum = ref.Sum(t, w);
+  EXPECT_NEAR(m.Sum(t), exact_sum, 1e-6 * std::max(1.0, exact_sum));
+  if (exact_count > 0.0) {
+    EXPECT_NEAR(*m.Average(), *ref.Average(t, w), 1e-6);
+    EXPECT_NEAR(*m.Variance(), *ref.Variance(t, w), 1e-5);
+  }
+}
+
+TEST_P(ForwardDecayPropertyTest, ExtremaMatchExactReference) {
+  Rng rng(43);
+  const auto decay = Decay(0.0);
+  DecayedMin<AnyForwardG> mn(decay);
+  DecayedMax<AnyForwardG> mx(decay);
+  ExactDecayedReference ref;
+  for (int i = 0; i < 300; ++i) {
+    const double ts = 0.5 + rng.NextDouble() * 50.0;
+    const double v = rng.NextDouble() * 20.0 - 10.0;
+    mn.Add(ts, v);
+    mx.Add(ts, v);
+    ref.Add(ts, 0, v);
+  }
+  const AnyForwardG g = GetParam().g;
+  const auto w = [g](Timestamp ti, Timestamp t) {
+    return g.G(ti) / g.G(t);
+  };
+  EXPECT_NEAR(*mn.Value(60.0), *ref.Min(60.0, w), 1e-9);
+  EXPECT_NEAR(*mx.Value(60.0), *ref.Max(60.0, w), 1e-9);
+}
+
+// --- Out-of-order insensitivity (Section VI-B) --------------------------------
+
+TEST_P(ForwardDecayPropertyTest, ArrivalOrderIrrelevant) {
+  Rng rng(44);
+  std::vector<std::pair<double, double>> items;
+  for (int i = 0; i < 200; ++i) {
+    items.emplace_back(0.5 + rng.NextDouble() * 30.0, rng.NextDouble());
+  }
+  const auto decay = Decay(0.0);
+  DecayedMoments<AnyForwardG> fwd(decay);
+  DecayedMoments<AnyForwardG> rev(decay);
+  for (const auto& [ts, v] : items) fwd.Add(ts, v);
+  for (auto it = items.rbegin(); it != items.rend(); ++it) {
+    rev.Add(it->first, it->second);
+  }
+  // Identical up to floating-point summation order.
+  EXPECT_NEAR(fwd.Count(40.0), rev.Count(40.0), 1e-9 * fwd.Count(40.0));
+  EXPECT_NEAR(fwd.Sum(40.0), rev.Sum(40.0),
+              1e-9 * std::abs(fwd.Sum(40.0)));
+}
+
+// --- Merge = union (Section VI-B) ---------------------------------------------
+
+TEST_P(ForwardDecayPropertyTest, MergeEqualsUnion) {
+  Rng rng(45);
+  const auto decay = Decay(0.0);
+  DecayedMoments<AnyForwardG> all(decay);
+  DecayedMoments<AnyForwardG> a(decay);
+  DecayedMoments<AnyForwardG> b(decay);
+  DecayedHeavyHitters<AnyForwardG> hh_all(decay, 0.02);
+  DecayedHeavyHitters<AnyForwardG> hh_a(decay, 0.02);
+  DecayedHeavyHitters<AnyForwardG> hh_b(decay, 0.02);
+  ZipfGenerator zipf(100, 1.2);
+  for (int i = 0; i < 4000; ++i) {
+    const double ts = 0.5 + rng.NextDouble() * 30.0;
+    const double v = rng.NextDouble();
+    const std::uint64_t key = zipf.Next(rng);
+    all.Add(ts, v);
+    (i % 2 == 0 ? a : b).Add(ts, v);
+    if (decay.StaticWeight(ts) > 0.0) {
+      hh_all.Add(ts, key);
+      (i % 2 == 0 ? hh_a : hh_b).Add(ts, key);
+    }
+  }
+  a.Merge(b);
+  EXPECT_NEAR(a.Count(40.0), all.Count(40.0),
+              1e-9 * std::max(1.0, all.Count(40.0)));
+  EXPECT_NEAR(a.Sum(40.0), all.Sum(40.0),
+              1e-9 * std::max(1.0, all.Sum(40.0)));
+  hh_a.Merge(hh_b);
+  EXPECT_NEAR(hh_a.DecayedTotal(40.0), hh_all.DecayedTotal(40.0),
+              1e-6 * std::max(1.0, hh_all.DecayedTotal(40.0)));
+}
+
+// --- Theorem 2 recall across decay functions ----------------------------------
+
+TEST_P(ForwardDecayPropertyTest, HeavyHitterRecallAgainstExact) {
+  Rng rng(46);
+  const double eps = 0.01;
+  const double phi = 0.05;
+  const auto decay = Decay(0.0);
+  DecayedHeavyHitters<AnyForwardG> hh(decay, eps);
+  ExactDecayedReference ref;
+  ZipfGenerator zipf(500, 1.3);
+  for (int i = 0; i < 20000; ++i) {
+    const double ts = 0.5 + rng.NextDouble() * 30.0;
+    if (decay.StaticWeight(ts) <= 0.0) continue;
+    const std::uint64_t key = zipf.Next(rng);
+    hh.Add(ts, key);
+    ref.Add(ts, key, 0.0);
+  }
+  const AnyForwardG g = GetParam().g;
+  const auto w = [g](Timestamp ti, Timestamp t) { return g.G(ti) / g.G(t); };
+  std::set<std::uint64_t> reported;
+  for (const auto& h : hh.Query(31.0, phi)) reported.insert(h.key);
+  for (const auto& [key, c] : ref.HeavyHitters(31.0, w, phi)) {
+    EXPECT_TRUE(reported.contains(key))
+        << "missed heavy key " << key << " under " << GetParam().label;
+  }
+  const double total = ref.Count(31.0, w);
+  for (std::uint64_t key : reported) {
+    EXPECT_GE(ref.KeyCount(31.0, w, key), (phi - eps) * total - 1e-9);
+  }
+}
+
+// --- Theorem 3 rank bound across decay functions -------------------------------
+
+TEST_P(ForwardDecayPropertyTest, QuantileRankWithinEps) {
+  Rng rng(47);
+  const double eps = 0.02;
+  const auto decay = Decay(0.0);
+  DecayedQuantiles<AnyForwardG> dq(decay, /*universe_bits=*/10, eps);
+  ExactDecayedReference ref;
+  for (int i = 0; i < 20000; ++i) {
+    const double ts = 0.5 + rng.NextDouble() * 30.0;
+    if (decay.StaticWeight(ts) <= 0.0) continue;
+    const std::uint64_t v = rng.NextBounded(1 << 10);
+    dq.Add(ts, v);
+    ref.Add(ts, v, static_cast<double>(v));
+  }
+  const AnyForwardG g = GetParam().g;
+  const auto w = [g](Timestamp ti, Timestamp t) { return g.G(ti) / g.G(t); };
+  const double total = ref.Count(31.0, w);
+  for (double phi : {0.25, 0.5, 0.75}) {
+    const std::uint64_t est = dq.Quantile(phi);
+    const double rank = ref.Rank(31.0, w, static_cast<double>(est));
+    EXPECT_NEAR(rank, phi * total, eps * total + 2.0)
+        << GetParam().label << " phi=" << phi;
+  }
+}
+
+// --- Theorem 5/6: sampler marginals across decay functions --------------------
+
+TEST_P(ForwardDecayPropertyTest, SingleDrawSamplersFollowStaticWeights) {
+  const auto decay = Decay(0.0);
+  const double stamps[] = {3.0, 7.0, 12.0, 18.0, 25.0};
+  double weights[5];
+  double total = 0.0;
+  for (int i = 0; i < 5; ++i) {
+    weights[i] = decay.StaticWeight(stamps[i]);
+    total += weights[i];
+  }
+  const int kTrials = 20000;
+  std::vector<double> wr_counts(5, 0.0);
+  std::vector<double> wrs_counts(5, 0.0);
+  for (int trial = 0; trial < kTrials; ++trial) {
+    Rng rng(100000 + trial);
+    ForwardDecaySamplerWR<int, AnyForwardG> wr(decay, 1);
+    WeightedReservoirSampler<int, AnyForwardG> wrs(decay, 1);
+    for (int i = 0; i < 5; ++i) {
+      wr.Add(stamps[i], i, rng);
+      wrs.Add(stamps[i], i, rng);
+    }
+    const auto s1 = wr.Sample();
+    const auto s2 = wrs.Sample();
+    ASSERT_EQ(s1.size(), 1u);
+    ASSERT_EQ(s2.size(), 1u);
+    ++wr_counts[static_cast<std::size_t>(s1[0])];
+    ++wrs_counts[static_cast<std::size_t>(s2[0])];
+  }
+  for (int i = 0; i < 5; ++i) {
+    const double expected = weights[i] / total;
+    EXPECT_NEAR(wr_counts[i] / kTrials, expected, 0.02)
+        << GetParam().label << " WR chain, item " << i;
+    EXPECT_NEAR(wrs_counts[i] / kTrials, expected, 0.02)
+        << GetParam().label << " A-Res, item " << i;
+  }
+}
+
+// --- Count distinct across decay functions -------------------------------------
+
+TEST_P(ForwardDecayPropertyTest, ExactDistinctMatchesReference) {
+  Rng rng(48);
+  const auto decay = Decay(0.0);
+  ExactDecayedDistinct<AnyForwardG> distinct(decay);
+  ExactDecayedReference ref;
+  for (int i = 0; i < 3000; ++i) {
+    const double ts = 0.5 + rng.NextDouble() * 30.0;
+    const std::uint64_t key = rng.NextBounded(200);
+    distinct.Add(ts, key);
+    ref.Add(ts, key, 0.0);
+  }
+  const AnyForwardG g = GetParam().g;
+  const auto w = [g](Timestamp ti, Timestamp t) { return g.G(ti) / g.G(t); };
+  EXPECT_NEAR(distinct.Value(31.0), ref.CountDistinct(31.0, w), 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDecayFunctions, ForwardDecayPropertyTest,
+                         testing::ValuesIn(AllDecayCases()), CaseName);
+
+}  // namespace
+}  // namespace fwdecay

@@ -1,0 +1,319 @@
+// Tests for the samplers of Section V: correctness of inclusion
+// probabilities (chi-squared / frequency checks), the with-replacement
+// chain sampler (Theorem 5), weighted reservoir A-Res and A-ExpJ
+// (Theorem 6), priority sampling estimators, exponential-decay sampling
+// with arbitrary timestamps (Corollary 1), and the Aggarwal baseline.
+
+#include <cmath>
+#include <map>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/forward_decay.h"
+#include "sampling/biased_reservoir.h"
+#include "sampling/priority_sampling.h"
+#include "sampling/reservoir.h"
+#include "sampling/weighted_reservoir.h"
+#include "sampling/with_replacement.h"
+#include "util/random.h"
+#include "util/stats.h"
+
+namespace fwdecay {
+namespace {
+
+TEST(ReservoirSamplerTest, SampleSizeIsMinOfKAndN) {
+  Rng rng(1);
+  ReservoirSampler<int> small(10);
+  for (int i = 0; i < 5; ++i) small.Add(i, rng);
+  EXPECT_EQ(small.sample().size(), 5u);
+  ReservoirSampler<int> full(10);
+  for (int i = 0; i < 100; ++i) full.Add(i, rng);
+  EXPECT_EQ(full.sample().size(), 10u);
+}
+
+TEST(ReservoirSamplerTest, UniformInclusionProbabilities) {
+  // Each of 20 items should appear in a k=5 sample with p = 1/4.
+  const int kTrials = 20000;
+  std::vector<double> inclusions(20, 0.0);
+  for (int trial = 0; trial < kTrials; ++trial) {
+    Rng rng(1000 + trial);
+    ReservoirSampler<int> s(5);
+    for (int i = 0; i < 20; ++i) s.Add(i, rng);
+    for (int v : s.sample()) ++inclusions[v];
+  }
+  const std::vector<double> expected(20, kTrials * 0.25);
+  // 19 dof at 99.9%: ~43.8; inclusion counts are dependent across items,
+  // so use a loose per-item check instead.
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_NEAR(inclusions[i] / kTrials, 0.25, 0.02) << "item " << i;
+  }
+}
+
+TEST(SkipReservoirSamplerTest, MatchesAlgorithmRDistribution) {
+  const int kTrials = 20000;
+  std::vector<double> inclusions(30, 0.0);
+  for (int trial = 0; trial < kTrials; ++trial) {
+    Rng rng(77 + trial);
+    SkipReservoirSampler<int> s(6, &rng);
+    for (int i = 0; i < 30; ++i) s.Add(i);
+    for (int v : s.sample()) ++inclusions[v];
+  }
+  for (int i = 0; i < 30; ++i) {
+    EXPECT_NEAR(inclusions[i] / kTrials, 0.2, 0.02) << "item " << i;
+  }
+}
+
+TEST(ForwardDecaySamplerWRTest, SingleChainMatchesTargetProbabilities) {
+  // Theorem 5: P(item i sampled) = g(ti - L) / Σ g(tj - L).
+  ForwardDecay<MonomialG> decay(MonomialG(2.0), 100.0);
+  const std::pair<double, int> stream[] = {
+      {105, 0}, {107, 1}, {103, 2}, {108, 3}, {104, 4}};
+  // Static weights: 25, 49, 9, 64, 16 → total 163.
+  const double expected[] = {25.0 / 163, 49.0 / 163, 9.0 / 163, 64.0 / 163,
+                             16.0 / 163};
+  const int kTrials = 50000;
+  std::vector<double> counts(5, 0.0);
+  for (int trial = 0; trial < kTrials; ++trial) {
+    Rng rng(5000 + trial);
+    ForwardDecaySamplerWR<int, MonomialG> sampler(decay, 1);
+    for (const auto& [ts, id] : stream) sampler.Add(ts, id, rng);
+    const auto sample = sampler.Sample();
+    ASSERT_EQ(sample.size(), 1u);
+    ++counts[static_cast<std::size_t>(sample[0])];
+  }
+  std::vector<double> expected_counts;
+  for (double p : expected) expected_counts.push_back(p * kTrials);
+  // Chi-squared, 4 dof, 99.9th percentile ~ 18.5.
+  EXPECT_LT(ChiSquaredStatistic(counts, expected_counts), 18.5);
+}
+
+TEST(ForwardDecaySamplerWRTest, ChainsAreIndependentDraws) {
+  ForwardDecay<MonomialG> decay(MonomialG(1.0), 0.0);
+  Rng rng(9);
+  ForwardDecaySamplerWR<int, MonomialG> sampler(decay, 64);
+  for (int i = 0; i < 1000; ++i) {
+    sampler.Add(1.0 + i, i, rng);
+  }
+  const auto sample = sampler.Sample();
+  EXPECT_EQ(sample.size(), 64u);
+  // With replacement: duplicates are possible but heavy repetition of a
+  // single item is not (weights are gently increasing).
+  std::map<int, int> freq;
+  for (int v : sample) ++freq[v];
+  for (const auto& [v, c] : freq) EXPECT_LE(c, 10);
+}
+
+TEST(ForwardDecaySamplerWRTest, ZeroWeightItemsNeverSampled) {
+  ForwardDecay<LandmarkWindowG> decay(LandmarkWindowG{}, 100.0);
+  Rng rng(10);
+  ForwardDecaySamplerWR<int, LandmarkWindowG> sampler(decay, 8);
+  sampler.Add(100.0, 666, rng);  // weight 0 (at the landmark)
+  sampler.Add(105.0, 1, rng);
+  for (int v : sampler.Sample()) EXPECT_NE(v, 666);
+}
+
+TEST(WeightedReservoirSamplerTest, WithoutReplacementNoDuplicates) {
+  ForwardDecay<ExponentialG> decay(ExponentialG(0.1), 0.0);
+  Rng rng(11);
+  WeightedReservoirSampler<int, ExponentialG> sampler(decay, 16);
+  for (int i = 0; i < 500; ++i) sampler.Add(0.1 * i, i, rng);
+  const auto sample = sampler.Sample();
+  EXPECT_EQ(sample.size(), 16u);
+  std::set<int> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 16u);
+}
+
+TEST(WeightedReservoirSamplerTest, FirstDrawFollowsWeights) {
+  // For k=1, A-Res reduces to a single weighted draw.
+  ForwardDecay<MonomialG> decay(MonomialG(2.0), 100.0);
+  const std::pair<double, int> stream[] = {
+      {105, 0}, {107, 1}, {103, 2}, {108, 3}, {104, 4}};
+  const double weights[] = {25, 49, 9, 64, 16};
+  const int kTrials = 50000;
+  std::vector<double> counts(5, 0.0);
+  for (int trial = 0; trial < kTrials; ++trial) {
+    Rng rng(31000 + trial);
+    WeightedReservoirSampler<int, MonomialG> sampler(decay, 1);
+    for (const auto& [ts, id] : stream) sampler.Add(ts, id, rng);
+    ++counts[static_cast<std::size_t>(sampler.Sample()[0])];
+  }
+  std::vector<double> expected;
+  for (double w : weights) expected.push_back(w / 163.0 * kTrials);
+  EXPECT_LT(ChiSquaredStatistic(counts, expected), 18.5);
+}
+
+TEST(ExpJumpsSamplerTest, MatchesAResDistribution) {
+  // A-ExpJ is distribution-identical to A-Res; compare k=1 frequencies.
+  ForwardDecay<MonomialG> decay(MonomialG(2.0), 100.0);
+  const std::pair<double, int> stream[] = {
+      {105, 0}, {107, 1}, {103, 2}, {108, 3}, {104, 4}};
+  const double weights[] = {25, 49, 9, 64, 16};
+  const int kTrials = 50000;
+  std::vector<double> counts(5, 0.0);
+  for (int trial = 0; trial < kTrials; ++trial) {
+    Rng rng(61000 + trial);
+    ExpJumpsReservoirSampler<int, MonomialG> sampler(decay, 1);
+    for (const auto& [ts, id] : stream) sampler.Add(ts, id, rng);
+    ++counts[static_cast<std::size_t>(sampler.Sample()[0])];
+  }
+  std::vector<double> expected;
+  for (double w : weights) expected.push_back(w / 163.0 * kTrials);
+  EXPECT_LT(ChiSquaredStatistic(counts, expected), 18.5);
+}
+
+TEST(ExpJumpsSamplerTest, NoDuplicatesAndFullSize) {
+  ForwardDecay<MonomialG> decay(MonomialG(1.0), 0.0);
+  Rng rng(12);
+  ExpJumpsReservoirSampler<int, MonomialG> sampler(decay, 32);
+  for (int i = 0; i < 2000; ++i) sampler.Add(1.0 + 0.05 * i, i, rng);
+  const auto sample = sampler.Sample();
+  EXPECT_EQ(sample.size(), 32u);
+  std::set<int> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 32u);
+}
+
+TEST(Corollary1Test, ExponentialDecaySamplingWithArbitraryTimestamps) {
+  // Corollary 1: O(k) sampling under backward exponential decay, for
+  // arbitrary (non-integer, out-of-order) timestamps — via the forward
+  // view. Check the k=1 marginal matches exp(alpha * ti) weights.
+  const double alpha = 0.35;
+  ForwardDecay<ExponentialG> decay(ExponentialG(alpha), 0.0);
+  const double stamps[] = {2.7, 9.1, 4.4, 6.35, 8.8};  // out of order
+  double weights[5];
+  double total = 0.0;
+  for (int i = 0; i < 5; ++i) {
+    weights[i] = std::exp(alpha * stamps[i]);
+    total += weights[i];
+  }
+  const int kTrials = 50000;
+  std::vector<double> counts(5, 0.0);
+  for (int trial = 0; trial < kTrials; ++trial) {
+    Rng rng(91000 + trial);
+    WeightedReservoirSampler<int, ExponentialG> sampler(decay, 1);
+    for (int i = 0; i < 5; ++i) sampler.Add(stamps[i], i, rng);
+    ++counts[static_cast<std::size_t>(sampler.Sample()[0])];
+  }
+  std::vector<double> expected;
+  for (double w : weights) expected.push_back(w / total * kTrials);
+  EXPECT_LT(ChiSquaredStatistic(counts, expected), 18.5);
+}
+
+TEST(WeightedReservoirSamplerTest, LogDomainSurvivesHugeExponents) {
+  // Static weights up to e^5000 overflow doubles; the sampler must still
+  // produce a full, recent-biased sample.
+  ForwardDecay<ExponentialG> decay(ExponentialG(1.0), 0.0);
+  Rng rng(13);
+  WeightedReservoirSampler<int, ExponentialG> sampler(decay, 8);
+  for (int i = 0; i < 5000; ++i) sampler.Add(static_cast<double>(i), i, rng);
+  const auto sample = sampler.Sample();
+  EXPECT_EQ(sample.size(), 8u);
+  // With rate 1/step the newest handful of items carry essentially all
+  // the weight.
+  for (int v : sample) EXPECT_GT(v, 4980);
+}
+
+TEST(PrioritySamplerTest, SubsetSumEstimatorIsUnbiased) {
+  // Estimate the decayed count of the first half of the stream and
+  // compare with the exact value across trials.
+  ForwardDecay<MonomialG> decay(MonomialG(2.0), 0.0);
+  const int n = 200;
+  double exact_subset = 0.0;
+  for (int i = 0; i < n / 2; ++i) {
+    exact_subset += decay.StaticWeight(1.0 + i);
+  }
+  const double norm = decay.Normalizer(1.0 + n);
+  RunningStats est_stats;
+  for (int trial = 0; trial < 3000; ++trial) {
+    Rng rng(41000 + trial);
+    PrioritySampler<int, MonomialG> sampler(decay, 32);
+    for (int i = 0; i < n; ++i) sampler.Add(1.0 + i, i, rng);
+    est_stats.Add(sampler.EstimateDecayedSubsetSum(
+        1.0 + n, [&](const int& v) { return v < n / 2; }));
+  }
+  const double exact = exact_subset / norm;
+  EXPECT_NEAR(est_stats.mean(), exact,
+              5.0 * est_stats.stddev() / std::sqrt(3000.0));
+}
+
+TEST(PrioritySamplerTest, FullCountEstimateTracksDecayedCount) {
+  ForwardDecay<ExponentialG> decay(ExponentialG(0.05), 0.0);
+  double exact_raw = 0.0;
+  RunningStats est_stats;
+  const int n = 500;
+  for (int i = 0; i < n; ++i) exact_raw += decay.StaticWeight(0.1 * i);
+  const double exact = exact_raw / decay.Normalizer(0.1 * n);
+  for (int trial = 0; trial < 2000; ++trial) {
+    Rng rng(51000 + trial);
+    PrioritySampler<int, ExponentialG> sampler(decay, 48);
+    for (int i = 0; i < n; ++i) sampler.Add(0.1 * i, i, rng);
+    est_stats.Add(sampler.EstimateDecayedCount(0.1 * n));
+  }
+  EXPECT_NEAR(est_stats.mean(), exact,
+              5.0 * est_stats.stddev() / std::sqrt(2000.0));
+}
+
+TEST(PrioritySamplerTest, SampleExcludesThreshold) {
+  ForwardDecay<MonomialG> decay(MonomialG(1.0), 0.0);
+  Rng rng(14);
+  PrioritySampler<int, MonomialG> sampler(decay, 10);
+  for (int i = 0; i < 100; ++i) sampler.Add(1.0 + i, i, rng);
+  EXPECT_EQ(sampler.Sample().size(), 10u);
+  EXPECT_EQ(sampler.sample_size(), 10u);
+}
+
+TEST(BiasedReservoirTest, CapacityNeverExceeded) {
+  Rng rng(15);
+  BiasedReservoirSampler<int> sampler(50);
+  for (int i = 0; i < 10000; ++i) sampler.Add(i, rng);
+  EXPECT_LE(sampler.sample().size(), 50u);
+  EXPECT_DOUBLE_EQ(sampler.lambda(), 0.02);
+}
+
+TEST(BiasedReservoirTest, RecencyBiasIsExponentialInIndex) {
+  // Aggarwal's method realizes inclusion p(r) ~ exp(-r/k) in the item's
+  // age-in-arrivals r. Check recent items are far more likely sampled
+  // than items ~3k arrivals old.
+  const std::size_t k = 100;
+  const int n = 2000;
+  double recent = 0.0;
+  double old = 0.0;
+  const int kTrials = 2000;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    Rng rng(71000 + trial);
+    BiasedReservoirSampler<int> sampler(k);
+    for (int i = 0; i < n; ++i) sampler.Add(i, rng);
+    for (int v : sampler.sample()) {
+      if (v >= n - 100) ++recent;
+      if (v < n - 3 * static_cast<int>(k)) ++old;
+    }
+  }
+  EXPECT_GT(recent, old * 5.0);
+}
+
+TEST(SamplersTest, OutOfOrderGivesSameMarginalsAsInOrder) {
+  // The forward-decay samplers depend only on (ti, item) pairs, not on
+  // their order: compare k=1 frequencies of in-order vs reversed feeds.
+  ForwardDecay<MonomialG> decay(MonomialG(2.0), 0.0);
+  const double stamps[] = {1.0, 2.0, 3.0, 4.0, 5.0};
+  const int kTrials = 30000;
+  std::vector<double> fwd_counts(5, 0.0);
+  std::vector<double> rev_counts(5, 0.0);
+  for (int trial = 0; trial < kTrials; ++trial) {
+    Rng rng1(81000 + trial);
+    Rng rng2(91000 + trial);
+    WeightedReservoirSampler<int, MonomialG> s1(decay, 1);
+    WeightedReservoirSampler<int, MonomialG> s2(decay, 1);
+    for (int i = 0; i < 5; ++i) s1.Add(stamps[i], i, rng1);
+    for (int i = 4; i >= 0; --i) s2.Add(stamps[i], i, rng2);
+    ++fwd_counts[static_cast<std::size_t>(s1.Sample()[0])];
+    ++rev_counts[static_cast<std::size_t>(s2.Sample()[0])];
+  }
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_NEAR(fwd_counts[i] / kTrials, rev_counts[i] / kTrials, 0.02);
+  }
+}
+
+}  // namespace
+}  // namespace fwdecay

@@ -1,0 +1,289 @@
+// Tests for summary serialization (Section VI-B: ship statically
+// weighted summaries between sites, then merge): byte-level round trips,
+// merge-after-transfer equivalence, and corruption/truncation safety.
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/aggregates.h"
+#include "core/count_distinct.h"
+#include "core/heavy_hitters.h"
+#include "core/quantiles.h"
+#include "sketch/dominance_norm.h"
+#include "sketch/kmv.h"
+#include "sketch/qdigest.h"
+#include "sketch/space_saving.h"
+#include "util/bytes.h"
+#include "util/random.h"
+#include "util/zipf.h"
+
+namespace fwdecay {
+namespace {
+
+TEST(ByteStreamTest, RoundTripsAllTypes) {
+  ByteWriter w;
+  w.WriteU8(0xab);
+  w.WriteU32(123456u);
+  w.WriteU64(0xdeadbeefcafef00dULL);
+  w.WriteI64(-42);
+  w.WriteDouble(3.14159);
+  w.WriteString("forward decay");
+  ByteReader r(w.bytes());
+  std::uint8_t u8 = 0;
+  std::uint32_t u32 = 0;
+  std::uint64_t u64 = 0;
+  std::int64_t i64 = 0;
+  double d = 0.0;
+  std::string s;
+  EXPECT_TRUE(r.ReadU8(&u8));
+  EXPECT_TRUE(r.ReadU32(&u32));
+  EXPECT_TRUE(r.ReadU64(&u64));
+  EXPECT_TRUE(r.ReadI64(&i64));
+  EXPECT_TRUE(r.ReadDouble(&d));
+  EXPECT_TRUE(r.ReadString(&s));
+  EXPECT_TRUE(r.Exhausted());
+  EXPECT_EQ(u8, 0xab);
+  EXPECT_EQ(u32, 123456u);
+  EXPECT_EQ(u64, 0xdeadbeefcafef00dULL);
+  EXPECT_EQ(i64, -42);
+  EXPECT_DOUBLE_EQ(d, 3.14159);
+  EXPECT_EQ(s, "forward decay");
+}
+
+TEST(ByteStreamTest, ReadsFailOnExhaustion) {
+  ByteWriter w;
+  w.WriteU8(1);
+  ByteReader r(w.bytes());
+  std::uint64_t u64 = 0;
+  EXPECT_FALSE(r.ReadU64(&u64));
+  std::string s;
+  EXPECT_FALSE(r.ReadString(&s));
+}
+
+TEST(SerializeTest, WeightedSpaceSavingRoundTrip) {
+  Rng rng(1);
+  ZipfGenerator zipf(500, 1.2);
+  WeightedSpaceSaving original(64);
+  for (int i = 0; i < 20000; ++i) {
+    original.Update(zipf.Next(rng), 1.0 + rng.NextDouble());
+  }
+  ByteWriter w;
+  original.SerializeTo(&w);
+  ByteReader r(w.bytes());
+  auto restored = WeightedSpaceSaving::Deserialize(&r);
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_TRUE(r.Exhausted());
+  EXPECT_DOUBLE_EQ(restored->TotalWeight(), original.TotalWeight());
+  EXPECT_EQ(restored->size(), original.size());
+  for (const auto& h : original.Query(0.0)) {
+    EXPECT_DOUBLE_EQ(restored->Estimate(h.key), h.estimate);
+  }
+  // The restored sketch keeps working (heap invariant intact).
+  for (int i = 0; i < 5000; ++i) {
+    restored->Update(zipf.Next(rng), 1.0);
+  }
+  EXPECT_LE(restored->size(), 64u);
+}
+
+TEST(SerializeTest, WeightedSpaceSavingMergeAfterTransfer) {
+  Rng rng(2);
+  ZipfGenerator zipf(300, 1.3);
+  WeightedSpaceSaving site_a(64);
+  WeightedSpaceSaving site_b(64);
+  WeightedSpaceSaving direct(64);
+  for (int i = 0; i < 30000; ++i) {
+    const std::uint64_t key = zipf.Next(rng);
+    (i % 2 == 0 ? site_a : site_b).Update(key, 1.0);
+    direct.Update(key, 1.0);
+  }
+  ByteWriter w;
+  site_b.SerializeTo(&w);
+  ByteReader r(w.bytes());
+  auto shipped = WeightedSpaceSaving::Deserialize(&r);
+  ASSERT_TRUE(shipped.has_value());
+  site_a.Merge(*shipped);
+  EXPECT_NEAR(site_a.TotalWeight(), direct.TotalWeight(), 1e-9);
+  // Heavy keys agree within the (doubled) merge error.
+  for (const auto& h : direct.Query(0.05)) {
+    EXPECT_GE(site_a.Estimate(h.key), h.estimate - 2.0 * 30000.0 / 64.0);
+  }
+}
+
+TEST(SerializeTest, QDigestRoundTrip) {
+  Rng rng(3);
+  QDigest original(12, 0.02);
+  for (int i = 0; i < 30000; ++i) {
+    original.Update(rng.NextBounded(1 << 12), 0.5 + rng.NextDouble());
+  }
+  original.Compress();
+  ByteWriter w;
+  original.SerializeTo(&w);
+  ByteReader r(w.bytes());
+  auto restored = QDigest::Deserialize(&r);
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_DOUBLE_EQ(restored->TotalWeight(), original.TotalWeight());
+  EXPECT_EQ(restored->NodeCount(), original.NodeCount());
+  for (double phi : {0.1, 0.5, 0.9}) {
+    EXPECT_EQ(restored->Quantile(phi), original.Quantile(phi));
+  }
+}
+
+TEST(SerializeTest, KmvRoundTripPreservesEstimate) {
+  KmvSketch original(256, /*hash_seed=*/7);
+  for (std::uint64_t k = 0; k < 50000; ++k) original.Insert(k);
+  ByteWriter w;
+  original.SerializeTo(&w);
+  ByteReader r(w.bytes());
+  auto restored = KmvSketch::Deserialize(&r);
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_DOUBLE_EQ(restored->Estimate(), original.Estimate());
+  EXPECT_EQ(restored->hash_seed(), 7u);
+  // Union with the original is idempotent (same hashes).
+  restored->Merge(original);
+  EXPECT_DOUBLE_EQ(restored->Estimate(), original.Estimate());
+}
+
+TEST(SerializeTest, DominanceNormRoundTrip) {
+  Rng rng(4);
+  DominanceNormSketch original(512, 1.1, /*hash_seed=*/9);
+  for (int i = 0; i < 20000; ++i) {
+    original.Update(rng.NextBounded(2000), std::exp(rng.NextDouble() * 8.0));
+  }
+  ByteWriter w;
+  original.SerializeTo(&w);
+  ByteReader r(w.bytes());
+  auto restored = DominanceNormSketch::Deserialize(&r);
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_DOUBLE_EQ(restored->Estimate(), original.Estimate());
+  EXPECT_EQ(restored->LevelCount(), original.LevelCount());
+}
+
+TEST(SerializeTest, DecayedAggregatesRoundTrip) {
+  const ForwardDecay<MonomialG> decay(MonomialG(2.0), 100.0);
+  DecayedCount<MonomialG> count(decay);
+  DecayedMoments<MonomialG> moments(decay);
+  for (double ts : {103.0, 104.0, 105.0, 107.0, 108.0}) {
+    count.Add(ts);
+    moments.Add(ts, ts - 100.0);
+  }
+  ByteWriter w;
+  count.SerializeTo(&w);
+  moments.SerializeTo(&w);
+  ByteReader r(w.bytes());
+  auto count2 = DecayedCount<MonomialG>::Deserialize(decay, &r);
+  auto moments2 = DecayedMoments<MonomialG>::Deserialize(decay, &r);
+  ASSERT_TRUE(count2.has_value());
+  ASSERT_TRUE(moments2.has_value());
+  EXPECT_TRUE(r.Exhausted());
+  EXPECT_DOUBLE_EQ(count2->Value(110.0), count.Value(110.0));
+  EXPECT_DOUBLE_EQ(moments2->Sum(110.0), moments.Sum(110.0));
+  EXPECT_DOUBLE_EQ(*moments2->Variance(), *moments.Variance());
+}
+
+TEST(SerializeTest, LandmarkMismatchRejected) {
+  const ForwardDecay<MonomialG> sender(MonomialG(2.0), 100.0);
+  const ForwardDecay<MonomialG> receiver(MonomialG(2.0), 50.0);
+  DecayedCount<MonomialG> count(sender);
+  count.Add(105.0);
+  ByteWriter w;
+  count.SerializeTo(&w);
+  ByteReader r(w.bytes());
+  EXPECT_FALSE(
+      DecayedCount<MonomialG>::Deserialize(receiver, &r).has_value());
+}
+
+TEST(SerializeTest, HeavyHittersQuantilesDistinctRoundTrip) {
+  Rng rng(5);
+  ZipfGenerator zipf(200, 1.4);
+  const ForwardDecay<ExponentialG> decay(ExponentialG(0.1), 0.0);
+  DecayedHeavyHitters<ExponentialG> hh(decay, 0.02);
+  DecayedQuantiles<ExponentialG> quant(decay, 10, 0.02);
+  DecayedDistinct<ExponentialG> distinct(decay, 512);
+  for (int i = 0; i < 20000; ++i) {
+    const double ts = rng.NextDouble() * 50.0;
+    hh.Add(ts, zipf.Next(rng));
+    quant.Add(ts, rng.NextBounded(1 << 10));
+    distinct.Add(ts, rng.NextBounded(1000));
+  }
+  ByteWriter w;
+  hh.SerializeTo(&w);
+  quant.SerializeTo(&w);
+  distinct.SerializeTo(&w);
+
+  ByteReader r(w.bytes());
+  auto hh2 = DecayedHeavyHitters<ExponentialG>::Deserialize(decay, &r);
+  auto quant2 = DecayedQuantiles<ExponentialG>::Deserialize(decay, &r);
+  auto distinct2 = DecayedDistinct<ExponentialG>::Deserialize(decay, &r);
+  ASSERT_TRUE(hh2.has_value());
+  ASSERT_TRUE(quant2.has_value());
+  ASSERT_TRUE(distinct2.has_value());
+  EXPECT_TRUE(r.Exhausted());
+  EXPECT_DOUBLE_EQ(hh2->DecayedTotal(50.0), hh.DecayedTotal(50.0));
+  EXPECT_EQ(quant2->Quantile(0.5), quant.Quantile(0.5));
+  EXPECT_DOUBLE_EQ(distinct2->Estimate(50.0), distinct.Estimate(50.0));
+  const auto top1 = hh.Query(50.0, 0.05);
+  const auto top2 = hh2->Query(50.0, 0.05);
+  ASSERT_EQ(top1.size(), top2.size());
+  for (std::size_t i = 0; i < top1.size(); ++i) {
+    EXPECT_EQ(top1[i].key, top2[i].key);
+    EXPECT_DOUBLE_EQ(top1[i].decayed_count, top2[i].decayed_count);
+  }
+}
+
+TEST(SerializeTest, TruncatedInputsRejectedEverywhere) {
+  Rng rng(6);
+  WeightedSpaceSaving ss(16);
+  for (int i = 0; i < 100; ++i) ss.Update(rng.NextBounded(50), 1.0);
+  QDigest qd(8, 0.1);
+  for (int i = 0; i < 100; ++i) qd.Update(rng.NextBounded(256), 1.0);
+  KmvSketch kmv(8);
+  for (std::uint64_t k = 0; k < 100; ++k) kmv.Insert(k);
+
+  ByteWriter w;
+  ss.SerializeTo(&w);
+  const std::size_t ss_end = w.bytes().size();
+  qd.SerializeTo(&w);
+  const std::size_t qd_end = w.bytes().size();
+  kmv.SerializeTo(&w);
+  const auto& bytes = w.bytes();
+
+  // Every strict prefix of each blob must be rejected, never crash.
+  for (std::size_t len : {std::size_t{0}, std::size_t{1}, ss_end / 2,
+                          ss_end - 1}) {
+    ByteReader r(bytes.data(), len);
+    EXPECT_FALSE(WeightedSpaceSaving::Deserialize(&r).has_value())
+        << "prefix " << len;
+  }
+  {
+    ByteReader r(bytes.data() + ss_end, (qd_end - ss_end) / 2);
+    EXPECT_FALSE(QDigest::Deserialize(&r).has_value());
+  }
+  {
+    ByteReader r(bytes.data() + qd_end, 3);
+    EXPECT_FALSE(KmvSketch::Deserialize(&r).has_value());
+  }
+  // Wrong tag: feeding the q-digest blob to the SpaceSaving parser.
+  {
+    ByteReader r(bytes.data() + ss_end, bytes.size() - ss_end);
+    EXPECT_FALSE(WeightedSpaceSaving::Deserialize(&r).has_value());
+  }
+}
+
+TEST(SerializeTest, CorruptCountFieldRejected) {
+  WeightedSpaceSaving ss(4);
+  ss.Update(1, 1.0);
+  ByteWriter w;
+  ss.SerializeTo(&w);
+  auto bytes = w.Take();
+  // The entry-count field lives after tag+version+capacity+total: claim
+  // more counters than capacity.
+  const std::size_t count_offset = 1 + 1 + 8 + 8;
+  bytes[count_offset] = 0xff;
+  ByteReader r(bytes);
+  EXPECT_FALSE(WeightedSpaceSaving::Deserialize(&r).has_value());
+}
+
+}  // namespace
+}  // namespace fwdecay

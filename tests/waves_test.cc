@@ -1,0 +1,98 @@
+// Tests for the Deterministic Waves sliding-window counter, and a
+// cross-check against exponential histograms on the same stream.
+
+#include <cmath>
+#include <deque>
+
+#include <gtest/gtest.h>
+
+#include "sketch/exp_histogram.h"
+#include "sketch/waves.h"
+#include "util/random.h"
+
+namespace fwdecay {
+namespace {
+
+TEST(WaveCountTest, ExactForTinyStreams) {
+  WaveCount wave(0.1);
+  for (int i = 1; i <= 5; ++i) wave.Insert(static_cast<double>(i));
+  EXPECT_EQ(wave.TotalCount(), 5u);
+  EXPECT_NEAR(wave.CountInWindow(5.0, 10.0), 5.0, 1.0);
+  EXPECT_NEAR(wave.CountInWindow(5.0, 2.5), 2.0, 1.0);
+}
+
+TEST(WaveCountTest, WindowCountWithinRelativeError) {
+  const double eps = 0.05;
+  WaveCount wave(eps);
+  std::deque<double> stamps;
+  Rng rng(1);
+  double t = 0.0;
+  for (int i = 0; i < 200000; ++i) {
+    t += rng.NextExponential(1000.0);
+    wave.Insert(t);
+    stamps.push_back(t);
+  }
+  for (double window : {0.05, 0.5, 5.0, 50.0, 500.0}) {
+    double truth = 0.0;
+    for (double s : stamps) truth += (s >= t - window);
+    const double est = wave.CountInWindow(t, window);
+    if (truth < 20) continue;
+    EXPECT_NEAR(est, truth, eps * truth + 2.0) << "window=" << window;
+  }
+}
+
+TEST(WaveCountTest, EmptyWindow) {
+  WaveCount wave(0.1);
+  wave.Insert(1.0);
+  wave.Insert(2.0);
+  // Window entirely before the data... cutoff after all arrivals.
+  EXPECT_NEAR(wave.CountInWindow(10.0, 1.0), 0.0, 1.0);
+}
+
+TEST(WaveCountTest, SpaceIsLogarithmic) {
+  const double eps = 0.1;
+  WaveCount wave(eps);
+  for (int i = 1; i <= 100000; ++i) wave.Insert(static_cast<double>(i));
+  // O((1/eps) * log(eps * N)) positions.
+  const double bound = (1.0 / eps + 2.0) * (std::log2(0.1 * 100000.0) + 3.0);
+  EXPECT_LE(wave.StoredPositions(), static_cast<std::size_t>(bound));
+}
+
+TEST(WaveCountTest, AgreesWithExponentialHistogram) {
+  const double eps = 0.05;
+  WaveCount wave(eps);
+  EhCount eh(eps);
+  Rng rng(2);
+  double t = 0.0;
+  for (int i = 0; i < 100000; ++i) {
+    t += rng.NextExponential(2000.0);
+    wave.Insert(t);
+    eh.Insert(t);
+  }
+  for (double window : {0.1, 1.0, 10.0}) {
+    const double w_est = wave.CountInWindow(t, window);
+    const double e_est = eh.CountInWindow(t, window);
+    // Both are (1 +/- eps) of the same truth.
+    EXPECT_NEAR(w_est, e_est, 2.0 * eps * std::max(w_est, e_est) + 4.0)
+        << "window=" << window;
+  }
+}
+
+TEST(WaveCountTest, MonotoneInWindowSize) {
+  WaveCount wave(0.1);
+  Rng rng(3);
+  double t = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    t += rng.NextExponential(500.0);
+    wave.Insert(t);
+  }
+  double prev = -1.0;
+  for (double window = 0.1; window < 60.0; window *= 2.0) {
+    const double est = wave.CountInWindow(t, window);
+    EXPECT_GE(est, prev - 1e-9);
+    prev = est;
+  }
+}
+
+}  // namespace
+}  // namespace fwdecay

@@ -1,0 +1,212 @@
+// Tests for the Aurora-style window runners (sliding / latched) and for
+// the trace file I/O.
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dsms/engine.h"
+#include "dsms/netgen.h"
+#include "dsms/trace_io.h"
+#include "dsms/windows.h"
+
+namespace fwdecay::dsms {
+namespace {
+
+Packet At(double time, std::uint16_t port = 80) {
+  Packet p;
+  p.time = time;
+  p.dest_port = port;
+  p.len = 100;
+  p.protocol = kProtoTcp;
+  return p;
+}
+
+std::unique_ptr<CompiledQuery> CountPlan() {
+  std::string error;
+  auto plan = CompiledQuery::Compile(
+      "select destPort, count(*) from TCP group by destPort", &error);
+  EXPECT_NE(plan, nullptr) << error;
+  return plan;
+}
+
+TEST(SlidingRunnerTest, OverlappingWindowsEachCountTheirSpan) {
+  auto plan = CountPlan();
+  // Width 10 s, slide 5 s: every packet lands in two windows.
+  std::map<double, std::int64_t> counts;  // window_start -> count
+  SlidingRunner runner(plan.get(), 10.0, 5.0,
+                       [&](double start, double end, ResultSet rs) {
+                         EXPECT_DOUBLE_EQ(end - start, 10.0);
+                         counts[start] =
+                             rs.rows.empty() ? 0 : rs.rows[0][1].AsInt();
+                       });
+  // Packets at t = 1..19 (one per second).
+  for (int t = 1; t < 20; ++t) runner.Consume(At(static_cast<double>(t)));
+  runner.Flush();
+  // Window [0,10) sees t=1..9 -> 9; window [5,15) sees 5..14 -> 10;
+  // window [10,20) sees 10..19 -> 10; window [15,25) sees 15..19 -> 5.
+  EXPECT_EQ(counts[0.0], 9);
+  EXPECT_EQ(counts[5.0], 10);
+  EXPECT_EQ(counts[10.0], 10);
+  EXPECT_EQ(counts[15.0], 5);
+}
+
+TEST(SlidingRunnerTest, EmitsWhenWatermarkPassesWindowEnd) {
+  auto plan = CountPlan();
+  std::vector<double> emitted_starts;
+  SlidingRunner runner(plan.get(), 10.0, 5.0,
+                       [&](double start, double, ResultSet) {
+                         emitted_starts.push_back(start);
+                       });
+  runner.Consume(At(1.0));
+  // t=1 also belongs to the straddling window [-5, 5), which closes as
+  // soon as the watermark passes 5.
+  runner.Consume(At(9.0));
+  ASSERT_EQ(emitted_starts.size(), 1u);
+  EXPECT_DOUBLE_EQ(emitted_starts[0], -5.0);
+  runner.Consume(At(10.5));  // watermark past window [0,10)'s end
+  ASSERT_EQ(emitted_starts.size(), 2u);
+  EXPECT_DOUBLE_EQ(emitted_starts[1], 0.0);
+  runner.Flush();
+  EXPECT_GE(emitted_starts.size(), 3u);
+}
+
+TEST(SlidingRunnerTest, SlideEqualWidthIsTumbling) {
+  auto plan = CountPlan();
+  std::map<double, std::int64_t> counts;
+  SlidingRunner runner(plan.get(), 5.0, 5.0,
+                       [&](double start, double, ResultSet rs) {
+                         counts[start] =
+                             rs.rows.empty() ? 0 : rs.rows[0][1].AsInt();
+                       });
+  for (int t = 0; t < 14; ++t) runner.Consume(At(0.5 + t));
+  runner.Flush();
+  std::int64_t total = 0;
+  for (const auto& [start, c] : counts) total += c;
+  EXPECT_EQ(total, 14);  // no overlap: each packet counted once
+}
+
+TEST(LatchedRunnerTest, SnapshotsAreCumulative) {
+  auto plan = CountPlan();
+  std::map<std::int64_t, std::int64_t> counts;
+  LatchedRunner runner(plan.get(), 10.0,
+                       [&](std::int64_t bucket, ResultSet rs) {
+                         counts[bucket] =
+                             rs.rows.empty() ? 0 : rs.rows[0][1].AsInt();
+                       });
+  for (int t = 1; t < 35; ++t) runner.Consume(At(static_cast<double>(t)));
+  runner.Flush();
+  // Latched semantics: each snapshot includes everything so far.
+  EXPECT_EQ(counts[0], 9);    // t=1..9
+  EXPECT_EQ(counts[1], 19);   // + t=10..19
+  EXPECT_EQ(counts[2], 29);   // + t=20..29
+  EXPECT_EQ(counts[3], 34);   // + t=30..34
+}
+
+TEST(LatchedRunnerTest, CumulativeWithTwoLevelSplit) {
+  std::string error;
+  CompiledQuery::Options opts;
+  opts.two_level = true;
+  opts.low_level_slots = 4;
+  auto plan = CompiledQuery::Compile(
+      "select destPort, count(*) from TCP group by destPort", &error, opts);
+  ASSERT_NE(plan, nullptr) << error;
+  std::vector<std::int64_t> totals;
+  LatchedRunner runner(plan.get(), 10.0,
+                       [&](std::int64_t, ResultSet rs) {
+                         std::int64_t sum = 0;
+                         for (const auto& row : rs.rows) {
+                           sum += row[1].AsInt();
+                         }
+                         totals.push_back(sum);
+                       });
+  // Many ports force low-level evictions between snapshots.
+  for (int t = 1; t < 30; ++t) {
+    runner.Consume(At(static_cast<double>(t),
+                      static_cast<std::uint16_t>(t % 13)));
+  }
+  runner.Flush();
+  ASSERT_EQ(totals.size(), 3u);
+  EXPECT_EQ(totals[0], 9);
+  EXPECT_EQ(totals[1], 19);
+  EXPECT_EQ(totals[2], 29);
+}
+
+// --- Trace I/O ------------------------------------------------------------------
+
+TEST(TraceIoTest, RoundTripsGeneratedTrace) {
+  TraceConfig cfg;
+  cfg.rate_pps = 1000.0;
+  cfg.seed = 5;
+  PacketGenerator gen(cfg);
+  const auto packets = gen.Generate(5000);
+
+  const std::string path = testing::TempDir() + "/fwdecay_trace_test.bin";
+  std::string error;
+  ASSERT_TRUE(WriteTrace(path, packets, &error)) << error;
+  auto loaded = ReadTrace(path, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  ASSERT_EQ(loaded->size(), packets.size());
+  for (std::size_t i = 0; i < packets.size(); i += 97) {
+    EXPECT_DOUBLE_EQ((*loaded)[i].time, packets[i].time);
+    EXPECT_EQ((*loaded)[i].dest_ip, packets[i].dest_ip);
+    EXPECT_EQ((*loaded)[i].dest_port, packets[i].dest_port);
+    EXPECT_EQ((*loaded)[i].len, packets[i].len);
+    EXPECT_EQ((*loaded)[i].protocol, packets[i].protocol);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TraceIoTest, MissingFileDiagnosed) {
+  std::string error;
+  EXPECT_FALSE(ReadTrace("/nonexistent/trace.bin", &error).has_value());
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(TraceIoTest, CorruptAndTruncatedFilesRejected) {
+  const std::string path = testing::TempDir() + "/fwdecay_trace_bad.bin";
+  std::string error;
+
+  // Bad magic.
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fwrite("NOTATRACE_______", 1, 16, f);
+    std::fclose(f);
+    EXPECT_FALSE(ReadTrace(path, &error).has_value());
+    EXPECT_NE(error.find("magic"), std::string::npos);
+  }
+  // Truncated records: write a valid trace then chop it.
+  {
+    TraceConfig cfg;
+    PacketGenerator gen(cfg);
+    ASSERT_TRUE(WriteTrace(path, gen.Generate(100), &error)) << error;
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    std::vector<unsigned char> bytes(1000);
+    const std::size_t got = std::fread(bytes.data(), 1, bytes.size(), f);
+    std::fclose(f);
+    f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fwrite(bytes.data(), 1, got / 2, f);
+    std::fclose(f);
+    EXPECT_FALSE(ReadTrace(path, &error).has_value());
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TraceIoTest, EmptyTraceIsValid) {
+  const std::string path = testing::TempDir() + "/fwdecay_trace_empty.bin";
+  std::string error;
+  ASSERT_TRUE(WriteTrace(path, {}, &error)) << error;
+  auto loaded = ReadTrace(path, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  EXPECT_TRUE(loaded->empty());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace fwdecay::dsms
