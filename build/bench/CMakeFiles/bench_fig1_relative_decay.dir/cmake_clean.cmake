@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_relative_decay.dir/bench_fig1_relative_decay.cc.o"
+  "CMakeFiles/bench_fig1_relative_decay.dir/bench_fig1_relative_decay.cc.o.d"
+  "bench_fig1_relative_decay"
+  "bench_fig1_relative_decay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_relative_decay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

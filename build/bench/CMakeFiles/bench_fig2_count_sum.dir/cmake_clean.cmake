@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_count_sum.dir/bench_fig2_count_sum.cc.o"
+  "CMakeFiles/bench_fig2_count_sum.dir/bench_fig2_count_sum.cc.o.d"
+  "bench_fig2_count_sum"
+  "bench_fig2_count_sum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_count_sum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

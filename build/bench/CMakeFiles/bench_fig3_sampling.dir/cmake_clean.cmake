@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_sampling.dir/bench_fig3_sampling.cc.o"
+  "CMakeFiles/bench_fig3_sampling.dir/bench_fig3_sampling.cc.o.d"
+  "bench_fig3_sampling"
+  "bench_fig3_sampling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

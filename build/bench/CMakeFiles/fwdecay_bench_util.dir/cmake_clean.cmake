@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fwdecay_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/fwdecay_bench_util.dir/bench_util.cc.o.d"
+  "libfwdecay_bench_util.a"
+  "libfwdecay_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fwdecay_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

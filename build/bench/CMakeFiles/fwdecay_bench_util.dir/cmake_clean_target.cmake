@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfwdecay_bench_util.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decayed_sampling.dir/decayed_sampling.cpp.o"
+  "CMakeFiles/decayed_sampling.dir/decayed_sampling.cpp.o.d"
+  "decayed_sampling"
+  "decayed_sampling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decayed_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

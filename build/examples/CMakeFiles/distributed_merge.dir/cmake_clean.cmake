@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_merge.dir/distributed_merge.cpp.o"
+  "CMakeFiles/distributed_merge.dir/distributed_merge.cpp.o.d"
+  "distributed_merge"
+  "distributed_merge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_merge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

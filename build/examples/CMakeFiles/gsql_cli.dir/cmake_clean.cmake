@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gsql_cli.dir/gsql_cli.cpp.o"
+  "CMakeFiles/gsql_cli.dir/gsql_cli.cpp.o.d"
+  "gsql_cli"
+  "gsql_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gsql_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

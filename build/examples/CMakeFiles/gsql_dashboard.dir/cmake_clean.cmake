@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gsql_dashboard.dir/gsql_dashboard.cpp.o"
+  "CMakeFiles/gsql_dashboard.dir/gsql_dashboard.cpp.o.d"
+  "gsql_dashboard"
+  "gsql_dashboard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gsql_dashboard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

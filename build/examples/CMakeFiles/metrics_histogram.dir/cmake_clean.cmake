@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metrics_histogram.dir/metrics_histogram.cpp.o"
+  "CMakeFiles/metrics_histogram.dir/metrics_histogram.cpp.o.d"
+  "metrics_histogram"
+  "metrics_histogram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metrics_histogram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

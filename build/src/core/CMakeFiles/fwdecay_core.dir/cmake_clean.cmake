@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fwdecay_core.dir/exact_reference.cc.o"
+  "CMakeFiles/fwdecay_core.dir/exact_reference.cc.o.d"
+  "libfwdecay_core.a"
+  "libfwdecay_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fwdecay_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dsms/agg.cc" "src/dsms/CMakeFiles/fwdecay_dsms.dir/agg.cc.o" "gcc" "src/dsms/CMakeFiles/fwdecay_dsms.dir/agg.cc.o.d"
+  "/root/repo/src/dsms/engine.cc" "src/dsms/CMakeFiles/fwdecay_dsms.dir/engine.cc.o" "gcc" "src/dsms/CMakeFiles/fwdecay_dsms.dir/engine.cc.o.d"
+  "/root/repo/src/dsms/expr.cc" "src/dsms/CMakeFiles/fwdecay_dsms.dir/expr.cc.o" "gcc" "src/dsms/CMakeFiles/fwdecay_dsms.dir/expr.cc.o.d"
+  "/root/repo/src/dsms/netgen.cc" "src/dsms/CMakeFiles/fwdecay_dsms.dir/netgen.cc.o" "gcc" "src/dsms/CMakeFiles/fwdecay_dsms.dir/netgen.cc.o.d"
+  "/root/repo/src/dsms/parser.cc" "src/dsms/CMakeFiles/fwdecay_dsms.dir/parser.cc.o" "gcc" "src/dsms/CMakeFiles/fwdecay_dsms.dir/parser.cc.o.d"
+  "/root/repo/src/dsms/trace_io.cc" "src/dsms/CMakeFiles/fwdecay_dsms.dir/trace_io.cc.o" "gcc" "src/dsms/CMakeFiles/fwdecay_dsms.dir/trace_io.cc.o.d"
+  "/root/repo/src/dsms/tumbling.cc" "src/dsms/CMakeFiles/fwdecay_dsms.dir/tumbling.cc.o" "gcc" "src/dsms/CMakeFiles/fwdecay_dsms.dir/tumbling.cc.o.d"
+  "/root/repo/src/dsms/udafs.cc" "src/dsms/CMakeFiles/fwdecay_dsms.dir/udafs.cc.o" "gcc" "src/dsms/CMakeFiles/fwdecay_dsms.dir/udafs.cc.o.d"
+  "/root/repo/src/dsms/value.cc" "src/dsms/CMakeFiles/fwdecay_dsms.dir/value.cc.o" "gcc" "src/dsms/CMakeFiles/fwdecay_dsms.dir/value.cc.o.d"
+  "/root/repo/src/dsms/windows.cc" "src/dsms/CMakeFiles/fwdecay_dsms.dir/windows.cc.o" "gcc" "src/dsms/CMakeFiles/fwdecay_dsms.dir/windows.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/fwdecay_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sketch/CMakeFiles/fwdecay_sketch.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/fwdecay_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fwdecay_dsms.dir/agg.cc.o"
+  "CMakeFiles/fwdecay_dsms.dir/agg.cc.o.d"
+  "CMakeFiles/fwdecay_dsms.dir/engine.cc.o"
+  "CMakeFiles/fwdecay_dsms.dir/engine.cc.o.d"
+  "CMakeFiles/fwdecay_dsms.dir/expr.cc.o"
+  "CMakeFiles/fwdecay_dsms.dir/expr.cc.o.d"
+  "CMakeFiles/fwdecay_dsms.dir/netgen.cc.o"
+  "CMakeFiles/fwdecay_dsms.dir/netgen.cc.o.d"
+  "CMakeFiles/fwdecay_dsms.dir/parser.cc.o"
+  "CMakeFiles/fwdecay_dsms.dir/parser.cc.o.d"
+  "CMakeFiles/fwdecay_dsms.dir/trace_io.cc.o"
+  "CMakeFiles/fwdecay_dsms.dir/trace_io.cc.o.d"
+  "CMakeFiles/fwdecay_dsms.dir/tumbling.cc.o"
+  "CMakeFiles/fwdecay_dsms.dir/tumbling.cc.o.d"
+  "CMakeFiles/fwdecay_dsms.dir/udafs.cc.o"
+  "CMakeFiles/fwdecay_dsms.dir/udafs.cc.o.d"
+  "CMakeFiles/fwdecay_dsms.dir/value.cc.o"
+  "CMakeFiles/fwdecay_dsms.dir/value.cc.o.d"
+  "CMakeFiles/fwdecay_dsms.dir/windows.cc.o"
+  "CMakeFiles/fwdecay_dsms.dir/windows.cc.o.d"
+  "libfwdecay_dsms.a"
+  "libfwdecay_dsms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fwdecay_dsms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfwdecay_dsms.a"
+)

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sketch/backward_sum.cc" "src/sketch/CMakeFiles/fwdecay_sketch.dir/backward_sum.cc.o" "gcc" "src/sketch/CMakeFiles/fwdecay_sketch.dir/backward_sum.cc.o.d"
+  "/root/repo/src/sketch/count_min.cc" "src/sketch/CMakeFiles/fwdecay_sketch.dir/count_min.cc.o" "gcc" "src/sketch/CMakeFiles/fwdecay_sketch.dir/count_min.cc.o.d"
+  "/root/repo/src/sketch/dominance_norm.cc" "src/sketch/CMakeFiles/fwdecay_sketch.dir/dominance_norm.cc.o" "gcc" "src/sketch/CMakeFiles/fwdecay_sketch.dir/dominance_norm.cc.o.d"
+  "/root/repo/src/sketch/exp_histogram.cc" "src/sketch/CMakeFiles/fwdecay_sketch.dir/exp_histogram.cc.o" "gcc" "src/sketch/CMakeFiles/fwdecay_sketch.dir/exp_histogram.cc.o.d"
+  "/root/repo/src/sketch/qdigest.cc" "src/sketch/CMakeFiles/fwdecay_sketch.dir/qdigest.cc.o" "gcc" "src/sketch/CMakeFiles/fwdecay_sketch.dir/qdigest.cc.o.d"
+  "/root/repo/src/sketch/sliding_hh.cc" "src/sketch/CMakeFiles/fwdecay_sketch.dir/sliding_hh.cc.o" "gcc" "src/sketch/CMakeFiles/fwdecay_sketch.dir/sliding_hh.cc.o.d"
+  "/root/repo/src/sketch/sliding_quantiles.cc" "src/sketch/CMakeFiles/fwdecay_sketch.dir/sliding_quantiles.cc.o" "gcc" "src/sketch/CMakeFiles/fwdecay_sketch.dir/sliding_quantiles.cc.o.d"
+  "/root/repo/src/sketch/space_saving.cc" "src/sketch/CMakeFiles/fwdecay_sketch.dir/space_saving.cc.o" "gcc" "src/sketch/CMakeFiles/fwdecay_sketch.dir/space_saving.cc.o.d"
+  "/root/repo/src/sketch/tdigest.cc" "src/sketch/CMakeFiles/fwdecay_sketch.dir/tdigest.cc.o" "gcc" "src/sketch/CMakeFiles/fwdecay_sketch.dir/tdigest.cc.o.d"
+  "/root/repo/src/sketch/waves.cc" "src/sketch/CMakeFiles/fwdecay_sketch.dir/waves.cc.o" "gcc" "src/sketch/CMakeFiles/fwdecay_sketch.dir/waves.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/fwdecay_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

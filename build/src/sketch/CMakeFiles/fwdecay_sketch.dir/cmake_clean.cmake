@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fwdecay_sketch.dir/backward_sum.cc.o"
+  "CMakeFiles/fwdecay_sketch.dir/backward_sum.cc.o.d"
+  "CMakeFiles/fwdecay_sketch.dir/count_min.cc.o"
+  "CMakeFiles/fwdecay_sketch.dir/count_min.cc.o.d"
+  "CMakeFiles/fwdecay_sketch.dir/dominance_norm.cc.o"
+  "CMakeFiles/fwdecay_sketch.dir/dominance_norm.cc.o.d"
+  "CMakeFiles/fwdecay_sketch.dir/exp_histogram.cc.o"
+  "CMakeFiles/fwdecay_sketch.dir/exp_histogram.cc.o.d"
+  "CMakeFiles/fwdecay_sketch.dir/qdigest.cc.o"
+  "CMakeFiles/fwdecay_sketch.dir/qdigest.cc.o.d"
+  "CMakeFiles/fwdecay_sketch.dir/sliding_hh.cc.o"
+  "CMakeFiles/fwdecay_sketch.dir/sliding_hh.cc.o.d"
+  "CMakeFiles/fwdecay_sketch.dir/sliding_quantiles.cc.o"
+  "CMakeFiles/fwdecay_sketch.dir/sliding_quantiles.cc.o.d"
+  "CMakeFiles/fwdecay_sketch.dir/space_saving.cc.o"
+  "CMakeFiles/fwdecay_sketch.dir/space_saving.cc.o.d"
+  "CMakeFiles/fwdecay_sketch.dir/tdigest.cc.o"
+  "CMakeFiles/fwdecay_sketch.dir/tdigest.cc.o.d"
+  "CMakeFiles/fwdecay_sketch.dir/waves.cc.o"
+  "CMakeFiles/fwdecay_sketch.dir/waves.cc.o.d"
+  "libfwdecay_sketch.a"
+  "libfwdecay_sketch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fwdecay_sketch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fwdecay_util.dir/stats.cc.o"
+  "CMakeFiles/fwdecay_util.dir/stats.cc.o.d"
+  "CMakeFiles/fwdecay_util.dir/table_printer.cc.o"
+  "CMakeFiles/fwdecay_util.dir/table_printer.cc.o.d"
+  "CMakeFiles/fwdecay_util.dir/zipf.cc.o"
+  "CMakeFiles/fwdecay_util.dir/zipf.cc.o.d"
+  "libfwdecay_util.a"
+  "libfwdecay_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fwdecay_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decaying_reservoir_test.dir/decaying_reservoir_test.cc.o"
+  "CMakeFiles/decaying_reservoir_test.dir/decaying_reservoir_test.cc.o.d"
+  "decaying_reservoir_test"
+  "decaying_reservoir_test.pdb"
+  "decaying_reservoir_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decaying_reservoir_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gsql_extensions_test.dir/gsql_extensions_test.cc.o"
+  "CMakeFiles/gsql_extensions_test.dir/gsql_extensions_test.cc.o.d"
+  "gsql_extensions_test"
+  "gsql_extensions_test.pdb"
+  "gsql_extensions_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gsql_extensions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

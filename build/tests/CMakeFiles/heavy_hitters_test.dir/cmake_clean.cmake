@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heavy_hitters_test.dir/heavy_hitters_test.cc.o"
+  "CMakeFiles/heavy_hitters_test.dir/heavy_hitters_test.cc.o.d"
+  "heavy_hitters_test"
+  "heavy_hitters_test.pdb"
+  "heavy_hitters_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heavy_hitters_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topk_histogram_test.dir/topk_histogram_test.cc.o"
+  "CMakeFiles/topk_histogram_test.dir/topk_histogram_test.cc.o.d"
+  "topk_histogram_test"
+  "topk_histogram_test.pdb"
+  "topk_histogram_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topk_histogram_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

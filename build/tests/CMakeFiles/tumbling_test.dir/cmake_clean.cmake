@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tumbling_test.dir/tumbling_test.cc.o"
+  "CMakeFiles/tumbling_test.dir/tumbling_test.cc.o.d"
+  "tumbling_test"
+  "tumbling_test.pdb"
+  "tumbling_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tumbling_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

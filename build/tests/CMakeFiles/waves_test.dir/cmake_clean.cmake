@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/waves_test.dir/waves_test.cc.o"
+  "CMakeFiles/waves_test.dir/waves_test.cc.o.d"
+  "waves_test"
+  "waves_test.pdb"
+  "waves_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/waves_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/decay_test[1]_include.cmake")
+include("/root/repo/build/tests/aggregates_test[1]_include.cmake")
+include("/root/repo/build/tests/space_saving_test[1]_include.cmake")
+include("/root/repo/build/tests/qdigest_test[1]_include.cmake")
+include("/root/repo/build/tests/exp_histogram_test[1]_include.cmake")
+include("/root/repo/build/tests/distinct_test[1]_include.cmake")
+include("/root/repo/build/tests/heavy_hitters_test[1]_include.cmake")
+include("/root/repo/build/tests/sampling_test[1]_include.cmake")
+include("/root/repo/build/tests/dsms_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/waves_test[1]_include.cmake")
+include("/root/repo/build/tests/tumbling_test[1]_include.cmake")
+include("/root/repo/build/tests/udaf_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/serialize_test[1]_include.cmake")
+include("/root/repo/build/tests/decaying_reservoir_test[1]_include.cmake")
+include("/root/repo/build/tests/gsql_extensions_test[1]_include.cmake")
+include("/root/repo/build/tests/backends_test[1]_include.cmake")
+include("/root/repo/build/tests/windows_test[1]_include.cmake")
+include("/root/repo/build/tests/fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/edge_cases_test[1]_include.cmake")
+include("/root/repo/build/tests/topk_histogram_test[1]_include.cmake")
+include("/root/repo/build/tests/error_bounds_test[1]_include.cmake")
+include("/root/repo/build/tests/coverage_test[1]_include.cmake")
