@@ -1,0 +1,149 @@
+#!/usr/bin/env python3
+"""Repo-invariant linter for rules clang-tidy cannot express.
+
+Enforced invariants (each maps to a documented repo convention):
+
+  guard      Include guards in headers must be FWDECAY_<PATH>_H_, where
+             <PATH> is the path relative to the source root (src/ stripped),
+             upper-cased, with /, ., - mapped to _.  The #endif must carry
+             a `// FWDECAY_..._H_` trailing comment.
+  random     All randomness flows through util/random.h (explicit-seed
+             xoshiro256++).  rand(), srand(), time(nullptr)-seeding and
+             std::mt19937 are banned everywhere else: they silently
+             destroy run-to-run reproducibility of the experiments.
+  throw      Library code (src/) is exception-free Google style; `throw`
+             is banned.  Errors are status-style returns (ParseResult) or
+             FWDECAY_CHECK aborts.
+  assert     Naked assert() / <cassert> are banned in src/, bench/ and
+             examples/: FWDECAY_CHECK aborts in every build type and
+             prints the failing expression; FWDECAY_DCHECK is the
+             debug-only form.  (tests/ may use gtest's assertions.)
+
+Usage: scripts/lint.py [--root DIR]
+Exit status is 0 when clean, 1 when any finding is reported.
+"""
+
+import argparse
+import pathlib
+import re
+import sys
+
+SOURCE_DIRS = ("src", "bench", "examples", "tests")
+CXX_SUFFIXES = (".h", ".cc", ".cpp")
+
+# util/random.h is the one sanctioned home of PRNG machinery.
+RANDOM_EXEMPT = ("src/util/random.h",)
+
+RANDOM_BANNED = re.compile(
+    r"(?<![\w:])(?:rand|srand)\s*\(|time\s*\(\s*(?:nullptr|NULL|0)\s*\)"
+    r"|\bmt19937(?:_64)?\b")
+THROW_BANNED = re.compile(r"(?<![\w])throw\b(?!\s*\()")
+ASSERT_BANNED = re.compile(r"(?<![\w.])assert\s*\(|#\s*include\s*<cassert>")
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blanks out comments and string/char literals, preserving line
+    structure so reported line numbers stay accurate."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            j = text.find("\n", i)
+            j = n if j == -1 else j
+            i = j
+        elif c == "/" and i + 1 < n and text[i + 1] == "*":
+            j = text.find("*/", i + 2)
+            j = n - 2 if j == -1 else j
+            out.append("\n" * text.count("\n", i, j + 2))
+            i = j + 2
+        elif c in "\"'":
+            quote = c
+            j = i + 1
+            while j < n and text[j] != quote:
+                j += 2 if text[j] == "\\" else 1
+            i = j + 1
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def expected_guard(relpath: pathlib.PurePosixPath) -> str:
+    parts = list(relpath.parts)
+    if parts[0] == "src":  # headers are included as "util/check.h" etc.
+        parts = parts[1:]
+    stem = "/".join(parts)
+    return "FWDECAY_" + re.sub(r"[/.\-]", "_", stem.upper()) + "_"
+
+
+def check_guard(rel: str, text: str, findings: list) -> None:
+    want = expected_guard(pathlib.PurePosixPath(rel))
+    m = re.search(r"^#ifndef\s+(\S+)\s*\n#define\s+(\S+)", text, re.M)
+    if not m:
+        findings.append((rel, 1, f"missing include guard (expected {want})"))
+        return
+    ifndef_line = text[: m.start()].count("\n") + 1
+    for got in (m.group(1), m.group(2)):
+        if got != want:
+            findings.append(
+                (rel, ifndef_line, f"include guard {got}, expected {want}"))
+            return
+    endif = re.search(r"#endif\s*//\s*(\S+)\s*$", text.rstrip())
+    if not endif or endif.group(1) != want:
+        findings.append(
+            (rel, text.count("\n"), f"#endif missing `// {want}` comment"))
+
+
+def scan_pattern(rel: str, code: str, pattern: re.Pattern, what: str,
+                 findings: list) -> None:
+    for m in pattern.finditer(code):
+        line = code[: m.start()].count("\n") + 1
+        findings.append((rel, line, f"{what}: `{m.group(0).strip()}`"))
+
+
+def lint_file(root: pathlib.Path, path: pathlib.Path, findings: list) -> None:
+    rel = path.relative_to(root).as_posix()
+    text = path.read_text(encoding="utf-8")
+    code = strip_comments_and_strings(text)
+
+    if path.suffix == ".h":
+        check_guard(rel, text, findings)
+    if rel not in RANDOM_EXEMPT:
+        scan_pattern(rel, code, RANDOM_BANNED,
+                     "banned PRNG (use util/random.h Rng)", findings)
+    if rel.startswith("src/"):
+        scan_pattern(rel, code, THROW_BANNED,
+                     "throw in exception-free library code", findings)
+    if rel.startswith(("src/", "bench/", "examples/")):
+        scan_pattern(rel, code, ASSERT_BANNED,
+                     "naked assert (use FWDECAY_CHECK/FWDECAY_DCHECK)",
+                     findings)
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--root", default=None,
+                    help="repo root (default: parent of this script's dir)")
+    args = ap.parse_args()
+    root = (pathlib.Path(args.root) if args.root
+            else pathlib.Path(__file__).resolve().parent.parent)
+
+    findings = []
+    count = 0
+    for top in SOURCE_DIRS:
+        for path in sorted((root / top).rglob("*")):
+            if path.suffix in CXX_SUFFIXES and path.is_file():
+                lint_file(root, path, findings)
+                count += 1
+
+    for rel, line, msg in findings:
+        print(f"{rel}:{line}: {msg}")
+    status = "FAILED" if findings else "OK"
+    print(f"lint.py: {count} files scanned, {len(findings)} finding(s) "
+          f"[{status}]")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -2,15 +2,36 @@
 # Full reproduction run: build, test, and regenerate every figure of the
 # paper's evaluation plus the ablation suite. Outputs land in
 # test_output.txt and bench_output.txt at the repo root.
+#
+# Environment knobs:
+#   BUILD_DIR         build tree to (re)use            [default: build]
+#   CMAKE_BUILD_TYPE  forwarded to cmake               [default: Release]
+#   CMAKE_GENERATOR   only applied when BUILD_DIR is fresh; an existing
+#                     tree keeps whatever generator configured it (cmake
+#                     hard-errors on a generator mismatch otherwise).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cmake -B build -G Ninja
-cmake --build build
+BUILD_DIR="${BUILD_DIR:-build}"
+CMAKE_BUILD_TYPE="${CMAKE_BUILD_TYPE:-Release}"
 
-ctest --test-dir build 2>&1 | tee test_output.txt
+CMAKE_ARGS=(-B "${BUILD_DIR}" -S . "-DCMAKE_BUILD_TYPE=${CMAKE_BUILD_TYPE}")
+if [[ ! -f "${BUILD_DIR}/CMakeCache.txt" ]]; then
+  # Fresh tree: prefer Ninja when available, else CMake's default
+  # (Makefiles — what README and the tier-1 line use).
+  if [[ -n "${CMAKE_GENERATOR:-}" ]]; then
+    CMAKE_ARGS+=(-G "${CMAKE_GENERATOR}")
+  elif command -v ninja >/dev/null 2>&1; then
+    CMAKE_ARGS+=(-G Ninja)
+  fi
+fi
+
+cmake "${CMAKE_ARGS[@]}"
+cmake --build "${BUILD_DIR}" -j "$(nproc)"
+
+ctest --test-dir "${BUILD_DIR}" --output-on-failure 2>&1 | tee test_output.txt
 
 {
-  for b in build/bench/bench_fig*; do "$b"; done
-  ./build/bench/bench_micro
+  for b in "${BUILD_DIR}"/bench/bench_fig*; do "$b"; done
+  "./${BUILD_DIR}/bench/bench_micro"
 } 2>&1 | tee bench_output.txt

@@ -12,13 +12,28 @@ namespace fwdecay {
 /// library actually deploys (many request threads record latencies, a
 /// scraper thread takes snapshots). A single mutex suffices: updates are
 /// O(log k) and snapshots O(k log k), so contention is dominated by the
-/// measured work itself. For extreme update rates, shard several
-/// reservoirs and Merge the snapshots instead.
+/// measured work itself.
+///
+/// For extreme update rates, shard several reservoirs (same k, alpha,
+/// and start so their samples are compatible) and combine per-shard
+/// snapshots with MergeSnapshots(). (std::deque, not vector: the mutex
+/// makes this type neither movable nor copyable.)
+///
+///   std::deque<ConcurrentDecayingReservoir> shards;   // one per core
+///   for (int i = 0; i < kShards; ++i) shards.emplace_back(k, a, t0, i);
+///   ...
+///   shards[thread_id % kShards].Update(now, latency);  // hot path
+///   ...
+///   std::vector<ReservoirSnapshot> snaps;              // scraper
+///   for (auto& s : shards) snaps.push_back(s.Snapshot());
+///   ReservoirSnapshot combined = MergeSnapshots(snaps);
 class ConcurrentDecayingReservoir {
  public:
   ConcurrentDecayingReservoir(std::size_t k, double alpha, Timestamp start,
                               std::uint64_t seed = 0x5eed)
-      : reservoir_(k, alpha, start, seed) {}
+      : reservoir_(k, alpha, start, seed),
+        alpha_(reservoir_.alpha()),
+        start_(reservoir_.start()) {}
 
   /// Records a measurement; safe to call from any thread.
   void Update(Timestamp t, double value) {
@@ -37,11 +52,20 @@ class ConcurrentDecayingReservoir {
     return reservoir_.size();
   }
 
-  double alpha() const { return reservoir_.alpha(); }
+  /// Decay rate. Returned from a `const` member copied at construction —
+  /// nothing ever mutates it, so the lock-free read is race-free by
+  /// construction (not merely "benign": TSan would rightly flag an
+  /// unlocked read of mutable state inside reservoir_).
+  double alpha() const { return alpha_; }
+
+  /// Landmark time; immutable after construction like alpha().
+  Timestamp start() const { return start_; }
 
  private:
   mutable std::mutex mu_;
   DecayingReservoir reservoir_;
+  const double alpha_;
+  const Timestamp start_;
 };
 
 }  // namespace fwdecay

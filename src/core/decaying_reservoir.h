@@ -63,8 +63,14 @@ class DecayingReservoir {
   /// sample estimate the decayed distribution — the standard metrics-
   /// library practice.
   ReservoirSnapshot Snapshot() const {
+    return SnapshotFromValues(sampler_.Sample());
+  }
+
+  /// Builds a ReservoirSnapshot (summary statistics) from raw sampled
+  /// values. Shared by Snapshot() and MergeSnapshots().
+  static ReservoirSnapshot SnapshotFromValues(std::vector<double> values) {
     ReservoirSnapshot snap;
-    snap.values = sampler_.Sample();
+    snap.values = std::move(values);
     snap.size = snap.values.size();
     if (snap.values.empty()) return snap;
     RunningStats stats;
@@ -87,6 +93,25 @@ class DecayingReservoir {
   Rng rng_;
   WeightedReservoirSampler<double, ExponentialG> sampler_;
 };
+
+/// Combines snapshots taken from sharded reservoirs into one summary.
+///
+/// Shards must share (k, alpha, landmark); each shard's sample is then an
+/// equal-probability-design decayed sample of its own substream, so the
+/// concatenation of the sampled values is itself a decayed sample of the
+/// union stream and plain statistics over it estimate the combined
+/// decayed distribution (Section VI-B's "union of samples" argument).
+inline ReservoirSnapshot MergeSnapshots(
+    const std::vector<ReservoirSnapshot>& shards) {
+  std::vector<double> values;
+  std::size_t total = 0;
+  for (const ReservoirSnapshot& s : shards) total += s.values.size();
+  values.reserve(total);
+  for (const ReservoirSnapshot& s : shards) {
+    values.insert(values.end(), s.values.begin(), s.values.end());
+  }
+  return DecayingReservoir::SnapshotFromValues(std::move(values));
+}
 
 }  // namespace fwdecay
 

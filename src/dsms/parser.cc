@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <cstdlib>
+#include <string>
 #include <utility>
 
 namespace fwdecay::dsms {
@@ -307,8 +308,36 @@ class Parser {
     }
   }
 
+  // Recursion guard shared by ParseExpr and ParseUnary: nested parens,
+  // call arguments, and unary-minus chains all recurse per level, so a
+  // hostile query ("((((…1…))))" or "----…1") would otherwise overflow
+  // the stack — found by parser_fuzz_test under ASan. ~6 frames per
+  // level keeps 200 levels comfortably inside any sane stack while
+  // allowing far deeper expressions than any real query uses.
+  static constexpr int kMaxExprDepth = 200;
+
+  class NestingScope {
+   public:
+    explicit NestingScope(int* depth) : depth_(depth) { ++*depth_; }
+    ~NestingScope() { --*depth_; }
+    NestingScope(const NestingScope&) = delete;
+    NestingScope& operator=(const NestingScope&) = delete;
+
+   private:
+    int* depth_;
+  };
+
+  bool CheckDepth() {
+    if (expr_depth_ < kMaxExprDepth) return true;
+    error_ = "expression nesting exceeds depth limit (" +
+             std::to_string(kMaxExprDepth) + ")";
+    return false;
+  }
+
   // expr := and-expr (OR and-expr)*
   std::unique_ptr<Expr> ParseExpr() {
+    if (!CheckDepth()) return nullptr;
+    NestingScope scope(&expr_depth_);
     auto lhs = ParseAnd();
     if (lhs == nullptr) return nullptr;
     while (PeekKeyword("or")) {
@@ -382,6 +411,8 @@ class Parser {
 
   std::unique_ptr<Expr> ParseUnary() {
     if (Peek().kind == TokKind::kMinus) {
+      if (!CheckDepth()) return nullptr;
+      NestingScope scope(&expr_depth_);
       Next();
       auto operand = ParseUnary();
       if (operand == nullptr) return nullptr;
@@ -453,6 +484,7 @@ class Parser {
 
   std::vector<Token> tokens_;
   std::size_t index_ = 0;
+  int expr_depth_ = 0;
   std::string error_;
 };
 

@@ -78,7 +78,13 @@ std::optional<CountMinSketch> CountMinSketch::Deserialize(
   if (!reader->ReadU64(&seed) || !reader->ReadDouble(&total)) {
     return std::nullopt;
   }
-  if (width * depth > (std::uint64_t{1} << 30)) return std::nullopt;
+  // 2^27 doubles = 1 GiB of cells — far above any sane sketch, low
+  // enough that a corrupt header can't OOM the process. Also guards the
+  // width*depth multiplication itself against overflow.
+  if (width > (std::uint64_t{1} << 27) || depth > (std::uint64_t{1} << 27) ||
+      width * depth > (std::uint64_t{1} << 27)) {
+    return std::nullopt;
+  }
   CountMinSketch out(0.5, 0.5, seed);  // dimensions replaced below
   out.width_ = static_cast<std::size_t>(width);
   out.depth_ = static_cast<std::size_t>(depth);

@@ -154,7 +154,11 @@ std::optional<DominanceNormSketch> DominanceNormSketch::Deserialize(
   std::uint64_t seed = 0;
   std::uint32_t n = 0;
   if (!reader->ReadU8(&tag) || tag != 0x44) return std::nullopt;
-  if (!reader->ReadU64(&k) || k < 3) return std::nullopt;
+  // k flows into per-level KmvSketch constructors that reserve k slots;
+  // cap it so a corrupt header can't demand absurd memory.
+  if (!reader->ReadU64(&k) || k < 3 || k > (std::uint64_t{1} << 26)) {
+    return std::nullopt;
+  }
   if (!reader->ReadDouble(&base) || !(base > 1.0)) return std::nullopt;
   if (!reader->ReadU64(&seed) || !reader->ReadU32(&n)) return std::nullopt;
   DominanceNormSketch out(static_cast<std::size_t>(k), base, seed);

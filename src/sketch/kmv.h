@@ -86,9 +86,15 @@ class KmvSketch {
     std::uint64_t seed = 0;
     std::uint32_t n = 0;
     if (!reader->ReadU8(&tag) || tag != 0x4b) return std::nullopt;
-    if (!reader->ReadU64(&k) || k < 3) return std::nullopt;
+    // The constructor reserves k slots; cap it so a corrupt header
+    // can't demand an absurd allocation before any hash is read.
+    if (!reader->ReadU64(&k) || k < 3 || k > (std::uint64_t{1} << 26)) {
+      return std::nullopt;
+    }
     if (!reader->ReadU64(&seed)) return std::nullopt;
-    if (!reader->ReadU32(&n) || n > k) return std::nullopt;
+    if (!reader->ReadU32(&n) || n > k || n > reader->Remaining() / 8) {
+      return std::nullopt;
+    }
     KmvSketch out(static_cast<std::size_t>(k), seed);
     for (std::uint32_t i = 0; i < n; ++i) {
       std::uint64_t h = 0;

@@ -167,6 +167,10 @@ std::optional<QDigest> QDigest::Deserialize(ByteReader* reader) {
   if (!reader->ReadDouble(&total) || !reader->ReadU32(&n)) {
     return std::nullopt;
   }
+  // Each node is 16 serialized bytes; a count exceeding the remaining
+  // input is corrupt. Checking before reserve() keeps a hostile header
+  // from demanding a multi-gigabyte allocation.
+  if (n > reader->Remaining() / 16) return std::nullopt;
   QDigest out(bits, eps);
   out.total_weight_ = total;
   const std::uint64_t max_id = std::uint64_t{2} << bits;

@@ -162,8 +162,14 @@ std::optional<WeightedSpaceSaving> WeightedSpaceSaving::Deserialize(
     return std::nullopt;
   }
   if (!reader->ReadU64(&capacity) || capacity == 0) return std::nullopt;
+  // The constructor reserves `capacity` slots up front; cap it (64M
+  // counters ≈ 2 GiB) so a corrupt header can't demand absurd memory,
+  // and bound the counter count by the bytes actually present (24 per
+  // counter) before anything is allocated for them.
+  if (capacity > (std::uint64_t{1} << 26)) return std::nullopt;
   if (!reader->ReadDouble(&total)) return std::nullopt;
   if (!reader->ReadU32(&n) || n > capacity) return std::nullopt;
+  if (n > reader->Remaining() / 24) return std::nullopt;
 
   WeightedSpaceSaving out(static_cast<std::size_t>(capacity));
   out.total_weight_ = total;

@@ -54,6 +54,10 @@ class ByteReader {
       : data_(data), size_(size) {}
   explicit ByteReader(const std::vector<std::uint8_t>& bytes)
       : ByteReader(bytes.data(), bytes.size()) {}
+  // The reader borrows the buffer; binding it to a temporary
+  // (`ByteReader r(Serialize(x))`) would leave it reading freed memory
+  // as soon as the statement ends. Rejected at compile time.
+  explicit ByteReader(std::vector<std::uint8_t>&&) = delete;
 
   bool ReadU8(std::uint8_t* out) { return ReadRaw(out, sizeof(*out)); }
   bool ReadU32(std::uint32_t* out) { return ReadRaw(out, sizeof(*out)); }

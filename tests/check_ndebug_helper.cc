@@ -1,0 +1,29 @@
+// Helper TU for check_test.cc, compiled with NDEBUG forced on via
+// set_source_files_properties in tests/CMakeLists.txt regardless of the
+// build type — so the test binary can observe, at runtime, what
+// FWDECAY_DCHECK compiles to in a release build.
+
+#ifndef NDEBUG
+#error "check_ndebug_helper.cc must be compiled with NDEBUG defined"
+#endif
+
+#include "util/check.h"
+
+namespace fwdecay::testing {
+
+// Returns normally iff FWDECAY_DCHECK(false) compiled away.
+bool DcheckFalseIsNoopUnderNdebug() {
+  FWDECAY_DCHECK(false);
+  return true;
+}
+
+// Returns the number of times the DCHECK condition was evaluated: a
+// compiled-away DCHECK must not evaluate its argument (side effects in
+// debug-only checks would change release behaviour).
+int DcheckConditionEvaluationsUnderNdebug() {
+  int evaluations = 0;
+  FWDECAY_DCHECK(++evaluations > 0);
+  return evaluations;
+}
+
+}  // namespace fwdecay::testing

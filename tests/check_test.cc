@@ -1,0 +1,77 @@
+// Contract tests for util/check.h.
+//
+// Death tests pin down the failure mode library code relies on: a failed
+// FWDECAY_CHECK aborts (it must not be continuable) and the diagnostic
+// names the file, line, failing expression, and optional message — the
+// debugging contract for an exception-free library.
+//
+// The NDEBUG half runs against check_ndebug_helper.cc, which is compiled
+// with NDEBUG forced on (see tests/CMakeLists.txt), proving that
+// FWDECAY_DCHECK is free in release builds: it neither aborts nor even
+// evaluates its condition.
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+
+namespace fwdecay {
+
+namespace testing {
+bool DcheckFalseIsNoopUnderNdebug();          // check_ndebug_helper.cc
+int DcheckConditionEvaluationsUnderNdebug();  // check_ndebug_helper.cc
+}  // namespace testing
+
+namespace {
+
+using CheckDeathTest = ::testing::Test;
+
+TEST(CheckDeathTest, CheckFalseAbortsWithFileLineAndExpression) {
+  // The diagnostic must carry this file's name, a line number, and the
+  // stringized expression so a production abort is actionable from the
+  // log alone.
+  EXPECT_DEATH(FWDECAY_CHECK(1 + 1 == 3),
+               "FWDECAY_CHECK failed at .*check_test\\.cc:[0-9]+: 1 \\+ 1 == 3");
+}
+
+TEST(CheckDeathTest, CheckMsgAppendsExplanation) {
+  EXPECT_DEATH(FWDECAY_CHECK_MSG(false, "capacity must be positive"),
+               "FWDECAY_CHECK failed at .*check_test\\.cc:[0-9]+: false — "
+               "capacity must be positive");
+}
+
+TEST(CheckDeathTest, CheckTrueIsSilent) {
+  FWDECAY_CHECK(2 + 2 == 4);
+  FWDECAY_CHECK_MSG(true, "never printed");
+}
+
+TEST(CheckDeathTest, CheckEvaluatesConditionExactlyOnce) {
+  int evaluations = 0;
+  FWDECAY_CHECK(++evaluations > 0);
+  EXPECT_EQ(evaluations, 1);
+}
+
+#ifdef NDEBUG
+TEST(CheckDeathTest, DcheckFalseAbortsInThisBuild) {
+  GTEST_SKIP() << "NDEBUG build: FWDECAY_DCHECK compiles away here; the "
+                  "release-mode behaviour is covered by the NdebugDcheck "
+                  "tests below.";
+}
+#else
+TEST(CheckDeathTest, DcheckFalseAbortsInThisBuild) {
+  EXPECT_DEATH(FWDECAY_DCHECK(false),
+               "FWDECAY_CHECK failed at .*check_test\\.cc:[0-9]+: false");
+}
+#endif
+
+// Release-mode contract, independent of how THIS TU was compiled: the
+// helper TU always has NDEBUG on.
+TEST(NdebugDcheckTest, DcheckFalseCompilesAway) {
+  EXPECT_TRUE(testing::DcheckFalseIsNoopUnderNdebug());
+}
+
+TEST(NdebugDcheckTest, DcheckDoesNotEvaluateItsCondition) {
+  EXPECT_EQ(testing::DcheckConditionEvaluationsUnderNdebug(), 0);
+}
+
+}  // namespace
+}  // namespace fwdecay

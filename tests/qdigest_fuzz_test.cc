@@ -1,0 +1,231 @@
+// Differential fuzzer: QDigest vs. the exact oracle in
+// core/exact_reference.
+//
+// Random op sequences (Update / Compress / Merge / ScaleWeights /
+// serialize round-trip) are applied to a digest and mirrored into an
+// ExactDecayedReference. The oracle stores one item per update with its
+// timestamp set to the update's ordinal; the WeightFn indexes a shadow
+// weight array by that ordinal, which lets ScaleWeights be mirrored by
+// scaling the prefix of the array — so the *decayed* semantics of the
+// oracle are exercised, not just a plain multiset.
+//
+// After each sequence, Rank and Quantile are compared against the oracle
+// within the digest's eps*W guarantee (Theorem 3's rank error). A second
+// corruption phase mutates serialized bytes and requires Deserialize to
+// either reject or produce a structurally sane digest — never crash.
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/exact_reference.h"
+#include "sketch/qdigest.h"
+#include "util/bytes.h"
+#include "util/random.h"
+
+namespace fwdecay {
+namespace {
+
+// Oracle wrapper: ExactDecayedReference driven by an ordinal-indexed
+// weight array (see file comment).
+class Oracle {
+ public:
+  void Add(std::uint64_t value, double weight) {
+    ref_.Add(static_cast<Timestamp>(weights_.size()), value,
+             static_cast<double>(value));
+    weights_.push_back(weight);
+  }
+
+  void ScaleAll(double factor) {
+    for (double& w : weights_) w *= factor;
+  }
+
+  double Rank(std::uint64_t v) const {
+    return ref_.Rank(Now(), WeightFn(), static_cast<double>(v));
+  }
+
+  double TotalWeight() const { return ref_.Count(Now(), WeightFn()); }
+
+  std::size_t Size() const { return ref_.Size(); }
+
+ private:
+  Timestamp Now() const { return static_cast<Timestamp>(weights_.size()); }
+
+  ExactDecayedReference::WeightFn WeightFn() const {
+    return [this](Timestamp ti, Timestamp) {
+      return weights_[static_cast<std::size_t>(ti)];
+    };
+  }
+
+  ExactDecayedReference ref_;
+  std::vector<double> weights_;
+};
+
+std::vector<std::uint8_t> Serialize(const QDigest& qd) {
+  ByteWriter writer;
+  qd.SerializeTo(&writer);
+  return writer.bytes();
+}
+
+TEST(QDigestDifferentialFuzzTest, AgreesWithExactReference) {
+  Rng rng(0xd161e57);
+  int updates_executed = 0;
+  for (int seq = 0; seq < 120; ++seq) {
+    const int universe_bits = 4 + static_cast<int>(rng.NextBounded(9));
+    const std::uint64_t universe = std::uint64_t{1} << universe_bits;
+    const double eps = 0.02 + rng.NextDouble() * 0.08;
+    QDigest qd(universe_bits, eps);
+    QDigest side(universe_bits, eps);  // merged in mid-sequence
+    Oracle oracle;
+    int merges = 0;
+
+    const int ops = 60 + static_cast<int>(rng.NextBounded(200));
+    for (int op = 0; op < ops; ++op) {
+      switch (rng.NextBounded(12)) {
+        case 0:  // batch into the side digest, then merge it in
+          if (merges < 2) {
+            const int batch = 1 + static_cast<int>(rng.NextBounded(32));
+            for (int i = 0; i < batch; ++i) {
+              const std::uint64_t v = rng.NextBounded(universe);
+              const double w = 0.25 + rng.NextDouble() * 4.0;
+              side.Update(v, w);
+              oracle.Add(v, w);
+              ++updates_executed;
+            }
+            qd.Merge(side);
+            side = QDigest(universe_bits, eps);
+            ++merges;
+          }
+          break;
+        case 1: {  // exponential landmark rescaling
+          const double factor = 0.5 + rng.NextDouble() * 1.5;
+          qd.ScaleWeights(factor);
+          oracle.ScaleAll(factor);
+          break;
+        }
+        case 2:
+          qd.Compress();
+          break;
+        case 3: {  // serialize round-trip must be lossless
+          const double before = qd.TotalWeight();
+          // Named buffer: ByteReader borrows the bytes it is given.
+          const std::vector<std::uint8_t> bytes = Serialize(qd);
+          ByteReader reader(bytes);
+          std::optional<QDigest> back = QDigest::Deserialize(&reader);
+          ASSERT_TRUE(back.has_value());
+          ASSERT_DOUBLE_EQ(back->TotalWeight(), before);
+          qd = *std::move(back);
+          break;
+        }
+        default: {  // plain weighted update (most common op)
+          // Mix of uniform values and adversarial edge values (0, max,
+          // powers of two) that straddle q-digest bucket boundaries.
+          std::uint64_t v = rng.NextBounded(universe);
+          if (rng.NextBounded(8) == 0) {
+            const std::uint64_t edge[] = {0, universe - 1, universe / 2,
+                                          universe / 2 - 1, 1};
+            v = edge[rng.NextBounded(5)];
+          }
+          const double w = 0.25 + rng.NextDouble() * 4.0;
+          qd.Update(v, w);
+          oracle.Add(v, w);
+          ++updates_executed;
+          break;
+        }
+      }
+    }
+    if (oracle.Size() == 0) continue;
+
+    const double total = oracle.TotalWeight();
+    ASSERT_NEAR(qd.TotalWeight(), total, 1e-6 * (1.0 + total));
+    // Rank error budget: eps*W per constituent digest; merges add their
+    // budgets (Section VI-B), plus fp slack.
+    const double tol = eps * total * (1.0 + merges) + 1e-6 * (1.0 + total);
+
+    // Rank agreement on a sweep of probe values.
+    for (int probe = 0; probe < 16; ++probe) {
+      const std::uint64_t v = rng.NextBounded(universe);
+      const double exact = oracle.Rank(v);
+      const double approx = qd.Rank(v);
+      ASSERT_LE(approx, exact + 1e-6 * (1.0 + total))
+          << "rank overestimate at v=" << v << " seq=" << seq;
+      ASSERT_GE(approx, exact - tol)
+          << "rank error beyond eps*W at v=" << v << " seq=" << seq
+          << " eps=" << eps << " W=" << total;
+    }
+
+    // Quantile agreement: the returned value's exact rank must be within
+    // the rank-error budget of the target phi*W.
+    for (const double phi : {0.0, 0.01, 0.25, 0.5, 0.75, 0.99, 1.0}) {
+      const std::uint64_t q = qd.Quantile(phi);
+      const double target = phi * total;
+      ASSERT_GE(oracle.Rank(q), target - tol)
+          << "quantile(" << phi << ")=" << q << " ranks too low, seq=" << seq;
+      if (q > 0) {
+        ASSERT_LE(oracle.Rank(q - 1), target + tol)
+            << "quantile(" << phi << ")=" << q << " ranks too high, seq="
+            << seq;
+      }
+    }
+  }
+  EXPECT_GE(updates_executed, 10000);
+}
+
+TEST(QDigestDifferentialFuzzTest, CorruptedBytesNeverCrashDeserialize) {
+  Rng rng(0xc0221407);
+  // Build one representative digest to corrupt.
+  QDigest qd(10, 0.05);
+  for (int i = 0; i < 2000; ++i) {
+    qd.Update(rng.NextBounded(1024), 0.5 + rng.NextDouble());
+  }
+  const std::vector<std::uint8_t> clean = Serialize(qd);
+  {
+    ByteReader reader(clean);
+    ASSERT_TRUE(QDigest::Deserialize(&reader).has_value());
+  }
+  int executed = 0;
+  for (int trial = 0; trial < 12000; ++trial) {
+    std::vector<std::uint8_t> bytes = clean;
+    switch (rng.NextBounded(4)) {
+      case 0:  // truncate
+        bytes.resize(rng.NextBounded(bytes.size() + 1));
+        break;
+      case 1:  // flip random bytes
+        for (std::uint64_t i = 0, n = 1 + rng.NextBounded(8); i < n; ++i) {
+          bytes[rng.NextBounded(bytes.size())] ^=
+              static_cast<std::uint8_t>(1 + rng.NextBounded(255));
+        }
+        break;
+      case 2: {  // extend with random tail
+        const std::uint64_t n = 1 + rng.NextBounded(64);
+        for (std::uint64_t i = 0; i < n; ++i) {
+          bytes.push_back(static_cast<std::uint8_t>(rng.NextBounded(256)));
+        }
+        break;
+      }
+      default: {  // random garbage of random length
+        bytes.assign(rng.NextBounded(128), 0);
+        for (auto& b : bytes) b = static_cast<std::uint8_t>(rng.NextBounded(256));
+        break;
+      }
+    }
+    ByteReader reader(bytes);
+    std::optional<QDigest> got = QDigest::Deserialize(&reader);
+    if (got.has_value()) {
+      // A digest accepted from corrupt bytes must still be structurally
+      // usable: queries cannot crash and invariants must hold.
+      (void)got->Quantile(0.5);
+      (void)got->Rank(0);
+      ASSERT_GE(got->NodeCount(), 0u);
+    }
+    ++executed;
+  }
+  EXPECT_GE(executed, 10000);
+}
+
+}  // namespace
+}  // namespace fwdecay

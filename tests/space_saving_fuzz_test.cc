@@ -1,0 +1,242 @@
+// Differential fuzzer: WeightedSpaceSaving vs. the exact oracle in
+// core/exact_reference.
+//
+// Random op sequences interleave Zipf-skewed weighted updates (split
+// across two sketches that are merged mid-sequence), exponential
+// landmark rescaling (ScaleWeights), and serialize round-trips. Every
+// update is mirrored into an ExactDecayedReference whose WeightFn
+// indexes a shadow weight array by the update's ordinal timestamp, so
+// ScaleWeights maps to scaling the prefix of that array and the oracle
+// answers with genuine decayed semantics.
+//
+// Checked invariants (the SpaceSaving guarantees, Metwally et al., which
+// forward decay inherits unchanged — Section V-C of the paper):
+//   1. estimates never undercount:      exact <= Estimate(key)
+//   2. overcount is bounded:            Estimate(key) <= exact + W/k
+//      (errors add across the merge, still <= combined W/k)
+//   3. per-counter error bars hold:     estimate - error <= exact
+//   4. recall: every key with exact count >= (phi + 1/k) * W appears in
+//      Query(phi)
+//   5. serialize -> deserialize preserves every estimate bit-for-bit
+// plus a corruption phase: mutated byte streams must be rejected or
+// yield a usable sketch — never crash or over-allocate.
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/exact_reference.h"
+#include "sketch/space_saving.h"
+#include "util/bytes.h"
+#include "util/random.h"
+#include "util/zipf.h"
+
+namespace fwdecay {
+namespace {
+
+// ExactDecayedReference driven through an ordinal-indexed weight array
+// (see file comment). Keys live in a small universe so per-key exact
+// counts stay cheap to sweep.
+class Oracle {
+ public:
+  void Add(std::uint64_t key, double weight) {
+    ref_.Add(static_cast<Timestamp>(weights_.size()), key,
+             static_cast<double>(key));
+    weights_.push_back(weight);
+    keys_.insert(key);
+  }
+
+  void ScaleAll(double factor) {
+    for (double& w : weights_) w *= factor;
+  }
+
+  double KeyCount(std::uint64_t key) const {
+    return ref_.KeyCount(Now(), WeightFn(), key);
+  }
+
+  double TotalWeight() const { return ref_.Count(Now(), WeightFn()); }
+
+  std::vector<std::pair<std::uint64_t, double>> HeavyHitters(
+      double phi) const {
+    return ref_.HeavyHitters(Now(), WeightFn(), phi);
+  }
+
+  const std::set<std::uint64_t>& keys() const { return keys_; }
+
+ private:
+  Timestamp Now() const { return static_cast<Timestamp>(weights_.size()); }
+
+  ExactDecayedReference::WeightFn WeightFn() const {
+    return [this](Timestamp ti, Timestamp) {
+      return weights_[static_cast<std::size_t>(ti)];
+    };
+  }
+
+  ExactDecayedReference ref_;
+  std::vector<double> weights_;
+  std::set<std::uint64_t> keys_;
+};
+
+std::vector<std::uint8_t> Serialize(const WeightedSpaceSaving& ss) {
+  ByteWriter writer;
+  ss.SerializeTo(&writer);
+  return writer.bytes();
+}
+
+TEST(SpaceSavingDifferentialFuzzTest, AgreesWithExactReference) {
+  Rng rng(0x55a41e5);
+  int updates_executed = 0;
+  for (int seq = 0; seq < 80; ++seq) {
+    const std::size_t capacity = 8 + rng.NextBounded(120);
+    const std::uint64_t universe = 16 + rng.NextBounded(480);
+    ZipfGenerator zipf(universe, 0.8 + rng.NextDouble());
+    WeightedSpaceSaving ss(capacity);
+    WeightedSpaceSaving side(capacity);
+    Oracle oracle;
+    bool merged = false;
+
+    const int ops = 150 + static_cast<int>(rng.NextBounded(350));
+    for (int op = 0; op < ops; ++op) {
+      switch (rng.NextBounded(16)) {
+        case 0:  // build up the side sketch, then merge it in
+          if (!merged) {
+            const int batch = 8 + static_cast<int>(rng.NextBounded(64));
+            for (int i = 0; i < batch; ++i) {
+              const std::uint64_t key = zipf.Next(rng);
+              const double w = 0.1 + rng.NextDouble() * 9.9;
+              side.Update(key, w);
+              oracle.Add(key, w);
+              ++updates_executed;
+            }
+            ss.Merge(side);
+            merged = true;
+          }
+          break;
+        case 1: {  // exponential landmark rescaling on both sketches
+          const double factor = 0.25 + rng.NextDouble() * 1.5;
+          ss.ScaleWeights(factor);
+          if (!merged) side.ScaleWeights(factor);
+          oracle.ScaleAll(factor);
+          break;
+        }
+        case 2: {  // serialize round-trip preserves every estimate
+          // Named buffer: ByteReader borrows the bytes it is given.
+          const std::vector<std::uint8_t> bytes = Serialize(ss);
+          ByteReader reader(bytes);
+          std::optional<WeightedSpaceSaving> back =
+              WeightedSpaceSaving::Deserialize(&reader);
+          ASSERT_TRUE(back.has_value());
+          ASSERT_DOUBLE_EQ(back->TotalWeight(), ss.TotalWeight());
+          for (std::uint64_t key : oracle.keys()) {
+            ASSERT_DOUBLE_EQ(back->Estimate(key), ss.Estimate(key));
+          }
+          ss = *std::move(back);
+          break;
+        }
+        default: {  // Zipf-skewed weighted update
+          const std::uint64_t key = zipf.Next(rng);
+          const double w = 0.1 + rng.NextDouble() * 9.9;
+          ss.Update(key, w);
+          oracle.Add(key, w);
+          ++updates_executed;
+          break;
+        }
+      }
+    }
+    const double total = oracle.TotalWeight();
+    const double slack = 1e-9 * (1.0 + total);
+    ASSERT_NEAR(ss.TotalWeight(), total, 1e-6 * (1.0 + total)) << seq;
+    // Combined overcount bound: each constituent sketch contributes at
+    // most its own W/k of error, so the union obeys total/capacity.
+    const double overcount = total / static_cast<double>(capacity) + slack;
+
+    for (std::uint64_t key : oracle.keys()) {
+      const double exact = oracle.KeyCount(key);
+      const double est = ss.Estimate(key);
+      if (est == 0.0) continue;  // untracked key
+      ASSERT_GE(est, exact - slack) << "undercount key=" << key
+                                    << " seq=" << seq;
+      ASSERT_LE(est, exact + overcount)
+          << "overcount beyond W/k key=" << key << " seq=" << seq
+          << " W=" << total << " k=" << capacity;
+    }
+
+    // Error-bar soundness for reported heavy hitters.
+    const double phi = 0.01 + rng.NextDouble() * 0.05;
+    for (const HeavyHitter& hh : ss.Query(phi)) {
+      const double exact = oracle.KeyCount(hh.key);
+      ASSERT_LE(hh.estimate - hh.error, exact + slack)
+          << "error bar exceeds exact count, key=" << hh.key << " seq=" << seq;
+    }
+
+    // Recall: keys whose exact count clears phi*W + W/k must be present.
+    std::set<std::uint64_t> reported;
+    for (const HeavyHitter& hh : ss.Query(phi)) reported.insert(hh.key);
+    for (const auto& [key, exact] : oracle.HeavyHitters(phi)) {
+      if (exact >= phi * total + overcount + slack) {
+        ASSERT_TRUE(reported.contains(key))
+            << "missed guaranteed heavy hitter key=" << key << " exact="
+            << exact << " phi*W=" << phi * total << " seq=" << seq;
+      }
+    }
+  }
+  EXPECT_GE(updates_executed, 10000);
+}
+
+TEST(SpaceSavingDifferentialFuzzTest, CorruptedBytesNeverCrashDeserialize) {
+  Rng rng(0xdeadf00d);
+  ZipfGenerator zipf(5000, 1.1);
+  WeightedSpaceSaving ss(64);
+  for (int i = 0; i < 5000; ++i) {
+    ss.Update(zipf.Next(rng), 0.5 + rng.NextDouble());
+  }
+  const std::vector<std::uint8_t> clean = Serialize(ss);
+  {
+    ByteReader reader(clean);
+    ASSERT_TRUE(WeightedSpaceSaving::Deserialize(&reader).has_value());
+  }
+  int executed = 0;
+  for (int trial = 0; trial < 12000; ++trial) {
+    std::vector<std::uint8_t> bytes = clean;
+    switch (rng.NextBounded(4)) {
+      case 0:
+        bytes.resize(rng.NextBounded(bytes.size() + 1));
+        break;
+      case 1:
+        for (std::uint64_t i = 0, n = 1 + rng.NextBounded(8); i < n; ++i) {
+          bytes[rng.NextBounded(bytes.size())] ^=
+              static_cast<std::uint8_t>(1 + rng.NextBounded(255));
+        }
+        break;
+      case 2: {
+        const std::uint64_t n = 1 + rng.NextBounded(64);
+        for (std::uint64_t i = 0; i < n; ++i) {
+          bytes.push_back(static_cast<std::uint8_t>(rng.NextBounded(256)));
+        }
+        break;
+      }
+      default:
+        bytes.assign(rng.NextBounded(96), 0);
+        for (auto& b : bytes) b = static_cast<std::uint8_t>(rng.NextBounded(256));
+        break;
+    }
+    ByteReader reader(bytes);
+    std::optional<WeightedSpaceSaving> got =
+        WeightedSpaceSaving::Deserialize(&reader);
+    if (got.has_value()) {
+      (void)got->Query(0.01);
+      (void)got->Estimate(1);
+      ASSERT_LE(got->size(), got->capacity());
+    }
+    ++executed;
+  }
+  EXPECT_GE(executed, 10000);
+}
+
+}  // namespace
+}  // namespace fwdecay
