@@ -18,6 +18,12 @@ Enforced invariants (each maps to a documented repo convention):
              examples/: FWDECAY_CHECK aborts in every build type and
              prints the failing expression; FWDECAY_DCHECK is the
              debug-only form.  (tests/ may use gtest's assertions.)
+  io         All file I/O in library code (src/) flows through
+             util/fault_fs.h (crash-safe atomic writes + injectable
+             faults).  fopen/fstream in src/ would bypass both the
+             durability discipline and the fault-injection tests, so
+             they are banned outside src/util/fault_fs.* itself.
+             (tests/, bench/ and examples/ may open files directly.)
 
 Usage: scripts/lint.py [--root DIR]
 Exit status is 0 when clean, 1 when any finding is reported.
@@ -34,11 +40,17 @@ CXX_SUFFIXES = (".h", ".cc", ".cpp")
 # util/random.h is the one sanctioned home of PRNG machinery.
 RANDOM_EXEMPT = ("src/util/random.h",)
 
+# util/fault_fs is the one sanctioned home of raw file I/O in src/.
+IO_EXEMPT = ("src/util/fault_fs.h", "src/util/fault_fs.cc")
+
 RANDOM_BANNED = re.compile(
     r"(?<![\w:])(?:rand|srand)\s*\(|time\s*\(\s*(?:nullptr|NULL|0)\s*\)"
     r"|\bmt19937(?:_64)?\b")
 THROW_BANNED = re.compile(r"(?<![\w])throw\b(?!\s*\()")
 ASSERT_BANNED = re.compile(r"(?<![\w.])assert\s*\(|#\s*include\s*<cassert>")
+IO_BANNED = re.compile(
+    r"(?<![\w:])(?:fopen|freopen|open|creat)\s*\("
+    r"|\bstd\s*::\s*(?:o|i)?fstream\b|#\s*include\s*<fstream>")
 
 
 def strip_comments_and_strings(text: str) -> str:
@@ -118,6 +130,10 @@ def lint_file(root: pathlib.Path, path: pathlib.Path, findings: list) -> None:
     if rel.startswith(("src/", "bench/", "examples/")):
         scan_pattern(rel, code, ASSERT_BANNED,
                      "naked assert (use FWDECAY_CHECK/FWDECAY_DCHECK)",
+                     findings)
+    if rel.startswith("src/") and rel not in IO_EXEMPT:
+        scan_pattern(rel, code, IO_BANNED,
+                     "raw file I/O in library code (use util/fault_fs.h)",
                      findings)
 
 

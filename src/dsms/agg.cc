@@ -26,6 +26,13 @@ class CountAgg : public AggState {
     count_ += static_cast<CountAgg&>(other).count_;
   }
   Value Finalize() const override { return Value(count_); }
+  bool SerializeTo(ByteWriter* writer) const override {
+    writer->WriteI64(count_);
+    return true;
+  }
+  bool RestoreFrom(ByteReader* reader) override {
+    return reader->ReadI64(&count_) && count_ >= 0;
+  }
 
  private:
   std::int64_t count_ = 0;
@@ -47,6 +54,19 @@ class SumAgg : public AggState {
     if (all_int_) return Value(static_cast<std::int64_t>(sum_));
     return Value(sum_);
   }
+  bool SerializeTo(ByteWriter* writer) const override {
+    writer->WriteDouble(sum_);
+    writer->WriteU8(all_int_ ? 1 : 0);
+    return true;
+  }
+  bool RestoreFrom(ByteReader* reader) override {
+    std::uint8_t flag = 0;
+    if (!reader->ReadDouble(&sum_) || !reader->ReadU8(&flag) || flag > 1) {
+      return false;
+    }
+    all_int_ = flag != 0;
+    return true;
+  }
 
  private:
   double sum_ = 0.0;
@@ -67,6 +87,15 @@ class AvgAgg : public AggState {
   }
   Value Finalize() const override {
     return Value(count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_));
+  }
+  bool SerializeTo(ByteWriter* writer) const override {
+    writer->WriteDouble(sum_);
+    writer->WriteI64(count_);
+    return true;
+  }
+  bool RestoreFrom(ByteReader* reader) override {
+    return reader->ReadDouble(&sum_) && reader->ReadI64(&count_) &&
+           count_ >= 0;
   }
 
  private:
@@ -90,6 +119,29 @@ class CountDistinctAgg : public AggState {
   Value Finalize() const override {
     return Value(static_cast<std::int64_t>(seen_.size()));
   }
+  bool SerializeTo(ByteWriter* writer) const override {
+    // Sorted so snapshots of equal states are byte-identical.
+    std::vector<std::uint64_t> hashes(seen_.begin(), seen_.end());
+    std::sort(hashes.begin(), hashes.end());
+    writer->WriteU64(hashes.size());
+    for (std::uint64_t h : hashes) writer->WriteU64(h);
+    return true;
+  }
+  bool RestoreFrom(ByteReader* reader) override {
+    std::uint64_t n = 0;
+    if (!reader->ReadU64(&n) || n > reader->Remaining() / 8) return false;
+    seen_.clear();
+    seen_.reserve(n);
+    std::uint64_t prev = 0;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      std::uint64_t h = 0;
+      if (!reader->ReadU64(&h)) return false;
+      if (i > 0 && h <= prev) return false;  // must be strictly ascending
+      prev = h;
+      seen_.insert(h);
+    }
+    return true;
+  }
 
  private:
   std::unordered_set<std::uint64_t> seen_;
@@ -107,6 +159,22 @@ class ExtremumAgg : public AggState {
     if (o.has_value_) Offer(o.best_);
   }
   Value Finalize() const override { return has_value_ ? best_ : Value(); }
+  bool SerializeTo(ByteWriter* writer) const override {
+    writer->WriteU8(has_value_ ? 1 : 0);
+    if (has_value_) best_.SerializeTo(writer);
+    return true;
+  }
+  bool RestoreFrom(ByteReader* reader) override {
+    std::uint8_t flag = 0;
+    if (!reader->ReadU8(&flag) || flag > 1) return false;
+    has_value_ = flag != 0;
+    if (has_value_) {
+      auto v = Value::Deserialize(reader);
+      if (!v) return false;
+      best_ = std::move(*v);
+    }
+    return true;
+  }
 
  private:
   void Offer(const Value& v) {
@@ -122,6 +190,15 @@ class ExtremumAgg : public AggState {
 };
 
 }  // namespace
+
+bool AggState::SerializeTo(ByteWriter*) const {
+  // Aggregates that predate checkpointing opt out by default; the engine
+  // reports the plan as non-checkpointable instead of writing a partial
+  // snapshot.
+  return false;
+}
+
+bool AggState::RestoreFrom(ByteReader*) { return false; }
 
 AggRegistry::AggRegistry() {
   Register("count", [] { return std::make_unique<CountAgg>(); });

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "dsms/value.h"
+#include "util/bytes.h"
 
 // Aggregate-function framework of the mini DSMS.
 //
@@ -35,6 +36,19 @@ class AggState {
 
   /// Produces the output value for the group.
   virtual Value Finalize() const = 0;
+
+  /// Writes the state's *exact* contents for engine checkpointing: a
+  /// restored state must not just finalize to the same value, it must
+  /// evolve identically under future updates (recovery-replay proves
+  /// equality with the uninterrupted run bit for bit). Returns false if
+  /// this aggregate does not support checkpointing; the engine then
+  /// refuses to snapshot the plan rather than write a partial snapshot.
+  virtual bool SerializeTo(ByteWriter* writer) const;
+
+  /// Restores state written by SerializeTo into a freshly created
+  /// instance of the same aggregate. Returns false on truncated or
+  /// corrupt input (the instance is then unusable and must be dropped).
+  virtual bool RestoreFrom(ByteReader* reader);
 };
 
 /// Creates a fresh state for one group.

@@ -2,10 +2,15 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cmath>
+#include <cstring>
 #include <unordered_map>
 #include <utility>
 
+#include "util/bytes.h"
 #include "util/check.h"
+#include "util/crc32c.h"
+#include "util/fault_fs.h"
 #include "util/hash.h"
 
 namespace fwdecay::dsms {
@@ -31,6 +36,23 @@ bool KeysEqual(const std::vector<Value>& a, const std::vector<Value>& b) {
     if (!(a[i] == b[i])) return false;
   }
   return true;
+}
+
+// Total order on group keys (mixed types ordered int < double < string
+// per slot). Shared by Finish()'s output sort and the shedding scan's
+// tie-break so both are deterministic regardless of hash-map iteration
+// order.
+bool KeyLess(const std::vector<Value>& a, const std::vector<Value>& b) {
+  const std::size_t n = std::min(a.size(), b.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const Value& x = a[i];
+    const Value& y = b[i];
+    if (!(x == y)) {
+      if (x.is_string() != y.is_string()) return y.is_string();
+      return Compare(x, y) < 0;
+    }
+  }
+  return a.size() < b.size();
 }
 
 // Binds an expression for post-aggregation evaluation: aggregate calls
@@ -205,6 +227,36 @@ std::unique_ptr<QueryExecution> CompiledQuery::NewExecution() const {
   return std::make_unique<QueryExecution>(this);
 }
 
+std::uint64_t CompiledQuery::Fingerprint() const {
+  std::uint64_t h = HashString("fwdsnap-plan", 7);
+  h = HashCombine(h, options_.two_level ? 1 : 0);
+  h = HashCombine(h, options_.low_level_slots);
+  h = HashCombine(h, protocol_filter_);
+  h = HashCombine(h, HashString(where_ ? where_->ToString() : ""));
+  for (const auto& g : group_exprs_) {
+    h = HashCombine(h, HashString(g->ToString()));
+  }
+  for (std::size_t slot = 0; slot < agg_names_.size(); ++slot) {
+    h = HashCombine(h, HashString(agg_names_[slot]));
+    for (const auto& arg : agg_args_[slot]) {
+      h = HashCombine(h, HashString(arg->ToString()));
+    }
+  }
+  for (const auto& out : outputs_) {
+    h = HashCombine(h, HashString(out.post->ToString()));
+    h = HashCombine(h, HashString(out.column_name));
+  }
+  h = HashCombine(h, HashString(having_ ? having_->ToString() : ""));
+  for (const auto& [col, desc] : order_by_) {
+    h = HashCombine(h, col);
+    h = HashCombine(h, desc ? 1 : 0);
+  }
+  h = HashCombine(h, limit_.has_value()
+                         ? static_cast<std::uint64_t>(*limit_) + 1
+                         : 0);
+  return h;
+}
+
 // ---------------------------------------------------------------------------
 // Execution
 // ---------------------------------------------------------------------------
@@ -212,6 +264,10 @@ std::unique_ptr<QueryExecution> CompiledQuery::NewExecution() const {
 struct QueryExecution::Group {
   std::vector<Value> key;
   std::vector<std::unique_ptr<AggState>> aggs;
+  // Forward-decayed weight Σ g(t_i - L) and tuple count, maintained for
+  // the overload-shedding eviction rule (cheap: one add per update).
+  double weight = 0.0;
+  std::uint64_t tuples = 0;
 };
 
 struct QueryExecution::LowSlot {
@@ -250,15 +306,64 @@ std::vector<std::unique_ptr<AggState>> MakeAggStates(
 
 QueryExecution::Group* QueryExecution::FindOrCreateHighGroup(
     std::uint64_t hash, std::vector<Value>&& key) {
-  std::vector<Group>& bucket = high_->map[hash];
-  for (Group& g : bucket) {
-    if (KeysEqual(g.key, key)) return &g;
+  {
+    auto it = high_->map.find(hash);
+    if (it != high_->map.end()) {
+      for (Group& g : it->second) {
+        if (KeysEqual(g.key, key)) return &g;
+      }
+    }
   }
-  bucket.push_back(Group{std::move(key), MakeAggStates(plan_->agg_names_)});
+  // A new group is about to be admitted; under a bounded-ingest policy
+  // make room by shedding the lowest-weight incumbent instead of growing
+  // without bound. The incoming group represents the newest tuples —
+  // under forward decay the ones with the largest static weights — so
+  // admitting it over the minimum-weight group is the principled choice.
+  if (policy_.max_groups > 0) {
+    while (high_group_count_ >= policy_.max_groups) ShedLowestWeightGroup();
+  }
+  std::vector<Group>& bucket = high_->map[hash];
+  bucket.push_back(Group{std::move(key), MakeAggStates(plan_->agg_names_),
+                         0.0, 0});
+  ++high_group_count_;
   return &bucket.back();
 }
 
+double QueryExecution::ForwardWeight(double ts) const {
+  if (policy_.decay_alpha == 0.0) return 1.0;
+  return std::exp(policy_.decay_alpha * (ts - policy_.landmark));
+}
+
+void QueryExecution::ShedLowestWeightGroup() {
+  // Deterministic min scan: weight first, group key as tie-break, so the
+  // shed victim does not depend on hash-map iteration order (recovery
+  // replay must reproduce the uninterrupted run exactly).
+  std::uint64_t victim_hash = 0;
+  std::size_t victim_index = 0;
+  const Group* victim = nullptr;
+  for (const auto& [hash, bucket] : high_->map) {
+    for (std::size_t i = 0; i < bucket.size(); ++i) {
+      const Group& g = bucket[i];
+      if (victim == nullptr || g.weight < victim->weight ||
+          (g.weight == victim->weight && KeyLess(g.key, victim->key))) {
+        victim = &g;
+        victim_hash = hash;
+        victim_index = i;
+      }
+    }
+  }
+  FWDECAY_CHECK_MSG(victim != nullptr, "shedding from an empty group table");
+  ++groups_shed_;
+  tuples_shed_ += victim->tuples;
+  std::vector<Group>& bucket = high_->map[victim_hash];
+  bucket.erase(bucket.begin() + static_cast<std::ptrdiff_t>(victim_index));
+  if (bucket.empty()) high_->map.erase(victim_hash);
+  --high_group_count_;
+}
+
 void QueryExecution::UpdateGroup(Group& group, const Packet& p) {
+  group.weight += ForwardWeight(p.time);
+  ++group.tuples;
   std::vector<Value> args;
   for (std::size_t slot = 0; slot < plan_->agg_names_.size(); ++slot) {
     args.clear();
@@ -275,13 +380,18 @@ void QueryExecution::EvictToHigh(LowSlot& slot) {
   for (std::size_t i = 0; i < target->aggs.size(); ++i) {
     target->aggs[i]->Merge(*slot.group.aggs[i]);
   }
+  target->weight += slot.group.weight;
+  target->tuples += slot.group.tuples;
   slot.occupied = false;
   slot.group.key.clear();
   slot.group.aggs.clear();
+  slot.group.weight = 0.0;
+  slot.group.tuples = 0;
   ++low_level_evictions_;
 }
 
 void QueryExecution::Consume(const Packet& p) {
+  ++packets_consumed_;
   if (plan_->protocol_filter_ != 0 && p.protocol != plan_->protocol_filter_) {
     return;
   }
@@ -337,18 +447,7 @@ ResultSet QueryExecution::Finish() {
     for (Group& g : bucket) groups.push_back(&g);
   }
   std::sort(groups.begin(), groups.end(), [](const Group* a, const Group* b) {
-    const std::size_t n = std::min(a->key.size(), b->key.size());
-    for (std::size_t i = 0; i < n; ++i) {
-      // Mixed-type keys are ordered int < double < string per slot; within
-      // a query every slot has a fixed type, so this only breaks ties.
-      const Value& x = a->key[i];
-      const Value& y = b->key[i];
-      if (!(x == y)) {
-        if (x.is_string() != y.is_string()) return y.is_string();
-        return Compare(x, y) < 0;
-      }
-    }
-    return a->key.size() < b->key.size();
+    return KeyLess(a->key, b->key);
   });
 
   for (Group* g : groups) {
@@ -385,6 +484,254 @@ ResultSet QueryExecution::Finish() {
     result.rows.resize(static_cast<std::size_t>(*plan_->limit_));
   }
   return result;
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint / restore
+// ---------------------------------------------------------------------------
+//
+// Snapshot file layout (see DESIGN.md "Durability"):
+//   8 bytes   magic "FWDSNAP1"
+//   u32       format version (1)
+//   u32       CRC32C of the payload
+//   u64       payload length
+//   payload   versioned ByteWriter frame (plan fingerprint, counters,
+//             shedding policy + counters, low slots, high groups)
+// The file is written through FaultFs::AtomicWriteFile, so a crash at
+// any byte leaves either the previous snapshot or this one, never a mix;
+// the CRC catches torn or bit-rotted payloads at restore time.
+
+namespace {
+
+constexpr char kSnapshotMagic[8] = {'F', 'W', 'D', 'S', 'N', 'A', 'P', '1'};
+constexpr std::uint32_t kSnapshotVersion = 1;
+
+}  // namespace
+
+bool QueryExecution::SerializeGroup(const Group& group, ByteWriter* writer,
+                                    std::string* error) const {
+  writer->WriteU32(static_cast<std::uint32_t>(group.key.size()));
+  for (const Value& v : group.key) v.SerializeTo(writer);
+  writer->WriteDouble(group.weight);
+  writer->WriteU64(group.tuples);
+  for (std::size_t slot = 0; slot < group.aggs.size(); ++slot) {
+    // Each aggregate gets its own length-prefixed frame so Restore can
+    // hand it a bounded sub-reader and verify full consumption.
+    ByteWriter agg_writer;
+    if (!group.aggs[slot]->SerializeTo(&agg_writer)) {
+      *error = "aggregate '" + plan_->agg_names_[slot] +
+               "' does not support checkpointing";
+      return false;
+    }
+    const std::vector<std::uint8_t>& frame = agg_writer.bytes();
+    writer->WriteU32(static_cast<std::uint32_t>(frame.size()));
+    writer->WriteBytes(frame.data(), frame.size());
+  }
+  return true;
+}
+
+bool QueryExecution::RestoreGroup(ByteReader* reader, Group* group) {
+  std::uint32_t key_size = 0;
+  if (!reader->ReadU32(&key_size) ||
+      key_size != plan_->group_exprs_.size()) {
+    return false;
+  }
+  group->key.clear();
+  group->key.reserve(key_size);
+  for (std::uint32_t i = 0; i < key_size; ++i) {
+    auto v = Value::Deserialize(reader);
+    if (!v) return false;
+    group->key.push_back(std::move(*v));
+  }
+  if (!reader->ReadDouble(&group->weight) || !reader->ReadU64(&group->tuples)) {
+    return false;
+  }
+  group->aggs.clear();
+  group->aggs.reserve(plan_->agg_names_.size());
+  for (const std::string& name : plan_->agg_names_) {
+    std::uint32_t frame_len = 0;
+    ByteReader frame(nullptr, 0);
+    if (!reader->ReadU32(&frame_len) ||
+        !reader->ReadSubReader(frame_len, &frame)) {
+      return false;
+    }
+    std::unique_ptr<AggState> state = AggRegistry::Instance().Create(name);
+    if (!state->RestoreFrom(&frame) || !frame.Exhausted()) return false;
+    group->aggs.push_back(std::move(state));
+  }
+  return true;
+}
+
+bool QueryExecution::Checkpoint(const std::string& path,
+                                std::string* error) const {
+  ByteWriter payload;
+  payload.WriteU64(plan_->Fingerprint());
+  payload.WriteU8(plan_->options_.two_level ? 1 : 0);
+  payload.WriteU64(plan_->options_.low_level_slots);
+  payload.WriteU64(packets_consumed_);
+  payload.WriteU64(tuples_aggregated_);
+  payload.WriteU64(low_level_evictions_);
+  payload.WriteU64(groups_shed_);
+  payload.WriteU64(tuples_shed_);
+  payload.WriteU64(policy_.max_groups);
+  payload.WriteDouble(policy_.decay_alpha);
+  payload.WriteDouble(policy_.landmark);
+
+  std::uint32_t occupied = 0;
+  for (const LowSlot& slot : low_table_) {
+    if (slot.occupied) ++occupied;
+  }
+  payload.WriteU32(occupied);
+  for (std::size_t i = 0; i < low_table_.size(); ++i) {
+    const LowSlot& slot = low_table_[i];
+    if (!slot.occupied) continue;
+    payload.WriteU64(i);
+    payload.WriteU64(slot.hash);
+    if (!SerializeGroup(slot.group, &payload, error)) return false;
+  }
+
+  // High groups in deterministic key order: snapshots of equal states
+  // are byte-identical regardless of hash-map history.
+  std::vector<const Group*> groups;
+  groups.reserve(high_group_count_);
+  for (const auto& [hash, bucket] : high_->map) {
+    for (const Group& g : bucket) groups.push_back(&g);
+  }
+  std::sort(groups.begin(), groups.end(),
+            [](const Group* a, const Group* b) {
+              return KeyLess(a->key, b->key);
+            });
+  payload.WriteU32(static_cast<std::uint32_t>(groups.size()));
+  for (const Group* g : groups) {
+    if (!SerializeGroup(*g, &payload, error)) return false;
+  }
+
+  const std::vector<std::uint8_t>& body = payload.bytes();
+  ByteWriter file;
+  file.WriteBytes(kSnapshotMagic, sizeof(kSnapshotMagic));
+  file.WriteU32(kSnapshotVersion);
+  file.WriteU32(Crc32c(body.data(), body.size()));
+  file.WriteU64(body.size());
+  file.WriteBytes(body.data(), body.size());
+  return FaultFs::Instance().AtomicWriteFile(path, file.bytes(), error);
+}
+
+bool QueryExecution::Restore(const std::string& path, std::string* error) {
+  std::vector<std::uint8_t> bytes;
+  if (!FaultFs::Instance().ReadFile(path, &bytes, error)) return false;
+  ByteReader header(bytes);
+  char magic[8] = {};
+  std::uint32_t version = 0;
+  std::uint32_t crc = 0;
+  std::uint64_t payload_len = 0;
+  ByteReader payload(nullptr, 0);
+  for (char& c : magic) {
+    std::uint8_t b = 0;
+    if (!header.ReadU8(&b)) {
+      *error = "snapshot truncated before header";
+      return false;
+    }
+    c = static_cast<char>(b);
+  }
+  if (std::memcmp(magic, kSnapshotMagic, sizeof(magic)) != 0) {
+    *error = "not a FWDSNAP1 snapshot";
+    return false;
+  }
+  if (!header.ReadU32(&version) || version != kSnapshotVersion) {
+    *error = "unsupported snapshot version";
+    return false;
+  }
+  if (!header.ReadU32(&crc) || !header.ReadU64(&payload_len) ||
+      payload_len != header.Remaining() ||
+      !header.ReadSubReader(payload_len, &payload)) {
+    *error = "snapshot payload length mismatch";
+    return false;
+  }
+  if (Crc32c(bytes.data() + (bytes.size() - payload_len), payload_len) !=
+      crc) {
+    *error = "snapshot CRC mismatch (torn or corrupt write)";
+    return false;
+  }
+
+  std::uint64_t fingerprint = 0;
+  std::uint8_t two_level = 0;
+  std::uint64_t low_slots = 0;
+  if (!payload.ReadU64(&fingerprint) ||
+      fingerprint != plan_->Fingerprint()) {
+    *error = "snapshot was taken under a different query plan";
+    return false;
+  }
+  if (!payload.ReadU8(&two_level) ||
+      (two_level != 0) != plan_->options_.two_level ||
+      !payload.ReadU64(&low_slots) ||
+      low_slots != plan_->options_.low_level_slots) {
+    *error = "snapshot engine options do not match this plan";
+    return false;
+  }
+  std::uint64_t max_groups = 0;
+  if (!payload.ReadU64(&packets_consumed_) ||
+      !payload.ReadU64(&tuples_aggregated_) ||
+      !payload.ReadU64(&low_level_evictions_) ||
+      !payload.ReadU64(&groups_shed_) || !payload.ReadU64(&tuples_shed_) ||
+      !payload.ReadU64(&max_groups) ||
+      !payload.ReadDouble(&policy_.decay_alpha) ||
+      !payload.ReadDouble(&policy_.landmark)) {
+    *error = "snapshot counters truncated";
+    return false;
+  }
+  policy_.max_groups = static_cast<std::size_t>(max_groups);
+
+  low_table_.clear();
+  if (plan_->options_.two_level) {
+    low_table_.resize(plan_->options_.low_level_slots);
+  }
+  high_->map.clear();
+  high_group_count_ = 0;
+
+  std::uint32_t occupied = 0;
+  if (!payload.ReadU32(&occupied) || occupied > low_table_.size()) {
+    *error = "snapshot low-level table corrupt";
+    return false;
+  }
+  for (std::uint32_t i = 0; i < occupied; ++i) {
+    std::uint64_t index = 0;
+    std::uint64_t hash = 0;
+    if (!payload.ReadU64(&index) || index >= low_table_.size() ||
+        !payload.ReadU64(&hash) || low_table_[index].occupied) {
+      *error = "snapshot low-level table corrupt";
+      return false;
+    }
+    LowSlot& slot = low_table_[index];
+    if (!RestoreGroup(&payload, &slot.group)) {
+      *error = "snapshot low-level group corrupt";
+      return false;
+    }
+    slot.occupied = true;
+    slot.hash = hash;
+  }
+
+  std::uint32_t n_groups = 0;
+  // A group frame is at least 24 bytes (key count + weight + tuples +
+  // one length prefix); bound the declared count before the loop.
+  if (!payload.ReadU32(&n_groups) || n_groups > payload.Remaining() / 20) {
+    *error = "snapshot group count corrupt";
+    return false;
+  }
+  for (std::uint32_t i = 0; i < n_groups; ++i) {
+    Group g;
+    if (!RestoreGroup(&payload, &g)) {
+      *error = "snapshot group corrupt";
+      return false;
+    }
+    const std::uint64_t hash = HashKey(g.key);
+    high_->map[hash].push_back(std::move(g));
+    ++high_group_count_;
+  }
+  if (!payload.Exhausted()) {
+    *error = "snapshot has trailing bytes";
+    return false;
+  }
+  return true;
 }
 
 std::string ResultSet::ToString() const {

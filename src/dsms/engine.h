@@ -13,6 +13,7 @@
 #include "dsms/packet.h"
 #include "dsms/parser.h"
 #include "dsms/value.h"
+#include "util/bytes.h"
 
 // Query compilation and execution for the mini DSMS.
 //
@@ -33,6 +34,24 @@ struct ResultSet {
 
   /// Renders the table for human consumption.
   std::string ToString() const;
+};
+
+/// Overload-shedding policy: bounds the number of groups an execution
+/// holds. When a new group would exceed `max_groups`, the engine evicts
+/// the group with the smallest *forward-decayed weight* — the sum over
+/// the group's tuples of g(t_i - L) = exp(decay_alpha * (t_i - landmark))
+/// — and reports it through groups_shed()/tuples_shed() instead of
+/// aborting. Forward decay makes this principled: the static weight of a
+/// tuple only grows with its timestamp, so the minimum-weight group is
+/// the one the decayed query already values least.
+struct OverloadPolicy {
+  /// Maximum live groups (low + high level); 0 disables shedding.
+  std::size_t max_groups = 0;
+  /// Exponential forward-decay rate for group weights; 0 degrades the
+  /// weight to a plain tuple count (evict the smallest group).
+  double decay_alpha = 0.0;
+  /// Forward-decay landmark L (only the weight *scale* depends on it).
+  double landmark = 0.0;
 };
 
 class QueryExecution;
@@ -67,6 +86,11 @@ class CompiledQuery {
 
   const Options& options() const { return options_; }
   std::size_t num_aggregates() const { return agg_names_.size(); }
+
+  /// Deterministic structural hash of the plan (clauses, options,
+  /// aggregate slots). Stored in snapshots so Restore() can reject a
+  /// snapshot taken under a different query.
+  std::uint64_t Fingerprint() const;
 
  private:
   friend class QueryExecution;
@@ -114,11 +138,40 @@ class QueryExecution {
   /// Packets that passed the filter so far.
   std::uint64_t tuples_aggregated() const { return tuples_aggregated_; }
 
+  /// Packets offered to Consume() so far (before filtering). This is the
+  /// input-stream position recorded in snapshots: recovery re-feeds the
+  /// trace from this offset.
+  std::uint64_t packets_consumed() const { return packets_consumed_; }
+
   /// Distinct groups currently held (low + high level).
   std::size_t GroupCount() const;
 
   /// Evictions from the low-level table (two-level mode only).
   std::uint64_t low_level_evictions() const { return low_level_evictions_; }
+
+  /// Installs (or replaces) the overload-shedding policy. Takes effect
+  /// on the next Consume(); group weights accumulate from the point the
+  /// policy's decay parameters are set.
+  void SetOverloadPolicy(const OverloadPolicy& policy) { policy_ = policy; }
+  const OverloadPolicy& overload_policy() const { return policy_; }
+
+  /// Groups evicted (and tuples lost inside them) by overload shedding.
+  std::uint64_t groups_shed() const { return groups_shed_; }
+  std::uint64_t tuples_shed() const { return tuples_shed_; }
+
+  /// Writes a crash-safe snapshot of the full execution state — both
+  /// group-table levels, every aggregate accumulator, the shedding
+  /// policy and counters, and the input-stream position — to `path` via
+  /// write-to-temp + fsync + atomic rename. On failure returns false
+  /// with *error set; any existing snapshot at `path` is untouched.
+  bool Checkpoint(const std::string& path, std::string* error) const;
+
+  /// Replaces this execution's state with the snapshot at `path`.
+  /// Verifies the CRC32C frame and the plan fingerprint; on any failure
+  /// returns false with *error set and leaves the execution unusable
+  /// (callers discard it). Feeding the trace from packets_consumed()
+  /// onward then reproduces the uninterrupted run exactly.
+  bool Restore(const std::string& path, std::string* error);
 
  private:
   struct Group;
@@ -128,10 +181,20 @@ class QueryExecution {
                                std::vector<Value>&& key);
   void UpdateGroup(Group& group, const Packet& p);
   void EvictToHigh(LowSlot& slot);
+  double ForwardWeight(double ts) const;
+  void ShedLowestWeightGroup();
+  bool SerializeGroup(const Group& group, ByteWriter* writer,
+                      std::string* error) const;
+  bool RestoreGroup(ByteReader* reader, Group* group);
 
   const CompiledQuery* plan_;
+  OverloadPolicy policy_;
+  std::uint64_t packets_consumed_ = 0;
   std::uint64_t tuples_aggregated_ = 0;
   std::uint64_t low_level_evictions_ = 0;
+  std::uint64_t groups_shed_ = 0;
+  std::uint64_t tuples_shed_ = 0;
+  std::size_t high_group_count_ = 0;
 
   // Storage details live in the .cc (pimpl-free; concrete types are
   // private nested structs).

@@ -1,23 +1,20 @@
 #include "dsms/trace_io.h"
 
-#include <cstdio>
 #include <cstring>
-#include <memory>
 
 #include "util/bytes.h"
+#include "util/crc32c.h"
+#include "util/fault_fs.h"
 
 namespace fwdecay::dsms {
 
 namespace {
 
-constexpr char kMagic[8] = {'F', 'W', 'D', 'T', 'R', 'C', '0', '1'};
-
-struct FileCloser {
-  void operator()(std::FILE* f) const {
-    if (f != nullptr) std::fclose(f);
-  }
-};
-using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+constexpr char kMagicV1[8] = {'F', 'W', 'D', 'T', 'R', 'C', '0', '1'};
+constexpr char kMagicV2[8] = {'F', 'W', 'D', 'T', 'R', 'C', '0', '2'};
+constexpr std::size_t kHeaderBytes = sizeof(kMagicV2) + 8;  // magic + count
+constexpr std::size_t kRecordBytes = 29;  // f64 + 5*u32 + u8
+constexpr std::size_t kCrcBytes = 4;
 
 void AppendPacket(ByteWriter* w, const Packet& p) {
   w->WriteDouble(p.time);
@@ -46,77 +43,103 @@ bool ParsePacket(ByteReader* r, Packet* p) {
   return true;
 }
 
-}  // namespace
-
-bool WriteTrace(const std::string& path, const std::vector<Packet>& packets,
-                std::string* error) {
-  FilePtr f(std::fopen(path.c_str(), "wb"));
-  if (f == nullptr) {
-    *error = "cannot open '" + path + "' for writing";
-    return false;
-  }
-  ByteWriter w;
-  for (char c : kMagic) w.WriteU8(static_cast<std::uint8_t>(c));
-  w.WriteU64(packets.size());
-  for (const Packet& p : packets) AppendPacket(&w, p);
-  const auto& bytes = w.bytes();
-  if (std::fwrite(bytes.data(), 1, bytes.size(), f.get()) != bytes.size()) {
-    *error = "short write to '" + path + "'";
-    return false;
-  }
-  return true;
-}
-
-std::optional<std::vector<Packet>> ReadTrace(const std::string& path,
-                                             std::string* error) {
-  FilePtr f(std::fopen(path.c_str(), "rb"));
-  if (f == nullptr) {
-    *error = "cannot open '" + path + "'";
-    return std::nullopt;
-  }
-  std::fseek(f.get(), 0, SEEK_END);
-  const long size = std::ftell(f.get());
-  std::fseek(f.get(), 0, SEEK_SET);
-  if (size < static_cast<long>(sizeof(kMagic) + 8)) {
-    *error = "'" + path + "' is not a fwdecay trace (too short)";
-    return std::nullopt;
-  }
-  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(size));
-  if (std::fread(bytes.data(), 1, bytes.size(), f.get()) != bytes.size()) {
-    *error = "short read from '" + path + "'";
-    return std::nullopt;
-  }
-  ByteReader r(bytes);
-  char magic[8];
-  for (char& c : magic) {
-    std::uint8_t b = 0;
-    if (!r.ReadU8(&b)) return std::nullopt;
-    c = static_cast<char>(b);
-  }
-  if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
-    *error = "'" + path + "' has a bad magic header";
-    return std::nullopt;
-  }
-  std::uint64_t count = 0;
-  if (!r.ReadU64(&count)) {
-    *error = "truncated header in '" + path + "'";
-    return std::nullopt;
-  }
+// Parses `count` records from `r` and checks the stream is fully
+// consumed. The count was already bounds-checked against the remaining
+// byte count, so reserve() here cannot be driven past the file size.
+std::optional<std::vector<Packet>> ParseRecords(ByteReader* r,
+                                                std::uint64_t count,
+                                                const std::string& path,
+                                                std::string* error) {
   std::vector<Packet> packets;
   packets.reserve(static_cast<std::size_t>(count));
   for (std::uint64_t i = 0; i < count; ++i) {
     Packet p;
-    if (!ParsePacket(&r, &p)) {
+    if (!ParsePacket(r, &p)) {
       *error = "truncated or corrupt record in '" + path + "'";
       return std::nullopt;
     }
     packets.push_back(p);
   }
-  if (!r.Exhausted()) {
+  if (!r->Exhausted()) {
     *error = "trailing bytes in '" + path + "'";
     return std::nullopt;
   }
   return packets;
+}
+
+}  // namespace
+
+bool WriteTrace(const std::string& path, const std::vector<Packet>& packets,
+                std::string* error) {
+  // v2 frame: magic, count, records, then a trailing CRC32C over every
+  // preceding byte. Written through the fault-injectable atomic-rename
+  // path, so a crash mid-write leaves the previous trace (or nothing),
+  // never a torn file that parses.
+  ByteWriter w;
+  for (char c : kMagicV2) w.WriteU8(static_cast<std::uint8_t>(c));
+  w.WriteU64(packets.size());
+  for (const Packet& p : packets) AppendPacket(&w, p);
+  const std::uint32_t crc = Crc32c(w.bytes().data(), w.bytes().size());
+  w.WriteU32(crc);
+  return FaultFs::Instance().AtomicWriteFile(path, w.bytes(), error);
+}
+
+std::optional<std::vector<Packet>> ReadTrace(const std::string& path,
+                                             std::string* error) {
+  std::vector<std::uint8_t> bytes;
+  if (!FaultFs::Instance().ReadFile(path, &bytes, error)) return std::nullopt;
+  if (bytes.size() < kHeaderBytes) {
+    *error = "'" + path + "' is not a fwdecay trace (too short)";
+    return std::nullopt;
+  }
+
+  if (std::memcmp(bytes.data(), kMagicV2, sizeof(kMagicV2)) == 0) {
+    if (bytes.size() < kHeaderBytes + kCrcBytes) {
+      *error = "'" + path + "' is truncated before its checksum";
+      return std::nullopt;
+    }
+    const std::size_t body_len = bytes.size() - kCrcBytes;
+    std::uint32_t stored_crc = 0;
+    std::memcpy(&stored_crc, bytes.data() + body_len, kCrcBytes);
+    if (Crc32c(bytes.data(), body_len) != stored_crc) {
+      *error = "CRC mismatch in '" + path + "' (torn or corrupt write)";
+      return std::nullopt;
+    }
+    ByteReader r(bytes.data() + sizeof(kMagicV2),
+                 body_len - sizeof(kMagicV2));
+    std::uint64_t count = 0;
+    if (!r.ReadU64(&count)) {
+      *error = "truncated header in '" + path + "'";
+      return std::nullopt;
+    }
+    // Reject a hostile count before any allocation: the records must fit
+    // in the bytes actually present.
+    if (count > r.Remaining() / kRecordBytes) {
+      *error = "'" + path + "' declares more packets than the file holds";
+      return std::nullopt;
+    }
+    return ParseRecords(&r, count, path, error);
+  }
+
+  if (std::memcmp(bytes.data(), kMagicV1, sizeof(kMagicV1)) == 0) {
+    // Read-side back-compat for pre-checksum traces (no CRC to verify;
+    // per-record bounds checks still apply).
+    ByteReader r(bytes.data() + sizeof(kMagicV1),
+                 bytes.size() - sizeof(kMagicV1));
+    std::uint64_t count = 0;
+    if (!r.ReadU64(&count)) {
+      *error = "truncated header in '" + path + "'";
+      return std::nullopt;
+    }
+    if (count > r.Remaining() / kRecordBytes) {
+      *error = "'" + path + "' declares more packets than the file holds";
+      return std::nullopt;
+    }
+    return ParseRecords(&r, count, path, error);
+  }
+
+  *error = "'" + path + "' has a bad magic header";
+  return std::nullopt;
 }
 
 }  // namespace fwdecay::dsms

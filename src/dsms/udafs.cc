@@ -56,6 +56,62 @@ double OptDouble(const std::vector<Value>& args, std::size_t index,
   return args.size() <= index ? fallback : args[index].AsDouble();
 }
 
+// --- Checkpoint helpers -----------------------------------------------------
+//
+// Sampler UDAFs serialize their full generator state: a restored sampler
+// must continue the exact random sequence of the checkpointed run, or
+// recovery-replay would diverge from the uninterrupted baseline.
+
+void WriteRngState(ByteWriter* writer, const Rng& rng) {
+  std::uint64_t s[4];
+  rng.SaveState(s);
+  for (std::uint64_t word : s) writer->WriteU64(word);
+}
+
+bool ReadRngState(ByteReader* reader, Rng* rng) {
+  std::uint64_t s[4];
+  for (auto& word : s) {
+    if (!reader->ReadU64(&word)) return false;
+  }
+  rng->LoadState(s);
+  return true;
+}
+
+void WriteHeap(ByteWriter* writer, const TopKHeap<double>& heap) {
+  writer->WriteU64(heap.capacity());
+  writer->WriteU32(static_cast<std::uint32_t>(heap.size()));
+  // Verbatim array order: eviction under tied scores depends on it.
+  for (const auto& e : heap.entries()) {
+    writer->WriteDouble(e.score);
+    writer->WriteDouble(e.value);
+  }
+}
+
+std::unique_ptr<TopKHeap<double>> ReadHeap(ByteReader* reader) {
+  std::uint64_t capacity = 0;
+  std::uint32_t n = 0;
+  if (!reader->ReadU64(&capacity) || capacity == 0 ||
+      capacity > (std::uint64_t{1} << 26)) {
+    return nullptr;
+  }
+  if (!reader->ReadU32(&n) || n > capacity || n > reader->Remaining() / 16) {
+    return nullptr;
+  }
+  std::vector<TopKHeap<double>::Entry> entries;
+  entries.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    TopKHeap<double>::Entry e{0.0, 0.0};
+    if (!reader->ReadDouble(&e.score) || !reader->ReadDouble(&e.value)) {
+      return nullptr;
+    }
+    entries.push_back(e);
+  }
+  auto heap =
+      std::make_unique<TopKHeap<double>>(static_cast<std::size_t>(capacity));
+  if (!heap->RestoreEntries(std::move(entries))) return nullptr;
+  return heap;
+}
+
 // --- Samplers ---------------------------------------------------------------
 
 /// PRISAMP(item, weight [, k]): priority sampling. Priorities w/u are
@@ -89,6 +145,25 @@ class PrisampUdaf : public AggState {
                                  : sorted.size();
     for (std::size_t i = 0; i < take; ++i) items.push_back(sorted[i].value);
     return Value(RenderSample(std::move(items)));
+  }
+
+  bool SerializeTo(ByteWriter* writer) const override {
+    WriteRngState(writer, rng_);
+    writer->WriteU8(heap_ != nullptr ? 1 : 0);
+    if (heap_ != nullptr) WriteHeap(writer, *heap_);
+    return true;
+  }
+
+  bool RestoreFrom(ByteReader* reader) override {
+    if (!ReadRngState(reader, &rng_)) return false;
+    std::uint8_t flag = 0;
+    if (!reader->ReadU8(&flag) || flag > 1) return false;
+    heap_.reset();
+    if (flag != 0) {
+      heap_ = ReadHeap(reader);
+      if (heap_ == nullptr) return false;
+    }
+    return true;
   }
 
  private:
@@ -129,6 +204,25 @@ class WrsampUdaf : public AggState {
     std::vector<double> items;
     for (const auto& e : heap_->entries()) items.push_back(e.value);
     return Value(RenderSample(std::move(items)));
+  }
+
+  bool SerializeTo(ByteWriter* writer) const override {
+    WriteRngState(writer, rng_);
+    writer->WriteU8(heap_ != nullptr ? 1 : 0);
+    if (heap_ != nullptr) WriteHeap(writer, *heap_);
+    return true;
+  }
+
+  bool RestoreFrom(ByteReader* reader) override {
+    if (!ReadRngState(reader, &rng_)) return false;
+    std::uint8_t flag = 0;
+    if (!reader->ReadU8(&flag) || flag > 1) return false;
+    heap_.reset();
+    if (flag != 0) {
+      heap_ = ReadHeap(reader);
+      if (heap_ == nullptr) return false;
+    }
+    return true;
   }
 
  private:
@@ -174,6 +268,47 @@ class RessampUdaf : public AggState {
     return Value(RenderSample(sampler_->sample()));
   }
 
+  bool SerializeTo(ByteWriter* writer) const override {
+    WriteRngState(writer, rng_);
+    writer->WriteU8(sampler_ != nullptr ? 1 : 0);
+    if (sampler_ != nullptr) {
+      writer->WriteU64(sampler_->capacity());
+      writer->WriteU64(sampler_->seen());
+      writer->WriteU32(static_cast<std::uint32_t>(sampler_->sample().size()));
+      for (double v : sampler_->sample()) writer->WriteDouble(v);
+    }
+    return true;
+  }
+
+  bool RestoreFrom(ByteReader* reader) override {
+    if (!ReadRngState(reader, &rng_)) return false;
+    std::uint8_t flag = 0;
+    if (!reader->ReadU8(&flag) || flag > 1) return false;
+    sampler_.reset();
+    if (flag == 0) return true;
+    std::uint64_t capacity = 0;
+    std::uint64_t seen = 0;
+    std::uint32_t n = 0;
+    if (!reader->ReadU64(&capacity) || capacity == 0 ||
+        capacity > (std::uint64_t{1} << 26)) {
+      return false;
+    }
+    if (!reader->ReadU64(&seen) || !reader->ReadU32(&n) || n > capacity ||
+        n > reader->Remaining() / 8) {
+      return false;
+    }
+    std::vector<double> sample;
+    sample.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      double v = 0.0;
+      if (!reader->ReadDouble(&v)) return false;
+      sample.push_back(v);
+    }
+    sampler_ = std::make_unique<ReservoirSampler<double>>(
+        static_cast<std::size_t>(capacity));
+    return sampler_->RestoreState(seen, std::move(sample));
+  }
+
  private:
   static constexpr std::size_t kDefaultK = 64;
 
@@ -208,6 +343,47 @@ class AggsampUdaf : public AggState {
   Value Finalize() const override {
     if (sampler_ == nullptr) return Value(std::string());
     return Value(RenderSample(sampler_->sample()));
+  }
+
+  bool SerializeTo(ByteWriter* writer) const override {
+    WriteRngState(writer, rng_);
+    writer->WriteU8(sampler_ != nullptr ? 1 : 0);
+    if (sampler_ != nullptr) {
+      writer->WriteU64(sampler_->capacity());
+      writer->WriteU64(sampler_->seen());
+      writer->WriteU32(static_cast<std::uint32_t>(sampler_->sample().size()));
+      for (double v : sampler_->sample()) writer->WriteDouble(v);
+    }
+    return true;
+  }
+
+  bool RestoreFrom(ByteReader* reader) override {
+    if (!ReadRngState(reader, &rng_)) return false;
+    std::uint8_t flag = 0;
+    if (!reader->ReadU8(&flag) || flag > 1) return false;
+    sampler_.reset();
+    if (flag == 0) return true;
+    std::uint64_t capacity = 0;
+    std::uint64_t seen = 0;
+    std::uint32_t n = 0;
+    if (!reader->ReadU64(&capacity) || capacity == 0 ||
+        capacity > (std::uint64_t{1} << 26)) {
+      return false;
+    }
+    if (!reader->ReadU64(&seen) || !reader->ReadU32(&n) || n > capacity ||
+        n > reader->Remaining() / 8) {
+      return false;
+    }
+    std::vector<double> sample;
+    sample.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      double v = 0.0;
+      if (!reader->ReadDouble(&v)) return false;
+      sample.push_back(v);
+    }
+    sampler_ = std::make_unique<BiasedReservoirSampler<double>>(
+        static_cast<std::size_t>(capacity));
+    return sampler_->RestoreState(seen, std::move(sample));
   }
 
  private:
@@ -265,6 +441,28 @@ class FdhhUdaf : public AggState {
     return Value(RenderHitters(sketch_->Query(phi_)));
   }
 
+  bool SerializeTo(ByteWriter* writer) const override {
+    writer->WriteDouble(phi_);
+    writer->WriteU8(sketch_ != nullptr ? 1 : 0);
+    if (sketch_ != nullptr) sketch_->SerializeTo(writer);
+    return true;
+  }
+
+  bool RestoreFrom(ByteReader* reader) override {
+    std::uint8_t flag = 0;
+    if (!reader->ReadDouble(&phi_) || !std::isfinite(phi_) || phi_ < 0.0) {
+      return false;
+    }
+    if (!reader->ReadU8(&flag) || flag > 1) return false;
+    sketch_.reset();
+    if (flag != 0) {
+      auto sketch = WeightedSpaceSaving::Deserialize(reader);
+      if (!sketch) return false;
+      sketch_ = std::make_unique<WeightedSpaceSaving>(std::move(*sketch));
+    }
+    return true;
+  }
+
  private:
   double phi_ = 0.05;
   std::unique_ptr<WeightedSpaceSaving> sketch_;
@@ -294,6 +492,28 @@ class UnaryhhUdaf : public AggState {
   Value Finalize() const override {
     if (sketch_ == nullptr) return Value(std::string());
     return Value(RenderHitters(sketch_->Query(phi_)));
+  }
+
+  bool SerializeTo(ByteWriter* writer) const override {
+    writer->WriteDouble(phi_);
+    writer->WriteU8(sketch_ != nullptr ? 1 : 0);
+    if (sketch_ != nullptr) sketch_->SerializeTo(writer);
+    return true;
+  }
+
+  bool RestoreFrom(ByteReader* reader) override {
+    std::uint8_t flag = 0;
+    if (!reader->ReadDouble(&phi_) || !std::isfinite(phi_) || phi_ < 0.0) {
+      return false;
+    }
+    if (!reader->ReadU8(&flag) || flag > 1) return false;
+    sketch_.reset();
+    if (flag != 0) {
+      auto sketch = UnarySpaceSaving::Deserialize(reader);
+      if (!sketch) return false;
+      sketch_ = std::make_unique<UnarySpaceSaving>(std::move(*sketch));
+    }
+    return true;
   }
 
  private:
@@ -326,6 +546,34 @@ class SwhhUdaf : public AggState {
     if (sketch_ == nullptr) return Value(std::string());
     const double window = std::max(last_ts_ - first_ts_, 1e-9) * 2.0;
     return Value(RenderHitters(sketch_->QueryWindow(last_ts_, window, phi_)));
+  }
+
+  bool SerializeTo(ByteWriter* writer) const override {
+    writer->WriteDouble(phi_);
+    writer->WriteDouble(first_ts_);
+    writer->WriteDouble(last_ts_);
+    writer->WriteU8(sketch_ != nullptr ? 1 : 0);
+    if (sketch_ != nullptr) sketch_->SerializeTo(writer);
+    return true;
+  }
+
+  bool RestoreFrom(ByteReader* reader) override {
+    std::uint8_t flag = 0;
+    if (!reader->ReadDouble(&phi_) || !std::isfinite(phi_) || phi_ < 0.0) {
+      return false;
+    }
+    if (!reader->ReadDouble(&first_ts_) || !reader->ReadDouble(&last_ts_) ||
+        !reader->ReadU8(&flag) || flag > 1) {
+      return false;
+    }
+    sketch_.reset();
+    if (flag != 0) {
+      auto sketch = SlidingWindowHeavyHitters::Deserialize(reader);
+      if (!sketch) return false;
+      sketch_ =
+          std::make_unique<SlidingWindowHeavyHitters>(std::move(*sketch));
+    }
+    return true;
   }
 
  private:
@@ -364,6 +612,28 @@ class EhdsumUdaf : public AggState {
         last_ts_, [](double age) { return std::pow(age + 1.0, -2.0); }));
   }
 
+  bool SerializeTo(ByteWriter* writer) const override {
+    writer->WriteDouble(last_ts_);
+    writer->WriteU8(agg_ != nullptr ? 1 : 0);
+    if (agg_ != nullptr) agg_->SerializeTo(writer);
+    return true;
+  }
+
+  bool RestoreFrom(ByteReader* reader) override {
+    std::uint8_t flag = 0;
+    if (!reader->ReadDouble(&last_ts_) || !reader->ReadU8(&flag) ||
+        flag > 1) {
+      return false;
+    }
+    agg_.reset();
+    if (flag != 0) {
+      auto agg = BackwardDecayedAggregator::Deserialize(reader);
+      if (!agg) return false;
+      agg_ = std::make_unique<BackwardDecayedAggregator>(std::move(*agg));
+    }
+    return true;
+  }
+
  private:
   double last_ts_ = 0.0;
   std::unique_ptr<BackwardDecayedAggregator> agg_;
@@ -390,6 +660,21 @@ class FdExtremumUdaf : public AggState {
   }
 
   Value Finalize() const override { return Value(has_value_ ? best_ : 0.0); }
+
+  bool SerializeTo(ByteWriter* writer) const override {
+    writer->WriteDouble(best_);
+    writer->WriteU8(has_value_ ? 1 : 0);
+    return true;
+  }
+
+  bool RestoreFrom(ByteReader* reader) override {
+    std::uint8_t flag = 0;
+    if (!reader->ReadDouble(&best_) || !reader->ReadU8(&flag) || flag > 1) {
+      return false;
+    }
+    has_value_ = flag != 0;
+    return true;
+  }
 
  private:
   void Offer(double scaled) {
@@ -439,6 +724,30 @@ class FdquantileUdaf : public AggState {
     return Value(static_cast<std::int64_t>(digest_->Quantile(phi_)));
   }
 
+  bool SerializeTo(ByteWriter* writer) const override {
+    writer->WriteDouble(phi_);
+    writer->WriteU8(digest_ != nullptr ? 1 : 0);
+    if (digest_ != nullptr) digest_->SerializeTo(writer);
+    return true;
+  }
+
+  bool RestoreFrom(ByteReader* reader) override {
+    std::uint8_t flag = 0;
+    // QDigest::Quantile CHECKs phi in [0, 1]; enforce it here so a
+    // hostile snapshot fails restore instead of crashing Finalize.
+    if (!reader->ReadDouble(&phi_) || !(phi_ >= 0.0 && phi_ <= 1.0)) {
+      return false;
+    }
+    if (!reader->ReadU8(&flag) || flag > 1) return false;
+    digest_.reset();
+    if (flag != 0) {
+      auto digest = QDigest::Deserialize(reader);
+      if (!digest) return false;
+      digest_ = std::make_unique<QDigest>(std::move(*digest));
+    }
+    return true;
+  }
+
  private:
   double phi_ = 0.5;
   std::unique_ptr<QDigest> digest_;
@@ -471,6 +780,24 @@ class FddistinctUdaf : public AggState {
   Value Finalize() const override {
     if (sketch_ == nullptr) return Value(0.0);
     return Value(sketch_->Estimate());
+  }
+
+  bool SerializeTo(ByteWriter* writer) const override {
+    writer->WriteU8(sketch_ != nullptr ? 1 : 0);
+    if (sketch_ != nullptr) sketch_->SerializeTo(writer);
+    return true;
+  }
+
+  bool RestoreFrom(ByteReader* reader) override {
+    std::uint8_t flag = 0;
+    if (!reader->ReadU8(&flag) || flag > 1) return false;
+    sketch_.reset();
+    if (flag != 0) {
+      auto sketch = DominanceNormSketch::Deserialize(reader);
+      if (!sketch) return false;
+      sketch_ = std::make_unique<DominanceNormSketch>(std::move(*sketch));
+    }
+    return true;
   }
 
  private:

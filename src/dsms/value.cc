@@ -53,6 +53,46 @@ std::uint64_t Value::Hash() const {
   return HashString(std::get<std::string>(v_), 3);
 }
 
+void Value::SerializeTo(ByteWriter* writer) const {
+  if (is_int()) {
+    writer->WriteU8(0);
+    writer->WriteI64(std::get<std::int64_t>(v_));
+  } else if (is_double()) {
+    writer->WriteU8(1);
+    writer->WriteDouble(std::get<double>(v_));
+  } else {
+    writer->WriteU8(2);
+    writer->WriteString(std::get<std::string>(v_));
+  }
+}
+
+std::optional<Value> Value::Deserialize(ByteReader* reader) {
+  // In-place construction (no Value temporary moved into the optional):
+  // GCC 12 flags the variant move with a spurious -Wmaybe-uninitialized
+  // under sanitizer instrumentation.
+  std::uint8_t tag = 0;
+  if (!reader->ReadU8(&tag)) return std::nullopt;
+  switch (tag) {
+    case 0: {
+      std::int64_t i = 0;
+      if (!reader->ReadI64(&i)) return std::nullopt;
+      return std::optional<Value>(std::in_place, i);
+    }
+    case 1: {
+      double d = 0.0;
+      if (!reader->ReadDouble(&d)) return std::nullopt;
+      return std::optional<Value>(std::in_place, d);
+    }
+    case 2: {
+      std::string s;
+      if (!reader->ReadString(&s)) return std::nullopt;
+      return std::optional<Value>(std::in_place, std::move(s));
+    }
+    default:
+      return std::nullopt;
+  }
+}
+
 bool operator==(const Value& a, const Value& b) {
   if (a.is_string() || b.is_string()) {
     return a.is_string() && b.is_string() && a.AsString() == b.AsString();

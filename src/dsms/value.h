@@ -2,8 +2,11 @@
 #define FWDECAY_DSMS_VALUE_H_
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <variant>
+
+#include "util/bytes.h"
 
 namespace fwdecay::dsms {
 
@@ -32,6 +35,12 @@ class Value {
 
   /// Hash for group-by keys.
   std::uint64_t Hash() const;
+
+  /// Serializes as a tagged frame (0 = int, 1 = double, 2 = string).
+  void SerializeTo(ByteWriter* writer) const;
+
+  /// Reconstructs a value; nullopt on truncated/corrupt input.
+  static std::optional<Value> Deserialize(ByteReader* reader);
 
   friend bool operator==(const Value& a, const Value& b);
 

@@ -53,6 +53,16 @@ class BiasedReservoirSampler {
   std::uint64_t seen() const { return seen_; }
   std::size_t capacity() const { return k_; }
 
+  /// Restores a checkpointed reservoir verbatim (slot order included).
+  /// The fill level is probabilistic, so the only hard invariants are
+  /// size <= k and size <= seen.
+  bool RestoreState(std::uint64_t seen, std::vector<T> sample) {
+    if (sample.size() > k_ || sample.size() > seen) return false;
+    seen_ = seen;
+    sample_ = std::move(sample);
+    return true;
+  }
+
  private:
   std::size_t k_;
   std::uint64_t seen_ = 0;

@@ -62,4 +62,39 @@ double BackwardDecayedAggregator::DecayedSum(double now,
                               });
 }
 
+void BackwardDecayedAggregator::SerializeTo(ByteWriter* writer) const {
+  writer->WriteU8(0x42);
+  writer->WriteU32(static_cast<std::uint32_t>(grid_size_));
+  writer->WriteDouble(first_ts_);
+  writer->WriteU8(has_data_ ? 1 : 0);
+  count_eh_.SerializeTo(writer);
+  sum_eh_.SerializeTo(writer);
+}
+
+std::optional<BackwardDecayedAggregator> BackwardDecayedAggregator::Deserialize(
+    ByteReader* reader) {
+  std::uint8_t tag = 0;
+  std::uint32_t grid = 0;
+  double first_ts = 0.0;
+  std::uint8_t has_data = 0;
+  if (!reader->ReadU8(&tag) || tag != 0x42) return std::nullopt;
+  if (!reader->ReadU32(&grid) || grid < 2 || grid > 1u << 20) {
+    return std::nullopt;
+  }
+  if (!reader->ReadDouble(&first_ts) || !reader->ReadU8(&has_data) ||
+      has_data > 1) {
+    return std::nullopt;
+  }
+  auto count_eh = EhCount::Deserialize(reader);
+  if (!count_eh) return std::nullopt;
+  auto sum_eh = EhSum::Deserialize(reader);
+  if (!sum_eh) return std::nullopt;
+  BackwardDecayedAggregator out(0.5, 1, static_cast<int>(grid));
+  out.first_ts_ = first_ts;
+  out.has_data_ = has_data != 0;
+  out.count_eh_ = std::move(*count_eh);
+  out.sum_eh_ = std::move(*sum_eh);
+  return out;
+}
+
 }  // namespace fwdecay

@@ -57,6 +57,13 @@ class BackwardDecayedAggregator {
 
   std::uint64_t TotalCount() const { return count_eh_.TotalCount(); }
 
+  /// Serializes the exact state of both EHs.
+  void SerializeTo(ByteWriter* writer) const;
+
+  /// Reconstructs an aggregator; nullopt on truncated/corrupt input.
+  static std::optional<BackwardDecayedAggregator> Deserialize(
+      ByteReader* reader);
+
  private:
   int grid_size_;
   double first_ts_ = 0.0;

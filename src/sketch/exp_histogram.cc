@@ -112,4 +112,85 @@ std::size_t EhSum::MemoryBytes() const {
   return n;
 }
 
+void EhCount::SerializeTo(ByteWriter* writer) const {
+  writer->WriteU8(0x45);
+  writer->WriteDouble(eps_);
+  writer->WriteDouble(horizon_);
+  writer->WriteU64(total_count_);
+  writer->WriteDouble(last_ts_);
+  writer->WriteU32(static_cast<std::uint32_t>(buckets_.size()));
+  for (const Bucket& b : buckets_) {
+    writer->WriteDouble(b.ts);
+    writer->WriteU64(b.size);
+  }
+}
+
+std::optional<EhCount> EhCount::Deserialize(ByteReader* reader) {
+  std::uint8_t tag = 0;
+  double eps = 0.0;
+  double horizon = 0.0;
+  std::uint64_t total = 0;
+  double last_ts = 0.0;
+  std::uint32_t n = 0;
+  if (!reader->ReadU8(&tag) || tag != 0x45) return std::nullopt;
+  if (!reader->ReadDouble(&eps) || !(eps > 0.0 && eps <= 1.0)) {
+    return std::nullopt;
+  }
+  if (!reader->ReadDouble(&horizon) || !(horizon > 0.0)) return std::nullopt;
+  if (!reader->ReadU64(&total) || !reader->ReadDouble(&last_ts)) {
+    return std::nullopt;
+  }
+  if (!reader->ReadU32(&n)) return std::nullopt;
+  // Each bucket is 16 serialized bytes; bound before any allocation.
+  if (n > reader->Remaining() / 16) return std::nullopt;
+  EhCount out(eps, horizon);
+  out.total_count_ = total;
+  out.last_ts_ = last_ts;
+  double prev_ts = last_ts;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    Bucket b{0.0, 0};
+    if (!reader->ReadDouble(&b.ts) || !reader->ReadU64(&b.size)) {
+      return std::nullopt;
+    }
+    // Invariants: power-of-two sizes, timestamps non-increasing toward
+    // the back, nothing newer than last_ts_.
+    if (b.size == 0 || (b.size & (b.size - 1)) != 0) return std::nullopt;
+    if (!(b.ts <= prev_ts)) return std::nullopt;
+    prev_ts = b.ts;
+    out.buckets_.push_back(b);
+  }
+  // Sizes must be non-decreasing toward the back (merge-cascade scan
+  // relies on equal sizes being contiguous).
+  for (std::size_t i = 1; i < out.buckets_.size(); ++i) {
+    if (out.buckets_[i].size < out.buckets_[i - 1].size) return std::nullopt;
+  }
+  return out;
+}
+
+void EhSum::SerializeTo(ByteWriter* writer) const {
+  writer->WriteU8(0x46);
+  writer->WriteDouble(total_sum_);
+  writer->WriteU8(static_cast<std::uint8_t>(bit_ehs_.size()));
+  for (const EhCount& eh : bit_ehs_) eh.SerializeTo(writer);
+}
+
+std::optional<EhSum> EhSum::Deserialize(ByteReader* reader) {
+  std::uint8_t tag = 0;
+  double total = 0.0;
+  std::uint8_t bits = 0;
+  if (!reader->ReadU8(&tag) || tag != 0x46) return std::nullopt;
+  if (!reader->ReadDouble(&total)) return std::nullopt;
+  if (!reader->ReadU8(&bits) || bits < 1 || bits > 40) return std::nullopt;
+  EhSum out(0.5, 1);  // placeholder; per-bit EHs replaced below
+  out.total_sum_ = total;
+  out.bit_ehs_.clear();
+  out.bit_ehs_.reserve(bits);
+  for (std::uint8_t b = 0; b < bits; ++b) {
+    auto eh = EhCount::Deserialize(reader);
+    if (!eh) return std::nullopt;
+    out.bit_ehs_.push_back(std::move(*eh));
+  }
+  return out;
+}
+
 }  // namespace fwdecay

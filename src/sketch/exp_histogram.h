@@ -4,7 +4,10 @@
 #include <cstdint>
 #include <deque>
 #include <limits>
+#include <optional>
 #include <vector>
+
+#include "util/bytes.h"
 
 // Exponential Histograms (Datar, Gionis, Indyk, Motwani, SODA'02).
 //
@@ -45,6 +48,13 @@ class EhCount {
   std::size_t MemoryBytes() const;
   double eps() const { return eps_; }
 
+  /// Serializes the exact bucket state (engine checkpointing: a
+  /// restored EH must merge and expire identically to the original).
+  void SerializeTo(ByteWriter* writer) const;
+
+  /// Reconstructs an EH; nullopt on truncated/corrupt input.
+  static std::optional<EhCount> Deserialize(ByteReader* reader);
+
  private:
   struct Bucket {
     double ts;          // most recent timestamp in the bucket
@@ -84,6 +94,12 @@ class EhSum {
   std::size_t BucketCount() const;
   std::size_t MemoryBytes() const;
   int value_bits() const { return static_cast<int>(bit_ehs_.size()); }
+
+  /// Serializes all per-bit EHs plus the exact running total.
+  void SerializeTo(ByteWriter* writer) const;
+
+  /// Reconstructs an EhSum; nullopt on truncated/corrupt input.
+  static std::optional<EhSum> Deserialize(ByteReader* reader);
 
  private:
   double total_sum_ = 0.0;

@@ -142,10 +142,15 @@ std::size_t QDigest::MemoryBytes() const {
 }
 
 void QDigest::SerializeTo(ByteWriter* writer) const {
-  writer->WriteU8(0x51);  // 'Q'
+  // Tag 0x52 is the v2 frame: v1 (0x51) plus the lazy-compression
+  // counter, which engine checkpointing needs — the *timing* of future
+  // Compress() calls, not just the node set, determines the digest's
+  // exact future state, and recovery must match the uninterrupted run.
+  writer->WriteU8(0x52);
   writer->WriteU8(static_cast<std::uint8_t>(universe_bits_));
   writer->WriteDouble(eps_);
   writer->WriteDouble(total_weight_);
+  writer->WriteU64(updates_since_compress_);
   writer->WriteU32(static_cast<std::uint32_t>(nodes_.size()));
   for (const auto& [id, w] : nodes_) {
     writer->WriteU64(id);
@@ -158,21 +163,25 @@ std::optional<QDigest> QDigest::Deserialize(ByteReader* reader) {
   std::uint8_t bits = 0;
   double eps = 0.0;
   double total = 0.0;
+  std::uint64_t since_compress = 0;
   std::uint32_t n = 0;
-  if (!reader->ReadU8(&tag) || tag != 0x51) return std::nullopt;
+  if (!reader->ReadU8(&tag) || (tag != 0x51 && tag != 0x52)) {
+    return std::nullopt;
+  }
   if (!reader->ReadU8(&bits) || bits < 1 || bits > 62) return std::nullopt;
   if (!reader->ReadDouble(&eps) || !(eps > 0.0 && eps < 1.0)) {
     return std::nullopt;
   }
-  if (!reader->ReadDouble(&total) || !reader->ReadU32(&n)) {
-    return std::nullopt;
-  }
+  if (!reader->ReadDouble(&total)) return std::nullopt;
+  if (tag == 0x52 && !reader->ReadU64(&since_compress)) return std::nullopt;
+  if (!reader->ReadU32(&n)) return std::nullopt;
   // Each node is 16 serialized bytes; a count exceeding the remaining
   // input is corrupt. Checking before reserve() keeps a hostile header
   // from demanding a multi-gigabyte allocation.
   if (n > reader->Remaining() / 16) return std::nullopt;
   QDigest out(bits, eps);
   out.total_weight_ = total;
+  out.updates_since_compress_ = static_cast<std::size_t>(since_compress);
   const std::uint64_t max_id = std::uint64_t{2} << bits;
   out.nodes_.reserve(n);
   for (std::uint32_t i = 0; i < n; ++i) {

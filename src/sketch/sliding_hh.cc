@@ -102,4 +102,72 @@ std::size_t SlidingWindowHeavyHitters::MemoryBytes() const {
   return total;
 }
 
+void SlidingWindowHeavyHitters::SerializeTo(ByteWriter* writer) const {
+  writer->WriteU8(0x57);
+  writer->WriteDouble(eps_);
+  writer->WriteU32(static_cast<std::uint32_t>(grid_size_));
+  writer->WriteDouble(first_ts_);
+  writer->WriteDouble(last_ts_);
+  writer->WriteU8(has_data_ ? 1 : 0);
+  writer->WriteU64(updates_since_prune_);
+  total_.SerializeTo(writer);
+  std::vector<std::uint64_t> keys;
+  keys.reserve(per_key_.size());
+  for (const auto& [key, eh] : per_key_) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
+  writer->WriteU32(static_cast<std::uint32_t>(keys.size()));
+  for (std::uint64_t key : keys) {
+    writer->WriteU64(key);
+    per_key_.at(key).SerializeTo(writer);
+  }
+}
+
+std::optional<SlidingWindowHeavyHitters>
+SlidingWindowHeavyHitters::Deserialize(ByteReader* reader) {
+  std::uint8_t tag = 0;
+  double eps = 0.0;
+  std::uint32_t grid = 0;
+  double first_ts = 0.0;
+  double last_ts = 0.0;
+  std::uint8_t has_data = 0;
+  std::uint64_t since_prune = 0;
+  if (!reader->ReadU8(&tag) || tag != 0x57) return std::nullopt;
+  if (!reader->ReadDouble(&eps) || !(eps > 0.0 && eps < 1.0)) {
+    return std::nullopt;
+  }
+  if (!reader->ReadU32(&grid) || grid < 2 || grid > 1u << 20) {
+    return std::nullopt;
+  }
+  if (!reader->ReadDouble(&first_ts) || !reader->ReadDouble(&last_ts) ||
+      !reader->ReadU8(&has_data) || has_data > 1 ||
+      !reader->ReadU64(&since_prune)) {
+    return std::nullopt;
+  }
+  SlidingWindowHeavyHitters out(eps, static_cast<int>(grid));
+  out.first_ts_ = first_ts;
+  out.last_ts_ = last_ts;
+  out.has_data_ = has_data != 0;
+  out.updates_since_prune_ = since_prune;
+  auto total = EhCount::Deserialize(reader);
+  if (!total) return std::nullopt;
+  out.total_ = std::move(*total);
+  std::uint32_t nkeys = 0;
+  if (!reader->ReadU32(&nkeys)) return std::nullopt;
+  // A per-key entry is at least 8 (key) + 38 (minimal EhCount frame)
+  // bytes; bound the declared count before reserving.
+  if (nkeys > reader->Remaining() / 46) return std::nullopt;
+  out.per_key_.reserve(nkeys);
+  std::uint64_t prev_key = 0;
+  for (std::uint32_t i = 0; i < nkeys; ++i) {
+    std::uint64_t key = 0;
+    if (!reader->ReadU64(&key)) return std::nullopt;
+    if (i > 0 && key <= prev_key) return std::nullopt;  // order = no dups
+    prev_key = key;
+    auto eh = EhCount::Deserialize(reader);
+    if (!eh) return std::nullopt;
+    out.per_key_.emplace(key, std::move(*eh));
+  }
+  return out;
+}
+
 }  // namespace fwdecay

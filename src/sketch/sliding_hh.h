@@ -49,6 +49,14 @@ class SlidingWindowHeavyHitters {
   std::size_t MemoryBytes() const;
   std::uint64_t TotalCount() const { return total_.TotalCount(); }
 
+  /// Serializes the exact state (per-key EHs emitted in ascending key
+  /// order so snapshots of equal states are byte-identical).
+  void SerializeTo(ByteWriter* writer) const;
+
+  /// Reconstructs a tracker; nullopt on truncated/corrupt input.
+  static std::optional<SlidingWindowHeavyHitters> Deserialize(
+      ByteReader* reader);
+
  private:
   void MaybePrune();
 

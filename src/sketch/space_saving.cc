@@ -134,7 +134,11 @@ void WeightedSpaceSaving::ScaleWeights(double factor) {
 
 namespace {
 constexpr std::uint8_t kWeightedSsTag = 0x53;  // 'S'
-constexpr std::uint8_t kWeightedSsVersion = 1;
+// v1: counters only; the reader re-heapifies. v2 (current) appends the
+// exact heap permutation: under tied counts the evicted key depends on
+// the heap's array layout, and engine checkpoint recovery must
+// reproduce the uninterrupted run bit-for-bit, not just up to ties.
+constexpr std::uint8_t kWeightedSsVersion = 2;
 }  // namespace
 
 void WeightedSpaceSaving::SerializeTo(ByteWriter* writer) const {
@@ -148,6 +152,9 @@ void WeightedSpaceSaving::SerializeTo(ByteWriter* writer) const {
     writer->WriteDouble(c.count);
     writer->WriteDouble(c.error);
   }
+  for (std::size_t idx : heap_) {
+    writer->WriteU32(static_cast<std::uint32_t>(idx));
+  }
 }
 
 std::optional<WeightedSpaceSaving> WeightedSpaceSaving::Deserialize(
@@ -158,7 +165,8 @@ std::optional<WeightedSpaceSaving> WeightedSpaceSaving::Deserialize(
   double total = 0.0;
   std::uint32_t n = 0;
   if (!reader->ReadU8(&tag) || tag != kWeightedSsTag) return std::nullopt;
-  if (!reader->ReadU8(&version) || version != kWeightedSsVersion) {
+  if (!reader->ReadU8(&version) || version < 1 ||
+      version > kWeightedSsVersion) {
     return std::nullopt;
   }
   if (!reader->ReadU64(&capacity) || capacity == 0) return std::nullopt;
@@ -184,9 +192,132 @@ std::optional<WeightedSpaceSaving> WeightedSpaceSaving::Deserialize(
     out.heap_.push_back(out.counters_.size());
     out.counters_.push_back(c);
   }
-  // Heapify (bottom-up) to restore the min-heap invariant.
-  for (std::size_t i = out.heap_.size() / 2; i-- > 0;) {
-    out.SiftDown(i);
+  if (version >= 2) {
+    // Restore the serialized heap permutation exactly, validating that
+    // it is a permutation of [0, n) and satisfies the heap property.
+    std::vector<bool> used(n, false);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      std::uint32_t idx = 0;
+      if (!reader->ReadU32(&idx) || idx >= n || used[idx]) {
+        return std::nullopt;
+      }
+      used[idx] = true;
+      out.heap_[i] = idx;
+      out.counters_[idx].heap_pos = i;
+    }
+    for (std::uint32_t i = 1; i < n; ++i) {
+      if (out.HeapLess(i, (i - 1) / 2)) return std::nullopt;  // corrupt
+    }
+  } else {
+    // Heapify (bottom-up) to restore the min-heap invariant.
+    for (std::size_t i = out.heap_.size() / 2; i-- > 0;) {
+      out.SiftDown(i);
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// UnarySpaceSaving serialization
+// ---------------------------------------------------------------------------
+
+namespace {
+constexpr std::uint8_t kUnarySsTag = 0x55;  // 'U'
+constexpr std::uint8_t kUnarySsVersion = 1;
+
+bool ValidLink(std::uint32_t link, std::size_t size) {
+  return link == 0xffffffffu || link < size;
+}
+}  // namespace
+
+void UnarySpaceSaving::SerializeTo(ByteWriter* writer) const {
+  writer->WriteU8(kUnarySsTag);
+  writer->WriteU8(kUnarySsVersion);
+  writer->WriteU64(capacity_);
+  writer->WriteU64(total_count_);
+  writer->WriteU32(static_cast<std::uint32_t>(num_counters_));
+  writer->WriteU32(static_cast<std::uint32_t>(buckets_.size()));
+  writer->WriteU32(min_bucket_);
+  writer->WriteU32(free_bucket_);
+  for (std::size_t c = 0; c < num_counters_; ++c) {
+    const Counter& cn = counters_[c];
+    writer->WriteU64(cn.key);
+    writer->WriteU64(cn.error);
+    writer->WriteU32(cn.bucket);
+    writer->WriteU32(cn.prev);
+    writer->WriteU32(cn.next);
+  }
+  for (const Bucket& b : buckets_) {
+    writer->WriteU64(b.count);
+    writer->WriteU32(b.head);
+    writer->WriteU32(b.prev);
+    writer->WriteU32(b.next);
+  }
+}
+
+std::optional<UnarySpaceSaving> UnarySpaceSaving::Deserialize(
+    ByteReader* reader) {
+  std::uint8_t tag = 0;
+  std::uint8_t version = 0;
+  std::uint64_t capacity = 0;
+  std::uint64_t total = 0;
+  std::uint32_t n = 0;
+  std::uint32_t nbuckets = 0;
+  std::uint32_t min_bucket = 0;
+  std::uint32_t free_bucket = 0;
+  if (!reader->ReadU8(&tag) || tag != kUnarySsTag) return std::nullopt;
+  if (!reader->ReadU8(&version) || version != kUnarySsVersion) {
+    return std::nullopt;
+  }
+  // capacity sizes the counters_ array up front; same 64M cap as the
+  // weighted variant so a corrupt header cannot demand absurd memory.
+  if (!reader->ReadU64(&capacity) || capacity == 0 ||
+      capacity > (std::uint64_t{1} << 26)) {
+    return std::nullopt;
+  }
+  if (!reader->ReadU64(&total)) return std::nullopt;
+  if (!reader->ReadU32(&n) || n > capacity) return std::nullopt;
+  // Counters are 28 serialized bytes, buckets 20: bound both counts by
+  // the bytes actually present before allocating.
+  if (n > reader->Remaining() / 28) return std::nullopt;
+  if (!reader->ReadU32(&nbuckets) || nbuckets > capacity + 1 ||
+      nbuckets > reader->Remaining() / 20) {
+    return std::nullopt;
+  }
+  if (!reader->ReadU32(&min_bucket) || !ValidLink(min_bucket, nbuckets) ||
+      !reader->ReadU32(&free_bucket) || !ValidLink(free_bucket, nbuckets)) {
+    return std::nullopt;
+  }
+
+  UnarySpaceSaving out(static_cast<std::size_t>(capacity));
+  out.total_count_ = total;
+  out.num_counters_ = n;
+  out.min_bucket_ = min_bucket;
+  out.free_bucket_ = free_bucket;
+  for (std::uint32_t c = 0; c < n; ++c) {
+    Counter& cn = out.counters_[c];
+    if (!reader->ReadU64(&cn.key) || !reader->ReadU64(&cn.error) ||
+        !reader->ReadU32(&cn.bucket) || !reader->ReadU32(&cn.prev) ||
+        !reader->ReadU32(&cn.next)) {
+      return std::nullopt;
+    }
+    if (cn.bucket >= nbuckets || !ValidLink(cn.prev, n) ||
+        !ValidLink(cn.next, n)) {
+      return std::nullopt;
+    }
+    if (!out.index_.emplace(cn.key, c).second) return std::nullopt;
+  }
+  out.buckets_.resize(nbuckets);
+  for (std::uint32_t b = 0; b < nbuckets; ++b) {
+    Bucket& bk = out.buckets_[b];
+    if (!reader->ReadU64(&bk.count) || !reader->ReadU32(&bk.head) ||
+        !reader->ReadU32(&bk.prev) || !reader->ReadU32(&bk.next)) {
+      return std::nullopt;
+    }
+    if (!ValidLink(bk.head, n) || !ValidLink(bk.prev, nbuckets) ||
+        !ValidLink(bk.next, nbuckets)) {
+      return std::nullopt;
+    }
   }
   return out;
 }

@@ -121,6 +121,15 @@ class UnarySpaceSaving {
   std::size_t size() const { return num_counters_; }
   std::size_t MemoryBytes() const;
 
+  /// Serializes the exact structure — bucket list, link order, free
+  /// list — so a restored sketch evolves identically to the original
+  /// (engine checkpointing; the stream-summary replacement rule is
+  /// sensitive to sibling order within the minimum bucket).
+  void SerializeTo(ByteWriter* writer) const;
+
+  /// Reconstructs a sketch; nullopt on truncated/corrupt input.
+  static std::optional<UnarySpaceSaving> Deserialize(ByteReader* reader);
+
  private:
   static constexpr std::uint32_t kNil = 0xffffffffu;
 

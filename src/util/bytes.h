@@ -34,6 +34,10 @@ class ByteWriter {
     WriteRaw(s.data(), s.size());
   }
 
+  /// Appends raw bytes verbatim (used to embed nested length-prefixed
+  /// frames, e.g. per-aggregate state inside an engine snapshot).
+  void WriteBytes(const void* data, std::size_t len) { WriteRaw(data, len); }
+
   const std::vector<std::uint8_t>& bytes() const { return buf_; }
   std::vector<std::uint8_t> Take() { return std::move(buf_); }
 
@@ -75,6 +79,17 @@ class ByteReader {
 
   std::size_t Remaining() const { return size_ - pos_; }
   bool Exhausted() const { return pos_ == size_; }
+
+  /// Borrows the next `len` bytes as a sub-reader and advances past
+  /// them; false if fewer than `len` remain. Used for length-prefixed
+  /// nested frames: the caller can verify the frame was fully consumed
+  /// via the sub-reader's Exhausted().
+  bool ReadSubReader(std::size_t len, ByteReader* out) {
+    if (Remaining() < len) return false;
+    *out = ByteReader(data_ + pos_, len);
+    pos_ += len;
+    return true;
+  }
 
  private:
   bool ReadRaw(void* out, std::size_t len) {

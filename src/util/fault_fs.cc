@@ -1,0 +1,248 @@
+#include "util/fault_fs.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+namespace fwdecay {
+
+namespace {
+
+// RAII fd so every early return closes the descriptor.
+class Fd {
+ public:
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd() { Close(); }
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+
+  int get() const { return fd_; }
+  bool ok() const { return fd_ >= 0; }
+  void Close() {
+    if (fd_ >= 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+
+ private:
+  int fd_;
+};
+
+std::string Errno(const std::string& what, const std::string& path) {
+  return what + " '" + path + "': " + std::strerror(errno);
+}
+
+// Writes `size` bytes, retrying on short writes/EINTR as write(2) needs.
+bool WriteAll(int fd, const std::uint8_t* data, std::size_t size) {
+  std::size_t done = 0;
+  while (done < size) {
+    const ssize_t n = ::write(fd, data + done, size - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+// fsyncs the directory containing `path` so the rename itself is
+// durable. Best-effort: some filesystems reject directory fsync.
+void SyncParentDir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, std::max<std::size_t>(slash, 1));
+  Fd fd(::open(dir.c_str(), O_RDONLY | O_DIRECTORY));
+  if (fd.ok()) ::fsync(fd.get());
+}
+
+}  // namespace
+
+FaultFs& FaultFs::Instance() {
+  // Leaked singleton, matching the AggRegistry convention.
+  static FaultFs& fs = *new FaultFs();
+  return fs;
+}
+
+void FaultFs::SetPlan(const FaultPlan& plan) {
+  std::lock_guard<std::mutex> lock(mu_);
+  plan_ = plan;
+}
+
+void FaultFs::ClearPlan() {
+  std::lock_guard<std::mutex> lock(mu_);
+  plan_ = FaultPlan{};
+}
+
+std::uint64_t FaultFs::faults_injected() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return faults_injected_;
+}
+
+bool FaultFs::ConsumeFault(FaultPoint point, std::size_t* byte_limit) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (plan_.point != point) return false;
+  *byte_limit = plan_.byte_limit;
+  plan_ = FaultPlan{};  // one-shot
+  ++faults_injected_;
+  return true;
+}
+
+std::string FaultFs::TempPathFor(const std::string& path) {
+  return path + ".tmp";
+}
+
+void FaultFs::RemoveStaleTemp(const std::string& path) {
+  ::unlink(TempPathFor(path).c_str());
+}
+
+bool FaultFs::AtomicWriteFile(const std::string& path,
+                              const std::vector<std::uint8_t>& bytes,
+                              std::string* error) {
+  return AtomicWriteFile(path, bytes.data(), bytes.size(), error);
+}
+
+bool FaultFs::AtomicWriteFile(const std::string& path,
+                              const std::uint8_t* data, std::size_t size,
+                              std::string* error) {
+  const std::string tmp = TempPathFor(path);
+  std::size_t limit = 0;
+
+  if (ConsumeFault(FaultPoint::kOpenForWrite, &limit)) {
+    *error = "injected open failure for '" + tmp + "'";
+    return false;
+  }
+  Fd fd(::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644));
+  if (!fd.ok()) {
+    *error = Errno("cannot open", tmp);
+    return false;
+  }
+
+  if (ConsumeFault(FaultPoint::kTornWrite, &limit)) {
+    // Model a power cut mid-write: the first `limit` bytes land, then
+    // the process is gone. The torn temp file stays on disk — exactly
+    // the residue recovery must cope with — and the target is intact.
+    WriteAll(fd.get(), data, std::min(limit, size));
+    fd.Close();
+    *error = "injected torn write to '" + tmp + "' at byte " +
+             std::to_string(std::min(limit, size));
+    return false;
+  }
+  if (ConsumeFault(FaultPoint::kWriteError, &limit)) {
+    WriteAll(fd.get(), data, std::min(limit, size));
+    fd.Close();
+    *error = "injected EIO writing '" + tmp + "'";
+    return false;
+  }
+  if (!WriteAll(fd.get(), data, size)) {
+    *error = Errno("short write to", tmp);
+    return false;
+  }
+
+  if (ConsumeFault(FaultPoint::kFsyncError, &limit)) {
+    fd.Close();
+    *error = "injected fsync failure on '" + tmp + "'";
+    return false;
+  }
+  if (::fsync(fd.get()) != 0) {
+    *error = Errno("fsync failed on", tmp);
+    return false;
+  }
+  fd.Close();
+
+  if (ConsumeFault(FaultPoint::kCrashBeforeRename, &limit)) {
+    // Durable temp file exists, but the target was never replaced: a
+    // restart sees the old file (clean) plus a stale temp.
+    *error = "injected crash before renaming '" + tmp + "'";
+    return false;
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    *error = Errno("rename failed for", tmp);
+    return false;
+  }
+  SyncParentDir(path);
+  if (ConsumeFault(FaultPoint::kCrashAfterRename, &limit)) {
+    // The new file is durably in place; only the success report is
+    // lost. Callers treating false as "crashed" must find the NEW
+    // content clean on restart.
+    *error = "injected crash after renaming to '" + path + "'";
+    return false;
+  }
+  return true;
+}
+
+bool FaultFs::ReadFile(const std::string& path,
+                       std::vector<std::uint8_t>* out, std::string* error,
+                       std::size_t max_bytes) {
+  std::size_t limit = 0;
+  if (ConsumeFault(FaultPoint::kOpenForRead, &limit)) {
+    *error = "injected open failure for '" + path + "'";
+    return false;
+  }
+  Fd fd(::open(path.c_str(), O_RDONLY | O_CLOEXEC));
+  if (!fd.ok()) {
+    *error = Errno("cannot open", path);
+    return false;
+  }
+  struct stat st {};
+  if (::fstat(fd.get(), &st) != 0) {
+    *error = Errno("cannot stat", path);
+    return false;
+  }
+  const auto size = static_cast<std::uint64_t>(st.st_size);
+  if (size > max_bytes) {
+    *error = "'" + path + "' is " + std::to_string(size) +
+             " bytes, over the " + std::to_string(max_bytes) + " byte limit";
+    return false;
+  }
+
+  std::size_t want = static_cast<std::size_t>(size);
+  bool injected_short = false;
+  if (ConsumeFault(FaultPoint::kShortRead, &limit)) {
+    want = std::min(want, limit);
+    injected_short = true;
+  }
+  const bool injected_eio = ConsumeFault(FaultPoint::kReadError, &limit);
+
+  out->assign(want, 0);
+  std::size_t done = 0;
+  while (done < want) {
+    if (injected_eio && done >= limit) break;
+    const ssize_t n =
+        ::read(fd.get(), out->data() + done,
+               injected_eio ? std::min(want - done, limit - done)
+                            : want - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      *error = Errno("read failed from", path);
+      return false;
+    }
+    if (n == 0) break;  // EOF (file shrank under us)
+    done += static_cast<std::size_t>(n);
+  }
+  if (injected_eio) {
+    *error = "injected EIO reading '" + path + "'";
+    return false;
+  }
+  out->resize(done);
+  if (injected_short) {
+    // The short read is delivered as-is: callers must detect the
+    // truncation themselves (CRC / length framing), which is exactly
+    // what the fault matrix verifies.
+    return true;
+  }
+  if (done != want) {
+    *error = "short read from '" + path + "'";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace fwdecay

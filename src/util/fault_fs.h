@@ -1,0 +1,134 @@
+#ifndef FWDECAY_UTIL_FAULT_FS_H_
+#define FWDECAY_UTIL_FAULT_FS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+// Fault-injectable file I/O — the single gateway for every byte the
+// repo persists or reads back (packet traces, engine snapshots).
+//
+// All writes are write-to-temp + fsync + atomic-rename, so a crash at
+// any instant leaves either the complete old file or the complete new
+// file, never a mix. The injection policy lets tests force the failure
+// modes a real deployment sees — short/torn writes, EIO on write or
+// fsync, a process death just before (or just after) the rename — and
+// verify that recovery always lands on a clean state. The on-disk
+// residue of an injected fault is byte-for-byte what a real crash at
+// that point would leave.
+//
+// scripts/lint.py forbids fopen/fstream in library code outside this
+// file, so the fault matrix provably covers all disk I/O.
+
+namespace fwdecay {
+
+/// The instant within an I/O sequence at which an injected fault fires.
+enum class FaultPoint {
+  kNone = 0,
+  /// open(2) of the temp file fails (disk full / permissions).
+  kOpenForWrite,
+  /// The write stops after `byte_limit` bytes and the "process dies":
+  /// a torn temp file remains, the target is untouched.
+  kTornWrite,
+  /// write(2) returns EIO after `byte_limit` bytes were written.
+  kWriteError,
+  /// fsync(2) fails: the data may or may not have reached the platter.
+  kFsyncError,
+  /// Process dies after a durable temp write but before the rename:
+  /// the old target survives intact, a complete temp file remains.
+  kCrashBeforeRename,
+  /// Process dies just after the rename: the new file is in place but
+  /// the writer never learned the write succeeded.
+  kCrashAfterRename,
+  /// open(2) of the file for reading fails.
+  kOpenForRead,
+  /// The read is truncated to `byte_limit` bytes.
+  kShortRead,
+  /// read(2) returns EIO mid-file.
+  kReadError,
+};
+
+/// One armed fault. The fault fires on the next matching operation and
+/// then disarms itself (one-shot), so a recovery path that retries is
+/// exercised against a healthy filesystem — exactly the crash-restart
+/// sequence the checkpoint tests model.
+struct FaultPlan {
+  FaultPoint point = FaultPoint::kNone;
+  /// Byte offset for kTornWrite / kWriteError / kShortRead.
+  std::size_t byte_limit = 0;
+};
+
+/// Process-wide fault-injecting filesystem facade. Thread-safe.
+class FaultFs {
+ public:
+  /// The singleton every durable code path routes through.
+  static FaultFs& Instance();
+
+  /// Arms `plan` (one-shot; replaces any armed plan).
+  void SetPlan(const FaultPlan& plan);
+  /// Disarms any pending fault.
+  void ClearPlan();
+  /// Number of faults that have actually fired since process start.
+  std::uint64_t faults_injected() const;
+
+  /// Atomically replaces `path` with `size` bytes from `data`:
+  /// write `path`.tmp, fsync it, rename over `path`, fsync the parent
+  /// directory. Returns false (with *error) on real or injected
+  /// failure; on failure the previous `path` content, if any, is intact
+  /// unless the fault fired after the rename (kCrashAfterRename), in
+  /// which case the new content is durably in place.
+  bool AtomicWriteFile(const std::string& path, const std::uint8_t* data,
+                       std::size_t size, std::string* error);
+  bool AtomicWriteFile(const std::string& path,
+                       const std::vector<std::uint8_t>& bytes,
+                       std::string* error);
+
+  /// Reads all of `path` (up to `max_bytes`, rejecting larger files so a
+  /// hostile or corrupt path cannot demand unbounded memory) into *out.
+  bool ReadFile(const std::string& path, std::vector<std::uint8_t>* out,
+                std::string* error,
+                std::size_t max_bytes = kDefaultMaxFileBytes);
+
+  /// Removes `path` if it exists; best-effort (used for stale temp
+  /// files left behind by a previous crash).
+  void RemoveStaleTemp(const std::string& path);
+
+  /// The temp-file name AtomicWriteFile uses for `path`.
+  static std::string TempPathFor(const std::string& path);
+
+  /// 1 GiB: far above any artifact the repo writes, far below "mmap the
+  /// whole disk because a length field was hostile".
+  static constexpr std::size_t kDefaultMaxFileBytes = std::size_t{1} << 30;
+
+ private:
+  FaultFs() = default;
+
+  /// Consumes the armed plan if it matches `point`; returns the plan's
+  /// byte_limit through *byte_limit when it fires.
+  bool ConsumeFault(FaultPoint point, std::size_t* byte_limit);
+
+  mutable std::mutex mu_;
+  FaultPlan plan_;
+  std::uint64_t faults_injected_ = 0;
+};
+
+/// RAII plan installer for tests: arms on construction, disarms on
+/// destruction (even if the fault never fired).
+class ScopedFaultPlan {
+ public:
+  explicit ScopedFaultPlan(const FaultPlan& plan) {
+    FaultFs::Instance().SetPlan(plan);
+  }
+  ScopedFaultPlan(FaultPoint point, std::size_t byte_limit = 0)
+      : ScopedFaultPlan(FaultPlan{point, byte_limit}) {}
+  ~ScopedFaultPlan() { FaultFs::Instance().ClearPlan(); }
+
+  ScopedFaultPlan(const ScopedFaultPlan&) = delete;
+  ScopedFaultPlan& operator=(const ScopedFaultPlan&) = delete;
+};
+
+}  // namespace fwdecay
+
+#endif  // FWDECAY_UTIL_FAULT_FS_H_

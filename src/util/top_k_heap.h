@@ -67,6 +67,20 @@ class TopKHeap {
 
   void Clear() { entries_.clear(); }
 
+  /// Replaces the internal array verbatim (checkpoint recovery). The
+  /// exact array layout matters, not just the retained set: eviction
+  /// order under tied scores depends on it, and recovery must reproduce
+  /// the uninterrupted run bit-for-bit. Returns false (leaving *this
+  /// unchanged) if `entries` overflows k or violates the heap shape.
+  bool RestoreEntries(std::vector<Entry> entries) {
+    if (entries.size() > k_ ||
+        !std::is_heap(entries.begin(), entries.end(), GreaterScore)) {
+      return false;
+    }
+    entries_ = std::move(entries);
+    return true;
+  }
+
  private:
   // Min-heap on score: parent has the smallest score.
   static bool GreaterScore(const Entry& a, const Entry& b) {

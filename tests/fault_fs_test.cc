@@ -1,0 +1,281 @@
+// Fault-injection filesystem tests: every FaultPoint, the one-shot
+// disarm semantics, and the "clean old or clean new, never torn"
+// invariant of the atomic-write path — directly on FaultFs and through
+// trace v2 / CRC framing.
+
+#include "util/fault_fs.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "dsms/netgen.h"
+#include "dsms/trace_io.h"
+#include "gtest/gtest.h"
+#include "util/crc32c.h"
+
+namespace fwdecay {
+namespace {
+
+using dsms::Packet;
+using dsms::PacketGenerator;
+using dsms::ReadTrace;
+using dsms::TraceConfig;
+using dsms::WriteTrace;
+
+std::vector<std::uint8_t> Bytes(const std::string& s) {
+  return std::vector<std::uint8_t>(s.begin(), s.end());
+}
+
+class FaultFsTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    // Unique per test: ctest runs suites in parallel processes and a
+    // shared path would let them stomp each other's files.
+    path_ = testing::TempDir() + "/fwdecay_faultfs_" +
+            testing::UnitTest::GetInstance()->current_test_info()->name() +
+            ".bin";
+    std::remove(path_.c_str());
+    std::remove(FaultFs::TempPathFor(path_).c_str());
+    FaultFs::Instance().ClearPlan();
+  }
+  void TearDown() override {
+    FaultFs::Instance().ClearPlan();
+    std::remove(path_.c_str());
+    std::remove(FaultFs::TempPathFor(path_).c_str());
+  }
+
+  std::vector<std::uint8_t> MustRead() {
+    std::vector<std::uint8_t> out;
+    std::string error;
+    EXPECT_TRUE(FaultFs::Instance().ReadFile(path_, &out, &error)) << error;
+    return out;
+  }
+
+  std::string path_;
+};
+
+TEST_F(FaultFsTest, Crc32cKnownAnswer) {
+  const char digits[] = "123456789";
+  EXPECT_EQ(Crc32c(digits, 9), 0xe3069283u);
+  // Chunked == whole (the internal pre/post inversion is transparent).
+  std::uint32_t crc = ExtendCrc32c(0, digits, 4);
+  crc = ExtendCrc32c(crc, digits + 4, 5);
+  EXPECT_EQ(crc, 0xe3069283u);
+  EXPECT_EQ(Crc32c(digits, 0), 0u);
+}
+
+TEST_F(FaultFsTest, WriteReadRoundTrip) {
+  std::string error;
+  const auto payload = Bytes("hello durable world");
+  ASSERT_TRUE(FaultFs::Instance().AtomicWriteFile(path_, payload, &error))
+      << error;
+  EXPECT_EQ(MustRead(), payload);
+  // No temp residue after a clean write.
+  std::vector<std::uint8_t> tmp;
+  EXPECT_FALSE(FaultFs::Instance().ReadFile(FaultFs::TempPathFor(path_),
+                                            &tmp, &error));
+}
+
+TEST_F(FaultFsTest, EveryWriteFaultLeavesOldContentIntact) {
+  std::string error;
+  const auto old_payload = Bytes("old snapshot");
+  const auto new_payload = Bytes("new snapshot, longer than the old one");
+  ASSERT_TRUE(FaultFs::Instance().AtomicWriteFile(path_, old_payload, &error));
+
+  const FaultPoint points[] = {
+      FaultPoint::kOpenForWrite, FaultPoint::kTornWrite,
+      FaultPoint::kWriteError, FaultPoint::kFsyncError,
+      FaultPoint::kCrashBeforeRename};
+  for (FaultPoint point : points) {
+    SCOPED_TRACE(static_cast<int>(point));
+    ScopedFaultPlan plan(point, /*byte_limit=*/5);
+    error.clear();
+    EXPECT_FALSE(
+        FaultFs::Instance().AtomicWriteFile(path_, new_payload, &error));
+    EXPECT_FALSE(error.empty());
+    // The visible file is the complete old content — never a mix.
+    EXPECT_EQ(MustRead(), old_payload);
+  }
+}
+
+TEST_F(FaultFsTest, CrashAfterRenameLeavesNewContentDurable) {
+  std::string error;
+  const auto old_payload = Bytes("old");
+  const auto new_payload = Bytes("new content");
+  ASSERT_TRUE(FaultFs::Instance().AtomicWriteFile(path_, old_payload, &error));
+  {
+    ScopedFaultPlan plan(FaultPoint::kCrashAfterRename);
+    // The writer is told the write failed (it died before learning the
+    // outcome) — but the rename happened, so the new file is in place.
+    EXPECT_FALSE(
+        FaultFs::Instance().AtomicWriteFile(path_, new_payload, &error));
+  }
+  EXPECT_EQ(MustRead(), new_payload);
+}
+
+TEST_F(FaultFsTest, TornWriteLeavesTruncatedTempNotTarget) {
+  std::string error;
+  const auto payload = Bytes("0123456789abcdef");
+  {
+    ScopedFaultPlan plan(FaultPoint::kTornWrite, /*byte_limit=*/7);
+    EXPECT_FALSE(FaultFs::Instance().AtomicWriteFile(path_, payload, &error));
+  }
+  // The torn residue is in the temp file, exactly byte_limit bytes.
+  std::vector<std::uint8_t> tmp;
+  ASSERT_TRUE(FaultFs::Instance().ReadFile(FaultFs::TempPathFor(path_), &tmp,
+                                           &error))
+      << error;
+  EXPECT_EQ(tmp.size(), 7u);
+  // The target was never created.
+  std::vector<std::uint8_t> target;
+  EXPECT_FALSE(FaultFs::Instance().ReadFile(path_, &target, &error));
+  // A retry (post-"reboot") succeeds and clears the stale temp.
+  FaultFs::Instance().RemoveStaleTemp(FaultFs::TempPathFor(path_));
+  ASSERT_TRUE(FaultFs::Instance().AtomicWriteFile(path_, payload, &error))
+      << error;
+  EXPECT_EQ(MustRead(), payload);
+}
+
+TEST_F(FaultFsTest, FaultsAreOneShot) {
+  std::string error;
+  const auto payload = Bytes("payload");
+  FaultFs::Instance().SetPlan({FaultPoint::kWriteError, 0});
+  EXPECT_FALSE(FaultFs::Instance().AtomicWriteFile(path_, payload, &error));
+  // Disarmed after firing: the retry goes through untouched.
+  EXPECT_TRUE(FaultFs::Instance().AtomicWriteFile(path_, payload, &error))
+      << error;
+  EXPECT_EQ(MustRead(), payload);
+}
+
+TEST_F(FaultFsTest, ReadFaultsSurface) {
+  std::string error;
+  const auto payload = Bytes("some stable bytes");
+  ASSERT_TRUE(FaultFs::Instance().AtomicWriteFile(path_, payload, &error));
+  {
+    ScopedFaultPlan plan(FaultPoint::kOpenForRead);
+    std::vector<std::uint8_t> out;
+    EXPECT_FALSE(FaultFs::Instance().ReadFile(path_, &out, &error));
+  }
+  {
+    ScopedFaultPlan plan(FaultPoint::kReadError, /*byte_limit=*/4);
+    std::vector<std::uint8_t> out;
+    EXPECT_FALSE(FaultFs::Instance().ReadFile(path_, &out, &error));
+  }
+  {
+    // A short read "succeeds" at the I/O layer (as it can on a real
+    // kernel); the CRC framing above is what detects the truncation.
+    ScopedFaultPlan plan(FaultPoint::kShortRead, /*byte_limit=*/4);
+    std::vector<std::uint8_t> out;
+    ASSERT_TRUE(FaultFs::Instance().ReadFile(path_, &out, &error)) << error;
+    EXPECT_EQ(out.size(), 4u);
+  }
+}
+
+TEST_F(FaultFsTest, ReadRejectsOversizedFiles) {
+  std::string error;
+  ASSERT_TRUE(
+      FaultFs::Instance().AtomicWriteFile(path_, Bytes("0123456789"), &error));
+  std::vector<std::uint8_t> out;
+  EXPECT_FALSE(
+      FaultFs::Instance().ReadFile(path_, &out, &error, /*max_bytes=*/5));
+  EXPECT_TRUE(
+      FaultFs::Instance().ReadFile(path_, &out, &error, /*max_bytes=*/10));
+}
+
+// --- Trace v2 through the fault layer --------------------------------------
+
+class TraceV2FaultTest : public FaultFsTest {};
+
+TEST_F(TraceV2FaultTest, RoundTripAndV1BackCompat) {
+  TraceConfig cfg;
+  cfg.seed = 11;
+  PacketGenerator gen(cfg);
+  const auto packets = gen.Generate(500);
+  std::string error;
+  ASSERT_TRUE(WriteTrace(path_, packets, &error)) << error;
+
+  // The file leads with the v2 magic and ends with a valid CRC.
+  const auto bytes = MustRead();
+  ASSERT_GE(bytes.size(), 20u);
+  EXPECT_EQ(std::string(bytes.begin(), bytes.begin() + 8), "FWDTRC02");
+
+  auto loaded = ReadTrace(path_, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  ASSERT_EQ(loaded->size(), packets.size());
+  EXPECT_DOUBLE_EQ((*loaded)[123].time, packets[123].time);
+
+  // A v1 file (no trailing CRC) still reads.
+  std::vector<std::uint8_t> v1(bytes.begin(), bytes.end() - 4);
+  v1[7] = '1';
+  ASSERT_TRUE(FaultFs::Instance().AtomicWriteFile(path_, v1, &error));
+  loaded = ReadTrace(path_, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  EXPECT_EQ(loaded->size(), packets.size());
+}
+
+TEST_F(TraceV2FaultTest, BitFlipAnywhereIsDetected) {
+  TraceConfig cfg;
+  PacketGenerator gen(cfg);
+  std::string error;
+  ASSERT_TRUE(WriteTrace(path_, gen.Generate(50), &error)) << error;
+  const auto good = MustRead();
+  // Flip one bit at a spread of offsets (header, records, CRC itself).
+  for (std::size_t pos = 8; pos < good.size(); pos += 97) {
+    auto bad = good;
+    bad[pos] ^= 0x10;
+    ASSERT_TRUE(FaultFs::Instance().AtomicWriteFile(path_, bad, &error));
+    EXPECT_FALSE(ReadTrace(path_, &error).has_value())
+        << "undetected corruption at byte " << pos;
+  }
+}
+
+TEST_F(TraceV2FaultTest, HostileCountRejectedBeforeAllocation) {
+  std::string error;
+  ASSERT_TRUE(WriteTrace(path_, {}, &error)) << error;
+  auto bytes = MustRead();
+  // Declare ~2^60 packets in a 20-byte file, with a recomputed CRC so
+  // only the count bound can reject it. Must fail fast, not allocate.
+  const std::uint64_t huge = std::uint64_t{1} << 60;
+  for (int i = 0; i < 8; ++i) {
+    bytes[8 + i] = static_cast<std::uint8_t>(huge >> (8 * i));
+  }
+  const std::uint32_t crc = Crc32c(bytes.data(), bytes.size() - 4);
+  for (int i = 0; i < 4; ++i) {
+    bytes[bytes.size() - 4 + i] = static_cast<std::uint8_t>(crc >> (8 * i));
+  }
+  ASSERT_TRUE(FaultFs::Instance().AtomicWriteFile(path_, bytes, &error));
+  EXPECT_FALSE(ReadTrace(path_, &error).has_value());
+  EXPECT_NE(error.find("declares more packets"), std::string::npos) << error;
+}
+
+TEST_F(TraceV2FaultTest, WriteFaultNeverLeavesCorruptTrace) {
+  TraceConfig cfg;
+  PacketGenerator gen(cfg);
+  const auto first = gen.Generate(100);
+  const auto second = gen.Generate(200);
+  std::string error;
+  ASSERT_TRUE(WriteTrace(path_, first, &error)) << error;
+
+  const FaultPoint points[] = {
+      FaultPoint::kOpenForWrite, FaultPoint::kTornWrite,
+      FaultPoint::kWriteError, FaultPoint::kFsyncError,
+      FaultPoint::kCrashBeforeRename, FaultPoint::kCrashAfterRename};
+  for (FaultPoint point : points) {
+    SCOPED_TRACE(static_cast<int>(point));
+    {
+      ScopedFaultPlan plan(point, /*byte_limit=*/37);
+      EXPECT_FALSE(WriteTrace(path_, second, &error));
+    }
+    // Whatever survived must parse cleanly as one of the two traces.
+    auto loaded = ReadTrace(path_, &error);
+    ASSERT_TRUE(loaded.has_value()) << error;
+    EXPECT_TRUE(loaded->size() == first.size() ||
+                loaded->size() == second.size());
+    // Re-write a known-good state for the next iteration.
+    ASSERT_TRUE(WriteTrace(path_, first, &error)) << error;
+  }
+}
+
+}  // namespace
+}  // namespace fwdecay
