@@ -1,0 +1,377 @@
+#!/usr/bin/env python3
+"""Semantic analyzer for fwdecay-specific correctness rules.
+
+These are *model-level* invariants of the forward-decay paper that
+neither the compiler nor clang-tidy can express; scripts/lint.py handles
+the purely syntactic conventions. Four rules:
+
+  backward-age   Forward decay's whole point (Section IV) is that
+                 per-item weights are computed from the *landmark*,
+                 g(t_i - L), never from the current time. Arithmetic of
+                 the form `now - t_i` (current-time minuend, per-item
+                 timestamp subtrahend) is backward decay and belongs
+                 only in src/core/decay.h, where the paper's backward
+                 baselines are deliberately implemented. Window cutoffs
+                 (`now - window`, `now - horizon_`) and stream spans
+                 (`now - first_ts_`) are aggregate quantities, not
+                 per-item ages, and are not flagged.
+
+  exp-pow        exp()/pow() on decay weights overflows once alpha * n
+                 grows past ~709; the sanctioned implementations
+                 (core/decay.h's ExponentialG / ShiftFactor and the
+                 log-domain samplers) rescale or stay in the log domain.
+                 Every exp/pow call site must therefore live in a file
+                 on the reviewed allowlist below; new call sites must
+                 either route through core/decay.h or be added to the
+                 allowlist with a written rationale.
+
+  deser-bounds   In Deserialize()/RestoreFrom() bodies, every
+                 container allocation (reserve/resize/assign) must be
+                 preceded by a bounds check — either against
+                 reader->Remaining() or an explicit numeric cap — so a
+                 corrupt length header cannot demand an absurd
+                 allocation before any payload byte is validated.
+
+  guarded-by     Every fwdecay::Mutex member must protect something:
+                 the file must annotate at least one member with
+                 FWDECAY_GUARDED_BY(mu) / FWDECAY_PT_GUARDED_BY(mu) for
+                 that mutex, and bare std::mutex members are banned in
+                 favor of the annotated wrapper (otherwise the clang
+                 -Wthread-safety build proves nothing about the class).
+
+Engines: with python clang bindings + libclang available (CI's clang
+job), rules backward-age and exp-pow run on the real AST, which sees
+through macros and rules out matches in dead token sequences. Without
+them (the default dev container has only gcc), a textual engine runs the
+same rule set on comment/string-stripped sources. Both engines share
+the deser-bounds and guarded-by logic, which is inherently lexical
+(function-extent ordering and member-declaration annotations).
+
+Usage: scripts/analyze.py [--root DIR] [--engine auto|ast|text]
+Exit status is 0 when clean, 1 when any finding is reported, 2 when a
+requested engine is unavailable.
+"""
+
+import argparse
+import pathlib
+import re
+import sys
+
+# ---------------------------------------------------------------------------
+# Shared rule configuration
+# ---------------------------------------------------------------------------
+
+# Current-time identifiers: a subtraction with one of these on the left
+# is age arithmetic.
+NOW_IDENTIFIERS = {"now", "t_now", "query_time", "current_time"}
+
+# Per-item timestamp shapes: `t_i`, any `.ts` / `->ts` member access, or
+# identifiers that name a tuple/packet/item timestamp. Aggregate
+# quantities (window, horizon_, first_ts_, landmark, mid) do not match.
+ITEM_TS_RE = re.compile(
+    r"^(?:t_i|t_j|(?:[A-Za-z_]\w*(?:\.|->))?ts|item_ts|tuple_ts"
+    r"|packet_ts|arrival_ts)$")
+
+# The one sanctioned home of backward-age arithmetic: the paper's
+# backward decay functions f(t - t_i) in Definition 1 / Section III.
+BACKWARD_AGE_ALLOWED = ("src/core/decay.h",)
+
+# exp/pow allowlist. Each entry is a reviewed decision; see the header
+# comment of the file in question for the overflow argument.
+EXP_POW_ALLOWED = {
+    # The sanctioned decay implementations themselves: ExponentialG
+    # works on landmark-relative n with ShiftFactor rescaling; the
+    # backward F structs are the paper's baselines.
+    "src/core/decay.h",
+    # Zipf rejection sampler: exp/log of the skew parameter, not decay
+    # weights; arguments are bounded by the harmonic-sum inverse.
+    "src/util/zipf.cc",
+    # GSQL builtins exp()/pow()/expweight()/polyweight(): expweight
+    # bounds its argument with fmod(time, period) by construction.
+    "src/dsms/expr.cc",
+    # Backward polynomial UDAF weight (age + 1)^-2: magnitude <= 1.
+    "src/dsms/udafs.cc",
+    # Width sizing ceil(e / eps): constant exp(1).
+    "src/sketch/count_min.cc",
+    # Level-set geometry b^l: level indices are log_b of observed
+    # weights, so the power un-does a log of the same magnitude.
+    "src/sketch/dominance_norm.cc",
+    # Geometric age-grid knots for the Cohen-Strauss combination.
+    "src/sketch/backward_sum.cc",
+    # Log-domain sampler helpers: exp() of non-positive log-weight
+    # differences (A-ExpJ, Algorithm L, priority sampling), <= 1 by
+    # construction.
+    "src/sampling/reservoir.h",
+    "src/sampling/weighted_reservoir.h",
+    "src/sampling/priority_sampling.h",
+    "src/sampling/with_replacement.h",
+}
+
+EXP_POW_CALL_RE = re.compile(r"(?:\bstd\s*::\s*)?\b(exp|pow)\s*\(")
+
+# Functions whose bodies deserialize untrusted bytes.
+DESER_FN_RE = re.compile(r"\b(?:Deserialize|RestoreFrom)\s*\([^;]*$")
+ALLOC_RE = re.compile(r"\.\s*(reserve|resize|assign)\s*\(")
+BOUNDS_GUARD_RE = re.compile(
+    r"Remaining\s*\(|>=?\s*\(?\s*(?:std::(?:uint64_t|size_t|uint32_t)\{1\}"
+    r"|1u?l{0,2}\s*<<|0x[0-9a-fA-F]+|\d)")
+
+MUTEX_MEMBER_RE = re.compile(
+    r"^\s*(?:mutable\s+)?(?:fwdecay\s*::\s*)?Mutex\s+(\w+)\s*;", re.M)
+STD_MUTEX_MEMBER_RE = re.compile(
+    r"^\s*(?:mutable\s+)?std\s*::\s*(?:shared_|recursive_)?mutex\s+\w+\s*;",
+    re.M)
+GUARDED_BY_EXEMPT = ("src/util/thread_annotations.h",)
+
+SRC_SUFFIXES = (".h", ".cc")
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blanks comments and string/char literals, preserving newlines so
+    reported line numbers stay accurate (same contract as lint.py)."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            j = text.find("\n", i)
+            j = n if j == -1 else j
+            i = j
+        elif c == "/" and i + 1 < n and text[i + 1] == "*":
+            j = text.find("*/", i + 2)
+            j = n - 2 if j == -1 else j
+            out.append("\n" * text.count("\n", i, j + 2))
+            i = j + 2
+        elif c in "\"'":
+            quote = c
+            j = i + 1
+            while j < n and text[j] != quote:
+                j += 2 if text[j] == "\\" else 1
+            i = j + 1
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def line_of(code: str, pos: int) -> int:
+    return code[:pos].count("\n") + 1
+
+
+# ---------------------------------------------------------------------------
+# Rule implementations (textual core, shared by both engines where the
+# rule is inherently lexical)
+# ---------------------------------------------------------------------------
+
+BACKWARD_AGE_RE = re.compile(
+    r"\b(" + "|".join(sorted(NOW_IDENTIFIERS)) +
+    r")\s*-\s*([A-Za-z_][\w]*(?:(?:\.|->)[A-Za-z_]\w*)*)")
+
+
+def rule_backward_age_text(rel: str, code: str, findings: list) -> None:
+    if rel in BACKWARD_AGE_ALLOWED:
+        return
+    for m in BACKWARD_AGE_RE.finditer(code):
+        subtrahend = m.group(2)
+        if ITEM_TS_RE.match(subtrahend):
+            findings.append(
+                (rel, line_of(code, m.start()),
+                 f"backward-age: `{m.group(0)}` computes a per-item age "
+                 "from the current time; forward decay weighs items as "
+                 "g(t_i - L) (core/decay.h)"))
+
+
+def rule_exp_pow_text(rel: str, code: str, findings: list) -> None:
+    if rel in EXP_POW_ALLOWED:
+        return
+    for m in EXP_POW_CALL_RE.finditer(code):
+        findings.append(
+            (rel, line_of(code, m.start()),
+             f"exp-pow: `{m.group(0).strip()}` outside the overflow-"
+             "reviewed allowlist; route decay weights through "
+             "core/decay.h (ExponentialG / ShiftFactor) or add this "
+             "file to EXP_POW_ALLOWED with a rationale"))
+
+
+def function_extent(code: str, open_brace: int) -> int:
+    """Returns the index one past the matching close brace."""
+    depth = 0
+    for i in range(open_brace, len(code)):
+        if code[i] == "{":
+            depth += 1
+        elif code[i] == "}":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+    return len(code)
+
+
+def rule_deser_bounds(rel: str, code: str, findings: list) -> None:
+    for line_match in re.finditer(r"^.*$", code, re.M):
+        if not DESER_FN_RE.search(line_match.group(0)):
+            continue
+        brace = code.find("{", line_match.start())
+        if brace == -1:
+            continue  # declaration only
+        end = function_extent(code, brace)
+        body = code[brace:end]
+        for alloc in ALLOC_RE.finditer(body):
+            if not BOUNDS_GUARD_RE.search(body[: alloc.start()]):
+                findings.append(
+                    (rel, line_of(code, brace + alloc.start()),
+                     f"deser-bounds: `{alloc.group(0).strip()}` in a "
+                     "deserialization body with no preceding bounds "
+                     "check (reader->Remaining() or an explicit cap)"))
+
+
+def rule_guarded_by(rel: str, code: str, findings: list) -> None:
+    if rel in GUARDED_BY_EXEMPT:
+        return
+    for m in STD_MUTEX_MEMBER_RE.finditer(code):
+        findings.append(
+            (rel, line_of(code, m.start()),
+             "guarded-by: bare std::mutex member; use the annotated "
+             "fwdecay::Mutex so -Wthread-safety can track it"))
+    for m in MUTEX_MEMBER_RE.finditer(code):
+        name = m.group(1)
+        guarded = re.search(
+            r"FWDECAY_(?:PT_)?GUARDED_BY\s*\(\s*" + re.escape(name) +
+            r"\s*\)", code)
+        if not guarded:
+            findings.append(
+                (rel, line_of(code, m.start()),
+                 f"guarded-by: mutex member `{name}` protects no "
+                 "annotated member; add FWDECAY_GUARDED_BY(" + name +
+                 ") to the data it guards"))
+
+
+# ---------------------------------------------------------------------------
+# Engines
+# ---------------------------------------------------------------------------
+
+class TextEngine:
+    """Runs all four rules on comment/string-stripped sources."""
+
+    name = "text"
+
+    def analyze(self, rel: str, path: pathlib.Path, findings: list) -> None:
+        code = strip_comments_and_strings(
+            path.read_text(encoding="utf-8"))
+        rule_backward_age_text(rel, code, findings)
+        rule_exp_pow_text(rel, code, findings)
+        rule_deser_bounds(rel, code, findings)
+        rule_guarded_by(rel, code, findings)
+
+
+class AstEngine:
+    """libclang-backed engine: backward-age and exp-pow run on the AST
+    (sees through macro expansion, ignores disabled #if regions); the
+    lexical rules reuse the shared implementations."""
+
+    name = "ast"
+
+    def __init__(self, root: pathlib.Path):
+        import clang.cindex as cindex  # raises ImportError when absent
+        self.cindex = cindex
+        self.index = cindex.Index.create()  # raises when libclang missing
+        self.args = ["-x", "c++", "-std=c++20", "-I", str(root / "src")]
+
+    def analyze(self, rel: str, path: pathlib.Path, findings: list) -> None:
+        cindex = self.cindex
+        tu = self.index.parse(str(path), args=self.args)
+        for cur in tu.cursor.walk_preorder():
+            if cur.location.file is None or \
+                    cur.location.file.name != str(path):
+                continue
+            if cur.kind == cindex.CursorKind.BINARY_OPERATOR:
+                self._check_backward_age(rel, cur, findings)
+            elif cur.kind == cindex.CursorKind.CALL_EXPR:
+                self._check_exp_pow(rel, cur, findings)
+        code = strip_comments_and_strings(
+            path.read_text(encoding="utf-8"))
+        rule_deser_bounds(rel, code, findings)
+        rule_guarded_by(rel, code, findings)
+
+    def _operands(self, cur):
+        kids = list(cur.get_children())
+        return kids if len(kids) == 2 else None
+
+    def _spelling(self, node) -> str:
+        return "".join(t.spelling for t in node.get_tokens())
+
+    def _check_backward_age(self, rel, cur, findings) -> None:
+        if rel in BACKWARD_AGE_ALLOWED:
+            return
+        ops = self._operands(cur)
+        if not ops:
+            return
+        lhs, rhs = (self._spelling(ops[0]), self._spelling(ops[1]))
+        toks = [t.spelling for t in cur.get_tokens()]
+        if "-" not in toks:
+            return
+        if lhs in NOW_IDENTIFIERS and ITEM_TS_RE.match(rhs):
+            findings.append(
+                (rel, cur.location.line,
+                 f"backward-age: `{lhs} - {rhs}` computes a per-item "
+                 "age from the current time; forward decay weighs items "
+                 "as g(t_i - L) (core/decay.h)"))
+
+    def _check_exp_pow(self, rel, cur, findings) -> None:
+        if rel in EXP_POW_ALLOWED:
+            return
+        ref = cur.referenced
+        if ref is not None and ref.spelling in ("exp", "pow"):
+            findings.append(
+                (rel, cur.location.line,
+                 f"exp-pow: call to `{ref.spelling}` outside the "
+                 "overflow-reviewed allowlist; route decay weights "
+                 "through core/decay.h (ExponentialG / ShiftFactor)"))
+
+
+def make_engine(kind: str, root: pathlib.Path):
+    if kind in ("auto", "ast"):
+        try:
+            return AstEngine(root)
+        except Exception as exc:  # ImportError or libclang load failure
+            if kind == "ast":
+                print(f"analyze.py: AST engine unavailable: {exc}",
+                      file=sys.stderr)
+                return None
+            print(f"analyze.py: libclang unavailable ({exc.__class__.__name__});"
+                  " falling back to the textual engine", file=sys.stderr)
+    return TextEngine()
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(
+        description="fwdecay semantic analyzer (see module docstring)")
+    ap.add_argument("--root", default=None,
+                    help="repo root (default: parent of this script's dir)")
+    ap.add_argument("--engine", choices=("auto", "ast", "text"),
+                    default="auto")
+    args = ap.parse_args()
+    root = (pathlib.Path(args.root) if args.root
+            else pathlib.Path(__file__).resolve().parent.parent)
+
+    engine = make_engine(args.engine, root)
+    if engine is None:
+        return 2
+
+    findings = []
+    count = 0
+    for path in sorted((root / "src").rglob("*")):
+        if path.suffix in SRC_SUFFIXES and path.is_file():
+            rel = path.relative_to(root).as_posix()
+            engine.analyze(rel, path, findings)
+            count += 1
+
+    for rel, line, msg in findings:
+        print(f"{rel}:{line}: {msg}")
+    status = "FAILED" if findings else "OK"
+    print(f"analyze.py[{engine.name}]: {count} files analyzed, "
+          f"{len(findings)} finding(s) [{status}]")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

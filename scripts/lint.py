@@ -24,6 +24,16 @@ Enforced invariants (each maps to a documented repo convention):
              durability discipline and the fault-injection tests, so
              they are banned outside src/util/fault_fs.* itself.
              (tests/, bench/ and examples/ may open files directly.)
+  locking    Concurrency primitives in library code (src/) must go
+             through util/thread_annotations.h: any file mentioning
+             std::mutex / std::shared_mutex / std::atomic /
+             std::condition_variable must include it, so clang's
+             -Wthread-safety analysis (FWDECAY_THREAD_SAFETY=ON) sees
+             annotated fwdecay::Mutex types rather than bare std ones.
+             Raw pthread_* calls and std::thread::detach() are banned
+             in src/ outright: the first bypasses the annotated layer
+             entirely, the second leaks threads past every join-based
+             shutdown path the tests exercise.
 
 Usage: scripts/lint.py [--root DIR]
 Exit status is 0 when clean, 1 when any finding is reported.
@@ -43,6 +53,10 @@ RANDOM_EXEMPT = ("src/util/random.h",)
 # util/fault_fs is the one sanctioned home of raw file I/O in src/.
 IO_EXEMPT = ("src/util/fault_fs.h", "src/util/fault_fs.cc")
 
+# util/thread_annotations.h wraps std::mutex itself and so cannot be
+# required to include itself.
+LOCKING_EXEMPT = ("src/util/thread_annotations.h",)
+
 RANDOM_BANNED = re.compile(
     r"(?<![\w:])(?:rand|srand)\s*\(|time\s*\(\s*(?:nullptr|NULL|0)\s*\)"
     r"|\bmt19937(?:_64)?\b")
@@ -51,6 +65,12 @@ ASSERT_BANNED = re.compile(r"(?<![\w.])assert\s*\(|#\s*include\s*<cassert>")
 IO_BANNED = re.compile(
     r"(?<![\w:])(?:fopen|freopen|open|creat)\s*\("
     r"|\bstd\s*::\s*(?:o|i)?fstream\b|#\s*include\s*<fstream>")
+LOCKING_PRIMITIVE = re.compile(
+    r"\bstd\s*::\s*(?:mutex|shared_mutex|recursive_mutex|atomic\b"
+    r"|condition_variable)")
+LOCKING_BANNED = re.compile(r"\bpthread_\w+\s*\(|\.\s*detach\s*\(\s*\)")
+THREAD_ANNOTATIONS_INCLUDE = re.compile(
+    r'#\s*include\s*"util/thread_annotations\.h"')
 
 
 def strip_comments_and_strings(text: str) -> str:
@@ -135,6 +155,19 @@ def lint_file(root: pathlib.Path, path: pathlib.Path, findings: list) -> None:
         scan_pattern(rel, code, IO_BANNED,
                      "raw file I/O in library code (use util/fault_fs.h)",
                      findings)
+    if rel.startswith("src/") and rel not in LOCKING_EXEMPT:
+        scan_pattern(rel, code, LOCKING_BANNED,
+                     "raw pthread / detached thread in library code",
+                     findings)
+        # The include path is a string literal, so it must be matched on
+        # the raw text (strip_comments_and_strings blanks it in `code`).
+        m = LOCKING_PRIMITIVE.search(code)
+        if m and not THREAD_ANNOTATIONS_INCLUDE.search(text):
+            line = code[: m.start()].count("\n") + 1
+            findings.append(
+                (rel, line,
+                 "concurrency primitive without util/thread_annotations.h "
+                 "(use fwdecay::Mutex or include the annotation layer)"))
 
 
 def main() -> int:

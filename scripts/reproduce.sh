@@ -6,6 +6,9 @@
 # Environment knobs:
 #   BUILD_DIR         build tree to (re)use            [default: build]
 #   CMAKE_BUILD_TYPE  forwarded to cmake               [default: Release]
+#   FWDECAY_AUDIT     ON enables the invariant-contract layer: the fuzz
+#                     and property suites then run a full CheckInvariants
+#                     audit after every mutating op   [default: OFF]
 #   CMAKE_GENERATOR   only applied when BUILD_DIR is fresh; an existing
 #                     tree keeps whatever generator configured it (cmake
 #                     hard-errors on a generator mismatch otherwise).
@@ -14,8 +17,10 @@ cd "$(dirname "$0")/.."
 
 BUILD_DIR="${BUILD_DIR:-build}"
 CMAKE_BUILD_TYPE="${CMAKE_BUILD_TYPE:-Release}"
+FWDECAY_AUDIT="${FWDECAY_AUDIT:-OFF}"
 
-CMAKE_ARGS=(-B "${BUILD_DIR}" -S . "-DCMAKE_BUILD_TYPE=${CMAKE_BUILD_TYPE}")
+CMAKE_ARGS=(-B "${BUILD_DIR}" -S . "-DCMAKE_BUILD_TYPE=${CMAKE_BUILD_TYPE}"
+            "-DFWDECAY_AUDIT=${FWDECAY_AUDIT}")
 if [[ ! -f "${BUILD_DIR}/CMakeCache.txt" ]]; then
   # Fresh tree: prefer Ninja when available, else CMake's default
   # (Makefiles — what README and the tier-1 line use).

@@ -2,9 +2,9 @@
 #define FWDECAY_CORE_CONCURRENT_RESERVOIR_H_
 
 #include <cstdint>
-#include <mutex>
 
 #include "core/decaying_reservoir.h"
+#include "util/thread_annotations.h"
 
 namespace fwdecay {
 
@@ -13,6 +13,12 @@ namespace fwdecay {
 /// scraper thread takes snapshots). A single mutex suffices: updates are
 /// O(log k) and snapshots O(k log k), so contention is dominated by the
 /// measured work itself.
+///
+/// The lock discipline is declared with thread-safety annotations
+/// (util/thread_annotations.h): `reservoir_` is GUARDED_BY(mu_), so a
+/// clang build with -DFWDECAY_THREAD_SAFETY=ON rejects any access path
+/// that forgets the lock at compile time, for every schedule — the
+/// static complement of the TSan stress test.
 ///
 /// For extreme update rates, shard several reservoirs (same k, alpha,
 /// and start so their samples are compatible) and combine per-shard
@@ -36,20 +42,28 @@ class ConcurrentDecayingReservoir {
         start_(reservoir_.start()) {}
 
   /// Records a measurement; safe to call from any thread.
-  void Update(Timestamp t, double value) {
-    std::lock_guard<std::mutex> lock(mu_);
+  void Update(Timestamp t, double value) FWDECAY_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     reservoir_.Update(t, value);
   }
 
   /// Consistent snapshot; safe to call concurrently with updates.
-  ReservoirSnapshot Snapshot() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  ReservoirSnapshot Snapshot() const FWDECAY_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return reservoir_.Snapshot();
   }
 
-  std::size_t size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  std::size_t size() const FWDECAY_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return reservoir_.size();
+  }
+
+  /// Representation audit (DESIGN.md §7): delegates to the underlying
+  /// reservoir under the lock, so concurrent stress tests can interleave
+  /// audits with updates.
+  void CheckInvariants() const FWDECAY_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    reservoir_.CheckInvariants();
   }
 
   /// Decay rate. Returned from a `const` member copied at construction —
@@ -62,8 +76,8 @@ class ConcurrentDecayingReservoir {
   Timestamp start() const { return start_; }
 
  private:
-  mutable std::mutex mu_;
-  DecayingReservoir reservoir_;
+  mutable Mutex mu_;
+  DecayingReservoir reservoir_ FWDECAY_GUARDED_BY(mu_);
   const double alpha_;
   const Timestamp start_;
 };

@@ -89,6 +89,10 @@ class DecayingReservoir {
   double alpha() const { return sampler_.decay().g().alpha; }
   Timestamp start() const { return sampler_.decay().landmark(); }
 
+  /// Representation audit (DESIGN.md §7): the reservoir is the A-Res
+  /// sampler's heap; its invariants are the sample's.
+  void CheckInvariants() const { sampler_.CheckInvariants(); }
+
  private:
   Rng rng_;
   WeightedReservoirSampler<double, ExponentialG> sampler_;

@@ -7,6 +7,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "core/decay.h"
 #include "util/bytes.h"
 #include "util/check.h"
 #include "util/crc32c.h"
@@ -331,7 +332,9 @@ QueryExecution::Group* QueryExecution::FindOrCreateHighGroup(
 
 double QueryExecution::ForwardWeight(double ts) const {
   if (policy_.decay_alpha == 0.0) return 1.0;
-  return std::exp(policy_.decay_alpha * (ts - policy_.landmark));
+  // Routed through the sanctioned g (scripts/analyze.py rule exp-pow):
+  // core/decay.h owns the weight exponential and its rescaling algebra.
+  return ExponentialG(policy_.decay_alpha).G(ts - policy_.landmark);
 }
 
 void QueryExecution::ShedLowestWeightGroup() {
@@ -431,6 +434,70 @@ std::size_t QueryExecution::GroupCount() const {
     if (slot.occupied) ++n;
   }
   return n;
+}
+
+void QueryExecution::CheckInvariants() const {
+  // High level: every group lives under the hash of its key, chains are
+  // non-empty and duplicate-free, aggregate arity matches the plan, and
+  // the cached group count is exact. A violation here is precisely the
+  // kind of corruption the differential fuzzers cannot see until an
+  // affected group is queried — and Restore() of a hostile snapshot must
+  // never leave one behind.
+  std::size_t high_n = 0;
+  for (const auto& [hash, bucket] : high_->map) {
+    FWDECAY_CHECK_MSG(!bucket.empty(), "empty high-table bucket chain");
+    for (std::size_t i = 0; i < bucket.size(); ++i) {
+      const Group& g = bucket[i];
+      FWDECAY_CHECK_MSG(HashKey(g.key) == hash,
+                        "group filed under the wrong hash");
+      FWDECAY_CHECK_MSG(g.key.size() == plan_->group_exprs_.size(),
+                        "group key arity differs from the plan");
+      FWDECAY_CHECK_MSG(g.aggs.size() == plan_->agg_names_.size(),
+                        "aggregate slot count differs from the plan");
+      FWDECAY_CHECK_MSG(g.weight >= 0.0 && !std::isnan(g.weight),
+                        "group forward-decay weight is negative or NaN");
+      for (std::size_t j = i + 1; j < bucket.size(); ++j) {
+        FWDECAY_CHECK_MSG(!KeysEqual(g.key, bucket[j].key),
+                          "duplicate group key within a bucket chain");
+      }
+      ++high_n;
+    }
+  }
+  FWDECAY_CHECK_MSG(high_n == high_group_count_,
+                    "cached high-level group count out of sync");
+
+  // Low level: the table's size is fixed by the plan options, and every
+  // occupied slot sits at hash % slots with a key that re-hashes to the
+  // stored hash.
+  if (plan_->options_.two_level) {
+    FWDECAY_CHECK_MSG(low_table_.size() == plan_->options_.low_level_slots,
+                      "low-level table was resized after construction");
+  } else {
+    FWDECAY_CHECK_MSG(low_table_.empty(),
+                      "low-level table allocated in one-level mode");
+  }
+  for (std::size_t s = 0; s < low_table_.size(); ++s) {
+    const LowSlot& slot = low_table_[s];
+    if (!slot.occupied) continue;
+    FWDECAY_CHECK_MSG(slot.hash % low_table_.size() == s,
+                      "low-level slot holds a group mapped elsewhere");
+    FWDECAY_CHECK_MSG(HashKey(slot.group.key) == slot.hash,
+                      "low-level slot hash diverged from its key");
+    FWDECAY_CHECK_MSG(slot.group.key.size() == plan_->group_exprs_.size(),
+                      "low-level group key arity differs from the plan");
+    FWDECAY_CHECK_MSG(slot.group.aggs.size() == plan_->agg_names_.size(),
+                      "low-level aggregate slot count differs from the plan");
+    FWDECAY_CHECK_MSG(slot.group.weight >= 0.0 && !std::isnan(slot.group.weight),
+                      "low-level group weight is negative or NaN");
+  }
+
+  // Counters and the shedding contract.
+  FWDECAY_CHECK_MSG(tuples_aggregated_ <= packets_consumed_,
+                    "more tuples aggregated than packets consumed");
+  if (policy_.max_groups > 0) {
+    FWDECAY_CHECK_MSG(high_group_count_ <= policy_.max_groups,
+                      "overload policy group bound exceeded");
+  }
 }
 
 ResultSet QueryExecution::Finish() {

@@ -14,6 +14,7 @@
 #include "dsms/parser.h"
 #include "dsms/value.h"
 #include "util/bytes.h"
+#include "util/thread_annotations.h"
 
 // Query compilation and execution for the mini DSMS.
 //
@@ -173,6 +174,14 @@ class QueryExecution {
   /// onward then reproduces the uninterrupted run exactly.
   bool Restore(const std::string& path, std::string* error);
 
+  /// Representation audit of both group-table levels (DESIGN.md §7):
+  /// every group is stored under the hash of its key, low-level slots sit
+  /// at hash % slots, bucket chains hold no duplicate keys, aggregate
+  /// arity matches the plan, group weights are non-negative forward-decay
+  /// sums, the cached high-level count is exact, and an installed
+  /// shedding bound is respected. Aborts via FWDECAY_CHECK on violation.
+  void CheckInvariants() const;
+
  private:
   struct Group;
   struct LowSlot;
@@ -201,6 +210,83 @@ class QueryExecution {
   std::vector<LowSlot> low_table_;
   struct HighTable;
   std::unique_ptr<HighTable> high_;
+};
+
+/// Thread-safe facade over QueryExecution — the deployment shape where
+/// several ingest threads feed one standing query and a control thread
+/// checkpoints or reads stats. A single mutex suffices for the same
+/// reason as ConcurrentDecayingReservoir: each Consume() is dominated by
+/// expression evaluation and aggregate updates, not by the lock.
+///
+/// The lock discipline is declared with thread-safety annotations: the
+/// wrapped execution is PT_GUARDED_BY(mu_), so a clang build with
+/// -DFWDECAY_THREAD_SAFETY=ON proves at compile time that no code path
+/// reaches the underlying (thread-compatible) QueryExecution without
+/// holding the lock.
+class ConcurrentQueryExecution {
+ public:
+  /// The plan must outlive this object (as with NewExecution()).
+  explicit ConcurrentQueryExecution(const CompiledQuery& plan)
+      : exec_(plan.NewExecution()) {}
+
+  /// Processes one packet; safe to call from any thread.
+  void Consume(const Packet& p) FWDECAY_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    exec_->Consume(p);
+  }
+
+  /// Flushes and produces the final result table (serializes against
+  /// concurrent Consume() calls; results reflect a consistent cut).
+  ResultSet Finish() FWDECAY_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return exec_->Finish();
+  }
+
+  std::uint64_t packets_consumed() const FWDECAY_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return exec_->packets_consumed();
+  }
+
+  std::uint64_t tuples_aggregated() const FWDECAY_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return exec_->tuples_aggregated();
+  }
+
+  std::size_t GroupCount() const FWDECAY_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return exec_->GroupCount();
+  }
+
+  void SetOverloadPolicy(const OverloadPolicy& policy)
+      FWDECAY_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    exec_->SetOverloadPolicy(policy);
+  }
+
+  /// Consistent snapshot concurrent with ingest (the snapshot is taken
+  /// under the lock; the write itself is the usual atomic-rename).
+  bool Checkpoint(const std::string& path, std::string* error) const
+      FWDECAY_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return exec_->Checkpoint(path, error);
+  }
+
+  bool Restore(const std::string& path, std::string* error)
+      FWDECAY_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return exec_->Restore(path, error);
+  }
+
+  /// Group-table audit under the lock, so stress tests can interleave
+  /// audits with concurrent ingest.
+  void CheckInvariants() const FWDECAY_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    exec_->CheckInvariants();
+  }
+
+ private:
+  mutable Mutex mu_;
+  std::unique_ptr<QueryExecution> exec_ FWDECAY_PT_GUARDED_BY(mu_);
 };
 
 }  // namespace fwdecay::dsms

@@ -17,6 +17,7 @@
 #include "sketch/space_saving.h"
 #include "util/check.h"
 #include "util/random.h"
+#include "util/thread_annotations.h"  // locking lint: file uses std::atomic
 #include "util/top_k_heap.h"
 
 namespace fwdecay::dsms {

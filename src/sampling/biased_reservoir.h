@@ -63,6 +63,16 @@ class BiasedReservoirSampler {
     return true;
   }
 
+  /// Representation audit (DESIGN.md §7): the fill level is
+  /// probabilistic, so the hard invariants are exactly RestoreState()'s —
+  /// never more items than capacity or than arrivals.
+  void CheckInvariants() const {
+    FWDECAY_CHECK_MSG(sample_.size() <= k_,
+                      "biased reservoir overflows capacity");
+    FWDECAY_CHECK_MSG(sample_.size() <= seen_,
+                      "biased reservoir holds more items than were seen");
+  }
+
  private:
   std::size_t k_;
   std::uint64_t seen_ = 0;

@@ -95,6 +95,23 @@ class PrioritySampler {
   }
   const ForwardDecay<G>& decay() const { return decay_; }
 
+  /// Representation audit (DESIGN.md §7): heap invariants, plus each
+  /// entry's heap score must equal its stored log-priority and every
+  /// priority must dominate its weight (log q = log w - log u with
+  /// u in (0,1], so log q >= log w; a violation means the threshold τ
+  /// no longer upper-bounds the unsampled weights and the estimator's
+  /// unbiasedness proof breaks).
+  void CheckInvariants() const {
+    heap_.CheckInvariants();
+    for (const auto& entry : heap_.entries()) {
+      FWDECAY_CHECK_MSG(entry.score == entry.value.log_priority,
+                        "priority sample heap score diverged from the "
+                        "entry's log-priority");
+      FWDECAY_CHECK_MSG(entry.value.log_priority >= entry.value.log_weight,
+                        "priority below static weight (u > 1?)");
+    }
+  }
+
  private:
   ForwardDecay<G> decay_;
   TopKHeap<SampleEntry> heap_;  // holds k+1 entries; min is the threshold

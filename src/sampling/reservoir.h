@@ -51,6 +51,17 @@ class ReservoirSampler {
     return true;
   }
 
+  /// Representation audit (DESIGN.md §7): Algorithm R keeps exactly
+  /// min(k, seen) items — anything else means a lost or duplicated slot.
+  void CheckInvariants() const {
+    const std::uint64_t expect =
+        seen_ < static_cast<std::uint64_t>(k_)
+            ? seen_
+            : static_cast<std::uint64_t>(k_);
+    FWDECAY_CHECK_MSG(sample_.size() == expect,
+                      "reservoir size is not min(k, seen)");
+  }
+
  private:
   std::size_t k_;
   std::uint64_t seen_ = 0;
@@ -91,6 +102,25 @@ class SkipReservoirSampler {
 
   const std::vector<T>& sample() const { return sample_; }
   std::uint64_t seen() const { return seen_; }
+
+  /// Representation audit (DESIGN.md §7): min(k, seen) items retained;
+  /// w (the running acceptance key) stays in (0, 1); once full, the
+  /// scheduled skip must lie in the future — a stale next_accept_ would
+  /// make Add() accept every item, silently destroying uniformity.
+  void CheckInvariants() const {
+    const std::uint64_t expect =
+        seen_ < static_cast<std::uint64_t>(k_)
+            ? seen_
+            : static_cast<std::uint64_t>(k_);
+    FWDECAY_CHECK_MSG(sample_.size() == expect,
+                      "skip-reservoir size is not min(k, seen)");
+    FWDECAY_CHECK_MSG(w_ > 0.0 && w_ < 1.0,
+                      "skip-reservoir acceptance key left (0, 1)");
+    if (sample_.size() == k_) {
+      FWDECAY_CHECK_MSG(next_accept_ > seen_,
+                        "skip-reservoir scheduled skip is in the past");
+    }
+  }
 
  private:
   void ScheduleNextSkip() {

@@ -54,6 +54,10 @@ class WeightedReservoirSampler {
   std::size_t capacity() const { return heap_.capacity(); }
   const ForwardDecay<G>& decay() const { return decay_; }
 
+  /// Representation audit (DESIGN.md §7): the sample is exactly the heap,
+  /// so its invariants are the heap's.
+  void CheckInvariants() const { heap_.CheckInvariants(); }
+
  private:
   ForwardDecay<G> decay_;
   TopKHeap<T> heap_;
@@ -119,6 +123,27 @@ class ExpJumpsReservoirSampler {
 
   std::size_t sample_size() const { return heap_.size(); }
   const ForwardDecay<G>& decay() const { return decay_; }
+
+  /// Representation audit (DESIGN.md §7): heap invariants, plus the jump
+  /// discipline — before the reservoir fills no weight may have been
+  /// accumulated, and once full the accumulated log-weight must sit
+  /// strictly below the pending jump (Add() reschedules the instant it
+  /// crosses, so observing acc >= jump means a lost jump).
+  void CheckInvariants() const {
+    heap_.CheckInvariants();
+    FWDECAY_CHECK_MSG(!std::isnan(acc_log_weight_) &&
+                          !std::isnan(jump_log_weight_),
+                      "A-ExpJ jump state is NaN");
+    if (!heap_.Full()) {
+      FWDECAY_CHECK_MSG(
+          acc_log_weight_ == -std::numeric_limits<double>::infinity(),
+          "A-ExpJ accumulated weight before the reservoir filled");
+    } else {
+      FWDECAY_CHECK_MSG(acc_log_weight_ < jump_log_weight_,
+                        "A-ExpJ accumulated weight crossed the jump "
+                        "without admitting an item");
+    }
+  }
 
  private:
   // The jump X_w satisfies: skip items until Σ w_i >= X_w where

@@ -1,6 +1,7 @@
 #ifndef FWDECAY_SAMPLING_WITH_REPLACEMENT_H_
 #define FWDECAY_SAMPLING_WITH_REPLACEMENT_H_
 
+#include <cmath>
 #include <optional>
 #include <vector>
 
@@ -51,6 +52,20 @@ class ForwardDecaySamplerWR {
   double TotalStaticWeight() const { return total_weight_; }
   std::size_t sample_size() const { return chains_.size(); }
   const ForwardDecay<G>& decay() const { return decay_; }
+
+  /// Representation audit (DESIGN.md §7): the running weight total is a
+  /// sum of positive static weights (never negative, never NaN), and a
+  /// chain can hold a candidate only after some positive weight arrived.
+  void CheckInvariants() const {
+    FWDECAY_CHECK_MSG(total_weight_ >= 0.0 && !std::isnan(total_weight_),
+                      "with-replacement weight total corrupted");
+    if (total_weight_ == 0.0) {
+      for (const Chain& chain : chains_) {
+        FWDECAY_CHECK_MSG(!chain.candidate.has_value(),
+                          "chain holds a candidate with zero total weight");
+      }
+    }
+  }
 
  private:
   struct Chain {

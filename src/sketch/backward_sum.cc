@@ -62,6 +62,24 @@ double BackwardDecayedAggregator::DecayedSum(double now,
                               });
 }
 
+void BackwardDecayedAggregator::CheckInvariants() const {
+  FWDECAY_CHECK_MSG(grid_size_ >= 2, "grid must have at least two ages");
+  count_eh_.CheckInvariants();
+  sum_eh_.CheckInvariants();
+  if (!has_data_) {
+    FWDECAY_CHECK_MSG(count_eh_.TotalCount() == 0,
+                      "aggregator holds arrivals but has_data_ is false");
+  }
+  // Every Insert() feeds the count EH once and sets at most value_bits
+  // bits in the sum EH, so the sum EH's total mass is bounded by the
+  // arrival count times the value range.
+  const double max_value = std::ldexp(1.0, sum_eh_.value_bits()) - 1.0;
+  FWDECAY_CHECK_MSG(
+      sum_eh_.TotalSum() <=
+          static_cast<double>(count_eh_.TotalCount()) * max_value,
+      "sum EH mass exceeds what the arrival count allows");
+}
+
 void BackwardDecayedAggregator::SerializeTo(ByteWriter* writer) const {
   writer->WriteU8(0x42);
   writer->WriteU32(static_cast<std::uint32_t>(grid_size_));

@@ -64,6 +64,13 @@ class BackwardDecayedAggregator {
   static std::optional<BackwardDecayedAggregator> Deserialize(
       ByteReader* reader);
 
+  /// Representation audit (DESIGN.md §7): audits both underlying EHs and
+  /// checks the cross-structure accounting — one count arrival per
+  /// Insert() (so the sum EH's per-bit arrivals never outnumber
+  /// value_bits * count) and an empty structure when has_data_ is false.
+  /// Aborts via FWDECAY_CHECK on violation.
+  void CheckInvariants() const;
+
  private:
   int grid_size_;
   double first_ts_ = 0.0;

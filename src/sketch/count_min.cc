@@ -56,6 +56,27 @@ void CountMinSketch::ScaleWeights(double factor) {
   total_weight_ *= factor;
 }
 
+void CountMinSketch::CheckInvariants() const {
+  FWDECAY_CHECK_MSG(!std::isnan(total_weight_) && total_weight_ >= 0.0,
+                    "count-min total weight negative or NaN");
+  FWDECAY_CHECK_MSG(cells_.size() == width_ * depth_,
+                    "cell array size diverged from width * depth");
+  for (std::size_t row = 0; row < depth_; ++row) {
+    double row_sum = 0.0;
+    for (std::size_t col = 0; col < width_; ++col) {
+      const double c = cells_[row * width_ + col];
+      FWDECAY_CHECK_MSG(!std::isnan(c) && c >= 0.0,
+                        "count-min cell negative or NaN");
+      row_sum += c;
+    }
+    const double tol =
+        1e-6 * std::max(1.0, std::max(row_sum, total_weight_));
+    FWDECAY_CHECK_MSG(std::abs(row_sum - total_weight_) <= tol,
+                      "row does not sum to TotalWeight() (every update "
+                      "touches exactly one cell per row)");
+  }
+}
+
 void CountMinSketch::SerializeTo(ByteWriter* writer) const {
   writer->WriteU8(0x4e);  // 'N'
   writer->WriteU64(width_);

@@ -39,6 +39,13 @@ class CountMinSketch {
   void SerializeTo(ByteWriter* writer) const;
   static std::optional<CountMinSketch> Deserialize(ByteReader* reader);
 
+  /// Representation audit (DESIGN.md §7): non-negative finite cells in a
+  /// width*depth grid, and per-row weight conservation — every Update()
+  /// adds its weight to exactly one cell in each row, so each row sums to
+  /// TotalWeight(). Deserialize() does not cross-check the total against
+  /// the cells; this does. Aborts via FWDECAY_CHECK on violation.
+  void CheckInvariants() const;
+
   std::size_t width() const { return width_; }
   std::size_t depth() const { return depth_; }
   std::size_t MemoryBytes() const { return cells_.size() * sizeof(double); }

@@ -73,6 +73,21 @@ std::size_t DominanceNormSketch::MemoryBytes() const {
   return total;
 }
 
+void DominanceNormSketch::CheckInvariants() const {
+  FWDECAY_CHECK_MSG(level_base_ > 1.0, "level base must exceed 1");
+  for (const auto& [level, sketch] : levels_) {
+    sketch.CheckInvariants();
+    FWDECAY_CHECK_MSG(sketch.k() == k_,
+                      "level KMV size diverged from the sketch's k");
+    FWDECAY_CHECK_MSG(sketch.hash_seed() == hash_seed_,
+                      "level KMV hash seed diverged (level-set unions "
+                      "would silently be wrong)");
+    FWDECAY_CHECK_MSG(sketch.size() >= 1,
+                      "empty level sketch (levels are created on first "
+                      "insert)");
+  }
+}
+
 HllDominanceNormSketch::HllDominanceNormSketch(int precision,
                                                double level_base,
                                                std::uint64_t hash_seed)
@@ -132,6 +147,18 @@ std::size_t HllDominanceNormSketch::MemoryBytes() const {
   std::size_t total = 0;
   for (const auto& [level, sketch] : levels_) total += sketch.MemoryBytes();
   return total;
+}
+
+void HllDominanceNormSketch::CheckInvariants() const {
+  FWDECAY_CHECK_MSG(level_base_ > 1.0, "level base must exceed 1");
+  for (const auto& [level, sketch] : levels_) {
+    sketch.CheckInvariants();
+    FWDECAY_CHECK_MSG(sketch.precision() == precision_,
+                      "level HLL precision diverged from the sketch's");
+    FWDECAY_CHECK_MSG(sketch.hash_seed() == hash_seed_,
+                      "level HLL hash seed diverged (register-wise "
+                      "unions would silently be wrong)");
+  }
 }
 
 void DominanceNormSketch::SerializeTo(ByteWriter* writer) const {

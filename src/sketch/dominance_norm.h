@@ -55,6 +55,12 @@ class DominanceNormSketch {
   /// Reconstructs a sketch; nullopt on truncated/corrupt input.
   static std::optional<DominanceNormSketch> Deserialize(ByteReader* reader);
 
+  /// Representation audit (DESIGN.md §7): every level holds a non-empty
+  /// KMV built with this sketch's k and hash seed (mismatched seeds would
+  /// silently break the level-set unions in Estimate()), and each level
+  /// KMV passes its own audit. Aborts via FWDECAY_CHECK on violation.
+  void CheckInvariants() const;
+
  private:
   int LevelOf(double weight) const;
 
@@ -87,6 +93,11 @@ class HllDominanceNormSketch {
 
   std::size_t LevelCount() const { return levels_.size(); }
   std::size_t MemoryBytes() const;
+
+  /// Representation audit (DESIGN.md §7): every level HLL shares this
+  /// sketch's precision and hash seed and passes its own register audit.
+  /// Aborts via FWDECAY_CHECK on violation.
+  void CheckInvariants() const;
 
  private:
   int LevelOf(double weight) const;

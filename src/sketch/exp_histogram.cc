@@ -75,6 +75,43 @@ std::size_t EhCount::MemoryBytes() const {
   return buckets_.size() * sizeof(Bucket);
 }
 
+void EhCount::CheckInvariants() const {
+  std::uint64_t run_size = 0;
+  std::size_t run_len = 0;
+  std::uint64_t sum = 0;
+  double prev_ts = last_ts_;
+  for (const Bucket& b : buckets_) {
+    FWDECAY_CHECK_MSG(b.size != 0 && (b.size & (b.size - 1)) == 0,
+                      "bucket size not a power of two");
+    FWDECAY_CHECK_MSG(b.size >= run_size,
+                      "bucket sizes decrease toward the back (merge "
+                      "cascade relies on contiguous size runs)");
+    if (b.size == run_size) {
+      ++run_len;
+    } else {
+      run_size = b.size;
+      run_len = 1;
+    }
+    FWDECAY_CHECK_MSG(run_len <= max_per_size_,
+                      "size class holds more than k/2 + 2 buckets "
+                      "(cascade failed to merge)");
+    FWDECAY_CHECK_MSG(!std::isnan(b.ts) && b.ts <= prev_ts,
+                      "bucket timestamps not non-increasing toward the "
+                      "back");
+    prev_ts = b.ts;
+    sum += b.size;
+  }
+  // Expiry only ever removes buckets, so the bucket mass is the exact
+  // arrival count until a finite horizon first drops one.
+  if (horizon_ == std::numeric_limits<double>::infinity()) {
+    FWDECAY_CHECK_MSG(sum == total_count_,
+                      "bucket sizes do not sum to TotalCount()");
+  } else {
+    FWDECAY_CHECK_MSG(sum <= total_count_,
+                      "bucket mass exceeds TotalCount()");
+  }
+}
+
 EhSum::EhSum(double eps, int value_bits, double horizon) {
   FWDECAY_CHECK_MSG(value_bits >= 1 && value_bits <= 40,
                     "value_bits must be in [1, 40]");
@@ -110,6 +147,25 @@ std::size_t EhSum::MemoryBytes() const {
   std::size_t n = 0;
   for (const EhCount& eh : bit_ehs_) n += eh.MemoryBytes();
   return n;
+}
+
+void EhSum::CheckInvariants() const {
+  FWDECAY_CHECK_MSG(!std::isnan(total_sum_) && total_sum_ >= 0.0,
+                    "EhSum total negative or NaN");
+  double decomposed = 0.0;
+  for (std::size_t b = 0; b < bit_ehs_.size(); ++b) {
+    bit_ehs_[b].CheckInvariants();
+    decomposed +=
+        std::ldexp(static_cast<double>(bit_ehs_[b].TotalCount()),
+                   static_cast<int>(b));
+  }
+  // Bit-decomposition identity: every Insert(v) adds v to total_sum_ and
+  // one arrival to the EH of each set bit, and expiry never touches the
+  // exact side counters.
+  const double tol =
+      1e-6 * std::max(1.0, std::max(decomposed, total_sum_));
+  FWDECAY_CHECK_MSG(std::abs(decomposed - total_sum_) <= tol,
+                    "per-bit counts do not recompose to TotalSum()");
 }
 
 void EhCount::SerializeTo(ByteWriter* writer) const {

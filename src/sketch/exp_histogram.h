@@ -55,6 +55,14 @@ class EhCount {
   /// Reconstructs an EH; nullopt on truncated/corrupt input.
   static std::optional<EhCount> Deserialize(ByteReader* reader);
 
+  /// Representation audit (DESIGN.md §7): power-of-two bucket sizes
+  /// non-decreasing toward the back, at most k/2 + 2 buckets per size
+  /// class, timestamps non-increasing toward the back and bounded by
+  /// last_ts_, and Σ bucket sizes == TotalCount() when no horizon ever
+  /// expired a bucket (<= otherwise). Aborts via FWDECAY_CHECK on
+  /// violation.
+  void CheckInvariants() const;
+
  private:
   struct Bucket {
     double ts;          // most recent timestamp in the bucket
@@ -100,6 +108,12 @@ class EhSum {
 
   /// Reconstructs an EhSum; nullopt on truncated/corrupt input.
   static std::optional<EhSum> Deserialize(ByteReader* reader);
+
+  /// Representation audit (DESIGN.md §7): audits every per-bit EH and
+  /// checks the bit-decomposition identity Σ_b 2^b * bit_count(b) ==
+  /// TotalSum(), which Deserialize() does not cross-check. Aborts via
+  /// FWDECAY_CHECK on violation.
+  void CheckInvariants() const;
 
  private:
   double total_sum_ = 0.0;

@@ -97,6 +97,24 @@ class HllSketch {
   std::uint64_t hash_seed() const { return hash_seed_; }
   std::size_t MemoryBytes() const { return registers_.size(); }
 
+  /// Representation audit (DESIGN.md §7): exactly 2^p registers, each
+  /// bounded by the maximum attainable rank 64 - p + 1 (Insert() ORs a
+  /// sentinel bit at position p-1, capping the leading-zero count).
+  /// Deserialize() accepts arbitrary register bytes, so an out-of-range
+  /// register — which skews Estimate() multiplicatively — is only caught
+  /// here. Aborts via FWDECAY_CHECK on violation.
+  void CheckInvariants() const {
+    FWDECAY_CHECK_MSG(registers_.size() ==
+                          (std::size_t{1} << precision_),
+                      "HLL register count diverged from precision");
+    const auto max_rank = static_cast<std::uint8_t>(65 - precision_);
+    for (std::uint8_t r : registers_) {
+      FWDECAY_CHECK_MSG(r <= max_rank,
+                        "HLL register exceeds the maximum attainable "
+                        "rank");
+    }
+  }
+
  private:
   int precision_;
   std::uint64_t hash_seed_;

@@ -104,6 +104,24 @@ class KmvSketch {
     return out;
   }
 
+  /// Representation audit (DESIGN.md §7): at most k retained hashes,
+  /// max-heap order (so the eviction threshold heap_.front() really is
+  /// the largest retained hash), and the membership set mirroring the
+  /// heap exactly — which also proves the retained hashes are distinct.
+  /// Aborts via FWDECAY_CHECK on violation.
+  void CheckInvariants() const {
+    FWDECAY_CHECK_MSG(heap_.size() <= k_, "KMV retains more than k hashes");
+    FWDECAY_CHECK_MSG(std::is_heap(heap_.begin(), heap_.end()),
+                      "KMV max-heap order violated (kth-minimum threshold "
+                      "would be wrong)");
+    FWDECAY_CHECK_MSG(members_.size() == heap_.size(),
+                      "KMV membership set out of sync with the heap");
+    for (std::uint64_t h : heap_) {
+      FWDECAY_CHECK_MSG(members_.count(h) == 1,
+                        "retained hash missing from the membership set");
+    }
+  }
+
  private:
   std::size_t k_;
   std::uint64_t hash_seed_;

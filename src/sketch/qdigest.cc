@@ -136,6 +136,30 @@ void QDigest::ScaleWeights(double factor) {
   total_weight_ *= factor;
 }
 
+void QDigest::CheckInvariants() const {
+  FWDECAY_CHECK_MSG(!std::isnan(total_weight_) && total_weight_ >= 0.0,
+                    "q-digest total weight negative or NaN");
+  FWDECAY_CHECK_MSG(updates_since_compress_ <
+                        static_cast<std::size_t>(k_) + 16,
+                    "lazy-compression counter at or past its trigger "
+                    "(Update() would have compressed)");
+  const std::uint64_t max_id = std::uint64_t{2} << universe_bits_;
+  double sum = 0.0;
+  for (const auto& [id, w] : nodes_) {
+    FWDECAY_CHECK_MSG(id >= 1 && id < max_id,
+                      "node id outside the implicit tree");
+    FWDECAY_CHECK_MSG(!std::isnan(w) && w >= 0.0,
+                      "node weight negative or NaN");
+    sum += w;
+  }
+  // Weight conservation: Update/Merge add to a node and the total in
+  // lockstep; Compress/ScaleWeights preserve the sum (the latter up to
+  // floating-point rounding).
+  const double tol = 1e-6 * std::max(1.0, std::max(sum, total_weight_));
+  FWDECAY_CHECK_MSG(std::abs(sum - total_weight_) <= tol,
+                    "node weights do not sum to TotalWeight()");
+}
+
 std::size_t QDigest::MemoryBytes() const {
   // id (8) + weight (8) + hash-table overhead (~16) per node.
   return nodes_.size() * 32;

@@ -62,6 +62,15 @@ class QDigest {
   /// Reconstructs a digest; nullopt on truncated/corrupt input.
   static std::optional<QDigest> Deserialize(ByteReader* reader);
 
+  /// Representation audit (DESIGN.md §7): node ids inside the implicit
+  /// tree [1, 2^(bits+1)), non-negative finite weights, the lazy
+  /// compression counter below its trigger, and weight conservation
+  /// (Σ node weights == TotalWeight()). Catches corruption Deserialize()
+  /// deliberately accepts — e.g. an inflated total_weight_, which the
+  /// frame carries separately from the nodes. Aborts via FWDECAY_CHECK
+  /// on violation.
+  void CheckInvariants() const;
+
  private:
   // Node ids form an implicit binary tree: root = 1; children of x are 2x
   // and 2x+1; leaves are U + value. Depth(x) = floor(log2 x).

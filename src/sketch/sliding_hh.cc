@@ -94,6 +94,33 @@ std::vector<HeavyHitter> SlidingWindowHeavyHitters::QueryDecayed(
   return out;
 }
 
+void SlidingWindowHeavyHitters::CheckInvariants() const {
+  total_.CheckInvariants();
+  std::uint64_t per_key_sum = 0;
+  for (const auto& [key, eh] : per_key_) {
+    eh.CheckInvariants();
+    FWDECAY_CHECK_MSG(eh.TotalCount() >= 1,
+                      "tracked key with an empty histogram (should have "
+                      "been pruned or never created)");
+    per_key_sum += eh.TotalCount();
+  }
+  // Every Update() feeds the total EH and exactly one per-key EH, and
+  // pruning only removes whole keys — so the per-key counts can never
+  // exceed the total.
+  FWDECAY_CHECK_MSG(per_key_sum <= total_.TotalCount(),
+                    "per-key counts exceed the total arrival count");
+  if (has_data_) {
+    FWDECAY_CHECK_MSG(first_ts_ <= last_ts_,
+                      "timestamp span inverted (first_ts_ > last_ts_)");
+  } else {
+    FWDECAY_CHECK_MSG(total_.TotalCount() == 0 && per_key_.empty(),
+                      "tracker holds data but has_data_ is false");
+  }
+  FWDECAY_CHECK_MSG(updates_since_prune_ < per_key_.size() + 1024,
+                    "amortized-prune counter at or past its trigger "
+                    "(Update() would have pruned)");
+}
+
 std::size_t SlidingWindowHeavyHitters::MemoryBytes() const {
   std::size_t total = total_.MemoryBytes();
   for (const auto& [key, eh] : per_key_) {

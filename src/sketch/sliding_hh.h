@@ -57,6 +57,14 @@ class SlidingWindowHeavyHitters {
   static std::optional<SlidingWindowHeavyHitters> Deserialize(
       ByteReader* reader);
 
+  /// Representation audit (DESIGN.md §7): audits the total EH and every
+  /// per-key EH, and checks the cross-structure accounting — each
+  /// tracked key has a non-empty histogram, per-key counts sum to at
+  /// most the total (pruning only removes whole keys), the timestamp
+  /// span is ordered, and the amortized-prune counter is below its
+  /// trigger. Aborts via FWDECAY_CHECK on violation.
+  void CheckInvariants() const;
+
  private:
   void MaybePrune();
 

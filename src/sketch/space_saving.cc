@@ -1,6 +1,7 @@
 #include "sketch/space_saving.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "util/check.h"
 
@@ -114,6 +115,46 @@ void WeightedSpaceSaving::Merge(const WeightedSpaceSaving& other) {
   double counted = 0.0;
   for (const Counter& c : other.counters_) counted += c.count;
   total_weight_ -= counted;
+}
+
+void WeightedSpaceSaving::CheckInvariants() const {
+  const std::size_t n = counters_.size();
+  FWDECAY_CHECK_MSG(n <= capacity_, "SpaceSaving holds more counters than "
+                                    "its capacity");
+  FWDECAY_CHECK_MSG(heap_.size() == n, "heap and counter array sizes differ");
+  FWDECAY_CHECK_MSG(index_.size() == n, "index and counter array sizes "
+                                        "differ");
+  double sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Counter& c = counters_[i];
+    FWDECAY_CHECK_MSG(!std::isnan(c.count) && !std::isnan(c.error),
+                      "counter count/error is NaN");
+    FWDECAY_CHECK_MSG(c.count >= 0.0 && c.error >= 0.0,
+                      "counter count/error is negative");
+    FWDECAY_CHECK_MSG(c.error <= c.count,
+                      "counter error exceeds its count (estimate would "
+                      "lower-bound below zero)");
+    // heap_pos back-pointers: together with the size equality above this
+    // proves heap_ is exactly a permutation of the counter indices.
+    FWDECAY_CHECK_MSG(c.heap_pos < n && heap_[c.heap_pos] == i,
+                      "heap back-pointer diverged from the heap array");
+    auto it = index_.find(c.key);
+    FWDECAY_CHECK_MSG(it != index_.end() && it->second == i,
+                      "index entry missing or pointing at another counter");
+    sum += c.count;
+  }
+  for (std::size_t i = 1; i < n; ++i) {
+    FWDECAY_CHECK_MSG(!HeapLess(i, (i - 1) / 2),
+                      "min-heap order violated (eviction would pick a "
+                      "non-minimal victim)");
+  }
+  // Weight conservation: every update adds its weight to exactly one
+  // counter and to the running total, and eviction inherits the victim's
+  // count — so the counter counts always sum to TotalWeight() (up to
+  // floating-point accumulation order).
+  const double tol = 1e-6 * std::max(1.0, std::max(sum, total_weight_));
+  FWDECAY_CHECK_MSG(std::abs(sum - total_weight_) <= tol,
+                    "counter counts do not sum to TotalWeight()");
 }
 
 std::size_t WeightedSpaceSaving::MemoryBytes() const {
@@ -451,6 +492,73 @@ std::uint64_t UnarySpaceSaving::Estimate(std::uint64_t key) const {
 std::size_t UnarySpaceSaving::MemoryBytes() const {
   return num_counters_ * (sizeof(Counter) + 16) +
          buckets_.size() * sizeof(Bucket);
+}
+
+void UnarySpaceSaving::CheckInvariants() const {
+  FWDECAY_CHECK_MSG(num_counters_ <= capacity_,
+                    "stream-summary holds more counters than its capacity");
+  FWDECAY_CHECK_MSG(index_.size() == num_counters_,
+                    "index and live-counter counts differ");
+  std::vector<char> bucket_seen(buckets_.size(), 0);
+  std::vector<char> counter_seen(num_counters_, 0);
+  std::size_t live_counters = 0;
+  std::size_t live_buckets = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t prev_count = 0;
+  std::uint32_t prev_b = kNil;
+  for (std::uint32_t b = min_bucket_; b != kNil; b = buckets_[b].next) {
+    FWDECAY_CHECK_MSG(b < buckets_.size(), "bucket link out of range");
+    FWDECAY_CHECK_MSG(!bucket_seen[b], "bucket chain contains a cycle");
+    bucket_seen[b] = 1;
+    ++live_buckets;
+    const Bucket& bk = buckets_[b];
+    FWDECAY_CHECK_MSG(bk.prev == prev_b, "bucket prev link inconsistent "
+                                         "with chain order");
+    FWDECAY_CHECK_MSG(prev_b == kNil || bk.count > prev_count,
+                      "bucket counts not strictly ascending from "
+                      "min_bucket_ (replacement would evict a non-minimal "
+                      "counter)");
+    FWDECAY_CHECK_MSG(bk.head != kNil, "live bucket holds no counters");
+    std::uint32_t prev_c = kNil;
+    for (std::uint32_t c = bk.head; c != kNil; c = counters_[c].next) {
+      FWDECAY_CHECK_MSG(c < num_counters_, "counter link out of range");
+      FWDECAY_CHECK_MSG(!counter_seen[c], "counter chain contains a cycle");
+      counter_seen[c] = 1;
+      ++live_counters;
+      const Counter& cn = counters_[c];
+      FWDECAY_CHECK_MSG(cn.bucket == b,
+                        "counter bucket field diverged from the chain it "
+                        "is linked into");
+      FWDECAY_CHECK_MSG(cn.prev == prev_c, "counter prev link inconsistent "
+                                           "with chain order");
+      FWDECAY_CHECK_MSG(cn.error < bk.count,
+                        "counter error not below its bucket count");
+      auto it = index_.find(cn.key);
+      FWDECAY_CHECK_MSG(it != index_.end() && it->second == c,
+                        "index entry missing or pointing at another "
+                        "counter");
+      sum += bk.count;
+      prev_c = c;
+    }
+    prev_count = bk.count;
+    prev_b = b;
+  }
+  FWDECAY_CHECK_MSG(live_counters == num_counters_,
+                    "live counters unreachable from the bucket chain");
+  // Count conservation: every Update() raises exactly one counter's
+  // bucket count by one (integers, so the match is exact).
+  FWDECAY_CHECK_MSG(sum == total_count_,
+                    "counter counts do not sum to TotalCount()");
+  std::size_t free_buckets = 0;
+  for (std::uint32_t b = free_bucket_; b != kNil; b = buckets_[b].next) {
+    FWDECAY_CHECK_MSG(b < buckets_.size(), "free-list link out of range");
+    FWDECAY_CHECK_MSG(!bucket_seen[b],
+                      "bucket slot both live and on the free list");
+    bucket_seen[b] = 2;
+    ++free_buckets;
+  }
+  FWDECAY_CHECK_MSG(live_buckets + free_buckets == buckets_.size(),
+                    "bucket slot neither live nor free (leaked)");
 }
 
 }  // namespace fwdecay

@@ -78,6 +78,13 @@ class WeightedSpaceSaving {
   /// Reconstructs a sketch; nullopt on truncated/corrupt input.
   static std::optional<WeightedSpaceSaving> Deserialize(ByteReader* reader);
 
+  /// Representation audit (DESIGN.md §7): heap/index/back-pointer
+  /// consistency, min-heap order, error <= count per counter, and weight
+  /// conservation (Σ counts == TotalWeight()). Catches corruption that
+  /// Deserialize() deliberately does not re-derive — e.g. an inflated
+  /// error or a forged total. Aborts via FWDECAY_CHECK on violation.
+  void CheckInvariants() const;
+
  private:
   struct Counter {
     std::uint64_t key;
@@ -129,6 +136,15 @@ class UnarySpaceSaving {
 
   /// Reconstructs a sketch; nullopt on truncated/corrupt input.
   static std::optional<UnarySpaceSaving> Deserialize(ByteReader* reader);
+
+  /// Representation audit (DESIGN.md §7): the stream-summary discipline —
+  /// strictly ascending bucket counts from min_bucket_, mutually
+  /// consistent doubly-linked bucket and counter chains, every active
+  /// counter reachable exactly once with error < its bucket count, free
+  /// and live bucket slots partitioning the arena, and count
+  /// conservation (Σ counter counts == TotalCount()). Aborts via
+  /// FWDECAY_CHECK on violation.
+  void CheckInvariants() const;
 
  private:
   static constexpr std::uint32_t kNil = 0xffffffffu;

@@ -1,0 +1,31 @@
+#ifndef FWDECAY_UTIL_AUDIT_H_
+#define FWDECAY_UTIL_AUDIT_H_
+
+// FWDECAY_AUDIT contract layer.
+//
+// Every sketch, sampler, and the engine's group tables expose a
+// `CheckInvariants() const` method that walks the structure and
+// FWDECAY_CHECKs its representation invariants (heap order, back-pointer
+// consistency, bucket monotonicity, weight conservation — see DESIGN.md
+// §7 for the per-structure catalogue). The methods are always compiled —
+// they are cold code — and the corruption meta-tests call them directly.
+//
+// What -DFWDECAY_AUDIT=ON adds is *density*: the macro below expands to
+// a real call, and the fuzz harnesses / property tests invoke it after
+// every mutating operation, turning the output-differential fuzzers into
+// structural fuzzers (an op sequence that leaves a heap out of order is
+// caught at the op that broke it, not whenever the output next
+// diverges). In normal builds the macro is a no-op so tier-1 timing is
+// unchanged.
+
+#ifdef FWDECAY_AUDIT
+#define FWDECAY_AUDIT_ENABLED 1
+#define FWDECAY_AUDIT_INVARIANTS(obj) (obj).CheckInvariants()
+#else
+#define FWDECAY_AUDIT_ENABLED 0
+#define FWDECAY_AUDIT_INVARIANTS(obj) \
+  do {                                \
+  } while (false)
+#endif
+
+#endif  // FWDECAY_UTIL_AUDIT_H_

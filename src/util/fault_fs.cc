@@ -72,22 +72,22 @@ FaultFs& FaultFs::Instance() {
 }
 
 void FaultFs::SetPlan(const FaultPlan& plan) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   plan_ = plan;
 }
 
 void FaultFs::ClearPlan() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   plan_ = FaultPlan{};
 }
 
 std::uint64_t FaultFs::faults_injected() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return faults_injected_;
 }
 
 bool FaultFs::ConsumeFault(FaultPoint point, std::size_t* byte_limit) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (plan_.point != point) return false;
   *byte_limit = plan_.byte_limit;
   plan_ = FaultPlan{};  // one-shot

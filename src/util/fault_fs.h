@@ -3,9 +3,10 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "util/thread_annotations.h"
 
 // Fault-injectable file I/O — the single gateway for every byte the
 // repo persists or reads back (packet traces, engine snapshots).
@@ -67,11 +68,11 @@ class FaultFs {
   static FaultFs& Instance();
 
   /// Arms `plan` (one-shot; replaces any armed plan).
-  void SetPlan(const FaultPlan& plan);
+  void SetPlan(const FaultPlan& plan) FWDECAY_EXCLUDES(mu_);
   /// Disarms any pending fault.
-  void ClearPlan();
+  void ClearPlan() FWDECAY_EXCLUDES(mu_);
   /// Number of faults that have actually fired since process start.
-  std::uint64_t faults_injected() const;
+  std::uint64_t faults_injected() const FWDECAY_EXCLUDES(mu_);
 
   /// Atomically replaces `path` with `size` bytes from `data`:
   /// write `path`.tmp, fsync it, rename over `path`, fsync the parent
@@ -107,11 +108,12 @@ class FaultFs {
 
   /// Consumes the armed plan if it matches `point`; returns the plan's
   /// byte_limit through *byte_limit when it fires.
-  bool ConsumeFault(FaultPoint point, std::size_t* byte_limit);
+  bool ConsumeFault(FaultPoint point, std::size_t* byte_limit)
+      FWDECAY_EXCLUDES(mu_);
 
-  mutable std::mutex mu_;
-  FaultPlan plan_;
-  std::uint64_t faults_injected_ = 0;
+  mutable Mutex mu_;
+  FaultPlan plan_ FWDECAY_GUARDED_BY(mu_);
+  std::uint64_t faults_injected_ FWDECAY_GUARDED_BY(mu_) = 0;
 };
 
 /// RAII plan installer for tests: arms on construction, disarms on

@@ -2,6 +2,7 @@
 #define FWDECAY_UTIL_TOP_K_HEAP_H_
 
 #include <algorithm>
+#include <cmath>
 #include <cstddef>
 #include <vector>
 
@@ -66,6 +67,22 @@ class TopKHeap {
   }
 
   void Clear() { entries_.clear(); }
+
+  /// Representation audit (DESIGN.md §7): the array must stay within
+  /// capacity and keep the min-heap shape (the root is the admission
+  /// threshold both samplers rely on), and no score may be NaN — NaN
+  /// comparisons would silently corrupt the heap discipline long before
+  /// any output diverges.
+  void CheckInvariants() const {
+    FWDECAY_CHECK_MSG(entries_.size() <= k_,
+                      "TopKHeap holds more than k entries");
+    FWDECAY_CHECK_MSG(
+        std::is_heap(entries_.begin(), entries_.end(), GreaterScore),
+        "TopKHeap min-heap property violated");
+    for (const Entry& e : entries_) {
+      FWDECAY_CHECK_MSG(!std::isnan(e.score), "TopKHeap entry score is NaN");
+    }
+  }
 
   /// Replaces the internal array verbatim (checkpoint recovery). The
   /// exact array layout matters, not just the retained set: eviction

@@ -1,0 +1,446 @@
+// Meta-tests for the FWDECAY_AUDIT contract layer (DESIGN.md §7).
+//
+// Two halves:
+//
+//  1. Positive: drive every sketch, sampler, and the engine through
+//     randomized op sequences and call CheckInvariants() directly after
+//     each phase. These run in EVERY build (the methods are always
+//     compiled); they prove the audits themselves are sound — an audit
+//     that aborts on a legal state would poison the fuzz harnesses.
+//
+//  2. Corruption death tests: serialize a healthy sketch, patch bytes
+//     that Deserialize() deliberately does NOT cross-validate (forged
+//     totals, error > count, out-of-range HLL ranks), confirm
+//     Deserialize() still accepts the frame, then prove CheckInvariants()
+//     catches what the parser let through — each corruption must abort
+//     with the FWDECAY_CHECK banner. This pins down the division of
+//     labor: Deserialize() guards memory safety, CheckInvariants()
+//     guards semantic integrity.
+//
+// Byte offsets below are against util/bytes.h's ByteWriter, which
+// writes fixed-width fields host-endian with no padding, so each
+// patched field sits at a computable offset from the frame start.
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/concurrent_reservoir.h"
+#include "core/decay.h"
+#include "core/decaying_reservoir.h"
+#include "core/forward_decay.h"
+#include "dsms/engine.h"
+#include "dsms/packet.h"
+#include "sampling/biased_reservoir.h"
+#include "sampling/priority_sampling.h"
+#include "sampling/reservoir.h"
+#include "sampling/weighted_reservoir.h"
+#include "sampling/with_replacement.h"
+#include "sketch/backward_sum.h"
+#include "sketch/count_min.h"
+#include "sketch/dominance_norm.h"
+#include "sketch/exp_histogram.h"
+#include "sketch/hll.h"
+#include "sketch/kmv.h"
+#include "sketch/qdigest.h"
+#include "sketch/sliding_hh.h"
+#include "sketch/space_saving.h"
+#include "util/bytes.h"
+#include "util/random.h"
+
+namespace fwdecay {
+namespace {
+
+constexpr char kCheckBanner[] = "FWDECAY_CHECK failed";
+
+template <typename S>
+std::vector<std::uint8_t> Serialize(const S& s) {
+  ByteWriter writer;
+  s.SerializeTo(&writer);
+  return writer.bytes();
+}
+
+void PatchDouble(std::vector<std::uint8_t>* bytes, std::size_t offset,
+                 double v) {
+  ASSERT_LE(offset + sizeof v, bytes->size());
+  std::memcpy(bytes->data() + offset, &v, sizeof v);
+}
+
+void PatchU64(std::vector<std::uint8_t>* bytes, std::size_t offset,
+              std::uint64_t v) {
+  ASSERT_LE(offset + sizeof v, bytes->size());
+  std::memcpy(bytes->data() + offset, &v, sizeof v);
+}
+
+double ReadDoubleAt(const std::vector<std::uint8_t>& bytes,
+                    std::size_t offset) {
+  double v = 0.0;
+  std::memcpy(&v, bytes.data() + offset, sizeof v);
+  return v;
+}
+
+std::uint64_t ReadU64At(const std::vector<std::uint8_t>& bytes,
+                        std::size_t offset) {
+  std::uint64_t v = 0;
+  std::memcpy(&v, bytes.data() + offset, sizeof v);
+  return v;
+}
+
+// ---------------------------------------------------------------------------
+// Positive audits: legal op sequences never trip an invariant.
+// ---------------------------------------------------------------------------
+
+TEST(AuditInvariantsTest, WeightedSpaceSavingPassesThroughOps) {
+  Rng rng(0xa0d17001);
+  WeightedSpaceSaving ss(48);
+  WeightedSpaceSaving side(48);
+  for (int i = 0; i < 4000; ++i) {
+    ss.Update(rng.NextBounded(300), 0.1 + rng.NextDouble() * 5.0);
+    if (i % 3 == 0) side.Update(rng.NextBounded(300), rng.NextDouble());
+    if (i % 500 == 499) {
+      ss.ScaleWeights(0.25 + rng.NextDouble());
+      ss.CheckInvariants();
+    }
+  }
+  ss.CheckInvariants();
+  side.CheckInvariants();
+  ss.Merge(side);
+  ss.CheckInvariants();
+
+  const std::vector<std::uint8_t> bytes = Serialize(ss);
+  ByteReader reader(bytes);
+  std::optional<WeightedSpaceSaving> back =
+      WeightedSpaceSaving::Deserialize(&reader);
+  ASSERT_TRUE(back.has_value());
+  back->CheckInvariants();
+}
+
+TEST(AuditInvariantsTest, UnarySpaceSavingPassesThroughOps) {
+  Rng rng(0xa0d17002);
+  UnarySpaceSaving ss(32);
+  for (int i = 0; i < 20000; ++i) {
+    // Skewed integer stream: low keys recur, creating deep buckets.
+    ss.Update(rng.NextBounded(1 + rng.NextBounded(500)));
+    if (i % 4096 == 0) ss.CheckInvariants();
+  }
+  ss.CheckInvariants();
+
+  const std::vector<std::uint8_t> bytes = Serialize(ss);
+  ByteReader reader(bytes);
+  std::optional<UnarySpaceSaving> back = UnarySpaceSaving::Deserialize(&reader);
+  ASSERT_TRUE(back.has_value());
+  back->CheckInvariants();
+}
+
+TEST(AuditInvariantsTest, QDigestPassesThroughOps) {
+  Rng rng(0xa0d17003);
+  QDigest qd(10, 0.05);
+  QDigest side(10, 0.05);
+  for (int i = 0; i < 5000; ++i) {
+    qd.Update(rng.NextBounded(1024), 0.25 + rng.NextDouble() * 4.0);
+    if (i % 5 == 0) side.Update(rng.NextBounded(1024), rng.NextDouble());
+    if (i % 700 == 699) {
+      qd.ScaleWeights(0.5 + rng.NextDouble());
+      qd.Compress();
+      qd.CheckInvariants();
+    }
+  }
+  qd.Merge(side);
+  qd.CheckInvariants();
+  side.CheckInvariants();
+}
+
+TEST(AuditInvariantsTest, ExpHistogramsPassThroughOps) {
+  Rng rng(0xa0d17004);
+  EhCount infinite(0.05);
+  EhCount windowed(0.05, /*horizon=*/40.0);
+  EhSum sum(0.05, /*value_bits=*/12);
+  double ts = 0.0;
+  for (int i = 0; i < 30000; ++i) {
+    ts += rng.NextDouble() * 0.01;
+    infinite.Insert(ts);
+    windowed.Insert(ts);  // expires buckets past the horizon as it goes
+    sum.Insert(ts, rng.NextBounded(1 << 12));
+    if (i % 5000 == 0) {
+      infinite.CheckInvariants();
+      windowed.CheckInvariants();
+      sum.CheckInvariants();
+    }
+  }
+  infinite.CheckInvariants();
+  windowed.CheckInvariants();
+  sum.CheckInvariants();
+}
+
+TEST(AuditInvariantsTest, SlidingHeavyHittersPassThroughOps) {
+  Rng rng(0xa0d17005);
+  SlidingWindowHeavyHitters hh(0.02);
+  double ts = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    ts += rng.NextDouble() * 0.05;
+    hh.Update(ts, rng.NextBounded(1 + rng.NextBounded(400)));
+    if (i % 4000 == 0) hh.CheckInvariants();
+  }
+  hh.CheckInvariants();
+}
+
+TEST(AuditInvariantsTest, DistinctSketchesPassThroughOps) {
+  Rng rng(0xa0d17006);
+  KmvSketch kmv(64);
+  KmvSketch kmv_side(64);
+  HllSketch hll(12);
+  DominanceNormSketch dom(32);
+  HllDominanceNormSketch hdom(10);
+  for (int i = 0; i < 8000; ++i) {
+    const std::uint64_t key = rng.Next64();
+    kmv.Insert(key);
+    if (i % 2 == 0) kmv_side.Insert(rng.Next64());
+    hll.Insert(key);
+    dom.Update(rng.NextBounded(500), 0.5 + rng.NextDouble() * 20.0);
+    hdom.Update(rng.NextBounded(500), 0.5 + rng.NextDouble() * 20.0);
+  }
+  kmv.Merge(kmv_side);
+  kmv.CheckInvariants();
+  hll.CheckInvariants();
+  dom.CheckInvariants();
+  hdom.CheckInvariants();
+}
+
+TEST(AuditInvariantsTest, CountMinPassesThroughOps) {
+  Rng rng(0xa0d17007);
+  CountMinSketch cm(0.01, 0.01);
+  CountMinSketch side(0.01, 0.01);
+  for (int i = 0; i < 5000; ++i) {
+    cm.Update(rng.NextBounded(2000), 0.1 + rng.NextDouble() * 3.0);
+    side.Update(rng.NextBounded(2000), rng.NextDouble());
+  }
+  cm.ScaleWeights(0.75);
+  cm.Merge(side);
+  cm.CheckInvariants();
+  side.CheckInvariants();
+}
+
+TEST(AuditInvariantsTest, BackwardAggregatorPassesThroughOps) {
+  Rng rng(0xa0d17008);
+  BackwardDecayedAggregator agg(0.05, /*value_bits=*/10);
+  double ts = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    ts += rng.NextDouble() * 0.02;
+    agg.Insert(ts, rng.NextBounded(1 << 10));
+    if (i % 2500 == 0) agg.CheckInvariants();
+  }
+  agg.CheckInvariants();
+}
+
+TEST(AuditInvariantsTest, SamplersPassThroughOps) {
+  Rng rng(0xa0d17009);
+  const ForwardDecay<ExponentialG> decay(ExponentialG(0.05), 0.0);
+  ReservoirSampler<double> plain(32);
+  SkipReservoirSampler<double> skip(32, &rng);
+  BiasedReservoirSampler<double> biased(32);
+  PrioritySampler<double, ExponentialG> priority(decay, 32);
+  WeightedReservoirSampler<double, ExponentialG> ares(decay, 32);
+  ExpJumpsReservoirSampler<double, ExponentialG> jumps(decay, 32);
+  ForwardDecaySamplerWR<double, ExponentialG> wr(decay, 8);
+  for (int i = 0; i < 5000; ++i) {
+    const double ts = static_cast<double>(i) * 0.01;
+    const double v = rng.NextDouble();
+    plain.Add(v, rng);
+    skip.Add(v);
+    biased.Add(v, rng);
+    priority.Add(ts, v, rng);
+    ares.Add(ts, v, rng);
+    jumps.Add(ts, v, rng);
+    wr.Add(ts, v, rng);
+    if (i % 1000 == 0) {
+      plain.CheckInvariants();
+      skip.CheckInvariants();
+      biased.CheckInvariants();
+      priority.CheckInvariants();
+      ares.CheckInvariants();
+      jumps.CheckInvariants();
+      wr.CheckInvariants();
+    }
+  }
+  plain.CheckInvariants();
+  skip.CheckInvariants();
+  biased.CheckInvariants();
+  priority.CheckInvariants();
+  ares.CheckInvariants();
+  jumps.CheckInvariants();
+  wr.CheckInvariants();
+
+  DecayingReservoir reservoir(64, 0.015, 0.0);
+  ConcurrentDecayingReservoir shared(64, 0.015, 0.0);
+  for (int i = 0; i < 3000; ++i) {
+    const double ts = static_cast<double>(i) * 0.01;
+    reservoir.Update(ts, rng.NextDouble());
+    shared.Update(ts, rng.NextDouble());
+  }
+  reservoir.CheckInvariants();
+  shared.CheckInvariants();
+}
+
+TEST(AuditInvariantsTest, EngineGroupTablesPassThroughOps) {
+  Rng rng(0xa0d1700a);
+  std::string error;
+  dsms::CompiledQuery::Options options;
+  options.two_level = true;
+  options.low_level_slots = 32;
+  const std::unique_ptr<dsms::CompiledQuery> plan = dsms::CompiledQuery::Compile(
+      "select destPort, count(*) from TCP group by destPort", &error, options);
+  ASSERT_NE(plan, nullptr) << error;
+  std::unique_ptr<dsms::QueryExecution> exec = plan->NewExecution();
+  for (int i = 0; i < 20000; ++i) {
+    dsms::Packet p;
+    p.time = static_cast<double>(i) * 0.001;
+    p.src_ip = rng.NextBounded(1 << 16);
+    p.dest_ip = 0x0a000001u;
+    p.src_port = static_cast<std::uint16_t>(1024 + rng.NextBounded(100));
+    p.dest_port = static_cast<std::uint16_t>(rng.NextBounded(512));
+    p.len = 40 + rng.NextBounded(1460);
+    p.protocol = rng.NextBounded(5) == 0 ? dsms::kProtoUdp : dsms::kProtoTcp;
+    exec->Consume(p);
+    if (i % 4000 == 0) exec->CheckInvariants();
+  }
+  exec->CheckInvariants();
+  const dsms::ResultSet result = exec->Finish();
+  EXPECT_FALSE(result.rows.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Corruption death tests: byte patches Deserialize() accepts by design
+// must be caught by CheckInvariants().
+// ---------------------------------------------------------------------------
+
+// Weighted SpaceSaving v2 frame: tag u8 @0, version u8 @1, capacity u64
+// @2, total double @10, n u32 @18, then n 24-byte counters (key u64,
+// count double @+8, error double @+16) followed by n heap indices.
+constexpr std::size_t kWssTotalOffset = 10;
+constexpr std::size_t kWssCountersOffset = 22;
+
+WeightedSpaceSaving BuildWeightedSs() {
+  Rng rng(0xdead0001);
+  WeightedSpaceSaving ss(32);
+  for (int i = 0; i < 3000; ++i) {
+    ss.Update(rng.NextBounded(200), 0.5 + rng.NextDouble() * 2.0);
+  }
+  return ss;
+}
+
+TEST(AuditInvariantsDeathTest, WeightedSpaceSavingForgedTotalDies) {
+  std::vector<std::uint8_t> bytes = Serialize(BuildWeightedSs());
+  const double total = ReadDoubleAt(bytes, kWssTotalOffset);
+  // Double the claimed total: the counter array still parses (the heap
+  // order only depends on counts), but conservation is broken.
+  PatchDouble(&bytes, kWssTotalOffset, total * 2.0 + 100.0);
+  ByteReader reader(bytes);
+  std::optional<WeightedSpaceSaving> got =
+      WeightedSpaceSaving::Deserialize(&reader);
+  ASSERT_TRUE(got.has_value());  // parser accepts the forgery by design
+  EXPECT_DEATH(got->CheckInvariants(), kCheckBanner);
+}
+
+TEST(AuditInvariantsDeathTest, WeightedSpaceSavingErrorAboveCountDies) {
+  std::vector<std::uint8_t> bytes = Serialize(BuildWeightedSs());
+  // Counter 0's error field claims more overcount than the counter
+  // holds — SpaceSaving can never produce this (error is the count at
+  // takeover time, count only grows after).
+  const double count = ReadDoubleAt(bytes, kWssCountersOffset + 8);
+  PatchDouble(&bytes, kWssCountersOffset + 16, count + 1000.0);
+  ByteReader reader(bytes);
+  std::optional<WeightedSpaceSaving> got =
+      WeightedSpaceSaving::Deserialize(&reader);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_DEATH(got->CheckInvariants(), kCheckBanner);
+}
+
+// Unary SpaceSaving v1 frame: tag u8 @0, version u8 @1, capacity u64 @2,
+// total u64 @10, then counter/bucket counts and the linked structure.
+constexpr std::size_t kUssTotalOffset = 10;
+
+TEST(AuditInvariantsDeathTest, UnarySpaceSavingForgedTotalDies) {
+  Rng rng(0xdead0002);
+  UnarySpaceSaving ss(24);
+  for (int i = 0; i < 5000; ++i) {
+    ss.Update(rng.NextBounded(1 + rng.NextBounded(300)));
+  }
+  std::vector<std::uint8_t> bytes = Serialize(ss);
+  const std::uint64_t total = ReadU64At(bytes, kUssTotalOffset);
+  // The bucket/counter links all still verify; only the exact-
+  // conservation equation (sum of bucket counts == total) is violated.
+  PatchU64(&bytes, kUssTotalOffset, total + 999);
+  ByteReader reader(bytes);
+  std::optional<UnarySpaceSaving> got = UnarySpaceSaving::Deserialize(&reader);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_DEATH(got->CheckInvariants(), kCheckBanner);
+}
+
+// QDigest v2 frame: tag u8 @0, universe_bits u8 @1, eps double @2,
+// total double @10, compress counter u64 @18, node count u32 @26.
+constexpr std::size_t kQdTotalOffset = 10;
+
+TEST(AuditInvariantsDeathTest, QDigestInflatedTotalDies) {
+  Rng rng(0xdead0003);
+  QDigest qd(10, 0.05);
+  for (int i = 0; i < 2000; ++i) {
+    qd.Update(rng.NextBounded(1024), 0.5 + rng.NextDouble());
+  }
+  std::vector<std::uint8_t> bytes = Serialize(qd);
+  const double total = ReadDoubleAt(bytes, kQdTotalOffset);
+  PatchDouble(&bytes, kQdTotalOffset, total * 3.0 + 100.0);
+  ByteReader reader(bytes);
+  std::optional<QDigest> got = QDigest::Deserialize(&reader);
+  ASSERT_TRUE(got.has_value());  // documented: parser trusts the total
+  EXPECT_DEATH(got->CheckInvariants(), kCheckBanner);
+}
+
+// CountMin frame: tag u8 @0, width u64 @1, depth u64 @9, seed u64 @17,
+// total double @25, then width*depth cell doubles.
+constexpr std::size_t kCmTotalOffset = 25;
+
+TEST(AuditInvariantsDeathTest, CountMinForgedTotalDies) {
+  Rng rng(0xdead0004);
+  CountMinSketch cm(0.05, 0.05);
+  for (int i = 0; i < 2000; ++i) {
+    cm.Update(rng.NextBounded(500), 0.5 + rng.NextDouble());
+  }
+  std::vector<std::uint8_t> bytes = Serialize(cm);
+  const double total = ReadDoubleAt(bytes, kCmTotalOffset);
+  // Every row must sum to the claimed total; a forged total breaks all
+  // depth rows at once.
+  PatchDouble(&bytes, kCmTotalOffset, total + 50.0);
+  ByteReader reader(bytes);
+  std::optional<CountMinSketch> got = CountMinSketch::Deserialize(&reader);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_DEATH(got->CheckInvariants(), kCheckBanner);
+}
+
+// HLL frame: tag u8 @0, precision u8 @1, hash seed u64 @2, then 2^p
+// raw register bytes from @10.
+constexpr std::size_t kHllRegistersOffset = 10;
+
+TEST(AuditInvariantsDeathTest, HllRegisterBeyondMaxRankDies) {
+  Rng rng(0xdead0005);
+  HllSketch hll(12);
+  for (int i = 0; i < 4000; ++i) hll.Insert(rng.Next64());
+  std::vector<std::uint8_t> bytes = Serialize(hll);
+  // With precision p the rank field counts leading zeros of a (64-p)-bit
+  // suffix plus one, so no register can legally exceed 65-p (53 here).
+  // 0xFF parses fine and silently wrecks the harmonic-mean estimate.
+  bytes[kHllRegistersOffset + 7] = 0xFF;
+  ByteReader reader(bytes);
+  std::optional<HllSketch> got = HllSketch::Deserialize(&reader);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_DEATH(got->CheckInvariants(), kCheckBanner);
+}
+
+}  // namespace
+}  // namespace fwdecay

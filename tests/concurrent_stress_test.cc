@@ -1,4 +1,5 @@
-// TSan-targeted stress tests for ConcurrentDecayingReservoir.
+// TSan-targeted stress tests for the annotated concurrency facades:
+// ConcurrentDecayingReservoir and ConcurrentQueryExecution.
 //
 // These tests are about *interleavings*, not statistics: many threads
 // hammer Update/Snapshot/size/alpha concurrently, and a sharded
@@ -8,12 +9,17 @@
 // address;undefined they double as a heap-safety torture test. The
 // assertions are deliberately weak structural invariants (sizes, value
 // ranges, ordering of percentiles) — anything stronger would race with
-// the writers by design.
+// the writers by design. Under -DFWDECAY_AUDIT=ON dedicated auditor
+// threads additionally run the full CheckInvariants() representation
+// audits between writer ops (under the facade lock), interleaving the
+// audit reads with concurrent mutation.
 
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -21,6 +27,9 @@
 
 #include "core/concurrent_reservoir.h"
 #include "core/decaying_reservoir.h"
+#include "dsms/engine.h"
+#include "dsms/packet.h"
+#include "util/audit.h"
 
 namespace fwdecay {
 namespace {
@@ -77,6 +86,9 @@ TEST(ConcurrentReservoirStressTest, UpdatersVsSnapshottersSingleReservoir) {
     threads.emplace_back([&reservoir, &done] {
       while (!done.load(std::memory_order_acquire)) {
         CheckSnapshotInvariants(reservoir.Snapshot(), kCapacity);
+        // Full representation audit interleaved with the writers
+        // (audit builds only; takes the facade lock internally).
+        FWDECAY_AUDIT_INVARIANTS(reservoir);
       }
     });
   }
@@ -131,7 +143,10 @@ TEST(ConcurrentReservoirStressTest, ShardedMergeWhileWriting) {
     while (!done.load(std::memory_order_acquire)) {
       std::vector<ReservoirSnapshot> snaps;
       snaps.reserve(kShards);
-      for (auto& shard : shards) snaps.push_back(shard.Snapshot());
+      for (auto& shard : shards) {
+        FWDECAY_AUDIT_INVARIANTS(shard);
+        snaps.push_back(shard.Snapshot());
+      }
       const ReservoirSnapshot combined = MergeSnapshots(snaps);
       CheckSnapshotInvariants(combined, kShards * kCapacity);
       std::size_t total = 0;
@@ -151,6 +166,71 @@ TEST(ConcurrentReservoirStressTest, ShardedMergeWhileWriting) {
   const ReservoirSnapshot combined = MergeSnapshots(snaps);
   EXPECT_EQ(combined.size, static_cast<std::size_t>(kShards) * kCapacity);
   CheckSnapshotInvariants(combined, kShards * kCapacity);
+}
+
+// 4 ingest threads feed one standing two-level query through the
+// ConcurrentQueryExecution facade while an auditor thread interleaves
+// stats reads (and, under -DFWDECAY_AUDIT=ON, full group-table audits)
+// with the writers. Two-level mode with few slots forces continuous
+// low->high evictions under contention.
+TEST(ConcurrentQueryExecutionStressTest, IngestersVsAuditorTwoLevelQuery) {
+  static constexpr int kIngesters = 4;
+  static constexpr int kPacketsPerThread = 20000;
+  static constexpr std::uint32_t kDestPorts = 64;
+
+  static constexpr std::size_t kLowSlots = 16;  // << groups: evict a lot
+
+  std::string error;
+  dsms::CompiledQuery::Options options;
+  options.two_level = true;
+  options.low_level_slots = kLowSlots;
+  const std::unique_ptr<dsms::CompiledQuery> plan = dsms::CompiledQuery::Compile(
+      "select destPort, count(*) from TCP group by destPort", &error, options);
+  ASSERT_NE(plan, nullptr) << error;
+  dsms::ConcurrentQueryExecution exec(*plan);
+
+  std::atomic<bool> done{false};
+  std::vector<std::thread> threads;
+  threads.reserve(kIngesters + 1);
+  for (int u = 0; u < kIngesters; ++u) {
+    threads.emplace_back([&exec, u] {
+      for (int i = 0; i < kPacketsPerThread; ++i) {
+        dsms::Packet p;
+        p.time = static_cast<double>(i) * 0.001;
+        p.src_ip = static_cast<std::uint32_t>(u + 1);
+        p.dest_ip = 0x0a000001u;
+        p.src_port = static_cast<std::uint16_t>(1024 + u);
+        p.dest_port =
+            static_cast<std::uint16_t>((i * 2654435761u + u) % kDestPorts);
+        p.len = 64;
+        // Every fifth packet is UDP: the TCP filter must drop it, so
+        // tuples_aggregated stays strictly below packets_consumed.
+        p.protocol = (i % 5 == 0) ? dsms::kProtoUdp : dsms::kProtoTcp;
+        exec.Consume(p);
+      }
+    });
+  }
+  threads.emplace_back([&exec, &done] {  // auditor / stats reader
+    while (!done.load(std::memory_order_acquire)) {
+      FWDECAY_AUDIT_INVARIANTS(exec);
+      // GroupCount spans both levels; an evicted key can re-enter the
+      // low table, so each of the kLowSlots may hold one duplicate of a
+      // group already promoted to the high table.
+      ASSERT_LE(exec.GroupCount(),
+                static_cast<std::size_t>(kDestPorts) + kLowSlots);
+      ASSERT_LE(exec.tuples_aggregated(), exec.packets_consumed());
+    }
+  });
+
+  for (int i = 0; i < kIngesters; ++i) threads[i].join();
+  done.store(true, std::memory_order_release);
+  threads.back().join();
+
+  EXPECT_EQ(exec.packets_consumed(),
+            static_cast<std::uint64_t>(kIngesters) * kPacketsPerThread);
+  exec.CheckInvariants();  // direct call: audits in every build, not just AUDIT
+  const dsms::ResultSet result = exec.Finish();
+  EXPECT_EQ(result.rows.size(), static_cast<std::size_t>(kDestPorts));
 }
 
 }  // namespace

@@ -20,6 +20,7 @@
 #include "core/quantiles.h"
 #include "sampling/weighted_reservoir.h"
 #include "sampling/with_replacement.h"
+#include "util/audit.h"
 #include "util/random.h"
 #include "util/stats.h"
 #include "util/zipf.h"
@@ -205,6 +206,10 @@ TEST_P(ForwardDecayPropertyTest, MergeEqualsUnion) {
     }
   }
   a.Merge(b);
+  // Representation audits after the merge (no-op unless -DFWDECAY_AUDIT=ON).
+  FWDECAY_AUDIT_INVARIANTS(hh_all.sketch());
+  FWDECAY_AUDIT_INVARIANTS(hh_a.sketch());
+  FWDECAY_AUDIT_INVARIANTS(hh_b.sketch());
   EXPECT_NEAR(a.Count(40.0), all.Count(40.0),
               1e-9 * std::max(1.0, all.Count(40.0)));
   EXPECT_NEAR(a.Sum(40.0), all.Sum(40.0),
@@ -230,6 +235,9 @@ TEST_P(ForwardDecayPropertyTest, HeavyHitterRecallAgainstExact) {
     const std::uint64_t key = zipf.Next(rng);
     hh.Add(ts, key);
     ref.Add(ts, key, 0.0);
+    // Per-op structural audit of the underlying SpaceSaving sketch
+    // (no-op unless the build sets -DFWDECAY_AUDIT=ON; see util/audit.h).
+    FWDECAY_AUDIT_INVARIANTS(hh.sketch());
   }
   const AnyForwardG g = GetParam().g;
   const auto w = [g](Timestamp ti, Timestamp t) { return g.G(ti) / g.G(t); };
@@ -259,6 +267,8 @@ TEST_P(ForwardDecayPropertyTest, QuantileRankWithinEps) {
     const std::uint64_t v = rng.NextBounded(1 << 10);
     dq.Add(ts, v);
     ref.Add(ts, v, static_cast<double>(v));
+    // Per-op structural audit of the underlying q-digest.
+    FWDECAY_AUDIT_INVARIANTS(dq.digest());
   }
   const AnyForwardG g = GetParam().g;
   const auto w = [g](Timestamp ti, Timestamp t) { return g.G(ti) / g.G(t); };
@@ -292,6 +302,8 @@ TEST_P(ForwardDecayPropertyTest, SingleDrawSamplersFollowStaticWeights) {
     for (int i = 0; i < 5; ++i) {
       wr.Add(stamps[i], i, rng);
       wrs.Add(stamps[i], i, rng);
+      FWDECAY_AUDIT_INVARIANTS(wr);
+      FWDECAY_AUDIT_INVARIANTS(wrs);
     }
     const auto s1 = wr.Sample();
     const auto s2 = wrs.Sample();

@@ -24,6 +24,7 @@
 
 #include "core/exact_reference.h"
 #include "sketch/qdigest.h"
+#include "util/audit.h"
 #include "util/bytes.h"
 #include "util/random.h"
 
@@ -137,6 +138,10 @@ TEST(QDigestDifferentialFuzzTest, AgreesWithExactReference) {
           break;
         }
       }
+      // Representation audit after every mutating op (no-op unless the
+      // build sets -DFWDECAY_AUDIT=ON; see util/audit.h).
+      FWDECAY_AUDIT_INVARIANTS(qd);
+      FWDECAY_AUDIT_INVARIANTS(side);
     }
     if (oracle.Size() == 0) continue;
 

@@ -32,6 +32,7 @@
 
 #include "core/exact_reference.h"
 #include "sketch/space_saving.h"
+#include "util/audit.h"
 #include "util/bytes.h"
 #include "util/random.h"
 #include "util/zipf.h"
@@ -147,6 +148,10 @@ TEST(SpaceSavingDifferentialFuzzTest, AgreesWithExactReference) {
           break;
         }
       }
+      // Representation audit after every mutating op (no-op unless the
+      // build sets -DFWDECAY_AUDIT=ON; see util/audit.h).
+      FWDECAY_AUDIT_INVARIANTS(ss);
+      FWDECAY_AUDIT_INVARIANTS(side);
     }
     const double total = oracle.TotalWeight();
     const double slack = 1e-9 * (1.0 + total);
