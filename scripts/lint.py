@@ -34,6 +34,15 @@ Enforced invariants (each maps to a documented repo convention):
              in src/ outright: the first bypasses the annotated layer
              entirely, the second leaks threads past every join-based
              shutdown path the tests exercise.
+  hotpath    The batched aggregation hot path — the bodies of
+             UpdateGroup() and UpdateBatch() in src/ — must not
+             construct a std::vector<Value> / ValueColumn: these
+             functions run once per group-run per batch, and a
+             container construction there reintroduces exactly the
+             per-tuple allocation the batch layer exists to remove
+             (DESIGN.md §8).  References (`const ValueColumn&`) and
+             span parameters are fine; reuse of preallocated member
+             scratch is the sanctioned pattern.
 
 Usage: scripts/lint.py [--root DIR]
 Exit status is 0 when clean, 1 when any finding is reported.
@@ -71,6 +80,50 @@ LOCKING_PRIMITIVE = re.compile(
 LOCKING_BANNED = re.compile(r"\bpthread_\w+\s*\(|\.\s*detach\s*\(\s*\)")
 THREAD_ANNOTATIONS_INCLUDE = re.compile(
     r'#\s*include\s*"util/thread_annotations\.h"')
+HOTPATH_FUNC = re.compile(r"\b(?:UpdateGroup|UpdateBatch)\s*\(")
+HOTPATH_CONTAINER = re.compile(
+    r"\bstd\s*::\s*vector\s*<\s*Value\s*>|\bValueColumn\b")
+
+
+def match_forward(code: str, i: int, open_ch: str, close_ch: str) -> int:
+    """Returns the index of the delimiter closing the one at code[i]
+    (assumes code[i] == open_ch), or len(code) when unbalanced."""
+    depth = 0
+    while i < len(code):
+        if code[i] == open_ch:
+            depth += 1
+        elif code[i] == close_ch:
+            depth -= 1
+            if depth == 0:
+                return i
+        i += 1
+    return len(code)
+
+
+def check_hotpath(rel: str, code: str, findings: list) -> None:
+    for m in HOTPATH_FUNC.finditer(code):
+        params_end = match_forward(code, m.end() - 1, "(", ")")
+        # Scan past trailer tokens (const/override/annotation macros) to
+        # the body `{`; a `;` first means declaration or call site.
+        j = params_end + 1
+        while j < len(code) and code[j] not in "{;":
+            j += 1
+        if j >= len(code) or code[j] == ";":
+            continue
+        body = code[j:match_forward(code, j, "{", "}")]
+        for cm in HOTPATH_CONTAINER.finditer(body):
+            # References and span element types are reads, not
+            # constructions: skip `const ValueColumn` and `...Column&`.
+            if body[: cm.start()].rstrip().endswith("const"):
+                continue
+            if body[cm.end():].lstrip().startswith("&"):
+                continue
+            line = code[: j + cm.start()].count("\n") + 1
+            findings.append(
+                (rel, line,
+                 "hotpath: Value-container construction inside "
+                 "UpdateGroup/UpdateBatch (reuse member scratch; "
+                 f"see DESIGN.md §8): `{cm.group(0).strip()}`"))
 
 
 def strip_comments_and_strings(text: str) -> str:
@@ -155,6 +208,8 @@ def lint_file(root: pathlib.Path, path: pathlib.Path, findings: list) -> None:
         scan_pattern(rel, code, IO_BANNED,
                      "raw file I/O in library code (use util/fault_fs.h)",
                      findings)
+    if rel.startswith("src/"):
+        check_hotpath(rel, code, findings)
     if rel.startswith("src/") and rel not in LOCKING_EXEMPT:
         scan_pattern(rel, code, LOCKING_BANNED,
                      "raw pthread / detached thread in library code",

@@ -9,6 +9,8 @@
 #   FWDECAY_AUDIT     ON enables the invariant-contract layer: the fuzz
 #                     and property suites then run a full CheckInvariants
 #                     audit after every mutating op   [default: OFF]
+#   FWDECAY_SHARDS    max shard count for the bench_ingest sweep (powers
+#                     of two, 1..N); forwarded as --shards  [default: 8]
 #   CMAKE_GENERATOR   only applied when BUILD_DIR is fresh; an existing
 #                     tree keeps whatever generator configured it (cmake
 #                     hard-errors on a generator mismatch otherwise).
@@ -18,6 +20,7 @@ cd "$(dirname "$0")/.."
 BUILD_DIR="${BUILD_DIR:-build}"
 CMAKE_BUILD_TYPE="${CMAKE_BUILD_TYPE:-Release}"
 FWDECAY_AUDIT="${FWDECAY_AUDIT:-OFF}"
+FWDECAY_SHARDS="${FWDECAY_SHARDS:-8}"
 
 CMAKE_ARGS=(-B "${BUILD_DIR}" -S . "-DCMAKE_BUILD_TYPE=${CMAKE_BUILD_TYPE}"
             "-DFWDECAY_AUDIT=${FWDECAY_AUDIT}")
@@ -39,4 +42,7 @@ ctest --test-dir "${BUILD_DIR}" --output-on-failure 2>&1 | tee test_output.txt
 {
   for b in "${BUILD_DIR}"/bench/bench_fig*; do "$b"; done
   "./${BUILD_DIR}/bench/bench_micro"
+  # Ingest-path throughput sweep (per-tuple / batched / sharded); appends
+  # a JSON line per mode to BENCH_ingest.json at the repo root.
+  "./${BUILD_DIR}/bench/bench_ingest" "--shards=${FWDECAY_SHARDS}"
 } 2>&1 | tee bench_output.txt

@@ -2,7 +2,9 @@
 #define FWDECAY_CORE_AGGREGATES_H_
 
 #include <cmath>
+#include <cstddef>
 #include <optional>
+#include <span>
 
 #include "core/forward_decay.h"
 #include "util/bytes.h"
@@ -35,6 +37,12 @@ class DecayedCount {
   void AddN(Timestamp ti, double n) {
     FWDECAY_DCHECK(n >= 0.0);
     weighted_ += n * decay_.StaticWeight(ti);
+  }
+
+  /// Records a column of arrival times (batched ingest path). Identical
+  /// to calling Add() per element in order — same FP accumulation order.
+  void AddBatch(std::span<const Timestamp> times) {
+    for (Timestamp ti : times) weighted_ += decay_.StaticWeight(ti);
   }
 
   /// The decayed count evaluated at query time t.
@@ -101,6 +109,19 @@ class DecayedMoments {
     w0_ += w;
     w1_ += w * v;
     w2_ += w * v * v;
+  }
+
+  /// Records parallel time/value columns (batched ingest path).
+  /// Identical to calling Add(times[i], values[i]) for i ascending.
+  void AddBatch(std::span<const Timestamp> times,
+                std::span<const double> values) {
+    FWDECAY_DCHECK(times.size() == values.size());
+    for (std::size_t i = 0; i < times.size(); ++i) {
+      const double w = decay_.StaticWeight(times[i]);
+      w0_ += w;
+      w1_ += w * values[i];
+      w2_ += w * values[i] * values[i];
+    }
   }
 
   /// Decayed count at query time t.
@@ -194,6 +215,14 @@ class DecayedExtremum {
       best_scaled_ = scaled;
       best_ = Item{ti, v};
     }
+  }
+
+  /// Records parallel time/value columns (batched ingest path).
+  /// Identical to calling Add(times[i], values[i]) for i ascending.
+  void AddBatch(std::span<const Timestamp> times,
+                std::span<const double> values) {
+    FWDECAY_DCHECK(times.size() == values.size());
+    for (std::size_t i = 0; i < times.size(); ++i) Add(times[i], values[i]);
   }
 
   /// The decayed extremum value at query time t; nullopt if empty.

@@ -21,7 +21,11 @@ std::string Lower(std::string s) {
 
 class CountAgg : public AggState {
  public:
-  void Update(const std::vector<Value>&) override { ++count_; }
+  void Update(std::span<const Value>) override { ++count_; }
+  void UpdateBatch(std::span<const ValueColumn>,
+                   std::span<const std::uint32_t> rows) override {
+    count_ += static_cast<std::int64_t>(rows.size());
+  }
   void Merge(AggState& other) override {
     count_ += static_cast<CountAgg&>(other).count_;
   }
@@ -40,10 +44,20 @@ class CountAgg : public AggState {
 
 class SumAgg : public AggState {
  public:
-  void Update(const std::vector<Value>& args) override {
+  void Update(std::span<const Value> args) override {
     FWDECAY_CHECK_MSG(!args.empty(), "sum() needs an argument");
     if (!args[0].is_int()) all_int_ = false;
     sum_ += args[0].AsDouble();
+  }
+  void UpdateBatch(std::span<const ValueColumn> args_columns,
+                   std::span<const std::uint32_t> rows) override {
+    FWDECAY_CHECK_MSG(!args_columns.empty(), "sum() needs an argument");
+    const ValueColumn& col = args_columns[0];
+    // Row order preserved: FP addition order matches the per-tuple path.
+    for (std::uint32_t row : rows) {
+      if (!col[row].is_int()) all_int_ = false;
+      sum_ += col[row].AsDouble();
+    }
   }
   void Merge(AggState& other) override {
     auto& o = static_cast<SumAgg&>(other);
@@ -75,10 +89,17 @@ class SumAgg : public AggState {
 
 class AvgAgg : public AggState {
  public:
-  void Update(const std::vector<Value>& args) override {
+  void Update(std::span<const Value> args) override {
     FWDECAY_CHECK_MSG(!args.empty(), "avg() needs an argument");
     sum_ += args[0].AsDouble();
     ++count_;
+  }
+  void UpdateBatch(std::span<const ValueColumn> args_columns,
+                   std::span<const std::uint32_t> rows) override {
+    FWDECAY_CHECK_MSG(!args_columns.empty(), "avg() needs an argument");
+    const ValueColumn& col = args_columns[0];
+    for (std::uint32_t row : rows) sum_ += col[row].AsDouble();
+    count_ += static_cast<std::int64_t>(rows.size());
   }
   void Merge(AggState& other) override {
     auto& o = static_cast<AvgAgg&>(other);
@@ -108,9 +129,16 @@ class AvgAgg : public AggState {
 /// the FDDISTINCT UDAF).
 class CountDistinctAgg : public AggState {
  public:
-  void Update(const std::vector<Value>& args) override {
+  void Update(std::span<const Value> args) override {
     FWDECAY_CHECK_MSG(!args.empty(), "count(distinct) needs an argument");
     seen_.insert(args[0].Hash());
+  }
+  void UpdateBatch(std::span<const ValueColumn> args_columns,
+                   std::span<const std::uint32_t> rows) override {
+    FWDECAY_CHECK_MSG(!args_columns.empty(),
+                      "count(distinct) needs an argument");
+    const ValueColumn& col = args_columns[0];
+    for (std::uint32_t row : rows) seen_.insert(col[row].Hash());
   }
   void Merge(AggState& other) override {
     auto& o = static_cast<CountDistinctAgg&>(other);
@@ -150,9 +178,15 @@ class CountDistinctAgg : public AggState {
 template <bool kIsMax>
 class ExtremumAgg : public AggState {
  public:
-  void Update(const std::vector<Value>& args) override {
+  void Update(std::span<const Value> args) override {
     FWDECAY_CHECK_MSG(!args.empty(), "min()/max() needs an argument");
     Offer(args[0]);
+  }
+  void UpdateBatch(std::span<const ValueColumn> args_columns,
+                   std::span<const std::uint32_t> rows) override {
+    FWDECAY_CHECK_MSG(!args_columns.empty(), "min()/max() needs an argument");
+    const ValueColumn& col = args_columns[0];
+    for (std::uint32_t row : rows) Offer(col[row]);
   }
   void Merge(AggState& other) override {
     auto& o = static_cast<ExtremumAgg&>(other);
@@ -190,6 +224,20 @@ class ExtremumAgg : public AggState {
 };
 
 }  // namespace
+
+void AggState::UpdateBatch(std::span<const ValueColumn> args_columns,
+                           std::span<const std::uint32_t> rows) {
+  // Gather each selected row into the member scratch and fall back to
+  // the per-tuple Update — same call sequence, same state evolution,
+  // no per-tuple allocation (the scratch buffer is reused).
+  update_scratch_.resize(args_columns.size());
+  for (std::uint32_t row : rows) {
+    for (std::size_t a = 0; a < args_columns.size(); ++a) {
+      update_scratch_[a] = args_columns[a][row];
+    }
+    Update(update_scratch_);
+  }
+}
 
 bool AggState::SerializeTo(ByteWriter*) const {
   // Aggregates that predate checkpointing opt out by default; the engine

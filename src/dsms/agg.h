@@ -1,8 +1,10 @@
 #ifndef FWDECAY_DSMS_AGG_H_
 #define FWDECAY_DSMS_AGG_H_
 
+#include <cstdint>
 #include <functional>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -20,13 +22,29 @@
 
 namespace fwdecay::dsms {
 
+/// One evaluated argument expression over a batch's selected rows
+/// (column-at-a-time layout; see EvalExprBatch in expr.h).
+using ValueColumn = std::vector<Value>;
+
 /// Per-group aggregation state. One instance per (group, aggregate call).
 class AggState {
  public:
   virtual ~AggState() = default;
 
   /// Folds one tuple's evaluated argument list into the state.
-  virtual void Update(const std::vector<Value>& args) = 0;
+  virtual void Update(std::span<const Value> args) = 0;
+
+  /// Folds a run of tuples from evaluated argument *columns*:
+  /// args_columns[a][row] is argument `a` of the tuple at dense row
+  /// index `row`; `rows` lists the (ascending) rows belonging to this
+  /// state's group. The default implementation gathers each row into a
+  /// reused scratch buffer and calls Update(), preserving per-tuple
+  /// semantics bit for bit; hot aggregates override it with a tight
+  /// column loop. Overrides must process rows in order — samplers draw
+  /// from their RNG per row, and FP accumulation order defines the
+  /// engine's bit-exactness contract (DESIGN.md §8).
+  virtual void UpdateBatch(std::span<const ValueColumn> args_columns,
+                           std::span<const std::uint32_t> rows);
 
   /// Merges another state of the same concrete type (used by the
   /// two-level aggregation split when the low level evicts a partial
@@ -49,6 +67,12 @@ class AggState {
   /// instance of the same aggregate. Returns false on truncated or
   /// corrupt input (the instance is then unusable and must be dropped).
   virtual bool RestoreFrom(ByteReader* reader);
+
+ private:
+  // Row-gather buffer for the default UpdateBatch (reused across calls
+  // so the batched path never allocates per tuple). Pure scratch: not
+  // part of the aggregate's logical state, never serialized.
+  std::vector<Value> update_scratch_;
 };
 
 /// Creates a fresh state for one group.

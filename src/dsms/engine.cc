@@ -4,6 +4,7 @@
 #include <cctype>
 #include <cmath>
 #include <cstring>
+#include <span>
 #include <unordered_map>
 #include <utility>
 
@@ -364,16 +365,22 @@ void QueryExecution::ShedLowestWeightGroup() {
   --high_group_count_;
 }
 
-void QueryExecution::UpdateGroup(Group& group, const Packet& p) {
-  group.weight += ForwardWeight(p.time);
-  ++group.tuples;
-  std::vector<Value> args;
+void QueryExecution::UpdateGroup(Group& group, const PacketBatch& batch,
+                                 std::size_t run_begin, std::size_t run_len) {
+  // Weights first, per row in stream order, then the aggregates — the
+  // exact side-effect order of the old per-tuple loop, just regrouped:
+  // per-slot agg states are independent, so interleaving slots per row
+  // (old) and rows per slot (here) yield identical per-state sequences.
+  const double* times = batch.time();
+  for (std::size_t r = run_begin; r < run_begin + run_len; ++r) {
+    group.weight += ForwardWeight(times[sel_[r]]);
+  }
+  group.tuples += run_len;
+  const std::span<const std::uint32_t> rows(row_index_.data() + run_begin,
+                                            run_len);
   for (std::size_t slot = 0; slot < plan_->agg_names_.size(); ++slot) {
-    args.clear();
-    for (const auto& arg_expr : plan_->agg_args_[slot]) {
-      args.push_back(EvalExpr(*arg_expr, p));
-    }
-    group.aggs[slot]->Update(args);
+    group.aggs[slot]->UpdateBatch(
+        std::span<const ValueColumn>(arg_cols_[slot]), rows);
   }
 }
 
@@ -394,37 +401,138 @@ void QueryExecution::EvictToHigh(LowSlot& slot) {
 }
 
 void QueryExecution::Consume(const Packet& p) {
-  ++packets_consumed_;
-  if (plan_->protocol_filter_ != 0 && p.protocol != plan_->protocol_filter_) {
-    return;
-  }
-  if (plan_->where_ != nullptr && !EvalPredicate(*plan_->where_, p)) return;
-  ++tuples_aggregated_;
+  single_.Clear();
+  single_.Append(p);
+  Consume(single_);
+}
 
-  std::vector<Value> key;
-  key.reserve(plan_->group_exprs_.size());
-  for (const auto& g : plan_->group_exprs_) key.push_back(EvalExpr(*g, p));
-  const std::uint64_t hash = HashKey(key);
+void QueryExecution::Consume(const PacketBatch& batch) {
+  const std::size_t n_in = batch.size();
+  packets_consumed_ += n_in;
+  if (n_in == 0) return;
 
-  if (!plan_->options_.two_level) {
-    Group* group = FindOrCreateHighGroup(hash, std::move(key));
-    UpdateGroup(*group, p);
-    return;
+  // Selection vector over the batch: start from the protocol filter
+  // (cheap byte compare over the column), then narrow by WHERE.
+  sel_.resize(n_in);
+  std::size_t n = 0;
+  if (plan_->protocol_filter_ != 0) {
+    const std::uint8_t* proto = batch.protocol();
+    for (std::size_t i = 0; i < n_in; ++i) {
+      if (proto[i] == plan_->protocol_filter_) {
+        sel_[n++] = static_cast<std::uint32_t>(i);
+      }
+    }
+  } else {
+    for (std::size_t i = 0; i < n_in; ++i) {
+      sel_[i] = static_cast<std::uint32_t>(i);
+    }
+    n = n_in;
+  }
+  if (plan_->where_ != nullptr && n > 0) {
+    n = EvalPredicateBatch(*plan_->where_, batch, sel_.data(), n,
+                           &batch_scratch_);
+  }
+  AggregateSelection(batch, n);
+}
+
+void QueryExecution::ConsumeFiltered(const PacketBatch& batch,
+                                     const std::uint32_t* rows,
+                                     std::size_t n) {
+  // The router already applied protocol + WHERE; count only the rows
+  // this shard owns so tuples_aggregated_ <= packets_consumed_ holds
+  // per shard.
+  packets_consumed_ += n;
+  sel_.assign(rows, rows + n);
+  AggregateSelection(batch, n);
+}
+
+void QueryExecution::AggregateSelection(const PacketBatch& batch,
+                                        std::size_t n) {
+  if (n == 0) return;
+  tuples_aggregated_ += n;
+  const std::size_t num_groups = plan_->group_exprs_.size();
+  const std::size_t num_slots = plan_->agg_names_.size();
+
+  // Evaluate group-key and aggregate-argument columns once per batch,
+  // dense over the selection (column i = row sel_[i]).
+  key_cols_.resize(num_groups);
+  for (std::size_t g = 0; g < num_groups; ++g) {
+    EvalExprBatch(*plan_->group_exprs_[g], batch, sel_.data(), n,
+                  &batch_scratch_, &key_cols_[g]);
+  }
+  arg_cols_.resize(num_slots);
+  for (std::size_t slot = 0; slot < num_slots; ++slot) {
+    const auto& args = plan_->agg_args_[slot];
+    arg_cols_[slot].resize(args.size());
+    for (std::size_t a = 0; a < args.size(); ++a) {
+      EvalExprBatch(*args[a], batch, sel_.data(), n, &batch_scratch_,
+                    &arg_cols_[slot][a]);
+    }
   }
 
-  // Two-level path: direct-mapped low-level table; collisions evict the
-  // incumbent partial group to the high level (GS's low/high split).
-  LowSlot& slot = low_table_[hash % low_table_.size()];
-  if (slot.occupied && (slot.hash != hash || !KeysEqual(slot.group.key, key))) {
-    EvictToHigh(slot);
+  // Group hash per selected row — the same seed/combine sequence as
+  // HashKey, replicated over the key columns.
+  hashes_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint64_t h = 0x12345678abcdef01ULL;
+    for (std::size_t g = 0; g < num_groups; ++g) {
+      h = HashCombine(h, key_cols_[g][i].Hash());
+    }
+    hashes_[i] = h;
   }
-  if (!slot.occupied) {
-    slot.occupied = true;
-    slot.hash = hash;
-    slot.group.key = std::move(key);
-    slot.group.aggs = MakeAggStates(plan_->agg_names_);
+  row_index_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    row_index_[i] = static_cast<std::uint32_t>(i);
   }
-  UpdateGroup(slot.group, p);
+
+  // Apply runs of consecutive equal-key rows. A run resolves its group
+  // once; re-resolving an identical key between the run's rows would be
+  // side-effect-free (same slot, no eviction, no shed), so skipping the
+  // re-resolution leaves every observable state bit-identical to the
+  // per-row loop. Runs never span distinct keys, so eviction and
+  // shedding still happen at exactly the per-tuple points.
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i + 1;
+    while (j < n && hashes_[j] == hashes_[i]) {
+      bool same = true;
+      for (std::size_t g = 0; g < num_groups; ++g) {
+        if (!(key_cols_[g][j] == key_cols_[g][i])) {
+          same = false;
+          break;
+        }
+      }
+      if (!same) break;
+      ++j;
+    }
+
+    key_scratch_.clear();
+    key_scratch_.reserve(num_groups);
+    for (std::size_t g = 0; g < num_groups; ++g) {
+      key_scratch_.push_back(key_cols_[g][i]);
+    }
+    const std::uint64_t hash = hashes_[i];
+
+    Group* target = nullptr;
+    if (!plan_->options_.two_level) {
+      target = FindOrCreateHighGroup(hash, std::move(key_scratch_));
+    } else {
+      LowSlot& slot = low_table_[hash % low_table_.size()];
+      if (slot.occupied &&
+          (slot.hash != hash || !KeysEqual(slot.group.key, key_scratch_))) {
+        EvictToHigh(slot);
+      }
+      if (!slot.occupied) {
+        slot.occupied = true;
+        slot.hash = hash;
+        slot.group.key = std::move(key_scratch_);
+        slot.group.aggs = MakeAggStates(plan_->agg_names_);
+      }
+      target = &slot.group;
+    }
+    UpdateGroup(*target, batch, i, j - i);
+    i = j;
+  }
 }
 
 std::size_t QueryExecution::GroupCount() const {
@@ -500,11 +608,56 @@ void QueryExecution::CheckInvariants() const {
   }
 }
 
-ResultSet QueryExecution::Finish() {
-  // Flush remaining low-level partial groups.
+void QueryExecution::FlushLowLevel() {
   for (LowSlot& slot : low_table_) {
     if (slot.occupied) EvictToHigh(slot);
   }
+}
+
+void QueryExecution::MergeFrom(QueryExecution& other) {
+  // Deterministic key order, so merged state (and any later snapshot)
+  // does not depend on the donor's hash-map iteration order.
+  std::vector<Group*> groups;
+  groups.reserve(other.high_group_count_);
+  for (auto& [hash, bucket] : other.high_->map) {
+    for (Group& g : bucket) groups.push_back(&g);
+  }
+  std::sort(groups.begin(), groups.end(), [](const Group* a, const Group* b) {
+    return KeyLess(a->key, b->key);
+  });
+  for (Group* g : groups) {
+    const std::uint64_t hash = HashKey(g->key);
+    Group* existing = nullptr;
+    auto it = high_->map.find(hash);
+    if (it != high_->map.end()) {
+      for (Group& e : it->second) {
+        if (KeysEqual(e.key, g->key)) {
+          existing = &e;
+          break;
+        }
+      }
+    }
+    if (existing == nullptr) {
+      // Whole-group move: no aggregate Merge, so even non-mergeable
+      // UDAFs survive as long as the donor's keys are disjoint (shard
+      // routing guarantees that).
+      high_->map[hash].push_back(std::move(*g));
+      ++high_group_count_;
+    } else {
+      for (std::size_t slot = 0; slot < existing->aggs.size(); ++slot) {
+        existing->aggs[slot]->Merge(*g->aggs[slot]);
+      }
+      existing->weight += g->weight;
+      existing->tuples += g->tuples;
+    }
+  }
+  other.high_->map.clear();
+  other.high_group_count_ = 0;
+}
+
+ResultSet QueryExecution::Finish() {
+  // Flush remaining low-level partial groups.
+  FlushLowLevel();
 
   ResultSet result;
   for (const auto& out : plan_->outputs_) result.columns.push_back(out.column_name);
@@ -799,6 +952,164 @@ bool QueryExecution::Restore(const std::string& path, std::string* error) {
     return false;
   }
   return true;
+}
+
+// ---------------------------------------------------------------------------
+// Sharded execution
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Seed for remixing the group hash into a shard index. Must be a
+// *different* function of the key than the group hash itself: the
+// low-level table indexes by `hash % slots`, so routing by `hash % N`
+// would correlate shard choice with slot index and skew low-table
+// occupancy per shard.
+constexpr std::uint64_t kShardRouteSeed = 0x5ca1ab1e0ddba11ULL;
+
+}  // namespace
+
+ShardedQueryExecution::ShardedQueryExecution(const CompiledQuery& plan,
+                                             std::size_t num_shards)
+    : plan_(&plan) {
+  FWDECAY_CHECK_MSG(num_shards > 0,
+                    "ShardedQueryExecution needs at least one shard");
+  shards_.reserve(num_shards);
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    auto shard = std::make_unique<Shard>();
+    shard->exec = plan.NewExecution();
+    shards_.push_back(std::move(shard));
+  }
+}
+
+void ShardedQueryExecution::Consume(const PacketBatch& batch) {
+  packets_offered_.fetch_add(batch.size(), std::memory_order_relaxed);
+  const std::size_t n_in = batch.size();
+  if (n_in == 0) return;
+
+  // Router state is local to the call: filtering and hashing run
+  // lock-free on the ingest thread; only the per-shard application
+  // takes that shard's lock.
+  BatchEvalScratch scratch;
+  std::vector<std::uint32_t> sel(n_in);
+  std::size_t n = 0;
+  if (plan_->protocol_filter_ != 0) {
+    const std::uint8_t* proto = batch.protocol();
+    for (std::size_t i = 0; i < n_in; ++i) {
+      if (proto[i] == plan_->protocol_filter_) {
+        sel[n++] = static_cast<std::uint32_t>(i);
+      }
+    }
+  } else {
+    for (std::size_t i = 0; i < n_in; ++i) {
+      sel[i] = static_cast<std::uint32_t>(i);
+    }
+    n = n_in;
+  }
+  if (plan_->where_ != nullptr && n > 0) {
+    n = EvalPredicateBatch(*plan_->where_, batch, sel.data(), n, &scratch);
+  }
+  if (n == 0) return;
+
+  const std::size_t num_groups = plan_->group_exprs_.size();
+  std::vector<std::vector<Value>> key_cols(num_groups);
+  for (std::size_t g = 0; g < num_groups; ++g) {
+    EvalExprBatch(*plan_->group_exprs_[g], batch, sel.data(), n, &scratch,
+                  &key_cols[g]);
+  }
+
+  std::vector<std::vector<std::uint32_t>> shard_rows(shards_.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint64_t h = 0x12345678abcdef01ULL;
+    for (std::size_t g = 0; g < num_groups; ++g) {
+      h = HashCombine(h, key_cols[g][i].Hash());
+    }
+    const std::size_t s =
+        static_cast<std::size_t>(HashU64(h, kShardRouteSeed) % shards_.size());
+    shard_rows[s].push_back(sel[i]);
+  }
+
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    if (shard_rows[s].empty()) continue;
+    Shard& shard = *shards_[s];
+    MutexLock lock(shard.mu);
+    shard.exec->ConsumeFiltered(batch, shard_rows[s].data(),
+                                shard_rows[s].size());
+  }
+}
+
+ResultSet ShardedQueryExecution::Finish() {
+  // Each shard flushes its low level under its own policy (so per-shard
+  // shedding bounds apply through the flush, exactly as in the
+  // non-sharded Finish), then donates its groups to a fresh policy-free
+  // execution. Shard key spaces are disjoint, so the donation is a pure
+  // move — no aggregate Merge, no FP reassociation, no re-shedding.
+  std::unique_ptr<QueryExecution> merged = plan_->NewExecution();
+  for (auto& shard : shards_) {
+    MutexLock lock(shard->mu);
+    shard->exec->FlushLowLevel();
+    merged->MergeFrom(*shard->exec);
+  }
+  return merged->Finish();
+}
+
+void ShardedQueryExecution::SetOverloadPolicy(const OverloadPolicy& policy) {
+  for (auto& shard : shards_) {
+    MutexLock lock(shard->mu);
+    shard->exec->SetOverloadPolicy(policy);
+  }
+}
+
+std::uint64_t ShardedQueryExecution::tuples_aggregated() const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    MutexLock lock(shard->mu);
+    total += shard->exec->tuples_aggregated();
+  }
+  return total;
+}
+
+std::uint64_t ShardedQueryExecution::low_level_evictions() const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    MutexLock lock(shard->mu);
+    total += shard->exec->low_level_evictions();
+  }
+  return total;
+}
+
+std::uint64_t ShardedQueryExecution::groups_shed() const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    MutexLock lock(shard->mu);
+    total += shard->exec->groups_shed();
+  }
+  return total;
+}
+
+std::uint64_t ShardedQueryExecution::tuples_shed() const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    MutexLock lock(shard->mu);
+    total += shard->exec->tuples_shed();
+  }
+  return total;
+}
+
+std::size_t ShardedQueryExecution::GroupCount() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    MutexLock lock(shard->mu);
+    total += shard->exec->GroupCount();
+  }
+  return total;
+}
+
+void ShardedQueryExecution::CheckInvariants() const {
+  for (const auto& shard : shards_) {
+    MutexLock lock(shard->mu);
+    shard->exec->CheckInvariants();
+  }
 }
 
 std::string ResultSet::ToString() const {

@@ -1,6 +1,8 @@
 #ifndef FWDECAY_DSMS_ENGINE_H_
 #define FWDECAY_DSMS_ENGINE_H_
 
+#include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -9,6 +11,7 @@
 #include <vector>
 
 #include "dsms/agg.h"
+#include "dsms/batch.h"
 #include "dsms/expr.h"
 #include "dsms/packet.h"
 #include "dsms/parser.h"
@@ -95,6 +98,7 @@ class CompiledQuery {
 
  private:
   friend class QueryExecution;
+  friend class ShardedQueryExecution;  // router reads filter + group exprs
 
   struct OutputItem {
     // Bound post-aggregation expression: kGroupRef/kAggRef placeholders
@@ -129,8 +133,18 @@ class QueryExecution {
   QueryExecution(const QueryExecution&) = delete;
   QueryExecution& operator=(const QueryExecution&) = delete;
 
-  /// Processes one packet (filter -> group -> aggregate update).
+  /// Processes one packet. Implemented as a one-element batch through
+  /// Consume(const PacketBatch&), so both entry points share one code
+  /// path and produce bit-identical state.
   void Consume(const Packet& p);
+
+  /// Processes a columnar batch: filter (protocol + WHERE) over the
+  /// whole batch, group-key hashing over the surviving selection, then
+  /// grouped aggregate updates over runs of consecutive equal-key rows.
+  /// Produces exactly the state a Consume(Packet) loop over the same
+  /// rows would — same FP accumulation order, same RNG draw order, same
+  /// eviction and shedding decisions (DESIGN.md §8).
+  void Consume(const PacketBatch& batch);
 
   /// Flushes the low level and produces the final result table, sorted
   /// by group key for determinism.
@@ -183,12 +197,37 @@ class QueryExecution {
   void CheckInvariants() const;
 
  private:
+  friend class ShardedQueryExecution;
+
   struct Group;
   struct LowSlot;
 
   Group* FindOrCreateHighGroup(std::uint64_t hash,
                                std::vector<Value>&& key);
-  void UpdateGroup(Group& group, const Packet& p);
+  // Applies one run of consecutive equal-key rows to a group: forward
+  // weights per row in order, then one UpdateBatch per aggregate slot
+  // over the run. The batched hot path — must not allocate per tuple
+  // (scripts/lint.py rule `hotpath`).
+  void UpdateGroup(Group& group, const PacketBatch& batch,
+                   std::size_t run_begin, std::size_t run_len);
+  // Groups and aggregates a pre-filtered selection: sel_[0..n) holds the
+  // surviving batch rows; key/argument columns are evaluated densely
+  // over it and applied run by run.
+  void AggregateSelection(const PacketBatch& batch, std::size_t n);
+  // Sharded entry point (router already applied protocol + WHERE):
+  // `rows[0..n)` are ascending batch rows this execution owns.
+  void ConsumeFiltered(const PacketBatch& batch, const std::uint32_t* rows,
+                       std::size_t n);
+  // Evicts every occupied low-level slot to the high level (the first
+  // phase of Finish(); shards flush before merging).
+  void FlushLowLevel();
+  // Moves/merges every high-level group out of `other` into this
+  // execution, in deterministic key order. Groups absent here are moved
+  // wholesale (no aggregate Merge call — works for non-mergeable UDAFs
+  // as long as the key spaces are disjoint, which shard routing
+  // guarantees); colliding keys merge slot by slot. `other` is left with
+  // an empty high level. Shedding policy is NOT consulted.
+  void MergeFrom(QueryExecution& other);
   void EvictToHigh(LowSlot& slot);
   double ForwardWeight(double ts) const;
   void ShedLowestWeightGroup();
@@ -210,6 +249,19 @@ class QueryExecution {
   std::vector<LowSlot> low_table_;
   struct HighTable;
   std::unique_ptr<HighTable> high_;
+
+  // Batched-ingest scratch, reused across Consume(batch) calls so the
+  // steady state allocates nothing per batch. Pure working memory —
+  // never part of a snapshot (FWDSNAP1 layout is unchanged).
+  BatchEvalScratch batch_scratch_;
+  std::vector<std::uint32_t> sel_;        // surviving batch rows
+  std::vector<std::uint32_t> row_index_;  // iota over the selection
+  std::vector<std::uint64_t> hashes_;     // group hash per selected row
+  std::vector<std::vector<Value>> key_cols_;  // per group expr, dense
+  // Per aggregate slot, per argument: dense column over the selection.
+  std::vector<std::vector<std::vector<Value>>> arg_cols_;
+  std::vector<Value> key_scratch_;        // run key under construction
+  PacketBatch single_{1};                 // Consume(Packet) wrapper
 };
 
 /// Thread-safe facade over QueryExecution — the deployment shape where
@@ -233,6 +285,13 @@ class ConcurrentQueryExecution {
   void Consume(const Packet& p) FWDECAY_EXCLUDES(mu_) {
     MutexLock lock(mu_);
     exec_->Consume(p);
+  }
+
+  /// Processes a columnar batch under the lock; safe from any thread.
+  /// Amortizes the lock acquisition over the whole batch.
+  void Consume(const PacketBatch& batch) FWDECAY_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    exec_->Consume(batch);
   }
 
   /// Flushes and produces the final result table (serializes against
@@ -287,6 +346,71 @@ class ConcurrentQueryExecution {
  private:
   mutable Mutex mu_;
   std::unique_ptr<QueryExecution> exec_ FWDECAY_PT_GUARDED_BY(mu_);
+};
+
+/// Hash-partitioned parallel execution: N independent per-shard
+/// QueryExecutions, each behind its own mutex. The caller's thread acts
+/// as the router — it filters the batch and computes group-key hashes
+/// lock-free, partitions the surviving rows by a *remixed* group hash
+/// (independent of the low-level table's `hash % slots` indexing, so
+/// shard routing does not bias slot occupancy), and applies each
+/// shard's rows under that shard's lock only. Ingest threads working on
+/// different shards never contend.
+///
+/// Because a group's key always hashes to the same shard, every group
+/// is owned wholly by one shard. Finish() flushes each shard's low
+/// level and moves the disjoint group sets into one merged execution —
+/// forward decay makes this exact: group state is a sum of static
+/// weights g(t_i - L), so a partitioned sum equals the stream's sum
+/// (Section VI-B). With an OverloadPolicy installed, each shard
+/// enforces `max_groups` on its own table, so the sharded execution
+/// retains at most num_shards * max_groups groups (DESIGN.md §8).
+class ShardedQueryExecution {
+ public:
+  /// The plan must outlive this object (as with NewExecution()).
+  ShardedQueryExecution(const CompiledQuery& plan, std::size_t num_shards);
+
+  ShardedQueryExecution(const ShardedQueryExecution&) = delete;
+  ShardedQueryExecution& operator=(const ShardedQueryExecution&) = delete;
+
+  /// Routes one batch across the shards; safe to call concurrently from
+  /// any number of ingest threads.
+  void Consume(const PacketBatch& batch);
+
+  /// Flushes and merges every shard, then finalizes. Call once, after
+  /// ingest has quiesced: the merge moves group state out of the shards.
+  ResultSet Finish();
+
+  /// Installs the policy on every shard; each shard bounds its own
+  /// group table, so the total bound is num_shards * max_groups.
+  void SetOverloadPolicy(const OverloadPolicy& policy);
+
+  /// Packets offered to Consume() (router-level, pre-filter).
+  std::uint64_t packets_consumed() const {
+    return packets_offered_.load(std::memory_order_relaxed);
+  }
+
+  // Shard-summed counters (each shard read under its lock).
+  std::uint64_t tuples_aggregated() const;
+  std::uint64_t low_level_evictions() const;
+  std::uint64_t groups_shed() const;
+  std::uint64_t tuples_shed() const;
+  std::size_t GroupCount() const;
+
+  std::size_t num_shards() const { return shards_.size(); }
+
+  /// Runs the group-table audit on every shard, each under its lock.
+  void CheckInvariants() const;
+
+ private:
+  struct Shard {
+    mutable Mutex mu;
+    std::unique_ptr<QueryExecution> exec FWDECAY_PT_GUARDED_BY(mu);
+  };
+
+  const CompiledQuery* plan_;
+  std::vector<std::unique_ptr<Shard>> shards_;  // Mutex is not movable
+  std::atomic<std::uint64_t> packets_offered_{0};
 };
 
 }  // namespace fwdecay::dsms

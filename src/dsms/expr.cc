@@ -185,47 +185,68 @@ Value ReadColumn(const std::string& name, const Packet& p) {
 
 namespace {
 
-// Applies a built-in scalar function to already-evaluated arguments;
-// shared by the per-tuple and post-aggregation evaluators.
-Value ApplyScalarFn(const std::string& name, const std::vector<Value>& args) {
+// Built-in scalar functions, resolved from the call name once per
+// expression (per batch in the batched evaluator) instead of re-matching
+// the string per tuple.
+enum class ScalarFn {
+  kExp, kLn, kSqrt, kAbs, kFloor, kPow, kPolyweight, kExpweight,
+};
+
+ScalarFn ResolveScalarFn(const std::string& name) {
   const std::string fn = Lower(name);
+  if (fn == "exp") return ScalarFn::kExp;
+  if (fn == "ln") return ScalarFn::kLn;
+  if (fn == "sqrt") return ScalarFn::kSqrt;
+  if (fn == "abs") return ScalarFn::kAbs;
+  if (fn == "floor") return ScalarFn::kFloor;
+  if (fn == "pow") return ScalarFn::kPow;
+  if (fn == "polyweight") return ScalarFn::kPolyweight;
+  if (fn == "expweight") return ScalarFn::kExpweight;
+  FWDECAY_CHECK_MSG(false, "unknown scalar function (aggregates cannot be "
+                           "evaluated per tuple)");
+  return ScalarFn::kExp;
+}
+
+// Applies a resolved scalar function to already-evaluated arguments;
+// shared by the per-tuple, post-aggregation and batched evaluators.
+Value ApplyScalarFn(ScalarFn fn, const std::vector<Value>& args) {
   auto arg = [&](std::size_t i) {
     FWDECAY_CHECK_MSG(i < args.size(), "missing scalar function argument");
     return args[i];
   };
-  if (fn == "exp") return Value(std::exp(arg(0).AsDouble()));
-  if (fn == "ln") return Value(std::log(arg(0).AsDouble()));
-  if (fn == "sqrt") return Value(std::sqrt(arg(0).AsDouble()));
-  if (fn == "abs") return Value(std::fabs(arg(0).AsDouble()));
-  if (fn == "floor") {
-    return Value(static_cast<std::int64_t>(std::floor(arg(0).AsDouble())));
+  switch (fn) {
+    case ScalarFn::kExp: return Value(std::exp(arg(0).AsDouble()));
+    case ScalarFn::kLn: return Value(std::log(arg(0).AsDouble()));
+    case ScalarFn::kSqrt: return Value(std::sqrt(arg(0).AsDouble()));
+    case ScalarFn::kAbs: return Value(std::fabs(arg(0).AsDouble()));
+    case ScalarFn::kFloor:
+      return Value(static_cast<std::int64_t>(std::floor(arg(0).AsDouble())));
+    case ScalarFn::kPow:
+      return Value(std::pow(arg(0).AsDouble(), arg(1).AsDouble()));
+    // Syntactic sugar for forward-decay weights (Section IV suggests
+    // exactly this kind of helper): the landmark is the start of the
+    // `period`-long bucket containing t, so
+    //   polyweight(time, 60, 2)  ==  (time % 60)^2
+    //   expweight(time, 60, 0.1) ==  exp(0.1 * (time % 60))
+    case ScalarFn::kPolyweight: {
+      const double offset = std::fmod(arg(0).AsDouble(), arg(1).AsDouble());
+      return Value(std::pow(offset, arg(2).AsDouble()));
+    }
+    case ScalarFn::kExpweight: {
+      const double offset = std::fmod(arg(0).AsDouble(), arg(1).AsDouble());
+      return Value(std::exp(arg(2).AsDouble() * offset));
+    }
   }
-  if (fn == "pow") {
-    return Value(std::pow(arg(0).AsDouble(), arg(1).AsDouble()));
-  }
-  // Syntactic sugar for forward-decay weights (Section IV suggests
-  // exactly this kind of helper): the landmark is the start of the
-  // `period`-long bucket containing t, so
-  //   polyweight(time, 60, 2)  ==  (time % 60)^2
-  //   expweight(time, 60, 0.1) ==  exp(0.1 * (time % 60))
-  if (fn == "polyweight") {
-    const double offset = std::fmod(arg(0).AsDouble(), arg(1).AsDouble());
-    return Value(std::pow(offset, arg(2).AsDouble()));
-  }
-  if (fn == "expweight") {
-    const double offset = std::fmod(arg(0).AsDouble(), arg(1).AsDouble());
-    return Value(std::exp(arg(2).AsDouble() * offset));
-  }
-  FWDECAY_CHECK_MSG(false, "unknown scalar function (aggregates cannot be "
-                           "evaluated per tuple)");
+  FWDECAY_CHECK_MSG(false, "unreachable scalar function");
   return Value();
 }
 
 Value EvalScalarCall(const Expr& e, const Packet& p) {
+  const ScalarFn fn = ResolveScalarFn(e.name);
   std::vector<Value> args;
   args.reserve(e.args.size());
   for (const auto& a : e.args) args.push_back(EvalExpr(*a, p));
-  return ApplyScalarFn(e.name, args);
+  return ApplyScalarFn(fn, args);
 }
 
 }  // namespace
@@ -314,7 +335,7 @@ Value EvalPostExpr(const Expr& e, const std::vector<Value>& agg_values,
       for (const auto& a : e.args) {
         args.push_back(EvalPostExpr(*a, agg_values, group_key));
       }
-      return ApplyScalarFn(e.name, args);
+      return ApplyScalarFn(ResolveScalarFn(e.name), args);
     }
     case Expr::Kind::kBinary: {
       if (e.op == BinOp::kAnd) {
@@ -361,6 +382,289 @@ bool EvalPostPredicate(const Expr& e, const std::vector<Value>& agg_values,
   if (v.is_int()) return v.AsInt() != 0;
   if (v.is_double()) return v.AsDouble() != 0.0;
   return !v.AsString().empty();
+}
+
+// ---------------------------------------------------------------------------
+// Batched evaluation
+// ---------------------------------------------------------------------------
+
+namespace {
+
+bool Truthy(const Value& v) {
+  if (v.is_int()) return v.AsInt() != 0;
+  if (v.is_double()) return v.AsDouble() != 0.0;
+  return !v.AsString().empty();
+}
+
+// Packet schema columns, resolved from the name once per batch. Mirrors
+// ReadColumn exactly (same types, same int widening).
+enum class ColumnId {
+  kTime, kDtime, kSrcIp, kDestIp, kSrcPort, kDestPort, kLen, kProtocol,
+};
+
+ColumnId ResolveColumn(const std::string& name) {
+  const std::string n = Lower(name);
+  if (n == "time") return ColumnId::kTime;
+  if (n == "dtime") return ColumnId::kDtime;
+  if (n == "srcip") return ColumnId::kSrcIp;
+  if (n == "destip") return ColumnId::kDestIp;
+  if (n == "srcport") return ColumnId::kSrcPort;
+  if (n == "destport") return ColumnId::kDestPort;
+  if (n == "len") return ColumnId::kLen;
+  if (n == "protocol") return ColumnId::kProtocol;
+  FWDECAY_CHECK_MSG(false, "unknown column");
+  return ColumnId::kTime;
+}
+
+void ReadColumnBatch(ColumnId col, const PacketBatch& batch,
+                     const std::uint32_t* sel, std::size_t n,
+                     std::vector<Value>* out) {
+  switch (col) {
+    case ColumnId::kTime:
+      for (std::size_t i = 0; i < n; ++i) {
+        out->push_back(Value(static_cast<std::int64_t>(batch.time()[sel[i]])));
+      }
+      return;
+    case ColumnId::kDtime:
+      for (std::size_t i = 0; i < n; ++i) {
+        out->push_back(Value(batch.time()[sel[i]]));
+      }
+      return;
+    case ColumnId::kSrcIp:
+      for (std::size_t i = 0; i < n; ++i) {
+        out->push_back(
+            Value(static_cast<std::int64_t>(batch.src_ip()[sel[i]])));
+      }
+      return;
+    case ColumnId::kDestIp:
+      for (std::size_t i = 0; i < n; ++i) {
+        out->push_back(
+            Value(static_cast<std::int64_t>(batch.dest_ip()[sel[i]])));
+      }
+      return;
+    case ColumnId::kSrcPort:
+      for (std::size_t i = 0; i < n; ++i) {
+        out->push_back(
+            Value(static_cast<std::int64_t>(batch.src_port()[sel[i]])));
+      }
+      return;
+    case ColumnId::kDestPort:
+      for (std::size_t i = 0; i < n; ++i) {
+        out->push_back(
+            Value(static_cast<std::int64_t>(batch.dest_port()[sel[i]])));
+      }
+      return;
+    case ColumnId::kLen:
+      for (std::size_t i = 0; i < n; ++i) {
+        out->push_back(Value(static_cast<std::int64_t>(batch.len()[sel[i]])));
+      }
+      return;
+    case ColumnId::kProtocol:
+      for (std::size_t i = 0; i < n; ++i) {
+        out->push_back(
+            Value(static_cast<std::int64_t>(batch.protocol()[sel[i]])));
+      }
+      return;
+  }
+}
+
+// RAII pool borrow, so early CHECK-aborts cannot leak pool entries on
+// the normal path and the release calls cannot be forgotten.
+class ScratchColumn {
+ public:
+  explicit ScratchColumn(BatchEvalScratch* scratch)
+      : scratch_(scratch), col_(scratch->AcquireColumn()) {}
+  ~ScratchColumn() { scratch_->ReleaseColumn(col_); }
+  ScratchColumn(const ScratchColumn&) = delete;
+  ScratchColumn& operator=(const ScratchColumn&) = delete;
+  std::vector<Value>* get() { return col_; }
+  std::vector<Value>* operator->() { return col_; }
+  std::vector<Value>& operator*() { return *col_; }
+
+ private:
+  BatchEvalScratch* scratch_;
+  std::vector<Value>* col_;
+};
+
+class ScratchIndex {
+ public:
+  explicit ScratchIndex(BatchEvalScratch* scratch)
+      : scratch_(scratch), idx_(scratch->AcquireIndex()) {}
+  ~ScratchIndex() { scratch_->ReleaseIndex(idx_); }
+  ScratchIndex(const ScratchIndex&) = delete;
+  ScratchIndex& operator=(const ScratchIndex&) = delete;
+  std::vector<std::uint32_t>* get() { return idx_; }
+  std::vector<std::uint32_t>* operator->() { return idx_; }
+  std::vector<std::uint32_t>& operator*() { return *idx_; }
+
+ private:
+  BatchEvalScratch* scratch_;
+  std::vector<std::uint32_t>* idx_;
+};
+
+}  // namespace
+
+std::size_t EvalPredicateBatch(const Expr& e, const PacketBatch& batch,
+                               std::uint32_t* sel, std::size_t n,
+                               BatchEvalScratch* scratch) {
+  if (e.kind == Expr::Kind::kBinary && e.op == BinOp::kAnd) {
+    // Conjunction: the right operand sees only rows the left accepted —
+    // the batched form of the per-tuple short-circuit.
+    n = EvalPredicateBatch(*e.args[0], batch, sel, n, scratch);
+    return EvalPredicateBatch(*e.args[1], batch, sel, n, scratch);
+  }
+  if (e.kind == Expr::Kind::kBinary && e.op == BinOp::kOr) {
+    // Disjunction: rows the left operand accepted pass outright; the
+    // right operand is evaluated only on the remaining rows, then the
+    // two ascending accept lists are merged back into sel.
+    ScratchIndex all(scratch);
+    ScratchIndex rest(scratch);
+    ScratchIndex merged(scratch);
+    all->assign(sel, sel + n);
+    const std::size_t n_lhs =
+        EvalPredicateBatch(*e.args[0], batch, sel, n, scratch);
+    // Ascending set difference: rows in `all` the left operand rejected.
+    std::size_t a = 0;
+    for (std::size_t i = 0; i < all->size(); ++i) {
+      if (a < n_lhs && sel[a] == (*all)[i]) {
+        ++a;
+      } else {
+        rest->push_back((*all)[i]);
+      }
+    }
+    const std::size_t n_rhs = EvalPredicateBatch(
+        *e.args[1], batch, rest->data(), rest->size(), scratch);
+    merged->reserve(n_lhs + n_rhs);
+    std::size_t i = 0;
+    std::size_t j = 0;
+    while (i < n_lhs || j < n_rhs) {
+      if (j >= n_rhs || (i < n_lhs && sel[i] < (*rest)[j])) {
+        merged->push_back(sel[i++]);
+      } else {
+        merged->push_back((*rest)[j++]);
+      }
+    }
+    std::copy(merged->begin(), merged->end(), sel);
+    return merged->size();
+  }
+  // Any other expression: evaluate as a column and keep the truthy rows.
+  ScratchColumn col(scratch);
+  EvalExprBatch(e, batch, sel, n, scratch, col.get());
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (Truthy((*col)[i])) sel[kept++] = sel[i];
+  }
+  return kept;
+}
+
+void EvalExprBatch(const Expr& e, const PacketBatch& batch,
+                   const std::uint32_t* sel, std::size_t n,
+                   BatchEvalScratch* scratch, std::vector<Value>* out) {
+  out->clear();
+  out->reserve(n);
+  switch (e.kind) {
+    case Expr::Kind::kColumn:
+      ReadColumnBatch(ResolveColumn(e.name), batch, sel, n, out);
+      return;
+    case Expr::Kind::kLiteral:
+      for (std::size_t i = 0; i < n; ++i) out->push_back(e.literal);
+      return;
+    case Expr::Kind::kStar:
+      for (std::size_t i = 0; i < n; ++i) {
+        out->push_back(Value(std::int64_t{1}));
+      }
+      return;
+    case Expr::Kind::kAggRef:
+    case Expr::Kind::kGroupRef:
+      FWDECAY_CHECK_MSG(false,
+                        "post-aggregation placeholder evaluated per tuple — "
+                        "use EvalPostExpr");
+      return;
+    case Expr::Kind::kNeg: {
+      ScratchColumn operand(scratch);
+      EvalExprBatch(*e.args[0], batch, sel, n, scratch, operand.get());
+      for (std::size_t i = 0; i < n; ++i) {
+        out->push_back(Value(std::int64_t{0}) - (*operand)[i]);
+      }
+      return;
+    }
+    case Expr::Kind::kCall: {
+      const ScalarFn fn = ResolveScalarFn(e.name);
+      // Evaluate every argument as a column, then apply the resolved
+      // function row by row through a reused argument buffer.
+      std::vector<std::vector<Value>*> arg_cols;
+      arg_cols.reserve(e.args.size());
+      for (const auto& a : e.args) {
+        arg_cols.push_back(scratch->AcquireColumn());
+        EvalExprBatch(*a, batch, sel, n, scratch, arg_cols.back());
+      }
+      ScratchColumn row_args(scratch);
+      row_args->resize(e.args.size());
+      for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t a = 0; a < arg_cols.size(); ++a) {
+          (*row_args)[a] = (*arg_cols[a])[i];
+        }
+        out->push_back(ApplyScalarFn(fn, *row_args));
+      }
+      for (std::vector<Value>* col : arg_cols) scratch->ReleaseColumn(col);
+      return;
+    }
+    case Expr::Kind::kBinary: {
+      if (e.op == BinOp::kAnd || e.op == BinOp::kOr) {
+        // Logical operators in value context: run the short-circuiting
+        // selection machinery on a copy of the selection, then expand
+        // the surviving-row set back into a 0/1 column.
+        ScratchIndex accepted(scratch);
+        accepted->assign(sel, sel + n);
+        const std::size_t n_true =
+            EvalPredicateBatch(e, batch, accepted->data(), n, scratch);
+        std::size_t next = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+          const bool hit = next < n_true && (*accepted)[next] == sel[i];
+          if (hit) ++next;
+          out->push_back(Value(std::int64_t{hit}));
+        }
+        return;
+      }
+      ScratchColumn lhs(scratch);
+      ScratchColumn rhs(scratch);
+      EvalExprBatch(*e.args[0], batch, sel, n, scratch, lhs.get());
+      EvalExprBatch(*e.args[1], batch, sel, n, scratch, rhs.get());
+      for (std::size_t i = 0; i < n; ++i) {
+        const Value& a = (*lhs)[i];
+        const Value& b = (*rhs)[i];
+        switch (e.op) {
+          case BinOp::kAdd: out->push_back(a + b); break;
+          case BinOp::kSub: out->push_back(a - b); break;
+          case BinOp::kMul: out->push_back(a * b); break;
+          case BinOp::kDiv: out->push_back(a / b); break;
+          case BinOp::kMod: out->push_back(a % b); break;
+          case BinOp::kEq: out->push_back(Value(std::int64_t{a == b})); break;
+          case BinOp::kNe:
+            out->push_back(Value(std::int64_t{!(a == b)}));
+            break;
+          case BinOp::kLt:
+            out->push_back(Value(std::int64_t{Compare(a, b) < 0}));
+            break;
+          case BinOp::kLe:
+            out->push_back(Value(std::int64_t{Compare(a, b) <= 0}));
+            break;
+          case BinOp::kGt:
+            out->push_back(Value(std::int64_t{Compare(a, b) > 0}));
+            break;
+          case BinOp::kGe:
+            out->push_back(Value(std::int64_t{Compare(a, b) >= 0}));
+            break;
+          case BinOp::kAnd:
+          case BinOp::kOr:
+            FWDECAY_CHECK_MSG(false, "unreachable logical operator");
+            break;
+        }
+      }
+      return;
+    }
+  }
+  FWDECAY_CHECK_MSG(false, "unreachable expression kind");
 }
 
 }  // namespace fwdecay::dsms

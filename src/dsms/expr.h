@@ -1,10 +1,13 @@
 #ifndef FWDECAY_DSMS_EXPR_H_
 #define FWDECAY_DSMS_EXPR_H_
 
+#include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "dsms/batch.h"
 #include "dsms/packet.h"
 #include "dsms/value.h"
 
@@ -88,6 +91,70 @@ Value EvalPostExpr(const Expr& e, const std::vector<Value>& agg_values,
 /// Truthiness of a post-aggregation predicate (HAVING).
 bool EvalPostPredicate(const Expr& e, const std::vector<Value>& agg_values,
                        const std::vector<Value>& group_key);
+
+/// Reusable buffer pool for the batch evaluators. Intermediate value
+/// columns and index vectors are acquired per expression node and
+/// released on the way out, so steady-state batch evaluation performs no
+/// allocation at all once the pool has warmed up. Not thread-safe: one
+/// scratch per evaluating thread.
+class BatchEvalScratch {
+ public:
+  /// Borrows an empty value column; Release() returns it to the pool.
+  std::vector<Value>* AcquireColumn() {
+    if (free_columns_.empty()) {
+      owned_columns_.push_back(std::make_unique<std::vector<Value>>());
+      return owned_columns_.back().get();
+    }
+    std::vector<Value>* col = free_columns_.back();
+    free_columns_.pop_back();
+    return col;
+  }
+  void ReleaseColumn(std::vector<Value>* col) {
+    col->clear();
+    free_columns_.push_back(col);
+  }
+
+  /// Borrows an empty row-index vector (for selection merging).
+  std::vector<std::uint32_t>* AcquireIndex() {
+    if (free_indexes_.empty()) {
+      owned_indexes_.push_back(
+          std::make_unique<std::vector<std::uint32_t>>());
+      return owned_indexes_.back().get();
+    }
+    std::vector<std::uint32_t>* idx = free_indexes_.back();
+    free_indexes_.pop_back();
+    return idx;
+  }
+  void ReleaseIndex(std::vector<std::uint32_t>* idx) {
+    idx->clear();
+    free_indexes_.push_back(idx);
+  }
+
+ private:
+  std::vector<std::unique_ptr<std::vector<Value>>> owned_columns_;
+  std::vector<std::vector<Value>*> free_columns_;
+  std::vector<std::unique_ptr<std::vector<std::uint32_t>>> owned_indexes_;
+  std::vector<std::vector<std::uint32_t>*> free_indexes_;
+};
+
+/// Batched predicate evaluation over a selection vector. `sel[0..n)`
+/// holds ascending row indices into `batch`; on return it has been
+/// compacted in place to the rows where `e` is true and the new count is
+/// returned. Logical AND/OR keep the per-tuple short-circuit semantics
+/// (the right operand is only evaluated on rows the left operand did not
+/// decide), so guarded expressions like `len > 0 and 100/len > 2` behave
+/// exactly as in EvalPredicate.
+std::size_t EvalPredicateBatch(const Expr& e, const PacketBatch& batch,
+                               std::uint32_t* sel, std::size_t n,
+                               BatchEvalScratch* scratch);
+
+/// Batched scalar-expression evaluation: fills `*out` with one Value per
+/// selected row (out->size() == n, out[i] = e evaluated on row sel[i]).
+/// Column and scalar-function names are resolved once per call, not once
+/// per row. `out` is caller-owned; its capacity is reused across calls.
+void EvalExprBatch(const Expr& e, const PacketBatch& batch,
+                   const std::uint32_t* sel, std::size_t n,
+                   BatchEvalScratch* scratch, std::vector<Value>* out);
 
 }  // namespace fwdecay::dsms
 

@@ -114,4 +114,20 @@ std::vector<Packet> PacketGenerator::Generate(std::size_t n) {
   return out;
 }
 
+std::size_t PacketGenerator::NextBatch(PacketBatch* batch,
+                                       std::size_t max_packets) {
+  std::size_t appended = 0;
+  while (appended < max_packets && !batch->full()) {
+    batch->Append(Next());
+    ++appended;
+  }
+  return appended;
+}
+
+PacketBatch PacketGenerator::GenerateBatch(std::size_t n) {
+  PacketBatch batch(n > 0 ? n : 1);
+  NextBatch(&batch, n);
+  return batch;
+}
+
 }  // namespace fwdecay::dsms

@@ -1,10 +1,12 @@
 #ifndef FWDECAY_DSMS_NETGEN_H_
 #define FWDECAY_DSMS_NETGEN_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <vector>
 
+#include "dsms/batch.h"
 #include "dsms/packet.h"
 #include "util/random.h"
 #include "util/zipf.h"
@@ -60,6 +62,15 @@ class PacketGenerator {
 
   /// Convenience: materializes the next `n` packets.
   std::vector<Packet> Generate(std::size_t n);
+
+  /// Appends up to `max_packets` packets to `*batch` (also bounded by
+  /// the batch's remaining capacity); returns the number appended. The
+  /// packet sequence is identical to repeated Next() calls, so batched
+  /// and per-tuple consumers see the same trace.
+  std::size_t NextBatch(PacketBatch* batch, std::size_t max_packets);
+
+  /// Convenience: the next `n` packets as one batch of capacity `n`.
+  PacketBatch GenerateBatch(std::size_t n);
 
   const TraceConfig& config() const { return config_; }
 

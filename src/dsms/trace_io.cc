@@ -1,5 +1,6 @@
 #include "dsms/trace_io.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "util/bytes.h"
@@ -82,6 +83,42 @@ bool WriteTrace(const std::string& path, const std::vector<Packet>& packets,
   const std::uint32_t crc = Crc32c(w.bytes().data(), w.bytes().size());
   w.WriteU32(crc);
   return FaultFs::Instance().AtomicWriteFile(path, w.bytes(), error);
+}
+
+bool WriteTrace(const std::string& path,
+                const std::vector<PacketBatch>& batches, std::string* error) {
+  ByteWriter w;
+  for (char c : kMagicV2) w.WriteU8(static_cast<std::uint8_t>(c));
+  std::uint64_t total = 0;
+  for (const PacketBatch& b : batches) total += b.size();
+  w.WriteU64(total);
+  for (const PacketBatch& b : batches) {
+    for (std::size_t i = 0; i < b.size(); ++i) AppendPacket(&w, b.Get(i));
+  }
+  const std::uint32_t crc = Crc32c(w.bytes().data(), w.bytes().size());
+  w.WriteU32(crc);
+  return FaultFs::Instance().AtomicWriteFile(path, w.bytes(), error);
+}
+
+std::optional<std::vector<PacketBatch>> ReadTraceBatches(
+    const std::string& path, std::size_t batch_capacity, std::string* error) {
+  if (batch_capacity == 0) {
+    *error = "batch capacity must be positive";
+    return std::nullopt;
+  }
+  // Trace reading is I/O- and validation-bound; rebatching the parsed
+  // rows costs one extra pass and keeps a single format decoder.
+  auto packets = ReadTrace(path, error);
+  if (!packets) return std::nullopt;
+  std::vector<PacketBatch> batches;
+  batches.reserve(packets->size() / batch_capacity + 1);
+  for (std::size_t i = 0; i < packets->size(); i += batch_capacity) {
+    PacketBatch batch(batch_capacity);
+    const std::size_t end = std::min(i + batch_capacity, packets->size());
+    for (std::size_t j = i; j < end; ++j) batch.Append((*packets)[j]);
+    batches.push_back(std::move(batch));
+  }
+  return batches;
 }
 
 std::optional<std::vector<Packet>> ReadTrace(const std::string& path,

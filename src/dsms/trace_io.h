@@ -1,10 +1,12 @@
 #ifndef FWDECAY_DSMS_TRACE_IO_H_
 #define FWDECAY_DSMS_TRACE_IO_H_
 
+#include <cstddef>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "dsms/batch.h"
 #include "dsms/packet.h"
 
 // Binary packet-trace files: record and replay workloads so experiments
@@ -24,6 +26,16 @@ bool WriteTrace(const std::string& path, const std::vector<Packet>& packets,
 /// Reads a trace; nullopt (and *error) on missing/corrupt/truncated files.
 std::optional<std::vector<Packet>> ReadTrace(const std::string& path,
                                              std::string* error);
+
+/// Writes a trace from columnar batches, concatenated in order. The
+/// file is byte-identical to WriteTrace over the flattened packets.
+bool WriteTrace(const std::string& path,
+                const std::vector<PacketBatch>& batches, std::string* error);
+
+/// Reads a trace into batches of `batch_capacity` packets each (the
+/// last batch may be partial). Same validation as ReadTrace.
+std::optional<std::vector<PacketBatch>> ReadTraceBatches(
+    const std::string& path, std::size_t batch_capacity, std::string* error);
 
 }  // namespace fwdecay::dsms
 

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cmath>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -44,7 +45,7 @@ std::string RenderSample(std::vector<double> items) {
   return out;
 }
 
-std::size_t OptSize(const std::vector<Value>& args, std::size_t index,
+std::size_t OptSize(std::span<const Value> args, std::size_t index,
                     std::size_t fallback) {
   if (args.size() <= index) return fallback;
   const std::int64_t v = args[index].AsInt();
@@ -52,9 +53,27 @@ std::size_t OptSize(const std::vector<Value>& args, std::size_t index,
   return static_cast<std::size_t>(v);
 }
 
-double OptDouble(const std::vector<Value>& args, std::size_t index,
+double OptDouble(std::span<const Value> args, std::size_t index,
                  double fallback) {
   return args.size() <= index ? fallback : args[index].AsDouble();
+}
+
+// Column-indexed variants for UpdateBatch overrides: read one row's
+// optional parameter straight out of the argument columns, so batched
+// lazy initialization never gathers a per-row argument vector.
+std::size_t OptColSize(std::span<const ValueColumn> args_columns,
+                       std::size_t index, std::uint32_t row,
+                       std::size_t fallback) {
+  if (args_columns.size() <= index) return fallback;
+  const std::int64_t v = args_columns[index][row].AsInt();
+  FWDECAY_CHECK_MSG(v > 0, "UDAF size parameter must be positive");
+  return static_cast<std::size_t>(v);
+}
+
+double OptColDouble(std::span<const ValueColumn> args_columns,
+                    std::size_t index, std::uint32_t row, double fallback) {
+  return args_columns.size() <= index ? fallback
+                                      : args_columns[index][row].AsDouble();
 }
 
 // --- Checkpoint helpers -----------------------------------------------------
@@ -122,12 +141,28 @@ class PrisampUdaf : public AggState {
  public:
   PrisampUdaf() : rng_(NextStateSeed()) {}
 
-  void Update(const std::vector<Value>& args) override {
+  void Update(std::span<const Value> args) override {
     FWDECAY_CHECK_MSG(args.size() >= 2, "PRISAMP(item, weight [, k])");
     EnsureHeap(OptSize(args, 2, kDefaultK) + 1);  // +1: threshold slot
     const double w = args[1].AsDouble();
     if (w <= 0.0) return;
     heap_->Offer(w / rng_.NextDoubleOpenZero(), args[0].AsDouble());
+  }
+
+  void UpdateBatch(std::span<const ValueColumn> args_columns,
+                   std::span<const std::uint32_t> rows) override {
+    FWDECAY_CHECK_MSG(args_columns.size() >= 2, "PRISAMP(item, weight [, k])");
+    if (rows.empty()) return;
+    if (heap_ == nullptr) {
+      EnsureHeap(OptColSize(args_columns, 2, rows.front(), kDefaultK) + 1);
+    }
+    const ValueColumn& items = args_columns[0];
+    const ValueColumn& weights = args_columns[1];
+    for (std::uint32_t row : rows) {
+      const double w = weights[row].AsDouble();
+      if (w <= 0.0) continue;  // no RNG draw — matches the per-tuple path
+      heap_->Offer(w / rng_.NextDoubleOpenZero(), items[row].AsDouble());
+    }
   }
 
   void Merge(AggState& other) override {
@@ -183,7 +218,7 @@ class WrsampUdaf : public AggState {
  public:
   WrsampUdaf() : rng_(NextStateSeed()) {}
 
-  void Update(const std::vector<Value>& args) override {
+  void Update(std::span<const Value> args) override {
     FWDECAY_CHECK_MSG(args.size() >= 2, "WRSAMP(item, weight [, k])");
     EnsureHeap(OptSize(args, 2, kDefaultK));
     const double w = args[1].AsDouble();
@@ -191,6 +226,24 @@ class WrsampUdaf : public AggState {
     const double score =
         std::log(w) - std::log(-std::log(rng_.NextDoubleOpenZero()));
     heap_->Offer(score, args[0].AsDouble());
+  }
+
+  void UpdateBatch(std::span<const ValueColumn> args_columns,
+                   std::span<const std::uint32_t> rows) override {
+    FWDECAY_CHECK_MSG(args_columns.size() >= 2, "WRSAMP(item, weight [, k])");
+    if (rows.empty()) return;
+    if (heap_ == nullptr) {
+      EnsureHeap(OptColSize(args_columns, 2, rows.front(), kDefaultK));
+    }
+    const ValueColumn& items = args_columns[0];
+    const ValueColumn& weights = args_columns[1];
+    for (std::uint32_t row : rows) {
+      const double w = weights[row].AsDouble();
+      if (w <= 0.0) continue;  // no RNG draw — matches the per-tuple path
+      const double score =
+          std::log(w) - std::log(-std::log(rng_.NextDoubleOpenZero()));
+      heap_->Offer(score, items[row].AsDouble());
+    }
   }
 
   void Merge(AggState& other) override {
@@ -242,7 +295,7 @@ class RessampUdaf : public AggState {
  public:
   RessampUdaf() : rng_(NextStateSeed()) {}
 
-  void Update(const std::vector<Value>& args) override {
+  void Update(std::span<const Value> args) override {
     FWDECAY_CHECK_MSG(!args.empty(), "RESSAMP(item [, k])");
     if (sampler_ == nullptr) {
       sampler_ = std::make_unique<ReservoirSampler<double>>(
@@ -322,7 +375,7 @@ class AggsampUdaf : public AggState {
  public:
   AggsampUdaf() : rng_(NextStateSeed()) {}
 
-  void Update(const std::vector<Value>& args) override {
+  void Update(std::span<const Value> args) override {
     FWDECAY_CHECK_MSG(!args.empty(), "AGGSAMP(item [, k])");
     if (sampler_ == nullptr) {
       sampler_ = std::make_unique<BiasedReservoirSampler<double>>(
@@ -414,7 +467,7 @@ std::string RenderHitters(const std::vector<HeavyHitter>& hitters) {
 /// weight g(t_i - L) generated by the query.
 class FdhhUdaf : public AggState {
  public:
-  void Update(const std::vector<Value>& args) override {
+  void Update(std::span<const Value> args) override {
     FWDECAY_CHECK_MSG(args.size() >= 2, "FDHH(key, weight [, phi [, eps]])");
     if (sketch_ == nullptr) {
       phi_ = OptDouble(args, 2, 0.05);
@@ -425,6 +478,26 @@ class FdhhUdaf : public AggState {
     const double w = args[1].AsDouble();
     if (w <= 0.0) return;
     sketch_->Update(static_cast<std::uint64_t>(args[0].AsInt()), w);
+  }
+
+  void UpdateBatch(std::span<const ValueColumn> args_columns,
+                   std::span<const std::uint32_t> rows) override {
+    FWDECAY_CHECK_MSG(args_columns.size() >= 2,
+                      "FDHH(key, weight [, phi [, eps]])");
+    if (rows.empty()) return;
+    if (sketch_ == nullptr) {
+      phi_ = OptColDouble(args_columns, 2, rows.front(), 0.05);
+      const double eps = OptColDouble(args_columns, 3, rows.front(), 0.01);
+      sketch_ = std::make_unique<WeightedSpaceSaving>(
+          static_cast<std::size_t>(std::ceil(1.0 / eps)));
+    }
+    const ValueColumn& keys = args_columns[0];
+    const ValueColumn& weights = args_columns[1];
+    for (std::uint32_t row : rows) {
+      const double w = weights[row].AsDouble();
+      if (w <= 0.0) continue;
+      sketch_->Update(static_cast<std::uint64_t>(keys[row].AsInt()), w);
+    }
   }
 
   void Merge(AggState& other) override {
@@ -473,7 +546,7 @@ class FdhhUdaf : public AggState {
 /// unary-optimized SpaceSaving (the paper's "Unary HH").
 class UnaryhhUdaf : public AggState {
  public:
-  void Update(const std::vector<Value>& args) override {
+  void Update(std::span<const Value> args) override {
     FWDECAY_CHECK_MSG(!args.empty(), "UNARYHH(key [, phi [, eps]])");
     if (sketch_ == nullptr) {
       phi_ = OptDouble(args, 1, 0.05);
@@ -526,7 +599,7 @@ class UnaryhhUdaf : public AggState {
 /// baseline; finalizes to the HH set over the whole group span.
 class SwhhUdaf : public AggState {
  public:
-  void Update(const std::vector<Value>& args) override {
+  void Update(std::span<const Value> args) override {
     FWDECAY_CHECK_MSG(args.size() >= 2, "SWHH(time, key [, phi [, eps]])");
     if (sketch_ == nullptr) {
       phi_ = OptDouble(args, 2, 0.05);
@@ -591,7 +664,7 @@ class SwhhUdaf : public AggState {
 /// evaluated at the group's last timestamp — the Figure 2 baseline.
 class EhdsumUdaf : public AggState {
  public:
-  void Update(const std::vector<Value>& args) override {
+  void Update(std::span<const Value> args) override {
     FWDECAY_CHECK_MSG(args.size() >= 2, "EHDSUM(time, value [, eps])");
     if (agg_ == nullptr) {
       const double eps = OptDouble(args, 2, 0.1);
@@ -648,11 +721,23 @@ class EhdsumUdaf : public AggState {
 template <bool kIsMax>
 class FdExtremumUdaf : public AggState {
  public:
-  void Update(const std::vector<Value>& args) override {
+  void Update(std::span<const Value> args) override {
     FWDECAY_CHECK_MSG(args.size() >= 2, "FDMIN/FDMAX(value, weight)");
     const double w = args[1].AsDouble();
     if (w <= 0.0) return;
     Offer(w * args[0].AsDouble());
+  }
+
+  void UpdateBatch(std::span<const ValueColumn> args_columns,
+                   std::span<const std::uint32_t> rows) override {
+    FWDECAY_CHECK_MSG(args_columns.size() >= 2, "FDMIN/FDMAX(value, weight)");
+    const ValueColumn& values = args_columns[0];
+    const ValueColumn& weights = args_columns[1];
+    for (std::uint32_t row : rows) {
+      const double w = weights[row].AsDouble();
+      if (w <= 0.0) continue;
+      Offer(w * values[row].AsDouble());
+    }
   }
 
   void Merge(AggState& other) override {
@@ -695,7 +780,7 @@ class FdExtremumUdaf : public AggState {
 /// quantile under forward decay (Theorem 3).
 class FdquantileUdaf : public AggState {
  public:
-  void Update(const std::vector<Value>& args) override {
+  void Update(std::span<const Value> args) override {
     FWDECAY_CHECK_MSG(args.size() >= 3,
                       "FDQUANTILE(value, weight, phi [, bits [, eps]])");
     if (digest_ == nullptr) {
@@ -707,6 +792,27 @@ class FdquantileUdaf : public AggState {
     const double w = args[1].AsDouble();
     if (w <= 0.0) return;
     digest_->Update(static_cast<std::uint64_t>(args[0].AsInt()), w);
+  }
+
+  void UpdateBatch(std::span<const ValueColumn> args_columns,
+                   std::span<const std::uint32_t> rows) override {
+    FWDECAY_CHECK_MSG(args_columns.size() >= 3,
+                      "FDQUANTILE(value, weight, phi [, bits [, eps]])");
+    if (rows.empty()) return;
+    if (digest_ == nullptr) {
+      phi_ = args_columns[2][rows.front()].AsDouble();
+      const int bits =
+          static_cast<int>(OptColSize(args_columns, 3, rows.front(), 16));
+      const double eps = OptColDouble(args_columns, 4, rows.front(), 0.01);
+      digest_ = std::make_unique<QDigest>(bits, eps);
+    }
+    const ValueColumn& values = args_columns[0];
+    const ValueColumn& weights = args_columns[1];
+    for (std::uint32_t row : rows) {
+      const double w = weights[row].AsDouble();
+      if (w <= 0.0) continue;
+      digest_->Update(static_cast<std::uint64_t>(values[row].AsInt()), w);
+    }
   }
 
   void Merge(AggState& other) override {
@@ -759,7 +865,7 @@ class FdquantileUdaf : public AggState {
 /// dominance norm; divide by g(t - L) downstream if needed.
 class FddistinctUdaf : public AggState {
  public:
-  void Update(const std::vector<Value>& args) override {
+  void Update(std::span<const Value> args) override {
     FWDECAY_CHECK_MSG(args.size() >= 2, "FDDISTINCT(key, weight [, k])");
     if (sketch_ == nullptr) {
       sketch_ = std::make_unique<DominanceNormSketch>(OptSize(args, 2, 1024));
@@ -767,6 +873,23 @@ class FddistinctUdaf : public AggState {
     const double w = args[1].AsDouble();
     if (w <= 0.0) return;
     sketch_->Update(static_cast<std::uint64_t>(args[0].AsInt()), w);
+  }
+
+  void UpdateBatch(std::span<const ValueColumn> args_columns,
+                   std::span<const std::uint32_t> rows) override {
+    FWDECAY_CHECK_MSG(args_columns.size() >= 2, "FDDISTINCT(key, weight [, k])");
+    if (rows.empty()) return;
+    if (sketch_ == nullptr) {
+      sketch_ = std::make_unique<DominanceNormSketch>(
+          OptColSize(args_columns, 2, rows.front(), 1024));
+    }
+    const ValueColumn& keys = args_columns[0];
+    const ValueColumn& weights = args_columns[1];
+    for (std::uint32_t row : rows) {
+      const double w = weights[row].AsDouble();
+      if (w <= 0.0) continue;
+      sketch_->Update(static_cast<std::uint64_t>(keys[row].AsInt()), w);
+    }
   }
 
   void Merge(AggState& other) override {

@@ -1,0 +1,573 @@
+// Differential tests for the batched columnar ingest path and the
+// sharded parallel execution (DESIGN.md §8): the batched and sharded
+// engines must reproduce the per-tuple reference *bit for bit* — same
+// result values (double bit patterns included), same counters, same
+// shedding decisions — because the batch path reorders no FP operation
+// and shard routing keeps every group's update sequence intact.
+
+#include <bit>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/aggregates.h"
+#include "core/forward_decay.h"
+#include "dsms/batch.h"
+#include "dsms/engine.h"
+#include "dsms/expr.h"
+#include "dsms/netgen.h"
+#include "dsms/packet.h"
+#include "dsms/trace_io.h"
+#include "dsms/udafs.h"
+#include "dsms/value.h"
+
+namespace fwdecay::dsms {
+namespace {
+
+TraceConfig FlowConfig(std::uint64_t seed = 42) {
+  TraceConfig config;
+  config.flow_structured = true;
+  config.num_servers = 200;
+  config.ports_per_server = 8;
+  config.target_active_flows = 64;
+  config.mean_flow_len = 12.0;
+  config.seed = seed;
+  return config;
+}
+
+std::vector<Packet> MakeTrace(std::size_t n, std::uint64_t seed = 42) {
+  PacketGenerator gen(FlowConfig(seed));
+  return gen.Generate(n);
+}
+
+std::vector<PacketBatch> Rebatch(const std::vector<Packet>& packets,
+                                 std::size_t capacity) {
+  std::vector<PacketBatch> batches;
+  PacketBatch batch(capacity);
+  for (const Packet& p : packets) {
+    batch.Append(p);
+    if (batch.full()) {
+      batches.push_back(std::move(batch));
+      batch = PacketBatch(capacity);
+    }
+  }
+  if (!batch.empty()) batches.push_back(std::move(batch));
+  return batches;
+}
+
+std::unique_ptr<CompiledQuery> MustCompile(const std::string& gsql,
+                                           CompiledQuery::Options options) {
+  RegisterPaperUdafs();
+  std::string error;
+  auto plan = CompiledQuery::Compile(gsql, &error, options);
+  EXPECT_NE(plan, nullptr) << error;
+  return plan;
+}
+
+// Bit-exact ResultSet comparison: same column names, same row count,
+// same value types, and doubles compared by bit pattern (EXPECT_EQ on
+// doubles would accept -0.0 == 0.0 and reject equal NaNs).
+void ExpectBitIdentical(const ResultSet& got, const ResultSet& want) {
+  ASSERT_EQ(got.columns, want.columns);
+  ASSERT_EQ(got.rows.size(), want.rows.size());
+  for (std::size_t r = 0; r < got.rows.size(); ++r) {
+    ASSERT_EQ(got.rows[r].size(), want.rows[r].size()) << "row " << r;
+    for (std::size_t c = 0; c < got.rows[r].size(); ++c) {
+      const Value& a = got.rows[r][c];
+      const Value& b = want.rows[r][c];
+      ASSERT_EQ(a.is_double(), b.is_double()) << "row " << r << " col " << c;
+      if (a.is_double()) {
+        EXPECT_EQ(std::bit_cast<std::uint64_t>(a.AsDouble()),
+                  std::bit_cast<std::uint64_t>(b.AsDouble()))
+            << "row " << r << " col " << c << ": " << a.ToString() << " vs "
+            << b.ToString();
+      } else {
+        EXPECT_TRUE(a == b) << "row " << r << " col " << c << ": "
+                            << a.ToString() << " vs " << b.ToString();
+      }
+    }
+  }
+}
+
+// Runs the same trace through the per-tuple and batched entry points of
+// two independent executions and requires bit-identical results and
+// counters.
+void RunBatchDifferential(const std::string& gsql,
+                          CompiledQuery::Options options,
+                          const OverloadPolicy* policy,
+                          std::size_t batch_capacity = 256,
+                          std::size_t n_packets = 20000) {
+  auto plan = MustCompile(gsql, options);
+  ASSERT_NE(plan, nullptr);
+  const std::vector<Packet> trace = MakeTrace(n_packets);
+
+  auto per_tuple = plan->NewExecution();
+  auto batched = plan->NewExecution();
+  if (policy != nullptr) {
+    per_tuple->SetOverloadPolicy(*policy);
+    batched->SetOverloadPolicy(*policy);
+  }
+
+  for (const Packet& p : trace) per_tuple->Consume(p);
+  for (const PacketBatch& b : Rebatch(trace, batch_capacity)) {
+    batched->Consume(b);
+  }
+
+  EXPECT_EQ(batched->packets_consumed(), per_tuple->packets_consumed());
+  EXPECT_EQ(batched->tuples_aggregated(), per_tuple->tuples_aggregated());
+  EXPECT_EQ(batched->low_level_evictions(), per_tuple->low_level_evictions());
+  EXPECT_EQ(batched->groups_shed(), per_tuple->groups_shed());
+  EXPECT_EQ(batched->tuples_shed(), per_tuple->tuples_shed());
+  batched->CheckInvariants();
+
+  ExpectBitIdentical(batched->Finish(), per_tuple->Finish());
+}
+
+// --- PacketBatch basics -----------------------------------------------------
+
+TEST(PacketBatchTest, AppendGetClearRoundTrip) {
+  const std::vector<Packet> trace = MakeTrace(10);
+  PacketBatch batch(8);
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_TRUE(batch.Append(trace[i]));
+  }
+  EXPECT_TRUE(batch.full());
+  EXPECT_FALSE(batch.Append(trace[8]));  // full: rejected, unchanged
+  ASSERT_EQ(batch.size(), 8u);
+  for (std::size_t i = 0; i < 8; ++i) {
+    const Packet p = batch.Get(i);
+    EXPECT_EQ(p.time, trace[i].time);
+    EXPECT_EQ(p.src_ip, trace[i].src_ip);
+    EXPECT_EQ(p.dest_ip, trace[i].dest_ip);
+    EXPECT_EQ(p.src_port, trace[i].src_port);
+    EXPECT_EQ(p.dest_port, trace[i].dest_port);
+    EXPECT_EQ(p.len, trace[i].len);
+    EXPECT_EQ(p.protocol, trace[i].protocol);
+  }
+  batch.Clear();
+  EXPECT_TRUE(batch.empty());
+  EXPECT_EQ(batch.capacity(), 8u);
+  EXPECT_TRUE(batch.Append(trace[9]));
+  EXPECT_EQ(batch.size(), 1u);
+}
+
+TEST(PacketBatchTest, ColumnsMirrorRows) {
+  const std::vector<Packet> trace = MakeTrace(64);
+  PacketBatch batch(64);
+  for (const Packet& p : trace) batch.Append(p);
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ(batch.time()[i], trace[i].time);
+    EXPECT_EQ(batch.dest_ip()[i], trace[i].dest_ip);
+    EXPECT_EQ(batch.dest_port()[i], trace[i].dest_port);
+    EXPECT_EQ(batch.len()[i], trace[i].len);
+    EXPECT_EQ(batch.protocol()[i], trace[i].protocol);
+  }
+}
+
+// --- Batched expression evaluation ------------------------------------------
+
+TEST(BatchEvalTest, ExprBatchMatchesPerTuple) {
+  const std::vector<Packet> trace = MakeTrace(512);
+  PacketBatch batch(512);
+  for (const Packet& p : trace) batch.Append(p);
+
+  std::string error;
+  ParseResult parsed = ParseQuery(
+      "select destPort from PKT where "
+      "len * 2 + srcPort % 7 - floor(sqrt(len)) > 0 group by destPort");
+  ASSERT_TRUE(parsed.ok()) << parsed.error;
+  const Expr& where = *parsed.query->where;
+
+  std::vector<std::uint32_t> sel(trace.size());
+  for (std::size_t i = 0; i < sel.size(); ++i) {
+    sel[i] = static_cast<std::uint32_t>(i);
+  }
+  BatchEvalScratch scratch;
+  std::vector<Value> out;
+  EvalExprBatch(where, batch, sel.data(), sel.size(), &scratch, &out);
+  ASSERT_EQ(out.size(), trace.size());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const Value expect = EvalExpr(where, trace[i]);
+    ASSERT_EQ(out[i].is_double(), expect.is_double()) << "row " << i;
+    EXPECT_TRUE(out[i] == expect) << "row " << i;
+  }
+}
+
+TEST(BatchEvalTest, PredicateShortCircuitGuardsDivision) {
+  // `x > 0 and K/x > c` must not evaluate the division on rows where the
+  // guard already failed — Value division CHECK-fails on a zero integer
+  // divisor, so an eager columnar AND would abort. Build packets where
+  // srcPort is often zero.
+  PacketBatch batch(64);
+  std::vector<Packet> rows;
+  for (std::size_t i = 0; i < 64; ++i) {
+    Packet p;
+    p.time = static_cast<double>(i);
+    p.src_port = static_cast<std::uint16_t>(i % 4 == 0 ? 0 : i);
+    p.len = 100;
+    p.protocol = kProtoTcp;
+    rows.push_back(p);
+    batch.Append(p);
+  }
+  ParseResult parsed = ParseQuery(
+      "select srcPort from PKT where srcPort > 0 and 1000 / srcPort < 300 "
+      "group by srcPort");
+  ASSERT_TRUE(parsed.ok()) << parsed.error;
+  const Expr& where = *parsed.query->where;
+
+  std::vector<std::uint32_t> sel(rows.size());
+  for (std::size_t i = 0; i < sel.size(); ++i) {
+    sel[i] = static_cast<std::uint32_t>(i);
+  }
+  BatchEvalScratch scratch;
+  const std::size_t n =
+      EvalPredicateBatch(where, batch, sel.data(), sel.size(), &scratch);
+
+  std::vector<std::uint32_t> expect;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    if (EvalPredicate(where, rows[i])) {
+      expect.push_back(static_cast<std::uint32_t>(i));
+    }
+  }
+  ASSERT_EQ(n, expect.size());
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(sel[i], expect[i]);
+}
+
+TEST(BatchEvalTest, PredicateOrPreservesShortCircuitAndOrder) {
+  // `srcPort = 0 or 1000 / srcPort > 9` — the rhs may only run on rows
+  // the lhs rejected (division by zero is CHECK-guarded), and the
+  // surviving selection must stay in ascending row order.
+  PacketBatch batch(64);
+  std::vector<Packet> rows;
+  for (std::size_t i = 0; i < 64; ++i) {
+    Packet p;
+    p.time = static_cast<double>(i);
+    p.src_port = static_cast<std::uint16_t>(i % 3 == 0 ? 0 : i * 7);
+    p.protocol = kProtoTcp;
+    rows.push_back(p);
+    batch.Append(p);
+  }
+  ParseResult parsed = ParseQuery(
+      "select srcPort from PKT where srcPort = 0 or 1000 / srcPort > 9 "
+      "group by srcPort");
+  ASSERT_TRUE(parsed.ok()) << parsed.error;
+  const Expr& where = *parsed.query->where;
+
+  std::vector<std::uint32_t> sel(rows.size());
+  for (std::size_t i = 0; i < sel.size(); ++i) {
+    sel[i] = static_cast<std::uint32_t>(i);
+  }
+  BatchEvalScratch scratch;
+  const std::size_t n =
+      EvalPredicateBatch(where, batch, sel.data(), sel.size(), &scratch);
+
+  std::vector<std::uint32_t> expect;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    if (EvalPredicate(where, rows[i])) {
+      expect.push_back(static_cast<std::uint32_t>(i));
+    }
+  }
+  ASSERT_EQ(n, expect.size());
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(sel[i], expect[i]);
+}
+
+// --- Batched vs per-tuple engine differentials ------------------------------
+
+constexpr char kBuiltinsQuery[] =
+    "select destPort, count(*), sum(len), avg(len), min(len), max(len) "
+    "from TCP group by destPort";
+
+// avg() and expweight() produce genuinely fractional doubles, so these
+// queries exercise the FP-order half of the bit-exactness contract.
+constexpr char kDecayedQuery[] =
+    "select destPort, sum(len * expweight(time, 60, 0.1)), "
+    "avg(len), fdmax(len, expweight(time, 60, 0.1)) "
+    "from TCP where len > 60 group by destPort";
+
+constexpr char kUdafQuery[] =
+    "select destPort, fdhh(destIP, expweight(time, 60, 0.1), 0.05, 0.02), "
+    "fdquantile(len, expweight(time, 60, 0.1), 0.5), "
+    "fddistinct(srcIP, expweight(time, 60, 0.1)) "
+    "from TCP group by destPort";
+
+TEST(BatchDifferentialTest, OneLevelBuiltins) {
+  RunBatchDifferential(kBuiltinsQuery, {}, nullptr);
+}
+
+TEST(BatchDifferentialTest, TwoLevelBuiltins) {
+  CompiledQuery::Options options;
+  options.two_level = true;
+  options.low_level_slots = 16;  // tiny: force heavy eviction traffic
+  RunBatchDifferential(kBuiltinsQuery, options, nullptr);
+}
+
+TEST(BatchDifferentialTest, OneLevelDecayedDoubles) {
+  RunBatchDifferential(kDecayedQuery, {}, nullptr);
+}
+
+TEST(BatchDifferentialTest, TwoLevelDecayedDoubles) {
+  CompiledQuery::Options options;
+  options.two_level = true;
+  options.low_level_slots = 32;
+  RunBatchDifferential(kDecayedQuery, options, nullptr);
+}
+
+TEST(BatchDifferentialTest, OneLevelUdafs) {
+  RunBatchDifferential(kUdafQuery, {}, nullptr);
+}
+
+TEST(BatchDifferentialTest, TwoLevelUdafs) {
+  CompiledQuery::Options options;
+  options.two_level = true;
+  options.low_level_slots = 32;
+  RunBatchDifferential(kUdafQuery, options, nullptr);
+}
+
+TEST(BatchDifferentialTest, OneLevelWithOverloadPolicy) {
+  OverloadPolicy policy;
+  policy.max_groups = 40;  // well below the trace's group cardinality
+  policy.decay_alpha = 0.05;
+  RunBatchDifferential(kDecayedQuery, {}, &policy);
+}
+
+TEST(BatchDifferentialTest, TwoLevelWithOverloadPolicy) {
+  CompiledQuery::Options options;
+  options.two_level = true;
+  options.low_level_slots = 16;
+  OverloadPolicy policy;
+  policy.max_groups = 40;
+  policy.decay_alpha = 0.05;
+  RunBatchDifferential(kDecayedQuery, options, &policy);
+}
+
+TEST(BatchDifferentialTest, OddBatchSizesAndPartialTails) {
+  // Batch boundaries must be invisible: capacity 1 (degenerate), a
+  // prime, and a capacity larger than the trace all agree.
+  for (const std::size_t capacity : {std::size_t{1}, std::size_t{37},
+                                     std::size_t{50000}}) {
+    RunBatchDifferential(kBuiltinsQuery, {}, nullptr, capacity,
+                         /*n_packets=*/5000);
+  }
+}
+
+TEST(BatchDifferentialTest, ConcurrentFacadeBatchEntryPoint) {
+  auto plan = MustCompile(kBuiltinsQuery, {});
+  ASSERT_NE(plan, nullptr);
+  const std::vector<Packet> trace = MakeTrace(5000);
+
+  auto reference = plan->NewExecution();
+  for (const Packet& p : trace) reference->Consume(p);
+
+  ConcurrentQueryExecution concurrent(*plan);
+  for (const PacketBatch& b : Rebatch(trace, 256)) concurrent.Consume(b);
+  EXPECT_EQ(concurrent.packets_consumed(), trace.size());
+  ExpectBitIdentical(concurrent.Finish(), reference->Finish());
+}
+
+// --- Sharded execution ------------------------------------------------------
+
+// One-level sharding is bit-exact even for fractional doubles: every
+// group lives wholly in one shard and receives its updates in stream
+// order, and the Finish() merge moves disjoint groups without touching
+// their accumulators.
+TEST(ShardedDifferentialTest, OneLevelBitIdenticalAcrossShardCounts) {
+  auto plan = MustCompile(kDecayedQuery, {});
+  ASSERT_NE(plan, nullptr);
+  const std::vector<Packet> trace = MakeTrace(20000);
+  const std::vector<PacketBatch> batches = Rebatch(trace, 256);
+
+  auto reference = plan->NewExecution();
+  for (const Packet& p : trace) reference->Consume(p);
+  const ResultSet want = reference->Finish();
+
+  for (const std::size_t shards : {std::size_t{1}, std::size_t{2},
+                                   std::size_t{4}}) {
+    ShardedQueryExecution sharded(*plan, shards);
+    for (const PacketBatch& b : batches) sharded.Consume(b);
+    EXPECT_EQ(sharded.packets_consumed(), trace.size());
+    sharded.CheckInvariants();
+    const std::uint64_t tuples = sharded.tuples_aggregated();
+    ExpectBitIdentical(sharded.Finish(), want);
+    EXPECT_EQ(tuples, reference->tuples_aggregated());
+  }
+}
+
+// Two-level sharding splits the low-level table per shard, so eviction
+// (partial-group merge) points differ from the single-table run. For
+// integer-exact aggregates every addition is exact, so the results are
+// still identical; fractional doubles would differ in the last ulp and
+// are deliberately excluded (DESIGN.md §8).
+TEST(ShardedDifferentialTest, TwoLevelIntegerExactAggregates) {
+  CompiledQuery::Options options;
+  options.two_level = true;
+  options.low_level_slots = 16;
+  auto plan = MustCompile(kBuiltinsQuery, options);
+  ASSERT_NE(plan, nullptr);
+  const std::vector<Packet> trace = MakeTrace(20000);
+
+  auto reference = plan->NewExecution();
+  for (const Packet& p : trace) reference->Consume(p);
+  const ResultSet want = reference->Finish();
+
+  ShardedQueryExecution sharded(*plan, 4);
+  for (const PacketBatch& b : Rebatch(trace, 256)) sharded.Consume(b);
+  sharded.CheckInvariants();
+  ExpectBitIdentical(sharded.Finish(), want);
+}
+
+// A single shard is the non-sharded engine behind a router: with a
+// shedding policy installed it must make byte-for-byte the same
+// decisions (including shedding during the Finish() flush).
+TEST(ShardedDifferentialTest, SingleShardWithPolicyMatchesPerTuple) {
+  CompiledQuery::Options options;
+  options.two_level = true;
+  options.low_level_slots = 16;
+  auto plan = MustCompile(kDecayedQuery, options);
+  ASSERT_NE(plan, nullptr);
+  OverloadPolicy policy;
+  policy.max_groups = 40;
+  policy.decay_alpha = 0.05;
+  const std::vector<Packet> trace = MakeTrace(20000);
+
+  auto reference = plan->NewExecution();
+  reference->SetOverloadPolicy(policy);
+  for (const Packet& p : trace) reference->Consume(p);
+
+  ShardedQueryExecution sharded(*plan, 1);
+  sharded.SetOverloadPolicy(policy);
+  for (const PacketBatch& b : Rebatch(trace, 256)) sharded.Consume(b);
+
+  EXPECT_EQ(sharded.tuples_aggregated(), reference->tuples_aggregated());
+  EXPECT_EQ(sharded.groups_shed(), reference->groups_shed());
+  EXPECT_EQ(sharded.tuples_shed(), reference->tuples_shed());
+  ExpectBitIdentical(sharded.Finish(), reference->Finish());
+}
+
+// With N shards each shard bounds its own table, so the documented
+// contract is a bound of N * max_groups on the retained groups — not
+// the single-execution bound. CheckInvariants() audits the per-shard
+// bound; the total is checked here.
+TEST(ShardedDifferentialTest, PerShardSheddingBound) {
+  // Group by destIP (200 distinct servers) so the 10-group bound bites.
+  auto plan = MustCompile(
+      "select destIP, count(*), sum(len) from TCP group by destIP", {});
+  ASSERT_NE(plan, nullptr);
+  OverloadPolicy policy;
+  policy.max_groups = 10;
+  policy.decay_alpha = 0.05;
+
+  ShardedQueryExecution sharded(*plan, 4);
+  sharded.SetOverloadPolicy(policy);
+  for (const PacketBatch& b : Rebatch(MakeTrace(20000), 256)) {
+    sharded.Consume(b);
+  }
+  sharded.CheckInvariants();  // audits <= max_groups per shard
+  EXPECT_LE(sharded.GroupCount(), 4 * policy.max_groups);
+  EXPECT_GT(sharded.groups_shed(), 0u);
+}
+
+// --- Batch producers --------------------------------------------------------
+
+TEST(NetgenBatchTest, GenerateBatchMatchesGenerate) {
+  PacketGenerator row_gen(FlowConfig());
+  PacketGenerator batch_gen(FlowConfig());
+  const std::vector<Packet> rows = row_gen.Generate(1000);
+  const PacketBatch batch = batch_gen.GenerateBatch(1000);
+  ASSERT_EQ(batch.size(), rows.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Packet p = batch.Get(i);
+    EXPECT_EQ(p.time, rows[i].time);
+    EXPECT_EQ(p.dest_ip, rows[i].dest_ip);
+    EXPECT_EQ(p.len, rows[i].len);
+  }
+}
+
+TEST(NetgenBatchTest, NextBatchRespectsCapacityAndBudget) {
+  PacketGenerator gen(FlowConfig());
+  PacketBatch batch(8);
+  EXPECT_EQ(gen.NextBatch(&batch, 100), 8u);  // bounded by capacity
+  EXPECT_TRUE(batch.full());
+  batch.Clear();
+  EXPECT_EQ(gen.NextBatch(&batch, 3), 3u);  // bounded by budget
+  EXPECT_EQ(batch.size(), 3u);
+}
+
+TEST(TraceIoBatchTest, BatchedWriteReadRoundTrip) {
+  const std::vector<Packet> rows = MakeTrace(1000);
+  const std::vector<PacketBatch> batches = Rebatch(rows, 128);
+  const std::string path = testing::TempDir() + "/batch_trace.bin";
+  std::string error;
+  ASSERT_TRUE(WriteTrace(path, batches, &error)) << error;
+
+  // The batched writer is byte-compatible with the row reader...
+  auto read_rows = ReadTrace(path, &error);
+  ASSERT_TRUE(read_rows.has_value()) << error;
+  ASSERT_EQ(read_rows->size(), rows.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ((*read_rows)[i].time, rows[i].time);
+    EXPECT_EQ((*read_rows)[i].dest_ip, rows[i].dest_ip);
+    EXPECT_EQ((*read_rows)[i].len, rows[i].len);
+  }
+
+  // ...and the batch reader re-chunks at any capacity.
+  auto read_batches = ReadTraceBatches(path, 300, &error);
+  ASSERT_TRUE(read_batches.has_value()) << error;
+  std::size_t total = 0;
+  for (const PacketBatch& b : *read_batches) {
+    EXPECT_LE(b.size(), 300u);
+    for (std::size_t i = 0; i < b.size(); ++i) {
+      const Packet p = b.Get(i);
+      EXPECT_EQ(p.time, rows[total].time);
+      EXPECT_EQ(p.dest_port, rows[total].dest_port);
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, rows.size());
+}
+
+// --- Core accumulators ------------------------------------------------------
+
+TEST(CoreAddBatchTest, DecayedCountBatchMatchesLoop) {
+  ForwardDecay<ExponentialG> decay(ExponentialG(0.1), 100.0);
+  DecayedCount<ExponentialG> loop(decay);
+  DecayedCount<ExponentialG> batch(decay);
+  std::vector<Timestamp> times;
+  for (int i = 0; i < 1000; ++i) times.push_back(100.0 + 0.37 * i);
+  for (Timestamp t : times) loop.Add(t);
+  batch.AddBatch(times);
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(loop.RawWeightedCount()),
+            std::bit_cast<std::uint64_t>(batch.RawWeightedCount()));
+}
+
+TEST(CoreAddBatchTest, DecayedMomentsAndExtremumBatchMatchLoop) {
+  ForwardDecay<ExponentialG> decay(ExponentialG(0.1), 100.0);
+  DecayedMoments<ExponentialG> loop_m(decay);
+  DecayedMoments<ExponentialG> batch_m(decay);
+  DecayedMax<ExponentialG> loop_x(decay);
+  DecayedMax<ExponentialG> batch_x(decay);
+  std::vector<Timestamp> times;
+  std::vector<double> values;
+  for (int i = 0; i < 1000; ++i) {
+    times.push_back(100.0 + 0.37 * i);
+    values.push_back(40.0 + (i * 31) % 1460);
+  }
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    loop_m.Add(times[i], values[i]);
+    loop_x.Add(times[i], values[i]);
+  }
+  batch_m.AddBatch(times, values);
+  batch_x.AddBatch(times, values);
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(loop_m.Sum(200.0)),
+            std::bit_cast<std::uint64_t>(batch_m.Sum(200.0)));
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(*loop_m.Variance()),
+            std::bit_cast<std::uint64_t>(*batch_m.Variance()));
+  ASSERT_TRUE(batch_x.Value(200.0).has_value());
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(*loop_x.Value(200.0)),
+            std::bit_cast<std::uint64_t>(*batch_x.Value(200.0)));
+}
+
+}  // namespace
+}  // namespace fwdecay::dsms

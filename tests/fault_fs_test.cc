@@ -232,7 +232,7 @@ TEST_F(TraceV2FaultTest, BitFlipAnywhereIsDetected) {
 
 TEST_F(TraceV2FaultTest, HostileCountRejectedBeforeAllocation) {
   std::string error;
-  ASSERT_TRUE(WriteTrace(path_, {}, &error)) << error;
+  ASSERT_TRUE(WriteTrace(path_, std::vector<Packet>{}, &error)) << error;
   auto bytes = MustRead();
   // Declare ~2^60 packets in a 20-byte file, with a recomputed CRC so
   // only the count bound can reject it. Must fail fast, not allocate.

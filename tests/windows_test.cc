@@ -201,7 +201,7 @@ TEST(TraceIoTest, CorruptAndTruncatedFilesRejected) {
 TEST(TraceIoTest, EmptyTraceIsValid) {
   const std::string path = testing::TempDir() + "/fwdecay_trace_empty.bin";
   std::string error;
-  ASSERT_TRUE(WriteTrace(path, {}, &error)) << error;
+  ASSERT_TRUE(WriteTrace(path, std::vector<Packet>{}, &error)) << error;
   auto loaded = ReadTrace(path, &error);
   ASSERT_TRUE(loaded.has_value()) << error;
   EXPECT_TRUE(loaded->empty());
