@@ -30,6 +30,7 @@
 #include "dsms/engine.h"
 #include "dsms/netgen.h"
 #include "dsms/packet.h"
+#include "util/metrics.h"
 #include "util/table_printer.h"
 #include "util/timer.h"
 
@@ -173,11 +174,12 @@ void AppendJson(const std::string& path, const ModeResult& r,
       "{\"bench\":\"ingest\",\"mode\":\"%s\",\"shards\":%zu,"
       "\"threads\":%zu,\"packets\":%zu,\"batch_capacity\":%zu,"
       "\"ns_per_packet\":%.2f,\"mpps\":%.3f,\"speedup_vs_per_tuple\":%.3f,"
-      "\"nproc\":%u,\"quick\":%s}",
+      "\"nproc\":%u,\"metrics\":\"%s\",\"quick\":%s}",
       r.mode.c_str(), r.shards, r.threads, n_packets,
       r.mode == "per_tuple" ? std::size_t{1} : kBatchCapacity,
       r.ns_per_packet, 1e3 / r.ns_per_packet, speedup,
-      std::thread::hardware_concurrency(), quick ? "true" : "false");
+      std::thread::hardware_concurrency(),
+      FWDECAY_METRICS_ENABLED ? "on" : "off", quick ? "true" : "false");
   out << line << "\n";
 }
 
@@ -218,8 +220,9 @@ int main(int argc, char** argv) {
               "per-tuple vs batched vs sharded (DESIGN.md §8)");
   std::printf("trace: %zu flow-structured packets; query: %s\n", n_packets,
               kQuery);
-  std::printf("hardware_concurrency: %u\n\n",
-              std::thread::hardware_concurrency());
+  std::printf("hardware_concurrency: %u  metrics: %s\n\n",
+              std::thread::hardware_concurrency(),
+              FWDECAY_METRICS_ENABLED ? "on" : "off");
 
   dsms::TraceConfig cfg;
   cfg.flow_structured = true;

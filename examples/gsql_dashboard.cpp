@@ -9,6 +9,7 @@
 #include "dsms/engine.h"
 #include "dsms/netgen.h"
 #include "dsms/udafs.h"
+#include "util/metrics.h"
 
 int main() {
   using namespace fwdecay::dsms;
@@ -57,5 +58,13 @@ int main() {
     for (const Packet& p : packets) exec->Consume(p);
     std::printf(">> %s\n%s\n", gsql, exec->Finish().ToString().c_str());
   }
+
+  // The engine instruments itself (DESIGN.md §9): compile times, tuple
+  // throughput, and batch latency quantiles for everything above were
+  // recorded as a side effect. Scrape them the way a Prometheus
+  // endpoint would.
+  std::string exposition;
+  fwdecay::metrics::MetricsRegistry::Instance().RenderPrometheus(&exposition);
+  std::printf(">> /metrics\n%s", exposition.c_str());
   return 0;
 }

@@ -34,6 +34,17 @@ Enforced invariants (each maps to a documented repo convention):
              in src/ outright: the first bypasses the annotated layer
              entirely, the second leaks threads past every join-based
              shutdown path the tests exercise.
+  metrics    Two halves of the observability contract (DESIGN.md §9):
+             (a) src/dsms/ must not read clocks ad hoc — no std::chrono
+             or steady_clock outside util/timer.h / util/metrics.h, so
+             every timing site goes through Timer/ScopedTimerSample and
+             FWDECAY_METRICS=OFF provably removes all of them; (b) every
+             metric name registered via Get{Counter,Gauge,DecayedRate,
+             Reservoir}("...") in src/, bench/ and examples/ must match
+             ^fwdecay_[a-z0-9_]+$, mirroring the runtime check so bad
+             names fail in CI rather than at first scrape.  (tests/ may
+             register invalid names: the death tests prove the runtime
+             check fires.)
   hotpath    The batched aggregation hot path — the bodies of
              UpdateGroup() and UpdateBatch() in src/ — must not
              construct a std::vector<Value> / ValueColumn: these
@@ -80,6 +91,12 @@ LOCKING_PRIMITIVE = re.compile(
 LOCKING_BANNED = re.compile(r"\bpthread_\w+\s*\(|\.\s*detach\s*\(\s*\)")
 THREAD_ANNOTATIONS_INCLUDE = re.compile(
     r'#\s*include\s*"util/thread_annotations\.h"')
+METRICS_CLOCK_BANNED = re.compile(r"\bstd\s*::\s*chrono\b|\bsteady_clock\b")
+# Matched on raw text: the name is a string literal, which
+# strip_comments_and_strings blanks out of `code`.
+METRICS_REGISTRATION = re.compile(
+    r"Get(?:Counter|Gauge|DecayedRate|Reservoir)\s*\(\s*\"([^\"]*)\"")
+METRIC_NAME_OK = re.compile(r"^fwdecay_[a-z0-9_]+$")
 HOTPATH_FUNC = re.compile(r"\b(?:UpdateGroup|UpdateBatch)\s*\(")
 HOTPATH_CONTAINER = re.compile(
     r"\bstd\s*::\s*vector\s*<\s*Value\s*>|\bValueColumn\b")
@@ -210,6 +227,18 @@ def lint_file(root: pathlib.Path, path: pathlib.Path, findings: list) -> None:
                      findings)
     if rel.startswith("src/"):
         check_hotpath(rel, code, findings)
+    if rel.startswith("src/dsms/"):
+        scan_pattern(rel, code, METRICS_CLOCK_BANNED,
+                     "ad-hoc clock read in dsms/ (time through util/timer.h "
+                     "Timer or util/metrics.h ScopedTimerSample)", findings)
+    if not rel.startswith("tests/"):
+        for m in METRICS_REGISTRATION.finditer(text):
+            if not METRIC_NAME_OK.match(m.group(1)):
+                line = text[: m.start()].count("\n") + 1
+                findings.append(
+                    (rel, line,
+                     "metrics: registered name must match "
+                     f"^fwdecay_[a-z0-9_]+$: `{m.group(1)}`"))
     if rel.startswith("src/") and rel not in LOCKING_EXEMPT:
         scan_pattern(rel, code, LOCKING_BANNED,
                      "raw pthread / detached thread in library code",

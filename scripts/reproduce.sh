@@ -11,6 +11,9 @@
 #                     audit after every mutating op   [default: OFF]
 #   FWDECAY_SHARDS    max shard count for the bench_ingest sweep (powers
 #                     of two, 1..N); forwarded as --shards  [default: 8]
+#   FWDECAY_METRICS   OFF compiles the self-instrumentation layer to
+#                     no-ops (DESIGN.md §9); bench_ingest rows record
+#                     which setting produced them         [default: ON]
 #   CMAKE_GENERATOR   only applied when BUILD_DIR is fresh; an existing
 #                     tree keeps whatever generator configured it (cmake
 #                     hard-errors on a generator mismatch otherwise).
@@ -21,9 +24,11 @@ BUILD_DIR="${BUILD_DIR:-build}"
 CMAKE_BUILD_TYPE="${CMAKE_BUILD_TYPE:-Release}"
 FWDECAY_AUDIT="${FWDECAY_AUDIT:-OFF}"
 FWDECAY_SHARDS="${FWDECAY_SHARDS:-8}"
+FWDECAY_METRICS="${FWDECAY_METRICS:-ON}"
 
 CMAKE_ARGS=(-B "${BUILD_DIR}" -S . "-DCMAKE_BUILD_TYPE=${CMAKE_BUILD_TYPE}"
-            "-DFWDECAY_AUDIT=${FWDECAY_AUDIT}")
+            "-DFWDECAY_AUDIT=${FWDECAY_AUDIT}"
+            "-DFWDECAY_METRICS=${FWDECAY_METRICS}")
 if [[ ! -f "${BUILD_DIR}/CMakeCache.txt" ]]; then
   # Fresh tree: prefer Ninja when available, else CMake's default
   # (Makefiles — what README and the tier-1 line use).

@@ -114,6 +114,100 @@ bool BindPostExpr(
 }  // namespace
 
 // ---------------------------------------------------------------------------
+// Self-instrumentation (DESIGN.md §9)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Registry handles for the engine-wide metric families, resolved once.
+// Per-shard executions rebind their counter handles to the labelled
+// fwdecay_shard_* families via QueryExecution::UseShardMetrics(); the
+// decayed tuple rate and the ns-per-batch reservoir stay shared (both
+// are internally locked, and a process-wide view is what an operator
+// wants from them).
+struct EngineMetrics {
+  metrics::Counter* packets;
+  metrics::Counter* batches;
+  metrics::Counter* tuples;
+  metrics::Counter* evictions;
+  metrics::Counter* groups_shed;
+  metrics::Counter* tuples_shed;
+  metrics::Gauge* groups;
+  metrics::DecayedRate* tuple_rate;
+  metrics::LatencyReservoir* batch_ns;
+  metrics::Counter* plans_compiled;
+  metrics::LatencyReservoir* compile_ns;
+  metrics::Counter* checkpoints;
+  metrics::Counter* checkpoint_bytes;
+  metrics::LatencyReservoir* checkpoint_ns;
+  metrics::Counter* restores;
+  metrics::LatencyReservoir* restore_ns;
+
+  static const EngineMetrics& Get() {
+    static const EngineMetrics m = Create();
+    return m;
+  }
+
+ private:
+  static EngineMetrics Create() {
+    auto& reg = metrics::MetricsRegistry::Instance();
+    EngineMetrics m{};
+    m.packets = reg.GetCounter("fwdecay_engine_packets_total",
+                               "Packets offered to Consume() (pre-filter).");
+    m.batches = reg.GetCounter("fwdecay_engine_batches_total",
+                               "Batches processed (a Packet is a 1-batch).");
+    m.tuples = reg.GetCounter("fwdecay_engine_tuples_total",
+                              "Tuples that passed the filter and were "
+                              "aggregated.");
+    m.evictions = reg.GetCounter("fwdecay_engine_low_evictions_total",
+                                 "Low-level slot evictions to the high "
+                                 "table (two-level mode).");
+    m.groups_shed = reg.GetCounter("fwdecay_engine_groups_shed_total",
+                                   "Groups evicted by overload shedding.");
+    m.tuples_shed = reg.GetCounter("fwdecay_engine_tuples_shed_total",
+                                   "Tuples lost inside shed groups.");
+    m.groups = reg.GetGauge("fwdecay_engine_groups",
+                            "Live groups (low + high level) at the last "
+                            "metrics flush.");
+    m.tuple_rate = reg.GetDecayedRate(
+        "fwdecay_engine_tuple_rate",
+        "Forward-decayed tuple ingest rate (events/s; alpha=0.1).",
+        /*alpha=*/0.1);
+    m.batch_ns = reg.GetReservoir(
+        "fwdecay_engine_batch_ns",
+        "Consume() wall time per batch, ns (decayed reservoir; sampled "
+        "1-in-64 batches).",
+        /*k=*/256, /*alpha=*/0.015);
+    m.plans_compiled = reg.GetCounter("fwdecay_plans_compiled_total",
+                                      "GSQL plans successfully compiled.");
+    m.compile_ns = reg.GetReservoir(
+        "fwdecay_plan_compile_ns",
+        "Parse-to-plan compile time, ns (decayed reservoir).",
+        /*k=*/64, /*alpha=*/0.015);
+    m.checkpoints = reg.GetCounter("fwdecay_checkpoint_total",
+                                   "Snapshots successfully written.");
+    m.checkpoint_bytes = reg.GetCounter(
+        "fwdecay_checkpoint_bytes_total",
+        "Total snapshot bytes handed to the atomic-write path.");
+    m.checkpoint_ns = reg.GetReservoir(
+        "fwdecay_checkpoint_ns",
+        "Checkpoint() wall time incl. fsync+rename, ns (decayed "
+        "reservoir).",
+        /*k=*/64, /*alpha=*/0.015);
+    m.restores = reg.GetCounter("fwdecay_restore_total",
+                                "Snapshots successfully restored.");
+    m.restore_ns = reg.GetReservoir(
+        "fwdecay_restore_ns",
+        "Restore() wall time (read + validate + rebuild), ns (decayed "
+        "reservoir).",
+        /*k=*/64, /*alpha=*/0.015);
+    return m;
+  }
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
 // Compilation
 // ---------------------------------------------------------------------------
 
@@ -136,6 +230,10 @@ std::unique_ptr<CompiledQuery> CompiledQuery::Compile(const std::string& gsql,
 std::unique_ptr<CompiledQuery> CompiledQuery::CompileParsed(Query query,
                                                             std::string* error,
                                                             Options options) {
+  // Compilation is cold, so it is timed unconditionally (no sampling).
+  metrics::ScopedTimerSample compile_timer(
+      EngineMetrics::Get().compile_ns,
+      metrics::MetricsRegistry::Instance().NowSeconds());
   auto plan = std::unique_ptr<CompiledQuery>(new CompiledQuery());
   plan->options_ = options;
 
@@ -222,6 +320,7 @@ std::unique_ptr<CompiledQuery> CompiledQuery::CompileParsed(Query query,
     FWDECAY_CHECK_MSG(plan->options_.low_level_slots >= 2,
                       "two-level mode needs at least 2 low-level slots");
   }
+  EngineMetrics::Get().plans_compiled->Increment();
   return plan;
 }
 
@@ -288,9 +387,77 @@ QueryExecution::QueryExecution(const CompiledQuery* plan)
   if (plan_->options_.two_level) {
     low_table_.resize(plan_->options_.low_level_slots);
   }
+  const EngineMetrics& em = EngineMetrics::Get();
+  metrics_.packets = em.packets;
+  metrics_.batches = em.batches;
+  metrics_.tuples = em.tuples;
+  metrics_.evictions = em.evictions;
+  metrics_.groups_shed = em.groups_shed;
+  metrics_.tuples_shed = em.tuples_shed;
+  metrics_.groups = em.groups;
+  metrics_.tuple_rate = em.tuple_rate;
+  metrics_.batch_ns = em.batch_ns;
 }
 
-QueryExecution::~QueryExecution() = default;
+QueryExecution::~QueryExecution() {
+  // Short-lived executions may never hit a periodic flush; publish the
+  // tail deltas so process-wide counters stay exact.
+  FlushMetrics();
+}
+
+void QueryExecution::FlushMetrics() {
+  if (!FWDECAY_METRICS_ENABLED) return;  // constant-folds away when OFF
+  const std::uint64_t d_packets = packets_consumed_ - flushed_packets_;
+  const std::uint64_t d_batches = metrics_batch_seq_ - flushed_batches_;
+  const std::uint64_t d_tuples = tuples_aggregated_ - flushed_tuples_;
+  const std::uint64_t d_evict = low_level_evictions_ - flushed_evictions_;
+  const std::uint64_t d_gshed = groups_shed_ - flushed_groups_shed_;
+  const std::uint64_t d_tshed = tuples_shed_ - flushed_tuples_shed_;
+  flushed_packets_ = packets_consumed_;
+  flushed_batches_ = metrics_batch_seq_;
+  flushed_tuples_ = tuples_aggregated_;
+  flushed_evictions_ = low_level_evictions_;
+  flushed_groups_shed_ = groups_shed_;
+  flushed_tuples_shed_ = tuples_shed_;
+  if (d_packets > 0) metrics_.packets->Increment(d_packets);
+  if (d_batches > 0) metrics_.batches->Increment(d_batches);
+  if (d_tuples > 0) metrics_.tuples->Increment(d_tuples);
+  if (d_evict > 0) metrics_.evictions->Increment(d_evict);
+  if (d_gshed > 0) metrics_.groups_shed->Increment(d_gshed);
+  if (d_tshed > 0) metrics_.tuples_shed->Increment(d_tshed);
+  metrics_.groups->Set(static_cast<double>(GroupCount()));
+  if (d_tuples > 0) {
+    metrics_.tuple_rate->Mark(metrics::MetricsRegistry::Instance().NowSeconds(),
+                              static_cast<double>(d_tuples));
+  }
+}
+
+void QueryExecution::UseShardMetrics(std::size_t shard_index) {
+  if (!FWDECAY_METRICS_ENABLED) return;
+  FlushMetrics();  // anything recorded so far belongs to the global family
+  const std::string label = "shard=\"" + std::to_string(shard_index) + "\"";
+  auto& reg = metrics::MetricsRegistry::Instance();
+  metrics_.packets =
+      reg.GetCounter("fwdecay_shard_packets_total",
+                     "Post-filter rows routed to this shard.", label);
+  metrics_.batches =
+      reg.GetCounter("fwdecay_shard_batches_total",
+                     "Routed batch fragments applied on this shard.", label);
+  metrics_.tuples = reg.GetCounter("fwdecay_shard_tuples_total",
+                                   "Tuples aggregated on this shard.", label);
+  metrics_.evictions =
+      reg.GetCounter("fwdecay_shard_low_evictions_total",
+                     "Low-level evictions on this shard.", label);
+  metrics_.groups_shed =
+      reg.GetCounter("fwdecay_shard_groups_shed_total",
+                     "Groups shed by this shard's overload policy.", label);
+  metrics_.tuples_shed =
+      reg.GetCounter("fwdecay_shard_tuples_shed_total",
+                     "Tuples lost inside groups shed by this shard.", label);
+  metrics_.groups = reg.GetGauge("fwdecay_shard_groups",
+                                 "Live groups held by this shard.", label);
+  // tuple_rate / batch_ns stay bound to the shared engine-wide families.
+}
 
 namespace {
 
@@ -393,6 +560,7 @@ void QueryExecution::EvictToHigh(LowSlot& slot) {
   target->weight += slot.group.weight;
   target->tuples += slot.group.tuples;
   slot.occupied = false;
+  --low_occupied_;
   slot.group.key.clear();
   slot.group.aggs.clear();
   slot.group.weight = 0.0;
@@ -407,6 +575,25 @@ void QueryExecution::Consume(const Packet& p) {
 }
 
 void QueryExecution::Consume(const PacketBatch& batch) {
+  // 1-in-kMetricsSamplePeriod batches get a wall-clock sample into the
+  // decayed ns-per-batch reservoir; a null handle means the clock is
+  // never read. The periodic FlushMetrics() below publishes counter
+  // deltas. Both compile to nothing under FWDECAY_METRICS=OFF.
+  metrics::LatencyReservoir* sampled_reservoir =
+      (FWDECAY_METRICS_ENABLED &&
+       metrics_batch_seq_ % kMetricsSamplePeriod == 0)
+          ? metrics_.batch_ns
+          : nullptr;
+  metrics::ScopedTimerSample batch_timer(
+      sampled_reservoir,
+      sampled_reservoir != nullptr
+          ? metrics::MetricsRegistry::Instance().NowSeconds()
+          : 0.0);
+  if (FWDECAY_METRICS_ENABLED &&
+      ++metrics_batch_seq_ % kMetricsFlushPeriod == 0) {
+    FlushMetrics();
+  }
+
   const std::size_t n_in = batch.size();
   packets_consumed_ += n_in;
   if (n_in == 0) return;
@@ -438,6 +625,23 @@ void QueryExecution::Consume(const PacketBatch& batch) {
 void QueryExecution::ConsumeFiltered(const PacketBatch& batch,
                                      const std::uint32_t* rows,
                                      std::size_t n) {
+  // Same sampling/flush cadence as Consume(batch) — this is the
+  // per-shard hot path (caller holds the shard lock).
+  metrics::LatencyReservoir* sampled_reservoir =
+      (FWDECAY_METRICS_ENABLED &&
+       metrics_batch_seq_ % kMetricsSamplePeriod == 0)
+          ? metrics_.batch_ns
+          : nullptr;
+  metrics::ScopedTimerSample batch_timer(
+      sampled_reservoir,
+      sampled_reservoir != nullptr
+          ? metrics::MetricsRegistry::Instance().NowSeconds()
+          : 0.0);
+  if (FWDECAY_METRICS_ENABLED &&
+      ++metrics_batch_seq_ % kMetricsFlushPeriod == 0) {
+    FlushMetrics();
+  }
+
   // The router already applied protocol + WHERE; count only the rows
   // this shard owns so tuples_aggregated_ <= packets_consumed_ holds
   // per shard.
@@ -524,6 +728,7 @@ void QueryExecution::AggregateSelection(const PacketBatch& batch,
       }
       if (!slot.occupied) {
         slot.occupied = true;
+        ++low_occupied_;
         slot.hash = hash;
         slot.group.key = std::move(key_scratch_);
         slot.group.aggs = MakeAggStates(plan_->agg_names_);
@@ -533,15 +738,6 @@ void QueryExecution::AggregateSelection(const PacketBatch& batch,
     UpdateGroup(*target, batch, i, j - i);
     i = j;
   }
-}
-
-std::size_t QueryExecution::GroupCount() const {
-  std::size_t n = 0;
-  for (const auto& [hash, bucket] : high_->map) n += bucket.size();
-  for (const LowSlot& slot : low_table_) {
-    if (slot.occupied) ++n;
-  }
-  return n;
 }
 
 void QueryExecution::CheckInvariants() const {
@@ -584,9 +780,11 @@ void QueryExecution::CheckInvariants() const {
     FWDECAY_CHECK_MSG(low_table_.empty(),
                       "low-level table allocated in one-level mode");
   }
+  std::size_t low_n = 0;
   for (std::size_t s = 0; s < low_table_.size(); ++s) {
     const LowSlot& slot = low_table_[s];
     if (!slot.occupied) continue;
+    ++low_n;
     FWDECAY_CHECK_MSG(slot.hash % low_table_.size() == s,
                       "low-level slot holds a group mapped elsewhere");
     FWDECAY_CHECK_MSG(HashKey(slot.group.key) == slot.hash,
@@ -598,6 +796,8 @@ void QueryExecution::CheckInvariants() const {
     FWDECAY_CHECK_MSG(slot.group.weight >= 0.0 && !std::isnan(slot.group.weight),
                       "low-level group weight is negative or NaN");
   }
+  FWDECAY_CHECK_MSG(low_n == low_occupied_,
+                    "cached low-level occupancy count out of sync");
 
   // Counters and the shedding contract.
   FWDECAY_CHECK_MSG(tuples_aggregated_ <= packets_consumed_,
@@ -658,6 +858,9 @@ void QueryExecution::MergeFrom(QueryExecution& other) {
 ResultSet QueryExecution::Finish() {
   // Flush remaining low-level partial groups.
   FlushLowLevel();
+  // Publish the tail counter deltas (including the evictions the flush
+  // above just produced) before results are read.
+  FlushMetrics();
 
   ResultSet result;
   for (const auto& out : plan_->outputs_) result.columns.push_back(out.column_name);
@@ -710,7 +913,7 @@ ResultSet QueryExecution::Finish() {
 // Checkpoint / restore
 // ---------------------------------------------------------------------------
 //
-// Snapshot file layout (see DESIGN.md "Durability"):
+// Snapshot file layout (normative byte-offset tables: DESIGN.md §6.2):
 //   8 bytes   magic "FWDSNAP1"
 //   u32       format version (1)
 //   u32       CRC32C of the payload
@@ -784,6 +987,11 @@ bool QueryExecution::RestoreGroup(ByteReader* reader, Group* group) {
 
 bool QueryExecution::Checkpoint(const std::string& path,
                                 std::string* error) const {
+  // Cold path: timed unconditionally (serialize + CRC + atomic write,
+  // i.e. the fsyncs dominate — see also fwdecay_faultfs_fsync_ns).
+  metrics::ScopedTimerSample checkpoint_timer(
+      EngineMetrics::Get().checkpoint_ns,
+      metrics::MetricsRegistry::Instance().NowSeconds());
   ByteWriter payload;
   payload.WriteU64(plan_->Fingerprint());
   payload.WriteU8(plan_->options_.two_level ? 1 : 0);
@@ -833,10 +1041,21 @@ bool QueryExecution::Checkpoint(const std::string& path,
   file.WriteU32(Crc32c(body.data(), body.size()));
   file.WriteU64(body.size());
   file.WriteBytes(body.data(), body.size());
-  return FaultFs::Instance().AtomicWriteFile(path, file.bytes(), error);
+  if (!FaultFs::Instance().AtomicWriteFile(path, file.bytes(), error)) {
+    return false;
+  }
+  EngineMetrics::Get().checkpoints->Increment();
+  EngineMetrics::Get().checkpoint_bytes->Increment(file.bytes().size());
+  return true;
 }
 
 bool QueryExecution::Restore(const std::string& path, std::string* error) {
+  // Recovery replay time: the snapshot-load half is timed here; the
+  // re-ingest half shows up in the ordinary Consume() counters as the
+  // caller re-feeds the trace from packets_consumed().
+  metrics::ScopedTimerSample restore_timer(
+      EngineMetrics::Get().restore_ns,
+      metrics::MetricsRegistry::Instance().NowSeconds());
   std::vector<std::uint8_t> bytes;
   if (!FaultFs::Instance().ReadFile(path, &bytes, error)) return false;
   ByteReader header(bytes);
@@ -902,6 +1121,7 @@ bool QueryExecution::Restore(const std::string& path, std::string* error) {
   policy_.max_groups = static_cast<std::size_t>(max_groups);
 
   low_table_.clear();
+  low_occupied_ = 0;
   if (plan_->options_.two_level) {
     low_table_.resize(plan_->options_.low_level_slots);
   }
@@ -927,6 +1147,7 @@ bool QueryExecution::Restore(const std::string& path, std::string* error) {
       return false;
     }
     slot.occupied = true;
+    ++low_occupied_;
     slot.hash = hash;
   }
 
@@ -951,6 +1172,16 @@ bool QueryExecution::Restore(const std::string& path, std::string* error) {
     *error = "snapshot has trailing bytes";
     return false;
   }
+  // The restored counters replace this execution's history; resync the
+  // flush baselines so the next FlushMetrics() publishes only genuinely
+  // new work (a baseline above the restored counter would underflow the
+  // delta).
+  flushed_packets_ = packets_consumed_;
+  flushed_tuples_ = tuples_aggregated_;
+  flushed_evictions_ = low_level_evictions_;
+  flushed_groups_shed_ = groups_shed_;
+  flushed_tuples_shed_ = tuples_shed_;
+  EngineMetrics::Get().restores->Increment();
   return true;
 }
 
@@ -977,13 +1208,20 @@ ShardedQueryExecution::ShardedQueryExecution(const CompiledQuery& plan,
   shards_.reserve(num_shards);
   for (std::size_t s = 0; s < num_shards; ++s) {
     auto shard = std::make_unique<Shard>();
-    shard->exec = plan.NewExecution();
+    {
+      MutexLock lock(shard->mu);
+      shard->exec = plan.NewExecution();
+      shard->exec->UseShardMetrics(s);
+    }
     shards_.push_back(std::move(shard));
   }
 }
 
 void ShardedQueryExecution::Consume(const PacketBatch& batch) {
   packets_offered_.fetch_add(batch.size(), std::memory_order_relaxed);
+  // Router-level offered-packet count goes to the engine-wide family;
+  // the per-shard fwdecay_shard_* counters only see post-filter rows.
+  EngineMetrics::Get().packets->Increment(batch.size());
   const std::size_t n_in = batch.size();
   if (n_in == 0) return;
 
@@ -1048,6 +1286,10 @@ ResultSet ShardedQueryExecution::Finish() {
   for (auto& shard : shards_) {
     MutexLock lock(shard->mu);
     shard->exec->FlushLowLevel();
+    // Publish the tail deltas now that the shard has quiesced, so a
+    // scrape right after Finish() sees counts matching the result set
+    // instead of lagging by up to kMetricsFlushPeriod batches.
+    shard->exec->FlushMetrics();
     merged->MergeFrom(*shard->exec);
   }
   return merged->Finish();

@@ -17,6 +17,7 @@
 #include "dsms/parser.h"
 #include "dsms/value.h"
 #include "util/bytes.h"
+#include "util/metrics.h"
 #include "util/thread_annotations.h"
 
 // Query compilation and execution for the mini DSMS.
@@ -158,8 +159,11 @@ class QueryExecution {
   /// trace from this offset.
   std::uint64_t packets_consumed() const { return packets_consumed_; }
 
-  /// Distinct groups currently held (low + high level).
-  std::size_t GroupCount() const;
+  /// Distinct groups currently held (low + high level). O(1): both
+  /// levels keep cached occupancy counts (audited by CheckInvariants),
+  /// so the metrics flush can publish a group-count gauge on the hot
+  /// path without walking the tables.
+  std::size_t GroupCount() const { return high_group_count_ + low_occupied_; }
 
   /// Evictions from the low-level table (two-level mode only).
   std::uint64_t low_level_evictions() const { return low_level_evictions_; }
@@ -231,6 +235,16 @@ class QueryExecution {
   void EvictToHigh(LowSlot& slot);
   double ForwardWeight(double ts) const;
   void ShedLowestWeightGroup();
+  // Publishes the counter deltas accumulated since the previous flush
+  // into the process-wide metrics registry and refreshes the group-count
+  // gauge + decayed tuple rate. Called every kMetricsFlushPeriod batches
+  // plus at Finish()/destruction; a FWDECAY_METRICS=OFF build compiles
+  // it (and its call sites) away entirely.
+  void FlushMetrics();
+  // Rebinds the counter/gauge handles to the per-shard labelled
+  // families (fwdecay_shard_*{shard="i"}); called once per shard by
+  // ShardedQueryExecution before any ingest.
+  void UseShardMetrics(std::size_t shard_index);
   bool SerializeGroup(const Group& group, ByteWriter* writer,
                       std::string* error) const;
   bool RestoreGroup(ByteReader* reader, Group* group);
@@ -243,6 +257,39 @@ class QueryExecution {
   std::uint64_t groups_shed_ = 0;
   std::uint64_t tuples_shed_ = 0;
   std::size_t high_group_count_ = 0;
+  std::size_t low_occupied_ = 0;  // occupied low-level slots (cached)
+
+  // --- Self-instrumentation (util/metrics.h; DESIGN.md §9) ------------
+  // Resolved-once registry handles. The hot path touches only the plain
+  // members above; FlushMetrics() publishes deltas every
+  // kMetricsFlushPeriod batches and the ns-per-batch reservoir samples
+  // one batch in kMetricsSamplePeriod, so steady-state ingest pays a few
+  // scalar ops per batch and the acceptance bound (<=5% ns/packet) holds
+  // even on the one-packet-per-batch path.
+  struct MetricsHandles {
+    metrics::Counter* packets = nullptr;
+    metrics::Counter* batches = nullptr;
+    metrics::Counter* tuples = nullptr;
+    metrics::Counter* evictions = nullptr;
+    metrics::Counter* groups_shed = nullptr;
+    metrics::Counter* tuples_shed = nullptr;
+    metrics::Gauge* groups = nullptr;
+    metrics::DecayedRate* tuple_rate = nullptr;
+    metrics::LatencyReservoir* batch_ns = nullptr;
+  };
+  static constexpr std::uint64_t kMetricsFlushPeriod = 64;
+  static constexpr std::uint64_t kMetricsSamplePeriod = 64;
+  MetricsHandles metrics_;
+  std::uint64_t metrics_batch_seq_ = 0;
+  // Counter values as of the previous FlushMetrics() (so a flush
+  // publishes exact deltas; Restore() resyncs these to the restored
+  // counters).
+  std::uint64_t flushed_packets_ = 0;
+  std::uint64_t flushed_batches_ = 0;
+  std::uint64_t flushed_tuples_ = 0;
+  std::uint64_t flushed_evictions_ = 0;
+  std::uint64_t flushed_groups_shed_ = 0;
+  std::uint64_t flushed_tuples_shed_ = 0;
 
   // Storage details live in the .cc (pimpl-free; concrete types are
   // private nested structs).

@@ -13,9 +13,10 @@
 // are repeatable across machines (and so externally captured traces can
 // be fed to the engine in place of the synthetic generator).
 //
-// Format: 8-byte magic "FWDTRC01", u64 packet count, then fixed-width
-// little-endian records (time f64, src_ip u32, dest_ip u32, src_port
-// u16, dest_port u16, len u32, protocol u8).
+// Format "FWDTRC02": 8-byte magic, u64 packet count, fixed-width
+// little-endian 29-byte records, trailing CRC32C over all preceding
+// bytes; written atomically through FaultFs. "FWDTRC01" files (no CRC)
+// still read back. DESIGN.md §6.3 has the normative byte-layout tables.
 
 namespace fwdecay::dsms {
 

@@ -9,9 +9,83 @@
 #include <cstdio>
 #include <cstring>
 
+#include "util/metrics.h"
+
 namespace fwdecay {
 
 namespace {
+
+// I/O-layer metric families (DESIGN.md §9). Resolved once; every
+// durable byte in the repo flows through this file, so these counters
+// are a complete account of disk traffic.
+struct FaultFsMetrics {
+  metrics::Counter* writes;
+  metrics::Counter* write_failures;
+  metrics::Counter* write_bytes;
+  metrics::Counter* reads;
+  metrics::Counter* read_failures;
+  metrics::Counter* faults_injected;
+  metrics::Counter* eintr_retries;
+  metrics::LatencyReservoir* fsync_ns;
+
+  static const FaultFsMetrics& Get() {
+    static const FaultFsMetrics m = Create();
+    return m;
+  }
+
+ private:
+  static FaultFsMetrics Create() {
+    auto& reg = metrics::MetricsRegistry::Instance();
+    FaultFsMetrics m{};
+    m.writes = reg.GetCounter("fwdecay_faultfs_writes_total",
+                              "Atomic file writes that completed.");
+    m.write_failures =
+        reg.GetCounter("fwdecay_faultfs_write_failures_total",
+                       "Atomic file writes that failed (real or injected).");
+    m.write_bytes = reg.GetCounter("fwdecay_faultfs_write_bytes_total",
+                                   "Payload bytes of completed writes.");
+    m.reads = reg.GetCounter("fwdecay_faultfs_reads_total",
+                             "File reads that completed.");
+    m.read_failures =
+        reg.GetCounter("fwdecay_faultfs_read_failures_total",
+                       "File reads that failed (real or injected).");
+    m.faults_injected = reg.GetCounter("fwdecay_faultfs_faults_injected_total",
+                                       "Armed fault plans that fired.");
+    m.eintr_retries = reg.GetCounter("fwdecay_faultfs_eintr_retries_total",
+                                     "write(2)/read(2) calls retried after "
+                                     "EINTR.");
+    m.fsync_ns = reg.GetReservoir(
+        "fwdecay_faultfs_fsync_ns",
+        "fsync(2) wall time on the temp file, ns (decayed reservoir).",
+        /*k=*/128, /*alpha=*/0.015);
+    return m;
+  }
+};
+
+// Scope guards that account an I/O call on whichever of the many
+// early-return paths it takes. `ok` defaults to failure; the success
+// return flips it just before leaving.
+struct ScopedWriteAccount {
+  std::size_t bytes;
+  bool ok = false;
+  ~ScopedWriteAccount() {
+    const FaultFsMetrics& m = FaultFsMetrics::Get();
+    if (ok) {
+      m.writes->Increment();
+      m.write_bytes->Increment(bytes);
+    } else {
+      m.write_failures->Increment();
+    }
+  }
+};
+
+struct ScopedReadAccount {
+  bool ok = false;
+  ~ScopedReadAccount() {
+    const FaultFsMetrics& m = FaultFsMetrics::Get();
+    (ok ? m.reads : m.read_failures)->Increment();
+  }
+};
 
 // RAII fd so every early return closes the descriptor.
 class Fd {
@@ -44,7 +118,10 @@ bool WriteAll(int fd, const std::uint8_t* data, std::size_t size) {
   while (done < size) {
     const ssize_t n = ::write(fd, data + done, size - done);
     if (n < 0) {
-      if (errno == EINTR) continue;
+      if (errno == EINTR) {
+        FaultFsMetrics::Get().eintr_retries->Increment();
+        continue;
+      }
       return false;
     }
     done += static_cast<std::size_t>(n);
@@ -92,6 +169,7 @@ bool FaultFs::ConsumeFault(FaultPoint point, std::size_t* byte_limit) {
   *byte_limit = plan_.byte_limit;
   plan_ = FaultPlan{};  // one-shot
   ++faults_injected_;
+  FaultFsMetrics::Get().faults_injected->Increment();
   return true;
 }
 
@@ -114,6 +192,7 @@ bool FaultFs::AtomicWriteFile(const std::string& path,
                               std::string* error) {
   const std::string tmp = TempPathFor(path);
   std::size_t limit = 0;
+  ScopedWriteAccount account{size};
 
   if (ConsumeFault(FaultPoint::kOpenForWrite, &limit)) {
     *error = "injected open failure for '" + tmp + "'";
@@ -151,9 +230,17 @@ bool FaultFs::AtomicWriteFile(const std::string& path,
     *error = "injected fsync failure on '" + tmp + "'";
     return false;
   }
-  if (::fsync(fd.get()) != 0) {
-    *error = Errno("fsync failed on", tmp);
-    return false;
+  {
+    // Every fsync is sampled (no 1-in-N): the syscall is microseconds,
+    // so one extra clock read disappears in the noise, and fsync tail
+    // latency is the single most operationally interesting number here.
+    metrics::ScopedTimerSample fsync_timer(
+        FaultFsMetrics::Get().fsync_ns,
+        metrics::MetricsRegistry::Instance().NowSeconds());
+    if (::fsync(fd.get()) != 0) {
+      *error = Errno("fsync failed on", tmp);
+      return false;
+    }
   }
   fd.Close();
 
@@ -175,6 +262,7 @@ bool FaultFs::AtomicWriteFile(const std::string& path,
     *error = "injected crash after renaming to '" + path + "'";
     return false;
   }
+  account.ok = true;
   return true;
 }
 
@@ -182,6 +270,7 @@ bool FaultFs::ReadFile(const std::string& path,
                        std::vector<std::uint8_t>* out, std::string* error,
                        std::size_t max_bytes) {
   std::size_t limit = 0;
+  ScopedReadAccount account;
   if (ConsumeFault(FaultPoint::kOpenForRead, &limit)) {
     *error = "injected open failure for '" + path + "'";
     return false;
@@ -236,12 +325,14 @@ bool FaultFs::ReadFile(const std::string& path,
     // The short read is delivered as-is: callers must detect the
     // truncation themselves (CRC / length framing), which is exactly
     // what the fault matrix verifies.
+    account.ok = true;
     return true;
   }
   if (done != want) {
     *error = "short read from '" + path + "'";
     return false;
   }
+  account.ok = true;
   return true;
 }
 

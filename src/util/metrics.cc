@@ -1,0 +1,338 @@
+#include "util/metrics.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <thread>
+
+namespace fwdecay::metrics {
+
+bool ValidMetricName(const std::string& name) {
+  static constexpr char kPrefix[] = "fwdecay_";
+  static constexpr std::size_t kPrefixLen = sizeof(kPrefix) - 1;
+  if (name.size() <= kPrefixLen) return false;
+  if (name.compare(0, kPrefixLen, kPrefix) != 0) return false;
+  for (std::size_t i = kPrefixLen; i < name.size(); ++i) {
+    const char c = name[i];
+    const bool ok =
+        (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+std::string FormatValue(double v) {
+  char buf[64];
+  if (std::isfinite(v) && v == std::floor(v) && std::abs(v) < 1e15) {
+    (void)std::snprintf(buf, sizeof(buf), "%.0f", v);
+  } else {
+    (void)std::snprintf(buf, sizeof(buf), "%.9g", v);
+  }
+  return buf;
+}
+
+namespace impl {
+
+// --------------------------------------------------------------------
+// DecayedRate
+
+void DecayedRate::Mark(Timestamp t, double n) {
+  MutexLock lock(mu_);
+  if (alpha_ * (t - count_.decay().landmark()) > kRescaleLogLimit) {
+    count_.RescaleLandmark(t);
+  }
+  count_.AddN(std::max(t, count_.decay().landmark()), n);
+}
+
+double DecayedRate::RatePerSecond(Timestamp t) const {
+  return DecayedCountValue(t) * alpha_;
+}
+
+double DecayedRate::DecayedCountValue(Timestamp t) const {
+  MutexLock lock(mu_);
+  return count_.Value(std::max(t, count_.decay().landmark()));
+}
+
+void DecayedRate::CheckInvariants() const {
+  MutexLock lock(mu_);
+  FWDECAY_CHECK(std::isfinite(count_.RawWeightedCount()));
+  FWDECAY_CHECK(count_.RawWeightedCount() >= 0.0);
+  FWDECAY_CHECK(count_.decay().g().alpha == alpha_);
+}
+
+// --------------------------------------------------------------------
+// LatencyReservoir
+
+void LatencyReservoir::Observe(Timestamp t, double value) {
+  MutexLock lock(mu_);
+  reservoir_.Update(std::max(t, reservoir_.start()), value);
+  ++observations_;
+}
+
+ReservoirSnapshot LatencyReservoir::Snapshot() const {
+  MutexLock lock(mu_);
+  return reservoir_.Snapshot();
+}
+
+std::uint64_t LatencyReservoir::observations() const {
+  MutexLock lock(mu_);
+  return observations_;
+}
+
+void LatencyReservoir::CheckInvariants() const {
+  MutexLock lock(mu_);
+  reservoir_.CheckInvariants();
+  FWDECAY_CHECK(reservoir_.size() <= observations_);
+}
+
+// --------------------------------------------------------------------
+// MetricsRegistry
+
+MetricsRegistry& MetricsRegistry::Instance() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+const char* MetricsRegistry::KindName(Kind kind) {
+  switch (kind) {
+    case Kind::kCounter:
+      return "counter";
+    case Kind::kGauge:
+      return "gauge";
+    case Kind::kDecayedRate:
+      // A decayed rate can fall as well as rise: a gauge, per the
+      // Prometheus data model, even though it counts events.
+      return "gauge";
+    case Kind::kReservoir:
+      return "summary";
+  }
+  return "untyped";
+}
+
+MetricsRegistry::Entry* MetricsRegistry::GetOrCreate(const std::string& name,
+                                                     const std::string& help,
+                                                     const std::string& labels,
+                                                     Kind kind) {
+  FWDECAY_CHECK_MSG(ValidMetricName(name),
+                    "metric names must match ^fwdecay_[a-z0-9_]+$");
+  auto key = std::make_pair(name, labels);
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    FWDECAY_CHECK_MSG(it->second->kind == kind,
+                      "metric re-registered with a different kind");
+    return it->second.get();
+  }
+  // Family consistency: every labelled instance of one name shares a
+  // kind (and therefore renders under a single # TYPE header).
+  auto family = entries_.lower_bound(std::make_pair(name, std::string()));
+  if (family != entries_.end() && family->first.first == name) {
+    FWDECAY_CHECK_MSG(family->second->kind == kind,
+                      "metric family spans two kinds");
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->kind = kind;
+  entry->help = help;
+  Entry* raw = entry.get();
+  entries_.emplace(std::move(key), std::move(entry));
+  return raw;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     const std::string& help,
+                                     const std::string& labels) {
+  MutexLock lock(mu_);
+  Entry* entry = GetOrCreate(name, help, labels, Kind::kCounter);
+  if (!entry->counter) entry->counter = std::make_unique<Counter>();
+  return entry->counter.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name,
+                                 const std::string& help,
+                                 const std::string& labels) {
+  MutexLock lock(mu_);
+  Entry* entry = GetOrCreate(name, help, labels, Kind::kGauge);
+  if (!entry->gauge) entry->gauge = std::make_unique<Gauge>();
+  return entry->gauge.get();
+}
+
+DecayedRate* MetricsRegistry::GetDecayedRate(const std::string& name,
+                                             const std::string& help,
+                                             double alpha,
+                                             const std::string& labels) {
+  MutexLock lock(mu_);
+  Entry* entry = GetOrCreate(name, help, labels, Kind::kDecayedRate);
+  if (!entry->rate) entry->rate = std::make_unique<DecayedRate>(alpha);
+  FWDECAY_CHECK_MSG(entry->rate->alpha() == alpha,
+                    "decayed rate re-registered with a different alpha");
+  return entry->rate.get();
+}
+
+LatencyReservoir* MetricsRegistry::GetReservoir(const std::string& name,
+                                                const std::string& help,
+                                                std::size_t k, double alpha,
+                                                const std::string& labels) {
+  MutexLock lock(mu_);
+  Entry* entry = GetOrCreate(name, help, labels, Kind::kReservoir);
+  if (!entry->reservoir) {
+    entry->reservoir = std::make_unique<LatencyReservoir>(k, alpha);
+  }
+  return entry->reservoir.get();
+}
+
+void MetricsRegistry::RenderEntry(const std::string& name,
+                                  const std::string& labels,
+                                  const Entry& entry, Timestamp now,
+                                  std::string* out) {
+  const auto line = [&](const char* extra_label, const std::string& value) {
+    out->append(name);
+    const bool extra = extra_label[0] != '\0';
+    if (!labels.empty() || extra) {
+      out->push_back('{');
+      out->append(labels);
+      if (!labels.empty() && extra) out->push_back(',');
+      out->append(extra_label);
+      out->push_back('}');
+    }
+    out->push_back(' ');
+    out->append(value);
+    out->push_back('\n');
+  };
+  switch (entry.kind) {
+    case Kind::kCounter:
+      line("", std::to_string(entry.counter->value()));
+      break;
+    case Kind::kGauge:
+      line("", FormatValue(entry.gauge->value()));
+      break;
+    case Kind::kDecayedRate:
+      line("", FormatValue(entry.rate->RatePerSecond(now)));
+      break;
+    case Kind::kReservoir: {
+      const ReservoirSnapshot snap = entry.reservoir->Snapshot();
+      line("quantile=\"0.5\"", FormatValue(snap.median));
+      line("quantile=\"0.75\"", FormatValue(snap.p75));
+      line("quantile=\"0.95\"", FormatValue(snap.p95));
+      line("quantile=\"0.99\"", FormatValue(snap.p99));
+      out->append(name).append("_count");
+      if (!labels.empty()) {
+        out->push_back('{');
+        out->append(labels);
+        out->push_back('}');
+      }
+      out->push_back(' ');
+      out->append(std::to_string(entry.reservoir->observations()));
+      out->push_back('\n');
+      break;
+    }
+  }
+}
+
+void MetricsRegistry::RenderPrometheus(std::string* out) const {
+  RenderPrometheus(out, NowSeconds());
+}
+
+void MetricsRegistry::RenderPrometheus(std::string* out, Timestamp now) const {
+  out->clear();
+  {
+    MutexLock lock(mu_);
+    const std::string* family = nullptr;
+    for (const auto& [key, entry] : entries_) {
+      const std::string& name = key.first;
+      if (family == nullptr || *family != name) {
+        out->append("# HELP ").append(name).push_back(' ');
+        out->append(entry->help).push_back('\n');
+        out->append("# TYPE ").append(name).push_back(' ');
+        out->append(KindName(entry->kind));
+        out->push_back('\n');
+        family = &name;
+      }
+      RenderEntry(name, key.second, *entry, now, out);
+    }
+  }
+  FWDECAY_AUDIT_INVARIANTS(*this);
+}
+
+std::size_t MetricsRegistry::MetricCount() const {
+  MutexLock lock(mu_);
+  return entries_.size();
+}
+
+void MetricsRegistry::CheckInvariants() const {
+  MutexLock lock(mu_);
+  const std::string* family = nullptr;
+  Kind family_kind = Kind::kCounter;
+  for (const auto& [key, entry] : entries_) {
+    FWDECAY_CHECK(ValidMetricName(key.first));
+    FWDECAY_CHECK(entry != nullptr);
+    if (family != nullptr && *family == key.first) {
+      FWDECAY_CHECK(entry->kind == family_kind);
+    }
+    family = &key.first;
+    family_kind = entry->kind;
+    switch (entry->kind) {
+      case Kind::kCounter:
+        FWDECAY_CHECK(entry->counter != nullptr);
+        break;
+      case Kind::kGauge:
+        FWDECAY_CHECK(entry->gauge != nullptr);
+        break;
+      case Kind::kDecayedRate:
+        FWDECAY_CHECK(entry->rate != nullptr);
+        entry->rate->CheckInvariants();
+        break;
+      case Kind::kReservoir:
+        FWDECAY_CHECK(entry->reservoir != nullptr);
+        entry->reservoir->CheckInvariants();
+        break;
+    }
+  }
+}
+
+// --------------------------------------------------------------------
+// StatsReporter
+
+namespace {
+
+void StderrSink(const std::string& text) {
+  (void)std::fputs(text.c_str(), stderr);
+}
+
+}  // namespace
+
+StatsReporter::StatsReporter(const MetricsRegistry* registry,
+                             double period_seconds, Sink sink)
+    : registry_(registry),
+      period_seconds_(period_seconds),
+      sink_(sink ? std::move(sink) : Sink(&StderrSink)) {
+  FWDECAY_CHECK(registry_ != nullptr);
+  FWDECAY_CHECK_MSG(period_seconds_ > 0.0,
+                    "StatsReporter period must be positive");
+  thread_ = std::thread([this] { Run(); });
+}
+
+StatsReporter::~StatsReporter() { Stop(); }
+
+void StatsReporter::Stop() {
+  stop_.store(true, std::memory_order_release);
+  if (thread_.joinable()) thread_.join();
+}
+
+void StatsReporter::Run() {
+  Timer since_report;
+  std::string text;
+  while (!stop_.load(std::memory_order_acquire)) {
+    if (since_report.ElapsedSeconds() >= period_seconds_) {
+      since_report.Reset();
+      registry_->RenderPrometheus(&text);
+      sink_(text);
+      reports_.fetch_add(1, std::memory_order_relaxed);
+      FWDECAY_AUDIT_INVARIANTS(*registry_);
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+}
+
+}  // namespace impl
+}  // namespace fwdecay::metrics

@@ -14,6 +14,15 @@ class Timer {
  public:
   Timer() : start_(Clock::now()) {}
 
+  /// Raw monotonic reading, for callers that manage their own start
+  /// point (e.g. conditionally-armed scope timers that must not hold a
+  /// partially-initialized Timer).
+  static std::int64_t NowNanos() {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               Clock::now().time_since_epoch())
+        .count();
+  }
+
   /// Restarts the stopwatch.
   void Reset() { start_ = Clock::now(); }
 

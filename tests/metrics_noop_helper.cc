@@ -1,0 +1,46 @@
+// Compiled with FWDECAY_METRICS_DISABLED (set per-source in
+// tests/CMakeLists.txt) while the rest of the test binary is built with
+// whatever the configure-time default is. Linking this TU into
+// metrics_test proves the ODR story documented in util/metrics.h —
+// impl and noop are always both compiled, only the (non-ODR) aliases
+// differ per TU — and that the noop surface really does nothing.
+
+#include <string>
+
+#include "util/metrics.h"
+
+static_assert(FWDECAY_METRICS_ENABLED == 0,
+              "this TU must be compiled with FWDECAY_METRICS_DISABLED "
+              "(see tests/CMakeLists.txt)");
+
+namespace fwdecay::metrics_noop_check {
+
+// Exercises every aliased entry point exactly as instrumented code
+// does and returns a sum that is zero iff all of them were no-ops.
+std::uint64_t ExerciseDisabledMetrics() {
+  auto& reg = metrics::MetricsRegistry::Instance();
+
+  metrics::Counter* counter =
+      reg.GetCounter("fwdecay_noop_probe_total", "noop probe");
+  counter->Increment(41);
+
+  metrics::Gauge* gauge = reg.GetGauge("fwdecay_noop_probe", "noop probe");
+  gauge->Set(3.5);
+
+  metrics::DecayedRate* rate =
+      reg.GetDecayedRate("fwdecay_noop_probe_rate", "noop probe", 0.1);
+  rate->Mark(1.0, 2.0);
+
+  metrics::LatencyReservoir* reservoir =
+      reg.GetReservoir("fwdecay_noop_probe_ns", "noop probe", 16, 0.1);
+  { metrics::ScopedTimerSample sample(reservoir, 0.0); }
+
+  std::string out = "sentinel: render must clear this";
+  reg.RenderPrometheus(&out);
+
+  return counter->value() + static_cast<std::uint64_t>(gauge->value()) +
+         static_cast<std::uint64_t>(rate->RatePerSecond(2.0)) +
+         reservoir->observations() + reg.MetricCount() + out.size();
+}
+
+}  // namespace fwdecay::metrics_noop_check
