@@ -3,7 +3,7 @@
 
 These are *model-level* invariants of the forward-decay paper that
 neither the compiler nor clang-tidy can express; scripts/lint.py handles
-the purely syntactic conventions. Four rules:
+the purely syntactic conventions. Seven rules:
 
   backward-age   Forward decay's whole point (Section IV) is that
                  per-item weights are computed from the *landmark*,
@@ -39,17 +39,58 @@ the purely syntactic conventions. Four rules:
                  favor of the annotated wrapper (otherwise the clang
                  -Wthread-safety build proves nothing about the class).
 
+  lock-order     Global (cross-TU) lock-acquisition graph. Every
+                 acquisition made while another lock is held adds an
+                 edge held -> acquired; calls made under a lock
+                 propagate the callee's transitive acquisitions when
+                 the bare callee name resolves to exactly one
+                 lock-acquiring definition. Lock identity is
+                 Class::member when the member name is owned by exactly
+                 one class, else file-qualified. Any cycle in the graph
+                 (including a self-edge, i.e. re-acquiring a lock of
+                 the same identity while holding one) is a potential
+                 deadlock and fails the build — the static complement
+                 of the deadlock detector inside util/sched.h's
+                 schedule explorer (DESIGN.md §10). Intentional
+                 exceptions carry `// fwdecay: lock-order-ok(<reason>)`
+                 on the acquisition line or the line above.
+
+  atomics-order  `memory_order_relaxed` is the easiest way to write a
+                 racy publish: a relaxed flag store orders nothing.
+                 Every relaxed use in src/, bench/ and examples/ must
+                 (a) live in a file on the RELAXED_ALLOWED audit list
+                 and (b) carry `// fwdecay: relaxed-ok(<reason>)` on
+                 the same or previous line, stating why ordering is
+                 not needed (tests/ are exempt: racy fixtures are the
+                 model checker's job). The audited sites are exactly
+                 the ones tests/sched_test.cc explores under
+                 -DFWDECAY_SCHED=ON weak-memory simulation.
+
+  hotpath-lock   Mutex acquisition inside the batched ingest hot path —
+                 the bodies of UpdateBatch() and Consume() — serializes
+                 the very code the batch layer parallelizes. Each such
+                 acquisition must be annotated
+                 `// fwdecay: hotpath-lock-ok(<reason>)` (e.g. "one
+                 acquisition amortized over the whole batch"), so a
+                 per-tuple lock cannot creep in silently.
+
 Engines: with python clang bindings + libclang available (CI's clang
 job), rules backward-age and exp-pow run on the real AST, which sees
 through macros and rules out matches in dead token sequences. Without
 them (the default dev container has only gcc), a textual engine runs the
 same rule set on comment/string-stripped sources. Both engines share
-the deser-bounds and guarded-by logic, which is inherently lexical
-(function-extent ordering and member-declaration annotations).
+the deser-bounds, guarded-by, lock-order, atomics-order and
+hotpath-lock logic, which is inherently lexical (function-extent
+ordering, member-declaration annotations, and comment-carried escape
+hatches). Pass --compile-commands build/compile_commands.json to give
+the AST engine each TU's real flags (CI exports the database once and
+shares it between the analyzer jobs); bench/ and examples/ fall back to
+the textual rules when no database entry covers them.
 
 Usage: scripts/analyze.py [--root DIR] [--engine auto|ast|text]
+                          [--compile-commands PATH] [--selftest]
 Exit status is 0 when clean, 1 when any finding is reported, 2 when a
-requested engine is unavailable.
+requested engine is unavailable or the selftest fails.
 """
 
 import argparse
@@ -105,6 +146,10 @@ EXP_POW_ALLOWED = {
     "src/sampling/weighted_reservoir.h",
     "src/sampling/priority_sampling.h",
     "src/sampling/with_replacement.h",
+    # Figure-reproduction ground truth: exp(fmod(time, 60)), argument
+    # bounded by the 60-second landmark period per the paper's setup.
+    "bench/bench_fig4_hh_eps.cc",
+    "bench/bench_fig5_hh_rate.cc",
 }
 
 EXP_POW_CALL_RE = re.compile(r"(?:\bstd\s*::\s*)?\b(exp|pow)\s*\(")
@@ -121,9 +166,48 @@ MUTEX_MEMBER_RE = re.compile(
 STD_MUTEX_MEMBER_RE = re.compile(
     r"^\s*(?:mutable\s+)?std\s*::\s*(?:shared_|recursive_)?mutex\s+\w+\s*;",
     re.M)
-GUARDED_BY_EXEMPT = ("src/util/thread_annotations.h",)
+# thread_annotations.h wraps std::mutex itself; sched.{h,cc} are the
+# model checker — their std::mutex/condvar ARE the implementation of the
+# virtual-lock layer and live outside the annotated discipline by
+# design (see scripts/lint.py LOCKING_EXEMPT).
+GUARDED_BY_EXEMPT = (
+    "src/util/thread_annotations.h",
+    "src/util/sched.h",
+    "src/util/sched.cc",
+)
 
-SRC_SUFFIXES = (".h", ".cc")
+# lock-order: files whose lock usage implements the locking layers
+# themselves (their internal std primitives are not participants in the
+# library's lock ordering).
+LOCK_ORDER_EXEMPT = GUARDED_BY_EXEMPT
+
+# atomics-order: audited homes of memory_order_relaxed. Every entry is
+# covered by the memory-order contract comment in util/metrics.h and by
+# the sched_test.cc weak-memory fixtures.
+RELAXED_ALLOWED = {
+    # Monotone counter cells + the ModelAtomic mirror (scheduler grant
+    # serializes mirror stores).
+    "src/util/metrics.h",
+    "src/util/metrics.cc",
+    "src/util/sched.h",
+    "src/util/sched.cc",
+    # Router-level offered-packet counter.
+    "src/dsms/engine.h",
+    "src/dsms/engine.cc",
+    # UDAF state-seed allocator (uniqueness needs only RMW atomicity).
+    "src/dsms/udafs.cc",
+}
+
+RELAXED_RE = re.compile(r"\bmemory_order_relaxed\b")
+RELAXED_OK_RE = re.compile(r"fwdecay:\s*relaxed-ok\s*\(")
+LOCK_ORDER_OK_RE = re.compile(r"fwdecay:\s*lock-order-ok\s*\(")
+HOTPATH_LOCK_OK_RE = re.compile(r"fwdecay:\s*hotpath-lock-ok\s*\(")
+
+# Hot-path entry points whose bodies must not take locks silently.
+HOTPATH_LOCK_FNS = ("UpdateBatch", "Consume")
+
+SRC_SUFFIXES = (".h", ".cc", ".cpp")
+SCAN_DIRS = ("src", "bench", "examples")
 
 
 def strip_comments_and_strings(text: str) -> str:
@@ -156,6 +240,16 @@ def strip_comments_and_strings(text: str) -> str:
 
 def line_of(code: str, pos: int) -> int:
     return code[:pos].count("\n") + 1
+
+
+def annotated(raw_lines, line: int, marker: re.Pattern) -> bool:
+    """True when `marker` appears on `line` (1-based) or the line above
+    in the ORIGINAL text — escape hatches live in comments, which the
+    stripped code no longer contains."""
+    for ln in (line, line - 1):
+        if 1 <= ln <= len(raw_lines) and marker.search(raw_lines[ln - 1]):
+            return True
+    return False
 
 
 # ---------------------------------------------------------------------------
@@ -245,18 +339,305 @@ def rule_guarded_by(rel: str, code: str, findings: list) -> None:
                  ") to the data it guards"))
 
 
+def rule_atomics_order(rel: str, raw: str, code: str, findings: list,
+                       allowed=None) -> None:
+    allowed = RELAXED_ALLOWED if allowed is None else allowed
+    raw_lines = raw.splitlines()
+    for m in RELAXED_RE.finditer(code):
+        line = line_of(code, m.start())
+        if rel not in allowed:
+            findings.append(
+                (rel, line,
+                 "atomics-order: memory_order_relaxed outside the "
+                 "audited allowlist; use acq/rel (or seq_cst) or add "
+                 "the file to RELAXED_ALLOWED after review"))
+        elif not annotated(raw_lines, line, RELAXED_OK_RE):
+            findings.append(
+                (rel, line,
+                 "atomics-order: relaxed use without a "
+                 "`// fwdecay: relaxed-ok(<reason>)` annotation on "
+                 "this or the previous line"))
+
+
+# --- lock-order + hotpath-lock machinery ------------------------------------
+
+# `class X : public Y {` / `struct X {`; the extent maps member mutexes
+# to their owning class for stable lock identities.
+CLASS_DEF_RE = re.compile(
+    r"\b(?:class|struct)\s+([A-Za-z_]\w*)\s*(?:final\s*)?(?::[^{;()]*)?\{")
+ANY_MUTEX_MEMBER_RE = re.compile(
+    r"(?:^|[;{])\s*(?:mutable\s+)?(?:fwdecay\s*::\s*)?"
+    r"(?:Mutex|sched\s*::\s*ModelMutex|std\s*::\s*(?:shared_|recursive_)?"
+    r"mutex)\s+(\w+)\s*;",
+    re.M)
+
+# A function definition: name(params) [trailers] [: init-list] {
+FUNC_DEF_RE = re.compile(
+    r"\b(~?[A-Za-z_]\w*)\s*\(((?:[^;{}()]|\([^()]*\))*)\)\s*"
+    r"((?:const|noexcept|final|override|mutable"
+    r"|FWDECAY_\w+\s*\((?:[^()]|\([^()]*\))*\))\s*)*"
+    r"(?:->\s*[\w:<>&*,\s]+?)?(?::[^{;]*)?\{")
+CONTROL_KEYWORDS = frozenset((
+    "if", "for", "while", "switch", "catch", "return", "sizeof",
+    "alignof", "new", "delete", "do", "else", "case", "operator"))
+
+# RAII acquisition: `MutexLock lock(expr)` and the std lock guards. Only
+# the paren form (the brace form would desync the block-depth scan).
+RAII_LOCK_RE = re.compile(
+    r"\b(?:MutexLock|ModelMutexLock"
+    r"|(?:std\s*::\s*)?(?:lock_guard|unique_lock|scoped_lock)"
+    r"\s*(?:<[^<>]*>)?)\s+\w+\s*\(\s*([^,();]+)")
+EXPLICIT_LOCK_RE = re.compile(
+    r"([\w\]](?:[\w.\->\[\]]*?)?)\s*(?:\.|->)\s*Lock\s*\(\s*\)")
+EXPLICIT_UNLOCK_RE = re.compile(
+    r"([\w\]](?:[\w.\->\[\]]*?)?)\s*(?:\.|->)\s*Unlock\s*\(\s*\)")
+# Bare (unqualified) call names only: `Helper(x)` propagates, but
+# `obj.size()` / `ptr->Consume()` / `ns::Get()` do not — a method call
+# on another object is exactly where bare-name resolution would
+# misattribute the callee (e.g. resolve `reservoir_.size()` to the
+# locking facade's own size() and fabricate a self-deadlock).
+CALL_SITE_RE = re.compile(r"(?<![\w.:>])([A-Za-z_]\w*)\s*\(")
+MEMBER_NAME_RE = re.compile(r"([A-Za-z_]\w*)(?:\s*\(\s*\))?\s*$")
+
+
+def lock_member_name(expr: str):
+    """`shard->mu` -> `mu`, `*guard_` -> `guard_`; None when the
+    expression has no trailing identifier to name the lock by."""
+    m = MEMBER_NAME_RE.search(expr.strip())
+    return m.group(1) if m else None
+
+
+class _Func:
+    __slots__ = ("name", "rel", "direct", "calls", "trans", "pending")
+
+    def __init__(self, name, rel):
+        self.name = name
+        self.rel = rel
+        self.direct = set()   # lock labels acquired anywhere in the body
+        self.calls = set()    # bare callee names seen in the body
+        self.trans = set()    # transitive closure, filled by fixpoint
+        self.pending = []     # (held_labels, callee, line) call-under-lock
+
+
+class LockOrderAnalysis:
+    """Cross-file pass: feed every file with add_file(), then finish().
+
+    Pass 1 (during add_file) records, per function definition, the lock
+    acquisitions (with the held-set at each acquisition, yielding direct
+    nesting edges) and the calls made while locks are held. Pass 2
+    (finish) runs a fixpoint over the call graph so a call chain
+    f -held A-> g -> h -acquires B- contributes the edge A -> B, then
+    reports every cycle in the resulting acquisition graph.
+    """
+
+    def __init__(self):
+        self.member_owners = {}   # member name -> set of class names
+        self.files = []           # (rel, raw, code), scanned in finish()
+        self.funcs = []
+        self.by_name = {}         # bare name -> [_Func]
+        self.edges = {}           # (a, b) -> (rel, line) first witness
+
+    def add_file(self, rel: str, raw: str, code: str) -> None:
+        """Collects mutex-member ownership; function bodies are scanned
+        in finish(), once ownership is complete across every file (a
+        lock used in a .cc must resolve to the class declared in the
+        .h, whatever the scan order)."""
+        if rel in LOCK_ORDER_EXEMPT:
+            return
+        self.files.append((rel, raw, code))
+        classes = []  # (name, start, end) innermost-wins lookup
+        for m in CLASS_DEF_RE.finditer(code):
+            brace = code.find("{", m.start())
+            classes.append((m.group(1), brace, function_extent(code, brace)))
+        for m in ANY_MUTEX_MEMBER_RE.finditer(code):
+            owner = None
+            best = None
+            for name, start, end in classes:
+                if start <= m.start() < end and \
+                        (best is None or end - start < best):
+                    owner, best = name, end - start
+            if owner:
+                self.member_owners.setdefault(
+                    m.group(1), set()).add(owner)
+
+    def _label(self, rel: str, member):
+        if member is None:
+            return None
+        owners = self.member_owners.get(member, set())
+        if len(owners) == 1:
+            return f"{next(iter(owners))}::{member}"
+        # Zero or ambiguous owners: qualify by file so unrelated locks
+        # that merely share a member name cannot alias into one node.
+        return f"{rel.rsplit('/', 1)[-1]}:{member}"
+
+    def _scan_function(self, rel, fn_name, code, brace, end, raw_lines):
+        body = code[brace:end]
+        func = _Func(fn_name, rel)
+        events = []
+        for i, c in enumerate(body):
+            if c == "{":
+                events.append((i, "open", None))
+            elif c == "}":
+                events.append((i, "close", None))
+        for m in RAII_LOCK_RE.finditer(body):
+            events.append((m.start(), "lock", lock_member_name(m.group(1))))
+        for m in EXPLICIT_LOCK_RE.finditer(body):
+            events.append((m.start(), "lock", lock_member_name(m.group(1))))
+        for m in EXPLICIT_UNLOCK_RE.finditer(body):
+            events.append(
+                (m.start(), "unlock", lock_member_name(m.group(1))))
+        for m in CALL_SITE_RE.finditer(body):
+            if m.group(1) not in CONTROL_KEYWORDS:
+                events.append((m.start(), "call", m.group(1)))
+        events.sort(key=lambda e: (e[0], e[1] != "close"))
+
+        depth = 0
+        held = []  # (label-or-None, entry depth); None = annotated escape
+        for pos, kind, data in events:
+            if kind == "open":
+                depth += 1
+            elif kind == "close":
+                depth -= 1
+                while held and held[-1][1] > depth:
+                    held.pop()
+            elif kind == "lock":
+                line = line_of(code, brace + pos)
+                if annotated(raw_lines, line, LOCK_ORDER_OK_RE):
+                    held.append((None, depth))
+                    continue
+                label = self._label(rel, data)
+                for h, _ in held:
+                    if h is not None:
+                        self.edges.setdefault((h, label), (rel, line))
+                if label is not None:
+                    func.direct.add(label)
+                held.append((label, depth))
+            elif kind == "unlock":
+                label = self._label(rel, data)
+                for i in range(len(held) - 1, -1, -1):
+                    if held[i][0] == label:
+                        del held[i]
+                        break
+            elif kind == "call":
+                func.calls.add(data)
+                held_labels = tuple(h for h, _ in held if h is not None)
+                if held_labels:
+                    func.pending.append(
+                        (held_labels, data, line_of(code, brace + pos)))
+        self.funcs.append(func)
+        self.by_name.setdefault(fn_name, []).append(func)
+
+    def _resolve(self, callee: str):
+        """The transitive acquisitions of a bare callee name — but only
+        when exactly one definition of that name acquires locks, so
+        overload/shadow ambiguity can silence but never misattribute."""
+        acquiring = [f for f in self.by_name.get(callee, ()) if f.trans]
+        return acquiring[0].trans if len(acquiring) == 1 else set()
+
+    def finish(self, findings: list) -> None:
+        for rel, raw, code in self.files:
+            raw_lines = raw.splitlines()
+            for m in FUNC_DEF_RE.finditer(code):
+                name = m.group(1)
+                if name in CONTROL_KEYWORDS:
+                    continue
+                brace = code.find("{", m.end() - 1)
+                end = function_extent(code, brace)
+                self._scan_function(rel, name, code, brace, end, raw_lines)
+        for f in self.funcs:
+            f.trans = set(f.direct)
+        changed = True
+        while changed:
+            changed = False
+            for f in self.funcs:
+                for callee in f.calls:
+                    if callee == f.name:
+                        continue
+                    extra = self._resolve(callee) - f.trans
+                    if extra:
+                        f.trans |= extra
+                        changed = True
+        for f in self.funcs:
+            for held_labels, callee, line in f.pending:
+                for target in self._resolve(callee):
+                    for h in held_labels:
+                        self.edges.setdefault((h, target), (f.rel, line))
+
+        adj = {}
+        for (a, b) in self.edges:
+            adj.setdefault(a, set()).add(b)
+        reported = set()
+        for (a, b), (rel, line) in sorted(
+                self.edges.items(), key=lambda kv: (kv[1], kv[0])):
+            cycle = self._path(adj, b, a)
+            if cycle is None:
+                continue
+            nodes = frozenset(cycle) | {a}
+            if nodes in reported:
+                continue
+            reported.add(nodes)
+            chain = " -> ".join([a, b] + cycle[1:] + ([a] if a != b else []))
+            findings.append(
+                (rel, line,
+                 f"lock-order: acquisition cycle {chain}; a thread "
+                 "holding one side while another holds the other "
+                 "deadlocks — impose a single order or annotate with "
+                 "`// fwdecay: lock-order-ok(<reason>)`"))
+
+    @staticmethod
+    def _path(adj, src, dst):
+        """BFS path src..dst (inclusive) or None."""
+        if src == dst:
+            return [src]
+        parent = {src: None}
+        queue = [src]
+        while queue:
+            cur = queue.pop(0)
+            for nxt in adj.get(cur, ()):
+                if nxt in parent:
+                    continue
+                parent[nxt] = cur
+                if nxt == dst:
+                    path = [nxt]
+                    while parent[path[-1]] is not None:
+                        path.append(parent[path[-1]])
+                    return list(reversed(path))
+                queue.append(nxt)
+        return None
+
+
+def rule_hotpath_lock(rel: str, raw: str, code: str, findings: list) -> None:
+    raw_lines = raw.splitlines()
+    for m in FUNC_DEF_RE.finditer(code):
+        if m.group(1) not in HOTPATH_LOCK_FNS:
+            continue
+        brace = code.find("{", m.end() - 1)
+        end = function_extent(code, brace)
+        body = code[brace:end]
+        sites = [lm.start() for lm in RAII_LOCK_RE.finditer(body)]
+        sites += [lm.start() for lm in EXPLICIT_LOCK_RE.finditer(body)]
+        for pos in sorted(sites):
+            line = line_of(code, brace + pos)
+            if not annotated(raw_lines, line, HOTPATH_LOCK_OK_RE):
+                findings.append(
+                    (rel, line,
+                     f"hotpath-lock: mutex acquisition inside "
+                     f"{m.group(1)}() — the batched hot path; annotate "
+                     "`// fwdecay: hotpath-lock-ok(<reason>)` if the "
+                     "lock is amortized per batch, or move it out"))
+
+
 # ---------------------------------------------------------------------------
 # Engines
 # ---------------------------------------------------------------------------
 
 class TextEngine:
-    """Runs all four rules on comment/string-stripped sources."""
+    """Runs the per-file rules on comment/string-stripped sources."""
 
     name = "text"
 
-    def analyze(self, rel: str, path: pathlib.Path, findings: list) -> None:
-        code = strip_comments_and_strings(
-            path.read_text(encoding="utf-8"))
+    def analyze(self, rel: str, path: pathlib.Path, raw: str, code: str,
+                findings: list) -> None:
         rule_backward_age_text(rel, code, findings)
         rule_exp_pow_text(rel, code, findings)
         rule_deser_bounds(rel, code, findings)
@@ -266,19 +647,60 @@ class TextEngine:
 class AstEngine:
     """libclang-backed engine: backward-age and exp-pow run on the AST
     (sees through macro expansion, ignores disabled #if regions); the
-    lexical rules reuse the shared implementations."""
+    lexical rules reuse the shared implementations. With a compilation
+    database (--compile-commands) each TU parses under its real flags;
+    files without an entry (headers, bench/, examples/) fall back to
+    the default argument set, or to the textual rules outside src/."""
 
     name = "ast"
 
-    def __init__(self, root: pathlib.Path):
+    def __init__(self, root: pathlib.Path, compile_commands=None):
         import clang.cindex as cindex  # raises ImportError when absent
         self.cindex = cindex
         self.index = cindex.Index.create()  # raises when libclang missing
         self.args = ["-x", "c++", "-std=c++20", "-I", str(root / "src")]
+        self.db = None
+        if compile_commands:
+            db_dir = pathlib.Path(compile_commands).resolve()
+            if db_dir.is_file():
+                db_dir = db_dir.parent
+            self.db = cindex.CompilationDatabase.fromDirectory(str(db_dir))
 
-    def analyze(self, rel: str, path: pathlib.Path, findings: list) -> None:
+    def _args_for(self, path: pathlib.Path):
+        if self.db is not None:
+            cmds = self.db.getCompileCommands(str(path.resolve()))
+            if cmds:
+                argv = list(cmds[0].arguments)
+                args, skip = [], True  # first element is the compiler
+                for a in argv:
+                    if skip:
+                        skip = False
+                        continue
+                    if a == "-o":
+                        skip = True
+                        continue
+                    if a in ("-c", str(path), str(path.resolve())):
+                        continue
+                    args.append(a)
+                return args
+        return None
+
+    def analyze(self, rel: str, path: pathlib.Path, raw: str, code: str,
+                findings: list) -> None:
         cindex = self.cindex
-        tu = self.index.parse(str(path), args=self.args)
+        args = self._args_for(path)
+        if args is None:
+            if not rel.startswith("src/"):
+                # bench/examples need gtest/benchmark include paths the
+                # default args don't carry; the textual rules are exact
+                # enough there.
+                rule_backward_age_text(rel, code, findings)
+                rule_exp_pow_text(rel, code, findings)
+                rule_deser_bounds(rel, code, findings)
+                rule_guarded_by(rel, code, findings)
+                return
+            args = self.args
+        tu = self.index.parse(str(path), args=args)
         for cur in tu.cursor.walk_preorder():
             if cur.location.file is None or \
                     cur.location.file.name != str(path):
@@ -287,8 +709,6 @@ class AstEngine:
                 self._check_backward_age(rel, cur, findings)
             elif cur.kind == cindex.CursorKind.CALL_EXPR:
                 self._check_exp_pow(rel, cur, findings)
-        code = strip_comments_and_strings(
-            path.read_text(encoding="utf-8"))
         rule_deser_bounds(rel, code, findings)
         rule_guarded_by(rel, code, findings)
 
@@ -328,10 +748,10 @@ class AstEngine:
                  "through core/decay.h (ExponentialG / ShiftFactor)"))
 
 
-def make_engine(kind: str, root: pathlib.Path):
+def make_engine(kind: str, root: pathlib.Path, compile_commands=None):
     if kind in ("auto", "ast"):
         try:
-            return AstEngine(root)
+            return AstEngine(root, compile_commands)
         except Exception as exc:  # ImportError or libclang load failure
             if kind == "ast":
                 print(f"analyze.py: AST engine unavailable: {exc}",
@@ -342,6 +762,154 @@ def make_engine(kind: str, root: pathlib.Path):
     return TextEngine()
 
 
+# ---------------------------------------------------------------------------
+# Selftest: the analyzer's own seeded fixtures. Each known-bad snippet
+# MUST produce its finding and each clean snippet must not — so a
+# regression in the rules fails CI even when the real tree is clean.
+# ---------------------------------------------------------------------------
+
+SELFTEST_CASES = [
+    # (name, files {rel: text}, substring expected in findings, or None
+    #  when the fixture must be clean)
+    ("lock-order inversion detected", {
+        "src/a.h": """
+struct Alpha { Mutex mu_a; int x FWDECAY_GUARDED_BY(mu_a); };
+struct Beta { Mutex mu_b; int y FWDECAY_GUARDED_BY(mu_b); };
+void First(Alpha& a, Beta& b) {
+  MutexLock la(a.mu_a);
+  MutexLock lb(b.mu_b);
+}
+void Second(Alpha& a, Beta& b) {
+  MutexLock lb(b.mu_b);
+  MutexLock la(a.mu_a);
+}
+"""}, "lock-order: acquisition cycle"),
+    ("lock-order consistent order clean", {
+        "src/a.h": """
+struct Alpha { Mutex mu_a; int x FWDECAY_GUARDED_BY(mu_a); };
+struct Beta { Mutex mu_b; int y FWDECAY_GUARDED_BY(mu_b); };
+void First(Alpha& a, Beta& b) {
+  MutexLock la(a.mu_a);
+  MutexLock lb(b.mu_b);
+}
+void Second(Alpha& a, Beta& b) {
+  MutexLock la(a.mu_a);
+  { MutexLock lb(b.mu_b); }
+}
+"""}, None),
+    ("lock-order interprocedural cycle detected", {
+        "src/a.h": """
+struct Alpha { Mutex mu_a; int x FWDECAY_GUARDED_BY(mu_a); };
+struct Gamma { Mutex mu_c; int z FWDECAY_GUARDED_BY(mu_c); };
+void Inner(Gamma& c) { MutexLock l(c.mu_c); }
+void Outer(Alpha& a, Gamma& c) {
+  MutexLock l(a.mu_a);
+  Inner(c);
+}
+""",
+        "src/b.cc": """
+void Reversed(Gamma& c, Alpha& a) {
+  MutexLock l(c.mu_c);
+  MutexLock l2(a.mu_a);
+}
+"""}, "lock-order: acquisition cycle"),
+    ("lock-order annotation accepted", {
+        "src/a.h": """
+struct Alpha { Mutex mu_a; int x FWDECAY_GUARDED_BY(mu_a); };
+struct Beta { Mutex mu_b; int y FWDECAY_GUARDED_BY(mu_b); };
+void First(Alpha& a, Beta& b) {
+  MutexLock la(a.mu_a);
+  MutexLock lb(b.mu_b);
+}
+void Second(Alpha& a, Beta& b) {
+  MutexLock lb(b.mu_b);
+  // fwdecay: lock-order-ok(selftest: intentional inversion)
+  MutexLock la(a.mu_a);
+}
+"""}, None),
+    ("lock-order self-deadlock detected", {
+        "src/a.h": """
+struct Alpha { Mutex mu_a; int x FWDECAY_GUARDED_BY(mu_a); };
+void Helper(Alpha& a) { MutexLock l(a.mu_a); }
+void Entry(Alpha& a) {
+  MutexLock l(a.mu_a);
+  Helper(a);
+}
+"""}, "lock-order: acquisition cycle"),
+    ("atomics-order unannotated relaxed flagged", {
+        "src/util/metrics.h": """
+void Touch() { v_.fetch_add(1, std::memory_order_relaxed); }
+"""}, "atomics-order: relaxed use without"),
+    ("atomics-order non-allowlisted file flagged", {
+        "src/core/rogue.h": """
+// fwdecay: relaxed-ok(annotated but the file is not audited)
+void Touch() { v_.fetch_add(1, std::memory_order_relaxed); }
+"""}, "atomics-order: memory_order_relaxed outside"),
+    ("atomics-order annotated allowlisted clean", {
+        "src/util/metrics.h": """
+// fwdecay: relaxed-ok(monotone cell; no dependent data to order)
+void Touch() { v_.fetch_add(1, std::memory_order_relaxed); }
+"""}, None),
+    ("hotpath-lock unannotated flagged", {
+        "src/dsms/thing.h": """
+struct Thing {
+  void Consume(const PacketBatch& batch) {
+    MutexLock lock(mu_);
+    Apply(batch);
+  }
+  Mutex mu_;
+  int state_ FWDECAY_GUARDED_BY(mu_);
+};
+"""}, "hotpath-lock: mutex acquisition inside Consume()"),
+    ("hotpath-lock explicit Lock flagged", {
+        "src/dsms/thing.h": """
+void UpdateBatch(const Batch& b) {
+  mu_.Lock();
+  Apply(b);
+  mu_.Unlock();
+}
+"""}, "hotpath-lock: mutex acquisition inside UpdateBatch()"),
+    ("hotpath-lock annotation accepted", {
+        "src/dsms/thing.h": """
+struct Thing {
+  void Consume(const PacketBatch& batch) {
+    // fwdecay: hotpath-lock-ok(one acquisition amortized per batch)
+    MutexLock lock(mu_);
+    Apply(batch);
+  }
+  Mutex mu_;
+  int state_ FWDECAY_GUARDED_BY(mu_);
+};
+"""}, None),
+]
+
+
+def run_selftest() -> int:
+    failures = 0
+    for name, files, want in SELFTEST_CASES:
+        findings = []
+        lock_order = LockOrderAnalysis()
+        for rel, raw in sorted(files.items()):
+            code = strip_comments_and_strings(raw)
+            rule_atomics_order(rel, raw, code, findings)
+            rule_hotpath_lock(rel, raw, code, findings)
+            lock_order.add_file(rel, raw, code)
+        lock_order.finish(findings)
+        msgs = [msg for _, _, msg in findings]
+        if want is None:
+            ok = not msgs
+            detail = "; ".join(msgs)
+        else:
+            ok = any(want in msg for msg in msgs)
+            detail = f"expected a finding containing {want!r}"
+        print(f"selftest: {'PASS' if ok else 'FAIL'}: {name}"
+              + ("" if ok else f" ({detail})"))
+        failures += 0 if ok else 1
+    print(f"analyze.py --selftest: {len(SELFTEST_CASES)} cases, "
+          f"{failures} failure(s)")
+    return 0 if failures == 0 else 2
+
+
 def main() -> int:
     ap = argparse.ArgumentParser(
         description="fwdecay semantic analyzer (see module docstring)")
@@ -349,21 +917,38 @@ def main() -> int:
                     help="repo root (default: parent of this script's dir)")
     ap.add_argument("--engine", choices=("auto", "ast", "text"),
                     default="auto")
+    ap.add_argument("--compile-commands", default=None, metavar="PATH",
+                    help="compile_commands.json for the AST engine "
+                         "(CMAKE_EXPORT_COMPILE_COMMANDS=ON)")
+    ap.add_argument("--selftest", action="store_true",
+                    help="run the embedded known-bad/known-good fixtures "
+                         "through the rules and exit")
     args = ap.parse_args()
+    if args.selftest:
+        return run_selftest()
     root = (pathlib.Path(args.root) if args.root
             else pathlib.Path(__file__).resolve().parent.parent)
 
-    engine = make_engine(args.engine, root)
+    engine = make_engine(args.engine, root, args.compile_commands)
     if engine is None:
         return 2
 
     findings = []
     count = 0
-    for path in sorted((root / "src").rglob("*")):
-        if path.suffix in SRC_SUFFIXES and path.is_file():
+    lock_order = LockOrderAnalysis()
+    for top in SCAN_DIRS:
+        for path in sorted((root / top).rglob("*")):
+            if path.suffix not in SRC_SUFFIXES or not path.is_file():
+                continue
             rel = path.relative_to(root).as_posix()
-            engine.analyze(rel, path, findings)
+            raw = path.read_text(encoding="utf-8")
+            code = strip_comments_and_strings(raw)
+            engine.analyze(rel, path, raw, code, findings)
+            rule_atomics_order(rel, raw, code, findings)
+            rule_hotpath_lock(rel, raw, code, findings)
+            lock_order.add_file(rel, raw, code)
             count += 1
+    lock_order.finish(findings)
 
     for rel, line, msg in findings:
         print(f"{rel}:{line}: {msg}")

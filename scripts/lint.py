@@ -31,9 +31,12 @@ Enforced invariants (each maps to a documented repo convention):
              -Wthread-safety analysis (FWDECAY_THREAD_SAFETY=ON) sees
              annotated fwdecay::Mutex types rather than bare std ones.
              Raw pthread_* calls and std::thread::detach() are banned
-             in src/ outright: the first bypasses the annotated layer
-             entirely, the second leaks threads past every join-based
-             shutdown path the tests exercise.
+             in src/, bench/ and examples/ outright: the first bypasses
+             the annotated layer entirely, the second leaks threads
+             past every join-based shutdown path the tests exercise.
+             util/sched.{h,cc} are exempt alongside
+             thread_annotations.h: the model checker IS the layer the
+             std primitives are wrapped behind (DESIGN.md §10).
   metrics    Two halves of the observability contract (DESIGN.md §9):
              (a) src/dsms/ must not read clocks ad hoc — no std::chrono
              or steady_clock outside util/timer.h / util/metrics.h, so
@@ -74,8 +77,16 @@ RANDOM_EXEMPT = ("src/util/random.h",)
 IO_EXEMPT = ("src/util/fault_fs.h", "src/util/fault_fs.cc")
 
 # util/thread_annotations.h wraps std::mutex itself and so cannot be
-# required to include itself.
-LOCKING_EXEMPT = ("src/util/thread_annotations.h",)
+# required to include itself. util/sched.{h,cc} are the model checker's
+# own implementation: they deliberately build on the raw std primitives
+# (the scheduler's one big mutex + condvar, and the std::atomic mirrors
+# inside ModelAtomic) because they ARE the layer everything else routes
+# through under -DFWDECAY_SCHED=ON.
+LOCKING_EXEMPT = (
+    "src/util/thread_annotations.h",
+    "src/util/sched.h",
+    "src/util/sched.cc",
+)
 
 RANDOM_BANNED = re.compile(
     r"(?<![\w:])(?:rand|srand)\s*\(|time\s*\(\s*(?:nullptr|NULL|0)\s*\)"
@@ -239,10 +250,15 @@ def lint_file(root: pathlib.Path, path: pathlib.Path, findings: list) -> None:
                     (rel, line,
                      "metrics: registered name must match "
                      f"^fwdecay_[a-z0-9_]+$: `{m.group(1)}`"))
-    if rel.startswith("src/") and rel not in LOCKING_EXEMPT:
+    if (rel.startswith(("src/", "bench/", "examples/"))
+            and rel not in LOCKING_EXEMPT):
+        # pthread/detach is banned beyond src/ too: bench and example
+        # binaries are the reproduction entry points, and a detached
+        # thread there outlives the measurement it was timing.
         scan_pattern(rel, code, LOCKING_BANNED,
                      "raw pthread / detached thread in library code",
                      findings)
+    if rel.startswith("src/") and rel not in LOCKING_EXEMPT:
         # The include path is a string literal, so it must be matched on
         # the raw text (strip_comments_and_strings blanks it in `code`).
         m = LOCKING_PRIMITIVE.search(code)

@@ -14,6 +14,18 @@
 #   FWDECAY_METRICS   OFF compiles the self-instrumentation layer to
 #                     no-ops (DESIGN.md §9); bench_ingest rows record
 #                     which setting produced them         [default: ON]
+#   FWDECAY_SCHED     ON routes fwdecay::Mutex and sched::Atomic through
+#                     the schedule-exploring model checker (DESIGN.md
+#                     §10): tests/sched_test.cc then explores real
+#                     library interleavings under weak-memory
+#                     simulation. Use a dedicated BUILD_DIR — the flag
+#                     changes the primitives library-wide [default: OFF]
+#   FWDECAY_SCHED_SEED    passed through to the test environment: seeds
+#                     the model checker's random-walk exploration so a
+#                     CI failure reproduces locally (the failing
+#                     schedule also prints an FWSCHED1 replay token).
+#   FWDECAY_SCHED_REPLAY  passed through likewise: an FWSCHED1 token
+#                     makes sched_test re-run exactly that schedule.
 #   CMAKE_GENERATOR   only applied when BUILD_DIR is fresh; an existing
 #                     tree keeps whatever generator configured it (cmake
 #                     hard-errors on a generator mismatch otherwise).
@@ -25,10 +37,16 @@ CMAKE_BUILD_TYPE="${CMAKE_BUILD_TYPE:-Release}"
 FWDECAY_AUDIT="${FWDECAY_AUDIT:-OFF}"
 FWDECAY_SHARDS="${FWDECAY_SHARDS:-8}"
 FWDECAY_METRICS="${FWDECAY_METRICS:-ON}"
+FWDECAY_SCHED="${FWDECAY_SCHED:-OFF}"
+# FWDECAY_SCHED_SEED / FWDECAY_SCHED_REPLAY are read by sched_test at
+# runtime; being exported here is all the passthrough they need.
+export FWDECAY_SCHED_SEED="${FWDECAY_SCHED_SEED:-}"
+export FWDECAY_SCHED_REPLAY="${FWDECAY_SCHED_REPLAY:-}"
 
 CMAKE_ARGS=(-B "${BUILD_DIR}" -S . "-DCMAKE_BUILD_TYPE=${CMAKE_BUILD_TYPE}"
             "-DFWDECAY_AUDIT=${FWDECAY_AUDIT}"
-            "-DFWDECAY_METRICS=${FWDECAY_METRICS}")
+            "-DFWDECAY_METRICS=${FWDECAY_METRICS}"
+            "-DFWDECAY_SCHED=${FWDECAY_SCHED}")
 if [[ ! -f "${BUILD_DIR}/CMakeCache.txt" ]]; then
   # Fresh tree: prefer Ninja when available, else CMake's default
   # (Makefiles — what README and the tier-1 line use).

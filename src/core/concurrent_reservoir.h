@@ -18,7 +18,11 @@ namespace fwdecay {
 /// (util/thread_annotations.h): `reservoir_` is GUARDED_BY(mu_), so a
 /// clang build with -DFWDECAY_THREAD_SAFETY=ON rejects any access path
 /// that forgets the lock at compile time, for every schedule — the
-/// static complement of the TSan stress test.
+/// static complement of the TSan stress test. Under -DFWDECAY_SCHED=ON
+/// the Mutex itself becomes a model-checked virtual lock, so
+/// sched::Explore() fixtures (tests/sched_test.cc) additionally
+/// enumerate update/snapshot interleavings exhaustively and verify the
+/// "a single mutex suffices" claim schedule-by-schedule (DESIGN.md §10).
 ///
 /// For extreme update rates, shard several reservoirs (same k, alpha,
 /// and start so their samples are compatible) and combine per-shard

@@ -1218,6 +1218,7 @@ ShardedQueryExecution::ShardedQueryExecution(const CompiledQuery& plan,
 }
 
 void ShardedQueryExecution::Consume(const PacketBatch& batch) {
+  // fwdecay: relaxed-ok(independent monotone cell; RMW atomicity alone prevents lost counts)
   packets_offered_.fetch_add(batch.size(), std::memory_order_relaxed);
   // Router-level offered-packet count goes to the engine-wide family;
   // the per-shard fwdecay_shard_* counters only see post-filter rows.
@@ -1270,6 +1271,7 @@ void ShardedQueryExecution::Consume(const PacketBatch& batch) {
   for (std::size_t s = 0; s < shards_.size(); ++s) {
     if (shard_rows[s].empty()) continue;
     Shard& shard = *shards_[s];
+    // fwdecay: hotpath-lock-ok(per-shard lock amortized over the shard's whole row slice)
     MutexLock lock(shard.mu);
     shard.exec->ConsumeFiltered(batch, shard_rows[s].data(),
                                 shard_rows[s].size());

@@ -18,6 +18,7 @@
 #include "dsms/value.h"
 #include "util/bytes.h"
 #include "util/metrics.h"
+#include "util/sched.h"
 #include "util/thread_annotations.h"
 
 // Query compilation and execution for the mini DSMS.
@@ -330,6 +331,7 @@ class ConcurrentQueryExecution {
 
   /// Processes one packet; safe to call from any thread.
   void Consume(const Packet& p) FWDECAY_EXCLUDES(mu_) {
+    // fwdecay: hotpath-lock-ok(this facade's whole contract is serializing ingest behind one lock)
     MutexLock lock(mu_);
     exec_->Consume(p);
   }
@@ -337,6 +339,7 @@ class ConcurrentQueryExecution {
   /// Processes a columnar batch under the lock; safe from any thread.
   /// Amortizes the lock acquisition over the whole batch.
   void Consume(const PacketBatch& batch) FWDECAY_EXCLUDES(mu_) {
+    // fwdecay: hotpath-lock-ok(one acquisition amortized over the whole batch)
     MutexLock lock(mu_);
     exec_->Consume(batch);
   }
@@ -434,6 +437,7 @@ class ShardedQueryExecution {
 
   /// Packets offered to Consume() (router-level, pre-filter).
   std::uint64_t packets_consumed() const {
+    // fwdecay: relaxed-ok(independent monotone cell; readers need a recent count, not an ordering)
     return packets_offered_.load(std::memory_order_relaxed);
   }
 
@@ -457,7 +461,7 @@ class ShardedQueryExecution {
 
   const CompiledQuery* plan_;
   std::vector<std::unique_ptr<Shard>> shards_;  // Mutex is not movable
-  std::atomic<std::uint64_t> packets_offered_{0};
+  sched::Atomic<std::uint64_t> packets_offered_{0};
 };
 
 }  // namespace fwdecay::dsms

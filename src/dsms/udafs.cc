@@ -29,6 +29,7 @@ namespace {
 // are numbered in creation order so repeated runs reproduce exactly.
 std::uint64_t NextStateSeed() {
   static std::atomic<std::uint64_t> counter{0};
+  // fwdecay: relaxed-ok(id allocation; uniqueness needs only RMW atomicity, not ordering)
   return 0x9d5f7ab1u + counter.fetch_add(1, std::memory_order_relaxed);
 }
 

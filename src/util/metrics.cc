@@ -327,6 +327,7 @@ void StatsReporter::Run() {
       since_report.Reset();
       registry_->RenderPrometheus(&text);
       sink_(text);
+      // fwdecay: relaxed-ok(monotone progress counter; no dependent data to order)
       reports_.fetch_add(1, std::memory_order_relaxed);
       FWDECAY_AUDIT_INVARIANTS(*registry_);
     }

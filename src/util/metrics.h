@@ -16,6 +16,7 @@
 #include "core/forward_decay.h"
 #include "util/audit.h"
 #include "util/check.h"
+#include "util/sched.h"
 #include "util/thread_annotations.h"
 #include "util/timer.h"
 
@@ -44,6 +45,33 @@
 // Both class sets are compiled identically in every translation unit —
 // only the alias (not an ODR entity) depends on the macro — so mixing
 // TUs built with different settings in one test binary is well-defined.
+
+// Memory-order contract (audited for PR 6's atomics rule; every relaxed
+// site below carries a `fwdecay: relaxed-ok` annotation that
+// scripts/analyze.py checks against its allowlist):
+//
+//   * Counter / Gauge are *independent* cells: each publishes a single
+//     word and readers consume that word in isolation, never as a flag
+//     that other memory is ready. Relaxed RMW/store/load is therefore
+//     sufficient — atomic RMW guarantees no lost increments, and there
+//     is no dependent data for an acquire/release pair to order.
+//   * StatsReporter::reports_ is the same shape (monotone counter read
+//     for progress assertions), so it is relaxed too.
+//   * StatsReporter::stop_ IS a publish/observe flag (the destructor
+//     publishes "shut down" and the reporter thread's loop observes
+//     it), so it uses a release store / acquire load pair; Stop() also
+//     joins the thread, which is the stronger synchronization the
+//     destructor actually relies on.
+//   * Everything decayed (DecayedRate, LatencyReservoir, the registry
+//     map) is mutex-guarded — multi-word state under forward-decay
+//     rebasing is exactly the case where a lock, not atomics, is the
+//     honest tool (see DecayedRate::Mark's read-modify-write of the
+//     landmark + weight pair).
+//
+// All atomics go through sched::Atomic (util/sched.h): a transparent
+// std::atomic wrapper by default, and the model-checked atomic under
+// -DFWDECAY_SCHED=ON so sched::Explore() can exercise these paths under
+// weak-memory reorderings (DESIGN.md §10).
 
 #if defined(FWDECAY_METRICS_DISABLED)
 #define FWDECAY_METRICS_ENABLED 0
@@ -74,13 +102,17 @@ class Counter {
 
   /// Adds n; returns the pre-increment value.
   std::uint64_t Increment(std::uint64_t n = 1) {
+    // fwdecay: relaxed-ok(independent monotone cell; RMW atomicity alone prevents lost counts)
     return value_.fetch_add(n, std::memory_order_relaxed);
   }
 
-  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  std::uint64_t value() const {
+    // fwdecay: relaxed-ok(single-word read; no dependent data to order)
+    return value_.load(std::memory_order_relaxed);
+  }
 
  private:
-  std::atomic<std::uint64_t> value_{0};
+  sched::Atomic<std::uint64_t> value_{0};
 };
 
 /// Last-write-wins instantaneous value.
@@ -88,11 +120,17 @@ class Gauge {
  public:
   Gauge() = default;
 
-  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
-  double value() const { return value_.load(std::memory_order_relaxed); }
+  void Set(double v) {
+    // fwdecay: relaxed-ok(last-write-wins single word; readers need any recent value)
+    value_.store(v, std::memory_order_relaxed);
+  }
+  double value() const {
+    // fwdecay: relaxed-ok(single-word read; no dependent data to order)
+    return value_.load(std::memory_order_relaxed);
+  }
 
  private:
-  std::atomic<double> value_{0.0};
+  sched::Atomic<double> value_{0.0};
 };
 
 /// Exponentially decayed event rate over DecayedCount (Definition 5).
@@ -287,6 +325,7 @@ class StatsReporter {
   void Stop();
 
   std::uint64_t reports_emitted() const {
+    // fwdecay: relaxed-ok(monotone progress counter; no dependent data to order)
     return reports_.load(std::memory_order_relaxed);
   }
 
@@ -296,8 +335,10 @@ class StatsReporter {
   const MetricsRegistry* registry_;
   const double period_seconds_;
   Sink sink_;
-  std::atomic<bool> stop_{false};
-  std::atomic<std::uint64_t> reports_{0};
+  /// Publish/observe shutdown flag: release store in Stop(), acquire
+  /// load in the reporter loop (see the memory-order contract above).
+  sched::Atomic<bool> stop_{false};
+  sched::Atomic<std::uint64_t> reports_{0};
   std::thread thread_;
 };
 

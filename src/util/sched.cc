@@ -1,0 +1,961 @@
+#include "util/sched.h"
+
+#include <algorithm>
+#include <array>
+#include <condition_variable>
+#include <cstddef>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "util/random.h"
+
+// Scheduler internals for the schedule-exploring model checker declared
+// in util/sched.h. Structure:
+//
+//   * Exactly one model thread runs at a time. Every model operation
+//     (mutex, atomic, spawn/join, Yield) enters the scheduler under its
+//     big lock `mu_`, passes a *scheduling point*, applies its effect,
+//     and returns with the grant still held; control moves between
+//     threads only via Grant() + condvar handoff, so model "races" are
+//     purely virtual and the checker itself is TSan-clean.
+//
+//   * Nondeterminism is funneled through Choice(n): which runnable
+//     thread continues, and which visible store a weak load observes.
+//     Decisions are recorded as (choice, arity) pairs; exhaustive mode
+//     re-executes with a mutated prefix to walk the tree depth-first,
+//     random mode draws from a seeded Rng, and replay feeds a token's
+//     decision list back in.
+//
+//   * Happens-before is tracked with per-thread vector clocks. Atomic
+//     locations keep a bounded modification-order store history; each
+//     store carries the storing thread's clock (`hb`, for visibility)
+//     and the clock an acquire reader would synchronize with (`sync`,
+//     empty for relaxed stores, inherited through RMWs to model C++20
+//     release sequences).
+//
+//   * Failures (Expect() violations, deadlocks, replay divergence) are
+//     recorded once and flip the run into *permissive* mode: blocked
+//     threads are released, virtual locks barge, loads pin to the
+//     newest store, scheduling degrades to round-robin, and no more
+//     decisions are recorded. The run then drains without exceptions
+//     and the driver emits the replay token.
+
+namespace fwdecay::sched {
+namespace internal {
+
+namespace {
+
+using Clock = std::array<std::uint64_t, kMaxThreads>;
+
+Clock JoinClocks(const Clock& a, const Clock& b) {
+  Clock out{};
+  for (std::size_t i = 0; i < kMaxThreads; ++i) {
+    out[i] = std::max(a[i], b[i]);
+  }
+  return out;
+}
+
+bool IsAcquire(std::memory_order order) {
+  return order == std::memory_order_acquire ||
+         order == std::memory_order_acq_rel ||
+         order == std::memory_order_seq_cst;
+}
+
+bool IsRelease(std::memory_order order) {
+  return order == std::memory_order_release ||
+         order == std::memory_order_acq_rel ||
+         order == std::memory_order_seq_cst;
+}
+
+constexpr char kTokenMagic[] = "FWSCHED1";
+
+bool ValidFixtureName(const char* name) {
+  if (name == nullptr || name[0] == '\0') return false;
+  for (const char* p = name; *p != '\0'; ++p) {
+    const char c = *p;
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+                    c == '_' || c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+void AppendHex(std::string* out, std::uint64_t v) {
+  char buf[17];
+  int n = 0;
+  do {
+    buf[n++] = "0123456789abcdef"[v & 0xf];
+    v >>= 4;
+  } while (v != 0);
+  while (n > 0) out->push_back(buf[--n]);
+}
+
+bool ParseHex(const std::string& s, std::size_t begin, std::size_t end,
+              std::uint64_t* out) {
+  if (begin >= end) return false;
+  std::uint64_t v = 0;
+  for (std::size_t i = begin; i < end; ++i) {
+    const char c = s[i];
+    std::uint64_t digit;
+    if (c >= '0' && c <= '9') {
+      digit = static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      digit = static_cast<std::uint64_t>(c - 'a') + 10;
+    } else {
+      return false;
+    }
+    if (v > (~std::uint64_t{0} >> 4)) return false;
+    v = (v << 4) | digit;
+  }
+  *out = v;
+  return true;
+}
+
+bool ParseDecimal(const std::string& s, std::size_t begin, std::size_t end,
+                  std::uint64_t* out) {
+  if (begin >= end) return false;
+  std::uint64_t v = 0;
+  for (std::size_t i = begin; i < end; ++i) {
+    const char c = s[i];
+    if (c < '0' || c > '9') return false;
+    if (v > (~std::uint64_t{0} - 9) / 10) return false;
+    v = v * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+/// One recorded nondeterministic decision. `arity` is 0 for decisions
+/// loaded from a replay token (arity unknown; validated as choice <
+/// observed arity at replay time).
+struct Decision {
+  std::uint64_t choice = 0;
+  std::uint64_t arity = 0;
+};
+
+namespace {
+
+struct Store {
+  std::uint64_t bits = 0;
+  int thread = 0;
+  Clock hb{};    // storing thread's clock at the store (visibility test)
+  Clock sync{};  // clock an acquire reader joins with; {} for relaxed
+};
+
+struct Location {
+  std::vector<Store> stores;  // modification order, trimmed to a window
+  std::uint64_t base = 0;     // global modification index of stores[0]
+  Clock read_floor{};         // per-thread coherence: newest index read
+};
+
+struct LockState {
+  int owner = -1;
+  int display_id = 0;  // stable per-run number for deadlock reports
+  Clock sync{};        // last owner's release clock
+};
+
+enum class Status { kUnborn, kRunnable, kBlockedMutex, kBlockedJoin, kFinished };
+
+struct ThreadState {
+  Status status = Status::kUnborn;
+  Clock clock{};
+  const void* waiting_mutex = nullptr;
+  int waiting_join = -1;
+  std::vector<const void*> held;
+};
+
+}  // namespace
+
+class Scheduler {
+ public:
+  Scheduler(const ExploreOptions& options, bool token_replay)
+      : options_(options), token_replay_(token_replay), rng_(options.seed) {}
+
+  // ---- driver side (called from Explore/Replay, never from model ops) --
+
+  void PrepareRun(std::vector<Decision> prefix) {
+    trace_ = std::move(prefix);
+    trace_pos_ = 0;
+    locs_.clear();
+    locks_.clear();
+    next_lock_display_id_ = 1;
+    for (auto& t : threads_) t = ThreadState{};
+    nthreads_ = 1;
+    threads_[0].status = Status::kRunnable;
+    active_ = 0;
+    permissive_ = false;
+    suppress_failures_ = false;
+    failed_ = false;
+    pruned_ = false;
+    failure_.clear();
+    steps_ = 0;
+  }
+
+  void RunBody(const std::function<void()>& body) {
+    tls_sched = this;
+    tls_id = 0;
+    body();
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      for (int i = 1; i < nthreads_; ++i) {
+        FWDECAY_CHECK_MSG(threads_[i].status == Status::kFinished,
+                          "sched: exploration body returned while a spawned "
+                          "sched::Thread was still live (missing Join()?)");
+      }
+    }
+    for (auto& real : reals_) real.join();
+    reals_.clear();
+    tls_sched = nullptr;
+    tls_id = -1;
+  }
+
+  bool failed() const { return failed_; }
+  bool pruned() const { return pruned_; }
+  const std::string& failure() const { return failure_; }
+  const std::vector<Decision>& trace() const { return trace_; }
+  const ExploreOptions& options() const { return options_; }
+
+  // ---- model-thread side -------------------------------------------
+
+  void SchedulePoint() {
+    std::unique_lock<std::mutex> lk(mu_);
+    SchedulePointLocked(lk);
+  }
+
+  void Lock(const void* mu) {
+    std::unique_lock<std::mutex> lk(mu_);
+    SchedulePointLocked(lk);
+    LockState& lock = GetLockLocked(mu);
+    const int me = tls_id;
+    if (lock.owner == me && !permissive_) {
+      FailLocked(std::string("recursive lock of mutex m") +
+                 std::to_string(lock.display_id) + " by thread " +
+                 std::to_string(me));
+    }
+    while (lock.owner != -1 && lock.owner != me) {
+      if (permissive_) break;  // barge: permissive locks are advisory
+      ThreadState& t = threads_[me];
+      t.status = Status::kBlockedMutex;
+      t.waiting_mutex = mu;
+      if (!AnyRunnableLocked()) {
+        DeadlockLocked();
+        continue;  // permissive now; loop re-evaluates
+      }
+      SwitchWhileBlockedLocked(lk);
+    }
+    ThreadState& t = threads_[me];
+    t.waiting_mutex = nullptr;
+    if (lock.owner == -1) lock.owner = me;
+    t.clock = JoinClocks(t.clock, lock.sync);
+    t.held.push_back(mu);
+  }
+
+  void Unlock(const void* mu) {
+    std::unique_lock<std::mutex> lk(mu_);
+    SchedulePointLocked(lk);
+    LockState& lock = GetLockLocked(mu);
+    const int me = tls_id;
+    ThreadState& t = threads_[me];
+    if (lock.owner != me && !permissive_) {
+      FailLocked(std::string("unlock of mutex m") +
+                 std::to_string(lock.display_id) +
+                 " not held by thread " + std::to_string(me));
+      return;
+    }
+    auto it = std::find(t.held.rbegin(), t.held.rend(), mu);
+    if (it != t.held.rend()) t.held.erase(std::next(it).base());
+    if (lock.owner != me) return;  // permissive double-unlock: ignore
+    ++t.clock[static_cast<std::size_t>(me)];
+    lock.sync = t.clock;
+    lock.owner = -1;
+    for (int i = 0; i < nthreads_; ++i) {
+      if (threads_[i].status == Status::kBlockedMutex &&
+          threads_[i].waiting_mutex == mu) {
+        threads_[i].status = Status::kRunnable;
+      }
+    }
+  }
+
+  void ResetLock(const void* mu) {
+    std::unique_lock<std::mutex> lk(mu_);
+    locks_.erase(mu);
+  }
+
+  std::uint64_t Load(const void* loc, std::uint64_t init,
+                     std::memory_order order) {
+    std::unique_lock<std::mutex> lk(mu_);
+    SchedulePointLocked(lk);
+    Location& l = GetLocLocked(loc, init);
+    const int me = tls_id;
+    ThreadState& t = threads_[me];
+    // Newest store that happens-before this load: the floor of the
+    // readable window (reading anything older would be reading a store
+    // the thread provably already saw overwritten).
+    std::size_t floor_idx = 0;
+    for (std::size_t i = l.stores.size(); i-- > 0;) {
+      const Store& s = l.stores[i];
+      if (t.clock[static_cast<std::size_t>(s.thread)] >=
+          s.hb[static_cast<std::size_t>(s.thread)]) {
+        floor_idx = i;
+        break;
+      }
+    }
+    const std::uint64_t my_floor = l.read_floor[static_cast<std::size_t>(me)];
+    if (my_floor > l.base + floor_idx) {
+      floor_idx = static_cast<std::size_t>(my_floor - l.base);
+    }
+    const std::size_t hi = l.stores.size() - 1;
+    std::size_t lo = floor_idx;
+    // seq_cst loads are conservatively pinned to the newest store (a
+    // single total order exists; modeling it as "latest" is the
+    // strongest legal behaviour). Permissive mode pins everything.
+    if (order == std::memory_order_seq_cst || permissive_) lo = hi;
+    if (hi - lo + 1 > options_.max_store_history) {
+      lo = hi + 1 - options_.max_store_history;
+    }
+    const std::size_t picked = hi - ChoiceLocked(hi - lo + 1);
+    const Store& s = l.stores[picked];
+    l.read_floor[static_cast<std::size_t>(me)] =
+        std::max(l.read_floor[static_cast<std::size_t>(me)], l.base + picked);
+    if (IsAcquire(order)) t.clock = JoinClocks(t.clock, s.sync);
+    return s.bits;
+  }
+
+  void StoreOp(const void* loc, std::uint64_t init, std::uint64_t bits,
+               std::memory_order order) {
+    std::unique_lock<std::mutex> lk(mu_);
+    SchedulePointLocked(lk);
+    Location& l = GetLocLocked(loc, init);
+    AppendStoreLocked(&l, bits, IsRelease(order), /*inherit_sync=*/false);
+  }
+
+  std::uint64_t Rmw(const void* loc, std::uint64_t init, RmwFn fn,
+                    std::uint64_t operand, std::memory_order order) {
+    std::unique_lock<std::mutex> lk(mu_);
+    SchedulePointLocked(lk);
+    Location& l = GetLocLocked(loc, init);
+    const Store latest = l.stores.back();  // RMWs always read the newest
+    ThreadState& t = threads_[tls_id];
+    if (IsAcquire(order)) t.clock = JoinClocks(t.clock, latest.sync);
+    AppendStoreLocked(&l, fn(latest.bits, operand), IsRelease(order),
+                      /*inherit_sync=*/true);
+    return latest.bits;
+  }
+
+  bool Cas(const void* loc, std::uint64_t init, std::uint64_t expected,
+           std::uint64_t desired, std::memory_order order,
+           std::uint64_t* actual) {
+    std::unique_lock<std::mutex> lk(mu_);
+    SchedulePointLocked(lk);
+    Location& l = GetLocLocked(loc, init);
+    const Store latest = l.stores.back();
+    const int me = tls_id;
+    ThreadState& t = threads_[me];
+    if (latest.bits == expected) {
+      if (IsAcquire(order)) t.clock = JoinClocks(t.clock, latest.sync);
+      AppendStoreLocked(&l, desired, IsRelease(order), /*inherit_sync=*/true);
+      return true;
+    }
+    // Failed CAS is a load of the newest store; per [atomics.types.operations]
+    // the failure ordering drops the release component of `order`.
+    if (IsAcquire(order)) t.clock = JoinClocks(t.clock, latest.sync);
+    l.read_floor[static_cast<std::size_t>(me)] =
+        std::max(l.read_floor[static_cast<std::size_t>(me)],
+                 l.base + l.stores.size() - 1);
+    *actual = latest.bits;
+    return false;
+  }
+
+  void ResetLoc(const void* loc) {
+    std::unique_lock<std::mutex> lk(mu_);
+    locs_.erase(loc);
+  }
+
+  int Spawn(std::function<void()> fn) {
+    int id;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      FWDECAY_CHECK_MSG(nthreads_ < static_cast<int>(kMaxThreads),
+                        "sched: kMaxThreads exceeded");
+      id = nthreads_++;
+      ThreadState& child = threads_[id];
+      ThreadState& parent = threads_[tls_id];
+      ++parent.clock[static_cast<std::size_t>(tls_id)];
+      child.status = Status::kRunnable;
+      child.clock = parent.clock;  // spawn happens-before the child body
+      ++child.clock[static_cast<std::size_t>(id)];
+    }
+    reals_.emplace_back([this, id, fn = std::move(fn)]() mutable {
+      tls_sched = this;
+      tls_id = id;
+      {
+        std::unique_lock<std::mutex> lk(mu_);
+        cv_.wait(lk, [&] { return active_ == id; });
+      }
+      fn();
+      FinishCurrentThread();
+      tls_sched = nullptr;
+      tls_id = -1;
+    });
+    SchedulePoint();  // the new thread is schedulable from here on
+    return id;
+  }
+
+  void Join(int target) {
+    std::unique_lock<std::mutex> lk(mu_);
+    SchedulePointLocked(lk);
+    const int me = tls_id;
+    ThreadState& t = threads_[me];
+    for (;;) {
+      if (threads_[target].status == Status::kFinished) break;
+      t.status = Status::kBlockedJoin;
+      t.waiting_join = target;
+      if (!AnyRunnableLocked()) {
+        if (!permissive_) {
+          DeadlockLocked();
+          continue;
+        }
+        // A join cycle cannot be recovered by barging: the only way to
+        // unblock is for the target to run, and it never will.
+        FWDECAY_CHECK_MSG(false, "sched: unrecoverable join deadlock");
+      }
+      SwitchWhileBlockedLocked(lk);
+    }
+    t.waiting_join = -1;
+    t.status = Status::kRunnable;
+    t.clock = JoinClocks(t.clock, threads_[target].clock);
+  }
+
+  void FinishCurrentThread() {
+    std::unique_lock<std::mutex> lk(mu_);
+    const int me = tls_id;
+    ThreadState& t = threads_[me];
+    ++t.clock[static_cast<std::size_t>(me)];
+    t.status = Status::kFinished;
+    if (!t.held.empty() && !permissive_) {
+      FailLocked(std::string("thread ") + std::to_string(me) +
+                 " finished while holding a mutex");
+    }
+    for (int i = 0; i < nthreads_; ++i) {
+      if (threads_[i].status == Status::kBlockedJoin &&
+          threads_[i].waiting_join == me) {
+        threads_[i].status = Status::kRunnable;
+      }
+    }
+    if (!AnyRunnableLocked()) {
+      if (AnyBlockedLocked()) {
+        DeadlockLocked();  // releases the blocked threads (permissive)
+      } else {
+        return;  // everyone else already finished; nothing to grant
+      }
+    }
+    GrantLocked(PickNextLocked(/*current_runnable=*/false), /*wait=*/false, lk);
+  }
+
+  void RecordFailure(const std::string& message) {
+    std::unique_lock<std::mutex> lk(mu_);
+    FailLocked(message);
+  }
+
+  bool HasFailedUnlocked() const { return failed_; }
+
+ private:
+  LockState& GetLockLocked(const void* mu) {
+    auto [it, inserted] = locks_.try_emplace(mu);
+    if (inserted) it->second.display_id = next_lock_display_id_++;
+    return it->second;
+  }
+
+  Location& GetLocLocked(const void* loc, std::uint64_t init) {
+    auto [it, inserted] = locs_.try_emplace(loc);
+    if (inserted) {
+      // Pre-history initial value: visible to (and unordered with)
+      // every thread, carrying no synchronization.
+      it->second.stores.push_back(Store{init, 0, Clock{}, Clock{}});
+    }
+    return it->second;
+  }
+
+  void AppendStoreLocked(Location* l, std::uint64_t bits, bool release,
+                         bool inherit_sync) {
+    const int me = tls_id;
+    ThreadState& t = threads_[me];
+    ++t.clock[static_cast<std::size_t>(me)];
+    Store s;
+    s.bits = bits;
+    s.thread = me;
+    s.hb = t.clock;
+    // C++20 release sequences: an RMW extends the sequence of the store
+    // it read (inherit_sync); a plain store starts fresh. Relaxed
+    // plain stores publish nothing.
+    if (inherit_sync) s.sync = l->stores.back().sync;
+    if (release) s.sync = JoinClocks(s.sync, t.clock);
+    l->stores.push_back(s);
+    l->read_floor[static_cast<std::size_t>(me)] =
+        l->base + l->stores.size() - 1;
+    while (l->stores.size() > options_.max_store_history) {
+      l->stores.erase(l->stores.begin());
+      ++l->base;
+    }
+  }
+
+  bool AnyRunnableLocked() const {
+    for (int i = 0; i < nthreads_; ++i) {
+      if (threads_[i].status == Status::kRunnable) return true;
+    }
+    return false;
+  }
+
+  bool AnyBlockedLocked() const {
+    for (int i = 0; i < nthreads_; ++i) {
+      if (threads_[i].status == Status::kBlockedMutex ||
+          threads_[i].status == Status::kBlockedJoin) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Records a nondeterministic decision with `n` alternatives and
+  /// returns the selected index in [0, n). Decisions with one
+  /// alternative are not recorded (keeps tokens short and makes the
+  /// DFS tree exactly the branch points).
+  std::uint64_t ChoiceLocked(std::size_t n) {
+    if (n <= 1) return 0;
+    FWDECAY_DCHECK(!permissive_);
+    if (trace_pos_ < trace_.size()) {
+      Decision& d = trace_[trace_pos_];
+      const bool ok =
+          d.arity == 0 ? d.choice < n : d.arity == static_cast<std::uint64_t>(n);
+      if (!ok) {
+        FailLocked(token_replay_
+                       ? "replay divergence: token does not match this "
+                         "fixture/build (stale token?)"
+                       : "internal: schedule replay divergence");
+        return 0;
+      }
+      if (d.arity == 0) d.arity = n;  // learned at replay time
+      return trace_[trace_pos_++].choice;
+    }
+    std::uint64_t c = 0;
+    if (options_.mode == Mode::kRandom) c = rng_.NextBounded(n);
+    trace_.push_back(Decision{c, static_cast<std::uint64_t>(n)});
+    ++trace_pos_;
+    return c;
+  }
+
+  /// Scheduling point for a runnable thread: counts a step, applies the
+  /// step budget, and possibly preempts in favour of another runnable
+  /// thread. Candidate 0 is "keep running the current thread", so the
+  /// all-zeros decision vector is the plain sequential schedule.
+  void SchedulePointLocked(std::unique_lock<std::mutex>& lk) {
+    ++steps_;
+    if (!permissive_ && steps_ > options_.max_steps) {
+      pruned_ = true;
+      suppress_failures_ = true;
+      EnterPermissiveLocked();
+    }
+    FWDECAY_CHECK_MSG(steps_ <= options_.max_steps * 4 + 1000,
+                      "sched: run failed to terminate in permissive mode "
+                      "(unbounded loop in fixture?)");
+    const int me = tls_id;
+    if (permissive_) {
+      const int next = NextRunnableRoundRobinLocked(me);
+      if (next != me && next != -1) GrantLocked(next, /*wait=*/true, lk);
+      return;
+    }
+    const int chosen = PickNextLocked(/*current_runnable=*/true);
+    if (chosen != me) GrantLocked(chosen, /*wait=*/true, lk);
+  }
+
+  /// Picks the next thread to run. With current_runnable, the current
+  /// thread is candidate 0; remaining runnable threads follow in id
+  /// order (deterministic across re-executions).
+  int PickNextLocked(bool current_runnable) {
+    const int me = tls_id;
+    std::array<int, kMaxThreads> candidates{};
+    std::size_t n = 0;
+    if (current_runnable) candidates[n++] = me;
+    for (int i = 0; i < nthreads_; ++i) {
+      if (i != me && threads_[i].status == Status::kRunnable) {
+        candidates[n++] = i;
+      }
+    }
+    FWDECAY_CHECK(n > 0);
+    if (permissive_) return NextRunnableRoundRobinLocked(me);
+    return candidates[ChoiceLocked(n)];
+  }
+
+  int NextRunnableRoundRobinLocked(int me) const {
+    for (int off = 1; off <= nthreads_; ++off) {
+      const int i = (me + off) % nthreads_;
+      if (threads_[i].status == Status::kRunnable) return i;
+    }
+    return -1;
+  }
+
+  /// Transfers the grant to `chosen`; with wait, parks until granted
+  /// back (the caller must be prepared to re-check its blocking
+  /// condition afterwards).
+  void GrantLocked(int chosen, bool wait, std::unique_lock<std::mutex>& lk) {
+    const int me = tls_id;
+    active_ = chosen;
+    cv_.notify_all();
+    if (wait) cv_.wait(lk, [&] { return active_ == me; });
+  }
+
+  /// Switches away from a thread that just marked itself blocked.
+  void SwitchWhileBlockedLocked(std::unique_lock<std::mutex>& lk) {
+    GrantLocked(PickNextLocked(/*current_runnable=*/false), /*wait=*/true, lk);
+  }
+
+  void EnterPermissiveLocked() {
+    permissive_ = true;
+    for (int i = 0; i < nthreads_; ++i) {
+      // Mutex waiters barge from here on; joiners re-check their
+      // target and re-block if it is still live (join is the one wait
+      // permissive mode must still honour, for stack safety).
+      if (threads_[i].status == Status::kBlockedMutex) {
+        threads_[i].status = Status::kRunnable;
+      }
+    }
+    cv_.notify_all();
+  }
+
+  void FailLocked(const std::string& message) {
+    if (!failed_ && !suppress_failures_) {
+      failed_ = true;
+      failure_ = message;
+    }
+    EnterPermissiveLocked();
+  }
+
+  void DeadlockLocked() {
+    std::string msg = "deadlock:";
+    for (int i = 0; i < nthreads_; ++i) {
+      const ThreadState& t = threads_[i];
+      if (t.status == Status::kBlockedMutex) {
+        const LockState& lock = locks_.at(t.waiting_mutex);
+        msg += " thread " + std::to_string(i) + " waits on mutex m" +
+               std::to_string(lock.display_id) + " held by thread " +
+               std::to_string(lock.owner) + ";";
+      } else if (t.status == Status::kBlockedJoin) {
+        msg += " thread " + std::to_string(i) + " waits on join of thread " +
+               std::to_string(t.waiting_join) + ";";
+      }
+    }
+    for (int i = 0; i < nthreads_; ++i) {
+      const ThreadState& t = threads_[i];
+      if (!t.held.empty()) {
+        msg += " thread " + std::to_string(i) + " holds";
+        for (const void* mu : t.held) {
+          msg += " m" + std::to_string(locks_.at(mu).display_id);
+        }
+        msg += ";";
+      }
+    }
+    FailLocked(msg);
+  }
+
+  const ExploreOptions options_;
+  const bool token_replay_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int active_ = 0;
+  int nthreads_ = 1;
+  std::array<ThreadState, kMaxThreads> threads_;
+  std::vector<std::thread> reals_;
+  std::unordered_map<const void*, Location> locs_;
+  std::unordered_map<const void*, LockState> locks_;
+  int next_lock_display_id_ = 1;
+
+  std::vector<Decision> trace_;
+  std::size_t trace_pos_ = 0;
+  bool permissive_ = false;
+  bool suppress_failures_ = false;
+  bool failed_ = false;
+  bool pruned_ = false;
+  std::string failure_;
+  std::size_t steps_ = 0;
+  Rng rng_;
+
+  static thread_local Scheduler* tls_sched;
+  static thread_local int tls_id;
+
+  friend Scheduler* Current();
+  friend ExploreResult RunExploration(const ExploreOptions&, bool,
+                                      std::vector<Decision>,
+                                      const std::function<void()>&);
+};
+
+thread_local Scheduler* Scheduler::tls_sched = nullptr;
+thread_local int Scheduler::tls_id = -1;
+
+Scheduler* Current() { return Scheduler::tls_sched; }
+
+// ---- type-erased hooks used by the header templates -----------------
+
+std::uint64_t AtomicLoad(Scheduler* s, const void* loc, std::uint64_t init_bits,
+                         std::memory_order order) {
+  return s->Load(loc, init_bits, order);
+}
+
+void AtomicStore(Scheduler* s, const void* loc, std::uint64_t init_bits,
+                 std::uint64_t bits, std::memory_order order) {
+  s->StoreOp(loc, init_bits, bits, order);
+}
+
+std::uint64_t AtomicRmw(Scheduler* s, const void* loc, std::uint64_t init_bits,
+                        RmwFn fn, std::uint64_t operand_bits,
+                        std::memory_order order) {
+  return s->Rmw(loc, init_bits, fn, operand_bits, order);
+}
+
+bool AtomicCas(Scheduler* s, const void* loc, std::uint64_t init_bits,
+               std::uint64_t expected_bits, std::uint64_t desired_bits,
+               std::memory_order order, std::uint64_t* actual_bits) {
+  return s->Cas(loc, init_bits, expected_bits, desired_bits, order,
+                actual_bits);
+}
+
+void AtomicReset(Scheduler* s, const void* loc) { s->ResetLoc(loc); }
+
+void MutexLock(Scheduler* s, const void* mu) { s->Lock(mu); }
+
+void MutexUnlock(Scheduler* s, const void* mu) { s->Unlock(mu); }
+
+void MutexReset(Scheduler* s, const void* mu) { s->ResetLock(mu); }
+
+int SpawnThread(Scheduler* s, std::function<void()> fn) {
+  return s->Spawn(std::move(fn));
+}
+
+void JoinThread(Scheduler* s, int model_id) { s->Join(model_id); }
+
+namespace {
+
+std::string EncodeToken(const char* name, std::size_t max_store_history,
+                        const std::vector<Decision>& trace) {
+  std::string out(kTokenMagic);
+  out += ':';
+  out += name;
+  out += ":h";
+  out += std::to_string(max_store_history);
+  out += ':';
+  if (trace.empty()) {
+    out += '-';
+  } else {
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+      if (i > 0) out += '.';
+      AppendHex(&out, trace[i].choice);
+    }
+  }
+  return out;
+}
+
+bool DecodeToken(const std::string& token, std::string* name,
+                 std::uint64_t* max_store_history,
+                 std::vector<Decision>* decisions, std::string* error) {
+  const auto fail = [&](const char* why) {
+    if (error != nullptr) *error = why;
+    return false;
+  };
+  const std::size_t p1 = token.find(':');
+  if (p1 == std::string::npos || token.substr(0, p1) != kTokenMagic) {
+    return fail("bad magic (expected FWSCHED1)");
+  }
+  const std::size_t p2 = token.find(':', p1 + 1);
+  if (p2 == std::string::npos) return fail("missing fixture name");
+  const std::string fixture = token.substr(p1 + 1, p2 - p1 - 1);
+  if (fixture.empty() || !ValidFixtureName(fixture.c_str())) {
+    return fail("invalid fixture name");
+  }
+  const std::size_t p3 = token.find(':', p2 + 1);
+  if (p3 == std::string::npos || token[p2 + 1] != 'h') {
+    return fail("missing history field");
+  }
+  std::uint64_t hist = 0;
+  if (!ParseDecimal(token, p2 + 2, p3, &hist) || hist == 0) {
+    return fail("invalid history field");
+  }
+  std::vector<Decision> parsed;
+  const std::string body = token.substr(p3 + 1);
+  if (body.empty()) return fail("missing decision list");
+  if (body != "-") {
+    std::size_t begin = 0;
+    for (;;) {
+      std::size_t end = body.find('.', begin);
+      const std::size_t stop = end == std::string::npos ? body.size() : end;
+      std::uint64_t choice = 0;
+      if (!ParseHex(body, begin, stop, &choice)) {
+        return fail("invalid decision list");
+      }
+      parsed.push_back(Decision{choice, 0});
+      if (end == std::string::npos) break;
+      begin = end + 1;
+    }
+  }
+  if (name != nullptr) *name = fixture;
+  if (max_store_history != nullptr) *max_store_history = hist;
+  if (decisions != nullptr) *decisions = std::move(parsed);
+  return true;
+}
+
+}  // namespace
+
+/// Shared driver: runs schedules until failure / exhaustion / budget.
+/// With token_replay, `seed_prefix` is the token's decision list and
+/// exactly one schedule runs.
+ExploreResult RunExploration(const ExploreOptions& options, bool token_replay,
+                             std::vector<Decision> seed_prefix,
+                             const std::function<void()>& body) {
+  FWDECAY_CHECK_MSG(Current() == nullptr,
+                    "sched: explorations do not nest");
+  FWDECAY_CHECK_MSG(ValidFixtureName(options.name),
+                    "sched: fixture name must match [a-z0-9_-]+");
+  FWDECAY_CHECK(options.max_store_history > 0);
+  Scheduler sched(options, token_replay);
+  ExploreResult result;
+  std::vector<Decision> prefix = std::move(seed_prefix);
+  for (;;) {
+    sched.PrepareRun(prefix);
+    sched.RunBody(body);
+    ++result.schedules_run;
+    if (sched.pruned()) ++result.schedules_pruned;
+    if (sched.failed()) {
+      result.failed = true;
+      result.failure = sched.failure();
+      result.replay_token =
+          EncodeToken(options.name, options.max_store_history, sched.trace());
+      break;
+    }
+    if (token_replay) break;
+    if (result.schedules_run >= options.max_schedules) break;
+    if (options.mode == Mode::kExhaustive) {
+      // Depth-first backtrack: bump the deepest decision that still has
+      // an untried alternative and drop everything after it.
+      prefix = sched.trace();
+      while (!prefix.empty() &&
+             prefix.back().choice + 1 >= prefix.back().arity) {
+        prefix.pop_back();
+      }
+      if (prefix.empty()) {
+        result.exhausted = true;
+        break;
+      }
+      ++prefix.back().choice;
+    } else {
+      prefix.clear();  // fresh draw from the continuing random stream
+    }
+  }
+  return result;
+}
+
+}  // namespace internal
+
+ExploreResult Explore(const ExploreOptions& options,
+                      const std::function<void()>& body) {
+  return internal::RunExploration(options, /*token_replay=*/false, {}, body);
+}
+
+ExploreResult Replay(const std::string& token, const char* name,
+                     const std::function<void()>& body) {
+  std::string fixture;
+  std::uint64_t hist = 0;
+  std::vector<internal::Decision> decisions;
+  std::string error;
+  FWDECAY_CHECK_MSG(
+      internal::DecodeToken(token, &fixture, &hist, &decisions, &error),
+      "sched::Replay: malformed token");
+  FWDECAY_CHECK_MSG(fixture == name,
+                    "sched::Replay: token names a different fixture");
+  ExploreOptions options;
+  options.name = name;
+  options.max_store_history = static_cast<std::size_t>(hist);
+  return internal::RunExploration(options, /*token_replay=*/true,
+                                  std::move(decisions), body);
+}
+
+bool ParseReplayToken(const std::string& token, std::string* fixture_name,
+                      std::string* error) {
+  return internal::DecodeToken(token, fixture_name, nullptr, nullptr, error);
+}
+
+void Fail(const std::string& message) {
+  internal::Scheduler* s = internal::Current();
+  FWDECAY_CHECK_MSG(s != nullptr,
+                    "sched::Fail outside an active exploration");
+  s->RecordFailure(message);
+}
+
+void Expect(bool ok, const char* message) {
+  if (ok) return;
+  internal::Scheduler* s = internal::Current();
+  FWDECAY_CHECK_MSG(s != nullptr, message);
+  s->RecordFailure(message);
+}
+
+bool Failed() {
+  internal::Scheduler* s = internal::Current();
+  return s != nullptr && s->HasFailedUnlocked();
+}
+
+bool InScheduledRegion() { return internal::Current() != nullptr; }
+
+void Yield() {
+  if (internal::Scheduler* s = internal::Current()) s->SchedulePoint();
+}
+
+// ---- sched::Thread ---------------------------------------------------
+
+Thread::Thread(std::function<void()> fn) {
+  if (internal::Scheduler* s = internal::Current()) {
+    sched_ = s;
+    model_id_ = internal::SpawnThread(s, std::move(fn));
+    return;
+  }
+  real_ = std::thread(std::move(fn));
+}
+
+Thread::~Thread() {
+  FWDECAY_CHECK_MSG(!Joinable(), "sched::Thread destroyed without Join()");
+}
+
+Thread::Thread(Thread&& other) noexcept
+    : real_(std::move(other.real_)),
+      sched_(other.sched_),
+      model_id_(other.model_id_) {
+  other.sched_ = nullptr;
+  other.model_id_ = -1;
+}
+
+Thread& Thread::operator=(Thread&& other) noexcept {
+  FWDECAY_CHECK_MSG(!Joinable(), "sched::Thread assigned over without Join()");
+  real_ = std::move(other.real_);
+  sched_ = other.sched_;
+  model_id_ = other.model_id_;
+  other.sched_ = nullptr;
+  other.model_id_ = -1;
+  return *this;
+}
+
+void Thread::Join() {
+  if (sched_ != nullptr) {
+    FWDECAY_CHECK_MSG(internal::Current() == sched_,
+                      "sched::Thread joined outside its exploration");
+    internal::JoinThread(sched_, model_id_);
+    sched_ = nullptr;
+    model_id_ = -1;
+    return;
+  }
+  FWDECAY_CHECK_MSG(real_.joinable(), "sched::Thread joined twice");
+  real_.join();
+}
+
+bool Thread::Joinable() const { return model_id_ >= 0 || real_.joinable(); }
+
+}  // namespace fwdecay::sched

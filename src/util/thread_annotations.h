@@ -3,6 +3,10 @@
 
 #include <mutex>
 
+#if defined(FWDECAY_SCHED)
+#include "util/sched.h"
+#endif
+
 // Clang thread-safety annotations + the annotated lock vocabulary.
 //
 // The repo's concurrency claims ("a single mutex suffices", "snapshots
@@ -74,17 +78,31 @@ namespace fwdecay {
 /// std::mutex with the `capability` attribute, so clang's analysis can
 /// track what it guards. Same cost: the wrapper is a plain std::mutex
 /// plus compile-time attributes.
+///
+/// Under -DFWDECAY_SCHED=ON the underlying mutex is sched::ModelMutex
+/// instead: inside sched::Explore() the lock becomes a virtual lock the
+/// schedule-exploring model checker can preempt around and deadlock-
+/// check (DESIGN.md §10); outside an exploration — and in the default
+/// build — it behaves exactly like std::mutex.
 class FWDECAY_CAPABILITY("mutex") Mutex {
  public:
   Mutex() = default;
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
+#if defined(FWDECAY_SCHED)
+  void Lock() FWDECAY_ACQUIRE() { mu_.Lock(); }
+  void Unlock() FWDECAY_RELEASE() { mu_.Unlock(); }
+
+ private:
+  sched::ModelMutex mu_;
+#else
   void Lock() FWDECAY_ACQUIRE() { mu_.lock(); }
   void Unlock() FWDECAY_RELEASE() { mu_.unlock(); }
 
  private:
   std::mutex mu_;
+#endif
 };
 
 /// Annotated RAII guard (the std::lock_guard of this vocabulary).
