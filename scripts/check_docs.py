@@ -32,8 +32,11 @@ REQUIRED_SECTIONS = [
     ("DESIGN.md", r"^### 6\.\d+ Trace file format \(`FWDTRC02`\)"),
     ("DESIGN.md", r"^## 8\. Batched columnar ingest"),
     ("DESIGN.md", r"^## 9\. Observability"),
+    ("DESIGN.md", r"^## 11\. Serving: the `fwdecayd` daemon"),
+    ("DESIGN.md", r"^### 11\.3 Durability: journal \+ snapshot \+ manifest"),
     ("README.md", r"^## Observability"),
     ("README.md", r"^## Build flags"),
+    ("README.md", r"^## Serving"),
     ("EXPERIMENTS.md", r"^#+.*[Ii]ngest"),
 ]
 

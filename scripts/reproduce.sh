@@ -26,6 +26,11 @@
 #                     schedule also prints an FWSCHED1 replay token).
 #   FWDECAY_SCHED_REPLAY  passed through likewise: an FWSCHED1 token
 #                     makes sched_test re-run exactly that schedule.
+#   FWDECAY_SERVER    ON appends the fwdecayd serving smoke (DESIGN.md
+#                     §11): scripts/server_smoke.sh starts the daemon,
+#                     ingests, polls, scrapes /metrics, SIGKILLs it,
+#                     restarts on the same data dir, and verifies every
+#                     acknowledged batch survived       [default: OFF]
 #   CMAKE_GENERATOR   only applied when BUILD_DIR is fresh; an existing
 #                     tree keeps whatever generator configured it (cmake
 #                     hard-errors on a generator mismatch otherwise).
@@ -38,6 +43,7 @@ FWDECAY_AUDIT="${FWDECAY_AUDIT:-OFF}"
 FWDECAY_SHARDS="${FWDECAY_SHARDS:-8}"
 FWDECAY_METRICS="${FWDECAY_METRICS:-ON}"
 FWDECAY_SCHED="${FWDECAY_SCHED:-OFF}"
+FWDECAY_SERVER="${FWDECAY_SERVER:-OFF}"
 # FWDECAY_SCHED_SEED / FWDECAY_SCHED_REPLAY are read by sched_test at
 # runtime; being exported here is all the passthrough they need.
 export FWDECAY_SCHED_SEED="${FWDECAY_SCHED_SEED:-}"
@@ -69,3 +75,8 @@ ctest --test-dir "${BUILD_DIR}" --output-on-failure 2>&1 | tee test_output.txt
   # a JSON line per mode to BENCH_ingest.json at the repo root.
   "./${BUILD_DIR}/bench/bench_ingest" "--shards=${FWDECAY_SHARDS}"
 } 2>&1 | tee bench_output.txt
+
+if [[ "${FWDECAY_SERVER}" == "ON" ]]; then
+  BUILD_DIR="${BUILD_DIR}" scripts/server_smoke.sh 2>&1 \
+    | tee server_smoke_output.txt
+fi

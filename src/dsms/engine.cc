@@ -992,6 +992,18 @@ bool QueryExecution::Checkpoint(const std::string& path,
   metrics::ScopedTimerSample checkpoint_timer(
       EngineMetrics::Get().checkpoint_ns,
       metrics::MetricsRegistry::Instance().NowSeconds());
+  std::vector<std::uint8_t> image;
+  if (!CheckpointBytes(&image, error)) return false;
+  if (!FaultFs::Instance().AtomicWriteFile(path, image, error)) {
+    return false;
+  }
+  EngineMetrics::Get().checkpoints->Increment();
+  EngineMetrics::Get().checkpoint_bytes->Increment(image.size());
+  return true;
+}
+
+bool QueryExecution::CheckpointBytes(std::vector<std::uint8_t>* out,
+                                     std::string* error) const {
   ByteWriter payload;
   payload.WriteU64(plan_->Fingerprint());
   payload.WriteU8(plan_->options_.two_level ? 1 : 0);
@@ -1041,11 +1053,7 @@ bool QueryExecution::Checkpoint(const std::string& path,
   file.WriteU32(Crc32c(body.data(), body.size()));
   file.WriteU64(body.size());
   file.WriteBytes(body.data(), body.size());
-  if (!FaultFs::Instance().AtomicWriteFile(path, file.bytes(), error)) {
-    return false;
-  }
-  EngineMetrics::Get().checkpoints->Increment();
-  EngineMetrics::Get().checkpoint_bytes->Increment(file.bytes().size());
+  *out = file.Take();
   return true;
 }
 
@@ -1058,7 +1066,12 @@ bool QueryExecution::Restore(const std::string& path, std::string* error) {
       metrics::MetricsRegistry::Instance().NowSeconds());
   std::vector<std::uint8_t> bytes;
   if (!FaultFs::Instance().ReadFile(path, &bytes, error)) return false;
-  ByteReader header(bytes);
+  return RestoreBytes(bytes.data(), bytes.size(), error);
+}
+
+bool QueryExecution::RestoreBytes(const std::uint8_t* data, std::size_t size,
+                                  std::string* error) {
+  ByteReader header(data, size);
   char magic[8] = {};
   std::uint32_t version = 0;
   std::uint32_t crc = 0;
@@ -1086,8 +1099,7 @@ bool QueryExecution::Restore(const std::string& path, std::string* error) {
     *error = "snapshot payload length mismatch";
     return false;
   }
-  if (Crc32c(bytes.data() + (bytes.size() - payload_len), payload_len) !=
-      crc) {
+  if (Crc32c(data + (size - payload_len), payload_len) != crc) {
     *error = "snapshot CRC mismatch (torn or corrupt write)";
     return false;
   }

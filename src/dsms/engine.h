@@ -186,12 +186,24 @@ class QueryExecution {
   /// with *error set; any existing snapshot at `path` is untouched.
   bool Checkpoint(const std::string& path, std::string* error) const;
 
+  /// Serializes the same FWDSNAP1 image Checkpoint() writes into *out
+  /// instead of a file. The server embeds these images inside its own
+  /// snapshot files (one per registered query) and uses them to clone
+  /// executions for non-destructive result polls (DESIGN.md §11).
+  bool CheckpointBytes(std::vector<std::uint8_t>* out,
+                       std::string* error) const;
+
   /// Replaces this execution's state with the snapshot at `path`.
   /// Verifies the CRC32C frame and the plan fingerprint; on any failure
   /// returns false with *error set and leaves the execution unusable
   /// (callers discard it). Feeding the trace from packets_consumed()
   /// onward then reproduces the uninterrupted run exactly.
   bool Restore(const std::string& path, std::string* error);
+
+  /// As Restore(), but from an in-memory FWDSNAP1 image (the bytes
+  /// CheckpointBytes() produced). Same validation, same guarantees.
+  bool RestoreBytes(const std::uint8_t* data, std::size_t size,
+                    std::string* error);
 
   /// Representation audit of both group-table levels (DESIGN.md §7):
   /// every group is stored under the hash of its key, low-level slots sit

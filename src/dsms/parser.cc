@@ -491,6 +491,13 @@ class Parser {
 }  // namespace
 
 ParseResult ParseQuery(const std::string& text) {
+  if (text.size() > kMaxGsqlBytes) {
+    ParseResult result;
+    result.error = "query text is " + std::to_string(text.size()) +
+                   " bytes, over the " + std::to_string(kMaxGsqlBytes) +
+                   " byte limit";
+    return result;
+  }
   Lexer lexer(text);
   std::string error;
   if (!lexer.Run(&error)) {

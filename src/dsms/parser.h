@@ -32,6 +32,15 @@
 
 namespace fwdecay::dsms {
 
+/// Upper bound on accepted GSQL text. ParseQuery rejects longer input
+/// before the lexer allocates anything, and the server's frame decoder
+/// enforces the same bound at the wire (mirroring the FWDTRC02
+/// hostile-count discipline: validate declared sizes before paying for
+/// them). Every query in the paper is under 200 bytes; 16 KiB leaves
+/// room for generated queries while keeping a hostile registration from
+/// turning the parser into an allocation amplifier.
+inline constexpr std::size_t kMaxGsqlBytes = 16 * 1024;
+
 /// One select-list or group-by entry: an expression plus optional alias.
 struct SelectItem {
   std::unique_ptr<Expr> expr;

@@ -1,0 +1,143 @@
+#include "server/client.h"
+
+namespace fwdecay::server {
+
+namespace {
+
+/// Extracts a structured error reply into (code, message); false when
+/// the frame is not a kError frame.
+bool AsError(const Frame& frame, ErrCode* code, std::string* message) {
+  if (frame.type != MsgType::kError) return false;
+  if (!DecodeError(frame.payload, code, message)) {
+    *code = ErrCode::kInternal;
+    *message = "malformed error reply";
+  }
+  return true;
+}
+
+}  // namespace
+
+bool Client::Connect(std::uint16_t port, std::string* error) {
+  Close();
+  return server::Connect(port, timeout_ms_, &sock_, error) == IoStatus::kOk;
+}
+
+void Client::Close() { sock_.Close(); }
+
+bool Client::RoundTrip(MsgType type, const std::vector<std::uint8_t>& request,
+                       Frame* reply, std::string* error) {
+  if (!sock_.ok()) {
+    *error = "client is not connected";
+    return false;
+  }
+  if (SendFrame(sock_, type, request, timeout_ms_, error) != IoStatus::kOk) {
+    return false;
+  }
+  const FrameReadStatus status =
+      ReadFrame(sock_, reply, timeout_ms_, timeout_ms_, error);
+  if (status != FrameReadStatus::kOk) {
+    if (error->empty()) *error = "connection lost awaiting the reply";
+    return false;
+  }
+  return true;
+}
+
+bool Client::Hello(const std::string& tenant, std::string* error) {
+  Frame reply;
+  if (!RoundTrip(MsgType::kHello, EncodeHello(tenant), &reply, error)) {
+    return false;
+  }
+  ErrCode code = ErrCode::kNone;
+  if (AsError(reply, &code, error)) return false;
+  if (reply.type != MsgType::kHelloOk) {
+    *error = "unexpected reply to Hello";
+    return false;
+  }
+  return true;
+}
+
+bool Client::RegisterQuery(const std::string& name, const std::string& gsql,
+                           bool two_level, std::uint64_t* query_id,
+                           ErrCode* code, std::string* error) {
+  *code = ErrCode::kNone;
+  Frame reply;
+  if (!RoundTrip(MsgType::kRegister, EncodeRegister(name, gsql, two_level),
+                 &reply, error)) {
+    return false;
+  }
+  if (AsError(reply, code, error)) return false;
+  if (reply.type != MsgType::kRegisterOk ||
+      !DecodeRegisterOk(reply.payload, query_id)) {
+    *error = "unexpected reply to Register";
+    return false;
+  }
+  return true;
+}
+
+bool Client::Ingest(std::uint64_t client_seq, const dsms::PacketBatch& batch,
+                    IngestReply* reply, std::string* error) {
+  *reply = IngestReply{};
+  Frame frame;
+  if (!RoundTrip(MsgType::kIngest, EncodeIngest(client_seq, batch), &frame,
+                 error)) {
+    return false;
+  }
+  switch (frame.type) {
+    case MsgType::kAck: {
+      std::uint64_t echoed = 0;
+      if (!DecodeAck(frame.payload, &echoed, &reply->global_seq) ||
+          echoed != client_seq) {
+        *error = "malformed or misdirected ack";
+        return false;
+      }
+      reply->ok = true;
+      return true;
+    }
+    case MsgType::kBusy: {
+      std::uint64_t echoed = 0;
+      if (!DecodeBusy(frame.payload, &echoed, &reply->queue_depth) ||
+          echoed != client_seq) {
+        *error = "malformed or misdirected busy reply";
+        return false;
+      }
+      reply->busy = true;
+      return true;
+    }
+    case MsgType::kError:
+      (void)AsError(frame, &reply->code, &reply->message);
+      return true;
+    default:
+      *error = "unexpected reply to Ingest";
+      return false;
+  }
+}
+
+bool Client::PollResult(std::uint64_t query_id, dsms::ResultSet* result,
+                        ErrCode* code, std::string* error) {
+  *code = ErrCode::kNone;
+  Frame reply;
+  if (!RoundTrip(MsgType::kPoll, EncodePoll(query_id), &reply, error)) {
+    return false;
+  }
+  if (AsError(reply, code, error)) return false;
+  if (reply.type != MsgType::kResult || !DecodeResult(reply.payload, result)) {
+    *error = "unexpected reply to Poll";
+    return false;
+  }
+  return true;
+}
+
+bool Client::Stats(WireStats* stats, std::string* error) {
+  Frame reply;
+  if (!RoundTrip(MsgType::kStats, {}, &reply, error)) return false;
+  ErrCode code = ErrCode::kNone;
+  if (AsError(reply, &code, error)) return false;
+  if (reply.type != MsgType::kStatsOk ||
+      !DecodeStatsOk(reply.payload, stats)) {
+    *error = "unexpected reply to Stats";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace fwdecay::server

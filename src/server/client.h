@@ -1,0 +1,91 @@
+#ifndef FWDECAY_SERVER_CLIENT_H_
+#define FWDECAY_SERVER_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "dsms/batch.h"
+#include "dsms/engine.h"
+#include "server/frame.h"
+#include "server/net.h"
+
+// Minimal fwdecayd client (tests, examples, the CI smoke script).
+//
+// One Client wraps one connection and speaks the frame protocol
+// synchronously: every call sends one frame and blocks for the reply.
+// Transport failures surface as false + error; protocol refusals
+// (kBusy, kError) surface through the reply structs so callers can
+// distinguish "retry later" (backpressure) from "fix your request".
+
+namespace fwdecay::server {
+
+/// Outcome of one Ingest call. `ok` means the batch is durable and
+/// applied (kAck); `busy` means the bounded queue refused it (kBusy) —
+/// retry after a backoff; otherwise `code`/`message` carry the
+/// structured error.
+struct IngestReply {
+  bool ok = false;
+  bool busy = false;
+  std::uint64_t global_seq = 0;
+  std::uint32_t queue_depth = 0;
+  ErrCode code = ErrCode::kNone;
+  std::string message;
+};
+
+class Client {
+ public:
+  Client() = default;
+  ~Client() { Close(); }
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connects to 127.0.0.1:port.
+  bool Connect(std::uint16_t port, std::string* error);
+  void Close();
+  bool connected() const { return sock_.ok(); }
+
+  /// Tenant handshake; required before Register.
+  bool Hello(const std::string& tenant, std::string* error);
+
+  /// Registers a continuous query; *query_id receives its handle.
+  /// A structured refusal (quota, parse error, …) lands in *code and
+  /// *error; a transport failure leaves *code at kNone.
+  bool RegisterQuery(const std::string& name, const std::string& gsql,
+                     bool two_level, std::uint64_t* query_id, ErrCode* code,
+                     std::string* error);
+
+  /// Sends one batch and waits for kAck/kBusy/kError (see IngestReply).
+  /// False only on transport failure.
+  bool Ingest(std::uint64_t client_seq, const dsms::PacketBatch& batch,
+              IngestReply* reply, std::string* error);
+
+  /// Non-destructive result snapshot of one registered query.
+  bool PollResult(std::uint64_t query_id, dsms::ResultSet* result,
+                  ErrCode* code, std::string* error);
+
+  /// Server counter snapshot.
+  bool Stats(WireStats* stats, std::string* error);
+
+  /// The raw socket, for hostile-input tests that need to write
+  /// malformed bytes past the codec layer.
+  Socket& raw_socket() { return sock_; }
+
+  /// Per-call reply deadline (generous default: an ingest ack waits on
+  /// journal fsync + fan-out).
+  void set_timeout_ms(int ms) { timeout_ms_ = ms; }
+
+ private:
+  /// Sends `request` and reads the reply frame. False on transport
+  /// failure; protocol-level errors come back as frames for the caller
+  /// to interpret.
+  bool RoundTrip(MsgType type, const std::vector<std::uint8_t>& request,
+                 Frame* reply, std::string* error);
+
+  Socket sock_;
+  int timeout_ms_ = 70'000;
+};
+
+}  // namespace fwdecay::server
+
+#endif  // FWDECAY_SERVER_CLIENT_H_

@@ -1,0 +1,379 @@
+#include "server/frame.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "dsms/parser.h"
+#include "dsms/value.h"
+#include "server/tenant.h"
+
+namespace fwdecay::server {
+
+namespace {
+
+// One packet record, FWDTRC02 layout (see dsms/trace_io.cc). The codec
+// is duplicated rather than exported from trace_io so the wire format
+// and the trace format can evolve independently; the shared constant
+// kPacketWireBytes pins them to the same width today.
+void AppendPacketRecord(ByteWriter* w, const dsms::Packet& p) {
+  w->WriteDouble(p.time);
+  w->WriteU32(p.src_ip);
+  w->WriteU32(p.dest_ip);
+  w->WriteU32(p.src_port);
+  w->WriteU32(p.dest_port);
+  w->WriteU32(p.len);
+  w->WriteU8(p.protocol);
+}
+
+bool ParsePacketRecord(ByteReader* r, dsms::Packet* p) {
+  std::uint32_t src_port = 0;
+  std::uint32_t dest_port = 0;
+  std::uint8_t protocol = 0;
+  if (!r->ReadDouble(&p->time) || !r->ReadU32(&p->src_ip) ||
+      !r->ReadU32(&p->dest_ip) || !r->ReadU32(&src_port) ||
+      !r->ReadU32(&dest_port) || !r->ReadU32(&p->len) ||
+      !r->ReadU8(&protocol)) {
+    return false;
+  }
+  if (src_port > 0xffff || dest_port > 0xffff) return false;
+  p->src_port = static_cast<std::uint16_t>(src_port);
+  p->dest_port = static_cast<std::uint16_t>(dest_port);
+  p->protocol = protocol;
+  return true;
+}
+
+ByteReader ReaderFor(const std::vector<std::uint8_t>& payload) {
+  return ByteReader(payload.data(), payload.size());
+}
+
+}  // namespace
+
+const char* ErrCodeName(ErrCode code) {
+  switch (code) {
+    case ErrCode::kNone:
+      return "none";
+    case ErrCode::kBadMagic:
+      return "bad_magic";
+    case ErrCode::kFrameTooLarge:
+      return "frame_too_large";
+    case ErrCode::kBadFrame:
+      return "bad_frame";
+    case ErrCode::kQueryTooLong:
+      return "query_too_long";
+    case ErrCode::kBadName:
+      return "bad_name";
+    case ErrCode::kParseError:
+      return "parse_error";
+    case ErrCode::kQuotaExceeded:
+      return "quota_exceeded";
+    case ErrCode::kUnknownQuery:
+      return "unknown_query";
+    case ErrCode::kNotAdmitted:
+      return "not_admitted";
+    case ErrCode::kShuttingDown:
+      return "shutting_down";
+    case ErrCode::kIdleTimeout:
+      return "idle_timeout";
+    case ErrCode::kResultTooLarge:
+      return "result_too_large";
+    case ErrCode::kInternal:
+      return "internal";
+  }
+  return "unknown";
+}
+
+FrameReadStatus ReadFrame(Socket& sock, Frame* out, int idle_timeout_ms,
+                          int io_timeout_ms, std::string* error) {
+  std::uint8_t header[kFrameHeaderBytes];
+  // The idle deadline covers the whole header: a peer that opens a
+  // connection and sends nothing (or dribbles a partial header) is
+  // reaped when this expires.
+  const IoStatus hs =
+      RecvExactly(sock, header, sizeof(header), idle_timeout_ms, error);
+  if (hs == IoStatus::kTimeout) return FrameReadStatus::kTimeout;
+  if (hs == IoStatus::kClosed) return FrameReadStatus::kClosed;
+  if (hs == IoStatus::kError) return FrameReadStatus::kError;
+
+  std::uint32_t magic = 0;
+  std::uint32_t len = 0;
+  std::memcpy(&magic, header, sizeof(magic));
+  std::memcpy(&len, header + 5, sizeof(len));
+  const std::uint8_t type = header[4];
+
+  if (magic != kFrameMagic) {
+    *error = "bad frame magic";
+    return FrameReadStatus::kBadMagic;
+  }
+  if (len > kMaxFrameBytes) {
+    if (len > kMaxDiscardBytes) {
+      *error = "frame of " + std::to_string(len) + " bytes exceeds even the " +
+               std::to_string(kMaxDiscardBytes) + " byte drain cap";
+      return FrameReadStatus::kError;
+    }
+    // Drain the oversized payload so the stream stays synchronized and
+    // the caller can refuse with a structured reply instead of a
+    // disconnect.
+    const IoStatus ds = DiscardExactly(sock, len, io_timeout_ms, error);
+    if (ds == IoStatus::kTimeout) return FrameReadStatus::kTimeout;
+    if (ds == IoStatus::kClosed) return FrameReadStatus::kClosed;
+    if (ds == IoStatus::kError) return FrameReadStatus::kError;
+    *error = "frame payload of " + std::to_string(len) +
+             " bytes exceeds the " + std::to_string(kMaxFrameBytes) +
+             " byte limit";
+    return FrameReadStatus::kTooLarge;
+  }
+
+  out->type = static_cast<MsgType>(type);
+  out->payload.assign(len, 0);  // bounded by kMaxFrameBytes above
+  if (len > 0) {
+    const IoStatus ps =
+        RecvExactly(sock, out->payload.data(), len, io_timeout_ms, error);
+    if (ps == IoStatus::kTimeout) return FrameReadStatus::kTimeout;
+    if (ps == IoStatus::kClosed) return FrameReadStatus::kClosed;
+    if (ps == IoStatus::kError) return FrameReadStatus::kError;
+  }
+  return FrameReadStatus::kOk;
+}
+
+IoStatus SendFrame(Socket& sock, MsgType type,
+                   const std::vector<std::uint8_t>& payload, int timeout_ms,
+                   std::string* error) {
+  if (payload.size() > kMaxFrameBytes) {
+    *error = "refusing to send an oversized frame";
+    return IoStatus::kError;
+  }
+  ByteWriter w;
+  w.WriteU32(kFrameMagic);
+  w.WriteU8(static_cast<std::uint8_t>(type));
+  w.WriteU32(static_cast<std::uint32_t>(payload.size()));
+  w.WriteBytes(payload.data(), payload.size());
+  const std::vector<std::uint8_t> wire = w.Take();
+  return SendExactly(sock, wire.data(), wire.size(), timeout_ms, error);
+}
+
+// --------------------------------------------------------------------
+// Payload codecs
+
+std::vector<std::uint8_t> EncodeHello(const std::string& tenant) {
+  ByteWriter w;
+  w.WriteString(tenant);
+  return w.Take();
+}
+
+bool DecodeHello(const std::vector<std::uint8_t>& payload,
+                 std::string* tenant) {
+  ByteReader r = ReaderFor(payload);
+  return r.ReadString(tenant) && r.Exhausted() && ValidTenantName(*tenant);
+}
+
+std::vector<std::uint8_t> EncodeRegister(const std::string& name,
+                                         const std::string& gsql,
+                                         bool two_level) {
+  ByteWriter w;
+  w.WriteString(name);
+  w.WriteString(gsql);
+  w.WriteU8(two_level ? 1 : 0);
+  return w.Take();
+}
+
+bool DecodeRegister(const std::vector<std::uint8_t>& payload,
+                    std::string* name, std::string* gsql, bool* two_level,
+                    ErrCode* code) {
+  ByteReader r = ReaderFor(payload);
+  std::uint8_t two = 0;
+  if (!r.ReadString(name) || !r.ReadString(gsql) || !r.ReadU8(&two) ||
+      !r.Exhausted()) {
+    *code = ErrCode::kBadFrame;
+    return false;
+  }
+  if (!ValidQueryName(*name)) {
+    *code = ErrCode::kBadName;
+    return false;
+  }
+  // The parser enforces the same bound; rejecting here keeps the text
+  // from even reaching the lexer (and names the right error code).
+  if (gsql->size() > dsms::kMaxGsqlBytes) {
+    *code = ErrCode::kQueryTooLong;
+    return false;
+  }
+  *two_level = two != 0;
+  return true;
+}
+
+std::vector<std::uint8_t> EncodeRegisterOk(std::uint64_t query_id) {
+  ByteWriter w;
+  w.WriteU64(query_id);
+  return w.Take();
+}
+
+bool DecodeRegisterOk(const std::vector<std::uint8_t>& payload,
+                      std::uint64_t* query_id) {
+  ByteReader r = ReaderFor(payload);
+  return r.ReadU64(query_id) && r.Exhausted();
+}
+
+std::vector<std::uint8_t> EncodeIngest(std::uint64_t client_seq,
+                                       const dsms::PacketBatch& batch) {
+  ByteWriter w;
+  w.WriteU64(client_seq);
+  w.WriteU32(static_cast<std::uint32_t>(batch.size()));
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    AppendPacketRecord(&w, batch.Get(i));
+  }
+  return w.Take();
+}
+
+bool DecodeIngest(const std::vector<std::uint8_t>& payload,
+                  std::uint64_t* client_seq, dsms::PacketBatch* batch) {
+  ByteReader r = ReaderFor(payload);
+  std::uint32_t count = 0;
+  if (!r.ReadU64(client_seq) || !r.ReadU32(&count)) return false;
+  // Hostile-count discipline: the declared count must respect the hard
+  // cap AND exactly match the bytes present, checked before any
+  // per-packet work.
+  if (count > kMaxBatchPackets) return false;
+  if (static_cast<std::size_t>(count) * kPacketWireBytes != r.Remaining()) {
+    return false;
+  }
+  dsms::PacketBatch decoded(std::max<std::size_t>(count, 1));
+  for (std::uint32_t i = 0; i < count; ++i) {
+    dsms::Packet p;
+    if (!ParsePacketRecord(&r, &p)) return false;
+    (void)decoded.Append(p);
+  }
+  if (!r.Exhausted()) return false;
+  *batch = std::move(decoded);
+  return true;
+}
+
+std::vector<std::uint8_t> EncodeAck(std::uint64_t client_seq,
+                                    std::uint64_t global_seq) {
+  ByteWriter w;
+  w.WriteU64(client_seq);
+  w.WriteU64(global_seq);
+  return w.Take();
+}
+
+bool DecodeAck(const std::vector<std::uint8_t>& payload,
+               std::uint64_t* client_seq, std::uint64_t* global_seq) {
+  ByteReader r = ReaderFor(payload);
+  return r.ReadU64(client_seq) && r.ReadU64(global_seq) && r.Exhausted();
+}
+
+std::vector<std::uint8_t> EncodeBusy(std::uint64_t client_seq,
+                                     std::uint32_t queue_depth) {
+  ByteWriter w;
+  w.WriteU64(client_seq);
+  w.WriteU32(queue_depth);
+  return w.Take();
+}
+
+bool DecodeBusy(const std::vector<std::uint8_t>& payload,
+                std::uint64_t* client_seq, std::uint32_t* queue_depth) {
+  ByteReader r = ReaderFor(payload);
+  return r.ReadU64(client_seq) && r.ReadU32(queue_depth) && r.Exhausted();
+}
+
+std::vector<std::uint8_t> EncodePoll(std::uint64_t query_id) {
+  ByteWriter w;
+  w.WriteU64(query_id);
+  return w.Take();
+}
+
+bool DecodePoll(const std::vector<std::uint8_t>& payload,
+                std::uint64_t* query_id) {
+  ByteReader r = ReaderFor(payload);
+  return r.ReadU64(query_id) && r.Exhausted();
+}
+
+std::vector<std::uint8_t> EncodeResult(const dsms::ResultSet& result) {
+  ByteWriter w;
+  w.Reserve(64 + 16 * result.columns.size() * (1 + result.rows.size()));
+  w.WriteU32(static_cast<std::uint32_t>(result.columns.size()));
+  for (const std::string& c : result.columns) w.WriteString(c);
+  w.WriteU32(static_cast<std::uint32_t>(result.rows.size()));
+  for (const auto& row : result.rows) {
+    for (const dsms::Value& v : row) v.SerializeTo(&w);
+  }
+  return w.Take();
+}
+
+bool DecodeResult(const std::vector<std::uint8_t>& payload,
+                  dsms::ResultSet* result) {
+  ByteReader r = ReaderFor(payload);
+  std::uint32_t ncols = 0;
+  if (!r.ReadU32(&ncols) || ncols > kMaxResultColumns) return false;
+  result->columns.clear();
+  result->rows.clear();
+  result->columns.reserve(ncols);
+  for (std::uint32_t i = 0; i < ncols; ++i) {
+    std::string c;
+    if (!r.ReadString(&c)) return false;
+    result->columns.push_back(std::move(c));
+  }
+  std::uint32_t nrows = 0;
+  if (!r.ReadU32(&nrows)) return false;
+  // Every serialized Value is at least one byte, so a legitimate row
+  // count can never exceed the remaining payload.
+  if (ncols > 0 && static_cast<std::size_t>(nrows) >
+                       r.Remaining() / std::max<std::uint32_t>(ncols, 1)) {
+    return false;
+  }
+  if (ncols == 0 && nrows > 0) return false;
+  result->rows.reserve(nrows);
+  for (std::uint32_t i = 0; i < nrows; ++i) {
+    std::vector<dsms::Value> row;
+    row.reserve(ncols);
+    for (std::uint32_t j = 0; j < ncols; ++j) {
+      auto v = dsms::Value::Deserialize(&r);
+      if (!v.has_value()) return false;
+      row.push_back(std::move(*v));
+    }
+    result->rows.push_back(std::move(row));
+  }
+  return r.Exhausted();
+}
+
+std::vector<std::uint8_t> EncodeStatsOk(const WireStats& stats) {
+  ByteWriter w;
+  w.WriteU64(stats.global_seq);
+  w.WriteU64(stats.batches_acked);
+  w.WriteU64(stats.backpressure_total);
+  w.WriteU64(stats.groups_shed_total);
+  w.WriteU32(stats.queries);
+  w.WriteU32(stats.tenants);
+  w.WriteU32(stats.queue_depth);
+  return w.Take();
+}
+
+bool DecodeStatsOk(const std::vector<std::uint8_t>& payload,
+                   WireStats* stats) {
+  ByteReader r = ReaderFor(payload);
+  return r.ReadU64(&stats->global_seq) && r.ReadU64(&stats->batches_acked) &&
+         r.ReadU64(&stats->backpressure_total) &&
+         r.ReadU64(&stats->groups_shed_total) && r.ReadU32(&stats->queries) &&
+         r.ReadU32(&stats->tenants) && r.ReadU32(&stats->queue_depth) &&
+         r.Exhausted();
+}
+
+std::vector<std::uint8_t> EncodeError(ErrCode code,
+                                      const std::string& message) {
+  ByteWriter w;
+  w.WriteU32(static_cast<std::uint32_t>(code));
+  w.WriteString(message);
+  return w.Take();
+}
+
+bool DecodeError(const std::vector<std::uint8_t>& payload, ErrCode* code,
+                 std::string* message) {
+  ByteReader r = ReaderFor(payload);
+  std::uint32_t raw = 0;
+  if (!r.ReadU32(&raw) || !r.ReadString(message) || !r.Exhausted()) {
+    return false;
+  }
+  if (raw > static_cast<std::uint32_t>(ErrCode::kInternal)) return false;
+  *code = static_cast<ErrCode>(raw);
+  return true;
+}
+
+}  // namespace fwdecay::server

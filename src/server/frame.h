@@ -1,0 +1,186 @@
+#ifndef FWDECAY_SERVER_FRAME_H_
+#define FWDECAY_SERVER_FRAME_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dsms/batch.h"
+#include "dsms/engine.h"
+#include "server/net.h"
+#include "util/bytes.h"
+
+// fwdecayd's length-framed wire protocol (DESIGN.md §11).
+//
+// Every message is one frame:
+//
+//   u32 magic "FWF1"  |  u8 type  |  u32 payload_len  |  payload
+//
+// all little-endian, payload encoded with util/bytes.h. The framing
+// follows the FWDTRC02 hostile-input discipline: every declared size is
+// validated against hard caps *and* against the bytes actually present
+// before any allocation happens, so a hostile or corrupt peer can make
+// the server refuse, but never make it over-allocate. Oversized frames
+// under the drain cap are read out and answered with a structured
+// kError reply — the connection survives; only an unsynchronized stream
+// (bad magic) or an undrainable frame costs the session.
+
+namespace fwdecay::server {
+
+inline constexpr std::uint32_t kFrameMagic = 0x31465746;  // "FWF1" (LE)
+inline constexpr std::size_t kFrameHeaderBytes = 9;
+
+/// Hard cap on one frame's payload. An ingest frame of kMaxBatchPackets
+/// packets fits with room to spare; results are capped to the same
+/// bound (the server answers kError(kResultTooLarge) beyond it).
+inline constexpr std::size_t kMaxFrameBytes = 1u << 20;
+
+/// Frames over kMaxFrameBytes but under this are drained and answered
+/// with a structured error; beyond it the connection is dropped (the
+/// peer is hostile or garbage — draining would be an amplifier).
+inline constexpr std::size_t kMaxDiscardBytes = 4u << 20;
+
+/// Packets per ingest frame. 8192 * 29B wire bytes ≈ 232 KiB, well
+/// inside kMaxFrameBytes.
+inline constexpr std::size_t kMaxBatchPackets = 8192;
+
+/// Wire bytes per packet record — the FWDTRC02 layout (f64 time,
+/// u32 src_ip, u32 dest_ip, u32 src_port, u32 dest_port, u32 len,
+/// u8 protocol; ports widened for alignment-free parsing).
+inline constexpr std::size_t kPacketWireBytes = 29;
+
+/// Result decode caps (a result frame already fits kMaxFrameBytes; the
+/// caps below stop a hostile count from driving reserve()).
+inline constexpr std::size_t kMaxResultColumns = 64;
+
+enum class MsgType : std::uint8_t {
+  // client -> server
+  kHello = 1,     // tenant handshake
+  kRegister = 2,  // register a continuous query
+  kIngest = 3,    // one packet batch
+  kPoll = 4,      // non-destructive result snapshot of one query
+  kStats = 5,     // server counters (tests + smoke script)
+  // server -> client
+  kHelloOk = 16,
+  kRegisterOk = 17,
+  kAck = 18,    // batch durable + applied
+  kBusy = 19,   // bounded ingest queue full: explicit backpressure
+  kResult = 20,
+  kStatsOk = 21,
+  kError = 22,
+};
+
+enum class ErrCode : std::uint32_t {
+  kNone = 0,
+  kBadMagic = 1,        // stream unsynchronized; connection closes
+  kFrameTooLarge = 2,   // drained + refused; connection survives
+  kBadFrame = 3,        // payload failed validation
+  kQueryTooLong = 4,    // GSQL over dsms::kMaxGsqlBytes
+  kBadName = 5,         // tenant/query name invalid or duplicate
+  kParseError = 6,      // GSQL failed to compile (message has detail)
+  kQuotaExceeded = 7,   // tenant admission / query quota hit
+  kUnknownQuery = 8,    // poll for an unregistered query id
+  kNotAdmitted = 9,     // no Hello yet, or connection limit reached
+  kShuttingDown = 10,   // graceful shutdown in progress
+  kIdleTimeout = 11,    // connection reaped after idle deadline
+  kResultTooLarge = 12, // result exceeds kMaxFrameBytes
+  kInternal = 13,       // journal/snapshot failure (message has detail)
+};
+
+const char* ErrCodeName(ErrCode code);
+
+struct Frame {
+  MsgType type = MsgType::kError;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Outcome of ReadFrame. kTooLarge and kBadMagic are protocol-level:
+/// the transport is still up, and for kTooLarge even synchronized.
+enum class FrameReadStatus {
+  kOk,
+  kTimeout,   // idle deadline expired before a full header arrived
+  kClosed,
+  kError,
+  kTooLarge,  // oversized frame drained; caller sends structured error
+  kBadMagic,  // stream unsynchronized; caller sends error and closes
+};
+
+/// Reads one frame. The idle deadline covers the wait for a header (a
+/// silent peer is reaped via kTimeout); the I/O deadline bounds the
+/// payload transfer once a header has arrived (slow-loris defence).
+FrameReadStatus ReadFrame(Socket& sock, Frame* out, int idle_timeout_ms,
+                          int io_timeout_ms, std::string* error);
+
+/// Sends one frame (header + payload in a single buffered write).
+IoStatus SendFrame(Socket& sock, MsgType type,
+                   const std::vector<std::uint8_t>& payload, int timeout_ms,
+                   std::string* error);
+
+// --- payload codecs -------------------------------------------------
+// Encoders never fail. Decoders return false on any bound or format
+// violation without allocating proportionally to attacker-controlled
+// counts.
+
+std::vector<std::uint8_t> EncodeHello(const std::string& tenant);
+bool DecodeHello(const std::vector<std::uint8_t>& payload,
+                 std::string* tenant);
+
+std::vector<std::uint8_t> EncodeRegister(const std::string& name,
+                                         const std::string& gsql,
+                                         bool two_level);
+bool DecodeRegister(const std::vector<std::uint8_t>& payload,
+                    std::string* name, std::string* gsql, bool* two_level,
+                    ErrCode* code);
+
+std::vector<std::uint8_t> EncodeRegisterOk(std::uint64_t query_id);
+bool DecodeRegisterOk(const std::vector<std::uint8_t>& payload,
+                      std::uint64_t* query_id);
+
+std::vector<std::uint8_t> EncodeIngest(std::uint64_t client_seq,
+                                       const dsms::PacketBatch& batch);
+bool DecodeIngest(const std::vector<std::uint8_t>& payload,
+                  std::uint64_t* client_seq, dsms::PacketBatch* batch);
+
+std::vector<std::uint8_t> EncodeAck(std::uint64_t client_seq,
+                                    std::uint64_t global_seq);
+bool DecodeAck(const std::vector<std::uint8_t>& payload,
+               std::uint64_t* client_seq, std::uint64_t* global_seq);
+
+std::vector<std::uint8_t> EncodeBusy(std::uint64_t client_seq,
+                                     std::uint32_t queue_depth);
+bool DecodeBusy(const std::vector<std::uint8_t>& payload,
+                std::uint64_t* client_seq, std::uint32_t* queue_depth);
+
+std::vector<std::uint8_t> EncodePoll(std::uint64_t query_id);
+bool DecodePoll(const std::vector<std::uint8_t>& payload,
+                std::uint64_t* query_id);
+
+std::vector<std::uint8_t> EncodeResult(const dsms::ResultSet& result);
+bool DecodeResult(const std::vector<std::uint8_t>& payload,
+                  dsms::ResultSet* result);
+
+/// Server counter snapshot carried by kStatsOk (tests and the CI smoke
+/// script read these without scraping the HTTP endpoint).
+struct WireStats {
+  std::uint64_t global_seq = 0;
+  std::uint64_t batches_acked = 0;
+  std::uint64_t backpressure_total = 0;
+  std::uint64_t groups_shed_total = 0;
+  std::uint32_t queries = 0;
+  std::uint32_t tenants = 0;
+  std::uint32_t queue_depth = 0;
+};
+
+std::vector<std::uint8_t> EncodeStatsOk(const WireStats& stats);
+bool DecodeStatsOk(const std::vector<std::uint8_t>& payload,
+                   WireStats* stats);
+
+std::vector<std::uint8_t> EncodeError(ErrCode code,
+                                      const std::string& message);
+bool DecodeError(const std::vector<std::uint8_t>& payload, ErrCode* code,
+                 std::string* message);
+
+}  // namespace fwdecay::server
+
+#endif  // FWDECAY_SERVER_FRAME_H_

@@ -1,0 +1,180 @@
+#include "server/journal.h"
+
+#include <algorithm>
+
+#include "util/crc32c.h"
+#include "util/fault_fs.h"
+
+namespace fwdecay::server {
+
+namespace {
+
+// Same packet layout as the ingest frame (kPacketWireBytes); the batch
+// inside a journal record is byte-identical to the batch on the wire,
+// so the crash tests can diff the two without a translation layer.
+void AppendBatchBody(ByteWriter* w, const dsms::PacketBatch& batch) {
+  w->WriteU32(static_cast<std::uint32_t>(batch.size()));
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const dsms::Packet p = batch.Get(i);
+    w->WriteDouble(p.time);
+    w->WriteU32(p.src_ip);
+    w->WriteU32(p.dest_ip);
+    w->WriteU32(p.src_port);
+    w->WriteU32(p.dest_port);
+    w->WriteU32(p.len);
+    w->WriteU8(p.protocol);
+  }
+}
+
+bool ParseBatchBody(ByteReader* r, dsms::PacketBatch* batch) {
+  std::uint32_t count = 0;
+  if (!r->ReadU32(&count)) return false;
+  if (count > kMaxBatchPackets) return false;
+  if (static_cast<std::size_t>(count) * kPacketWireBytes > r->Remaining()) {
+    return false;
+  }
+  dsms::PacketBatch decoded(std::max<std::size_t>(count, 1));
+  for (std::uint32_t i = 0; i < count; ++i) {
+    dsms::Packet p;
+    std::uint32_t src_port = 0;
+    std::uint32_t dest_port = 0;
+    std::uint8_t protocol = 0;
+    if (!r->ReadDouble(&p.time) || !r->ReadU32(&p.src_ip) ||
+        !r->ReadU32(&p.dest_ip) || !r->ReadU32(&src_port) ||
+        !r->ReadU32(&dest_port) || !r->ReadU32(&p.len) ||
+        !r->ReadU8(&protocol)) {
+      return false;
+    }
+    if (src_port > 0xffff || dest_port > 0xffff) return false;
+    p.src_port = static_cast<std::uint16_t>(src_port);
+    p.dest_port = static_cast<std::uint16_t>(dest_port);
+    p.protocol = protocol;
+    (void)decoded.Append(p);
+  }
+  *batch = std::move(decoded);
+  return true;
+}
+
+bool DecodeRecordPayload(const std::uint8_t* data, std::size_t size,
+                         JournalRecord* out) {
+  ByteReader r(data, size);
+  std::uint8_t type = 0;
+  if (!r.ReadU8(&type) || !r.ReadU64(&out->seq)) return false;
+  switch (static_cast<JournalRecordType>(type)) {
+    case JournalRecordType::kBatch:
+      out->type = JournalRecordType::kBatch;
+      return ParseBatchBody(&r, &out->batch) && r.Exhausted();
+    case JournalRecordType::kRegister: {
+      out->type = JournalRecordType::kRegister;
+      std::uint8_t two = 0;
+      if (!r.ReadU64(&out->query_id) || !r.ReadString(&out->tenant) ||
+          !r.ReadString(&out->name) || !r.ReadString(&out->gsql) ||
+          !r.ReadU8(&two) || !r.Exhausted()) {
+        return false;
+      }
+      out->two_level = two != 0;
+      return ValidTenantName(out->tenant) && ValidQueryName(out->name) &&
+             out->gsql.size() <= dsms::kMaxGsqlBytes;
+    }
+    case JournalRecordType::kTenant:
+      out->type = JournalRecordType::kTenant;
+      return DecodeTenantSpec(&r, &out->spec) && r.Exhausted();
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> EncodeBatchRecord(std::uint64_t seq,
+                                            const dsms::PacketBatch& batch) {
+  ByteWriter w;
+  w.WriteU8(static_cast<std::uint8_t>(JournalRecordType::kBatch));
+  w.WriteU64(seq);
+  AppendBatchBody(&w, batch);
+  return w.Take();
+}
+
+std::vector<std::uint8_t> EncodeRegisterRecord(
+    std::uint64_t seq, std::uint64_t query_id, const std::string& tenant,
+    const std::string& name, const std::string& gsql, bool two_level) {
+  ByteWriter w;
+  w.WriteU8(static_cast<std::uint8_t>(JournalRecordType::kRegister));
+  w.WriteU64(seq);
+  w.WriteU64(query_id);
+  w.WriteString(tenant);
+  w.WriteString(name);
+  w.WriteString(gsql);
+  w.WriteU8(two_level ? 1 : 0);
+  return w.Take();
+}
+
+std::vector<std::uint8_t> EncodeTenantRecord(std::uint64_t seq,
+                                             const TenantSpec& spec) {
+  ByteWriter w;
+  w.WriteU8(static_cast<std::uint8_t>(JournalRecordType::kTenant));
+  w.WriteU64(seq);
+  EncodeTenantSpec(spec, &w);
+  return w.Take();
+}
+
+bool JournalWriter::Append(const std::vector<std::uint8_t>& payload,
+                           std::string* error) {
+  if (payload.size() > kMaxJournalRecordBytes) {
+    *error = "journal record over the size cap";
+    return false;
+  }
+  ByteWriter w;
+  w.WriteU32(static_cast<std::uint32_t>(payload.size()));
+  w.WriteBytes(payload.data(), payload.size());
+  w.WriteU32(Crc32c(payload.data(), payload.size()));
+  const std::vector<std::uint8_t> framed = w.Take();
+  if (!FaultFs::Instance().AppendFile(path_, framed.data(),
+                                            framed.size(), error)) {
+    return false;
+  }
+  appended_bytes_ += framed.size();
+  return true;
+}
+
+bool ReadJournalFile(const std::string& path,
+                     std::vector<JournalRecord>* records, bool* torn_tail,
+                     std::string* error) {
+  *torn_tail = false;
+  std::vector<std::uint8_t> bytes;
+  if (!FaultFs::Instance().ReadFile(path, &bytes, error)) return false;
+
+  ByteReader r(bytes.data(), bytes.size());
+  while (r.Remaining() > 0) {
+    std::uint32_t len = 0;
+    if (r.Remaining() < sizeof(len)) {
+      *torn_tail = true;  // partial length word from a crash mid-append
+      break;
+    }
+    (void)r.ReadU32(&len);
+    if (len > kMaxJournalRecordBytes ||
+        r.Remaining() < static_cast<std::size_t>(len) + sizeof(std::uint32_t)) {
+      *torn_tail = true;  // truncated or garbage length
+      break;
+    }
+    ByteReader payload(nullptr, 0);
+    (void)r.ReadSubReader(len, &payload);
+    std::uint32_t crc = 0;
+    (void)r.ReadU32(&crc);
+    // A sub-reader borrows [start, start+len) of `bytes`.
+    const std::uint8_t* p = bytes.data() + (bytes.size() - r.Remaining()) -
+                            sizeof(crc) - static_cast<std::size_t>(len);
+    if (Crc32c(p, len) != crc) {
+      *torn_tail = true;  // torn write: checksum over a partial record
+      break;
+    }
+    JournalRecord rec;
+    if (!DecodeRecordPayload(p, len, &rec)) {
+      *torn_tail = true;  // CRC passed but structure is corrupt
+      break;
+    }
+    records->push_back(std::move(rec));
+  }
+  return true;
+}
+
+}  // namespace fwdecay::server

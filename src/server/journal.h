@@ -1,0 +1,104 @@
+#ifndef FWDECAY_SERVER_JOURNAL_H_
+#define FWDECAY_SERVER_JOURNAL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dsms/batch.h"
+#include "server/frame.h"
+#include "server/tenant.h"
+#include "util/bytes.h"
+
+// fwdecayd's write-ahead journal (DESIGN.md §11).
+//
+// Restart-without-loss hinges on one rule: a batch is acknowledged only
+// after its journal record is on disk (append + fsync through
+// util/fault_fs.h, so every disk fault the test matrix can inject hits
+// this path too). The journal is a sequence of segments named
+// journal-<epoch>.fwj; a checkpoint seals the current segment and opens
+// the next, and recovery replays segments from its snapshot's epoch
+// forward, skipping records at or below the snapshot's watermark.
+//
+// Record framing inside a segment:
+//
+//   u32 payload_len | payload | u32 crc32c(payload)
+//
+// A torn tail — a partial record from a crash mid-append — fails the
+// length or CRC check and is treated as a clean end of segment: the
+// torn record was never acknowledged, so dropping it is exactly the
+// contract. Payloads carry a type tag and a global sequence number, so
+// replay is idempotent under the seq > watermark filter.
+
+namespace fwdecay::server {
+
+/// A record payload can carry one full ingest frame plus headroom.
+inline constexpr std::size_t kMaxJournalRecordBytes = kMaxFrameBytes + 4096;
+
+enum class JournalRecordType : std::uint8_t {
+  kBatch = 1,     // one acknowledged packet batch
+  kRegister = 2,  // a query registration (registry survives restarts)
+  kTenant = 3,    // a tenant provisioned with its spec
+};
+
+/// One decoded record. Which fields are meaningful depends on `type`.
+struct JournalRecord {
+  JournalRecordType type = JournalRecordType::kBatch;
+  std::uint64_t seq = 0;
+
+  // kBatch
+  dsms::PacketBatch batch{1};
+
+  // kRegister
+  std::uint64_t query_id = 0;
+  std::string tenant;
+  std::string name;
+  std::string gsql;
+  bool two_level = false;
+
+  // kTenant
+  TenantSpec spec;
+};
+
+// Record encoders. The returned bytes are the framed payload body (no
+// length/CRC — JournalWriter::Append adds the frame).
+std::vector<std::uint8_t> EncodeBatchRecord(std::uint64_t seq,
+                                            const dsms::PacketBatch& batch);
+std::vector<std::uint8_t> EncodeRegisterRecord(
+    std::uint64_t seq, std::uint64_t query_id, const std::string& tenant,
+    const std::string& name, const std::string& gsql, bool two_level);
+std::vector<std::uint8_t> EncodeTenantRecord(std::uint64_t seq,
+                                             const TenantSpec& spec);
+
+/// Appends framed records to one segment file via FaultFs (append +
+/// fsync; the first append also syncs the parent directory so the
+/// segment's directory entry is durable).
+class JournalWriter {
+ public:
+  explicit JournalWriter(std::string path) : path_(std::move(path)) {}
+
+  /// Frames `payload` (length + CRC32C) and appends it durably.
+  /// On failure the segment may hold a torn tail — which the reader
+  /// treats as end-of-segment, matching "never acknowledged".
+  bool Append(const std::vector<std::uint8_t>& payload, std::string* error);
+
+  const std::string& path() const { return path_; }
+  std::uint64_t appended_bytes() const { return appended_bytes_; }
+
+ private:
+  std::string path_;
+  std::uint64_t appended_bytes_ = 0;
+};
+
+/// Reads every intact record of one segment, in order. A torn or
+/// corrupt tail sets *torn_tail and stops cleanly (ok = true): replay
+/// continues with the next segment. A missing file is the caller's
+/// case to handle (probe with FaultFs::FileExists first).
+bool ReadJournalFile(const std::string& path,
+                     std::vector<JournalRecord>* records, bool* torn_tail,
+                     std::string* error);
+
+}  // namespace fwdecay::server
+
+#endif  // FWDECAY_SERVER_JOURNAL_H_

@@ -1,0 +1,416 @@
+#include "server/net.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include <algorithm>
+
+#include "util/metrics.h"
+#include "util/timer.h"
+
+namespace fwdecay::server {
+
+namespace {
+
+// Resolved once; the registry returns stable pointers for the process
+// lifetime, so these handles are safe to cache.
+struct NetMetrics {
+  metrics::Counter* faults_injected;
+  metrics::Counter* eintr_retries;
+
+  static NetMetrics& Get() {
+    auto& reg = metrics::MetricsRegistry::Instance();
+    static NetMetrics m{
+        reg.GetCounter("fwdecay_server_net_faults_injected_total",
+                       "Socket faults injected by the NetFault test shim"),
+        reg.GetCounter(
+            "fwdecay_server_net_eintr_retries_total",
+            "Socket operations retried after EINTR (real or injected)"),
+    };
+    return m;
+  }
+};
+
+std::string ErrnoMessage(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+/// Milliseconds left before a deadline that started `elapsed_s` ago.
+/// Negative budgets clamp to 0 so poll() returns immediately.
+int RemainingMs(double elapsed_s, int timeout_ms) {
+  const double left = static_cast<double>(timeout_ms) - elapsed_s * 1000.0;
+  if (left <= 0.0) return 0;
+  if (left > static_cast<double>(timeout_ms)) return timeout_ms;
+  return static_cast<int>(left) + 1;  // round up: never undershoot
+}
+
+/// poll() for one event with EINTR retry against the shared deadline.
+/// Returns kOk when the event is ready, kTimeout when the deadline
+/// expired, kError otherwise.
+IoStatus PollOne(int fd, short events, const Timer& timer, int timeout_ms,
+                 std::string* error) {
+  for (;;) {
+    const int left = RemainingMs(timer.ElapsedSeconds(), timeout_ms);
+    struct pollfd pfd;
+    pfd.fd = fd;
+    pfd.events = events;
+    pfd.revents = 0;
+    const int rc = ::poll(&pfd, 1, left);
+    if (rc > 0) return IoStatus::kOk;
+    if (rc == 0) return IoStatus::kTimeout;
+    if (errno == EINTR) {
+      NetMetrics::Get().eintr_retries->Increment();
+      continue;
+    }
+    *error = ErrnoMessage("poll");
+    return IoStatus::kError;
+  }
+}
+
+}  // namespace
+
+const char* IoStatusName(IoStatus s) {
+  switch (s) {
+    case IoStatus::kOk:
+      return "ok";
+    case IoStatus::kTimeout:
+      return "timeout";
+    case IoStatus::kClosed:
+      return "closed";
+    case IoStatus::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+// --------------------------------------------------------------------
+// NetFault
+
+NetFault& NetFault::Instance() {
+  static NetFault instance;
+  return instance;
+}
+
+void NetFault::SetPlan(const NetFaultPlan& plan) {
+  MutexLock lock(mu_);
+  plan_ = plan;
+}
+
+void NetFault::Clear() {
+  MutexLock lock(mu_);
+  plan_ = NetFaultPlan{};
+}
+
+std::uint64_t NetFault::faults_injected() const {
+  MutexLock lock(mu_);
+  return injected_;
+}
+
+bool NetFault::ConsumeOneShot(NetFaultPoint point) {
+  {
+    MutexLock lock(mu_);
+    if (plan_.point != point) return false;
+    plan_ = NetFaultPlan{};
+    ++injected_;
+  }
+  NetMetrics::Get().faults_injected->Increment();
+  return true;
+}
+
+bool NetFault::ConsumeTruncation(NetFaultPoint point, std::size_t* limit) {
+  {
+    MutexLock lock(mu_);
+    if (plan_.point != point) return false;
+    *limit = std::max<std::size_t>(plan_.byte_limit, 1);
+    plan_ = NetFaultPlan{};
+    ++injected_;
+  }
+  NetMetrics::Get().faults_injected->Increment();
+  return true;
+}
+
+bool NetFault::ConsumeRetry(NetFaultPoint point) {
+  {
+    MutexLock lock(mu_);
+    if (plan_.point != point || plan_.times <= 0) return false;
+    if (--plan_.times == 0) plan_ = NetFaultPlan{};
+    ++injected_;
+  }
+  NetMetrics::Get().faults_injected->Increment();
+  return true;
+}
+
+// --------------------------------------------------------------------
+// Socket
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::Close() {
+  if (fd_ >= 0) {
+    // close(2) on Linux releases the descriptor even when interrupted;
+    // retrying EINTR here would risk double-closing a reused fd.
+    (void)::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Socket::ShutdownBoth() {
+  if (fd_ >= 0) (void)::shutdown(fd_, SHUT_RDWR);
+}
+
+// --------------------------------------------------------------------
+// Listener
+
+bool Listener::Open(std::uint16_t port, std::string* error) {
+  Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!sock.ok()) {
+    *error = ErrnoMessage("socket");
+    return false;
+  }
+  const int one = 1;
+  (void)::setsockopt(sock.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(sock.fd(), reinterpret_cast<struct sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    *error = ErrnoMessage("bind");
+    return false;
+  }
+  if (::listen(sock.fd(), 64) != 0) {
+    *error = ErrnoMessage("listen");
+    return false;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(sock.fd(), reinterpret_cast<struct sockaddr*>(&addr),
+                    &len) != 0) {
+    *error = ErrnoMessage("getsockname");
+    return false;
+  }
+  port_ = ntohs(addr.sin_port);
+  sock_ = std::move(sock);
+  return true;
+}
+
+void Listener::Close() {
+  sock_.Close();
+  port_ = 0;
+}
+
+IoStatus Listener::AcceptOnce(int timeout_ms, Socket* out,
+                              std::string* error) {
+  if (!sock_.ok()) {
+    *error = "listener is closed";
+    return IoStatus::kClosed;
+  }
+  Timer timer;
+  const IoStatus ready = PollOne(sock_.fd(), POLLIN, timer, timeout_ms, error);
+  if (ready != IoStatus::kOk) return ready;
+  for (;;) {
+    const int fd = ::accept(sock_.fd(), nullptr, nullptr);
+    if (fd >= 0) {
+      *out = Socket(fd);
+      return IoStatus::kOk;
+    }
+    if (errno == EINTR) {
+      NetMetrics::Get().eintr_retries->Increment();
+      continue;
+    }
+    if (errno == EINVAL || errno == EBADF) {
+      // Listener shut down under us: clean stop, not an error.
+      return IoStatus::kClosed;
+    }
+    *error = ErrnoMessage("accept");
+    return IoStatus::kError;
+  }
+}
+
+// --------------------------------------------------------------------
+// Connect
+
+IoStatus Connect(std::uint16_t port, int timeout_ms, Socket* out,
+                 std::string* error) {
+  Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!sock.ok()) {
+    *error = ErrnoMessage("socket");
+    return IoStatus::kError;
+  }
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+
+  Timer timer;
+  for (;;) {
+    if (::connect(sock.fd(), reinterpret_cast<struct sockaddr*>(&addr),
+                  sizeof(addr)) == 0) {
+      break;
+    }
+    if (errno == EINTR) {
+      // POSIX: an interrupted connect completes asynchronously; wait
+      // for writability and check SO_ERROR rather than re-connecting.
+      NetMetrics::Get().eintr_retries->Increment();
+      const IoStatus ready =
+          PollOne(sock.fd(), POLLOUT, timer, timeout_ms, error);
+      if (ready != IoStatus::kOk) return ready;
+      int soerr = 0;
+      socklen_t len = sizeof(soerr);
+      if (::getsockopt(sock.fd(), SOL_SOCKET, SO_ERROR, &soerr, &len) != 0 ||
+          soerr != 0) {
+        errno = soerr != 0 ? soerr : errno;
+        *error = ErrnoMessage("connect");
+        return IoStatus::kError;
+      }
+      break;
+    }
+    if (errno == ECONNREFUSED) {
+      *error = ErrnoMessage("connect");
+      return IoStatus::kClosed;
+    }
+    *error = ErrnoMessage("connect");
+    return IoStatus::kError;
+  }
+  const int one = 1;
+  (void)::setsockopt(sock.fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  *out = std::move(sock);
+  return IoStatus::kOk;
+}
+
+// --------------------------------------------------------------------
+// Deadline transfers
+
+IoStatus RecvExactly(Socket& sock, void* buf, std::size_t n, int timeout_ms,
+                     std::string* error) {
+  auto* out = static_cast<std::uint8_t*>(buf);
+  std::size_t got = 0;
+  Timer timer;
+  NetFault& fault = NetFault::Instance();
+  while (got < n) {
+    if (fault.ConsumeOneShot(NetFaultPoint::kReadError)) {
+      *error = "injected read error (EIO)";
+      return IoStatus::kError;
+    }
+    if (fault.ConsumeOneShot(NetFaultPoint::kPeerClose)) {
+      *error = "injected mid-frame disconnect";
+      return IoStatus::kClosed;
+    }
+    if (fault.ConsumeRetry(NetFaultPoint::kReadEintr)) {
+      NetMetrics::Get().eintr_retries->Increment();
+      continue;  // a real EINTR would also charge the same deadline
+    }
+    const IoStatus ready =
+        PollOne(sock.fd(), POLLIN, timer, timeout_ms, error);
+    if (ready != IoStatus::kOk) return ready;
+
+    std::size_t want = n - got;
+    std::size_t limit = 0;
+    if (fault.ConsumeTruncation(NetFaultPoint::kShortRead, &limit)) {
+      want = std::min(want, limit);
+    }
+    const ssize_t rc = ::recv(sock.fd(), out + got, want, 0);
+    if (rc > 0) {
+      got += static_cast<std::size_t>(rc);
+      continue;
+    }
+    if (rc == 0) {
+      *error = got == 0 ? "connection closed"
+                        : "connection closed mid-transfer";
+      return IoStatus::kClosed;
+    }
+    if (errno == EINTR) {
+      NetMetrics::Get().eintr_retries->Increment();
+      continue;
+    }
+    if (errno == ECONNRESET) {
+      *error = ErrnoMessage("recv");
+      return IoStatus::kClosed;
+    }
+    *error = ErrnoMessage("recv");
+    return IoStatus::kError;
+  }
+  return IoStatus::kOk;
+}
+
+IoStatus SendExactly(Socket& sock, const void* data, std::size_t n,
+                     int timeout_ms, std::string* error) {
+  const auto* in = static_cast<const std::uint8_t*>(data);
+  std::size_t sent = 0;
+  Timer timer;
+  NetFault& fault = NetFault::Instance();
+  while (sent < n) {
+    if (fault.ConsumeOneShot(NetFaultPoint::kWriteError)) {
+      *error = "injected write error";
+      return IoStatus::kError;
+    }
+    if (fault.ConsumeOneShot(NetFaultPoint::kWriteReset)) {
+      *error = "injected connection reset";
+      return IoStatus::kClosed;
+    }
+    if (fault.ConsumeRetry(NetFaultPoint::kWriteEintr)) {
+      NetMetrics::Get().eintr_retries->Increment();
+      continue;
+    }
+    const IoStatus ready =
+        PollOne(sock.fd(), POLLOUT, timer, timeout_ms, error);
+    if (ready != IoStatus::kOk) return ready;
+
+    std::size_t want = n - sent;
+    std::size_t limit = 0;
+    if (fault.ConsumeTruncation(NetFaultPoint::kShortWrite, &limit)) {
+      want = std::min(want, limit);
+    }
+    // MSG_NOSIGNAL: a vanished peer must surface as EPIPE, not SIGPIPE.
+    const ssize_t rc = ::send(sock.fd(), in + sent, want, MSG_NOSIGNAL);
+    if (rc >= 0) {
+      sent += static_cast<std::size_t>(rc);
+      continue;
+    }
+    if (errno == EINTR) {
+      NetMetrics::Get().eintr_retries->Increment();
+      continue;
+    }
+    if (errno == EPIPE || errno == ECONNRESET) {
+      *error = ErrnoMessage("send");
+      return IoStatus::kClosed;
+    }
+    *error = ErrnoMessage("send");
+    return IoStatus::kError;
+  }
+  return IoStatus::kOk;
+}
+
+IoStatus DiscardExactly(Socket& sock, std::size_t n, int timeout_ms,
+                        std::string* error) {
+  std::uint8_t sink[4096];
+  Timer timer;
+  std::size_t left = n;
+  while (left > 0) {
+    const std::size_t chunk = std::min(left, sizeof(sink));
+    const int budget = RemainingMs(timer.ElapsedSeconds(), timeout_ms);
+    if (budget == 0) return IoStatus::kTimeout;
+    const IoStatus s = RecvExactly(sock, sink, chunk, budget, error);
+    if (s != IoStatus::kOk) return s;
+    left -= chunk;
+  }
+  return IoStatus::kOk;
+}
+
+}  // namespace fwdecay::server

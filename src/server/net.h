@@ -1,0 +1,188 @@
+#ifndef FWDECAY_SERVER_NET_H_
+#define FWDECAY_SERVER_NET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "util/thread_annotations.h"
+
+// Deadline-aware loopback sockets with injectable faults (DESIGN.md §11).
+//
+// Every byte fwdecayd moves over TCP flows through SendExactly /
+// RecvExactly below. That single choke point buys the same two things
+// util/fault_fs.h buys for disk I/O:
+//
+//   1. Uniform robustness: every call is EINTR-safe, retries partial
+//      transfers, and carries an explicit deadline, so a slow or stalled
+//      peer can never wedge a server thread (slow-loris defence), and a
+//      signal storm never surfaces as a spurious error.
+//   2. Deterministic fault injection: NetFault mirrors FaultFs's
+//      one-shot-plan design. A test arms exactly one fault (short read,
+//      EINTR burst, injected EIO, mid-frame disconnect, …); the next
+//      matching operation consumes it; everything afterwards runs clean.
+//      The fault matrix in tests/server_test.cc drives the whole frame
+//      layer through these seams without ever touching a real flaky
+//      network.
+
+namespace fwdecay::server {
+
+/// Outcome of a socket operation. kTimeout means the deadline expired
+/// before the transfer completed; kClosed means the peer went away
+/// (EOF, ECONNRESET, EPIPE); kError is anything else, with detail in
+/// the out-param error string.
+enum class IoStatus { kOk, kTimeout, kClosed, kError };
+
+const char* IoStatusName(IoStatus s);
+
+/// Where a one-shot network fault fires.
+enum class NetFaultPoint {
+  kNone,
+  kShortRead,    // deliver at most `byte_limit` bytes once, then clean
+  kReadEintr,    // next `times` reads fail with (simulated) EINTR
+  kReadError,    // one read fails with a hard error (models EIO)
+  kPeerClose,    // one read sees EOF mid-frame (peer disconnect)
+  kShortWrite,   // accept at most `byte_limit` bytes once, then clean
+  kWriteEintr,   // next `times` writes fail with (simulated) EINTR
+  kWriteError,   // one write fails with a hard error
+  kWriteReset,   // one write sees ECONNRESET (peer vanished)
+};
+
+/// One-shot fault plan, same shape as util/fault_fs.h's FaultPlan.
+struct NetFaultPlan {
+  NetFaultPoint point = NetFaultPoint::kNone;
+  /// For kShortRead / kShortWrite: bytes allowed through (>= 1).
+  std::size_t byte_limit = 1;
+  /// For kReadEintr / kWriteEintr: how many consecutive interrupts to
+  /// inject before the storm subsides (the retry loop must survive all
+  /// of them within its deadline).
+  int times = 1;
+};
+
+/// Process-wide injection point for socket faults. Disarmed by default;
+/// tests arm it via ScopedNetFaultPlan. All methods are thread-safe.
+class NetFault {
+ public:
+  static NetFault& Instance();
+
+  void SetPlan(const NetFaultPlan& plan);
+  void Clear();
+
+  /// Faults consumed since process start (monotone; exported as the
+  /// fwdecay_server_net_faults_injected_total counter as well).
+  std::uint64_t faults_injected() const;
+
+  // --- consumption points (called by the I/O wrappers) ---------------
+
+  /// One-shot points (kReadError, kPeerClose, kWriteError, kWriteReset):
+  /// true exactly once when the armed plan matches `point`.
+  bool ConsumeOneShot(NetFaultPoint point);
+
+  /// Truncation points (kShortRead, kShortWrite): true once, with the
+  /// byte budget for the truncated transfer in *limit.
+  bool ConsumeTruncation(NetFaultPoint point, std::size_t* limit);
+
+  /// Retry points (kReadEintr, kWriteEintr): true `times` times in a
+  /// row, then the plan disarms.
+  bool ConsumeRetry(NetFaultPoint point);
+
+ private:
+  NetFault() = default;
+
+  mutable Mutex mu_;
+  NetFaultPlan plan_ FWDECAY_GUARDED_BY(mu_);
+  std::uint64_t injected_ FWDECAY_GUARDED_BY(mu_) = 0;
+};
+
+/// RAII arming of one fault plan (clears any plan on exit).
+class ScopedNetFaultPlan {
+ public:
+  explicit ScopedNetFaultPlan(const NetFaultPlan& plan) {
+    NetFault::Instance().SetPlan(plan);
+  }
+  ~ScopedNetFaultPlan() { NetFault::Instance().Clear(); }
+
+  ScopedNetFaultPlan(const ScopedNetFaultPlan&) = delete;
+  ScopedNetFaultPlan& operator=(const ScopedNetFaultPlan&) = delete;
+};
+
+/// Move-only owner of one socket descriptor.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { Close(); }
+
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  int fd() const { return fd_; }
+  bool ok() const { return fd_ >= 0; }
+
+  void Close();
+
+  /// shutdown(2) both directions without closing the descriptor: wakes
+  /// any thread blocked in poll/recv on this socket (the reaper and
+  /// graceful shutdown use this; Close() happens only after the owning
+  /// thread has been joined).
+  void ShutdownBoth();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Loopback TCP listener. Open with port 0 to let the kernel pick an
+/// ephemeral port (tests and the smoke script read it back via port()).
+class Listener {
+ public:
+  Listener() = default;
+  ~Listener() { Close(); }
+
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  bool Open(std::uint16_t port, std::string* error);
+  void Close();
+
+  bool ok() const { return sock_.ok(); }
+  std::uint16_t port() const { return port_; }
+
+  /// Waits up to timeout_ms for one connection. kTimeout when none
+  /// arrived (the accept loop uses short timeouts so it can observe the
+  /// stop flag); kClosed when the listener was shut down.
+  IoStatus AcceptOnce(int timeout_ms, Socket* out, std::string* error);
+
+  /// Wakes a blocked AcceptOnce (graceful shutdown).
+  void Shutdown() { sock_.ShutdownBoth(); }
+
+ private:
+  Socket sock_;
+  std::uint16_t port_ = 0;
+};
+
+/// Connects to 127.0.0.1:port with a deadline.
+IoStatus Connect(std::uint16_t port, int timeout_ms, Socket* out,
+                 std::string* error);
+
+/// Reads exactly n bytes before the deadline. Partial transfers are
+/// reassembled; EINTR (real or injected) is retried against the same
+/// deadline; kTimeout means fewer than n bytes arrived in time.
+IoStatus RecvExactly(Socket& sock, void* buf, std::size_t n, int timeout_ms,
+                     std::string* error);
+
+/// Writes exactly n bytes before the deadline (partial sends resumed,
+/// EINTR retried, SIGPIPE suppressed).
+IoStatus SendExactly(Socket& sock, const void* data, std::size_t n,
+                     int timeout_ms, std::string* error);
+
+/// Reads and discards exactly n bytes (oversized-frame drain: the
+/// connection stays synchronized so the server can answer with a
+/// structured error instead of dropping the session).
+IoStatus DiscardExactly(Socket& sock, std::size_t n, int timeout_ms,
+                        std::string* error);
+
+}  // namespace fwdecay::server
+
+#endif  // FWDECAY_SERVER_NET_H_

@@ -1,0 +1,147 @@
+#include "server/snapshot.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/fault_fs.h"
+
+namespace fwdecay::server {
+
+namespace {
+
+constexpr char kManifestMagic[] = "FWDCUR1";
+
+std::string FormatEpoch(const char* stem, std::uint64_t epoch,
+                        const char* ext) {
+  char buf[64];
+  (void)std::snprintf(buf, sizeof(buf), "%s-%llu%s", stem,
+                      static_cast<unsigned long long>(epoch), ext);
+  return buf;
+}
+
+bool ParseU64(const std::string& text, std::uint64_t* out) {
+  if (text.empty() || text.size() > 20) return false;
+  std::uint64_t v = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') return false;
+    const std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+    if (v > (~std::uint64_t{0} - digit) / 10) return false;
+    v = v * 10 + digit;
+  }
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+SnapshotManager::SnapshotManager(std::string dir, std::size_t retain)
+    : dir_(std::move(dir)), retain_(std::max<std::size_t>(retain, 1)) {}
+
+std::string SnapshotManager::SnapPath(std::uint64_t epoch) const {
+  return dir_ + "/" + FormatEpoch("snap", epoch, ".fws");
+}
+
+std::string SnapshotManager::JournalPath(std::uint64_t epoch) const {
+  return dir_ + "/" + FormatEpoch("journal", epoch, ".fwj");
+}
+
+std::string SnapshotManager::CurrentPath() const { return dir_ + "/CURRENT"; }
+
+bool SnapshotManager::ReadManifest(Manifest* out, std::string* error) const {
+  *out = Manifest{};
+  auto& fs = FaultFs::Instance();
+  if (!fs.FileExists(CurrentPath())) return true;  // fresh directory
+
+  std::vector<std::uint8_t> bytes;
+  if (!fs.ReadFile(CurrentPath(), &bytes, error)) return false;
+  const std::string text(bytes.begin(), bytes.end());
+
+  bool saw_magic = false;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    const std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty()) continue;
+    if (!saw_magic) {
+      if (line != kManifestMagic) {
+        *error = "CURRENT manifest has a bad magic line";
+        return false;
+      }
+      saw_magic = true;
+      continue;
+    }
+    const std::size_t space = line.find(' ');
+    if (space == std::string::npos) {
+      *error = "CURRENT manifest has a malformed line: " + line;
+      return false;
+    }
+    const std::string key = line.substr(0, space);
+    std::uint64_t value = 0;
+    if (!ParseU64(line.substr(space + 1), &value)) {
+      *error = "CURRENT manifest has a malformed value: " + line;
+      return false;
+    }
+    if (key == "active") {
+      out->active = value;
+    } else if (key == "floor") {
+      out->floor = value;
+    } else if (key == "snap") {
+      out->snaps.push_back(value);
+    } else {
+      *error = "CURRENT manifest has an unknown key: " + key;
+      return false;
+    }
+  }
+  if (!saw_magic) {
+    *error = "CURRENT manifest is empty";
+    return false;
+  }
+  return true;
+}
+
+bool SnapshotManager::WriteManifest(const Manifest& m,
+                                    std::string* error) const {
+  std::string text(kManifestMagic);
+  text.push_back('\n');
+  text += "active " + std::to_string(m.active) + "\n";
+  text += "floor " + std::to_string(m.floor) + "\n";
+  for (std::uint64_t epoch : m.snaps) {
+    text += "snap " + std::to_string(epoch) + "\n";
+  }
+  const std::vector<std::uint8_t> bytes(text.begin(), text.end());
+  return FaultFs::Instance().AtomicWriteFile(CurrentPath(), bytes, error);
+}
+
+bool SnapshotManager::PublishSnapshot(std::uint64_t epoch,
+                                      const std::vector<std::uint8_t>& image,
+                                      Manifest* m, std::string* error) const {
+  auto& fs = FaultFs::Instance();
+  if (!fs.AtomicWriteFile(SnapPath(epoch), image, error)) return false;
+
+  Manifest next = *m;
+  next.snaps.insert(next.snaps.begin(), epoch);
+  if (next.snaps.size() > retain_) next.snaps.resize(retain_);
+  // The floor rises to the oldest retained snapshot: recovery can fall
+  // back at most that far, so journal segments below it are dead.
+  const std::uint64_t old_floor = m->floor;
+  next.floor = std::max(old_floor, next.snaps.back());
+
+  // Manifest first, GC second: if the process dies between the two, a
+  // few sub-floor files linger until a later publish — recovery never
+  // reads below the floor, so orphans are waste, not corruption.
+  if (!WriteManifest(next, error)) return false;
+  *m = next;
+
+  for (std::uint64_t e = old_floor; e < next.floor; ++e) {
+    std::string gc_error;
+    // Best-effort: RemoveFile treats a missing file as success, and a
+    // failed unlink only delays reclamation until the next publish.
+    (void)fs.RemoveFile(SnapPath(e), &gc_error);
+    (void)fs.RemoveFile(JournalPath(e), &gc_error);
+  }
+  return true;
+}
+
+}  // namespace fwdecay::server

@@ -1,0 +1,85 @@
+#ifndef FWDECAY_SERVER_SNAPSHOT_H_
+#define FWDECAY_SERVER_SNAPSHOT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+// Snapshot rotation + retention for fwdecayd (DESIGN.md §11).
+//
+// The data directory holds three kinds of files, all reached through
+// util/fault_fs.h so every disk fault is injectable:
+//
+//   snap-<epoch>.fws      rotated server snapshots (FWDSRV01 images)
+//   journal-<epoch>.fwj   write-ahead segments (server/journal.h)
+//   CURRENT               the manifest, swapped atomically
+//
+// CURRENT is the single source of truth — recovery never lists the
+// directory. It records the active journal epoch, the GC floor, and
+// the retained snapshots newest-first:
+//
+//   FWDCUR1
+//   active 7
+//   floor 4
+//   snap 7
+//   snap 6
+//   snap 5
+//
+// Retention keeps the newest K snapshots. Recovery tries them in
+// manifest order: if the newest image fails its CRC (torn or corrupt),
+// it falls back to the previous one and replays the extra journal
+// segments instead — which is why journal segments are only GC'd below
+// the *oldest* retained snapshot's epoch (the floor).
+
+namespace fwdecay::server {
+
+struct Manifest {
+  /// Epoch of the journal segment currently being appended to. Bumped
+  /// (and persisted) before any record can land in the new segment, so
+  /// replay's probe range [snapshot epoch, active] is always complete.
+  std::uint64_t active = 0;
+
+  /// Everything below this epoch has been (or may have been) deleted.
+  std::uint64_t floor = 0;
+
+  /// Retained snapshot epochs, newest first.
+  std::vector<std::uint64_t> snaps;
+};
+
+class SnapshotManager {
+ public:
+  SnapshotManager(std::string dir, std::size_t retain);
+
+  const std::string& dir() const { return dir_; }
+  std::size_t retain() const { return retain_; }
+
+  std::string SnapPath(std::uint64_t epoch) const;
+  std::string JournalPath(std::uint64_t epoch) const;
+  std::string CurrentPath() const;
+
+  /// Loads CURRENT. A missing manifest is a fresh directory: defaults,
+  /// ok = true. A present-but-corrupt manifest is an error — silently
+  /// starting fresh would discard acknowledged data.
+  bool ReadManifest(Manifest* out, std::string* error) const;
+
+  /// Atomically replaces CURRENT.
+  bool WriteManifest(const Manifest& m, std::string* error) const;
+
+  /// Publishes snap-<epoch>: writes the image atomically, prepends the
+  /// epoch to m->snaps, truncates to the retention limit, advances the
+  /// floor, swaps CURRENT, then GC's files below the new floor.
+  /// `m` must be the live manifest (already holding active == epoch);
+  /// it is updated in place to the published state.
+  bool PublishSnapshot(std::uint64_t epoch,
+                       const std::vector<std::uint8_t>& image, Manifest* m,
+                       std::string* error) const;
+
+ private:
+  std::string dir_;
+  std::size_t retain_;
+};
+
+}  // namespace fwdecay::server
+
+#endif  // FWDECAY_SERVER_SNAPSHOT_H_

@@ -1,0 +1,95 @@
+#ifndef FWDECAY_SERVER_TENANT_H_
+#define FWDECAY_SERVER_TENANT_H_
+
+#include <cstddef>
+#include <string>
+
+#include "util/bytes.h"
+
+// Multi-tenant admission vocabulary for fwdecayd (DESIGN.md §11).
+//
+// A tenant is the unit of isolation in the shared-ingest model: every
+// registered continuous query belongs to one tenant, and the tenant's
+// spec caps how much state its queries may hold (`max_groups`, enforced
+// by the engine's min-forward-weight overload shedding) and how many
+// plans it may register (`max_queries`). The decay parameters live here
+// too: forward decay lets every tenant pick its own alpha and landmark
+// without any rescaling coupling between tenants — weights are always
+// relative to the tenant's own L.
+
+namespace fwdecay::server {
+
+/// Per-tenant policy: decay parameters plus admission quotas.
+struct TenantSpec {
+  std::string name;
+
+  /// Exponential forward-decay rate used for this tenant's overload
+  /// shedding weights (engine OverloadPolicy::decay_alpha).
+  double decay_alpha = 0.05;
+
+  /// Forward-decay landmark L for the same weights. Only the weight
+  /// *scale* depends on it, so 0 (stream epoch) is always safe.
+  double landmark = 0.0;
+
+  /// Group budget per query: above this the engine evicts the group
+  /// with the smallest forward-decayed weight instead of growing.
+  std::size_t max_groups = 4096;
+
+  /// Registration quota: queries this tenant may hold at once.
+  std::size_t max_queries = 8;
+};
+
+inline constexpr std::size_t kMaxTenantNameBytes = 64;
+inline constexpr std::size_t kMaxQueryNameBytes = 128;
+
+/// Tenant and query names share one conservative charset so they can be
+/// embedded verbatim in metric labels and file-system-free manifests:
+/// [a-z0-9_-], 1..max bytes, must start with a letter or digit.
+inline bool ValidIdentifier(const std::string& name, std::size_t max_bytes) {
+  if (name.empty() || name.size() > max_bytes) return false;
+  for (std::size_t i = 0; i < name.size(); ++i) {
+    const char c = name[i];
+    const bool alnum = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9');
+    if (alnum) continue;
+    if ((c == '_' || c == '-') && i > 0) continue;
+    return false;
+  }
+  return true;
+}
+
+inline bool ValidTenantName(const std::string& name) {
+  return ValidIdentifier(name, kMaxTenantNameBytes);
+}
+
+inline bool ValidQueryName(const std::string& name) {
+  return ValidIdentifier(name, kMaxQueryNameBytes);
+}
+
+/// Wire/journal/snapshot codec for a TenantSpec. One encoding shared by
+/// the journal's tenant-provision records and the server snapshot body,
+/// so recovery replays both through the same decoder.
+inline void EncodeTenantSpec(const TenantSpec& spec, ByteWriter* w) {
+  w->WriteString(spec.name);
+  w->WriteDouble(spec.decay_alpha);
+  w->WriteDouble(spec.landmark);
+  w->WriteU64(spec.max_groups);
+  w->WriteU64(spec.max_queries);
+}
+
+inline bool DecodeTenantSpec(ByteReader* r, TenantSpec* spec) {
+  std::uint64_t max_groups = 0;
+  std::uint64_t max_queries = 0;
+  if (!r->ReadString(&spec->name) || !r->ReadDouble(&spec->decay_alpha) ||
+      !r->ReadDouble(&spec->landmark) || !r->ReadU64(&max_groups) ||
+      !r->ReadU64(&max_queries)) {
+    return false;
+  }
+  if (!ValidTenantName(spec->name)) return false;
+  spec->max_groups = static_cast<std::size_t>(max_groups);
+  spec->max_queries = static_cast<std::size_t>(max_queries);
+  return true;
+}
+
+}  // namespace fwdecay::server
+
+#endif  // FWDECAY_SERVER_TENANT_H_

@@ -19,6 +19,10 @@ namespace fwdecay {
 /// Appends fixed-width values to a growable byte buffer.
 class ByteWriter {
  public:
+  /// Pre-sizes the buffer when the caller can estimate the payload
+  /// (a capacity hint, not a limit).
+  void Reserve(std::size_t n) { buf_.reserve(n); }
+
   void WriteU8(std::uint8_t v) { buf_.push_back(v); }
 
   void WriteU32(std::uint32_t v) { WriteRaw(&v, sizeof(v)); }
@@ -43,8 +47,10 @@ class ByteWriter {
 
  private:
   void WriteRaw(const void* data, std::size_t len) {
-    const auto* p = static_cast<const std::uint8_t*>(data);
-    buf_.insert(buf_.end(), p, p + len);
+    if (len == 0) return;
+    const std::size_t old_size = buf_.size();
+    buf_.resize(old_size + len);
+    std::memcpy(buf_.data() + old_size, data, len);
   }
 
   std::vector<std::uint8_t> buf_;

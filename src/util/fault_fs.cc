@@ -266,6 +266,84 @@ bool FaultFs::AtomicWriteFile(const std::string& path,
   return true;
 }
 
+bool FaultFs::AppendFile(const std::string& path, const std::uint8_t* data,
+                         std::size_t size, std::string* error) {
+  std::size_t limit = 0;
+  ScopedWriteAccount account{size};
+
+  if (ConsumeFault(FaultPoint::kOpenForWrite, &limit)) {
+    *error = "injected open failure for '" + path + "'";
+    return false;
+  }
+  const bool created = !FileExists(path);
+  Fd fd(::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC,
+               0644));
+  if (!fd.ok()) {
+    *error = Errno("cannot open for append", path);
+    return false;
+  }
+
+  if (ConsumeFault(FaultPoint::kTornWrite, &limit)) {
+    // Crash mid-append: a prefix of the record lands at the tail of the
+    // journal. Readers must treat the torn tail as end-of-log, which is
+    // what the record-level CRC framing guarantees.
+    WriteAll(fd.get(), data, std::min(limit, size));
+    fd.Close();
+    *error = "injected torn append to '" + path + "' at byte " +
+             std::to_string(std::min(limit, size));
+    return false;
+  }
+  if (ConsumeFault(FaultPoint::kWriteError, &limit)) {
+    WriteAll(fd.get(), data, std::min(limit, size));
+    fd.Close();
+    *error = "injected EIO appending to '" + path + "'";
+    return false;
+  }
+  if (!WriteAll(fd.get(), data, size)) {
+    *error = Errno("short append to", path);
+    return false;
+  }
+
+  if (ConsumeFault(FaultPoint::kFsyncError, &limit)) {
+    fd.Close();
+    *error = "injected fsync failure on '" + path + "'";
+    return false;
+  }
+  {
+    metrics::ScopedTimerSample fsync_timer(
+        FaultFsMetrics::Get().fsync_ns,
+        metrics::MetricsRegistry::Instance().NowSeconds());
+    if (::fsync(fd.get()) != 0) {
+      *error = Errno("fsync failed on", path);
+      return false;
+    }
+  }
+  // A first append creates the file: its directory entry must be
+  // durable too, or a crash could lose the whole journal segment.
+  if (created) SyncParentDir(path);
+  account.ok = true;
+  return true;
+}
+
+bool FaultFs::RemoveFile(const std::string& path, std::string* error) {
+  if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+    *error = Errno("cannot remove", path);
+    return false;
+  }
+  return true;
+}
+
+bool FaultFs::FileExists(const std::string& path) const {
+  struct stat st {};
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+bool FaultFs::EnsureDir(const std::string& path, std::string* error) {
+  if (::mkdir(path.c_str(), 0755) == 0 || errno == EEXIST) return true;
+  *error = Errno("cannot create directory", path);
+  return false;
+}
+
 bool FaultFs::ReadFile(const std::string& path,
                        std::vector<std::uint8_t>* out, std::string* error,
                        std::size_t max_bytes) {

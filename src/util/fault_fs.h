@@ -92,6 +92,32 @@ class FaultFs {
                 std::string* error,
                 std::size_t max_bytes = kDefaultMaxFileBytes);
 
+  /// Appends `size` bytes to `path` (creating it first if absent) and
+  /// fsyncs before returning — the write-ahead-journal primitive: once
+  /// this returns true the bytes survive a crash at any later instant.
+  /// Injectable faults: kOpenForWrite, kTornWrite (only `byte_limit`
+  /// bytes land and the call fails, modelling a crash mid-append — the
+  /// journal reader must treat the torn tail as end-of-log),
+  /// kWriteError, kFsyncError.
+  bool AppendFile(const std::string& path, const std::uint8_t* data,
+                  std::size_t size, std::string* error);
+
+  /// Removes `path`. Returns false (with *error) only on a real failure
+  /// other than the file already being absent — retention GC treats
+  /// "already gone" as success (a crashed predecessor may have removed
+  /// it before dying).
+  bool RemoveFile(const std::string& path, std::string* error);
+
+  /// True when `path` exists (any file type). Never injects faults:
+  /// existence probes drive recovery's journal-segment walk, and a
+  /// spurious "absent" would silently truncate replay rather than
+  /// surface an error.
+  bool FileExists(const std::string& path) const;
+
+  /// Creates `path` as a directory if it does not already exist (one
+  /// level; parents must exist). Used by the server for its data dir.
+  bool EnsureDir(const std::string& path, std::string* error);
+
   /// Removes `path` if it exists; best-effort (used for stale temp
   /// files left behind by a previous crash).
   void RemoveStaleTemp(const std::string& path);

@@ -319,6 +319,14 @@ void StatsReporter::Stop() {
   if (thread_.joinable()) thread_.join();
 }
 
+void StatsReporter::FlushNow() {
+  std::string text;
+  registry_->RenderPrometheus(&text);
+  sink_(text);
+  // fwdecay: relaxed-ok(monotone progress counter; no dependent data to order)
+  reports_.fetch_add(1, std::memory_order_relaxed);
+}
+
 void StatsReporter::Run() {
   Timer since_report;
   std::string text;

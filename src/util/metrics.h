@@ -324,6 +324,12 @@ class StatsReporter {
   /// Idempotent; blocks until the reporter thread has exited.
   void Stop();
 
+  /// Renders the registry and emits one report to the sink immediately,
+  /// off-schedule. The server's graceful-shutdown path calls this after
+  /// draining its ingest queues, so the final counter deltas are
+  /// published even when the process exits mid-period.
+  void FlushNow();
+
   std::uint64_t reports_emitted() const {
     // fwdecay: relaxed-ok(monotone progress counter; no dependent data to order)
     return reports_.load(std::memory_order_relaxed);
@@ -436,6 +442,7 @@ class StatsReporter {
   using Sink = std::function<void(const std::string&)>;
   StatsReporter(const MetricsRegistry*, double, Sink = Sink()) {}
   void Stop() {}
+  void FlushNow() {}
   std::uint64_t reports_emitted() const { return 0; }
 };
 
