@@ -3,7 +3,7 @@
 
 These are *model-level* invariants of the forward-decay paper that
 neither the compiler nor clang-tidy can express; scripts/lint.py handles
-the purely syntactic conventions. Seven rules:
+the purely syntactic conventions. Nine rules:
 
   backward-age   Forward decay's whole point (Section IV) is that
                  per-item weights are computed from the *landmark*,
@@ -74,6 +74,49 @@ the purely syntactic conventions. Seven rules:
                  acquisition amortized over the whole batch"), so a
                  per-tuple lock cannot creep in silently.
 
+  taint          Summary-based interprocedural dataflow from untrusted
+                 bytes to allocation/index sinks (DESIGN.md §12).
+                 Sources: ByteReader Read*/ReadString (journal,
+                 snapshot, trace and frame bytes all arrive through
+                 it), RecvExactly'd socket buffers, and numeric parses
+                 (ParseU64/strtoull/...) of untrusted text. Sinks:
+                 container resize/reserve/assign arguments, `new T[n]`,
+                 memcpy/memmove/memset/strncpy lengths,
+                 capacity-taking constructors (vector/string/deque/
+                 PacketBatch), loop bounds, and index subscripts. A
+                 value is cleared ("sanitized") once it crosses an
+                 `if (...)`/FWDECAY_CHECK(...) extent containing a
+                 comparison, or a std::min/std::clamp — the repo's
+                 hostile-count guard idioms. Per-function summaries
+                 (param -> sink, param -> out-param, return taint)
+                 carry flows across functions and TUs when a bare
+                 callee name resolves to exactly one definition
+                 (same silence-over-misattribution discipline as
+                 lock-order). Audited escapes carry
+                 `// fwdecay: taint-ok(<reason>)` on the sink or call
+                 line (or the line above).
+
+  hotpath-purity Walks the call graph from the batched-ingest roots —
+                 Consume/ConsumeFiltered, UpdateBatch overrides,
+                 EvalPredicateBatch/EvalExprBatch, core AddBatch — and
+                 proves no reachable heap allocation (new/make_unique/
+                 make_shared/to_string/malloc, owning-container
+                 construction, growth of non-scratch locals), no
+                 `throw`, no virtual dispatch outside the audited
+                 AggState vtable set {Update, UpdateBatch}, and no
+                 syscall/clock read. Capacity-retained member scratch
+                 (trailing `_`, DESIGN.md §8) and caller-owned `->`
+                 receivers are the two sanctioned growth targets. Cold
+                 branches carry `// fwdecay: hotpath-cold(<reason>)`
+                 on the call or site line: on a call it prunes the
+                 walk through that edge, on a site it suppresses that
+                 site. Calls resolve when the bare name has exactly one
+                 definition; names in the audited vtable set traverse
+                 every override (any of them can be the dispatch
+                 target). This turns PR 4's "zero per-tuple
+                 allocation" claim into a CI-enforced invariant and
+                 gates ROADMAP item 2's SIMD/arena refactor.
+
 Engines: with python clang bindings + libclang available (CI's clang
 job), rules backward-age and exp-pow run on the real AST, which sees
 through macros and rules out matches in dead token sequences. Without
@@ -89,14 +132,24 @@ the textual rules when no database entry covers them.
 
 Usage: scripts/analyze.py [--root DIR] [--engine auto|ast|text]
                           [--compile-commands PATH] [--selftest]
+                          [--rules R1,R2,...] [--jobs N]
+                          [--findings-out PATH]
+--rules selects a comma-separated subset (default: all). --jobs
+parallelizes the per-file rules across TUs with a process pool (the
+cross-file fixpoints — lock-order, taint, hotpath-purity — stay in the
+parent, fed by the same file walk); per-rule wall time prints with the
+summary. --findings-out writes the findings to a file (one
+`file:line: message` per line) for CI artifacts.
 Exit status is 0 when clean, 1 when any finding is reported, 2 when a
 requested engine is unavailable or the selftest fails.
 """
 
 import argparse
+import os
 import pathlib
 import re
 import sys
+import time
 
 # ---------------------------------------------------------------------------
 # Shared rule configuration
@@ -206,6 +259,10 @@ HOTPATH_LOCK_OK_RE = re.compile(r"fwdecay:\s*hotpath-lock-ok\s*\(")
 # Hot-path entry points whose bodies must not take locks silently.
 HOTPATH_LOCK_FNS = ("UpdateBatch", "Consume")
 
+# taint / hotpath-purity escape hatches (DESIGN.md §12).
+TAINT_OK_RE = re.compile(r"fwdecay:\s*taint-ok\s*\(")
+HOTPATH_COLD_RE = re.compile(r"fwdecay:\s*hotpath-cold\s*\(")
+
 SRC_SUFFIXES = (".h", ".cc", ".cpp")
 SCAN_DIRS = ("src", "bench", "examples")
 
@@ -226,6 +283,12 @@ def strip_comments_and_strings(text: str) -> str:
             j = n - 2 if j == -1 else j
             out.append("\n" * text.count("\n", i, j + 2))
             i = j + 2
+        elif (c == "'" and 0 < i and i + 1 < n
+              and text[i - 1] in "0123456789abcdefABCDEF"
+              and text[i + 1] in "0123456789abcdefABCDEF"):
+            # C++14 digit separator (60'000), not a char literal: an
+            # unmatched open quote here would swallow lines of code.
+            i += 1
         elif c in "\"'":
             quote = c
             j = i + 1
@@ -627,9 +690,835 @@ def rule_hotpath_lock(rel: str, raw: str, code: str, findings: list) -> None:
                      "lock is amortized per batch, or move it out"))
 
 
+# --- taint + hotpath-purity: interprocedural dataflow ------------------------
+#
+# Both passes run on the comment/string-stripped text shared by the two
+# engines: the flows they track (byte reads into locals, guard extents,
+# sink extents, bare call sites) are positional-lexical exactly like the
+# lock-order pass, so the analysis — and its results — are identical
+# with and without libclang. Calls resolve only when the bare name has
+# exactly one definition across the tree (silence over misattribution).
+
+# Untrusted-byte sources. ByteReader is the single decode primitive of
+# the repo (journal, snapshot, frame, trace and sketch bytes all arrive
+# through it), so Read*(…) by NAME is a source wherever it appears —
+# including bare calls inside ByteReader itself.
+TAINT_READ_RE = re.compile(
+    r"\bRead(?:U8|U32|U64|I64|Double)\s*\(\s*(&?\s*[\w.\->\[\]]+)\s*\)")
+TAINT_READSTR_RE = re.compile(
+    r"\bReadString\s*\(\s*(&?\s*[\w.\->\[\]]+)\s*\)")
+# RecvExactly(sock, buf, n, ...): buf holds raw socket bytes.
+TAINT_RECV_RE = re.compile(r"\bRecvExactly\s*\(")
+# FaultFs::ReadFile(path, &bytes, error): bytes holds raw on-disk
+# journal/snapshot/manifest content, as hostile as the socket's.
+TAINT_FILEREAD_RE = re.compile(r"\bReadFile\s*\(")
+# Numeric parses of untrusted text: the per-digit overflow guard inside
+# bounds the *arithmetic*, not the magnitude — the result is as hostile
+# as the text it came from.
+PARSE_FNS = frozenset({
+    "ParseU64", "ParseU64Flag", "ParseI64", "strtoull", "strtoul",
+    "strtoll", "strtol", "atoi", "atol", "atoll", "stoul", "stoull",
+    "stoi", "stol",
+})
+TAINT_PARSE_RE = re.compile(
+    r"\b(?:" + "|".join(sorted(PARSE_FNS)) + r")\s*\(")
+# memcpy(dst, src, n): decodes scalars out of a raw byte buffer.
+TAINT_MEMCPY_RE = re.compile(
+    r"\b(?:std\s*::\s*)?(memcpy|memmove|memset|strncpy)\s*\(")
+
+# Sinks: where a hostile magnitude becomes an allocation, a copy length,
+# a loop trip count, or an index.
+TAINT_ALLOC_SINK_RE = re.compile(
+    r"(?:\.|->)\s*(resize|reserve|assign)\s*\(")
+TAINT_NEW_SINK_RE = re.compile(r"\bnew\s+[\w:<>\s]+\[")
+TAINT_CTOR_SINK_RE = re.compile(
+    r"\b(vector|string|deque|PacketBatch|ValueColumn)\s*"
+    r"(?:<[^;(){}]*>)?\s+(\w+)\s*\(")
+TAINT_LOOP_RE = re.compile(r"\b(for|while)\s*\(")
+TAINT_INDEX_RE = re.compile(r"[\w\)\]]\s*\[")
+
+# Sanitizer extents: an `if`/CHECK condition containing a comparison, or
+# a min/clamp, clears every variable named inside it from that point on.
+TAINT_GUARD_RE = re.compile(
+    r"\b(?:if|FWDECAY_D?CHECK(?:_[A-Z]+)?)\s*\(|"
+    r"\bstd\s*::\s*(?:min|clamp)\s*(?:<[^<>;(){]*>)?\s*\(")
+TAINT_GUARD_ALWAYS_RE = re.compile(r"\bstd\s*::\s*(?:min|clamp)\b")
+# Comparison presence, ignoring `->` and template argument lists.
+_CMP_RE = re.compile(r"(?<![<>\-])(?:[<>]=?|[!=]=)(?![<>])")
+
+TAINT_ASSIGN_RE = re.compile(
+    r"([A-Za-z_]\w*(?:(?:\.|->)[A-Za-z_]\w*|\[[^\[\]]*\])*)\s*"
+    r"(?:(\+|-|\*|/|%|\||&|\^|<<|>>)\s*)?=(?![=])")
+TAINT_RETURN_RE = re.compile(r"\breturn\b([^;]*);")
+# Accessors of a byte/char buffer that yield bounded values, not the
+# buffer's hostile length/content: size() is clamped by what was
+# actually received, a single byte is 0..255.
+_CONTENT_SAFE_SUFFIX_RE = re.compile(
+    r"\s*\.\s*(?:size|length|empty|data|c_str|begin|end|front|back)"
+    r"\s*\(|\s*\[")
+_CONTENT_LOOSE_SUFFIX_RE = re.compile(
+    r"\s*\.\s*(?:size|length|empty)\s*\(")
+
+_CONTENT_TYPE_RE = re.compile(
+    r"\bstring\b|\bchar\b|u?int8_t\s*(?:\*|\s*>|const)")
+
+
+def paren_extent(code: str, open_paren: int) -> int:
+    """Index of the ')' matching code[open_paren] == '('."""
+    depth = 0
+    for i in range(open_paren, len(code)):
+        if code[i] == "(":
+            depth += 1
+        elif code[i] == ")":
+            depth -= 1
+            if depth == 0:
+                return i
+    return len(code) - 1
+
+
+def split_top_args(text: str):
+    """Splits an argument list on top-level commas."""
+    args, depth, start = [], 0, 0
+    for i, c in enumerate(text):
+        if c in "([{":
+            depth += 1
+        elif c in ")]}":
+            depth -= 1
+        elif c == "," and depth == 0:
+            args.append(text[start:i])
+            start = i + 1
+    args.append(text[start:])
+    return args
+
+
+def expr_root(text: str):
+    """`&out->seq` -> `out->seq`, `&hdr.len` -> `hdr.len`; the
+    normalized member path a taint key names, or None."""
+    m = re.match(r"[\s&*(]*([A-Za-z_]\w*(?:(?:\.|->)[A-Za-z_]\w*)*)",
+                 text)
+    return re.sub(r"\s+", "", m.group(1)) if m else None
+
+
+def _key_re(key: str) -> re.Pattern:
+    return re.compile(r"(?<![\w.>])" + re.escape(key) + r"(?!\w)")
+
+
+_MEMBER_CHAIN_RE = re.compile(r"(?:\s*(?:\.|->)\s*\w+)+")
+
+
+def _member_expr(key: str, text: str, end: int) -> str:
+    """The full dotted member expression at an occurrence of `key`
+    ending at `end`, normalized (whitespace removed, -> folded to .) —
+    `m.floor` and `m->floor` compare equal, and a guard on `m.floor`
+    does not launder `m.active`."""
+    m = _MEMBER_CHAIN_RE.match(text, end)
+    if not m:
+        return key
+    return key + re.sub(r"\s+", "", m.group(0)).replace("->", ".")
+
+
+_VALUE_OPAQUE_RE = re.compile(
+    r"(?:[\w\[\]\.]|->)*\b(?:[Hh]ash\w*|sizeof)\s*\([^()]*\)")
+
+
+def _strip_value_opaque(text: str) -> str:
+    """sizeof(...) and Hash*(...) results carry no attacker-steerable
+    magnitude (a hash of hostile bytes is not a hostile length); strip
+    them innermost-first so their arguments stop contributing labels
+    to the surrounding expression."""
+    prev = None
+    while prev != text:
+        prev = text
+        text = _VALUE_OPAQUE_RE.sub("", text)
+    return text
+
+
+class _TaintFunc:
+    __slots__ = ("key", "name", "rel", "brace", "end", "params",
+                 "body", "raw_lines", "line_base")
+
+    def __init__(self, key, name, rel, brace, end, params, body,
+                 raw_lines, line_base):
+        self.key = key
+        self.name = name
+        self.rel = rel
+        self.brace = brace
+        self.end = end
+        self.params = params      # [(type_text, name, is_out)]
+        self.body = body
+        self.raw_lines = raw_lines
+        self.line_base = line_base  # line of the opening brace, 1-based
+
+
+class _TaintSummary:
+    """What a caller needs to know about a function: which parameters
+    reach sinks unguarded, which out-params it writes tainted values
+    through, and whether its return value is tainted."""
+
+    def __init__(self):
+        self.param_sinks = {}   # idx -> frozenset of "desc @ rel:line"
+        self.out_writes = {}    # idx -> frozenset of labels
+        self.return_labels = frozenset()
+
+    def state(self):
+        return (tuple(sorted((k, v) for k, v in self.param_sinks.items())),
+                tuple(sorted((k, v) for k, v in self.out_writes.items())),
+                self.return_labels)
+
+
+def parse_params(params_text: str):
+    """[(type_text, name, is_out_param)] for a definition's parameter
+    list; unnamed and empty parameters are skipped in place (the index
+    still advances so summaries line up with call-site arguments)."""
+    out = []
+    for piece in split_top_args(params_text):
+        piece = piece.split("=", 1)[0].strip()
+        m = re.search(r"([A-Za-z_]\w*)\s*$", piece)
+        if not m or m.group(1) == piece or piece == "void":
+            out.append(("", None, False))
+            continue
+        ptype = piece[: m.start()].strip()
+        is_out = "*" in ptype or ("&" in ptype and "const" not in ptype)
+        out.append((ptype, m.group(1), is_out))
+    return out
+
+
+class TaintAnalysis:
+    """Cross-file pass: add_file() every file, then finish().
+
+    Each function body is scanned as an ordered event stream — sources,
+    assignments, guard-extent exits, sinks, calls, returns — over an
+    environment mapping member paths to (kind, labels). Kind `val` is a
+    number decoded from untrusted bytes (hostile as a length/index);
+    kind `content` is a byte/char buffer (hostile bytes, but its size()
+    is bounded by what actually arrived, so only values *derived* from
+    it — an indexed byte parse, a memcpy'd scalar — become `val`).
+    Labels are `wire` (definitely attacker-reachable) and `p<i>`
+    (flows from parameter i — a summary fact, not yet a finding). A
+    finding fires only when `wire` reaches a sink with no guard extent
+    crossing and no `// fwdecay: taint-ok(<reason>)` annotation."""
+
+    MAX_PASSES = 10
+
+    def __init__(self):
+        self.files = []
+        self.funcs = []
+        self.by_name = {}
+        self.summaries = {}
+        self._sanitized = set()  # per-function, reset in _analyze_func
+
+    def add_file(self, rel: str, raw: str, code: str) -> None:
+        self.files.append((rel, raw, code))
+
+    def _collect(self) -> None:
+        for rel, raw, code in self.files:
+            raw_lines = raw.splitlines()
+            for m in FUNC_DEF_RE.finditer(code):
+                name = m.group(1)
+                if name in CONTROL_KEYWORDS:
+                    continue
+                brace = code.find("{", m.end() - 1)
+                end = function_extent(code, brace)
+                func = _TaintFunc(
+                    (rel, name, brace), name, rel, brace, end,
+                    parse_params(m.group(2)), code[brace:end], raw_lines,
+                    line_of(code, brace))
+                self.funcs.append(func)
+                self.by_name.setdefault(name, []).append(func)
+
+    def _unique_def(self, name: str):
+        defs = self.by_name.get(name, ())
+        return defs[0] if len(defs) == 1 else None
+
+    # -- per-function event scan ------------------------------------
+
+    def _guards(self, body: str):
+        """[(start, end, always)] extents that sanitize; `always` skips
+        the comparison-operator requirement (min/clamp bound by
+        construction)."""
+        out = []
+        for m in TAINT_GUARD_RE.finditer(body):
+            op = body.find("(", m.start())
+            if op == -1:
+                continue
+            close = paren_extent(body, op)
+            always = bool(TAINT_GUARD_ALWAYS_RE.match(body, m.start())) \
+                or bool(re.match(r"FWDECAY_D?CHECK_[A-Z]",
+                                 body[m.start():m.start() + 24]))
+            text = body[op:close + 1]
+            # Strip template argument lists (`static_cast<std::u32>`)
+            # before testing for a comparison; `&` stays out of the
+            # class so `a < x && b > y` is not mistaken for one.
+            if always or _CMP_RE.search(re.sub(r"<[\w:\s,*]*>", "", text)):
+                out.append((op, close, text))
+        return out
+
+    def _sinks(self, body: str):
+        """[(pos, desc, extent_text)]"""
+        out = []
+        for m in TAINT_ALLOC_SINK_RE.finditer(body):
+            op = body.find("(", m.end() - 1)
+            out.append((m.start(), f"{m.group(1)}()",
+                        body[op + 1:paren_extent(body, op)]))
+        for m in TAINT_NEW_SINK_RE.finditer(body):
+            close = body.find("]", m.end())
+            if close != -1:
+                out.append((m.start(), "new[]", body[m.end():close]))
+        for m in TAINT_MEMCPY_RE.finditer(body):
+            op = body.find("(", m.end() - 1)
+            args = split_top_args(body[op + 1:paren_extent(body, op)])
+            if len(args) >= 3:
+                out.append((m.start(), f"{m.group(1)}() length", args[2]))
+        for m in TAINT_CTOR_SINK_RE.finditer(body):
+            op = body.find("(", m.end() - 1)
+            argtext = body[op + 1:paren_extent(body, op)]
+            # Iterator-range construction copies an existing extent —
+            # the size is bounded by the source, not a hostile count.
+            if re.search(r"[.>]\s*c?(?:begin|end)\s*\(", argtext):
+                continue
+            out.append((m.start(), f"{m.group(1)} capacity", argtext))
+        for m in TAINT_LOOP_RE.finditer(body):
+            op = body.find("(", m.end() - 1)
+            if op == -1:
+                continue
+            text = body[op + 1:paren_extent(body, op)]
+            if m.group(1) == "for":
+                parts = text.split(";")
+                if len(parts) < 3:
+                    continue  # range-for: bounded by the container
+                text = parts[1]
+            out.append((m.start(), "loop bound", text))
+        for m in TAINT_INDEX_RE.finditer(body):
+            op = m.end() - 1
+            close = body.find("]", op)
+            if close != -1:
+                inner = body[op + 1:close]
+                if re.search(r"[A-Za-z_]", inner):
+                    out.append((m.start(), "index", inner))
+        return out
+
+    def _labels_in(self, text: str, env: dict):
+        """(labels, kind) of an expression under env."""
+        text = _strip_value_opaque(text)
+        labels, saw_val, saw_content = set(), False, False
+        for key, (kind, ls) in env.items():
+            for m in _key_re(key).finditer(text):
+                if kind == "content":
+                    if _CONTENT_SAFE_SUFFIX_RE.match(text, m.end()):
+                        continue
+                    labels |= ls
+                    saw_content = True
+                else:
+                    if _member_expr(key, text, m.end()) in \
+                            self._sanitized:
+                        continue
+                    labels |= ls
+                    saw_val = True
+        return labels, ("content" if saw_content and not saw_val
+                        else "val")
+
+    def _content_labels_in(self, text: str, env: dict):
+        text = _strip_value_opaque(text)
+        labels = set()
+        for key, (kind, ls) in env.items():
+            if kind != "content":
+                continue
+            for m in _key_re(key).finditer(text):
+                if _CONTENT_LOOSE_SUFFIX_RE.match(text, m.end()):
+                    continue
+                labels |= ls
+        return labels
+
+    def _analyze_func(self, func, emit):
+        """One pass over a body; emit is None (summary-only passes) or
+        the findings list (final pass). Returns the new summary."""
+        body = func.body
+        self._sanitized = set()
+        env = {}
+        for i, (ptype, pname, _) in enumerate(func.params):
+            if pname is None:
+                continue
+            kind = ("content" if _CONTENT_TYPE_RE.search(ptype)
+                    else "val")
+            env[pname] = (kind, frozenset({f"p{i}"}))
+        summary = _TaintSummary()
+        guards = self._guards(body)
+
+        events = []
+        for m in TAINT_READ_RE.finditer(body):
+            events.append((m.start(), 0, "source",
+                           ("val", expr_root(m.group(1)))))
+        for m in TAINT_READSTR_RE.finditer(body):
+            events.append((m.start(), 0, "source",
+                           ("content", expr_root(m.group(1)))))
+        for regexp in (TAINT_RECV_RE, TAINT_FILEREAD_RE):
+            for m in regexp.finditer(body):
+                op = body.find("(", m.end() - 1)
+                args = split_top_args(
+                    body[op + 1:paren_extent(body, op)])
+                if len(args) >= 2:
+                    events.append((m.start(), 0, "source",
+                                   ("content", expr_root(args[1]))))
+        # Paren construction from an untrusted buffer propagates:
+        # `std::string text(bytes.begin(), bytes.end())`.
+        for m in TAINT_CTOR_SINK_RE.finditer(body):
+            op = body.find("(", m.end() - 1)
+            events.append((m.start(), 1, "ctor",
+                           (m.group(2),
+                            body[op + 1:paren_extent(body, op)])))
+        for m in TAINT_ASSIGN_RE.finditer(body):
+            stop = len(body)
+            for ch in ";{}":
+                p = body.find(ch, m.end())
+                if p != -1:
+                    stop = min(stop, p)
+            events.append((m.start(), 1, "assign",
+                           (re.sub(r"\s+", "", m.group(1)),
+                            m.group(2), body[m.end():stop])))
+        for start, close, text in guards:
+            events.append((close, 2, "guard", text))
+        for pos, desc, text in self._sinks(body):
+            events.append((pos, 3, "sink", (desc, text)))
+        # Bare and member call sites both apply summaries; both resolve
+        # only on a globally unique definition name, so a method call
+        # on another object silences rather than misattributes.
+        for regexp in (CALL_SITE_RE, MEMBER_CALL_RE):
+            for m in regexp.finditer(body):
+                if m.group(1) in CONTROL_KEYWORDS:
+                    continue
+                op = body.find("(", m.end() - 1)
+                events.append((m.start(), 4, "call",
+                               (m.group(1),
+                                body[op + 1:paren_extent(body, op)])))
+        for m in TAINT_RETURN_RE.finditer(body):
+            events.append((m.start(), 5, "return", m.group(1)))
+        events.sort(key=lambda e: (e[0], e[1]))
+
+        def guarded_here(pos, key_or_text):
+            """True when pos sits inside a guard extent that itself
+            names the value — `if (n < cap && v[n])` both bounds and
+            uses n; the use is governed by the bound."""
+            for start, close, text in guards:
+                if start <= pos <= close and \
+                        _key_re(key_or_text).search(text):
+                    return True
+            return False
+
+        def record_out_write(path, labels):
+            root = path.split(".")[0].split("->")[0]
+            for i, (_, pname, is_out) in enumerate(func.params):
+                if pname == root and is_out:
+                    summary.out_writes[i] = frozenset(
+                        summary.out_writes.get(i, frozenset()) | labels)
+
+        def taint(path, kind, labels):
+            if not path or not labels:
+                return
+            prev = env.get(path)
+            if prev:
+                labels = labels | prev[1]
+                kind = prev[0] if prev[0] == "content" else kind
+            env[path] = (kind, frozenset(labels))
+
+        for pos, _, etype, data in events:
+            if etype == "source":
+                kind, path = data
+                if path:
+                    env[path] = (kind, frozenset({"wire"}))
+                    record_out_write(path, {"wire"})
+            elif etype == "assign":
+                lhs, op, rhs = data
+                labels, kind = self._labels_in(rhs, env)
+                for m in CALL_SITE_RE.finditer(rhs):
+                    callee = self._unique_def(m.group(1))
+                    summ = callee and self.summaries.get(callee.key)
+                    if summ and summ.return_labels:
+                        cp = rhs.find("(", m.end() - 1)
+                        cargs = split_top_args(
+                            rhs[cp + 1:paren_extent(rhs, cp)])
+                        labels |= self._translate(
+                            summ.return_labels, cargs, env)
+                if TAINT_PARSE_RE.search(rhs):
+                    cl = self._content_labels_in(rhs, env)
+                    if cl:
+                        labels |= cl
+                        kind = "val"
+                if labels:
+                    taint(lhs, kind, labels)
+                    record_out_write(lhs, labels)
+                elif op is None and "." not in lhs and "->" not in lhs:
+                    env.pop(lhs, None)  # strong update: `len = 0;`
+            elif etype == "ctor":
+                name, argtext = data
+                cl = self._content_labels_in(argtext, env)
+                if cl:
+                    taint(name, "content", cl)
+            elif etype == "guard":
+                # Only `val` keys are sanitized: a comparison bounds a
+                # hostile *number*. A content buffer compared against a
+                # magic constant is still hostile bytes afterwards.
+                # Member granularity: a guard naming only `m.floor`
+                # clears that exact path, not the whole struct.
+                for key in [k for k, (kind, _) in env.items()
+                            if kind == "val"]:
+                    occ = [_member_expr(key, data, m.end())
+                           for m in _key_re(key).finditer(data)]
+                    if not occ:
+                        continue
+                    if key in occ:
+                        env.pop(key, None)
+                    else:
+                        self._sanitized.update(occ)
+            elif etype == "sink":
+                desc, text = data
+                self._check_sink(func, pos, desc, text, env, summary,
+                                 guarded_here, emit)
+            elif etype == "call":
+                self._apply_call(func, pos, data, env, summary, taint,
+                                 record_out_write, guarded_here, emit)
+            elif etype == "return":
+                labels, _ = self._labels_in(data, env)
+                if labels:
+                    summary.return_labels = \
+                        summary.return_labels | frozenset(labels)
+        return summary
+
+    def _check_sink(self, func, pos, desc, text, env, summary,
+                    guarded_here, emit):
+        text = _strip_value_opaque(text)
+        for key, (kind, labels) in env.items():
+            if kind == "content":
+                continue
+            if not any(_member_expr(key, text, m.end())
+                       not in self._sanitized
+                       for m in _key_re(key).finditer(text)):
+                continue
+            if guarded_here(pos, key):
+                continue
+            where = f"{desc} @ {func.rel}:{self._line(func, pos)}"
+            for lbl in labels:
+                if lbl.startswith("p"):
+                    i = int(lbl[1:])
+                    summary.param_sinks[i] = frozenset(
+                        summary.param_sinks.get(i, frozenset())
+                        | {where})
+            if "wire" in labels and emit is not None:
+                ln = self._line(func, pos)
+                if not annotated(func.raw_lines, ln, TAINT_OK_RE):
+                    emit.append(
+                        (func.rel, ln,
+                         f"taint: `{key}` decoded from untrusted bytes "
+                         f"reaches {desc} with no bounds guard on the "
+                         "path; check it against Remaining()/an "
+                         "explicit cap first, or annotate "
+                         "`// fwdecay: taint-ok(<reason>)`"))
+
+    def _translate(self, labels, args, env):
+        out = set()
+        for lbl in labels:
+            if lbl == "wire":
+                out.add("wire")
+            elif lbl.startswith("p"):
+                i = int(lbl[1:])
+                if i < len(args):
+                    got, _ = self._labels_in(args[i], env)
+                    out |= got
+        return out
+
+    def _apply_call(self, func, pos, data, env, summary, taint,
+                    record_out_write, guarded_here, emit):
+        name, argtext = data
+        args = split_top_args(argtext)
+        if name in ("memcpy", "memmove"):
+            if len(args) >= 3:
+                cl = self._content_labels_in(args[1], env)
+                if cl:
+                    path = expr_root(args[0])
+                    taint(path, "val", cl)
+                    if path:
+                        record_out_write(path, cl)
+            return
+        if name in PARSE_FNS:
+            cl = set()
+            for arg in args:
+                cl |= self._content_labels_in(arg, env)
+            if cl:
+                for arg in args:
+                    if arg.strip().startswith("&"):
+                        path = expr_root(arg)
+                        taint(path, "val", cl)
+                        if path:
+                            record_out_write(path, cl)
+            return
+        callee = self._unique_def(name)
+        summ = callee and self.summaries.get(callee.key)
+        if not summ:
+            return
+        for i, arg in enumerate(args):
+            sinks = summ.param_sinks.get(i)
+            if not sinks:
+                continue
+            labels, _ = self._labels_in(arg, env)
+            if not labels or guarded_here(pos, expr_root(arg) or arg):
+                continue
+            where = next(iter(sorted(sinks)))
+            for lbl in labels:
+                if lbl.startswith("p"):
+                    j = int(lbl[1:])
+                    summary.param_sinks[j] = frozenset(
+                        summary.param_sinks.get(j, frozenset())
+                        | {where})
+            if "wire" in labels and emit is not None:
+                ln = self._line(func, pos)
+                if not annotated(func.raw_lines, ln, TAINT_OK_RE):
+                    emit.append(
+                        (func.rel, ln,
+                         f"taint: `{expr_root(arg)}` decoded from "
+                         f"untrusted bytes flows into argument {i} of "
+                         f"{name}(), which reaches {where} with no "
+                         "bounds guard; guard before the call or "
+                         "annotate `// fwdecay: taint-ok(<reason>)`"))
+        for i, wlabels in summ.out_writes.items():
+            if i >= len(args):
+                continue
+            got = self._translate(wlabels, args, env)
+            if got:
+                path = expr_root(args[i])
+                taint(path, "val", got)
+                if path:
+                    record_out_write(path, got)
+
+    @staticmethod
+    def _line(func, body_pos: int) -> int:
+        return func.line_base + func.body[:body_pos].count("\n")
+
+    def finish(self, findings: list) -> None:
+        self._collect()
+        for _ in range(self.MAX_PASSES):
+            changed = False
+            for func in self.funcs:
+                new = self._analyze_func(func, None)
+                old = self.summaries.get(func.key)
+                if old is None or old.state() != new.state():
+                    self.summaries[func.key] = new
+                    changed = True
+            if not changed:
+                break
+        for func in self.funcs:
+            self._analyze_func(func, findings)
+
+
+# --- hotpath-purity ---------------------------------------------------------
+
+# Entry points of the batched ingest path (DESIGN.md §8): everything
+# reachable from these must stay allocation-, throw- and syscall-free.
+HOTPATH_ROOTS = frozenset({
+    "Consume", "ConsumeFiltered", "UpdateBatch",
+    "EvalPredicateBatch", "EvalExprBatch", "AddBatch",
+})
+# The one audited virtual hierarchy on the hot path: AggState dispatch
+# for per-slot updates. Everything else virtual is flagged.
+HOTPATH_VTABLE_ALLOWED = frozenset({"Update", "UpdateBatch"})
+
+PURITY_NEW_RE = re.compile(r"\bnew\b")
+PURITY_THROW_RE = re.compile(r"\bthrow\b")
+PURITY_ALLOCFN_RE = re.compile(
+    r"\b(make_unique|make_shared|to_string|malloc|calloc|realloc"
+    r"|strdup)\s*(?:<[^<>;(){}]*>)?\s*\(")
+# Owning-container construction in a hot body; `&`/`*` declarators are
+# views, not allocations, and are skipped.
+PURITY_CONTAINER_RE = re.compile(
+    r"(?:^|[;{}])\s*(?:const\s+)?(?:std\s*::\s*)?"
+    r"(vector|string|unordered_map|unordered_set|map|set|deque|list"
+    r"|ByteWriter|ostringstream|stringstream|PacketBatch|ValueColumn)"
+    r"((?:\s*<(?:[^<>]|<[^<>]*>)*>)?)\s*([&*]?)\s*([A-Za-z_]\w*)\s*"
+    r"(?=[;({=])", re.M)
+# Growth of a container reached through a plain `.` on a local: member
+# scratch (trailing `_`) retains capacity across batches (DESIGN.md §8)
+# and `->` receivers are caller-owned storage — both sanctioned.
+PURITY_GROWTH_RE = re.compile(
+    r"(?<![\w.>:\]])([A-Za-z_]\w*)\s*\.\s*"
+    r"(push_back|emplace_back|emplace|resize|reserve|insert|append"
+    r"|assign|push_front|emplace_front)\s*\(")
+PURITY_SYSCALL_RE = re.compile(
+    r"\b(open|close|read|write|pread|pwrite|fsync|fdatasync|unlink"
+    r"|rename|recv|send|accept|connect|poll|select|socket|sleep"
+    r"|usleep|nanosleep|clock_gettime|gettimeofday|mmap|munmap|fork"
+    r"|system|getenv|printf|fprintf|fputs|puts|fwrite|fread|fflush"
+    r"|NowSeconds|NowNanos|NowMicros)\s*\(")
+VIRTUAL_DECL_RE = re.compile(
+    r"\bvirtual\b[^;{}()]*?\b([A-Za-z_]\w*)\s*\(")
+MEMBER_CALL_RE = re.compile(r"(?:\.|->)\s*([A-Za-z_]\w*)\s*\(")
+
+
+class _PurityFunc:
+    __slots__ = ("key", "name", "rel", "body", "raw_lines", "line_base",
+                 "params")
+
+    def __init__(self, key, name, rel, body, raw_lines, line_base,
+                 params=""):
+        self.key = key
+        self.name = name
+        self.rel = rel
+        self.body = body
+        self.raw_lines = raw_lines
+        self.line_base = line_base
+        self.params = params
+
+
+class HotpathPurityAnalysis:
+    """Cross-file pass: BFS over the call graph from the hot-path roots,
+    flagging every reachable impurity. Call edges resolve when the bare
+    or member callee name has exactly one definition (silence over
+    misattribution); names in the audited vtable set traverse every
+    override, since dispatch can land on any of them. A
+    `// fwdecay: hotpath-cold(<reason>)` annotation on a call line
+    prunes the walk through that edge; on an impurity line it
+    suppresses the site."""
+
+    def __init__(self):
+        self.files = []
+        self.by_name = {}
+        self.funcs = []
+        self.virtual_names = set()
+
+    def add_file(self, rel: str, raw: str, code: str) -> None:
+        if not rel.startswith("src/"):
+            return
+        self.files.append((rel, raw, code))
+        for m in VIRTUAL_DECL_RE.finditer(code):
+            self.virtual_names.add(m.group(1))
+
+    def _collect(self) -> None:
+        for rel, raw, code in self.files:
+            raw_lines = raw.splitlines()
+            for m in FUNC_DEF_RE.finditer(code):
+                name = m.group(1)
+                if name in CONTROL_KEYWORDS:
+                    continue
+                brace = code.find("{", m.end() - 1)
+                end = function_extent(code, brace)
+                if m.group(0) and "override" in (m.group(3) or ""):
+                    self.virtual_names.add(name)
+                func = _PurityFunc((rel, name, brace), name, rel,
+                                   code[brace:end], raw_lines,
+                                   line_of(code, brace), m.group(2))
+                self.funcs.append(func)
+                self.by_name.setdefault(name, []).append(func)
+
+    def _chain(self, parent, func):
+        names = [func.name]
+        cur = func.key
+        while cur in parent:
+            cur = parent[cur]
+            names.append(cur[1])
+        return " -> ".join(reversed(names))
+
+    def finish(self, findings: list) -> None:
+        self._collect()
+        # `Consume` is a root only in its batched form: the per-tuple
+        # Consume(Packet) overloads (legacy path, tumbling runner) are
+        # convenience surfaces, not the measured ingest path.
+        roots = [f for f in self.funcs
+                 if f.name in HOTPATH_ROOTS
+                 and (f.name != "Consume" or "PacketBatch" in f.params)]
+        parent = {}
+        queue = list(roots)
+        visited = {f.key for f in roots}
+        seen_sites = set()
+        while queue:
+            func = queue.pop(0)
+            chain = self._chain(parent, func)
+            self._scan_body(func, chain, findings, seen_sites)
+            for callee in self._callees(func):
+                if callee.key in visited:
+                    continue
+                visited.add(callee.key)
+                parent[callee.key] = func.key
+                queue.append(callee)
+
+    def _cold(self, func, pos) -> bool:
+        return annotated(func.raw_lines, func.line_base +
+                         func.body[:pos].count("\n"), HOTPATH_COLD_RE)
+
+    def _callees(self, func):
+        out = []
+        for regexp in (CALL_SITE_RE, MEMBER_CALL_RE):
+            for m in regexp.finditer(func.body):
+                name = m.group(1)
+                if name in CONTROL_KEYWORDS or self._cold(func, m.start()):
+                    continue
+                if name in self.virtual_names:
+                    if name in HOTPATH_VTABLE_ALLOWED:
+                        out.extend(self.by_name.get(name, ()))
+                    continue  # disallowed virtuals are flagged, not walked
+                defs = self.by_name.get(name, ())
+                if len(defs) == 1:
+                    out.append(defs[0])
+        return out
+
+    def _scan_body(self, func, chain, findings, seen_sites) -> None:
+        body = func.body
+
+        def emit(pos, what):
+            line = func.line_base + body[:pos].count("\n")
+            site = (func.rel, line, what)
+            if site in seen_sites or self._cold(func, pos):
+                return
+            seen_sites.add(site)
+            findings.append(
+                (func.rel, line,
+                 f"hotpath-purity: {what} on the batched ingest path "
+                 f"({chain}); keep the hot path allocation/throw/"
+                 "syscall-free (DESIGN.md §12) or mark the cold branch "
+                 "`// fwdecay: hotpath-cold(<reason>)`"))
+
+        for m in PURITY_NEW_RE.finditer(body):
+            emit(m.start(), "heap allocation (`new`)")
+        for m in PURITY_THROW_RE.finditer(body):
+            emit(m.start(), "`throw`")
+        for m in PURITY_ALLOCFN_RE.finditer(body):
+            emit(m.start(), f"heap allocation (`{m.group(1)}`)")
+        for m in PURITY_CONTAINER_RE.finditer(body):
+            if m.group(3):
+                continue  # reference/pointer declarator: a view
+            emit(m.start(1),
+                 f"owning `{m.group(1)}` constructed per batch "
+                 f"(`{m.group(4)}`)")
+        for m in PURITY_GROWTH_RE.finditer(body):
+            recv = m.group(1)
+            if recv.endswith("_"):
+                continue  # capacity-retained member scratch
+            emit(m.start(),
+                 f"`{recv}.{m.group(2)}()` grows a non-scratch local")
+        for m in PURITY_SYSCALL_RE.finditer(body):
+            emit(m.start(), f"syscall/clock `{m.group(1)}()`")
+        for regexp in (CALL_SITE_RE, MEMBER_CALL_RE):
+            for m in regexp.finditer(body):
+                name = m.group(1)
+                if name in self.virtual_names and \
+                        name not in HOTPATH_VTABLE_ALLOWED:
+                    emit(m.start(),
+                         f"virtual dispatch to {name}() outside the "
+                         "audited AggState vtable set")
+
+
 # ---------------------------------------------------------------------------
 # Engines
 # ---------------------------------------------------------------------------
+
+ALL_RULES = frozenset({
+    "backward-age", "exp-pow", "deser-bounds", "guarded-by",
+    "atomics-order", "hotpath-lock", "lock-order", "taint",
+    "hotpath-purity",
+})
+
+
+def _timed(times, rule, fn, *args):
+    t0 = time.perf_counter()
+    fn(*args)
+    times[rule] = times.get(rule, 0.0) + (time.perf_counter() - t0)
+
 
 class TextEngine:
     """Runs the per-file rules on comment/string-stripped sources."""
@@ -637,11 +1526,20 @@ class TextEngine:
     name = "text"
 
     def analyze(self, rel: str, path: pathlib.Path, raw: str, code: str,
-                findings: list) -> None:
-        rule_backward_age_text(rel, code, findings)
-        rule_exp_pow_text(rel, code, findings)
-        rule_deser_bounds(rel, code, findings)
-        rule_guarded_by(rel, code, findings)
+                findings: list, rules=ALL_RULES, times=None) -> None:
+        times = {} if times is None else times
+        if "backward-age" in rules:
+            _timed(times, "backward-age", rule_backward_age_text,
+                   rel, code, findings)
+        if "exp-pow" in rules:
+            _timed(times, "exp-pow", rule_exp_pow_text,
+                   rel, code, findings)
+        if "deser-bounds" in rules:
+            _timed(times, "deser-bounds", rule_deser_bounds,
+                   rel, code, findings)
+        if "guarded-by" in rules:
+            _timed(times, "guarded-by", rule_guarded_by,
+                   rel, code, findings)
 
 
 class AstEngine:
@@ -686,7 +1584,8 @@ class AstEngine:
         return None
 
     def analyze(self, rel: str, path: pathlib.Path, raw: str, code: str,
-                findings: list) -> None:
+                findings: list, rules=ALL_RULES, times=None) -> None:
+        times = {} if times is None else times
         cindex = self.cindex
         args = self._args_for(path)
         if args is None:
@@ -694,23 +1593,33 @@ class AstEngine:
                 # bench/examples need gtest/benchmark include paths the
                 # default args don't carry; the textual rules are exact
                 # enough there.
-                rule_backward_age_text(rel, code, findings)
-                rule_exp_pow_text(rel, code, findings)
-                rule_deser_bounds(rel, code, findings)
-                rule_guarded_by(rel, code, findings)
+                TextEngine().analyze(rel, path, raw, code, findings,
+                                     rules, times)
                 return
             args = self.args
-        tu = self.index.parse(str(path), args=args)
-        for cur in tu.cursor.walk_preorder():
-            if cur.location.file is None or \
-                    cur.location.file.name != str(path):
-                continue
-            if cur.kind == cindex.CursorKind.BINARY_OPERATOR:
-                self._check_backward_age(rel, cur, findings)
-            elif cur.kind == cindex.CursorKind.CALL_EXPR:
-                self._check_exp_pow(rel, cur, findings)
-        rule_deser_bounds(rel, code, findings)
-        rule_guarded_by(rel, code, findings)
+        if rules & {"backward-age", "exp-pow"}:
+            t0 = time.perf_counter()
+            tu = self.index.parse(str(path), args=args)
+            for cur in tu.cursor.walk_preorder():
+                if cur.location.file is None or \
+                        cur.location.file.name != str(path):
+                    continue
+                if cur.kind == cindex.CursorKind.BINARY_OPERATOR and \
+                        "backward-age" in rules:
+                    self._check_backward_age(rel, cur, findings)
+                elif cur.kind == cindex.CursorKind.CALL_EXPR and \
+                        "exp-pow" in rules:
+                    self._check_exp_pow(rel, cur, findings)
+            # one TU parse serves both AST rules; bill them jointly
+            times["backward-age+exp-pow"] = \
+                times.get("backward-age+exp-pow", 0.0) \
+                + (time.perf_counter() - t0)
+        if "deser-bounds" in rules:
+            _timed(times, "deser-bounds", rule_deser_bounds,
+                   rel, code, findings)
+        if "guarded-by" in rules:
+            _timed(times, "guarded-by", rule_guarded_by,
+                   rel, code, findings)
 
     def _operands(self, cur):
         kids = list(cur.get_children())
@@ -881,6 +1790,122 @@ struct Thing {
   int state_ FWDECAY_GUARDED_BY(mu_);
 };
 """}, None),
+    ("taint unguarded wire length reaching resize caught", {
+        "src/server/load.h": """
+bool LoadVec(ByteReader& r, std::vector<int>* out) {
+  std::uint32_t n = 0;
+  if (!r.ReadU32(&n)) return false;
+  out->resize(n);
+  return true;
+}
+"""}, "taint: `n`"),
+    ("taint guarded wire length clean", {
+        "src/server/load.h": """
+bool LoadVec(ByteReader& r, std::vector<int>* out) {
+  std::uint32_t n = 0;
+  if (!r.ReadU32(&n) || n > r.Remaining()) return false;
+  out->resize(n);
+  return true;
+}
+"""}, None),
+    ("taint interprocedural flow caught", {
+        "src/server/fill.h": """
+void FillVec(std::vector<int>* v, std::uint32_t n) { v->resize(n); }
+""",
+        "src/server/load.h": """
+bool LoadVec(ByteReader& r, std::vector<int>* out) {
+  std::uint32_t n = 0;
+  if (!r.ReadU32(&n)) return false;
+  FillVec(out, n);
+  return true;
+}
+"""}, "flows into argument 1 of FillVec()"),
+    ("taint interprocedural guarded clean", {
+        "src/server/fill.h": """
+void FillVec(std::vector<int>* v, std::uint32_t n) { v->resize(n); }
+""",
+        "src/server/load.h": """
+bool LoadVec(ByteReader& r, std::vector<int>* out) {
+  std::uint32_t n = 0;
+  if (!r.ReadU32(&n) || n > r.Remaining()) return false;
+  FillVec(out, n);
+  return true;
+}
+"""}, None),
+    ("taint escape annotation accepted", {
+        "src/server/load.h": """
+bool LoadVec(ByteReader& r, std::vector<int>* out) {
+  std::uint32_t n = 0;
+  if (!r.ReadU32(&n)) return false;
+  // fwdecay: taint-ok(selftest: n is vetted by the harness cap)
+  out->resize(n);
+  return true;
+}
+"""}, None),
+    ("taint numeric parse of untrusted text caught", {
+        "src/server/manifest.h": """
+bool LoadCount(ByteReader& r, std::vector<int>* out) {
+  std::string text;
+  if (!r.ReadString(&text)) return false;
+  std::uint64_t v = 0;
+  ParseU64(text, &v);
+  out->reserve(v);
+  return true;
+}
+"""}, "taint: `v`"),
+    ("hotpath-purity vector under Consume caught", {
+        "src/dsms/hot.h": """
+struct Q {
+  void Consume(const PacketBatch& batch) {
+    std::vector<int> tmp;
+    tmp.push_back(1);
+  }
+};
+"""}, "hotpath-purity: owning `vector`"),
+    ("hotpath-purity member scratch clean", {
+        "src/dsms/hot.h": """
+struct Q {
+  void Consume(const PacketBatch& batch) {
+    scratch_.clear();
+    scratch_.push_back(1);
+  }
+  std::vector<int> scratch_;
+};
+"""}, None),
+    ("hotpath-purity interprocedural allocation caught", {
+        "src/dsms/hot.h": """
+inline void RebuildIndex() { auto p = std::make_unique<int>(3); }
+struct Q {
+  void Consume(const PacketBatch& batch) { RebuildIndex(); }
+};
+"""}, "heap allocation (`make_unique`)"),
+    ("hotpath-purity virtual outside vtable set caught", {
+        "src/dsms/hot.h": """
+struct AggState {
+  virtual void Update(double w) = 0;
+  virtual double DebugWeight() const = 0;
+};
+struct Q {
+  void Consume(const PacketBatch& batch) {
+    agg_->Update(1.0);
+    agg_->DebugWeight();
+  }
+  AggState* agg_;
+};
+"""}, "virtual dispatch to DebugWeight()"),
+    ("hotpath-purity cold annotation accepted", {
+        "src/dsms/hot.h": """
+struct Q {
+  void Consume(const PacketBatch& batch) {
+    if (Stale()) {
+      // fwdecay: hotpath-cold(selftest: rebuild is off the fast path)
+      RebuildCold();
+    }
+  }
+  void RebuildCold() { big_.reserve(100); }
+  std::vector<int> big_;
+};
+"""}, None),
 ]
 
 
@@ -889,12 +1914,18 @@ def run_selftest() -> int:
     for name, files, want in SELFTEST_CASES:
         findings = []
         lock_order = LockOrderAnalysis()
+        taint = TaintAnalysis()
+        purity = HotpathPurityAnalysis()
         for rel, raw in sorted(files.items()):
             code = strip_comments_and_strings(raw)
             rule_atomics_order(rel, raw, code, findings)
             rule_hotpath_lock(rel, raw, code, findings)
             lock_order.add_file(rel, raw, code)
+            taint.add_file(rel, raw, code)
+            purity.add_file(rel, raw, code)
         lock_order.finish(findings)
+        taint.finish(findings)
+        purity.finish(findings)
         msgs = [msg for _, _, msg in findings]
         if want is None:
             ok = not msgs
@@ -910,6 +1941,41 @@ def run_selftest() -> int:
     return 0 if failures == 0 else 2
 
 
+# Per-file rules run in pool workers; the cross-file fixpoints (which
+# need every file's text at once) stay in the parent process.
+PER_FILE_RULES = frozenset({
+    "backward-age", "exp-pow", "deser-bounds", "guarded-by",
+    "atomics-order", "hotpath-lock",
+})
+
+_WORKER_STATE = None
+
+
+def _worker_init(engine_kind, root_str, compile_commands, rules):
+    global _WORKER_STATE
+    root = pathlib.Path(root_str)
+    engine = make_engine(engine_kind, root, compile_commands)
+    if engine is None:  # e.g. libclang vanished between fork and init
+        engine = TextEngine()
+    _WORKER_STATE = (engine, root, frozenset(rules))
+
+
+def _worker_analyze(rel):
+    engine, root, rules = _WORKER_STATE
+    path = root / rel
+    raw = path.read_text(encoding="utf-8")
+    code = strip_comments_and_strings(raw)
+    findings, times = [], {}
+    engine.analyze(rel, path, raw, code, findings, rules, times)
+    if "atomics-order" in rules:
+        _timed(times, "atomics-order", rule_atomics_order,
+               rel, raw, code, findings)
+    if "hotpath-lock" in rules:
+        _timed(times, "hotpath-lock", rule_hotpath_lock,
+               rel, raw, code, findings)
+    return findings, times
+
+
 def main() -> int:
     ap = argparse.ArgumentParser(
         description="fwdecay semantic analyzer (see module docstring)")
@@ -923,38 +1989,96 @@ def main() -> int:
     ap.add_argument("--selftest", action="store_true",
                     help="run the embedded known-bad/known-good fixtures "
                          "through the rules and exit")
+    ap.add_argument("--rules", default="all", metavar="R1,R2",
+                    help="comma-separated rule subset (default: all); "
+                         "known rules: " + ",".join(sorted(ALL_RULES)))
+    ap.add_argument("--jobs", type=int, default=0, metavar="N",
+                    help="process-pool width for the per-file rules "
+                         "(default: cpu count; 1 disables the pool)")
+    ap.add_argument("--findings-out", default=None, metavar="PATH",
+                    help="also write findings (file:line: message per "
+                         "line) to PATH, for CI artifacts")
     args = ap.parse_args()
     if args.selftest:
         return run_selftest()
+    if args.rules == "all":
+        rules = ALL_RULES
+    else:
+        rules = frozenset(r for r in args.rules.split(",") if r)
+        unknown = rules - ALL_RULES
+        if unknown:
+            print(f"analyze.py: unknown rule(s): {', '.join(sorted(unknown))}",
+                  file=sys.stderr)
+            return 2
     root = (pathlib.Path(args.root) if args.root
             else pathlib.Path(__file__).resolve().parent.parent)
 
     engine = make_engine(args.engine, root, args.compile_commands)
     if engine is None:
         return 2
+    jobs = args.jobs if args.jobs > 0 else (os.cpu_count() or 1)
 
-    findings = []
-    count = 0
-    lock_order = LockOrderAnalysis()
+    rels = []
     for top in SCAN_DIRS:
         for path in sorted((root / top).rglob("*")):
-            if path.suffix not in SRC_SUFFIXES or not path.is_file():
-                continue
-            rel = path.relative_to(root).as_posix()
-            raw = path.read_text(encoding="utf-8")
-            code = strip_comments_and_strings(raw)
-            engine.analyze(rel, path, raw, code, findings)
-            rule_atomics_order(rel, raw, code, findings)
-            rule_hotpath_lock(rel, raw, code, findings)
-            lock_order.add_file(rel, raw, code)
-            count += 1
-    lock_order.finish(findings)
+            if path.suffix in SRC_SUFFIXES and path.is_file():
+                rels.append(path.relative_to(root).as_posix())
 
-    for rel, line, msg in findings:
-        print(f"{rel}:{line}: {msg}")
+    findings = []
+    times = {}
+    per_file = rules & PER_FILE_RULES
+    lock_order = LockOrderAnalysis() if "lock-order" in rules else None
+    taint = TaintAnalysis() if "taint" in rules else None
+    purity = HotpathPurityAnalysis() if "hotpath-purity" in rules else None
+
+    pooled = per_file and jobs > 1 and len(rels) > 1
+    if pooled:
+        import multiprocessing as mp
+        with mp.Pool(min(jobs, len(rels)), _worker_init,
+                     (engine.name, str(root), args.compile_commands,
+                      per_file)) as pool:
+            for fnd, t in pool.imap_unordered(_worker_analyze, rels):
+                findings.extend(fnd)
+                for k, v in t.items():
+                    times[k] = times.get(k, 0.0) + v
+    for rel in rels:
+        path = root / rel
+        raw = path.read_text(encoding="utf-8")
+        code = strip_comments_and_strings(raw)
+        if per_file and not pooled:
+            engine.analyze(rel, path, raw, code, findings, per_file,
+                           times)
+            if "atomics-order" in per_file:
+                _timed(times, "atomics-order", rule_atomics_order,
+                       rel, raw, code, findings)
+            if "hotpath-lock" in per_file:
+                _timed(times, "hotpath-lock", rule_hotpath_lock,
+                       rel, raw, code, findings)
+        if lock_order:
+            lock_order.add_file(rel, raw, code)
+        if taint:
+            taint.add_file(rel, raw, code)
+        if purity:
+            purity.add_file(rel, raw, code)
+    if lock_order:
+        _timed(times, "lock-order", lock_order.finish, findings)
+    if taint:
+        _timed(times, "taint", taint.finish, findings)
+    if purity:
+        _timed(times, "hotpath-purity", purity.finish, findings)
+
+    findings = sorted(set(findings))
+    lines = [f"{rel}:{line}: {msg}" for rel, line, msg in findings]
+    for line in lines:
+        print(line)
+    if args.findings_out:
+        pathlib.Path(args.findings_out).write_text(
+            "".join(l + "\n" for l in lines), encoding="utf-8")
+    print("analyze.py: rule wall time: "
+          + ", ".join(f"{k} {v:.2f}s" for k, v in sorted(times.items())))
     status = "FAILED" if findings else "OK"
-    print(f"analyze.py[{engine.name}]: {count} files analyzed, "
-          f"{len(findings)} finding(s) [{status}]")
+    print(f"analyze.py[{engine.name}]: {len(rels)} files analyzed, "
+          f"{len(findings)} finding(s), jobs={jobs} [{status}]")
     return 1 if findings else 0
 
 

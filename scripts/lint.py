@@ -57,6 +57,18 @@ Enforced invariants (each maps to a documented repo convention):
              (DESIGN.md §8).  References (`const ValueColumn&`) and
              span parameters are fine; reuse of preallocated member
              scratch is the sanctioned pattern.
+  escape     Every `// fwdecay: <kind>(<reason>)` analyzer escape
+             (relaxed-ok, lock-order-ok, hotpath-lock-ok, taint-ok,
+             hotpath-cold — the hatches scripts/analyze.py honors)
+             must use a known kind and carry a non-empty, non-
+             placeholder reason: an unexplained suppression is
+             indistinguishable from a silenced bug at review time.
+             Stale suppressions are flagged too: analyze.py applies an
+             escape to its own line or the line below, so an escape
+             annotating a blank/comment-only line suppresses nothing,
+             a relaxed-ok with no memory_order_relaxed in reach lost
+             its atomic, and a hotpath-lock-ok with no lock
+             acquisition in reach lost its lock.
 
 Usage: scripts/lint.py [--root DIR]
 Exit status is 0 when clean, 1 when any finding is reported.
@@ -111,6 +123,71 @@ METRIC_NAME_OK = re.compile(r"^fwdecay_[a-z0-9_]+$")
 HOTPATH_FUNC = re.compile(r"\b(?:UpdateGroup|UpdateBatch)\s*\(")
 HOTPATH_CONTAINER = re.compile(
     r"\bstd\s*::\s*vector\s*<\s*Value\s*>|\bValueColumn\b")
+
+# Analyzer escape hatches (`// fwdecay: <kind>(<reason>)`). The negative
+# lookahead keeps `namespace fwdecay::server` out of the match; the
+# mandatory `(` mirrors analyze.py, whose escape regexes only fire on
+# the parenthesized form (a bare `fwdecay: relaxed-ok` in prose is
+# documentation, and an unparenthesized real escape suppresses nothing,
+# so the analyzer still reports the underlying finding).
+ESCAPE_RE = re.compile(r"\bfwdecay:(?!:)\s*([A-Za-z][\w-]*)\s*\(([^()]*)\)")
+ESCAPE_KINDS = frozenset(
+    ("relaxed-ok", "lock-order-ok", "hotpath-lock-ok", "taint-ok",
+     "hotpath-cold"))
+# A reason that is only whitespace or a template placeholder explains
+# nothing.
+ESCAPE_PLACEHOLDER = re.compile(r"^\s*(<[^>]*>)?\s*$")
+# Kind-specific anchors: what the escape must be suppressing, expected
+# on the escape's own line or the one below (mirroring analyze.py's
+# `annotated()` reach).
+ESCAPE_ANCHORS = {
+    "relaxed-ok": re.compile(r"\bmemory_order_relaxed\b"),
+    "hotpath-lock-ok": re.compile(
+        r"\b(?:MutexLock|ReaderMutexLock|lock_guard|unique_lock"
+        r"|scoped_lock|shared_lock)\b|\.\s*lock\s*\("),
+}
+
+
+def check_escapes(rel: str, text: str, code: str, findings: list) -> None:
+    raw_lines = text.split("\n")
+    code_lines = code.split("\n")
+    for idx, raw in enumerate(raw_lines):
+        for m in ESCAPE_RE.finditer(raw):
+            line = idx + 1
+            kind = m.group(1)
+            if kind not in ESCAPE_KINDS:
+                findings.append(
+                    (rel, line,
+                     f"escape: unknown analyzer escape kind `{kind}` "
+                     "(a typo here silently suppresses nothing; known: "
+                     f"{', '.join(sorted(ESCAPE_KINDS))})"))
+                continue
+            reason = m.group(2)
+            if ESCAPE_PLACEHOLDER.match(reason):
+                findings.append(
+                    (rel, line,
+                     f"escape: `fwdecay: {kind}` without a reason — every "
+                     "suppression must say why it is sound: "
+                     f"`// fwdecay: {kind}(<reason>)`"))
+                continue
+            # Stale-suppression check over the escape's reach (its line
+            # and the next): the stripped code there must contain the
+            # kind's anchor, or at least *some* code to annotate.
+            reach_code = "\n".join(code_lines[idx:idx + 2])
+            anchor = ESCAPE_ANCHORS.get(kind)
+            if anchor is not None:
+                if not anchor.search(reach_code):
+                    findings.append(
+                        (rel, line,
+                         f"escape: stale `fwdecay: {kind}` — nothing it "
+                         "suppresses on this line or the next (the "
+                         "annotated code moved or was deleted)"))
+            elif not reach_code.strip():
+                findings.append(
+                    (rel, line,
+                     f"escape: stale `fwdecay: {kind}` — it annotates a "
+                     "blank or comment-only line, so analyze.py applies "
+                     "it to nothing"))
 
 
 def match_forward(code: str, i: int, open_ch: str, close_ch: str) -> int:
@@ -170,6 +247,12 @@ def strip_comments_and_strings(text: str) -> str:
             j = n - 2 if j == -1 else j
             out.append("\n" * text.count("\n", i, j + 2))
             i = j + 2
+        elif (c == "'" and 0 < i and i + 1 < n
+              and text[i - 1] in "0123456789abcdefABCDEF"
+              and text[i + 1] in "0123456789abcdefABCDEF"):
+            # C++14 digit separator (60'000), not a char literal: an
+            # unmatched open quote here would swallow lines of code.
+            i += 1
         elif c in "\"'":
             quote = c
             j = i + 1
@@ -238,6 +321,7 @@ def lint_file(root: pathlib.Path, path: pathlib.Path, findings: list) -> None:
                      findings)
     if rel.startswith("src/"):
         check_hotpath(rel, code, findings)
+    check_escapes(rel, text, code, findings)
     if rel.startswith("src/dsms/"):
         scan_pattern(rel, code, METRICS_CLOCK_BANNED,
                      "ad-hoc clock read in dsms/ (time through util/timer.h "

@@ -31,6 +31,12 @@
 #                     ingests, polls, scrapes /metrics, SIGKILLs it,
 #                     restarts on the same data dir, and verifies every
 #                     acknowledged batch survived       [default: OFF]
+#   FWDECAY_ANALYZE   dataflow prepends the interprocedural static
+#                     analysis gate (DESIGN.md §12): the analyzer
+#                     selftest, then the full-tree taint +
+#                     hotpath-purity pass — the same invocation as the
+#                     CI `dataflow` job. Any finding aborts the run
+#                     before the build.                 [default: off]
 #   CMAKE_GENERATOR   only applied when BUILD_DIR is fresh; an existing
 #                     tree keeps whatever generator configured it (cmake
 #                     hard-errors on a generator mismatch otherwise).
@@ -48,6 +54,16 @@ FWDECAY_SERVER="${FWDECAY_SERVER:-OFF}"
 # runtime; being exported here is all the passthrough they need.
 export FWDECAY_SCHED_SEED="${FWDECAY_SCHED_SEED:-}"
 export FWDECAY_SCHED_REPLAY="${FWDECAY_SCHED_REPLAY:-}"
+FWDECAY_ANALYZE="${FWDECAY_ANALYZE:-}"
+
+if [[ "${FWDECAY_ANALYZE}" == "dataflow" ]]; then
+  # Mirrors CI's `dataflow` job: fixtures must be caught, tree must be
+  # clean. Engine selection stays `auto` so the gate also runs on
+  # toolchains without python3-clang (the rule set is identical).
+  python3 scripts/analyze.py --selftest
+  python3 scripts/analyze.py --rules taint,hotpath-purity \
+    --findings-out dataflow-findings.txt
+fi
 
 CMAKE_ARGS=(-B "${BUILD_DIR}" -S . "-DCMAKE_BUILD_TYPE=${CMAKE_BUILD_TYPE}"
             "-DFWDECAY_AUDIT=${FWDECAY_AUDIT}"

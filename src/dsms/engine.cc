@@ -492,6 +492,7 @@ QueryExecution::Group* QueryExecution::FindOrCreateHighGroup(
     while (high_group_count_ >= policy_.max_groups) ShedLowestWeightGroup();
   }
   std::vector<Group>& bucket = high_->map[hash];
+  // fwdecay: hotpath-cold(new-group admission: states allocated once per group, not per row)
   bucket.push_back(Group{std::move(key), MakeAggStates(plan_->agg_names_),
                          0.0, 0});
   ++high_group_count_;
@@ -555,6 +556,7 @@ void QueryExecution::EvictToHigh(LowSlot& slot) {
   Group* target =
       FindOrCreateHighGroup(slot.hash, std::move(slot.group.key));
   for (std::size_t i = 0; i < target->aggs.size(); ++i) {
+    // fwdecay: hotpath-cold(amortized-rare eviction; Merge runs once per evicted group, not per row)
     target->aggs[i]->Merge(*slot.group.aggs[i]);
   }
   target->weight += slot.group.weight;
@@ -587,10 +589,12 @@ void QueryExecution::Consume(const PacketBatch& batch) {
   metrics::ScopedTimerSample batch_timer(
       sampled_reservoir,
       sampled_reservoir != nullptr
+          // fwdecay: hotpath-cold(1-in-64 sampled batch timer reads the clock)
           ? metrics::MetricsRegistry::Instance().NowSeconds()
           : 0.0);
   if (FWDECAY_METRICS_ENABLED &&
       ++metrics_batch_seq_ % kMetricsFlushPeriod == 0) {
+    // fwdecay: hotpath-cold(1-in-64 periodic metrics flush)
     FlushMetrics();
   }
 
@@ -635,10 +639,12 @@ void QueryExecution::ConsumeFiltered(const PacketBatch& batch,
   metrics::ScopedTimerSample batch_timer(
       sampled_reservoir,
       sampled_reservoir != nullptr
+          // fwdecay: hotpath-cold(1-in-64 sampled batch timer reads the clock)
           ? metrics::MetricsRegistry::Instance().NowSeconds()
           : 0.0);
   if (FWDECAY_METRICS_ENABLED &&
       ++metrics_batch_seq_ % kMetricsFlushPeriod == 0) {
+    // fwdecay: hotpath-cold(1-in-64 periodic metrics flush)
     FlushMetrics();
   }
 
@@ -731,6 +737,7 @@ void QueryExecution::AggregateSelection(const PacketBatch& batch,
         ++low_occupied_;
         slot.hash = hash;
         slot.group.key = std::move(key_scratch_);
+        // fwdecay: hotpath-cold(low-slot admission: states allocated once per group, not per row)
         slot.group.aggs = MakeAggStates(plan_->agg_names_);
       }
       target = &slot.group;
@@ -1210,6 +1217,17 @@ namespace {
 // occupancy per shard.
 constexpr std::uint64_t kShardRouteSeed = 0x5ca1ab1e0ddba11ULL;
 
+// Per-ingest-thread router scratch for ShardedQueryExecution::Consume.
+// Capacity is retained across batches, so steady-state routing
+// allocates nothing; thread_local (not members) because Consume() is
+// documented safe from any number of ingest threads concurrently.
+struct RouterScratch {
+  BatchEvalScratch eval;
+  std::vector<std::uint32_t> sel;
+  std::vector<std::vector<Value>> key_cols;
+  std::vector<std::vector<std::uint32_t>> shard_rows;
+};
+
 }  // namespace
 
 ShardedQueryExecution::ShardedQueryExecution(const CompiledQuery& plan,
@@ -1238,55 +1256,60 @@ void ShardedQueryExecution::Consume(const PacketBatch& batch) {
   const std::size_t n_in = batch.size();
   if (n_in == 0) return;
 
-  // Router state is local to the call: filtering and hashing run
-  // lock-free on the ingest thread; only the per-shard application
-  // takes that shard's lock.
-  BatchEvalScratch scratch;
-  std::vector<std::uint32_t> sel(n_in);
+  // Router state is thread-local (see RouterScratch): filtering and
+  // hashing run lock-free on each ingest thread against capacity-
+  // retained scratch; only the per-shard application takes that
+  // shard's lock.
+  thread_local RouterScratch rs;
+  rs.sel.resize(n_in);
   std::size_t n = 0;
   if (plan_->protocol_filter_ != 0) {
     const std::uint8_t* proto = batch.protocol();
     for (std::size_t i = 0; i < n_in; ++i) {
       if (proto[i] == plan_->protocol_filter_) {
-        sel[n++] = static_cast<std::uint32_t>(i);
+        rs.sel[n++] = static_cast<std::uint32_t>(i);
       }
     }
   } else {
     for (std::size_t i = 0; i < n_in; ++i) {
-      sel[i] = static_cast<std::uint32_t>(i);
+      rs.sel[i] = static_cast<std::uint32_t>(i);
     }
     n = n_in;
   }
   if (plan_->where_ != nullptr && n > 0) {
-    n = EvalPredicateBatch(*plan_->where_, batch, sel.data(), n, &scratch);
+    n = EvalPredicateBatch(*plan_->where_, batch, rs.sel.data(), n,
+                           &rs.eval);
   }
   if (n == 0) return;
 
   const std::size_t num_groups = plan_->group_exprs_.size();
-  std::vector<std::vector<Value>> key_cols(num_groups);
+  if (rs.key_cols.size() < num_groups) rs.key_cols.resize(num_groups);
   for (std::size_t g = 0; g < num_groups; ++g) {
-    EvalExprBatch(*plan_->group_exprs_[g], batch, sel.data(), n, &scratch,
-                  &key_cols[g]);
+    EvalExprBatch(*plan_->group_exprs_[g], batch, rs.sel.data(), n,
+                  &rs.eval, &rs.key_cols[g]);
   }
 
-  std::vector<std::vector<std::uint32_t>> shard_rows(shards_.size());
+  if (rs.shard_rows.size() < shards_.size()) {
+    rs.shard_rows.resize(shards_.size());
+  }
+  for (std::size_t s = 0; s < shards_.size(); ++s) rs.shard_rows[s].clear();
   for (std::size_t i = 0; i < n; ++i) {
     std::uint64_t h = 0x12345678abcdef01ULL;
     for (std::size_t g = 0; g < num_groups; ++g) {
-      h = HashCombine(h, key_cols[g][i].Hash());
+      h = HashCombine(h, rs.key_cols[g][i].Hash());
     }
     const std::size_t s =
         static_cast<std::size_t>(HashU64(h, kShardRouteSeed) % shards_.size());
-    shard_rows[s].push_back(sel[i]);
+    rs.shard_rows[s].push_back(rs.sel[i]);
   }
 
   for (std::size_t s = 0; s < shards_.size(); ++s) {
-    if (shard_rows[s].empty()) continue;
+    if (rs.shard_rows[s].empty()) continue;
     Shard& shard = *shards_[s];
     // fwdecay: hotpath-lock-ok(per-shard lock amortized over the shard's whole row slice)
     MutexLock lock(shard.mu);
-    shard.exec->ConsumeFiltered(batch, shard_rows[s].data(),
-                                shard_rows[s].size());
+    shard.exec->ConsumeFiltered(batch, rs.shard_rows[s].data(),
+                                rs.shard_rows[s].size());
   }
 }
 

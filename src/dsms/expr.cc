@@ -192,16 +192,30 @@ enum class ScalarFn {
   kExp, kLn, kSqrt, kAbs, kFloor, kPow, kPolyweight, kExpweight,
 };
 
+// Case-insensitive match against a lowercase literal without building
+// a lowered copy: the resolvers below run once per batch per expression
+// node, and the batched evaluator must stay allocation-free.
+bool NameIs(const std::string& name, const char* lower) {
+  const char* p = lower;
+  for (char c : name) {
+    if (*p == '\0' ||
+        std::tolower(static_cast<unsigned char>(c)) != *p) {
+      return false;
+    }
+    ++p;
+  }
+  return *p == '\0';
+}
+
 ScalarFn ResolveScalarFn(const std::string& name) {
-  const std::string fn = Lower(name);
-  if (fn == "exp") return ScalarFn::kExp;
-  if (fn == "ln") return ScalarFn::kLn;
-  if (fn == "sqrt") return ScalarFn::kSqrt;
-  if (fn == "abs") return ScalarFn::kAbs;
-  if (fn == "floor") return ScalarFn::kFloor;
-  if (fn == "pow") return ScalarFn::kPow;
-  if (fn == "polyweight") return ScalarFn::kPolyweight;
-  if (fn == "expweight") return ScalarFn::kExpweight;
+  if (NameIs(name, "exp")) return ScalarFn::kExp;
+  if (NameIs(name, "ln")) return ScalarFn::kLn;
+  if (NameIs(name, "sqrt")) return ScalarFn::kSqrt;
+  if (NameIs(name, "abs")) return ScalarFn::kAbs;
+  if (NameIs(name, "floor")) return ScalarFn::kFloor;
+  if (NameIs(name, "pow")) return ScalarFn::kPow;
+  if (NameIs(name, "polyweight")) return ScalarFn::kPolyweight;
+  if (NameIs(name, "expweight")) return ScalarFn::kExpweight;
   FWDECAY_CHECK_MSG(false, "unknown scalar function (aggregates cannot be "
                            "evaluated per tuple)");
   return ScalarFn::kExp;
@@ -403,15 +417,14 @@ enum class ColumnId {
 };
 
 ColumnId ResolveColumn(const std::string& name) {
-  const std::string n = Lower(name);
-  if (n == "time") return ColumnId::kTime;
-  if (n == "dtime") return ColumnId::kDtime;
-  if (n == "srcip") return ColumnId::kSrcIp;
-  if (n == "destip") return ColumnId::kDestIp;
-  if (n == "srcport") return ColumnId::kSrcPort;
-  if (n == "destport") return ColumnId::kDestPort;
-  if (n == "len") return ColumnId::kLen;
-  if (n == "protocol") return ColumnId::kProtocol;
+  if (NameIs(name, "time")) return ColumnId::kTime;
+  if (NameIs(name, "dtime")) return ColumnId::kDtime;
+  if (NameIs(name, "srcip")) return ColumnId::kSrcIp;
+  if (NameIs(name, "destip")) return ColumnId::kDestIp;
+  if (NameIs(name, "srcport")) return ColumnId::kSrcPort;
+  if (NameIs(name, "destport")) return ColumnId::kDestPort;
+  if (NameIs(name, "len")) return ColumnId::kLen;
+  if (NameIs(name, "protocol")) return ColumnId::kProtocol;
   FWDECAY_CHECK_MSG(false, "unknown column");
   return ColumnId::kTime;
 }
@@ -591,22 +604,26 @@ void EvalExprBatch(const Expr& e, const PacketBatch& batch,
     case Expr::Kind::kCall: {
       const ScalarFn fn = ResolveScalarFn(e.name);
       // Evaluate every argument as a column, then apply the resolved
-      // function row by row through a reused argument buffer.
-      std::vector<std::vector<Value>*> arg_cols;
-      arg_cols.reserve(e.args.size());
+      // function row by row. Both the argument columns and the pointer
+      // list holding them come from the scratch pools, so steady-state
+      // evaluation allocates nothing.
+      std::vector<std::vector<Value>*>* arg_cols =
+          scratch->AcquireColumnList();
+      arg_cols->reserve(e.args.size());
       for (const auto& a : e.args) {
-        arg_cols.push_back(scratch->AcquireColumn());
-        EvalExprBatch(*a, batch, sel, n, scratch, arg_cols.back());
+        arg_cols->push_back(scratch->AcquireColumn());
+        EvalExprBatch(*a, batch, sel, n, scratch, arg_cols->back());
       }
       ScratchColumn row_args(scratch);
       row_args->resize(e.args.size());
       for (std::size_t i = 0; i < n; ++i) {
-        for (std::size_t a = 0; a < arg_cols.size(); ++a) {
-          (*row_args)[a] = (*arg_cols[a])[i];
+        for (std::size_t a = 0; a < arg_cols->size(); ++a) {
+          (*row_args)[a] = (*(*arg_cols)[a])[i];
         }
         out->push_back(ApplyScalarFn(fn, *row_args));
       }
-      for (std::vector<Value>* col : arg_cols) scratch->ReleaseColumn(col);
+      for (std::vector<Value>* col : *arg_cols) scratch->ReleaseColumn(col);
+      scratch->ReleaseColumnList(arg_cols);
       return;
     }
     case Expr::Kind::kBinary: {

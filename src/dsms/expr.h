@@ -114,6 +114,23 @@ class BatchEvalScratch {
     free_columns_.push_back(col);
   }
 
+  /// Borrows an empty column-pointer list (kCall argument columns;
+  /// calls nest, so these pool like the columns themselves).
+  std::vector<std::vector<Value>*>* AcquireColumnList() {
+    if (free_column_lists_.empty()) {
+      owned_column_lists_.push_back(
+          std::make_unique<std::vector<std::vector<Value>*>>());
+      return owned_column_lists_.back().get();
+    }
+    std::vector<std::vector<Value>*>* list = free_column_lists_.back();
+    free_column_lists_.pop_back();
+    return list;
+  }
+  void ReleaseColumnList(std::vector<std::vector<Value>*>* list) {
+    list->clear();
+    free_column_lists_.push_back(list);
+  }
+
   /// Borrows an empty row-index vector (for selection merging).
   std::vector<std::uint32_t>* AcquireIndex() {
     if (free_indexes_.empty()) {
@@ -133,6 +150,9 @@ class BatchEvalScratch {
  private:
   std::vector<std::unique_ptr<std::vector<Value>>> owned_columns_;
   std::vector<std::vector<Value>*> free_columns_;
+  std::vector<std::unique_ptr<std::vector<std::vector<Value>*>>>
+      owned_column_lists_;
+  std::vector<std::vector<std::vector<Value>*>*> free_column_lists_;
   std::vector<std::unique_ptr<std::vector<std::uint32_t>>> owned_indexes_;
   std::vector<std::vector<std::uint32_t>*> free_indexes_;
 };

@@ -473,6 +473,7 @@ class FdhhUdaf : public AggState {
     if (sketch_ == nullptr) {
       phi_ = OptDouble(args, 2, 0.05);
       const double eps = OptDouble(args, 3, 0.01);
+      // fwdecay: hotpath-cold(one-time lazy sketch init on the group's first update)
       sketch_ = std::make_unique<WeightedSpaceSaving>(
           static_cast<std::size_t>(std::ceil(1.0 / eps)));
     }
@@ -489,6 +490,7 @@ class FdhhUdaf : public AggState {
     if (sketch_ == nullptr) {
       phi_ = OptColDouble(args_columns, 2, rows.front(), 0.05);
       const double eps = OptColDouble(args_columns, 3, rows.front(), 0.01);
+      // fwdecay: hotpath-cold(one-time lazy sketch init on the group's first update)
       sketch_ = std::make_unique<WeightedSpaceSaving>(
           static_cast<std::size_t>(std::ceil(1.0 / eps)));
     }
@@ -552,6 +554,7 @@ class UnaryhhUdaf : public AggState {
     if (sketch_ == nullptr) {
       phi_ = OptDouble(args, 1, 0.05);
       const double eps = OptDouble(args, 2, 0.01);
+      // fwdecay: hotpath-cold(one-time lazy sketch init on the group's first update)
       sketch_ = std::make_unique<UnarySpaceSaving>(
           static_cast<std::size_t>(std::ceil(1.0 / eps)));
     }
@@ -605,6 +608,7 @@ class SwhhUdaf : public AggState {
     if (sketch_ == nullptr) {
       phi_ = OptDouble(args, 2, 0.05);
       const double eps = OptDouble(args, 3, 0.01);
+      // fwdecay: hotpath-cold(one-time lazy sketch init on the group's first update)
       sketch_ = std::make_unique<SlidingWindowHeavyHitters>(eps);
     }
     const double ts = args[0].AsDouble();
@@ -669,6 +673,7 @@ class EhdsumUdaf : public AggState {
     FWDECAY_CHECK_MSG(args.size() >= 2, "EHDSUM(time, value [, eps])");
     if (agg_ == nullptr) {
       const double eps = OptDouble(args, 2, 0.1);
+      // fwdecay: hotpath-cold(one-time lazy sketch init on the group's first update)
       agg_ = std::make_unique<BackwardDecayedAggregator>(eps,
                                                          /*value_bits=*/16);
     }
@@ -788,6 +793,7 @@ class FdquantileUdaf : public AggState {
       phi_ = args[2].AsDouble();
       const int bits = static_cast<int>(OptSize(args, 3, 16));
       const double eps = OptDouble(args, 4, 0.01);
+      // fwdecay: hotpath-cold(one-time lazy sketch init on the group's first update)
       digest_ = std::make_unique<QDigest>(bits, eps);
     }
     const double w = args[1].AsDouble();
@@ -805,6 +811,7 @@ class FdquantileUdaf : public AggState {
       const int bits =
           static_cast<int>(OptColSize(args_columns, 3, rows.front(), 16));
       const double eps = OptColDouble(args_columns, 4, rows.front(), 0.01);
+      // fwdecay: hotpath-cold(one-time lazy sketch init on the group's first update)
       digest_ = std::make_unique<QDigest>(bits, eps);
     }
     const ValueColumn& values = args_columns[0];
@@ -869,6 +876,7 @@ class FddistinctUdaf : public AggState {
   void Update(std::span<const Value> args) override {
     FWDECAY_CHECK_MSG(args.size() >= 2, "FDDISTINCT(key, weight [, k])");
     if (sketch_ == nullptr) {
+      // fwdecay: hotpath-cold(one-time lazy sketch init on the group's first update)
       sketch_ = std::make_unique<DominanceNormSketch>(OptSize(args, 2, 1024));
     }
     const double w = args[1].AsDouble();
@@ -881,6 +889,7 @@ class FddistinctUdaf : public AggState {
     FWDECAY_CHECK_MSG(args_columns.size() >= 2, "FDDISTINCT(key, weight [, k])");
     if (rows.empty()) return;
     if (sketch_ == nullptr) {
+      // fwdecay: hotpath-cold(one-time lazy sketch init on the group's first update)
       sketch_ = std::make_unique<DominanceNormSketch>(
           OptColSize(args_columns, 2, rows.front(), 1024));
     }

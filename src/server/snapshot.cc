@@ -11,6 +11,18 @@ namespace {
 
 constexpr char kManifestMagic[] = "FWDCUR1";
 
+// Structural limits for a CURRENT manifest. The manifest is
+// attacker-reachable bytes (anything that can write the data dir), and
+// `active` bounds recovery's segment-probe loop — without a span cap a
+// hostile `active 18446744073709551615` turns recovery into a ~2^64
+// iteration scan. The epoch ceiling also keeps `active + 1` from
+// wrapping. A legitimate deployment advances `active` once per
+// incarnation and `floor` rises with snapshot retention, so these caps
+// are orders of magnitude above any reachable state.
+constexpr std::uint64_t kMaxManifestEpoch = std::uint64_t{1} << 48;
+constexpr std::uint64_t kMaxManifestSpan = std::uint64_t{1} << 20;
+constexpr std::size_t kMaxManifestSnaps = 1024;
+
 std::string FormatEpoch(const char* stem, std::uint64_t epoch,
                         const char* ext) {
   char buf[64];
@@ -56,6 +68,7 @@ bool SnapshotManager::ReadManifest(Manifest* out, std::string* error) const {
   if (!fs.ReadFile(CurrentPath(), &bytes, error)) return false;
   const std::string text(bytes.begin(), bytes.end());
 
+  Manifest m;
   bool saw_magic = false;
   std::size_t pos = 0;
   while (pos < text.size()) {
@@ -84,11 +97,16 @@ bool SnapshotManager::ReadManifest(Manifest* out, std::string* error) const {
       return false;
     }
     if (key == "active") {
-      out->active = value;
+      m.active = value;
     } else if (key == "floor") {
-      out->floor = value;
+      m.floor = value;
     } else if (key == "snap") {
-      out->snaps.push_back(value);
+      if (m.snaps.size() >= kMaxManifestSnaps) {
+        *error = "CURRENT manifest lists more than " +
+                 std::to_string(kMaxManifestSnaps) + " snapshots";
+        return false;
+      }
+      m.snaps.push_back(value);
     } else {
       *error = "CURRENT manifest has an unknown key: " + key;
       return false;
@@ -98,6 +116,34 @@ bool SnapshotManager::ReadManifest(Manifest* out, std::string* error) const {
     *error = "CURRENT manifest is empty";
     return false;
   }
+
+  // Structural validation before anything is published to the caller:
+  // every field below feeds recovery's segment-probe loop or epoch
+  // arithmetic, so a parsed-but-hostile manifest must be rejected as
+  // loudly as a malformed one.
+  if (m.active > kMaxManifestEpoch || m.floor > kMaxManifestEpoch) {
+    *error = "CURRENT manifest epoch exceeds the structural cap";
+    return false;
+  }
+  if (m.floor > m.active) {
+    *error = "CURRENT manifest floor " + std::to_string(m.floor) +
+             " is above active " + std::to_string(m.active);
+    return false;
+  }
+  if (m.active - m.floor > kMaxManifestSpan) {
+    *error = "CURRENT manifest replay span " +
+             std::to_string(m.active - m.floor) +
+             " exceeds the structural cap";
+    return false;
+  }
+  for (std::uint64_t epoch : m.snaps) {
+    if (epoch < m.floor || epoch > m.active) {
+      *error = "CURRENT manifest snapshot epoch " +
+               std::to_string(epoch) + " is outside [floor, active]";
+      return false;
+    }
+  }
+  *out = std::move(m);
   return true;
 }
 

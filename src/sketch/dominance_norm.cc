@@ -188,6 +188,10 @@ std::optional<DominanceNormSketch> DominanceNormSketch::Deserialize(
   }
   if (!reader->ReadDouble(&base) || !(base > 1.0)) return std::nullopt;
   if (!reader->ReadU64(&seed) || !reader->ReadU32(&n)) return std::nullopt;
+  // Each level entry carries at least an 8-byte level tag, so a count
+  // larger than the bytes actually present is corrupt; rejecting it
+  // up front ties the loop bound to the input size.
+  if (n > reader->Remaining() / 8) return std::nullopt;
   DominanceNormSketch out(static_cast<std::size_t>(k), base, seed);
   for (std::uint32_t i = 0; i < n; ++i) {
     std::int64_t level = 0;

@@ -7,7 +7,10 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
+#include <map>
 #include <memory>
 #include <string>
 #include <thread>
@@ -19,6 +22,9 @@
 #include "gtest/gtest.h"
 #include "server/client.h"
 #include "server/daemon.h"
+#include "server/journal.h"
+#include "util/bytes.h"
+#include "util/crc32c.h"
 #include "util/fault_fs.h"
 
 namespace fwdecay::server {
@@ -543,6 +549,303 @@ TEST_F(ServerTest, CorruptManifestRefusesToStartFresh) {
   Daemon daemon(options_);
   EXPECT_FALSE(daemon.Start(&error));
   EXPECT_NE(error.find("manifest"), std::string::npos) << error;
+}
+
+/// Frames a journal payload exactly as JournalWriter::Append does:
+/// u32 length | payload | u32 crc32c(payload). Corruption cases patch
+/// the payload first and reframe, so the CRC is valid and the reader's
+/// *structural* checks (not the checksum) must do the rejecting.
+std::vector<std::uint8_t> FrameRecord(
+    const std::vector<std::uint8_t>& payload) {
+  ByteWriter w;
+  w.WriteU32(static_cast<std::uint32_t>(payload.size()));
+  w.WriteBytes(payload.data(), payload.size());
+  w.WriteU32(Crc32c(payload.data(), payload.size()));
+  return w.Take();
+}
+
+void PatchU32(std::vector<std::uint8_t>* bytes, std::size_t offset,
+              std::uint32_t v) {
+  ASSERT_LE(offset + sizeof(v), bytes->size());
+  std::memcpy(bytes->data() + offset, &v, sizeof(v));
+}
+
+void PatchU64(std::vector<std::uint8_t>* bytes, std::size_t offset,
+              std::uint64_t v) {
+  ASSERT_LE(offset + sizeof(v), bytes->size());
+  std::memcpy(bytes->data() + offset, &v, sizeof(v));
+}
+
+// Regression for a bug the taint pass found: recovery probed journal
+// segments with `for (e = floor; e <= active; ++e)`, with both bounds
+// read straight from the CURRENT manifest. A hostile
+// `active 18446744073709551615` turned startup into a ~2^64-iteration
+// filesystem scan. The manifest is now structurally validated before
+// anything is published to recovery, so every case below must be
+// rejected loudly and *fast* — a hang here is the old bug.
+TEST_F(ServerTest, HostileManifestStructuralRejectionMatrix) {
+  {
+    Daemon daemon(options_);
+    std::string error;
+    ASSERT_TRUE(daemon.Start(&error)) << error;
+    daemon.Stop();
+  }
+  const SnapshotManager snaps(dir_, 1);
+
+  struct Case {
+    const char* label;
+    const char* text;
+  };
+  const Case cases[] = {
+      {"u64-max active would probe ~2^64 segments",
+       "FWDCUR1\nactive 18446744073709551615\nfloor 0\n"},
+      {"active above the epoch cap (2^48 + 1)",
+       "FWDCUR1\nactive 281474976710657\nfloor 281474976710657\n"},
+      {"floor above active", "FWDCUR1\nactive 2\nfloor 5\n"},
+      {"replay span above the cap", "FWDCUR1\nactive 2000000\nfloor 0\n"},
+      {"snap epoch outside [floor, active]",
+       "FWDCUR1\nactive 5\nfloor 2\nsnap 99\n"},
+  };
+  for (const Case& c : cases) {
+    std::string error;
+    const std::vector<std::uint8_t> bytes(c.text,
+                                          c.text + std::strlen(c.text));
+    ASSERT_TRUE(FaultFs::Instance().AtomicWriteFile(snaps.CurrentPath(),
+                                                    bytes, &error))
+        << c.label;
+    Manifest manifest;
+    EXPECT_FALSE(snaps.ReadManifest(&manifest, &error)) << c.label;
+    EXPECT_FALSE(error.empty()) << c.label;
+
+    Daemon daemon(options_);
+    EXPECT_FALSE(daemon.Start(&error)) << c.label;
+    EXPECT_NE(error.find("manifest"), std::string::npos)
+        << c.label << ": " << error;
+  }
+
+  // Snap-line flood: every epoch individually legal, but the list
+  // itself is unbounded input feeding a vector.
+  {
+    std::string text = "FWDCUR1\nactive 2000\nfloor 0\n";
+    for (int i = 0; i < 1025; ++i) {
+      text += "snap " + std::to_string(i) + "\n";
+    }
+    std::string error;
+    const std::vector<std::uint8_t> bytes(text.begin(), text.end());
+    ASSERT_TRUE(FaultFs::Instance().AtomicWriteFile(snaps.CurrentPath(),
+                                                    bytes, &error));
+    Manifest manifest;
+    EXPECT_FALSE(snaps.ReadManifest(&manifest, &error));
+    Daemon daemon(options_);
+    EXPECT_FALSE(daemon.Start(&error));
+    EXPECT_NE(error.find("manifest"), std::string::npos) << error;
+  }
+}
+
+// Fuzz-style matrix over every length field in the journal record
+// format: the frame length word, the batch packet count, and a record
+// string's length prefix, each mutated to zero / huge / off-by-one.
+// The reader must treat each as a clean torn tail (records before the
+// corruption survive, nothing after is invented) without sizing any
+// allocation from the hostile value — under ASan a blow-up aborts.
+TEST_F(ServerTest, JournalCorruptLengthFieldMatrix) {
+  ASSERT_TRUE(::mkdir(dir_.c_str(), 0755) == 0 || errno == EEXIST);
+
+  dsms::TraceConfig cfg;
+  cfg.seed = 7;
+  const auto packets = dsms::PacketGenerator(cfg).Generate(8);
+  dsms::PacketBatch batch(8);
+  for (const auto& p : packets) ASSERT_TRUE(batch.Append(p));
+
+  const auto batch_payload = EncodeBatchRecord(1, batch);
+  const auto good_frame = FrameRecord(batch_payload);
+  const auto reg_payload =
+      EncodeRegisterRecord(2, 7, "acme", "hh", kGsql, false);
+
+  // Payload layout: u8 type | u64 seq | body. The batch body opens with
+  // its u32 packet count; the register body with u64 query_id, then the
+  // tenant string's u32 length prefix.
+  constexpr std::size_t kCountOffset = 1 + 8;
+  constexpr std::size_t kTenantLenOffset = 1 + 8 + 8;
+  const auto n = static_cast<std::uint32_t>(batch.size());
+
+  struct Case {
+    std::string label;
+    std::vector<std::uint8_t> frame;
+  };
+  std::vector<Case> cases;
+
+  // (a) The frame length word itself, CRC left stale: zero makes the
+  // checksum read garbage, huge fails the record-size cap, off-by-one
+  // misaligns the checksum window.
+  for (std::uint32_t len :
+       {std::uint32_t{0}, std::uint32_t{0xffffffff},
+        static_cast<std::uint32_t>(batch_payload.size()) + 1,
+        static_cast<std::uint32_t>(batch_payload.size()) - 1}) {
+    Case c{"frame len = " + std::to_string(len), good_frame};
+    PatchU32(&c.frame, 0, len);
+    cases.push_back(std::move(c));
+  }
+
+  // (b) The batch packet count, reframed with a valid CRC so only the
+  // structural decoder can reject it: zero leaves trailing bytes
+  // (Exhausted fails), huge must be refused before any allocation,
+  // n+1 overruns the byte math, n-1 leaves one packet unconsumed.
+  for (std::uint32_t count : {std::uint32_t{0}, std::uint32_t{0xffffffff},
+                              n + 1, n - 1}) {
+    auto payload = batch_payload;
+    PatchU32(&payload, kCountOffset, count);
+    cases.push_back({"batch count = " + std::to_string(count),
+                     FrameRecord(payload)});
+  }
+
+  // (c) The tenant string's length prefix in a register record, also
+  // reframed valid: zero and off-by-one shear every later field's
+  // framing, huge exceeds the remaining bytes.
+  for (std::uint32_t len : {std::uint32_t{0}, std::uint32_t{0xffffffff},
+                            std::uint32_t{5}}) {
+    auto payload = reg_payload;
+    PatchU32(&payload, kTenantLenOffset, len);
+    cases.push_back({"tenant string len = " + std::to_string(len),
+                     FrameRecord(payload)});
+  }
+
+  const std::string path = SnapshotManager(dir_, 1).JournalPath(0);
+  for (const Case& c : cases) {
+    std::vector<std::uint8_t> file = good_frame;
+    file.insert(file.end(), c.frame.begin(), c.frame.end());
+    std::string error;
+    ASSERT_TRUE(FaultFs::Instance().AtomicWriteFile(path, file, &error))
+        << c.label;
+
+    std::vector<JournalRecord> records;
+    bool torn_tail = false;
+    ASSERT_TRUE(ReadJournalFile(path, &records, &torn_tail, &error))
+        << c.label << ": " << error;
+    EXPECT_TRUE(torn_tail) << c.label;
+    ASSERT_EQ(records.size(), 1u) << c.label;
+    EXPECT_EQ(records[0].seq, 1u) << c.label;
+    EXPECT_EQ(records[0].batch.size(), batch.size()) << c.label;
+  }
+}
+
+// Same matrix over the server snapshot's u64 body-length header field
+// (and a header-truncation case). The reader compares body_len against
+// the bytes actually present before touching the body, so a hostile
+// value can neither size an allocation nor widen a read; recovery must
+// fall back to the older snapshot and replay the journal to the exact
+// same state.
+TEST_F(ServerTest, SnapshotBodyLengthFieldMatrix) {
+  dsms::TraceConfig cfg;
+  cfg.seed = 53;
+  cfg.num_servers = 16;
+  const auto packets = dsms::PacketGenerator(cfg).Generate(1500);
+
+  options_.snapshot_retain = 2;
+  std::uint64_t query_id = 0;
+  {
+    Daemon daemon(options_);
+    std::string error;
+    ASSERT_TRUE(daemon.Start(&error)) << error;
+    Client client;
+    ASSERT_TRUE(client.Connect(daemon.ingest_port(), &error)) << error;
+    ASSERT_TRUE(client.Hello("acme", &error)) << error;
+    ErrCode code = ErrCode::kNone;
+    ASSERT_TRUE(
+        client.RegisterQuery("hh", kGsql, false, &query_id, &code, &error))
+        << error;
+    IngestReply reply;
+    ASSERT_TRUE(client.Ingest(1, MakeBatch(packets, 0, 500), &reply, &error))
+        << error;
+    ASSERT_TRUE(reply.ok);
+    ASSERT_TRUE(daemon.CheckpointNow(&error)) << error;
+    ASSERT_TRUE(
+        client.Ingest(2, MakeBatch(packets, 500, 1000), &reply, &error))
+        << error;
+    ASSERT_TRUE(reply.ok);
+    ASSERT_TRUE(daemon.CheckpointNow(&error)) << error;
+    ASSERT_TRUE(
+        client.Ingest(3, MakeBatch(packets, 1000, 1500), &reply, &error))
+        << error;
+    ASSERT_TRUE(reply.ok);
+    client.Close();
+    daemon.Stop();
+  }
+
+  SnapshotManager snaps(dir_, 2);
+  Manifest manifest;
+  std::string error;
+  ASSERT_TRUE(snaps.ReadManifest(&manifest, &error)) << error;
+  ASSERT_EQ(manifest.snaps.size(), 2u);
+  const std::string newest = snaps.SnapPath(manifest.snaps.front());
+
+  // Snapshot every file recovery reads, so each mutation starts from
+  // identical on-disk state (a recovered daemon's Stop advances the
+  // manifest and writes fresh checkpoints).
+  std::map<std::string, std::vector<std::uint8_t>> orig;
+  {
+    std::vector<std::uint8_t> bytes;
+    ASSERT_TRUE(
+        FaultFs::Instance().ReadFile(snaps.CurrentPath(), &bytes, &error));
+    orig[snaps.CurrentPath()] = bytes;
+    for (std::uint64_t e = 0; e <= manifest.active; ++e) {
+      for (const std::string& p : {snaps.SnapPath(e), snaps.JournalPath(e)}) {
+        if (!FaultFs::Instance().FileExists(p)) continue;
+        ASSERT_TRUE(FaultFs::Instance().ReadFile(p, &bytes, &error)) << p;
+        orig[p] = bytes;
+      }
+    }
+  }
+  const auto restore = [&] {
+    RemoveTree(dir_);
+    ASSERT_TRUE(::mkdir(dir_.c_str(), 0755) == 0 || errno == EEXIST);
+    std::string werror;
+    for (const auto& [path, bytes] : orig) {
+      ASSERT_TRUE(FaultFs::Instance().AtomicWriteFile(path, bytes, &werror))
+          << path << ": " << werror;
+    }
+  };
+
+  // The body length lives at byte 16: 8-byte magic, u32 version,
+  // u32 crc, then the u64 length.
+  constexpr std::size_t kBodyLenOffset = 16;
+  const std::uint64_t true_len =
+      orig[newest].size() - kBodyLenOffset - sizeof(std::uint64_t);
+  struct Case {
+    std::string label;
+    std::uint64_t body_len;
+    std::size_t truncate_to;  // 0 = leave the file whole
+  };
+  const Case cases[] = {
+      {"body_len = 0", 0, 0},
+      {"body_len = u64 max", ~std::uint64_t{0}, 0},
+      {"body_len + 1", true_len + 1, 0},
+      {"body_len - 1", true_len - 1, 0},
+      {"file truncated inside the header", true_len, 10},
+  };
+  for (const Case& c : cases) {
+    restore();
+    std::vector<std::uint8_t> bytes = orig[newest];
+    PatchU64(&bytes, kBodyLenOffset, c.body_len);
+    if (c.truncate_to != 0) bytes.resize(c.truncate_to);
+    ASSERT_TRUE(FaultFs::Instance().AtomicWriteFile(newest, bytes, &error))
+        << c.label;
+
+    Daemon recovered(options_);
+    ASSERT_TRUE(recovered.Start(&error)) << c.label << ": " << error;
+    EXPECT_EQ(recovered.batches_acked(), 3u) << c.label;
+    EXPECT_EQ(recovered.query_count(), 1u) << c.label;
+    dsms::ResultSet result;
+    ErrCode code = ErrCode::kNone;
+    Client client;
+    ASSERT_TRUE(client.Connect(recovered.ingest_port(), &error)) << c.label;
+    ASSERT_TRUE(client.PollResult(query_id, &result, &code, &error))
+        << c.label << ": " << error;
+    EXPECT_EQ(EncodeResult(result),
+              ReferenceResult(kGsql, options_.tenant_defaults, packets, 1500))
+        << c.label;
+    recovered.Stop();
+  }
 }
 
 TEST_F(ServerTest, SocketFaultMatrix) {
