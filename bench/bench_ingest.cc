@@ -17,6 +17,8 @@
 // measure router + lock overhead, not parallel speedup, and must be
 // read alongside the "nproc" field.
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -31,6 +33,7 @@
 #include "dsms/netgen.h"
 #include "dsms/packet.h"
 #include "util/metrics.h"
+#include "util/simd.h"
 #include "util/table_printer.h"
 #include "util/timer.h"
 
@@ -54,6 +57,18 @@ struct ModeResult {
   dsms::ResultSet result;
   std::uint64_t tuples_aggregated = 0;
 };
+
+// L1D cache-line size as the kernel reports it; 64 when the sysconf key
+// is unsupported (0/-1). Recorded per row: flat-table probe costs and
+// the SIMD kernels' effective bandwidth are functions of the line size,
+// so rows from machines with different lines must not be compared raw.
+long CacheLineBytes() {
+#ifdef _SC_LEVEL1_DCACHE_LINESIZE
+  const long sz = sysconf(_SC_LEVEL1_DCACHE_LINESIZE);
+  if (sz > 0) return sz;
+#endif
+  return 64;
+}
 
 std::unique_ptr<dsms::CompiledQuery> CompilePlan() {
   std::string error;
@@ -174,12 +189,14 @@ void AppendJson(const std::string& path, const ModeResult& r,
       "{\"bench\":\"ingest\",\"mode\":\"%s\",\"shards\":%zu,"
       "\"threads\":%zu,\"packets\":%zu,\"batch_capacity\":%zu,"
       "\"ns_per_packet\":%.2f,\"mpps\":%.3f,\"speedup_vs_per_tuple\":%.3f,"
-      "\"nproc\":%u,\"metrics\":\"%s\",\"quick\":%s}",
+      "\"nproc\":%u,\"cache_line\":%ld,\"simd\":\"%s\","
+      "\"metrics\":\"%s\",\"quick\":%s}",
       r.mode.c_str(), r.shards, r.threads, n_packets,
       r.mode == "per_tuple" ? std::size_t{1} : kBatchCapacity,
       r.ns_per_packet, 1e3 / r.ns_per_packet, speedup,
-      std::thread::hardware_concurrency(),
-      FWDECAY_METRICS_ENABLED ? "on" : "off", quick ? "true" : "false");
+      std::thread::hardware_concurrency(), CacheLineBytes(),
+      simd::ActiveArchName(), FWDECAY_METRICS_ENABLED ? "on" : "off",
+      quick ? "true" : "false");
   out << line << "\n";
 }
 
@@ -220,8 +237,10 @@ int main(int argc, char** argv) {
               "per-tuple vs batched vs sharded (DESIGN.md §8)");
   std::printf("trace: %zu flow-structured packets; query: %s\n", n_packets,
               kQuery);
-  std::printf("hardware_concurrency: %u  metrics: %s\n\n",
-              std::thread::hardware_concurrency(),
+  std::printf("hardware_concurrency: %u  cache_line: %ld  simd: %s  "
+              "metrics: %s\n\n",
+              std::thread::hardware_concurrency(), CacheLineBytes(),
+              simd::ActiveArchName(),
               FWDECAY_METRICS_ENABLED ? "on" : "off");
 
   dsms::TraceConfig cfg;

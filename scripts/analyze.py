@@ -114,8 +114,9 @@ the purely syntactic conventions. Nine rules:
                  definition; names in the audited vtable set traverse
                  every override (any of them can be the dispatch
                  target). This turns PR 4's "zero per-tuple
-                 allocation" claim into a CI-enforced invariant and
-                 gates ROADMAP item 2's SIMD/arena refactor.
+                 allocation" claim into a CI-enforced invariant; the
+                 SIMD/arena hot-path refactor landed on this audited
+                 path and stays gated by it.
 
 Engines: with python clang bindings + libclang available (CI's clang
 job), rules backward-age and exp-pow run on the real AST, which sees

@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Bench-smoke regression gate for the batched ingest path.
+
+`bench_ingest` appends one JSON object per line to BENCH_ingest.json,
+and the file is committed — so after a CI run the file is the committed
+baseline rows followed by the rows this run just measured. This gate
+compares each *fresh* `"mode":"batched"` row against the most recent
+*committed* batched row measured under the same conditions (same
+`"simd"` dispatch arm, same `"metrics"` setting — cross-arm or
+cross-config comparisons would measure the config, not the regression)
+and fails when ns/packet regressed by more than --max-regression
+(default 10%).
+
+Rows without a `"simd"` field (measured before the dispatch layer
+existed) are never used as baselines: the gate arms itself the first
+time post-SIMD rows are committed. A fresh row with no same-arm
+baseline passes vacuously, loudly.
+
+Usage: scripts/check_bench.py [--json BENCH_ingest.json] [--ref HEAD]
+                              [--max-regression 0.10]
+Exit status 0 when within budget (or no baseline), 1 on regression.
+"""
+
+import argparse
+import json
+import pathlib
+import subprocess
+import sys
+
+
+def parse_rows(text):
+    rows = []
+    for line in text.splitlines():
+        line = line.strip()
+        if not line.startswith("{"):
+            continue
+        try:
+            row = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        if row.get("bench") == "ingest":
+            rows.append(row)
+    return rows
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--json", default="BENCH_ingest.json")
+    ap.add_argument("--ref", default="HEAD",
+                    help="git ref holding the committed baseline file")
+    ap.add_argument("--max-regression", type=float, default=0.10)
+    args = ap.parse_args()
+
+    path = pathlib.Path(args.json)
+    current = parse_rows(path.read_text(encoding="utf-8"))
+
+    show = subprocess.run(
+        ["git", "show", f"{args.ref}:{args.json}"],
+        capture_output=True, text=True)
+    committed = parse_rows(show.stdout) if show.returncode == 0 else []
+
+    fresh = current[len(committed):]
+    fresh_batched = [r for r in fresh if r.get("mode") == "batched"]
+    if not fresh_batched:
+        print("check_bench.py: no fresh batched rows to gate [OK]")
+        return 0
+
+    failures = 0
+    for row in fresh_batched:
+        arm = row.get("simd")
+        metrics = row.get("metrics")
+        if arm is None:
+            print(f"check_bench.py: fresh row has no simd field, skipping: "
+                  f"{row}")
+            continue
+        baseline = None
+        for cand in committed:
+            if (cand.get("mode") == "batched" and cand.get("simd") == arm
+                    and cand.get("metrics") == metrics):
+                baseline = cand  # last match wins: most recent commit
+        if baseline is None:
+            print(f"check_bench.py: no committed baseline for "
+                  f"simd={arm} metrics={metrics} — passing vacuously "
+                  f"(fresh: {row['ns_per_packet']:.2f} ns/packet)")
+            continue
+        limit = baseline["ns_per_packet"] * (1.0 + args.max_regression)
+        verdict = "OK" if row["ns_per_packet"] <= limit else "REGRESSION"
+        print(f"check_bench.py: batched simd={arm} metrics={metrics}: "
+              f"{row['ns_per_packet']:.2f} ns/packet vs baseline "
+              f"{baseline['ns_per_packet']:.2f} "
+              f"(limit {limit:.2f}) [{verdict}]")
+        if verdict != "OK":
+            failures += 1
+
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -34,6 +34,10 @@ REQUIRED_SECTIONS = [
     ("DESIGN.md", r"^## 9\. Observability"),
     ("DESIGN.md", r"^## 11\. Serving: the `fwdecayd` daemon"),
     ("DESIGN.md", r"^### 11\.3 Durability: journal \+ snapshot \+ manifest"),
+    ("DESIGN.md", r"^## 13\. Memory-bandwidth hot path"),
+    ("DESIGN.md", r"^### 13\.1 Open-addressing flat group tables"),
+    ("DESIGN.md", r"^### 13\.3 Arena-backed group shells"),
+    ("DESIGN.md", r"^### 13\.4 SIMD kernels with runtime dispatch"),
     ("README.md", r"^## Observability"),
     ("README.md", r"^## Build flags"),
     ("README.md", r"^## Serving"),

@@ -57,9 +57,19 @@ Enforced invariants (each maps to a documented repo convention):
              (DESIGN.md §8).  References (`const ValueColumn&`) and
              span parameters are fine; reuse of preallocated member
              scratch is the sanctioned pattern.
+  coldmap    The engine's group tables (src/dsms/engine.{h,cc}) must not
+             fall back to node-based associative containers:
+             std::unordered_map / std::map allocate a node per group and
+             chase a pointer per probe, which is exactly the memory-
+             bandwidth profile the flat open-addressing tables replaced
+             (DESIGN.md §13.1).  A genuinely cold-path use (one-shot
+             compile-time bookkeeping, not per-tuple or per-batch work)
+             may be annotated `// fwdecay: coldmap-ok(<reason>)` on the
+             use's line or the line above.
   escape     Every `// fwdecay: <kind>(<reason>)` analyzer escape
              (relaxed-ok, lock-order-ok, hotpath-lock-ok, taint-ok,
-             hotpath-cold — the hatches scripts/analyze.py honors)
+             hotpath-cold, coldmap-ok — the hatches scripts/analyze.py
+             and this linter honor)
              must use a known kind and carry a non-empty, non-
              placeholder reason: an unexplained suppression is
              indistinguishable from a silenced bug at review time.
@@ -133,7 +143,7 @@ HOTPATH_CONTAINER = re.compile(
 ESCAPE_RE = re.compile(r"\bfwdecay:(?!:)\s*([A-Za-z][\w-]*)\s*\(([^()]*)\)")
 ESCAPE_KINDS = frozenset(
     ("relaxed-ok", "lock-order-ok", "hotpath-lock-ok", "taint-ok",
-     "hotpath-cold"))
+     "hotpath-cold", "coldmap-ok"))
 # A reason that is only whitespace or a template placeholder explains
 # nothing.
 ESCAPE_PLACEHOLDER = re.compile(r"^\s*(<[^>]*>)?\s*$")
@@ -145,7 +155,34 @@ ESCAPE_ANCHORS = {
     "hotpath-lock-ok": re.compile(
         r"\b(?:MutexLock|ReaderMutexLock|lock_guard|unique_lock"
         r"|scoped_lock|shared_lock)\b|\.\s*lock\s*\("),
+    "coldmap-ok": re.compile(
+        r"\bstd\s*::\s*(?:unordered_)?map\b"
+        r"|#\s*include\s*<(?:unordered_)?map>"),
 }
+
+# Engine group-table files where node-based maps are banned (coldmap).
+COLDMAP_FILES = ("src/dsms/engine.h", "src/dsms/engine.cc")
+COLDMAP_BANNED = re.compile(
+    r"\bstd\s*::\s*(?:unordered_)?map\b"
+    r"|#\s*include\s*<(?:unordered_)?map>")
+COLDMAP_ESCAPE = re.compile(r"\bfwdecay:(?!:)\s*coldmap-ok\s*\(")
+
+
+def check_coldmap(rel: str, text: str, code: str, findings: list) -> None:
+    raw_lines = text.split("\n")
+    for m in COLDMAP_BANNED.finditer(code):
+        idx = code[: m.start()].count("\n")
+        # An escape on the use's own line or the line above suppresses.
+        reach = "\n".join(raw_lines[max(0, idx - 1): idx + 1])
+        if COLDMAP_ESCAPE.search(reach):
+            continue
+        findings.append(
+            (rel, idx + 1,
+             "coldmap: node-based map in the engine's group-table code "
+             "(the flat open-addressing tables are the hot-path "
+             "structure, DESIGN.md §13.1; cold-path uses take "
+             "`// fwdecay: coldmap-ok(<reason>)`): "
+             f"`{m.group(0).strip()}`"))
 
 
 def check_escapes(rel: str, text: str, code: str, findings: list) -> None:
@@ -217,11 +254,13 @@ def check_hotpath(rel: str, code: str, findings: list) -> None:
             continue
         body = code[j:match_forward(code, j, "{", "}")]
         for cm in HOTPATH_CONTAINER.finditer(body):
-            # References and span element types are reads, not
-            # constructions: skip `const ValueColumn` and `...Column&`.
+            # References, span element types and nested-name mentions
+            # are reads, not constructions: skip `const ValueColumn`,
+            # `ValueColumn&`, and `ValueColumn::Rep`-style qualifiers.
             if body[: cm.start()].rstrip().endswith("const"):
                 continue
-            if body[cm.end():].lstrip().startswith("&"):
+            tail = body[cm.end():].lstrip()
+            if tail.startswith(("&", "::")):
                 continue
             line = code[: j + cm.start()].count("\n") + 1
             findings.append(
@@ -321,6 +360,8 @@ def lint_file(root: pathlib.Path, path: pathlib.Path, findings: list) -> None:
                      findings)
     if rel.startswith("src/"):
         check_hotpath(rel, code, findings)
+    if rel in COLDMAP_FILES:
+        check_coldmap(rel, text, code, findings)
     check_escapes(rel, text, code, findings)
     if rel.startswith("src/dsms/"):
         scan_pattern(rel, code, METRICS_CLOCK_BANNED,

@@ -14,6 +14,13 @@
 #   FWDECAY_METRICS   OFF compiles the self-instrumentation layer to
 #                     no-ops (DESIGN.md §9); bench_ingest rows record
 #                     which setting produced them         [default: ON]
+#   FWDECAY_SIMD      on | off | force-scalar (DESIGN.md §13.4):
+#                     `off` configures -DFWDECAY_SIMD=OFF (vector arms
+#                     compiled out); `force-scalar` keeps the default
+#                     build but exports FWDECAY_FORCE_SCALAR=1 so
+#                     dispatch pins to the scalar arms at startup —
+#                     bench_ingest rows record the arm that actually
+#                     ran in their "simd" field          [default: on]
 #   FWDECAY_SCHED     ON routes fwdecay::Mutex and sched::Atomic through
 #                     the schedule-exploring model checker (DESIGN.md
 #                     §10): tests/sched_test.cc then explores real
@@ -48,6 +55,7 @@ CMAKE_BUILD_TYPE="${CMAKE_BUILD_TYPE:-Release}"
 FWDECAY_AUDIT="${FWDECAY_AUDIT:-OFF}"
 FWDECAY_SHARDS="${FWDECAY_SHARDS:-8}"
 FWDECAY_METRICS="${FWDECAY_METRICS:-ON}"
+FWDECAY_SIMD="${FWDECAY_SIMD:-on}"
 FWDECAY_SCHED="${FWDECAY_SCHED:-OFF}"
 FWDECAY_SERVER="${FWDECAY_SERVER:-OFF}"
 # FWDECAY_SCHED_SEED / FWDECAY_SCHED_REPLAY are read by sched_test at
@@ -65,9 +73,20 @@ if [[ "${FWDECAY_ANALYZE}" == "dataflow" ]]; then
     --findings-out dataflow-findings.txt
 fi
 
+# FWDECAY_SIMD: `off` is a build-time switch, `force-scalar` a runtime
+# one; both end with the scalar arms carrying the whole run.
+SIMD_CMAKE=ON
+case "${FWDECAY_SIMD}" in
+  on|ON) ;;
+  off|OFF) SIMD_CMAKE=OFF ;;
+  force-scalar) export FWDECAY_FORCE_SCALAR=1 ;;
+  *) echo "FWDECAY_SIMD must be on, off, or force-scalar" >&2; exit 2 ;;
+esac
+
 CMAKE_ARGS=(-B "${BUILD_DIR}" -S . "-DCMAKE_BUILD_TYPE=${CMAKE_BUILD_TYPE}"
             "-DFWDECAY_AUDIT=${FWDECAY_AUDIT}"
             "-DFWDECAY_METRICS=${FWDECAY_METRICS}"
+            "-DFWDECAY_SIMD=${SIMD_CMAKE}"
             "-DFWDECAY_SCHED=${FWDECAY_SCHED}")
 if [[ ! -f "${BUILD_DIR}/CMakeCache.txt" ]]; then
   # Fresh tree: prefer Ninja when available, else CMake's default

@@ -1,6 +1,7 @@
 #ifndef FWDECAY_CORE_AGGREGATES_H_
 #define FWDECAY_CORE_AGGREGATES_H_
 
+#include <algorithm>
 #include <cmath>
 #include <cstddef>
 #include <optional>
@@ -9,6 +10,7 @@
 #include "core/forward_decay.h"
 #include "util/bytes.h"
 #include "util/check.h"
+#include "util/simd.h"
 
 // O(1)-state decayed aggregates under forward decay (Section IV-A/B,
 // Theorem 1): each class maintains sums of static weights g(t_i - L)
@@ -41,6 +43,11 @@ class DecayedCount {
 
   /// Records a column of arrival times (batched ingest path). Identical
   /// to calling Add() per element in order — same FP accumulation order.
+  /// Deliberately scalar: the weight is libm (exp/pow inside
+  /// StaticWeight) and the running total is an ordered reduction, and
+  /// neither may be vectorized without breaking bit-exactness
+  /// (DESIGN.md §13.4); there is no elementwise product to hand to the
+  /// util/simd.h kernels here, unlike DecayedMoments/DecayedExtremum.
   void AddBatch(std::span<const Timestamp> times) {
     for (Timestamp ti : times) weighted_ += decay_.StaticWeight(ti);
   }
@@ -112,15 +119,34 @@ class DecayedMoments {
   }
 
   /// Records parallel time/value columns (batched ingest path).
-  /// Identical to calling Add(times[i], values[i]) for i ascending.
+  /// Identical to calling Add(times[i], values[i]) for i ascending:
+  /// blocked so the weights come from the scalar libm StaticWeight loop
+  /// in stream order, the per-row products w*v and (w*v)*v run through
+  /// the vectorized elementwise-multiply kernel (one IEEE operation per
+  /// element — per-lane bit-exact with the scalar expression), and the
+  /// three accumulators fold the block back in ascending row order.
+  /// Each accumulator is independent, so regrouping the per-row `+=`s
+  /// by column leaves every accumulator's addition sequence unchanged
+  /// (DESIGN.md §13.4).
   void AddBatch(std::span<const Timestamp> times,
                 std::span<const double> values) {
     FWDECAY_DCHECK(times.size() == values.size());
-    for (std::size_t i = 0; i < times.size(); ++i) {
-      const double w = decay_.StaticWeight(times[i]);
-      w0_ += w;
-      w1_ += w * values[i];
-      w2_ += w * values[i] * values[i];
+    constexpr std::size_t kBlock = 128;
+    double w[kBlock];
+    double wv[kBlock];
+    double wvv[kBlock];
+    for (std::size_t base = 0; base < times.size(); base += kBlock) {
+      const std::size_t len = std::min(kBlock, times.size() - base);
+      for (std::size_t i = 0; i < len; ++i) {
+        w[i] = decay_.StaticWeight(times[base + i]);
+      }
+      simd::MulF64(w, values.data() + base, len, wv);
+      simd::MulF64(wv, values.data() + base, len, wvv);
+      for (std::size_t i = 0; i < len; ++i) {
+        w0_ += w[i];
+        w1_ += wv[i];
+        w2_ += wvv[i];
+      }
     }
   }
 
@@ -218,11 +244,30 @@ class DecayedExtremum {
   }
 
   /// Records parallel time/value columns (batched ingest path).
-  /// Identical to calling Add(times[i], values[i]) for i ascending.
+  /// Identical to calling Add(times[i], values[i]) for i ascending: the
+  /// candidate products g(t_i - L) * v_i are formed by the vectorized
+  /// multiply kernel (per-lane bit-exact with Add's scalar product) and
+  /// the first-better scan walks them in row order, so ties resolve to
+  /// the same earliest arrival as the per-tuple path (DESIGN.md §13.4).
   void AddBatch(std::span<const Timestamp> times,
                 std::span<const double> values) {
     FWDECAY_DCHECK(times.size() == values.size());
-    for (std::size_t i = 0; i < times.size(); ++i) Add(times[i], values[i]);
+    constexpr std::size_t kBlock = 128;
+    double w[kBlock];
+    double scaled[kBlock];
+    for (std::size_t base = 0; base < times.size(); base += kBlock) {
+      const std::size_t len = std::min(kBlock, times.size() - base);
+      for (std::size_t i = 0; i < len; ++i) {
+        w[i] = decay_.StaticWeight(times[base + i]);
+      }
+      simd::MulF64(w, values.data() + base, len, scaled);
+      for (std::size_t i = 0; i < len; ++i) {
+        if (!best_.has_value() || Better(scaled[i], best_scaled_)) {
+          best_scaled_ = scaled[i];
+          best_ = Item{times[base + i], values[base + i]};
+        }
+      }
+    }
   }
 
   /// The decayed extremum value at query time t; nullopt if empty.

@@ -54,6 +54,23 @@ class SumAgg : public AggState {
     FWDECAY_CHECK_MSG(!args_columns.empty(), "sum() needs an argument");
     const ValueColumn& col = args_columns[0];
     // Row order preserved: FP addition order matches the per-tuple path.
+    // Typed columns skip the per-row type test — a kI64 column is int in
+    // every row (all_int_ unchanged), a kF64 column in none.
+    switch (col.rep()) {
+      case ValueColumn::Rep::kI64: {
+        const std::int64_t* v = col.i64_data();
+        for (std::uint32_t row : rows) sum_ += static_cast<double>(v[row]);
+        return;
+      }
+      case ValueColumn::Rep::kF64: {
+        if (!rows.empty()) all_int_ = false;
+        const double* v = col.f64_data();
+        for (std::uint32_t row : rows) sum_ += v[row];
+        return;
+      }
+      case ValueColumn::Rep::kBoxed:
+        break;
+    }
     for (std::uint32_t row : rows) {
       if (!col[row].is_int()) all_int_ = false;
       sum_ += col[row].AsDouble();
@@ -98,7 +115,21 @@ class AvgAgg : public AggState {
                    std::span<const std::uint32_t> rows) override {
     FWDECAY_CHECK_MSG(!args_columns.empty(), "avg() needs an argument");
     const ValueColumn& col = args_columns[0];
-    for (std::uint32_t row : rows) sum_ += col[row].AsDouble();
+    switch (col.rep()) {
+      case ValueColumn::Rep::kI64: {
+        const std::int64_t* v = col.i64_data();
+        for (std::uint32_t row : rows) sum_ += static_cast<double>(v[row]);
+        break;
+      }
+      case ValueColumn::Rep::kF64: {
+        const double* v = col.f64_data();
+        for (std::uint32_t row : rows) sum_ += v[row];
+        break;
+      }
+      case ValueColumn::Rep::kBoxed:
+        for (std::uint32_t row : rows) sum_ += col[row].AsDouble();
+        break;
+    }
     count_ += static_cast<std::int64_t>(rows.size());
   }
   void Merge(AggState& other) override {

@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "dsms/column.h"
 #include "dsms/value.h"
 #include "util/bytes.h"
 
@@ -22,9 +23,9 @@
 
 namespace fwdecay::dsms {
 
-/// One evaluated argument expression over a batch's selected rows
-/// (column-at-a-time layout; see EvalExprBatch in expr.h).
-using ValueColumn = std::vector<Value>;
+// ValueColumn (one evaluated argument expression over a batch's
+// selected rows, column-at-a-time layout; see EvalExprBatch in expr.h)
+// now lives in dsms/column.h as a typed class.
 
 /// Per-group aggregation state. One instance per (group, aggregate call).
 class AggState {

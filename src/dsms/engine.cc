@@ -5,15 +5,16 @@
 #include <cmath>
 #include <cstring>
 #include <span>
-#include <unordered_map>
 #include <utility>
 
 #include "core/decay.h"
+#include "util/arena.h"
 #include "util/bytes.h"
 #include "util/check.h"
 #include "util/crc32c.h"
 #include "util/fault_fs.h"
 #include "util/hash.h"
+#include "util/simd.h"
 
 namespace fwdecay::dsms {
 
@@ -26,10 +27,37 @@ std::string Lower(std::string s) {
   return s;
 }
 
+// Seed of the group-key hash. util/simd.h's GroupHashI64 kernel bakes
+// the same seed/combine algebra into its folded constants, so changing
+// either side alone breaks the batched/per-tuple equivalence
+// (simd_test covers the pairing).
+constexpr std::uint64_t kGroupHashSeed = 0x12345678abcdef01ULL;
+
 std::uint64_t HashKey(const std::vector<Value>& key) {
-  std::uint64_t h = 0x12345678abcdef01ULL;
+  std::uint64_t h = kGroupHashSeed;
   for (const Value& v : key) h = HashCombine(h, v.Hash());
   return h;
+}
+
+// Group hash per selected row — HashKey replicated over the dense key
+// columns. The ubiquitous single-int64-key shape (srcIP, time/60, a
+// port) takes the vectorized kernel, which is bit-identical to
+// HashCombine(seed, HashU64(k, 1)); everything else (doubles, strings,
+// composite keys) walks the columns per row.
+void ComputeGroupHashes(const std::vector<ValueColumn>& key_cols,
+                        std::size_t num_groups, std::size_t n,
+                        std::uint64_t* out) {
+  if (num_groups == 1 && key_cols[0].rep() == ValueColumn::Rep::kI64) {
+    simd::GroupHashI64(key_cols[0].i64_data(), n, kGroupHashSeed, out);
+    return;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint64_t h = kGroupHashSeed;
+    for (std::size_t g = 0; g < num_groups; ++g) {
+      h = HashCombine(h, key_cols[g][i].Hash());
+    }
+    out[i] = h;
+  }
 }
 
 bool KeysEqual(const std::vector<Value>& a, const std::vector<Value>& b) {
@@ -377,15 +405,143 @@ struct QueryExecution::LowSlot {
   Group group;
 };
 
+// Open-addressing flat high table (DESIGN.md §13.1). Two parallel slot
+// arrays — cached key hash and group pointer (nullptr = empty) — probed
+// linearly under a power-of-two mask, so a lookup touches one cache
+// line of hashes before it ever dereferences a group. Group shells live
+// out-of-line in a bump arena and are recycled through a free list:
+// pointers stay stable across rehash (only the slot arrays move), and a
+// shell released by shedding or a window Reset() keeps its key/agg
+// vector capacities for the next admission. Tombstone-free: removal
+// backward-shifts the probe chain, so layout is a pure function of the
+// insertion sequence — but no observable order ever reads the layout
+// (Finish/MergeFrom/CheckpointBytes all sort by KeyLess, and the shed
+// victim is a deterministic (weight, KeyLess) minimum).
 struct QueryExecution::HighTable {
-  // hash -> bucket of groups (chained to handle Value-level collisions).
-  std::unordered_map<std::uint64_t, std::vector<Group>> map;
+  std::vector<std::uint64_t> hashes;  // slot -> cached key hash
+  std::vector<Group*> slots;          // slot -> shell, nullptr = empty
+  std::size_t mask = 0;               // capacity - 1
+  std::size_t size = 0;               // occupied slots
+
+  util::Arena arena;                  // owns every shell's storage
+  std::vector<Group*> free_shells;    // released, capacity-retaining
+  std::vector<Group*> all_shells;     // every shell ever built (dtors)
+
+  ~HighTable() {
+    // Arena memory is freed wholesale; the shells' interior vectors are
+    // ordinary heap objects and need their destructors.
+    for (Group* g : all_shells) g->~Group();
+  }
+
+  Group* Find(std::uint64_t hash, const std::vector<Value>& key) const {
+    if (slots.empty()) return nullptr;
+    std::size_t s = hash & mask;
+    while (slots[s] != nullptr) {
+      if (hashes[s] == hash && KeysEqual(slots[s]->key, key)) {
+        return slots[s];
+      }
+      s = (s + 1) & mask;
+    }
+    return nullptr;
+  }
+
+  // Inserts a shell whose key is already in place. The caller has
+  // established absence via Find (restore paths may insert duplicates
+  // from hostile snapshots; CheckInvariants rejects them afterwards,
+  // exactly as the chained table did).
+  void Insert(std::uint64_t hash, Group* g) {
+    if (slots.empty() || (size + 1) * 8 > (mask + 1) * 7) Grow();
+    InsertNoGrow(hash, g);
+    ++size;
+  }
+
+  // Backward-shift deletion: close the hole by sliding back every chain
+  // member that probed across it, so no tombstones accumulate and the
+  // probe invariant (home..slot unbroken) is restored locally.
+  void EraseSlot(std::size_t slot) {
+    slots[slot] = nullptr;
+    std::size_t hole = slot;
+    std::size_t next = (slot + 1) & mask;
+    while (slots[next] != nullptr) {
+      const std::size_t home = hashes[next] & mask;
+      if (((next - home) & mask) >= ((next - hole) & mask)) {
+        slots[hole] = slots[next];
+        hashes[hole] = hashes[next];
+        slots[next] = nullptr;
+        hole = next;
+      }
+      next = (next + 1) & mask;
+    }
+    --size;
+  }
+
+  Group* AcquireShell() {
+    if (!free_shells.empty()) {
+      Group* g = free_shells.back();
+      free_shells.pop_back();
+      return g;
+    }
+    // fwdecay: hotpath-cold(shell construction: once per peak live group, arena-backed)
+    Group* g = arena.New<Group>();
+    // fwdecay: hotpath-cold(destructor registry grows once per constructed shell)
+    all_shells.push_back(g);
+    return g;
+  }
+
+  // Empties a shell back into the pool. Vector capacities (key slots,
+  // agg pointers) survive, so readmission after shedding or a window
+  // turnover allocates nothing.
+  void ReleaseShell(Group* g) {
+    g->key.clear();
+    g->aggs.clear();
+    g->weight = 0.0;
+    g->tuples = 0;
+    // fwdecay: hotpath-cold(pool vector growth bounded by peak live shells)
+    free_shells.push_back(g);
+  }
+
+  // Releases every group and empties the table; slot arrays, shells and
+  // arena chunks are all retained for the next window.
+  void Clear() {
+    for (std::size_t s = 0; s < slots.size(); ++s) {
+      if (slots[s] != nullptr) {
+        ReleaseShell(slots[s]);
+        slots[s] = nullptr;
+      }
+    }
+    size = 0;
+  }
+
+ private:
+  void InsertNoGrow(std::uint64_t hash, Group* g) {
+    std::size_t s = hash & mask;
+    while (slots[s] != nullptr) s = (s + 1) & mask;
+    slots[s] = g;
+    hashes[s] = hash;
+  }
+
+  void Grow() {
+    const std::size_t new_cap = slots.empty() ? 16 : (mask + 1) * 2;
+    std::vector<Group*> old_slots = std::move(slots);
+    std::vector<std::uint64_t> old_hashes = std::move(hashes);
+    // fwdecay: hotpath-cold(table growth: amortized over 7/8ths of the new capacity)
+    slots.assign(new_cap, nullptr);
+    hashes.assign(new_cap, 0);
+    mask = new_cap - 1;
+    // Reinsert in ascending old-slot order: the rehashed layout is a
+    // deterministic function of the old layout.
+    for (std::size_t s = 0; s < old_slots.size(); ++s) {
+      if (old_slots[s] != nullptr) InsertNoGrow(old_hashes[s], old_slots[s]);
+    }
+  }
 };
 
 QueryExecution::QueryExecution(const CompiledQuery* plan)
     : plan_(plan), high_(std::make_unique<HighTable>()) {
   if (plan_->options_.two_level) {
     low_table_.resize(plan_->options_.low_level_slots);
+    const std::size_t slots = low_table_.size();
+    if ((slots & (slots - 1)) == 0) low_mask_ = slots - 1;
   }
   const EngineMetrics& em = EngineMetrics::Get();
   metrics_.packets = em.packets;
@@ -461,28 +617,22 @@ void QueryExecution::UseShardMetrics(std::size_t shard_index) {
 
 namespace {
 
-std::vector<std::unique_ptr<AggState>> MakeAggStates(
-    const std::vector<std::string>& names) {
-  std::vector<std::unique_ptr<AggState>> states;
-  states.reserve(names.size());
+// Fills a (possibly recycled) agg-state vector with fresh states, one
+// per plan slot, reusing the vector's capacity.
+void FillAggStates(const std::vector<std::string>& names,
+                   std::vector<std::unique_ptr<AggState>>* states) {
+  states->clear();
+  states->reserve(names.size());
   for (const std::string& name : names) {
-    states.push_back(AggRegistry::Instance().Create(name));
+    states->push_back(AggRegistry::Instance().Create(name));
   }
-  return states;
 }
 
 }  // namespace
 
 QueryExecution::Group* QueryExecution::FindOrCreateHighGroup(
-    std::uint64_t hash, std::vector<Value>&& key) {
-  {
-    auto it = high_->map.find(hash);
-    if (it != high_->map.end()) {
-      for (Group& g : it->second) {
-        if (KeysEqual(g.key, key)) return &g;
-      }
-    }
-  }
+    std::uint64_t hash, const std::vector<Value>& key) {
+  if (Group* g = high_->Find(hash, key)) return g;
   // A new group is about to be admitted; under a bounded-ingest policy
   // make room by shedding the lowest-weight incumbent instead of growing
   // without bound. The incoming group represents the newest tuples —
@@ -491,12 +641,13 @@ QueryExecution::Group* QueryExecution::FindOrCreateHighGroup(
   if (policy_.max_groups > 0) {
     while (high_group_count_ >= policy_.max_groups) ShedLowestWeightGroup();
   }
-  std::vector<Group>& bucket = high_->map[hash];
+  Group* g = high_->AcquireShell();
+  g->key = key;  // copy into the shell's retained capacity
   // fwdecay: hotpath-cold(new-group admission: states allocated once per group, not per row)
-  bucket.push_back(Group{std::move(key), MakeAggStates(plan_->agg_names_),
-                         0.0, 0});
+  FillAggStates(plan_->agg_names_, &g->aggs);
+  high_->Insert(hash, g);
   ++high_group_count_;
-  return &bucket.back();
+  return g;
 }
 
 double QueryExecution::ForwardWeight(double ts) const {
@@ -508,28 +659,25 @@ double QueryExecution::ForwardWeight(double ts) const {
 
 void QueryExecution::ShedLowestWeightGroup() {
   // Deterministic min scan: weight first, group key as tie-break, so the
-  // shed victim does not depend on hash-map iteration order (recovery
-  // replay must reproduce the uninterrupted run exactly).
-  std::uint64_t victim_hash = 0;
-  std::size_t victim_index = 0;
+  // shed victim does not depend on table layout (recovery replay must
+  // reproduce the uninterrupted run exactly; the flat table's slot order
+  // never influences which group loses the strict-minimum scan).
+  std::size_t victim_slot = 0;
   const Group* victim = nullptr;
-  for (const auto& [hash, bucket] : high_->map) {
-    for (std::size_t i = 0; i < bucket.size(); ++i) {
-      const Group& g = bucket[i];
-      if (victim == nullptr || g.weight < victim->weight ||
-          (g.weight == victim->weight && KeyLess(g.key, victim->key))) {
-        victim = &g;
-        victim_hash = hash;
-        victim_index = i;
-      }
+  for (std::size_t s = 0; s < high_->slots.size(); ++s) {
+    const Group* g = high_->slots[s];
+    if (g == nullptr) continue;
+    if (victim == nullptr || g->weight < victim->weight ||
+        (g->weight == victim->weight && KeyLess(g->key, victim->key))) {
+      victim = g;
+      victim_slot = s;
     }
   }
   FWDECAY_CHECK_MSG(victim != nullptr, "shedding from an empty group table");
   ++groups_shed_;
   tuples_shed_ += victim->tuples;
-  std::vector<Group>& bucket = high_->map[victim_hash];
-  bucket.erase(bucket.begin() + static_cast<std::ptrdiff_t>(victim_index));
-  if (bucket.empty()) high_->map.erase(victim_hash);
+  high_->ReleaseShell(high_->slots[victim_slot]);
+  high_->EraseSlot(victim_slot);
   --high_group_count_;
 }
 
@@ -553,8 +701,7 @@ void QueryExecution::UpdateGroup(Group& group, const PacketBatch& batch,
 }
 
 void QueryExecution::EvictToHigh(LowSlot& slot) {
-  Group* target =
-      FindOrCreateHighGroup(slot.hash, std::move(slot.group.key));
+  Group* target = FindOrCreateHighGroup(slot.hash, slot.group.key);
   for (std::size_t i = 0; i < target->aggs.size(); ++i) {
     // fwdecay: hotpath-cold(amortized-rare eviction; Merge runs once per evicted group, not per row)
     target->aggs[i]->Merge(*slot.group.aggs[i]);
@@ -563,6 +710,7 @@ void QueryExecution::EvictToHigh(LowSlot& slot) {
   target->tuples += slot.group.tuples;
   slot.occupied = false;
   --low_occupied_;
+  // The slot's key/agg vectors keep their capacity for the next tenant.
   slot.group.key.clear();
   slot.group.aggs.clear();
   slot.group.weight = 0.0;
@@ -603,16 +751,12 @@ void QueryExecution::Consume(const PacketBatch& batch) {
   if (n_in == 0) return;
 
   // Selection vector over the batch: start from the protocol filter
-  // (cheap byte compare over the column), then narrow by WHERE.
+  // (vectorized byte compare over the column), then narrow by WHERE.
   sel_.resize(n_in);
   std::size_t n = 0;
   if (plan_->protocol_filter_ != 0) {
-    const std::uint8_t* proto = batch.protocol();
-    for (std::size_t i = 0; i < n_in; ++i) {
-      if (proto[i] == plan_->protocol_filter_) {
-        sel_[n++] = static_cast<std::uint32_t>(i);
-      }
-    }
+    n = simd::FilterByteEq(batch.protocol(), plan_->protocol_filter_, n_in,
+                           sel_.data());
   } else {
     for (std::size_t i = 0; i < n_in; ++i) {
       sel_[i] = static_cast<std::uint32_t>(i);
@@ -680,16 +824,9 @@ void QueryExecution::AggregateSelection(const PacketBatch& batch,
     }
   }
 
-  // Group hash per selected row — the same seed/combine sequence as
-  // HashKey, replicated over the key columns.
+  // Group hash per selected row (vectorized for a single int64 key).
   hashes_.resize(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    std::uint64_t h = 0x12345678abcdef01ULL;
-    for (std::size_t g = 0; g < num_groups; ++g) {
-      h = HashCombine(h, key_cols_[g][i].Hash());
-    }
-    hashes_[i] = h;
-  }
+  ComputeGroupHashes(key_cols_, num_groups, n, hashes_.data());
   row_index_.resize(n);
   for (std::size_t i = 0; i < n; ++i) {
     row_index_[i] = static_cast<std::uint32_t>(i);
@@ -701,44 +838,69 @@ void QueryExecution::AggregateSelection(const PacketBatch& batch,
   // re-resolution leaves every observable state bit-identical to the
   // per-row loop. Runs never span distinct keys, so eviction and
   // shedding still happen at exactly the per-tuple points.
+  //
+  // The dominant query shape — a single int64 group key — runs over the
+  // column's raw array for both the run scan and the slot-hit compare;
+  // the key is materialized into Values only when a slot is (re)filled.
+  const std::int64_t* k0 =
+      (num_groups == 1 && key_cols_[0].rep() == ValueColumn::Rep::kI64)
+          ? key_cols_[0].i64_data()
+          : nullptr;
   std::size_t i = 0;
   while (i < n) {
     std::size_t j = i + 1;
-    while (j < n && hashes_[j] == hashes_[i]) {
-      bool same = true;
-      for (std::size_t g = 0; g < num_groups; ++g) {
-        if (!(key_cols_[g][j] == key_cols_[g][i])) {
-          same = false;
-          break;
+    if (k0 != nullptr) {
+      while (j < n && hashes_[j] == hashes_[i] && k0[j] == k0[i]) ++j;
+    } else {
+      while (j < n && hashes_[j] == hashes_[i]) {
+        bool same = true;
+        for (std::size_t g = 0; g < num_groups; ++g) {
+          if (!(key_cols_[g][j] == key_cols_[g][i])) {
+            same = false;
+            break;
+          }
         }
+        if (!same) break;
+        ++j;
       }
-      if (!same) break;
-      ++j;
-    }
-
-    key_scratch_.clear();
-    key_scratch_.reserve(num_groups);
-    for (std::size_t g = 0; g < num_groups; ++g) {
-      key_scratch_.push_back(key_cols_[g][i]);
     }
     const std::uint64_t hash = hashes_[i];
 
     Group* target = nullptr;
     if (!plan_->options_.two_level) {
-      target = FindOrCreateHighGroup(hash, std::move(key_scratch_));
-    } else {
-      LowSlot& slot = low_table_[hash % low_table_.size()];
-      if (slot.occupied &&
-          (slot.hash != hash || !KeysEqual(slot.group.key, key_scratch_))) {
-        EvictToHigh(slot);
+      key_scratch_.clear();
+      key_scratch_.reserve(num_groups);
+      for (std::size_t g = 0; g < num_groups; ++g) {
+        key_scratch_.push_back(key_cols_[g][i]);
       }
-      if (!slot.occupied) {
+      target = FindOrCreateHighGroup(hash, key_scratch_);
+    } else {
+      LowSlot& slot =
+          low_table_[low_mask_ != 0 ? (hash & low_mask_)
+                                    : (hash % low_table_.size())];
+      // Hit test straight against the columns (RowRef == Value mirrors
+      // Value == Value), so a hit — the steady state — materializes no
+      // Value at all.
+      bool hit = slot.occupied && slot.hash == hash;
+      if (hit) {
+        for (std::size_t g = 0; g < num_groups; ++g) {
+          if (!(key_cols_[g][i] == slot.group.key[g])) {
+            hit = false;
+            break;
+          }
+        }
+      }
+      if (!hit) {
+        if (slot.occupied) EvictToHigh(slot);
         slot.occupied = true;
         ++low_occupied_;
         slot.hash = hash;
-        slot.group.key = std::move(key_scratch_);
+        slot.group.key.clear();  // buffer keeps its capacity
+        for (std::size_t g = 0; g < num_groups; ++g) {
+          slot.group.key.push_back(key_cols_[g][i]);
+        }
         // fwdecay: hotpath-cold(low-slot admission: states allocated once per group, not per row)
-        slot.group.aggs = MakeAggStates(plan_->agg_names_);
+        FillAggStates(plan_->agg_names_, &slot.group.aggs);
       }
       target = &slot.group;
     }
@@ -748,32 +910,56 @@ void QueryExecution::AggregateSelection(const PacketBatch& batch,
 }
 
 void QueryExecution::CheckInvariants() const {
-  // High level: every group lives under the hash of its key, chains are
-  // non-empty and duplicate-free, aggregate arity matches the plan, and
-  // the cached group count is exact. A violation here is precisely the
-  // kind of corruption the differential fuzzers cannot see until an
-  // affected group is queried — and Restore() of a hostile snapshot must
-  // never leave one behind.
+  // High level: every group is slotted under the hash of its key and is
+  // reachable from its home slot through an unbroken linear-probe chain
+  // (the tombstone-free deletion contract), no key appears twice,
+  // aggregate arity matches the plan, and the cached counts are exact.
+  // A violation here is precisely the kind of corruption the
+  // differential fuzzers cannot see until an affected group is queried —
+  // and Restore() of a hostile snapshot must never leave one behind.
+  const std::size_t cap = high_->slots.size();
+  FWDECAY_CHECK_MSG(cap == 0 || (cap & (cap - 1)) == 0,
+                    "flat-table capacity is not a power of two");
+  FWDECAY_CHECK_MSG(high_->hashes.size() == cap,
+                    "flat-table slot arrays diverged in length");
   std::size_t high_n = 0;
-  for (const auto& [hash, bucket] : high_->map) {
-    FWDECAY_CHECK_MSG(!bucket.empty(), "empty high-table bucket chain");
-    for (std::size_t i = 0; i < bucket.size(); ++i) {
-      const Group& g = bucket[i];
-      FWDECAY_CHECK_MSG(HashKey(g.key) == hash,
-                        "group filed under the wrong hash");
-      FWDECAY_CHECK_MSG(g.key.size() == plan_->group_exprs_.size(),
-                        "group key arity differs from the plan");
-      FWDECAY_CHECK_MSG(g.aggs.size() == plan_->agg_names_.size(),
-                        "aggregate slot count differs from the plan");
-      FWDECAY_CHECK_MSG(g.weight >= 0.0 && !std::isnan(g.weight),
-                        "group forward-decay weight is negative or NaN");
-      for (std::size_t j = i + 1; j < bucket.size(); ++j) {
-        FWDECAY_CHECK_MSG(!KeysEqual(g.key, bucket[j].key),
-                          "duplicate group key within a bucket chain");
-      }
-      ++high_n;
+  std::vector<std::pair<std::uint64_t, const Group*>> seen;
+  seen.reserve(high_->size);
+  for (std::size_t s = 0; s < cap; ++s) {
+    const Group* g = high_->slots[s];
+    if (g == nullptr) continue;
+    ++high_n;
+    const std::uint64_t hash = high_->hashes[s];
+    FWDECAY_CHECK_MSG(HashKey(g->key) == hash,
+                      "group filed under the wrong hash");
+    FWDECAY_CHECK_MSG(g->key.size() == plan_->group_exprs_.size(),
+                      "group key arity differs from the plan");
+    FWDECAY_CHECK_MSG(g->aggs.size() == plan_->agg_names_.size(),
+                      "aggregate slot count differs from the plan");
+    FWDECAY_CHECK_MSG(g->weight >= 0.0 && !std::isnan(g->weight),
+                      "group forward-decay weight is negative or NaN");
+    // Probe invariant: no empty slot between the key's home slot and
+    // where the group actually sits, or Find() could never reach it.
+    for (std::size_t p = hash & high_->mask; p != s;
+         p = (p + 1) & high_->mask) {
+      FWDECAY_CHECK_MSG(high_->slots[p] != nullptr,
+                        "broken probe chain in the flat high table");
+    }
+    seen.emplace_back(hash, g);
+  }
+  // Equal keys imply equal hashes, so duplicate keys can only hide
+  // inside equal-hash runs.
+  std::sort(seen.begin(), seen.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (std::size_t i = 0; i + 1 < seen.size(); ++i) {
+    for (std::size_t j = i + 1;
+         j < seen.size() && seen[j].first == seen[i].first; ++j) {
+      FWDECAY_CHECK_MSG(!KeysEqual(seen[i].second->key, seen[j].second->key),
+                        "duplicate group key in the flat high table");
     }
   }
+  FWDECAY_CHECK_MSG(high_n == high_->size,
+                    "flat-table occupancy count out of sync");
   FWDECAY_CHECK_MSG(high_n == high_group_count_,
                     "cached high-level group count out of sync");
 
@@ -821,34 +1007,59 @@ void QueryExecution::FlushLowLevel() {
   }
 }
 
+void QueryExecution::Reset() {
+  // Publish the finished window's tail deltas before the counters
+  // rewind; the flush baselines rewind with them so the next window's
+  // first flush publishes exact deltas again.
+  FlushMetrics();
+  for (LowSlot& slot : low_table_) {
+    if (!slot.occupied) continue;
+    slot.occupied = false;
+    slot.group.key.clear();
+    slot.group.aggs.clear();
+    slot.group.weight = 0.0;
+    slot.group.tuples = 0;
+  }
+  low_occupied_ = 0;
+  high_->Clear();
+  high_group_count_ = 0;
+  packets_consumed_ = 0;
+  tuples_aggregated_ = 0;
+  low_level_evictions_ = 0;
+  groups_shed_ = 0;
+  tuples_shed_ = 0;
+  metrics_batch_seq_ = 0;
+  flushed_packets_ = 0;
+  flushed_batches_ = 0;
+  flushed_tuples_ = 0;
+  flushed_evictions_ = 0;
+  flushed_groups_shed_ = 0;
+  flushed_tuples_shed_ = 0;
+}
+
 void QueryExecution::MergeFrom(QueryExecution& other) {
   // Deterministic key order, so merged state (and any later snapshot)
-  // does not depend on the donor's hash-map iteration order.
+  // does not depend on the donor's table layout.
   std::vector<Group*> groups;
   groups.reserve(other.high_group_count_);
-  for (auto& [hash, bucket] : other.high_->map) {
-    for (Group& g : bucket) groups.push_back(&g);
+  for (Group* g : other.high_->slots) {
+    if (g != nullptr) groups.push_back(g);
   }
   std::sort(groups.begin(), groups.end(), [](const Group* a, const Group* b) {
     return KeyLess(a->key, b->key);
   });
   for (Group* g : groups) {
     const std::uint64_t hash = HashKey(g->key);
-    Group* existing = nullptr;
-    auto it = high_->map.find(hash);
-    if (it != high_->map.end()) {
-      for (Group& e : it->second) {
-        if (KeysEqual(e.key, g->key)) {
-          existing = &e;
-          break;
-        }
-      }
-    }
+    Group* existing = high_->Find(hash, g->key);
     if (existing == nullptr) {
       // Whole-group move: no aggregate Merge, so even non-mergeable
       // UDAFs survive as long as the donor's keys are disjoint (shard
-      // routing guarantees that).
-      high_->map[hash].push_back(std::move(*g));
+      // routing guarantees that). The donor shell's contents move into
+      // a shell of *this* table's arena; the emptied donor shell goes
+      // back to the donor's pool in Clear() below.
+      Group* mine = high_->AcquireShell();
+      *mine = std::move(*g);
+      high_->Insert(hash, mine);
       ++high_group_count_;
     } else {
       for (std::size_t slot = 0; slot < existing->aggs.size(); ++slot) {
@@ -858,7 +1069,7 @@ void QueryExecution::MergeFrom(QueryExecution& other) {
       existing->tuples += g->tuples;
     }
   }
-  other.high_->map.clear();
+  other.high_->Clear();
   other.high_group_count_ = 0;
 }
 
@@ -873,8 +1084,9 @@ ResultSet QueryExecution::Finish() {
   for (const auto& out : plan_->outputs_) result.columns.push_back(out.column_name);
 
   std::vector<Group*> groups;
-  for (auto& [hash, bucket] : high_->map) {
-    for (Group& g : bucket) groups.push_back(&g);
+  groups.reserve(high_group_count_);
+  for (Group* g : high_->slots) {
+    if (g != nullptr) groups.push_back(g);
   }
   std::sort(groups.begin(), groups.end(), [](const Group* a, const Group* b) {
     return KeyLess(a->key, b->key);
@@ -1038,11 +1250,12 @@ bool QueryExecution::CheckpointBytes(std::vector<std::uint8_t>* out,
   }
 
   // High groups in deterministic key order: snapshots of equal states
-  // are byte-identical regardless of hash-map history.
+  // are byte-identical regardless of table history (insertion order,
+  // rehashes, and backward-shift deletions never reach the wire).
   std::vector<const Group*> groups;
   groups.reserve(high_group_count_);
-  for (const auto& [hash, bucket] : high_->map) {
-    for (const Group& g : bucket) groups.push_back(&g);
+  for (const Group* g : high_->slots) {
+    if (g != nullptr) groups.push_back(g);
   }
   std::sort(groups.begin(), groups.end(),
             [](const Group* a, const Group* b) {
@@ -1144,7 +1357,7 @@ bool QueryExecution::RestoreBytes(const std::uint8_t* data, std::size_t size,
   if (plan_->options_.two_level) {
     low_table_.resize(plan_->options_.low_level_slots);
   }
-  high_->map.clear();
+  high_->Clear();
   high_group_count_ = 0;
 
   std::uint32_t occupied = 0;
@@ -1178,13 +1391,13 @@ bool QueryExecution::RestoreBytes(const std::uint8_t* data, std::size_t size,
     return false;
   }
   for (std::uint32_t i = 0; i < n_groups; ++i) {
-    Group g;
-    if (!RestoreGroup(&payload, &g)) {
+    Group* g = high_->AcquireShell();
+    if (!RestoreGroup(&payload, g)) {
+      high_->ReleaseShell(g);
       *error = "snapshot group corrupt";
       return false;
     }
-    const std::uint64_t hash = HashKey(g.key);
-    high_->map[hash].push_back(std::move(g));
+    high_->Insert(HashKey(g->key), g);
     ++high_group_count_;
   }
   if (!payload.Exhausted()) {
@@ -1224,7 +1437,8 @@ constexpr std::uint64_t kShardRouteSeed = 0x5ca1ab1e0ddba11ULL;
 struct RouterScratch {
   BatchEvalScratch eval;
   std::vector<std::uint32_t> sel;
-  std::vector<std::vector<Value>> key_cols;
+  std::vector<ValueColumn> key_cols;
+  std::vector<std::uint64_t> hashes;
   std::vector<std::vector<std::uint32_t>> shard_rows;
 };
 
@@ -1264,12 +1478,8 @@ void ShardedQueryExecution::Consume(const PacketBatch& batch) {
   rs.sel.resize(n_in);
   std::size_t n = 0;
   if (plan_->protocol_filter_ != 0) {
-    const std::uint8_t* proto = batch.protocol();
-    for (std::size_t i = 0; i < n_in; ++i) {
-      if (proto[i] == plan_->protocol_filter_) {
-        rs.sel[n++] = static_cast<std::uint32_t>(i);
-      }
-    }
+    n = simd::FilterByteEq(batch.protocol(), plan_->protocol_filter_, n_in,
+                           rs.sel.data());
   } else {
     for (std::size_t i = 0; i < n_in; ++i) {
       rs.sel[i] = static_cast<std::uint32_t>(i);
@@ -1293,13 +1503,11 @@ void ShardedQueryExecution::Consume(const PacketBatch& batch) {
     rs.shard_rows.resize(shards_.size());
   }
   for (std::size_t s = 0; s < shards_.size(); ++s) rs.shard_rows[s].clear();
+  rs.hashes.resize(n);
+  ComputeGroupHashes(rs.key_cols, num_groups, n, rs.hashes.data());
   for (std::size_t i = 0; i < n; ++i) {
-    std::uint64_t h = 0x12345678abcdef01ULL;
-    for (std::size_t g = 0; g < num_groups; ++g) {
-      h = HashCombine(h, rs.key_cols[g][i].Hash());
-    }
-    const std::size_t s =
-        static_cast<std::size_t>(HashU64(h, kShardRouteSeed) % shards_.size());
+    const std::size_t s = static_cast<std::size_t>(
+        HashU64(rs.hashes[i], kShardRouteSeed) % shards_.size());
     rs.shard_rows[s].push_back(rs.sel[i]);
   }
 

@@ -12,6 +12,7 @@
 
 #include "dsms/agg.h"
 #include "dsms/batch.h"
+#include "dsms/column.h"
 #include "dsms/expr.h"
 #include "dsms/packet.h"
 #include "dsms/parser.h"
@@ -29,7 +30,10 @@
 // aggregates — built-in or UDAF. Like GS, the engine can split
 // aggregation into two levels (Figure 2(a) vs 2(b)): a fixed-size
 // direct-mapped low-level table absorbs most updates and evicts partial
-// groups to the high-level hash map on collision.
+// groups to the high level on collision. The high level is an
+// open-addressing flat table over arena-backed group shells
+// (DESIGN.md §13.1/§13.3), keyed by the 64-bit group hash the batch
+// pipeline already computes.
 
 namespace fwdecay::dsms {
 
@@ -207,11 +211,22 @@ class QueryExecution {
 
   /// Representation audit of both group-table levels (DESIGN.md §7):
   /// every group is stored under the hash of its key, low-level slots sit
-  /// at hash % slots, bucket chains hold no duplicate keys, aggregate
-  /// arity matches the plan, group weights are non-negative forward-decay
-  /// sums, the cached high-level count is exact, and an installed
-  /// shedding bound is respected. Aborts via FWDECAY_CHECK on violation.
+  /// at hash % slots, every flat-table group is reachable from its home
+  /// slot through an unbroken linear-probe chain, no two groups share a
+  /// key, aggregate arity matches the plan, group weights are
+  /// non-negative forward-decay sums, the cached counts are exact, and an
+  /// installed shedding bound is respected. Aborts via FWDECAY_CHECK on
+  /// violation.
   void CheckInvariants() const;
+
+  /// Returns the execution to its freshly-constructed state while
+  /// retaining every capacity the previous run warmed up: the flat
+  /// table's slot arrays and arena-backed group shells, low-level slot
+  /// buffers, and all batch scratch. Tumbling windows reuse one
+  /// execution per window through this instead of reallocating
+  /// (DESIGN.md §13.3). Pending metric deltas are flushed first; the
+  /// policy installed via SetOverloadPolicy() is kept.
+  void Reset();
 
  private:
   friend class ShardedQueryExecution;
@@ -219,8 +234,12 @@ class QueryExecution {
   struct Group;
   struct LowSlot;
 
+  // Looks the key up in the flat high table; admits a pooled shell
+  // (shedding first under a bounded policy) when absent. The key is
+  // copied into the shell's capacity-retaining vector, so the caller's
+  // buffer survives for the next run.
   Group* FindOrCreateHighGroup(std::uint64_t hash,
-                               std::vector<Value>&& key);
+                               const std::vector<Value>& key);
   // Applies one run of consecutive equal-key rows to a group: forward
   // weights per row in order, then one UpdateBatch per aggregate slot
   // over the run. The batched hot path — must not allocate per tuple
@@ -307,6 +326,10 @@ class QueryExecution {
   // Storage details live in the .cc (pimpl-free; concrete types are
   // private nested structs).
   std::vector<LowSlot> low_table_;
+  // size-1 when the low table is a power of two (the 4096 default):
+  // `hash & low_mask_` then equals `hash % size` bit for bit, without
+  // the per-run integer division. 0 = size not a power of two, use %.
+  std::size_t low_mask_ = 0;
   struct HighTable;
   std::unique_ptr<HighTable> high_;
 
@@ -317,9 +340,9 @@ class QueryExecution {
   std::vector<std::uint32_t> sel_;        // surviving batch rows
   std::vector<std::uint32_t> row_index_;  // iota over the selection
   std::vector<std::uint64_t> hashes_;     // group hash per selected row
-  std::vector<std::vector<Value>> key_cols_;  // per group expr, dense
+  std::vector<ValueColumn> key_cols_;     // per group expr, dense
   // Per aggregate slot, per argument: dense column over the selection.
-  std::vector<std::vector<std::vector<Value>>> arg_cols_;
+  std::vector<std::vector<ValueColumn>> arg_cols_;
   std::vector<Value> key_scratch_;        // run key under construction
   PacketBatch single_{1};                 // Consume(Packet) wrapper
 };
@@ -479,3 +502,4 @@ class ShardedQueryExecution {
 }  // namespace fwdecay::dsms
 
 #endif  // FWDECAY_DSMS_ENGINE_H_
+

@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "util/check.h"
+#include "util/simd.h"
 
 namespace fwdecay::dsms {
 
@@ -429,55 +430,70 @@ ColumnId ResolveColumn(const std::string& name) {
   return ColumnId::kTime;
 }
 
+// Gathers a schema column into typed storage: every column is int64
+// (same widening as ReadColumn) except dtime, which is double.
 void ReadColumnBatch(ColumnId col, const PacketBatch& batch,
                      const std::uint32_t* sel, std::size_t n,
-                     std::vector<Value>* out) {
+                     ValueColumn* out) {
+  if (col == ColumnId::kDtime) {
+    double* dst = out->AppendF64(n);
+    const double* t = batch.time();
+    for (std::size_t i = 0; i < n; ++i) dst[i] = t[sel[i]];
+    return;
+  }
+  std::int64_t* dst = out->AppendI64(n);
   switch (col) {
-    case ColumnId::kTime:
+    case ColumnId::kTime: {
+      const double* t = batch.time();
       for (std::size_t i = 0; i < n; ++i) {
-        out->push_back(Value(static_cast<std::int64_t>(batch.time()[sel[i]])));
+        dst[i] = static_cast<std::int64_t>(t[sel[i]]);
       }
       return;
+    }
     case ColumnId::kDtime:
+      return;  // handled above
+    case ColumnId::kSrcIp: {
+      const std::uint32_t* c = batch.src_ip();
       for (std::size_t i = 0; i < n; ++i) {
-        out->push_back(Value(batch.time()[sel[i]]));
+        dst[i] = static_cast<std::int64_t>(c[sel[i]]);
       }
       return;
-    case ColumnId::kSrcIp:
+    }
+    case ColumnId::kDestIp: {
+      const std::uint32_t* c = batch.dest_ip();
       for (std::size_t i = 0; i < n; ++i) {
-        out->push_back(
-            Value(static_cast<std::int64_t>(batch.src_ip()[sel[i]])));
+        dst[i] = static_cast<std::int64_t>(c[sel[i]]);
       }
       return;
-    case ColumnId::kDestIp:
+    }
+    case ColumnId::kSrcPort: {
+      const std::uint16_t* c = batch.src_port();
       for (std::size_t i = 0; i < n; ++i) {
-        out->push_back(
-            Value(static_cast<std::int64_t>(batch.dest_ip()[sel[i]])));
+        dst[i] = static_cast<std::int64_t>(c[sel[i]]);
       }
       return;
-    case ColumnId::kSrcPort:
+    }
+    case ColumnId::kDestPort: {
+      const std::uint16_t* c = batch.dest_port();
       for (std::size_t i = 0; i < n; ++i) {
-        out->push_back(
-            Value(static_cast<std::int64_t>(batch.src_port()[sel[i]])));
+        dst[i] = static_cast<std::int64_t>(c[sel[i]]);
       }
       return;
-    case ColumnId::kDestPort:
+    }
+    case ColumnId::kLen: {
+      const std::uint32_t* c = batch.len();
       for (std::size_t i = 0; i < n; ++i) {
-        out->push_back(
-            Value(static_cast<std::int64_t>(batch.dest_port()[sel[i]])));
+        dst[i] = static_cast<std::int64_t>(c[sel[i]]);
       }
       return;
-    case ColumnId::kLen:
+    }
+    case ColumnId::kProtocol: {
+      const std::uint8_t* c = batch.protocol();
       for (std::size_t i = 0; i < n; ++i) {
-        out->push_back(Value(static_cast<std::int64_t>(batch.len()[sel[i]])));
+        dst[i] = static_cast<std::int64_t>(c[sel[i]]);
       }
       return;
-    case ColumnId::kProtocol:
-      for (std::size_t i = 0; i < n; ++i) {
-        out->push_back(
-            Value(static_cast<std::int64_t>(batch.protocol()[sel[i]])));
-      }
-      return;
+    }
   }
 }
 
@@ -490,13 +506,13 @@ class ScratchColumn {
   ~ScratchColumn() { scratch_->ReleaseColumn(col_); }
   ScratchColumn(const ScratchColumn&) = delete;
   ScratchColumn& operator=(const ScratchColumn&) = delete;
-  std::vector<Value>* get() { return col_; }
-  std::vector<Value>* operator->() { return col_; }
-  std::vector<Value>& operator*() { return *col_; }
+  ValueColumn* get() { return col_; }
+  ValueColumn* operator->() { return col_; }
+  ValueColumn& operator*() { return *col_; }
 
  private:
   BatchEvalScratch* scratch_;
-  std::vector<Value>* col_;
+  ValueColumn* col_;
 };
 
 class ScratchIndex {
@@ -514,6 +530,67 @@ class ScratchIndex {
   BatchEvalScratch* scratch_;
   std::vector<std::uint32_t>* idx_;
 };
+
+simd::CmpOp ToCmpOp(BinOp op) {
+  switch (op) {
+    case BinOp::kEq: return simd::CmpOp::kEq;
+    case BinOp::kNe: return simd::CmpOp::kNe;
+    case BinOp::kLt: return simd::CmpOp::kLt;
+    case BinOp::kLe: return simd::CmpOp::kLe;
+    case BinOp::kGt: return simd::CmpOp::kGt;
+    case BinOp::kGe: return simd::CmpOp::kGe;
+    default:
+      FWDECAY_CHECK_MSG(false, "non-comparison operator in compare kernel");
+      return simd::CmpOp::kEq;
+  }
+}
+
+// Double view of a typed numeric column: kF64 columns are returned in
+// place; kI64 columns are widened into `conv` — the same int→double
+// promotion Value arithmetic performs on mixed operands.
+const double* AsF64(const ValueColumn& col, std::size_t n,
+                    ValueColumn* conv) {
+  if (col.rep() == ValueColumn::Rep::kF64) return col.f64_data();
+  double* dst = conv->AppendF64(n);
+  const std::int64_t* src = col.i64_data();
+  for (std::size_t i = 0; i < n; ++i) dst[i] = static_cast<double>(src[i]);
+  return dst;
+}
+
+// Per-row Value fallback for binary operators over boxed columns (mixed
+// types or strings): exactly the per-tuple operator semantics.
+void EvalBinaryBoxed(BinOp op, const ValueColumn& lhs, const ValueColumn& rhs,
+                     std::size_t n, ValueColumn* out) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const Value a = lhs[i];
+    const Value b = rhs[i];
+    switch (op) {
+      case BinOp::kAdd: out->push_back(a + b); break;
+      case BinOp::kSub: out->push_back(a - b); break;
+      case BinOp::kMul: out->push_back(a * b); break;
+      case BinOp::kDiv: out->push_back(a / b); break;
+      case BinOp::kMod: out->push_back(a % b); break;
+      case BinOp::kEq: out->push_back(Value(std::int64_t{a == b})); break;
+      case BinOp::kNe: out->push_back(Value(std::int64_t{!(a == b)})); break;
+      case BinOp::kLt:
+        out->push_back(Value(std::int64_t{Compare(a, b) < 0}));
+        break;
+      case BinOp::kLe:
+        out->push_back(Value(std::int64_t{Compare(a, b) <= 0}));
+        break;
+      case BinOp::kGt:
+        out->push_back(Value(std::int64_t{Compare(a, b) > 0}));
+        break;
+      case BinOp::kGe:
+        out->push_back(Value(std::int64_t{Compare(a, b) >= 0}));
+        break;
+      case BinOp::kAnd:
+      case BinOp::kOr:
+        FWDECAY_CHECK_MSG(false, "unreachable logical operator");
+        break;
+    }
+  }
+}
 
 }  // namespace
 
@@ -561,18 +638,28 @@ std::size_t EvalPredicateBatch(const Expr& e, const PacketBatch& batch,
     return merged->size();
   }
   // Any other expression: evaluate as a column and keep the truthy rows.
+  // Typed columns compact through the SIMD kernels (NaN is truthy, as in
+  // the scalar Truthy); boxed columns fall back to the per-row test.
   ScratchColumn col(scratch);
   EvalExprBatch(e, batch, sel, n, scratch, col.get());
+  switch (col->rep()) {
+    case ValueColumn::Rep::kI64:
+      return simd::CompactNonZeroI64(col->i64_data(), sel, n);
+    case ValueColumn::Rep::kF64:
+      return simd::CompactNonZeroF64(col->f64_data(), sel, n);
+    case ValueColumn::Rep::kBoxed:
+      break;
+  }
   std::size_t kept = 0;
   for (std::size_t i = 0; i < n; ++i) {
-    if (Truthy((*col)[i])) sel[kept++] = sel[i];
+    if (Truthy(col->boxed_at(i))) sel[kept++] = sel[i];
   }
   return kept;
 }
 
 void EvalExprBatch(const Expr& e, const PacketBatch& batch,
                    const std::uint32_t* sel, std::size_t n,
-                   BatchEvalScratch* scratch, std::vector<Value>* out) {
+                   BatchEvalScratch* scratch, ValueColumn* out) {
   out->clear();
   out->reserve(n);
   switch (e.kind) {
@@ -582,11 +669,11 @@ void EvalExprBatch(const Expr& e, const PacketBatch& batch,
     case Expr::Kind::kLiteral:
       for (std::size_t i = 0; i < n; ++i) out->push_back(e.literal);
       return;
-    case Expr::Kind::kStar:
-      for (std::size_t i = 0; i < n; ++i) {
-        out->push_back(Value(std::int64_t{1}));
-      }
+    case Expr::Kind::kStar: {
+      std::int64_t* dst = out->AppendI64(n);
+      for (std::size_t i = 0; i < n; ++i) dst[i] = 1;
       return;
+    }
     case Expr::Kind::kAggRef:
     case Expr::Kind::kGroupRef:
       FWDECAY_CHECK_MSG(false,
@@ -596,25 +683,43 @@ void EvalExprBatch(const Expr& e, const PacketBatch& batch,
     case Expr::Kind::kNeg: {
       ScratchColumn operand(scratch);
       EvalExprBatch(*e.args[0], batch, sel, n, scratch, operand.get());
-      for (std::size_t i = 0; i < n; ++i) {
-        out->push_back(Value(std::int64_t{0}) - (*operand)[i]);
+      switch (operand->rep()) {
+        case ValueColumn::Rep::kI64: {
+          const std::int64_t* src = operand->i64_data();
+          std::int64_t* dst = out->AppendI64(n);
+          for (std::size_t i = 0; i < n; ++i) dst[i] = std::int64_t{0} - src[i];
+          return;
+        }
+        case ValueColumn::Rep::kF64: {
+          // Value(0) - Value(d) promotes the int zero: 0.0 - d, which
+          // differs from -d on d == +0.0 — keep the subtraction form.
+          const double* src = operand->f64_data();
+          double* dst = out->AppendF64(n);
+          for (std::size_t i = 0; i < n; ++i) dst[i] = 0.0 - src[i];
+          return;
+        }
+        case ValueColumn::Rep::kBoxed:
+          for (std::size_t i = 0; i < n; ++i) {
+            out->push_back(Value(std::int64_t{0}) - operand->boxed_at(i));
+          }
+          return;
       }
       return;
     }
     case Expr::Kind::kCall: {
       const ScalarFn fn = ResolveScalarFn(e.name);
       // Evaluate every argument as a column, then apply the resolved
-      // function row by row. Both the argument columns and the pointer
-      // list holding them come from the scratch pools, so steady-state
-      // evaluation allocates nothing.
-      std::vector<std::vector<Value>*>* arg_cols =
-          scratch->AcquireColumnList();
+      // function row by row — scalar functions are libm-bound, so they
+      // stay in stream order (the bit-exactness rule in util/simd.h).
+      // The argument columns and the pointer list holding them come from
+      // the scratch pools, so steady-state evaluation allocates nothing.
+      std::vector<ValueColumn*>* arg_cols = scratch->AcquireColumnList();
       arg_cols->reserve(e.args.size());
       for (const auto& a : e.args) {
         arg_cols->push_back(scratch->AcquireColumn());
         EvalExprBatch(*a, batch, sel, n, scratch, arg_cols->back());
       }
-      ScratchColumn row_args(scratch);
+      std::vector<Value>* row_args = scratch->RowArgsBuf();
       row_args->resize(e.args.size());
       for (std::size_t i = 0; i < n; ++i) {
         for (std::size_t a = 0; a < arg_cols->size(); ++a) {
@@ -622,7 +727,7 @@ void EvalExprBatch(const Expr& e, const PacketBatch& batch,
         }
         out->push_back(ApplyScalarFn(fn, *row_args));
       }
-      for (std::vector<Value>* col : *arg_cols) scratch->ReleaseColumn(col);
+      for (ValueColumn* col : *arg_cols) scratch->ReleaseColumn(col);
       scratch->ReleaseColumnList(arg_cols);
       return;
     }
@@ -635,11 +740,12 @@ void EvalExprBatch(const Expr& e, const PacketBatch& batch,
         accepted->assign(sel, sel + n);
         const std::size_t n_true =
             EvalPredicateBatch(e, batch, accepted->data(), n, scratch);
+        std::int64_t* dst = out->AppendI64(n);
         std::size_t next = 0;
         for (std::size_t i = 0; i < n; ++i) {
           const bool hit = next < n_true && (*accepted)[next] == sel[i];
           if (hit) ++next;
-          out->push_back(Value(std::int64_t{hit}));
+          dst[i] = hit ? 1 : 0;
         }
         return;
       }
@@ -647,37 +753,97 @@ void EvalExprBatch(const Expr& e, const PacketBatch& batch,
       ScratchColumn rhs(scratch);
       EvalExprBatch(*e.args[0], batch, sel, n, scratch, lhs.get());
       EvalExprBatch(*e.args[1], batch, sel, n, scratch, rhs.get());
-      for (std::size_t i = 0; i < n; ++i) {
-        const Value& a = (*lhs)[i];
-        const Value& b = (*rhs)[i];
+      if (lhs->rep() == ValueColumn::Rep::kBoxed ||
+          rhs->rep() == ValueColumn::Rep::kBoxed) {
+        EvalBinaryBoxed(e.op, *lhs, *rhs, n, out);
+        return;
+      }
+      if (lhs->rep() == ValueColumn::Rep::kI64 &&
+          rhs->rep() == ValueColumn::Rep::kI64) {
+        // Integer arithmetic stays in integers (Value promotion rules).
+        const std::int64_t* a = lhs->i64_data();
+        const std::int64_t* b = rhs->i64_data();
         switch (e.op) {
-          case BinOp::kAdd: out->push_back(a + b); break;
-          case BinOp::kSub: out->push_back(a - b); break;
-          case BinOp::kMul: out->push_back(a * b); break;
-          case BinOp::kDiv: out->push_back(a / b); break;
-          case BinOp::kMod: out->push_back(a % b); break;
-          case BinOp::kEq: out->push_back(Value(std::int64_t{a == b})); break;
+          case BinOp::kAdd:
+            simd::AddI64(a, b, n, out->AppendI64(n));
+            return;
+          case BinOp::kSub:
+            simd::SubI64(a, b, n, out->AppendI64(n));
+            return;
+          case BinOp::kMul: {
+            std::int64_t* dst = out->AppendI64(n);
+            for (std::size_t i = 0; i < n; ++i) dst[i] = a[i] * b[i];
+            return;
+          }
+          case BinOp::kDiv: {
+            std::int64_t* dst = out->AppendI64(n);
+            for (std::size_t i = 0; i < n; ++i) {
+              FWDECAY_CHECK_MSG(b[i] != 0, "integer division by zero");
+              dst[i] = a[i] / b[i];
+            }
+            return;
+          }
+          case BinOp::kMod: {
+            std::int64_t* dst = out->AppendI64(n);
+            for (std::size_t i = 0; i < n; ++i) {
+              FWDECAY_CHECK_MSG(b[i] != 0, "integer modulo by zero");
+              dst[i] = a[i] % b[i];
+            }
+            return;
+          }
+          case BinOp::kEq:
           case BinOp::kNe:
-            out->push_back(Value(std::int64_t{!(a == b)}));
-            break;
           case BinOp::kLt:
-            out->push_back(Value(std::int64_t{Compare(a, b) < 0}));
-            break;
           case BinOp::kLe:
-            out->push_back(Value(std::int64_t{Compare(a, b) <= 0}));
-            break;
           case BinOp::kGt:
-            out->push_back(Value(std::int64_t{Compare(a, b) > 0}));
-            break;
           case BinOp::kGe:
-            out->push_back(Value(std::int64_t{Compare(a, b) >= 0}));
-            break;
+            simd::CmpI64(ToCmpOp(e.op), a, b, n, out->AppendI64(n));
+            return;
           case BinOp::kAnd:
           case BinOp::kOr:
-            FWDECAY_CHECK_MSG(false, "unreachable logical operator");
-            break;
+            break;  // handled above
         }
+        FWDECAY_CHECK_MSG(false, "unreachable integer operator");
+        return;
       }
+      // At least one double operand: promote both sides to double,
+      // exactly as mixed-type Value arithmetic does.
+      ScratchColumn lconv(scratch);
+      ScratchColumn rconv(scratch);
+      const double* a = AsF64(*lhs, n, lconv.get());
+      const double* b = AsF64(*rhs, n, rconv.get());
+      switch (e.op) {
+        case BinOp::kAdd:
+          simd::AddF64(a, b, n, out->AppendF64(n));
+          return;
+        case BinOp::kSub:
+          simd::SubF64(a, b, n, out->AppendF64(n));
+          return;
+        case BinOp::kMul:
+          simd::MulF64(a, b, n, out->AppendF64(n));
+          return;
+        case BinOp::kDiv:
+          simd::DivF64(a, b, n, out->AppendF64(n));
+          return;
+        case BinOp::kMod: {
+          // fmod is libm — stays scalar in stream order.
+          double* dst = out->AppendF64(n);
+          for (std::size_t i = 0; i < n; ++i) dst[i] = std::fmod(a[i], b[i]);
+          return;
+        }
+        case BinOp::kEq:
+        case BinOp::kNe:
+        case BinOp::kLt:
+        case BinOp::kLe:
+        case BinOp::kGt:
+        case BinOp::kGe:
+          simd::CmpF64(ToCmpOp(e.op), a, b, n, out->AppendI64(n));
+          return;
+        case BinOp::kAnd:
+        case BinOp::kOr:
+          break;  // handled above
+      }
+      FWDECAY_CHECK_MSG(false, "unreachable double operator");
       return;
     }
   }

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "dsms/batch.h"
+#include "dsms/column.h"
 #include "dsms/packet.h"
 #include "dsms/value.h"
 
@@ -100,36 +101,43 @@ bool EvalPostPredicate(const Expr& e, const std::vector<Value>& agg_values,
 class BatchEvalScratch {
  public:
   /// Borrows an empty value column; Release() returns it to the pool.
-  std::vector<Value>* AcquireColumn() {
+  ValueColumn* AcquireColumn() {
     if (free_columns_.empty()) {
-      owned_columns_.push_back(std::make_unique<std::vector<Value>>());
+      // fwdecay: hotpath-cold(pool growth: once per plan expression depth until warm)
+      owned_columns_.push_back(std::make_unique<ValueColumn>());
       return owned_columns_.back().get();
     }
-    std::vector<Value>* col = free_columns_.back();
+    ValueColumn* col = free_columns_.back();
     free_columns_.pop_back();
     return col;
   }
-  void ReleaseColumn(std::vector<Value>* col) {
+  void ReleaseColumn(ValueColumn* col) {
     col->clear();
     free_columns_.push_back(col);
   }
 
   /// Borrows an empty column-pointer list (kCall argument columns;
   /// calls nest, so these pool like the columns themselves).
-  std::vector<std::vector<Value>*>* AcquireColumnList() {
+  std::vector<ValueColumn*>* AcquireColumnList() {
     if (free_column_lists_.empty()) {
       owned_column_lists_.push_back(
-          std::make_unique<std::vector<std::vector<Value>*>>());
+          std::make_unique<std::vector<ValueColumn*>>());
       return owned_column_lists_.back().get();
     }
-    std::vector<std::vector<Value>*>* list = free_column_lists_.back();
+    std::vector<ValueColumn*>* list = free_column_lists_.back();
     free_column_lists_.pop_back();
     return list;
   }
-  void ReleaseColumnList(std::vector<std::vector<Value>*>* list) {
+  void ReleaseColumnList(std::vector<ValueColumn*>* list) {
     list->clear();
     free_column_lists_.push_back(list);
   }
+
+  /// Row-gather buffer for applying scalar functions over evaluated
+  /// argument columns. Never nested: a kCall node's argument columns are
+  /// fully evaluated (including inner calls) before its gather loop
+  /// runs, so one buffer per scratch suffices.
+  std::vector<Value>* RowArgsBuf() { return &row_args_; }
 
   /// Borrows an empty row-index vector (for selection merging).
   std::vector<std::uint32_t>* AcquireIndex() {
@@ -148,11 +156,12 @@ class BatchEvalScratch {
   }
 
  private:
-  std::vector<std::unique_ptr<std::vector<Value>>> owned_columns_;
-  std::vector<std::vector<Value>*> free_columns_;
-  std::vector<std::unique_ptr<std::vector<std::vector<Value>*>>>
+  std::vector<std::unique_ptr<ValueColumn>> owned_columns_;
+  std::vector<ValueColumn*> free_columns_;
+  std::vector<std::unique_ptr<std::vector<ValueColumn*>>>
       owned_column_lists_;
-  std::vector<std::vector<std::vector<Value>*>*> free_column_lists_;
+  std::vector<std::vector<ValueColumn*>*> free_column_lists_;
+  std::vector<Value> row_args_;
   std::vector<std::unique_ptr<std::vector<std::uint32_t>>> owned_indexes_;
   std::vector<std::vector<std::uint32_t>*> free_indexes_;
 };
@@ -168,13 +177,15 @@ std::size_t EvalPredicateBatch(const Expr& e, const PacketBatch& batch,
                                std::uint32_t* sel, std::size_t n,
                                BatchEvalScratch* scratch);
 
-/// Batched scalar-expression evaluation: fills `*out` with one Value per
+/// Batched scalar-expression evaluation: fills `*out` with one value per
 /// selected row (out->size() == n, out[i] = e evaluated on row sel[i]).
 /// Column and scalar-function names are resolved once per call, not once
-/// per row. `out` is caller-owned; its capacity is reused across calls.
+/// per row; columns over int64/double rows stay in typed storage and run
+/// through the util/simd.h kernels, bit-exact with the per-tuple
+/// evaluator. `out` is caller-owned; its capacity is reused across calls.
 void EvalExprBatch(const Expr& e, const PacketBatch& batch,
                    const std::uint32_t* sel, std::size_t n,
-                   BatchEvalScratch* scratch, std::vector<Value>* out);
+                   BatchEvalScratch* scratch, ValueColumn* out);
 
 }  // namespace fwdecay::dsms
 

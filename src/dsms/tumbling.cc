@@ -28,7 +28,7 @@ void TumblingRunner::Consume(const Packet& p) {
   }
   auto it = open_.find(bucket);
   if (it == open_.end()) {
-    it = open_.emplace(bucket, plan_->NewExecution()).first;
+    it = open_.emplace(bucket, AcquireExecution()).first;
   }
   it->second->Consume(p);
   if (p.time > watermark_) {
@@ -44,6 +44,7 @@ void TumblingRunner::EmitReady() {
         (static_cast<double>(bucket) + 1.0) * bucket_seconds_;
     if (watermark_ < bucket_end + slack_seconds_) break;
     emit_(bucket, open_.begin()->second->Finish());
+    ReleaseExecution(std::move(open_.begin()->second));
     open_.erase(open_.begin());
     next_unemitted_ = bucket + 1;
   }
@@ -53,9 +54,25 @@ void TumblingRunner::Flush() {
   while (!open_.empty()) {
     const std::int64_t bucket = open_.begin()->first;
     emit_(bucket, open_.begin()->second->Finish());
+    ReleaseExecution(std::move(open_.begin()->second));
     open_.erase(open_.begin());
     next_unemitted_ = bucket + 1;
   }
+}
+
+std::unique_ptr<QueryExecution> TumblingRunner::AcquireExecution() {
+  if (pool_.empty()) return plan_->NewExecution();
+  std::unique_ptr<QueryExecution> exec = std::move(pool_.back());
+  pool_.pop_back();
+  return exec;
+}
+
+void TumblingRunner::ReleaseExecution(std::unique_ptr<QueryExecution> exec) {
+  // Reset keeps the flat-table slot arrays, arena-backed group shells
+  // and batch scratch warm, so the next bucket's execution starts with
+  // every capacity this one grew (DESIGN.md §13.3).
+  exec->Reset();
+  pool_.push_back(std::move(exec));
 }
 
 }  // namespace fwdecay::dsms

@@ -6,6 +6,7 @@
 #include <limits>
 #include <map>
 #include <memory>
+#include <vector>
 
 #include "dsms/engine.h"
 
@@ -14,7 +15,10 @@
 // (Section I). The runner keeps one QueryExecution per open bucket and
 // emits a bucket's ResultSet once the event-time watermark passes its
 // end plus an out-of-order slack (the punctuation/heartbeat role of
-// [36], [25] in the paper's introduction).
+// [36], [25] in the paper's introduction). Emitted buckets return their
+// execution to a pool via QueryExecution::Reset(), so steady-state
+// window turnover reuses warmed flat-table slots, arena-backed group
+// shells, and batch scratch instead of reallocating (DESIGN.md §13.3).
 
 namespace fwdecay::dsms {
 
@@ -41,6 +45,10 @@ class TumblingRunner {
 
  private:
   void EmitReady();
+  // Pops a pooled (already-Reset) execution, or builds the pool's first.
+  std::unique_ptr<QueryExecution> AcquireExecution();
+  // Resets an emitted bucket's execution and returns it to the pool.
+  void ReleaseExecution(std::unique_ptr<QueryExecution> exec);
 
   const CompiledQuery* plan_;
   double bucket_seconds_;
@@ -50,6 +58,9 @@ class TumblingRunner {
   std::int64_t next_unemitted_ = std::numeric_limits<std::int64_t>::min();
   std::uint64_t late_drops_ = 0;
   std::map<std::int64_t, std::unique_ptr<QueryExecution>> open_;
+  // Reset executions awaiting reuse; grows to the peak number of
+  // simultaneously open buckets (bounded by the slack), never beyond.
+  std::vector<std::unique_ptr<QueryExecution>> pool_;
 };
 
 }  // namespace fwdecay::dsms

@@ -186,7 +186,7 @@ TEST(BatchEvalTest, ExprBatchMatchesPerTuple) {
     sel[i] = static_cast<std::uint32_t>(i);
   }
   BatchEvalScratch scratch;
-  std::vector<Value> out;
+  ValueColumn out;
   EvalExprBatch(where, batch, sel.data(), sel.size(), &scratch, &out);
   ASSERT_EQ(out.size(), trace.size());
   for (std::size_t i = 0; i < trace.size(); ++i) {
