@@ -4,17 +4,21 @@
 `bench_ingest` appends one JSON object per line to BENCH_ingest.json,
 and the file is committed — so after a CI run the file is the committed
 baseline rows followed by the rows this run just measured. This gate
-compares each *fresh* `"mode":"batched"` row against the most recent
-*committed* batched row measured under the same conditions (same
-`"simd"` dispatch arm, same `"metrics"` setting — cross-arm or
-cross-config comparisons would measure the config, not the regression)
-and fails when ns/packet regressed by more than --max-regression
+compares each *fresh* `"mode":"batched"`, `"mode":"sharded"` or
+`"mode":"pipeline"` row against the most recent *committed* row
+measured under the same conditions — same mode, same `"shards"` count,
+same `"simd"` dispatch arm, same `"metrics"` setting, same
+`"pipeline"` generation ("router-v1" mutex router vs "spsc-v2"
+shared-nothing pipeline — a generation switch is a rewrite, not a
+regression), and same `"nproc"` (a 2-shard run on a 1-core box and on
+an 8-core box measure different machines, not a regression) — and
+fails when ns/packet regressed by more than --max-regression
 (default 10%).
 
 Rows without a `"simd"` field (measured before the dispatch layer
 existed) are never used as baselines: the gate arms itself the first
-time post-SIMD rows are committed. A fresh row with no same-arm
-baseline passes vacuously, loudly.
+time post-SIMD rows are committed. A fresh row with no
+matching-condition baseline passes vacuously, loudly.
 
 Usage: scripts/check_bench.py [--json BENCH_ingest.json] [--ref HEAD]
                               [--max-regression 0.10]
@@ -60,32 +64,41 @@ def main():
     committed = parse_rows(show.stdout) if show.returncode == 0 else []
 
     fresh = current[len(committed):]
-    fresh_batched = [r for r in fresh if r.get("mode") == "batched"]
-    if not fresh_batched:
-        print("check_bench.py: no fresh batched rows to gate [OK]")
+    gated_modes = ("batched", "sharded", "pipeline")
+    fresh_gated = [r for r in fresh if r.get("mode") in gated_modes]
+    if not fresh_gated:
+        print("check_bench.py: no fresh gated rows to gate [OK]")
         return 0
 
+    def conditions(row):
+        # Baseline key: a comparison is only meaningful between rows
+        # that measured the same code path on the same machine shape.
+        return (row.get("mode"), row.get("shards"), row.get("simd"),
+                row.get("metrics"), row.get("pipeline"),
+                row.get("nproc"))
+
     failures = 0
-    for row in fresh_batched:
-        arm = row.get("simd")
-        metrics = row.get("metrics")
-        if arm is None:
+    for row in fresh_gated:
+        if row.get("simd") is None:
             print(f"check_bench.py: fresh row has no simd field, skipping: "
                   f"{row}")
             continue
+        key = conditions(row)
         baseline = None
         for cand in committed:
-            if (cand.get("mode") == "batched" and cand.get("simd") == arm
-                    and cand.get("metrics") == metrics):
+            if conditions(cand) == key:
                 baseline = cand  # last match wins: most recent commit
+        label = (f"{row['mode']} shards={row.get('shards')} "
+                 f"simd={row.get('simd')} metrics={row.get('metrics')} "
+                 f"pipeline={row.get('pipeline')} nproc={row.get('nproc')}")
         if baseline is None:
-            print(f"check_bench.py: no committed baseline for "
-                  f"simd={arm} metrics={metrics} — passing vacuously "
+            print(f"check_bench.py: no committed baseline for {label} — "
+                  f"passing vacuously "
                   f"(fresh: {row['ns_per_packet']:.2f} ns/packet)")
             continue
         limit = baseline["ns_per_packet"] * (1.0 + args.max_regression)
         verdict = "OK" if row["ns_per_packet"] <= limit else "REGRESSION"
-        print(f"check_bench.py: batched simd={arm} metrics={metrics}: "
+        print(f"check_bench.py: {label}: "
               f"{row['ns_per_packet']:.2f} ns/packet vs baseline "
               f"{baseline['ns_per_packet']:.2f} "
               f"(limit {limit:.2f}) [{verdict}]")

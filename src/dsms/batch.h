@@ -55,6 +55,33 @@ class PacketBatch {
     return true;
   }
 
+  /// Bulk gather: appends rows rows[0..n) of `src` in order. The
+  /// pipeline's routing stage builds per-shard sub-batches with this —
+  /// one pass per column over the gathered indices, no per-row Packet
+  /// materialization. The caller guarantees the rows fit
+  /// (size() + n <= capacity()) and are valid indices into src.
+  void AppendSelected(const PacketBatch& src, const std::uint32_t* rows,
+                      std::size_t n) {
+    FWDECAY_DCHECK(size() + n <= capacity_);
+    for (std::size_t i = 0; i < n; ++i) time_.push_back(src.time_[rows[i]]);
+    for (std::size_t i = 0; i < n; ++i) {
+      src_ip_.push_back(src.src_ip_[rows[i]]);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      dest_ip_.push_back(src.dest_ip_[rows[i]]);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      src_port_.push_back(src.src_port_[rows[i]]);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      dest_port_.push_back(src.dest_port_[rows[i]]);
+    }
+    for (std::size_t i = 0; i < n; ++i) len_.push_back(src.len_[rows[i]]);
+    for (std::size_t i = 0; i < n; ++i) {
+      protocol_.push_back(src.protocol_[rows[i]]);
+    }
+  }
+
   /// Empties the batch; column capacity is retained.
   void Clear() {
     time_.clear();

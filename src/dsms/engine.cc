@@ -5,7 +5,12 @@
 #include <cmath>
 #include <cstring>
 #include <span>
+#include <thread>
 #include <utility>
+
+#if defined(__linux__)
+#include <sched.h>  // sched_setaffinity (worker core pinning)
+#endif
 
 #include "core/decay.h"
 #include "util/arena.h"
@@ -15,6 +20,7 @@
 #include "util/fault_fs.h"
 #include "util/hash.h"
 #include "util/simd.h"
+#include "util/spsc_ring.h"
 
 namespace fwdecay::dsms {
 
@@ -1439,6 +1445,7 @@ struct RouterScratch {
   std::vector<std::uint32_t> sel;
   std::vector<ValueColumn> key_cols;
   std::vector<std::uint64_t> hashes;
+  std::vector<std::uint32_t> shard_ids;
   std::vector<std::vector<std::uint32_t>> shard_rows;
 };
 
@@ -1505,10 +1512,12 @@ void ShardedQueryExecution::Consume(const PacketBatch& batch) {
   for (std::size_t s = 0; s < shards_.size(); ++s) rs.shard_rows[s].clear();
   rs.hashes.resize(n);
   ComputeGroupHashes(rs.key_cols, num_groups, n, rs.hashes.data());
+  rs.shard_ids.resize(n);
+  simd::ShardIndexU64(rs.hashes.data(), n, kShardRouteSeed,
+                      static_cast<std::uint32_t>(shards_.size()),
+                      rs.shard_ids.data());
   for (std::size_t i = 0; i < n; ++i) {
-    const std::size_t s = static_cast<std::size_t>(
-        HashU64(rs.hashes[i], kShardRouteSeed) % shards_.size());
-    rs.shard_rows[s].push_back(rs.sel[i]);
+    rs.shard_rows[rs.shard_ids[i]].push_back(rs.sel[i]);
   }
 
   for (std::size_t s = 0; s < shards_.size(); ++s) {
@@ -1597,6 +1606,277 @@ void ShardedQueryExecution::CheckInvariants() const {
     MutexLock lock(shard->mu);
     shard->exec->CheckInvariants();
   }
+}
+
+// ---------------------------------------------------------------------------
+// Pipelined execution (shared-nothing, DESIGN.md §14)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Pins the calling thread to one core (Linux; no-op elsewhere). Best
+// effort: a failed setaffinity (e.g. restricted cpuset) just leaves the
+// thread floating.
+void PinCallingThreadToCore(std::size_t index) {
+#if defined(__linux__)
+  const unsigned hw = std::thread::hardware_concurrency();
+  if (hw == 0) return;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(static_cast<int>(index % hw), &set);
+  (void)::sched_setaffinity(0, sizeof(set), &set);
+#else
+  (void)index;
+#endif
+}
+
+}  // namespace
+
+struct PipelinedQueryExecution::Shard {
+  // Router -> worker: full sub-batches; ownership moves with the batch.
+  SpscRing<PacketBatch> to_worker;
+  // Worker -> router: consumed batches, Clear()'d for reuse.
+  SpscRing<PacketBatch> recycle;
+  std::unique_ptr<QueryExecution> exec;
+  // Router-side gather under construction (not yet published).
+  PacketBatch pending;
+  sched::Thread worker;
+
+  Shard(std::size_t ring_capacity, std::size_t batch_capacity)
+      : to_worker(ring_capacity),
+        recycle(ring_capacity),
+        pending(batch_capacity) {}
+};
+
+PipelinedQueryExecution::PipelinedQueryExecution(const CompiledQuery& plan,
+                                                 const Options& options)
+    : plan_(&plan), options_(options) {
+  FWDECAY_CHECK_MSG(options.num_shards > 0,
+                    "PipelinedQueryExecution needs at least one shard");
+  shards_.reserve(options.num_shards);
+  shard_rows_.resize(options.num_shards);
+  for (std::size_t s = 0; s < options.num_shards; ++s) {
+    auto shard =
+        std::make_unique<Shard>(options.ring_capacity, options.batch_capacity);
+    shard->exec = plan.NewExecution();
+    shard->exec->UseShardMetrics(s);
+    shards_.push_back(std::move(shard));
+  }
+  // Spawn last: a worker only touches its own (fully constructed) shard
+  // plus stop_, and the spawn itself synchronizes-with the worker body.
+  for (std::size_t s = 0; s < options.num_shards; ++s) {
+    Shard* shard = shards_[s].get();
+    shards_[s]->worker =
+        sched::Thread([this, shard, s] { WorkerLoop(*shard, s); });
+  }
+}
+
+PipelinedQueryExecution::~PipelinedQueryExecution() {
+  if (!quiesced_) {
+    // Abandoned without Finish(): stop the workers without flushing the
+    // partial sub-batches. The ring destructors drain what remains.
+    stop_.store(true, std::memory_order_release);
+    for (auto& shard : shards_) {
+      if (shard->worker.Joinable()) shard->worker.Join();
+    }
+  }
+}
+
+void PipelinedQueryExecution::Consume(const PacketBatch& batch) {
+  FWDECAY_DCHECK(!quiesced_);
+  packets_offered_ += batch.size();
+  // Router-level offered-packet count goes to the engine-wide family;
+  // the per-shard fwdecay_shard_* counters only see post-filter rows
+  // (same split as the sharded router).
+  EngineMetrics::Get().packets->Increment(batch.size());
+  const std::size_t n_in = batch.size();
+  if (n_in == 0) return;
+
+  // Stage 1 — filter + hash on the router thread, identical algebra to
+  // ShardedQueryExecution::Consume (and therefore to the single-thread
+  // reference): protocol filter, WHERE, group-key columns, group hash,
+  // remixed shard index.
+  sel_.resize(n_in);
+  std::size_t n = 0;
+  if (plan_->protocol_filter_ != 0) {
+    n = simd::FilterByteEq(batch.protocol(), plan_->protocol_filter_, n_in,
+                           sel_.data());
+  } else {
+    for (std::size_t i = 0; i < n_in; ++i) {
+      sel_[i] = static_cast<std::uint32_t>(i);
+    }
+    n = n_in;
+  }
+  if (plan_->where_ != nullptr && n > 0) {
+    n = EvalPredicateBatch(*plan_->where_, batch, sel_.data(), n,
+                           &eval_scratch_);
+  }
+  if (n == 0) return;
+
+  const std::size_t num_groups = plan_->group_exprs_.size();
+  if (key_cols_.size() < num_groups) key_cols_.resize(num_groups);
+  for (std::size_t g = 0; g < num_groups; ++g) {
+    EvalExprBatch(*plan_->group_exprs_[g], batch, sel_.data(), n,
+                  &eval_scratch_, &key_cols_[g]);
+  }
+  hashes_.resize(n);
+  ComputeGroupHashes(key_cols_, num_groups, n, hashes_.data());
+  shard_ids_.resize(n);
+  simd::ShardIndexU64(hashes_.data(), n, kShardRouteSeed,
+                      static_cast<std::uint32_t>(shards_.size()),
+                      shard_ids_.data());
+  for (std::size_t s = 0; s < shards_.size(); ++s) shard_rows_[s].clear();
+  for (std::size_t i = 0; i < n; ++i) {
+    shard_rows_[shard_ids_[i]].push_back(sel_[i]);
+  }
+
+  // Stage 2 — gather each shard's rows (stream order preserved) into
+  // that shard's pending sub-batch; full sub-batches transfer whole
+  // through the SPSC ring. Partial fills stay pending across Consume()
+  // calls and are flushed by Quiesce().
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    const auto& rows = shard_rows_[s];
+    if (rows.empty()) continue;
+    Shard& shard = *shards_[s];
+    std::size_t off = 0;
+    while (off < rows.size()) {
+      const std::size_t room =
+          shard.pending.capacity() - shard.pending.size();
+      const std::size_t take = std::min(room, rows.size() - off);
+      shard.pending.AppendSelected(batch, rows.data() + off, take);
+      off += take;
+      if (shard.pending.full()) DispatchPending(shard);
+    }
+  }
+}
+
+void PipelinedQueryExecution::DispatchPending(Shard& shard) {
+  if (shard.pending.empty()) return;
+  while (!shard.to_worker.TryPush(std::move(shard.pending))) {
+    // Backpressure: the shard's ring is full; let its worker run. The
+    // failed TryPush leaves `pending` untouched.
+    if (sched::InScheduledRegion()) {
+      sched::Yield();
+    } else {
+      // fwdecay: hotpath-cold(backpressure spin runs only when the bounded ring is full)
+      std::this_thread::yield();
+    }
+  }
+  if (!shard.recycle.TryPop(&shard.pending)) {
+    // fwdecay: hotpath-cold(pool warm-up allocation; the steady state reuses recycled batches)
+    shard.pending = PacketBatch(options_.batch_capacity);
+  }
+}
+
+void PipelinedQueryExecution::WorkerLoop(Shard& shard, std::size_t index) {
+  if (options_.pin_cores && !sched::InScheduledRegion()) {
+    // Core 0 is left to the router (the caller's thread).
+    PinCallingThreadToCore(index + 1);
+  }
+  std::vector<std::uint32_t> rows;
+  rows.reserve(options_.batch_capacity);
+  PacketBatch batch(1);
+  for (;;) {
+    if (!shard.to_worker.TryPop(&batch)) {
+      // stop_ is release-stored after the final DispatchPending, so a
+      // true load followed by one more empty pop proves no batch can
+      // still arrive.
+      if (stop_.load(std::memory_order_acquire)) {
+        if (!shard.to_worker.TryPop(&batch)) break;
+      } else {
+        if (sched::InScheduledRegion()) {
+          sched::Yield();
+        } else {
+          std::this_thread::yield();
+        }
+        continue;
+      }
+    }
+    const std::size_t n = batch.size();
+    rows.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      rows[i] = static_cast<std::uint32_t>(i);
+    }
+    shard.exec->ConsumeFiltered(batch, rows.data(), n);
+    batch.Clear();
+    // Offer the cleared batch back to the router; dropping it when the
+    // recycle ring is full is fine (the router allocates a fresh one).
+    (void)shard.recycle.TryPush(std::move(batch));
+  }
+}
+
+void PipelinedQueryExecution::SetOverloadPolicy(const OverloadPolicy& policy) {
+  FWDECAY_CHECK_MSG(packets_offered_ == 0,
+                    "SetOverloadPolicy must precede the first Consume()");
+  // No worker has received a batch yet, so no worker touches its exec;
+  // the first ring publish orders this write before any worker read.
+  for (auto& shard : shards_) shard->exec->SetOverloadPolicy(policy);
+}
+
+void PipelinedQueryExecution::Quiesce() {
+  if (quiesced_) return;
+  quiesced_ = true;
+  for (auto& shard : shards_) DispatchPending(*shard);
+  stop_.store(true, std::memory_order_release);
+  for (auto& shard : shards_) shard->worker.Join();
+}
+
+ResultSet PipelinedQueryExecution::Finish() {
+  FWDECAY_CHECK_MSG(!finished_,
+                    "PipelinedQueryExecution::Finish is one-shot");
+  Quiesce();
+  finished_ = true;
+  // Identical merge contract to ShardedQueryExecution::Finish: each
+  // shard flushes its low level under its own policy, then donates its
+  // groups to a fresh policy-free execution. Shard key spaces are
+  // disjoint, so the donation is a pure move — no aggregate Merge, no
+  // FP reassociation, no re-shedding (Section VI-B).
+  std::unique_ptr<QueryExecution> merged = plan_->NewExecution();
+  for (auto& shard : shards_) {
+    shard->exec->FlushLowLevel();
+    shard->exec->FlushMetrics();
+    merged->MergeFrom(*shard->exec);
+  }
+  return merged->Finish();
+}
+
+std::uint64_t PipelinedQueryExecution::SumQuiesced(
+    std::uint64_t (QueryExecution::*getter)() const) const {
+  FWDECAY_CHECK_MSG(quiesced_,
+                    "pipeline stats are valid once Quiesce() has run");
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) total += (shard->exec.get()->*getter)();
+  return total;
+}
+
+std::uint64_t PipelinedQueryExecution::tuples_aggregated() const {
+  return SumQuiesced(&QueryExecution::tuples_aggregated);
+}
+
+std::uint64_t PipelinedQueryExecution::low_level_evictions() const {
+  return SumQuiesced(&QueryExecution::low_level_evictions);
+}
+
+std::uint64_t PipelinedQueryExecution::groups_shed() const {
+  return SumQuiesced(&QueryExecution::groups_shed);
+}
+
+std::uint64_t PipelinedQueryExecution::tuples_shed() const {
+  return SumQuiesced(&QueryExecution::tuples_shed);
+}
+
+std::size_t PipelinedQueryExecution::GroupCount() const {
+  FWDECAY_CHECK_MSG(quiesced_,
+                    "pipeline stats are valid once Quiesce() has run");
+  std::size_t total = 0;
+  for (const auto& shard : shards_) total += shard->exec->GroupCount();
+  return total;
+}
+
+void PipelinedQueryExecution::CheckInvariants() const {
+  FWDECAY_CHECK_MSG(quiesced_,
+                    "the pipeline audit is valid once Quiesce() has run");
+  for (const auto& shard : shards_) shard->exec->CheckInvariants();
 }
 
 std::string ResultSet::ToString() const {

@@ -104,7 +104,8 @@ class CompiledQuery {
 
  private:
   friend class QueryExecution;
-  friend class ShardedQueryExecution;  // router reads filter + group exprs
+  friend class ShardedQueryExecution;   // router reads filter + group exprs
+  friend class PipelinedQueryExecution;  // same router, async shard stage
 
   struct OutputItem {
     // Bound post-aggregation expression: kGroupRef/kAggRef placeholders
@@ -230,6 +231,7 @@ class QueryExecution {
 
  private:
   friend class ShardedQueryExecution;
+  friend class PipelinedQueryExecution;
 
   struct Group;
   struct LowSlot;
@@ -497,6 +499,116 @@ class ShardedQueryExecution {
   const CompiledQuery* plan_;
   std::vector<std::unique_ptr<Shard>> shards_;  // Mutex is not movable
   sched::Atomic<std::uint64_t> packets_offered_{0};
+};
+
+/// Shared-nothing pipelined execution (DESIGN.md §14) — the scaling
+/// successor to ShardedQueryExecution's mutex-per-shard router
+/// ("router-v1" in BENCH_ingest.json; this class is "spsc-v2").
+///
+/// One routing stage (the caller's thread) filters each batch, hashes
+/// the group keys, partitions the surviving rows by the remixed group
+/// hash (simd::ShardIndexU64), gathers each shard's rows into a
+/// per-shard sub-batch, and transfers that batch *whole* — by move,
+/// through a bounded SPSC ring — to the shard's worker thread. Each
+/// worker owns its QueryExecution outright: after construction no shard
+/// state is touched by two threads, so the ingest path has no locks at
+/// all. Consumed batches flow back to the router on a second SPSC ring
+/// for reuse, making the steady state allocation-free end to end.
+///
+/// Finish() runs off the hot path: it quiesces the pipeline (flush
+/// partial sub-batches, signal stop, join workers) and then performs
+/// the same FlushLowLevel + whole-group MergeFrom merge as the sharded
+/// router. Shard key spaces are disjoint and forward decay needs no
+/// rescaling on merge (Section VI-B), so the merged result is
+/// bit-identical to the mutex'd router's — and, for single-level
+/// plans, to the single-threaded reference (tests/spsc_ring_test.cc
+/// asserts both, including under schedule exploration).
+///
+/// Threading contract: Consume() from ONE router thread (the SPSC rings
+/// are single-producer/single-consumer by construction); Quiesce(),
+/// Finish() and the stat accessors from that same thread after ingest
+/// stops. packets_consumed() alone is safe at any time.
+class PipelinedQueryExecution {
+ public:
+  struct Options {
+    std::size_t num_shards = 2;
+    /// Slots per shard ring, a power of two >= 2. Bounds in-flight
+    /// memory at ~2 * ring_capacity * batch bytes per shard and sets
+    /// how far the router can run ahead before backpressure.
+    std::size_t ring_capacity = 64;
+    /// Rows per gathered sub-batch handed to a worker.
+    std::size_t batch_capacity = PacketBatch::kDefaultCapacity;
+    /// Pins worker i to core (i + 1) % hardware_concurrency (Linux
+    /// only; ignored elsewhere and under schedule exploration). The
+    /// router stays on the caller's thread, so core 0 is left to it.
+    bool pin_cores = false;
+  };
+
+  /// The plan must outlive this object. Workers start immediately.
+  PipelinedQueryExecution(const CompiledQuery& plan, const Options& options);
+  ~PipelinedQueryExecution();
+
+  PipelinedQueryExecution(const PipelinedQueryExecution&) = delete;
+  PipelinedQueryExecution& operator=(const PipelinedQueryExecution&) = delete;
+
+  /// Routes one batch: filter + hash + partition on the calling thread,
+  /// full sub-batches handed to the shard workers. Single producer —
+  /// see the threading contract above.
+  void Consume(const PacketBatch& batch);
+
+  /// Installs the policy on every shard (each bounds its own table, so
+  /// the total bound is num_shards * max_groups). Must be called before
+  /// the first Consume(): the ring handoff publishes it to the workers.
+  void SetOverloadPolicy(const OverloadPolicy& policy);
+
+  /// Drains the pipeline: flushes partial sub-batches, signals stop,
+  /// joins the workers and freezes the shard-summed stats. Idempotent;
+  /// Finish() calls it implicitly.
+  void Quiesce();
+
+  /// Quiesces, then merges the disjoint shard states and finalizes.
+  /// Call once, after ingest has stopped.
+  ResultSet Finish();
+
+  /// Packets offered to Consume() (router-level, pre-filter).
+  std::uint64_t packets_consumed() const { return packets_offered_; }
+
+  // Shard-summed counters; valid once Quiesce() has run.
+  std::uint64_t tuples_aggregated() const;
+  std::uint64_t low_level_evictions() const;
+  std::uint64_t groups_shed() const;
+  std::uint64_t tuples_shed() const;
+  std::size_t GroupCount() const;
+
+  std::size_t num_shards() const { return shards_.size(); }
+
+  /// Group-table audit on every shard; valid once Quiesce() has run.
+  void CheckInvariants() const;
+
+ private:
+  struct Shard;  // rings + worker + owned QueryExecution (engine.cc)
+
+  void DispatchPending(Shard& shard);
+  void WorkerLoop(Shard& shard, std::size_t index);
+  std::uint64_t SumQuiesced(std::uint64_t (QueryExecution::*getter)()
+                                const) const;
+
+  const CompiledQuery* plan_;
+  Options options_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  sched::Atomic<bool> stop_{false};
+  bool quiesced_ = false;
+  bool finished_ = false;
+  std::uint64_t packets_offered_ = 0;  // router-thread counter
+
+  // Router scratch, capacity-retained across batches (single producer,
+  // so plain members — no thread_local needed).
+  BatchEvalScratch eval_scratch_;
+  std::vector<std::uint32_t> sel_;
+  std::vector<ValueColumn> key_cols_;
+  std::vector<std::uint64_t> hashes_;
+  std::vector<std::uint32_t> shard_ids_;
+  std::vector<std::vector<std::uint32_t>> shard_rows_;
 };
 
 }  // namespace fwdecay::dsms

@@ -80,6 +80,14 @@ void GroupHashI64(const std::int64_t* keys, std::size_t n,
   }
 }
 
+void ShardIndexU64(const std::uint64_t* hashes, std::size_t n,
+                   std::uint64_t seed, std::uint32_t num_shards,
+                   std::uint32_t* out) {
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = static_cast<std::uint32_t>(HashU64(hashes[i], seed) % num_shards);
+  }
+}
+
 void AddF64(const double* a, const double* b, std::size_t n, double* out) {
   for (std::size_t i = 0; i < n; ++i) out[i] = a[i] + b[i];
 }
@@ -247,6 +255,41 @@ __attribute__((target("avx2"))) void GroupHashI64(const std::int64_t* keys,
     _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), x);
   }
   if (i < n) scalar::GroupHashI64(keys + i, n - i, seed, out + i);
+}
+
+__attribute__((target("avx2"))) void ShardIndexU64(const std::uint64_t* hashes,
+                                                   std::size_t n,
+                                                   std::uint64_t seed,
+                                                   std::uint32_t num_shards,
+                                                   std::uint32_t* out) {
+  // Only the power-of-two reduction vectorizes (modulo becomes a lane
+  // mask); other shard counts keep the scalar 64-bit modulo, which has
+  // no AVX2 instruction.
+  if ((num_shards & (num_shards - 1)) != 0) {
+    scalar::ShardIndexU64(hashes, n, seed, num_shards, out);
+    return;
+  }
+  // HashU64(h, seed) = Mix64(h ^ (seed*K1 + K2)) with the seed part
+  // folded into one constant, exactly as the scalar arm computes it.
+  const std::uint64_t c =
+      seed * 0xff51afd7ed558ccdULL + 0xc4ceb9fe1a85ec53ULL;
+  const __m256i vc = _mm256_set1_epi64x(static_cast<long long>(c));
+  const __m256i vmask =
+      _mm256_set1_epi64x(static_cast<long long>(num_shards - 1));
+  // Lane gather pattern packing the four 64-bit lanes' low dwords into
+  // the lower 128 bits (the masked index always fits in 32 bits).
+  const __m256i pack = _mm256_setr_epi32(0, 2, 4, 6, 0, 0, 0, 0);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256i x =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(hashes + i));
+    x = _mm256_and_si256(Mix64V(_mm256_xor_si256(x, vc)), vmask);
+    const __m256i packed = _mm256_permutevar8x32_epi32(x, pack);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i),
+                     _mm256_castsi256_si128(packed));
+  }
+  if (i < n) scalar::ShardIndexU64(hashes + i, n - i, seed, num_shards,
+                                   out + i);
 }
 
 __attribute__((target("avx2"))) void AddF64(const double* a, const double* b,
@@ -526,6 +569,18 @@ void GroupHashI64(const std::int64_t* keys, std::size_t n,
   }
 #endif
   scalar::GroupHashI64(keys, n, seed, out);
+}
+
+void ShardIndexU64(const std::uint64_t* hashes, std::size_t n,
+                   std::uint64_t seed, std::uint32_t num_shards,
+                   std::uint32_t* out) {
+#if defined(FWDECAY_SIMD_X86)
+  if (g_dispatch.arch == Arch::kAvx2) {
+    avx2::ShardIndexU64(hashes, n, seed, num_shards, out);
+    return;
+  }
+#endif
+  scalar::ShardIndexU64(hashes, n, seed, num_shards, out);
 }
 
 void AddF64(const double* a, const double* b, std::size_t n, double* out) {

@@ -54,6 +54,16 @@ std::size_t FilterByteEq(const std::uint8_t* bytes, std::uint8_t target,
 void GroupHashI64(const std::int64_t* keys, std::size_t n,
                   std::uint64_t seed, std::uint64_t* out);
 
+/// Batch-partition kernel for shard routing (DESIGN.md §14.1): out[i] is
+/// exactly HashU64(hashes[i], seed) % num_shards — the group hash
+/// remixed under an independent seed, reduced to a shard index. The
+/// AVX2 arm vectorizes the power-of-two case (the reduction is a lane
+/// mask); non-power-of-two shard counts take the scalar modulo.
+/// num_shards must be > 0.
+void ShardIndexU64(const std::uint64_t* hashes, std::size_t n,
+                   std::uint64_t seed, std::uint32_t num_shards,
+                   std::uint32_t* out);
+
 // Elementwise arithmetic, one IEEE operation per element.
 void AddF64(const double* a, const double* b, std::size_t n, double* out);
 void SubF64(const double* a, const double* b, std::size_t n, double* out);
@@ -90,6 +100,9 @@ std::size_t FilterByteEq(const std::uint8_t* bytes, std::uint8_t target,
                          std::size_t n, std::uint32_t* out_sel);
 void GroupHashI64(const std::int64_t* keys, std::size_t n,
                   std::uint64_t seed, std::uint64_t* out);
+void ShardIndexU64(const std::uint64_t* hashes, std::size_t n,
+                   std::uint64_t seed, std::uint32_t num_shards,
+                   std::uint32_t* out);
 void AddF64(const double* a, const double* b, std::size_t n, double* out);
 void SubF64(const double* a, const double* b, std::size_t n, double* out);
 void MulF64(const double* a, const double* b, std::size_t n, double* out);

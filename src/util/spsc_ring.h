@@ -1,0 +1,153 @@
+#ifndef FWDECAY_UTIL_SPSC_RING_H_
+#define FWDECAY_UTIL_SPSC_RING_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "util/check.h"
+#include "util/sched.h"
+
+// Bounded single-producer/single-consumer ring buffer — the shard
+// handoff queue of the shared-nothing ingest pipeline (DESIGN.md §14).
+//
+// Design (Lamport queue with monotonic counters and cached peer
+// indices, the shape Seastar/folly/rigtorp converged on):
+//
+//   * capacity is a power of two; head_ and tail_ are *monotonic*
+//     64-bit counters (slot = counter & mask), so equal counters mean
+//     empty, a difference of capacity means full, and no generation
+//     tag is needed to break the full/empty ABA ambiguity — at one
+//     push per nanosecond the counters would take ~580 years to wrap.
+//   * head_ (consumer cursor) and tail_ (producer cursor) live on
+//     their own cache lines, as do the producer-local cached_head_ and
+//     consumer-local cached_tail_ mirrors, so steady-state push/pop
+//     does not false-share; the cursors are re-read from the shared
+//     line only when the cached copy says full/empty.
+//   * slots are raw storage; a push placement-constructs the element
+//     and a pop move-extracts + destroys it, so elements live exactly
+//     while they are in flight and ownership transfers whole.
+//
+// Memory-order contract (the §14 proof obligation, explored by
+// tests/spsc_ring_test.cc under sched::ModelAtomic):
+//
+//   publish:  producer writes the slot, then release-stores tail_;
+//             consumer acquire-loads tail_ before reading the slot.
+//             The release/acquire edge on tail_ makes the slot write
+//             happen-before the consumer's read — no torn publish.
+//   recycle:  consumer destroys the slot, then release-stores head_;
+//             producer acquire-loads head_ before reusing the slot.
+//             The mirror edge keeps slot reuse after slot destruction.
+//   own cursor: each side loads its *own* cursor relaxed — it is the
+//             only writer of that cursor, so coherence alone suffices.
+//
+// The atomic type is a template parameter defaulting to sched::Atomic:
+// production builds get plain std::atomic (PlainAtomic), a
+// -DFWDECAY_SCHED build routes the cursors through the PR 6 model
+// checker, and the ring tests instantiate sched::ModelAtomic directly
+// so the weak-memory exploration runs in EVERY build.
+
+namespace fwdecay {
+
+/// Bounded wait-free SPSC queue. Exactly one producer thread may call
+/// TryPush and exactly one consumer thread may call TryPop; the
+/// release/acquire edges above are the queue's only synchronization.
+/// Construction, destruction, and any other member must be called from
+/// a single thread with both sides quiesced.
+template <typename T, template <typename> class AtomicT = sched::Atomic>
+class SpscRing {
+  static_assert(alignof(T) <= alignof(std::max_align_t),
+                "SpscRing storage is max_align_t-aligned");
+
+ public:
+  /// Capacity must be a power of two >= 2 (slot = counter & mask).
+  explicit SpscRing(std::size_t capacity)
+      : capacity_(capacity),
+        mask_(capacity - 1),
+        storage_(new std::byte[sizeof(T) * capacity]) {
+    FWDECAY_CHECK_MSG(capacity >= 2 && (capacity & (capacity - 1)) == 0,
+                      "SpscRing capacity must be a power of two >= 2");
+  }
+
+  /// Destroys whatever the consumer never popped (both sides must have
+  /// quiesced; the relaxed loads are then the threads' final values).
+  ~SpscRing() {
+    // fwdecay: relaxed-ok(destructor runs after both threads quiesced)
+    std::uint64_t head = head_.load(std::memory_order_relaxed);
+    // fwdecay: relaxed-ok(destructor runs after both threads quiesced)
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    for (; head != tail; ++head) Slot(head)->~T();
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  /// Producer side. Moves `v` into the ring and returns true, or
+  /// returns false (v untouched) when the ring is full.
+  bool TryPush(T&& v) {
+    // fwdecay: relaxed-ok(own cursor; the producer is its only writer)
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - cached_head_ == capacity_) {
+      cached_head_ = head_.load(std::memory_order_acquire);
+      if (tail - cached_head_ == capacity_) return false;
+    }
+    // fwdecay: hotpath-cold(placement-new into preallocated ring slot storage — no heap allocation)
+    ::new (static_cast<void*>(Slot(tail))) T(std::move(v));
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. Move-assigns the oldest element into *out and
+  /// returns true, or returns false when the ring is empty.
+  bool TryPop(T* out) {
+    // fwdecay: relaxed-ok(own cursor; the consumer is its only writer)
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    if (head == cached_tail_) {
+      cached_tail_ = tail_.load(std::memory_order_acquire);
+      if (head == cached_tail_) return false;
+    }
+    T* slot = Slot(head);
+    *out = std::move(*slot);
+    slot->~T();
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+  /// Racy size estimate (monitoring only): exact when both sides are
+  /// quiesced, otherwise a point-in-time lower/upper mix.
+  std::size_t SizeApprox() const {
+    // fwdecay: relaxed-ok(monitoring estimate; exact only at quiescence)
+    return static_cast<std::size_t>(tail_.load(std::memory_order_relaxed) -
+                                    // fwdecay: relaxed-ok(same estimate)
+                                    head_.load(std::memory_order_relaxed));
+  }
+
+ private:
+  T* Slot(std::uint64_t counter) {
+    return std::launder(reinterpret_cast<T*>(
+        storage_.get() + sizeof(T) * (counter & mask_)));
+  }
+
+  const std::size_t capacity_;
+  const std::size_t mask_;
+  const std::unique_ptr<std::byte[]> storage_;
+
+  // Consumer cache line: its cursor + its cached mirror of tail_.
+  alignas(64) AtomicT<std::uint64_t> head_{0};
+  std::uint64_t cached_tail_ = 0;
+  // Producer cache line: its cursor + its cached mirror of head_.
+  alignas(64) AtomicT<std::uint64_t> tail_{0};
+  std::uint64_t cached_head_ = 0;
+  // Trailing pad so an adjacent object cannot share the producer line.
+  [[maybe_unused]] char pad_[64 - 2 * sizeof(std::uint64_t)];
+};
+
+}  // namespace fwdecay
+
+#endif  // FWDECAY_UTIL_SPSC_RING_H_

@@ -363,6 +363,35 @@ TEST(SimdDifferential, GroupHashI64MatchesGenericHash) {
   }
 }
 
+TEST(SimdDifferential, ShardIndexU64MatchesRemixedModulo) {
+  // The routing kernel's contract is exact equality with the remixed
+  // modulo the routers compute per row: HashU64(hash, seed) % shards.
+  // Power-of-two counts take the vectorized mask path; the others must
+  // fall back to the scalar modulo — both are checked against the
+  // oracle and the closed form.
+  const std::uint64_t seed = 0x5ca1ab1e0ddba11ULL;  // engine route seed
+  for (const std::uint32_t shards : {1u, 2u, 3u, 4u, 7u, 8u, 64u}) {
+    for (const std::size_t n : kLengths) {
+      std::vector<std::uint64_t> hashes(n);
+      std::uint64_t s = 0xf100 + n + shards;
+      for (std::size_t i = 0; i < n; ++i) hashes[i] = SplitMix64(&s);
+      if (n > 0) hashes[0] = 0;
+      if (n > 1) hashes[n - 1] = ~std::uint64_t{0};
+      std::vector<std::uint32_t> got(n + 1, kGuard32), want(n + 1, kGuard32);
+      simd::ShardIndexU64(hashes.data(), n, seed, shards, got.data());
+      simd::scalar::ShardIndexU64(hashes.data(), n, seed, shards,
+                                  want.data());
+      for (std::size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(got[i], want[i])
+            << "shards=" << shards << " n=" << n << " i=" << i;
+        ASSERT_EQ(got[i], HashU64(hashes[i], seed) % shards);
+        ASSERT_LT(got[i], shards);
+      }
+      EXPECT_EQ(got[n], kGuard32) << "wrote past n";
+    }
+  }
+}
+
 TEST(SimdDifferential, CompactNonZeroI64) {
   for (const std::size_t n : kLengths) {
     std::vector<std::int64_t> vals(n);
